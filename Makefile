@@ -1,0 +1,32 @@
+# Convenience targets for the common workflows.
+
+.PHONY: install dev test bench bench-verbose report reproduce examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+dev: install
+	pip install -e .[dev] --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	pytest benchmarks/ --benchmark-only -s
+
+report:
+	repro-report all
+
+reproduce:
+	python scripts/run_full_reproduction.py
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \
+	       src/*.egg-info results mfsa_out dot_out
+	find . -name __pycache__ -type d -exec rm -rf {} +

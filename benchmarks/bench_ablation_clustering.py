@@ -1,0 +1,68 @@
+"""Ablation — sequential vs similarity-clustered grouping (future work).
+
+The paper samples M REs sequentially (§VI) and proposes similarity-based
+clustering as future work (§VIII).  This bench compiles each suite both
+ways at intermediate merging factors and compares the achieved state
+compression: clustering groups morphologically similar REs together and
+should compress at least as well, with the larger gains on suites whose
+similar REs are scattered through the ruleset.
+"""
+
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+from repro.reporting.experiments import dataset_bundle
+from repro.reporting.tables import format_table
+
+FACTORS = (5, 10)
+
+
+def _sweep(bundles):
+    out = {}
+    for abbr, bundle in bundles.items():
+        per_factor = {}
+        for m in FACTORS:
+            sequential = compile_ruleset(
+                bundle.ruleset.patterns,
+                CompileOptions(merging_factor=m, emit_anml=False),
+            )
+            clustered = compile_ruleset(
+                bundle.ruleset.patterns,
+                CompileOptions(merging_factor=m, grouping="clustered", emit_anml=False),
+            )
+            per_factor[m] = (sequential.merge_report, clustered.merge_report)
+        out[abbr] = per_factor
+    return out
+
+
+def test_clustered_grouping(benchmark, config):
+    bundles = {abbr: dataset_bundle(abbr, config) for abbr in ("BRO", "PRO", "TCP")}
+    results = benchmark.pedantic(lambda: _sweep(bundles), rounds=1, iterations=1)
+
+    rows = []
+    wins = 0
+    comparisons = 0
+    for abbr, per_factor in results.items():
+        for m, (sequential, clustered) in per_factor.items():
+            rows.append((
+                abbr, m,
+                f"{sequential.state_compression:.1f}%",
+                f"{clustered.state_compression:.1f}%",
+            ))
+            comparisons += 1
+            if clustered.state_compression >= sequential.state_compression - 0.5:
+                wins += 1
+
+    print()
+    print(format_table(
+        ("Dataset", "M", "sequential comp.", "clustered comp."),
+        rows,
+        title="Ablation — grouping strategy vs state compression",
+    ))
+
+    # clustering is at least competitive nearly everywhere
+    assert wins >= comparisons - 1, (wins, comparisons)
+    # and strictly better somewhere
+    assert any(
+        clustered.state_compression > sequential.state_compression + 0.5
+        for per_factor in results.values()
+        for sequential, clustered in per_factor.values()
+    )

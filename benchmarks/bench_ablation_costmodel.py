@@ -1,0 +1,70 @@
+"""Ablation — cost-model calibration robustness (DESIGN.md §3, sub. 3).
+
+The thread-scaling figures run on a work model calibrated against the
+Python engines.  This bench sweeps the coefficients across a 4x range
+and asserts the paper's qualitative conclusions survive every
+calibration: merging beats the baseline, and MFSAs need fewer threads
+than multi-threaded single FSAs.
+"""
+
+from repro.engine.cost import CostModel
+from repro.reporting.experiments import (
+    ExperimentConfig,
+    experiment_scaling,
+    experiment_throughput,
+    scaling_summary,
+)
+from repro.reporting.tables import format_table, geometric_mean
+
+CALIBRATIONS = {
+    "default": CostModel(),
+    "dispatch-heavy": CostModel(c_char=4.0, c_trans=0.3, c_active=0.2),
+    "bandwidth-heavy": CostModel(c_char=1.0, c_trans=1.0, c_active=0.2),
+    "activation-heavy": CostModel(c_char=2.0, c_trans=0.3, c_active=0.8),
+}
+
+
+def _sweep(base: ExperimentConfig):
+    out = {}
+    for name, model in CALIBRATIONS.items():
+        config = ExperimentConfig(
+            datasets=("BRO", "DS9", "TCP"),
+            scale=base.scale,
+            stream_size=base.stream_size,
+            merging_factors=(1, 2, 10, 0),
+            threads=(1, 2, 4, 8, 16),
+            cost_model=model,
+        )
+        throughput = experiment_throughput(config)
+        scaling = experiment_scaling(config)
+        out[name] = (throughput, scaling)
+    return out
+
+
+def test_costmodel_robustness(benchmark, config):
+    results = benchmark.pedantic(lambda: _sweep(config), rounds=1, iterations=1)
+
+    rows = []
+    for name, (throughput, scaling) in results.items():
+        best = [max(r["improvement"] for r in per_m.values()) for per_m in throughput.values()]
+        speedups = [scaling_summary(per_m)["speedup"] for per_m in scaling.values()]
+        threads = [scaling_summary(per_m)["mfsa_threads_to_match_single"]
+                   for per_m in scaling.values()]
+        rows.append((
+            name,
+            f"{geometric_mean(best):.2f}x",
+            f"{geometric_mean(speedups):.2f}x",
+            int(max(threads)),
+        ))
+        # qualitative conclusions hold under every calibration
+        assert all(b > 1.2 for b in best), name
+        assert all(s > 1.0 for s in speedups), name
+        assert max(threads) <= 4, name
+
+    print()
+    print(format_table(
+        ("calibration", "best-M throughput (geomean)", "Fig.10 speedup (geomean)",
+         "max threads to match"),
+        rows,
+        title="Ablation — cost-model calibration sweep",
+    ))

@@ -1,0 +1,59 @@
+"""Autotune — the M-selection tool against the Fig. 9/10 conclusions.
+
+Runs the merging-factor auto-tuner on each suite at two thread budgets
+and checks it lands on the paper's conclusions: never "no merging", and
+heavy merging on a single thread.  With threads available, smaller
+factors can win (parallelism across MFSAs) — exactly the Fig. 10
+trade-off the tool automates.
+"""
+
+from repro.pipeline.autotune import autotune_merging_factor
+from repro.reporting.experiments import dataset_bundle
+from repro.reporting.tables import format_table
+
+CANDIDATES = (1, 2, 5, 10, 0)
+
+
+def _sweep(config):
+    out = {}
+    for abbr in ("BRO", "DS9", "TCP"):
+        bundle = dataset_bundle(abbr, config)
+        per_threads = {}
+        for threads in (1, 8):
+            per_threads[threads] = autotune_merging_factor(
+                bundle.ruleset.patterns, bundle.stream,
+                threads=threads, candidates=CANDIDATES,
+                cost_model=config.cost_model, machine=config.machine,
+            )
+        out[abbr] = per_threads
+    return out
+
+
+def test_autotune_selects_paper_consistent_factors(benchmark, config):
+    results = benchmark.pedantic(lambda: _sweep(config), rounds=1, iterations=1)
+
+    rows = []
+    for abbr, per_threads in results.items():
+        rows.append((
+            abbr,
+            per_threads[1].best.label,
+            f"{per_threads[1].best.latency:.0f}",
+            per_threads[8].best.label,
+            f"{per_threads[8].best.latency:.0f}",
+        ))
+    print()
+    print(format_table(
+        ("Dataset", "best M (T=1)", "latency", "best M (T=8)", "latency"),
+        rows,
+        title="Autotune — selected merging factor per thread budget",
+    ))
+
+    for abbr, per_threads in results.items():
+        for threads, report in per_threads.items():
+            # never "no merging" (Fig. 9: merging always beats M=1)
+            assert report.best.merging_factor != 1, (abbr, threads)
+        # single-thread winner merges at least as coarsely as the T=8 one
+        single = per_threads[1].best
+        multi = per_threads[8].best
+        coarseness = lambda c: float("inf") if c.merging_factor == 0 else c.merging_factor
+        assert coarseness(single) >= coarseness(multi), abbr

@@ -1,0 +1,60 @@
+"""Baseline — multi-stride DFAs (paper §VII, [11, 28, 40]).
+
+Multi-striding halves the state traversals per byte but pays for "all
+the k-characters combinations of adjacent transitions".  This bench
+builds the 2-stride form of each suite's (minimised) streaming DFA and
+measures both sides of that trade-off, cross-checking matches against
+the 1-stride engine and iMFAnt.
+"""
+
+from repro.dfa import DfaEngine, build_stride2, determinize, minimize
+from repro.dfa.multistride import StrideDfaEngine
+from repro.engine.imfant import IMfantEngine
+from repro.reporting.experiments import ExperimentConfig, dataset_bundle
+from repro.reporting.tables import format_table
+
+SMALL = ExperimentConfig(scale=20, stream_size=2048, datasets=("BRO", "TCP"))
+
+
+def _build(bundle):
+    compiled = bundle.compiled(0)
+    dfa = minimize(determinize(list(enumerate(compiled.fsas)), max_states=60_000))
+    stride = build_stride2(dfa)
+    return compiled, dfa, stride
+
+
+def test_multistride_tradeoff(benchmark):
+    bundles = {abbr: dataset_bundle(abbr, SMALL) for abbr in SMALL.datasets}
+    results = benchmark.pedantic(
+        lambda: {abbr: _build(b) for abbr, b in bundles.items()}, rounds=1, iterations=1
+    )
+
+    rows = []
+    for abbr, (compiled, dfa, stride) in results.items():
+        stream = bundles[abbr].stream
+        one = DfaEngine(dfa).run(stream)
+        two = StrideDfaEngine(stride).run(stream)
+        assert two.matches == one.matches, abbr
+        assert two.matches == IMfantEngine(compiled.mfsas[0]).run(
+            stream, collect_stats=False
+        ).matches, abbr
+        rows.append((
+            abbr,
+            dfa.num_states, stride.num_classes,
+            dfa.num_transitions, stride.table_entries,
+            one.stats.transitions_examined, two.stats.transitions_examined,
+        ))
+
+    print()
+    print(format_table(
+        ("Dataset", "DFA Q", "classes", "1-stride entries", "2-stride entries",
+         "1-stride steps", "2-stride steps"),
+        rows,
+        title="Baseline — 2-stride DFA: steps halve, table squares",
+    ))
+
+    for abbr, _, classes, one_entries, two_entries, one_steps, two_steps in rows:
+        # per-byte traversals halve (±1 for the odd tail)
+        assert two_steps <= one_steps // 2 + 1, abbr
+        # the pair table is larger than the 1-stride table
+        assert two_entries > one_entries, abbr

@@ -1,0 +1,27 @@
+"""Fig. 1 — average normalised INDEL similarity per dataset.
+
+Paper: average morphological similarity ratio ≈ 0.34 across the six
+suites, with Protomata the highest (~0.5).  The bench times the pairwise
+INDEL sweep and prints the per-suite bars.
+"""
+
+from conftest import m_label  # noqa: F401  (shared bench helpers)
+from repro.reporting.experiments import experiment_similarity
+from repro.reporting.tables import format_table
+
+
+def test_fig1_similarity(benchmark, config):
+    sims = benchmark.pedantic(
+        lambda: experiment_similarity(config), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table(
+        ("Dataset", "Avg normalised INDEL similarity"),
+        [(abbr, f"{value:.3f}") for abbr, value in sims.items()],
+        title="Fig. 1 (reproduced)",
+    ))
+
+    # Shape assertions: similarity is substantial everywhere and PRO leads.
+    assert all(0.05 < v < 0.9 for v in sims.values())
+    assert max(sims, key=sims.get) == "PRO"

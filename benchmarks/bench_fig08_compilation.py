@@ -1,0 +1,41 @@
+"""Fig. 8 — per-stage compilation time vs merging factor.
+
+Paper: FE / AST→FSA / single-FSA optimisation are independent of M
+(1.29 / 1.33 / 2.03 ms on average), while the merging stage dominates
+and grows with M (6.65 s at M=all on the full suites).  The bench times
+one full compilation sweep and prints the stage breakdown.
+"""
+
+from conftest import m_label
+from repro.reporting.experiments import experiment_compilation_time
+from repro.reporting.tables import format_table
+
+STAGES = ("FE", "AST to FSA", "ME-single", "ME-merging", "BE")
+
+
+def test_fig8_compilation_stages(benchmark, config):
+    data = benchmark.pedantic(
+        lambda: experiment_compilation_time(config, repetitions=2), rounds=1, iterations=1
+    )
+
+    for abbr, per_m in data.items():
+        print()
+        print(format_table(
+            ("M", *(f"{s} (ms)" for s in STAGES), "total (ms)"),
+            [
+                (m_label(m), *(f"{stages[s] * 1e3:.2f}" for s in STAGES),
+                 f"{sum(stages.values()) * 1e3:.2f}")
+                for m, stages in per_m.items()
+            ],
+            title=f"Fig. 8 (reproduced) — {abbr}",
+        ))
+
+    for abbr, per_m in data.items():
+        factors = [m for m in per_m if m != 0]
+        # per-RE stages are independent of M: compare extreme factors
+        lo, hi = per_m[min(factors)], per_m[0]
+        for stage in ("FE", "AST to FSA"):
+            assert hi[stage] < 5 * lo[stage] + 1e-3, (abbr, stage)
+        # the merging stage grows toward M=all and dominates the front end
+        assert hi["ME-merging"] >= lo["ME-merging"]
+        assert hi["ME-merging"] > hi["FE"]

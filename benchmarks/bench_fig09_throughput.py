@@ -1,0 +1,53 @@
+"""Fig. 9 — single-thread execution time and throughput improvement.
+
+Paper: iMFAnt on MFSAs always beats the single-FSA baseline, with
+geomean improvements from 1.47x (M=2) to 5.44x (M=100) and 5.99x at the
+per-dataset best M; most suites peak at M=all but DS9/PRO (huge active
+sets) peak at intermediate factors.  The bench times the engine sweep
+and prints execution work and the improvement series.
+"""
+
+from conftest import m_label
+from repro.reporting.experiments import experiment_throughput
+from repro.reporting.tables import format_table, geometric_mean
+
+
+def test_fig9_throughput(benchmark, config):
+    data = benchmark.pedantic(
+        lambda: experiment_throughput(config), rounds=1, iterations=1
+    )
+
+    factors = sorted({m for per_m in data.values() for m in per_m}, key=lambda m: (m == 0, m))
+    print()
+    print(format_table(
+        ("Dataset", *(f"M={m_label(m)}" for m in factors)),
+        [
+            (abbr, *(f"{per_m[m]['improvement']:.2f}x" if m in per_m else "-" for m in factors))
+            for abbr, per_m in data.items()
+        ],
+        title="Fig. 9 (reproduced) — throughput improvement vs M=1",
+    ))
+
+    best = {abbr: max(row["improvement"] for row in per_m.values())
+            for abbr, per_m in data.items()}
+    best_geomean = geometric_mean(list(best.values()))
+    print(f"geomean of per-dataset best improvements: {best_geomean:.2f}x (paper: 5.99x)")
+
+    for abbr, per_m in data.items():
+        # merging never loses to the baseline
+        assert all(row["improvement"] >= 0.95 for row in per_m.values()), abbr
+        assert best[abbr] > 1.5, (abbr, best[abbr])
+    assert 2.0 <= best_geomean <= 20.0
+
+
+def test_fig9_wall_clock_direction(benchmark, config):
+    """Real wall-clock seconds (not just modelled work) also favour the
+    merged configuration."""
+    data = benchmark.pedantic(
+        lambda: experiment_throughput(config), rounds=1, iterations=1
+    )
+    for abbr, per_m in data.items():
+        wall_base = per_m[1]["wall_seconds"]
+        wall_best = min(row["wall_seconds"] for m, row in per_m.items() if m != 1)
+        print(f"{abbr}: wall M=1 {wall_base*1e3:.1f} ms -> best merged {wall_best*1e3:.1f} ms")
+        assert wall_best < wall_base, abbr

@@ -1,0 +1,51 @@
+"""Fig. 10 — multi-threaded execution time, T ∈ [1, 128], M ∈ [1, all].
+
+Paper (4C/8T machine): execution time ~halves per thread doubling up to
+the physical cores and plateaus beyond; most M>1 configurations beat the
+multi-threaded single-FSA baseline; best-MFSA vs best-single speedups
+range 2.52x–6.18x (geomean 4.05x); MFSAs reach the single-FSA best
+latency with 1–2 threads.  The bench drives the counter-calibrated
+machine-model simulation (DESIGN.md §3, substitution 3).
+"""
+
+from conftest import m_label
+from repro.reporting.experiments import experiment_scaling, scaling_summary
+from repro.reporting.tables import format_table, geometric_mean
+
+
+def test_fig10_thread_scaling(benchmark, config):
+    data = benchmark.pedantic(
+        lambda: experiment_scaling(config), rounds=1, iterations=1
+    )
+
+    summaries = {}
+    for abbr, per_m in data.items():
+        print()
+        print(format_table(
+            ("M", *(f"T={t}" for t in config.threads)),
+            [
+                (m_label(m), *(f"{series[t]:.0f}" for t in config.threads))
+                for m, series in per_m.items()
+            ],
+            title=f"Fig. 10 (reproduced) — {abbr} latency (work units)",
+        ))
+        summaries[abbr] = scaling_summary(per_m)
+        print(f"  best M>1 vs best M=1 speedup: {summaries[abbr]['speedup']:.2f}x; "
+              f"MFSA threads to reach single-FSA best: "
+              f"{summaries[abbr]['mfsa_threads_to_match_single']:.0f}")
+
+    geomean = geometric_mean([s["speedup"] for s in summaries.values()])
+    print(f"\ngeomean best-MFSA speedup over best multi-threaded single-FSA: "
+          f"{geomean:.2f}x (paper: 4.05x)")
+
+    for abbr, per_m in data.items():
+        baseline = per_m[1]
+        # halving trend up to the physical cores for the M=1 baseline
+        assert baseline[2] < 0.7 * baseline[1], abbr
+        assert baseline[4] < 0.7 * baseline[2], abbr
+        # plateau beyond the hardware threads
+        assert abs(baseline[128] - baseline[8]) <= 0.25 * baseline[8], abbr
+    for abbr, summary in summaries.items():
+        assert summary["speedup"] > 1.0, abbr
+        assert summary["mfsa_threads_to_match_single"] <= 4, abbr
+    assert 1.5 <= geomean <= 12.0

@@ -1,0 +1,69 @@
+"""Hybrid engine — MFSA merging with counting-set outliers.
+
+A realistic mixed ruleset (literal signatures + a few huge bounded
+repeats) is executed three ways: everything expanded and merged (the
+paper's pipeline), everything on per-rule counting engines, and the
+hybrid split.  The hybrid keeps the merged automaton small *and* dodges
+the expansion blow-up; matches are asserted identical across all three.
+"""
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.counting import CountingSetEngine, build_counting_fsa
+from repro.engine.hybrid import HybridEngine
+from repro.engine.imfant import IMfantEngine
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+from repro.reporting.tables import format_table
+
+RULES = [
+    "GET /login",
+    "POST /upload",
+    "session=[0-9a-f]{64}",          # counting outlier (64-run)
+    "auth failure for [a-z]+",
+    "padding[=:][A-Za-z0-9]{120}",   # counting outlier (120-run)
+    "set-cookie: tracker",
+]
+
+STREAM = (
+    b"GET /login POST /upload auth failure for mallory "
+    b"session=" + b"ab01" * 16 + b" padding=" + b"X" * 120 + b" set-cookie: tracker "
+) * 6
+
+
+def test_hybrid_split(benchmark):
+    hybrid = HybridEngine(RULES)
+    matches, report = benchmark.pedantic(
+        lambda: hybrid.run(STREAM), rounds=1, iterations=1
+    )
+
+    # baseline 1: everything expanded + merged
+    expanded = compile_ruleset(RULES, CompileOptions(merging_factor=0, emit_anml=False))
+    expanded_run = IMfantEngine(expanded.mfsas[0]).run(STREAM)
+    assert expanded_run.matches == matches
+
+    # baseline 2: everything per-rule counting
+    counting_matches = set()
+    counting_states = 0
+    for rule_id, pattern in enumerate(RULES):
+        cfsa = build_counting_fsa(pattern)
+        counting_states += cfsa.num_states
+        counting_matches |= CountingSetEngine(cfsa, rule_id).run(STREAM).matches
+    assert counting_matches == matches
+
+    print()
+    print(format_table(
+        ("configuration", "automata", "states", "work (trans. examined)"),
+        [
+            ("expanded + merged MFSA", 1, expanded.mfsas[0].num_states,
+             expanded_run.stats.transitions_examined),
+            ("per-rule counting", len(RULES), counting_states, "-"),
+            (f"hybrid ({report.merged_rules} merged + {report.counting_rules} counting)",
+             report.mfsa_count + report.counting_rules, "-",
+             report.stats.transitions_examined),
+        ],
+        title="Hybrid split on a mixed ruleset",
+    ))
+
+    assert report.counting_rules == 2
+    assert report.merged_rules == 4
+    # the expanded automaton pays ~190 states for the two counted runs
+    assert expanded.mfsas[0].num_states > 150

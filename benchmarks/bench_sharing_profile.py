@@ -1,0 +1,51 @@
+"""Structural sharing profiles of merged suites (Fig. 2 writ large).
+
+Beyond the compression percentage, this bench shows *how* the MFSAs
+share: the belonging-size histogram (how many transitions serve 1, 2,
+…, k rules) and each suite's widest-shared transition.  The similarity-
+heavy suite (PRO) should show the widest sharing; the exact-match suite
+(TCP) the thinnest.
+"""
+
+from repro.mfsa.statistics import sharing_profile
+from repro.reporting.experiments import dataset_bundle
+from repro.reporting.tables import format_table
+
+
+def _profiles(config):
+    out = {}
+    for abbr in config.datasets:
+        bundle = dataset_bundle(abbr, config)
+        mfsa = bundle.compiled(0).mfsas[0]
+        out[abbr] = (mfsa, sharing_profile(mfsa))
+    return out
+
+
+def test_sharing_profiles(benchmark, config):
+    results = benchmark.pedantic(lambda: _profiles(config), rounds=1, iterations=1)
+
+    rows = []
+    for abbr, (mfsa, profile) in results.items():
+        shared_pct = 100.0 * profile.shared_transitions / max(1, mfsa.num_transitions)
+        rows.append((
+            abbr,
+            mfsa.num_transitions,
+            profile.exclusive_transitions,
+            profile.shared_transitions,
+            f"{shared_pct:.1f}%",
+            profile.max_sharing,
+        ))
+    print()
+    print(format_table(
+        ("Dataset", "transitions", "exclusive", "shared", "shared %", "widest"),
+        rows,
+        title="Sharing profile of the M=all MFSAs",
+    ))
+
+    for abbr, (mfsa, profile) in results.items():
+        # every suite shares something, and the histogram partitions arcs
+        assert profile.shared_transitions > 0, abbr
+        assert sum(profile.histogram.values()) == mfsa.num_transitions, abbr
+    # the most self-similar suite shares the widest (Fig. 1 ordering)
+    widest = {abbr: profile.max_sharing for abbr, (_, profile) in results.items()}
+    assert widest["PRO"] >= widest["TCP"]

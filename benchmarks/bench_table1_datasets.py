@@ -1,0 +1,35 @@
+"""Table I — dataset characteristics (#REs, states, transitions, CCs).
+
+Paper values at full scale: 217–300 REs per suite, total states 2.8k–13k,
+avg states 12–43 with DS9/RG1 the largest and BRO/PRO the smallest.  The
+bench times ruleset generation + single-FSA compilation and prints the
+reproduced table.
+"""
+
+from repro.reporting.experiments import experiment_dataset_stats
+from repro.reporting.tables import format_table
+
+
+def test_table1_dataset_characteristics(benchmark, config):
+    stats = benchmark.pedantic(
+        lambda: experiment_dataset_stats(config), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table(
+        ("Dataset", "#REs", "Tot. states", "Tot. trans", "Tot. CC len", "Avg states", "Avg trans"),
+        [
+            (abbr, int(s["num_res"]), int(s["total_states"]), int(s["total_transitions"]),
+             int(s["total_cc_length"]), f"{s['avg_states']:.2f}", f"{s['avg_transitions']:.2f}")
+            for abbr, s in stats.items()
+        ],
+        title=f"Table I (reproduced at 1/{config.scale} scale)",
+    ))
+
+    # Shape assertions mirroring the paper's Table I ordering.
+    avg = {abbr: s["avg_states"] for abbr, s in stats.items()}
+    assert avg["DS9"] > avg["BRO"] and avg["RG1"] > avg["PRO"]
+    assert all(5 < v < 80 for v in avg.values())
+    # CC-heavy suites (PRO, RG1) carry far more CC mass than TCP.
+    assert stats["PRO"]["total_cc_length"] > stats["TCP"]["total_cc_length"]
+    assert stats["RG1"]["total_cc_length"] > stats["TCP"]["total_cc_length"]

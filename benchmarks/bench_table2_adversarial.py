@@ -1,0 +1,59 @@
+"""Table II under adversarial input: worst-case activation pressure.
+
+Table II's active-set statistics depend on the stream.  This bench runs
+the M=all MFSAs over the *adversarial* streams (prefix spam —
+:func:`repro.datasets.generate_adversarial_stream`) and compares the
+per-symbol active pairs against the ordinary streams: the worst case is
+what a DPI deployment must provision for (adversaries get to choose the
+traffic), and it amplifies exactly the suites Table II flags.
+"""
+
+from repro.datasets import generate_adversarial_stream
+from repro.engine.imfant import IMfantEngine
+from repro.reporting.experiments import dataset_bundle
+from repro.reporting.tables import format_table
+
+
+def _sweep(config):
+    out = {}
+    for abbr in config.datasets:
+        bundle = dataset_bundle(abbr, config)
+        mfsa = bundle.compiled(0).mfsas[0]
+        engine = IMfantEngine(mfsa)
+        normal = engine.run(bundle.stream).stats
+        hostile = engine.run(
+            generate_adversarial_stream(bundle.ruleset, config.stream_size)
+        ).stats
+        out[abbr] = (normal, hostile)
+    return out
+
+
+def test_adversarial_active_sets(benchmark, config):
+    results = benchmark.pedantic(lambda: _sweep(config), rounds=1, iterations=1)
+
+    rows = []
+    for abbr, (normal, hostile) in results.items():
+        amplification = (
+            hostile.avg_active_pairs / normal.avg_active_pairs
+            if normal.avg_active_pairs else float("inf")
+        )
+        rows.append((
+            abbr,
+            f"{normal.avg_active_pairs:.2f}",
+            f"{hostile.avg_active_pairs:.2f}",
+            f"{amplification:.2f}x",
+            hostile.max_state_activation,
+        ))
+    print()
+    print(format_table(
+        ("Dataset", "normal avg", "adversarial avg", "amplification", "adv. max"),
+        rows,
+        title="Table II under adversarial streams (M=all)",
+    ))
+
+    amplified = sum(
+        1 for _, (normal, hostile) in results.items()
+        if hostile.avg_active_pairs > normal.avg_active_pairs
+    )
+    # prefix spam raises the active load on most suites
+    assert amplified >= len(results) - 1, amplified

@@ -1,0 +1,45 @@
+"""Shared configuration for the per-figure benchmarks.
+
+Every module regenerates one table/figure of the paper (DESIGN.md §4)
+and prints its rows (run pytest with ``-s`` to see them inline; the same
+tables are available via ``repro-report``).
+
+Scaling: the paper's engine is C++/-O3 on 217–300-RE rulesets with 1 MB
+streams; the interpretive Python engines default here to suites scaled
+by ``REPRO_BENCH_SCALE`` (default 8 → 27–37 REs) and
+``REPRO_BENCH_STREAM`` bytes (default 2048).  Set
+``REPRO_BENCH_SCALE=1 REPRO_BENCH_STREAM=1048576`` for a paper-scale run
+(hours).  EXPERIMENTS.md records the configuration used for the reported
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine.cost import CostModel
+from repro.engine.multithread import MachineModel
+from repro.reporting.experiments import ExperimentConfig
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "8"))
+BENCH_STREAM = int(os.environ.get("REPRO_BENCH_STREAM", "2048"))
+
+BENCH_CONFIG = ExperimentConfig(
+    scale=BENCH_SCALE,
+    stream_size=BENCH_STREAM,
+    merging_factors=(1, 2, 5, 10, 20, 50, 100, 0),
+    threads=(1, 2, 4, 8, 16, 32, 64, 128),
+    cost_model=CostModel(),
+    machine=MachineModel(physical_cores=4, hardware_threads=8),
+)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+def m_label(m: int) -> str:
+    return "all" if m == 0 else str(m)

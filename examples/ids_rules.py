@@ -1,0 +1,50 @@
+"""IDS-style ingestion: snort-lite rules → merged MFSA → alerts.
+
+The complete DPI story in one script: rules arrive in Snort syntax
+(content/pcre/nocase options), the ingestion front-end lowers them to
+the ERE subset, the framework merges them into one MFSA, and iMFAnt
+scans traffic reporting alerts by signature id and message.
+
+Run:  python examples/ids_rules.py
+"""
+
+from repro.frontend.snortlite import SnortRulesetEngine, parse_rules
+
+RULE_FILE = r'''
+# toy signature set
+alert tcp any any -> any 80 (msg:"SQL injection probe"; \
+    content:"union select"; nocase; sid:2001;)
+alert tcp any any -> any 80 (msg:"Path traversal"; \
+    pcre:"/\.\.\/\.\.\//"; sid:2002;)
+alert tcp any any -> any any (msg:"Shell upload"; \
+    content:"POST "; content:".php"; content:"|0d 0a|"; sid:2003;)
+alert tcp any any -> any any (msg:"Obfuscated eval"; \
+    pcre:"/eval\(base64_decode/i"; sid:2004;)
+drop udp any any -> any 53 (msg:"DNS tunnel marker"; \
+    content:"|05|xfilt|04|data"; sid:2005;)
+'''
+
+TRAFFIC = (
+    b"GET /item?q=9 UNION SELECT card FROM users HTTP/1.1\r\n"
+    b"POST /uploads/shell.php HTTP/1.1\r\n"
+    b"GET /../../etc/hosts HTTP/1.1\r\n"
+    b"x=EVAL(BASE64_DECODE('aWQ='))\r\n"
+    + bytes([5]) + b"xfilt" + bytes([4]) + b"data\r\n"
+)
+
+
+def main() -> None:
+    rules = parse_rules(RULE_FILE)
+    print(f"loaded {len(rules)} signatures "
+          f"({sum(r.nocase for r in rules)} case-insensitive)\n")
+
+    # SnortRulesetEngine splits by the nocase flag (case folding is a
+    # compile-time property), merges each group into an MFSA, and scans.
+    engine = SnortRulesetEngine(RULE_FILE)
+    print("alerts:")
+    for rule, end in engine.scan(TRAFFIC):
+        print(f"  [{rule.action}] sid={rule.sid} at byte {end}: {rule.msg}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""One-shot reproduction driver (the artifact's scripts/ folder in one file).
+
+Runs every experiment at a chosen scale, prints the reproduced tables,
+exports the raw CSV series, and writes a summary with the headline
+paper-vs-measured comparisons.  The benchmark defaults (1/8 scale, 2 KiB
+streams) finish in well under a minute; ``--scale 1 --stream-size
+1048576`` is the paper-scale configuration (expect hours on the merging
+and execution sweeps — the paper's own artifact budget is 15 h).
+
+Usage:
+    python scripts/run_full_reproduction.py [--scale 8] [--stream-size 2048]
+                                            [--out results/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.cli import _REPORTS  # the per-figure printers
+from repro.reporting.experiments import (
+    ExperimentConfig,
+    experiment_compression,
+    experiment_scaling,
+    experiment_throughput,
+    scaling_summary,
+)
+from repro.reporting.export import export_all
+from repro.reporting.tables import geometric_mean
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--scale", type=int, default=8)
+    parser.add_argument("--stream-size", type=int, default=2048)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(scale=args.scale, stream_size=args.stream_size)
+    started = time.perf_counter()
+
+    for name in ("fig1", "table1", "fig7", "fig8", "fig9", "fig10", "table2"):
+        print(f"\n{'=' * 72}")
+        _REPORTS[name](config)
+
+    written = export_all(config, args.out)
+    elapsed = time.perf_counter() - started
+
+    # Headline summary (paper values from §VI / EXPERIMENTS.md).
+    compression = experiment_compression(config)
+    state_avg = sum(per_m[0][0] for per_m in compression.values()) / len(compression)
+    trans_avg = sum(per_m[0][1] for per_m in compression.values()) / len(compression)
+    throughput = experiment_throughput(config)
+    best_geomean = geometric_mean(
+        [max(r["improvement"] for r in per_m.values()) for per_m in throughput.values()]
+    )
+    scaling = experiment_scaling(config)
+    speedup_geomean = geometric_mean(
+        [scaling_summary(per_m)["speedup"] for per_m in scaling.values()]
+    )
+
+    threads_max = max(
+        scaling_summary(per_m)["mfsa_threads_to_match_single"] for per_m in scaling.values()
+    )
+
+    from repro.reporting.compare import compare_headlines
+
+    report = compare_headlines({
+        "state_compression": state_avg,
+        "transition_compression": trans_avg,
+        "best_throughput_geomean": best_geomean,
+        "multithread_speedup_geomean": speedup_geomean,
+        "threads_to_match_max": threads_max,
+    })
+    print(f"\n{'=' * 72}")
+    print("HEADLINE SUMMARY (reproduced vs paper, with acceptance bands)")
+    for row in report:
+        print("  " + row.render())
+    print(f"\nraw series: {len(written)} files in {args.out}/   ({elapsed:.1f}s total)")
+    return 0 if all(row.ok for row in report) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

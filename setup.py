@@ -1,0 +1,7 @@
+"""Setuptools shim enabling `pip install -e .` in offline environments
+that lack the `wheel` package needed for PEP 660 editable installs.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Extended ANML back-end (paper §IV-E).
+
+ANML (Automata Network Markup Language) describes *homogeneous* automata:
+state-transition elements (STEs) carry the symbol set and activate each
+other through unlabelled connections.  The back-end therefore
+
+1. homogenises the MFSA — every state splits into one STE per distinct
+   incoming label (:mod:`repro.anml.homogenize`);
+2. writes the network as XML, *extended* (as the paper extends the
+   standard) with the belonging sets of each connection plus the rule
+   table needed by the activation function
+   (:mod:`repro.anml.writer`);
+3. reads the format back into an executable MFSA
+   (:mod:`repro.anml.reader`), which iMFAnt consumes — this is the
+   engine's documented pre-processing step.
+
+The writer records each STE's original MFSA state, so a write/read
+round-trip reconstructs the exact transition-form MFSA (tested).
+"""
+
+from repro.anml.homogenize import HomogeneousNetwork, homogenize
+from repro.anml.writer import write_anml
+from repro.anml.reader import read_anml
+
+__all__ = ["HomogeneousNetwork", "homogenize", "write_anml", "read_anml"]

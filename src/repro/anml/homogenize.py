@@ -1,0 +1,157 @@
+"""MFSA homogenisation for ANML export.
+
+ANML's state-transition elements (STEs) are Glushkov-style: the *element*
+carries the symbol set, and an element matches when (a) an activated
+predecessor enabled it — or it is a start element — and (b) the current
+symbol belongs to its symbol set.  A transition-labelled automaton maps
+onto this by splitting every state into one STE per distinct incoming
+label:
+
+* state ``q`` with incoming labels ``L1..Lk`` → STEs ``(q, L1)..(q, Lk)``;
+* arc ``p --L--> q`` (belonging ``B``) → a connection from every STE of
+  ``p`` to STE ``(q, L)`` carrying ``B`` (the paper's ANML extension);
+* arc out of a rule ``j``'s initial state ``q0`` → STE ``(q, L)`` is
+  additionally marked *start* for ``j`` (ANML ``start="all-input"``
+  semantics: a new match attempt at every offset);
+* STE ``(q, L)`` reports for every rule ``j`` with ``q ∈ F_j``.
+
+Homogenisation preserves the matching semantics exactly (integration
+tests run iMFAnt on both forms) while each STE stores its original state
+id so the reader can reconstruct the transition form losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.labels import CharClass
+from repro.mfsa.model import Mfsa
+
+
+@dataclass
+class Ste:
+    """One state-transition element of the homogeneous network."""
+
+    ste_id: int
+    #: original MFSA state this STE is a split of
+    state: int
+    symbol_set: CharClass
+    #: rules for which this STE begins a match attempt (start-for), i.e.
+    #: rules whose initial state is the original source of an incoming arc
+    start_for: frozenset[int] = frozenset()
+    #: rules for which reaching this STE completes a match (report-for)
+    report_for: frozenset[int] = frozenset()
+
+
+@dataclass
+class Connection:
+    """Activation edge between STEs, annotated with its belonging set."""
+
+    src: int
+    dst: int
+    bel: frozenset[int]
+
+
+@dataclass
+class StartArc:
+    """An arc whose source state has no STE split (no incoming arcs).
+
+    In pure ANML such arcs exist only as start marks on the destination
+    STE; this extension record keeps the original source state and
+    belonging set so the reader can reconstruct the arc losslessly.
+    """
+
+    src_state: int
+    dst: int
+    bel: frozenset[int]
+
+
+@dataclass
+class HomogeneousNetwork:
+    """The ANML-shaped automaton plus the extension rule table."""
+
+    stes: list[Ste] = field(default_factory=list)
+    connections: list[Connection] = field(default_factory=list)
+    start_arcs: list[StartArc] = field(default_factory=list)
+    #: rule id -> (original initial state, original final states, pattern)
+    rules: dict[int, tuple[int, frozenset[int], str | None]] = field(default_factory=dict)
+    num_original_states: int = 0
+
+
+def homogenize(mfsa: Mfsa) -> HomogeneousNetwork:
+    """Split states by incoming label and rewire arcs (see module doc)."""
+    network = HomogeneousNetwork(num_original_states=mfsa.num_states)
+    for rule in mfsa.initials:
+        network.rules[rule] = (
+            mfsa.initials[rule],
+            frozenset(mfsa.finals[rule]),
+            mfsa.patterns.get(rule),
+        )
+
+    final_rules_of: dict[int, set[int]] = {}
+    for rule, states in mfsa.finals.items():
+        for state in states:
+            final_rules_of.setdefault(state, set()).add(rule)
+    initial_rules_of: dict[int, set[int]] = {}
+    for rule, state in mfsa.initials.items():
+        initial_rules_of.setdefault(state, set()).add(rule)
+
+    # One STE per (destination state, incoming label mask).
+    ste_of: dict[tuple[int, int], int] = {}
+
+    def ste_for(state: int, label: CharClass) -> int:
+        key = (state, label.mask)
+        if key not in ste_of:
+            ste_of[key] = len(network.stes)
+            network.stes.append(
+                Ste(
+                    ste_id=ste_of[key],
+                    state=state,
+                    symbol_set=label,
+                    report_for=frozenset(final_rules_of.get(state, ())),
+                )
+            )
+        return ste_of[key]
+
+    # First pass: create destination STEs and mark starts.
+    start_marks: dict[int, set[int]] = {}
+    for t in mfsa.transitions:
+        dst_ste = ste_for(t.dst, t.label)
+        initial_rules = initial_rules_of.get(t.src, set())
+        starting = t.bel & initial_rules
+        if starting:
+            start_marks.setdefault(dst_ste, set()).update(starting)
+    for ste_id, rules in start_marks.items():
+        ste = network.stes[ste_id]
+        network.stes[ste_id] = Ste(
+            ste_id=ste.ste_id,
+            state=ste.state,
+            symbol_set=ste.symbol_set,
+            start_for=frozenset(rules),
+            report_for=ste.report_for,
+        )
+
+    # Second pass: connections from every split of src to the dst STE.
+    # Arcs whose source has no splits (states with no incoming arcs — in
+    # particular pure initial states) become StartArc extension records:
+    # in plain ANML they exist only as start marks on the destination.
+    splits_of: dict[int, list[int]] = {}
+    for (state, _), ste_id in ste_of.items():
+        splits_of.setdefault(state, []).append(ste_id)
+    seen: set[tuple[int, int]] = set()
+    for t in mfsa.transitions:
+        dst_ste = ste_for(t.dst, t.label)
+        splits = splits_of.get(t.src)
+        if not splits:
+            network.start_arcs.append(StartArc(t.src, dst_ste, t.bel))
+            continue
+        for src_ste in splits:
+            key = (src_ste, dst_ste)
+            if key in seen:
+                # Same arc reachable through several splits of src with
+                # identical endpoints cannot occur (dst STE keyed by
+                # label), but guard against duplicate MFSA arcs anyway.
+                continue
+            seen.add(key)
+            network.connections.append(Connection(src_ste, dst_ste, t.bel))
+    return network

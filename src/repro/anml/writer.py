@@ -1,0 +1,96 @@
+"""Extended-ANML XML writer (paper §IV-E).
+
+The output follows ANML's element vocabulary —
+``<automata-network>``, ``<state-transition-element>``,
+``<activate-on-match>``, ``<report-on-match>`` — with the paper's
+extension carried in a dedicated namespace-free attribute set:
+
+* ``belongs-to`` on ``<activate-on-match>`` — the merged-rule identifiers
+  the connection (transition) belongs to;
+* ``start-for`` on STEs — the rules for which the STE begins a match
+  (instead of plain ``start="all-input"``, which cannot say *which* rule
+  becomes active);
+* ``report-for`` on ``<report-on-match>`` — the rules a reached STE
+  reports for (the activation function picks the active subset);
+* ``original-state`` on STEs and a ``<rule>`` table — enough to
+  reconstruct the exact transition-form MFSA (see
+  :mod:`repro.anml.reader`).
+
+Symbol sets use the bracket-expression syntax ANML shares with EREs.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.anml.homogenize import HomogeneousNetwork, homogenize
+from repro.mfsa.model import Mfsa
+
+FORMAT_VERSION = "1.0"
+
+
+def write_anml(mfsa: Mfsa, network_id: str = "mfsa") -> str:
+    """Serialise an MFSA to the extended-ANML XML string."""
+    network = homogenize(mfsa)
+    return render_network(network, network_id)
+
+
+def render_network(network: HomogeneousNetwork, network_id: str = "mfsa") -> str:
+    root = ET.Element(
+        "automata-network",
+        {
+            "id": network_id,
+            "extended-mfsa-version": FORMAT_VERSION,
+            "original-states": str(network.num_original_states),
+        },
+    )
+
+    rules_el = ET.SubElement(root, "rules")
+    for rule, (initial, finals, pattern) in sorted(network.rules.items()):
+        attrs = {
+            "id": str(rule),
+            "initial-state": str(initial),
+            "final-states": _ids(finals),
+        }
+        if pattern is not None:
+            attrs["pattern"] = pattern
+        ET.SubElement(rules_el, "rule", attrs)
+
+    outgoing: dict[int, list] = {}
+    for conn in network.connections:
+        outgoing.setdefault(conn.src, []).append(conn)
+    start_arcs_into: dict[int, list] = {}
+    for arc in network.start_arcs:
+        start_arcs_into.setdefault(arc.dst, []).append(arc)
+
+    for ste in network.stes:
+        attrs = {
+            "id": f"ste{ste.ste_id}",
+            "symbol-set": ste.symbol_set.pattern(),
+            "original-state": str(ste.state),
+        }
+        if ste.start_for:
+            attrs["start"] = "all-input"
+            attrs["start-for"] = _ids(ste.start_for)
+        ste_el = ET.SubElement(root, "state-transition-element", attrs)
+        for arc in start_arcs_into.get(ste.ste_id, ()):
+            ET.SubElement(
+                ste_el,
+                "start-on-input",
+                {"from-state": str(arc.src_state), "belongs-to": _ids(arc.bel)},
+            )
+        for conn in outgoing.get(ste.ste_id, ()):
+            ET.SubElement(
+                ste_el,
+                "activate-on-match",
+                {"element": f"ste{conn.dst}", "belongs-to": _ids(conn.bel)},
+            )
+        if ste.report_for:
+            ET.SubElement(ste_el, "report-on-match", {"report-for": _ids(ste.report_for)})
+
+    ET.indent(root, space="  ")
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+def _ids(values) -> str:
+    return " ".join(str(v) for v in sorted(values))

@@ -1,0 +1,40 @@
+"""Single-FSA substrate: model, construction and optimisation passes.
+
+This package is the paper's mid-end up to (but excluding) merging:
+
+* :mod:`repro.automata.fsa` — the NFA model with labelled transitions.
+* :mod:`repro.automata.thompson` — AST → ε-NFA construction (§IV-B).
+* :mod:`repro.automata.epsilon` — ε-arc removal (§IV-C pass 1).
+* :mod:`repro.automata.loops` — bounded-loop expansion (§IV-C pass 2).
+* :mod:`repro.automata.multiplicity` — multiplicity>1 → CC arcs (§IV-C pass 3).
+* :mod:`repro.automata.optimize` — the composed single-FSA pipeline.
+* :mod:`repro.automata.simulate` — reference set-of-states matcher.
+* :mod:`repro.automata.coo` — COO adjacency view (paper Fig. 2).
+"""
+
+from repro.automata.epsilon import remove_epsilon
+from repro.automata.fsa import EPSILON, Fsa, Transition
+from repro.automata.loops import expand_loops
+from repro.automata.multiplicity import simplify_multiplicity
+from repro.automata.optimize import compile_re_to_fsa, optimize_fsa
+from repro.automata.simulate import (
+    accepts,
+    find_match_ends,
+    simulate_stream,
+)
+from repro.automata.thompson import thompson_construct
+
+__all__ = [
+    "EPSILON",
+    "Fsa",
+    "Transition",
+    "remove_epsilon",
+    "expand_loops",
+    "simplify_multiplicity",
+    "compile_re_to_fsa",
+    "optimize_fsa",
+    "accepts",
+    "find_match_ends",
+    "simulate_stream",
+    "thompson_construct",
+]

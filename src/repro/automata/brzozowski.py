@@ -1,0 +1,205 @@
+"""Brzozowski derivatives: a third, independent matching semantics.
+
+The paper's future-work citation [50] is a derivative-based matcher;
+this module implements the classic construction as an *oracle*: the
+derivative of a regex AST with respect to a character is computed
+symbolically, so acceptance needs no automaton at all — a completely
+independent code path from both the Thompson and Glushkov pipelines,
+which the cross-validation property tests exploit.
+
+Definitions (Brzozowski 1964):
+
+* ``nullable(r)`` — does ``r`` accept ε;
+* ``derivative(r, c)`` — a regex for ``{ w | cw ∈ L(r) }``;
+* ``accepts(r, s)`` — ``nullable(derivative(...derivative(r, s₀)..., sₙ))``.
+
+Smart constructors keep derivatives in a weak normal form (the
+similarity rules: ∅ absorption, ε units, idempotent-ish alternation) so
+repeated derivation stays small; :func:`derivative_dfa` additionally
+builds the derivative automaton with memoised states, guarded by a
+budget (derivatives over a 256-symbol alphabet use the label-partition
+trick to process each distinct class once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.ast import (
+    Alternation,
+    AstNode,
+    Concat,
+    Empty,
+    Literal,
+    Repeat,
+)
+from repro.labels import CharClass
+from repro.mfsa.ccpartial import alphabet_partition
+
+
+@dataclass(frozen=True, eq=False)
+class Never(AstNode):
+    """The empty language ∅ (needed by derivatives; not parseable)."""
+
+    def pattern(self) -> str:
+        return "(?!)"  # diagnostic only
+
+    def _key(self):
+        return ()
+
+
+def nullable(node: AstNode) -> bool:
+    """Does the language contain ε?"""
+    if isinstance(node, Empty):
+        return True
+    if isinstance(node, (Literal, Never)):
+        return False
+    if isinstance(node, Concat):
+        return all(nullable(p) for p in node.parts)
+    if isinstance(node, Alternation):
+        return any(nullable(b) for b in node.branches)
+    if isinstance(node, Repeat):
+        return node.low == 0 or nullable(node.body)
+    raise TypeError(f"unknown AST node: {node!r}")
+
+
+# -- smart constructors (similarity normal form) ----------------------------
+
+
+def _alt(branches: list[AstNode]) -> AstNode:
+    flat: list[AstNode] = []
+    seen: set[AstNode] = set()
+    for branch in branches:
+        if isinstance(branch, Never):
+            continue
+        parts = branch.branches if isinstance(branch, Alternation) else (branch,)
+        for part in parts:
+            if part not in seen:
+                seen.add(part)
+                flat.append(part)
+    if not flat:
+        return Never()
+    if len(flat) == 1:
+        return flat[0]
+    return Alternation(tuple(flat))
+
+
+def _cat(head: AstNode, tail: AstNode) -> AstNode:
+    if isinstance(head, Never) or isinstance(tail, Never):
+        return Never()
+    if isinstance(head, Empty):
+        return tail
+    if isinstance(tail, Empty):
+        return head
+    head_parts = head.parts if isinstance(head, Concat) else (head,)
+    tail_parts = tail.parts if isinstance(tail, Concat) else (tail,)
+    return Concat(head_parts + tail_parts)
+
+
+def _rep(body: AstNode, low: int, high: Optional[int]) -> AstNode:
+    if isinstance(body, Never):
+        return Empty() if low == 0 else Never()
+    if isinstance(body, Empty):
+        return Empty()
+    if high == 0:
+        return Empty()
+    return Repeat(body, low, high)
+
+
+# -- derivatives -----------------------------------------------------------
+
+
+def derivative(node: AstNode, char: int) -> AstNode:
+    """∂_c(r): the language of suffixes after consuming ``char``."""
+    if isinstance(node, (Empty, Never)):
+        return Never()
+    if isinstance(node, Literal):
+        return Empty() if char in node.charclass else Never()
+    if isinstance(node, Alternation):
+        return _alt([derivative(b, char) for b in node.branches])
+    if isinstance(node, Concat):
+        head, tail_parts = node.parts[0], node.parts[1:]
+        tail: AstNode = tail_parts[0] if len(tail_parts) == 1 else Concat(tail_parts)
+        first = _cat(derivative(head, char), tail)
+        if nullable(head):
+            return _alt([first, derivative(tail, char)])
+        return first
+    if isinstance(node, Repeat):
+        low, high = node.low, node.high
+        if high == 0:  # r{0,0} = {ε}: no derivative survives
+            return Never()
+        remaining = _rep(node.body, max(0, low - 1), None if high is None else high - 1)
+        return _cat(derivative(node.body, char), remaining)
+    raise TypeError(f"unknown AST node: {node!r}")
+
+
+def accepts(node: AstNode, data: bytes | str) -> bool:
+    """Whole-string acceptance via iterated derivatives."""
+    payload = data.encode("latin-1") if isinstance(data, str) else data
+    current = node
+    for byte in payload:
+        current = derivative(current, byte)
+        if isinstance(current, Never):
+            return False
+    return nullable(current)
+
+
+# -- derivative automaton -----------------------------------------------------
+
+
+class DerivativeBudgetError(RuntimeError):
+    """Raised when the derivative DFA exceeds its state budget (the weak
+    normal form does not guarantee finiteness for every regex)."""
+
+
+def _labels_of(node: AstNode) -> list[int]:
+    return [n.charclass.mask for n in node.walk() if isinstance(n, Literal)]
+
+
+def derivative_dfa(node: AstNode, max_states: int = 2000):
+    """Build the derivative automaton as a :class:`repro.dfa.dfa.Dfa`.
+
+    States are derivative ASTs (structural equality dedupes them); each
+    alphabet-partition block is derived once per state.  Accepting
+    states are the nullable derivatives (accept set = {0}); the output
+    is anchored (whole-string) — wrap with ``.*`` material for streaming.
+    """
+    from repro.dfa.dfa import Dfa
+
+    blocks = alphabet_partition(sorted(set(_labels_of(node))))
+    dfa = Dfa()
+    state_of: dict[AstNode, int] = {}
+
+    def intern(ast: AstNode) -> int:
+        if ast in state_of:
+            return state_of[ast]
+        if len(state_of) >= max_states:
+            raise DerivativeBudgetError(f"more than {max_states} derivative states")
+        accept = frozenset({0}) if nullable(ast) else frozenset()
+        state_of[ast] = dfa.add_state(accept)
+        return state_of[ast]
+
+    worklist = [node]
+    intern(node)
+    dfa.initial = 0
+    while worklist:
+        current = worklist.pop()
+        src = state_of[current]
+        for block in blocks:
+            representative = (block & -block).bit_length() - 1
+            result = derivative(current, representative)
+            if isinstance(result, Never):
+                continue
+            known = result in state_of
+            dst = intern(result)
+            if not known:
+                worklist.append(result)
+            row = dfa.rows[src]
+            remaining = block
+            while remaining:
+                low_bit = remaining & -remaining
+                row[low_bit.bit_length() - 1] = dst
+                remaining ^= low_bit
+    dfa.validate()
+    return dfa

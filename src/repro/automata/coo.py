@@ -1,0 +1,59 @@
+"""COO (coordinate format) adjacency view of automata (paper Fig. 2).
+
+The merging algorithm manipulates automata through their adjacency matrix
+in coordinate format: parallel vectors ``row`` (source state), ``col``
+(destination state) and ``idx`` (enabling label).  MFSAs additionally
+carry ``bel`` — the set of merged-FSA identifiers each transition belongs
+to.
+
+This module provides the plain-FSA view; the MFSA carries its own COO
+natively (see :mod:`repro.mfsa.model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.fsa import Fsa, Transition
+from repro.labels import CharClass
+
+
+@dataclass
+class CooMatrix:
+    """Parallel COO vectors for one ε-free automaton."""
+
+    row: list[int]
+    col: list[int]
+    idx: list[CharClass]
+
+    def __len__(self) -> int:
+        return len(self.row)
+
+    def transition(self, i: int) -> Transition:
+        return Transition(self.row[i], self.col[i], self.idx[i])
+
+    def __iter__(self):
+        return (self.transition(i) for i in range(len(self.row)))
+
+
+def to_coo(fsa: Fsa, sort: bool = True) -> CooMatrix:
+    """Extract the COO vectors; ``sort`` orders by (row, col, mask) for a
+    canonical layout (the paper's examples list transitions row-major)."""
+    if fsa.has_epsilon():
+        raise ValueError("COO export requires an ε-free FSA")
+    arcs = list(fsa.transitions)
+    if sort:
+        arcs.sort(key=lambda t: (t.src, t.dst, t.label.mask))  # type: ignore[union-attr]
+    return CooMatrix(
+        row=[t.src for t in arcs],
+        col=[t.dst for t in arcs],
+        idx=[t.label for t in arcs],  # type: ignore[misc]
+    )
+
+
+def from_coo(coo: CooMatrix, num_states: int, initial: int, finals: set[int]) -> Fsa:
+    """Rebuild an FSA from COO vectors (inverse of :func:`to_coo`)."""
+    fsa = Fsa(num_states=num_states, initial=initial, finals=set(finals))
+    for i in range(len(coo)):
+        fsa.add_transition(coo.row[i], coo.col[i], coo.idx[i])
+    return fsa

@@ -1,0 +1,91 @@
+"""ε-arc removal (paper §IV-C, pass 1).
+
+ANML has no ε-moves and the merging algorithm compares labelled
+transitions only, so the pipeline eliminates every ε-arc right after
+Thompson construction.  The classic closure construction is used:
+
+* ``closure(q)`` = all states reachable from ``q`` via ε-arcs only;
+* for every state ``q``, every ``p ∈ closure(q)`` and every labelled arc
+  ``p --c--> r``, the output has ``q --c--> r``;
+* ``q`` is final iff ``closure(q)`` intersects the original finals.
+
+The language is preserved exactly; the output is trimmed of unreachable
+states and renumbered densely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.automata.fsa import Fsa, Transition
+
+
+def epsilon_closure(fsa: Fsa, seeds: Iterable[int]) -> set[int]:
+    """ε-closure of a set of states."""
+    eps_adj: dict[int, list[int]] = {}
+    for t in fsa.transitions:
+        if t.is_epsilon():
+            eps_adj.setdefault(t.src, []).append(t.dst)
+    closure = set(seeds)
+    stack = list(closure)
+    while stack:
+        state = stack.pop()
+        for nxt in eps_adj.get(state, ()):
+            if nxt not in closure:
+                closure.add(nxt)
+                stack.append(nxt)
+    return closure
+
+
+def remove_epsilon(fsa: Fsa) -> Fsa:
+    """Return an equivalent ε-free FSA (trimmed and densely renumbered)."""
+    if not fsa.has_epsilon():
+        return fsa.trimmed()
+
+    eps_adj: dict[int, list[int]] = {}
+    labelled_out: dict[int, list[Transition]] = {}
+    for t in fsa.transitions:
+        if t.is_epsilon():
+            eps_adj.setdefault(t.src, []).append(t.dst)
+        else:
+            labelled_out.setdefault(t.src, []).append(t)
+
+    closures = _all_closures(fsa.num_states, eps_adj)
+
+    out = Fsa(num_states=fsa.num_states, initial=fsa.initial, pattern=fsa.pattern)
+    seen_arcs: set[tuple[int, int, int]] = set()
+    for q in range(fsa.num_states):
+        for p in closures[q]:
+            for t in labelled_out.get(p, ()):
+                key = (q, t.dst, t.label.mask)  # type: ignore[union-attr]
+                if key not in seen_arcs:
+                    seen_arcs.add(key)
+                    out.add_transition(q, t.dst, t.label)
+        if closures[q] & fsa.finals:
+            out.finals.add(q)
+
+    return out.trimmed()
+
+
+def _all_closures(num_states: int, eps_adj: dict[int, list[int]]) -> list[set[int]]:
+    """Closure of every state, memoised over the ε-graph's SCC-free DAG.
+
+    Thompson output can contain ε-cycles (from ``(x*)*`` style nesting), so
+    a plain DFS with memoisation on the cycle-free part plus an iterative
+    fallback is used.
+    """
+    closures: list[set[int]] = [set() for _ in range(num_states)]
+    for start in range(num_states):
+        if closures[start]:
+            continue
+        # Iterative DFS from `start`; fill closure for all states on the way.
+        closure = {start}
+        stack = [start]
+        while stack:
+            state = stack.pop()
+            for nxt in eps_adj.get(state, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        closures[start] = closure
+    return closures

@@ -1,0 +1,251 @@
+"""The FSA model: a non-deterministic finite automaton over byte labels.
+
+A :class:`Fsa` is the tuple ``a = (Q, Σ, δ, q0, F)`` of the paper's §II,
+with states as dense integers ``0..num_states-1``, a single initial state
+and labelled transitions whose label is either a
+:class:`repro.labels.CharClass` or :data:`EPSILON` (only before the
+ε-removal pass runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.labels import CharClass
+
+#: Label of an ε-arc (present only in freshly Thompson-constructed FSAs).
+EPSILON: Optional[CharClass] = None
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One arc ``src --label--> dst``; ``label is None`` means ε."""
+
+    src: int
+    dst: int
+    label: Optional[CharClass]
+
+    def is_epsilon(self) -> bool:
+        return self.label is None
+
+    def __repr__(self) -> str:
+        text = "ε" if self.label is None else self.label.pattern()
+        return f"{self.src}-[{text}]->{self.dst}"
+
+
+@dataclass
+class Fsa:
+    """A mutable NFA under construction / optimisation.
+
+    Attributes mirror the formal tuple: ``num_states`` defines
+    ``Q = {0..num_states-1}``, ``initial`` is ``q0``, ``finals`` is ``F``
+    and ``transitions`` encodes ``δ``.  ``pattern`` records the source RE
+    for diagnostics and round-trip tests.
+    """
+
+    num_states: int = 0
+    initial: int = 0
+    finals: set[int] = field(default_factory=set)
+    transitions: list[Transition] = field(default_factory=list)
+    pattern: Optional[str] = None
+
+    # -- construction ----------------------------------------------------
+
+    def add_state(self) -> int:
+        state = self.num_states
+        self.num_states += 1
+        return state
+
+    def add_transition(self, src: int, dst: int, label: Optional[CharClass]) -> None:
+        self._check_state(src)
+        self._check_state(dst)
+        if label is not None and label.is_empty():
+            raise ValueError("transition label must be a non-empty character class")
+        self.transitions.append(Transition(src, dst, label))
+
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < self.num_states:
+            raise ValueError(f"state {state} out of range (num_states={self.num_states})")
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.transitions)
+
+    def has_epsilon(self) -> bool:
+        return any(t.is_epsilon() for t in self.transitions)
+
+    def labelled_transitions(self) -> Iterator[Transition]:
+        return (t for t in self.transitions if not t.is_epsilon())
+
+    def epsilon_transitions(self) -> Iterator[Transition]:
+        return (t for t in self.transitions if t.is_epsilon())
+
+    def outgoing(self, state: int) -> list[Transition]:
+        return [t for t in self.transitions if t.src == state]
+
+    def accepts_empty(self) -> bool:
+        """True when the empty string is in the language (ε-free FSAs only
+        need the direct check; ε-NFAs need the closure)."""
+        from repro.automata.epsilon import epsilon_closure
+
+        closure = epsilon_closure(self, {self.initial})
+        return bool(closure & self.finals)
+
+    def alphabet_mask(self) -> int:
+        """Union bitmask of every labelled transition: the used alphabet Σ."""
+        mask = 0
+        for t in self.labelled_transitions():
+            mask |= t.label.mask  # type: ignore[union-attr]
+        return mask
+
+    def total_cc_length(self) -> int:
+        """Σ|CC| over transitions labelled by a non-singleton class —
+        the ``Tot. N_CC`` column of the paper's Table I."""
+        return sum(
+            len(t.label)  # type: ignore[arg-type]
+            for t in self.labelled_transitions()
+            if not t.label.is_single()  # type: ignore[union-attr]
+        )
+
+    # -- structural transforms --------------------------------------------
+
+    def renumbered(self, mapping: dict[int, int], num_states: Optional[int] = None) -> "Fsa":
+        """Return a copy with states renamed through ``mapping``.
+
+        ``mapping`` must cover every state that appears in the initial
+        state, finals, or any transition endpoint.
+        """
+        new_num = num_states if num_states is not None else (max(mapping.values()) + 1 if mapping else 0)
+        out = Fsa(num_states=new_num, initial=mapping[self.initial], pattern=self.pattern)
+        out.finals = {mapping[f] for f in self.finals}
+        out.transitions = [Transition(mapping[t.src], mapping[t.dst], t.label) for t in self.transitions]
+        return out
+
+    def trimmed(self) -> "Fsa":
+        """Drop states unreachable from the initial state (and renumber).
+
+        States that cannot reach a final state are kept: the merging
+        algorithm operates on morphology, and Thompson output never has
+        dead states anyway.
+        """
+        reachable = self.reachable_states()
+        order = sorted(reachable)
+        mapping = {old: new for new, old in enumerate(order)}
+        out = Fsa(num_states=len(order), initial=mapping[self.initial], pattern=self.pattern)
+        out.finals = {mapping[f] for f in self.finals if f in reachable}
+        out.transitions = [
+            Transition(mapping[t.src], mapping[t.dst], t.label)
+            for t in self.transitions
+            if t.src in reachable and t.dst in reachable
+        ]
+        return out
+
+    def reachable_states(self) -> set[int]:
+        adjacency: dict[int, list[int]] = {}
+        for t in self.transitions:
+            adjacency.setdefault(t.src, []).append(t.dst)
+        seen = {self.initial}
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            for nxt in adjacency.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def copy(self) -> "Fsa":
+        out = Fsa(
+            num_states=self.num_states,
+            initial=self.initial,
+            finals=set(self.finals),
+            transitions=list(self.transitions),
+            pattern=self.pattern,
+        )
+        return out
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises ``ValueError`` on violation."""
+        self._check_state(self.initial)
+        for f in self.finals:
+            self._check_state(f)
+        for t in self.transitions:
+            self._check_state(t.src)
+            self._check_state(t.dst)
+            if t.label is not None and t.label.is_empty():
+                raise ValueError(f"empty label on {t}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Fsa(states={self.num_states}, transitions={len(self.transitions)}, "
+            f"initial={self.initial}, finals={sorted(self.finals)}, pattern={self.pattern!r})"
+        )
+
+
+def isomorphic(a: Fsa, b: Fsa) -> bool:
+    """Check FSA isomorphism Ψ: a → b (exact, exponential in the worst case
+    but fine on the small automata used in tests).
+
+    Two FSAs are isomorphic when a bijection over states maps initial to
+    initial, finals to finals and transitions (with equal labels) to
+    transitions — the property the merging algorithm must preserve for
+    every per-RE projection.
+    """
+    if a.num_states != b.num_states or len(a.transitions) != len(b.transitions):
+        return False
+    if len(a.finals) != len(b.finals):
+        return False
+
+    a_out = _signature_index(a)
+    b_out = _signature_index(b)
+
+    def extend(mapping: dict[int, int], used: set[int]) -> bool:
+        if len(mapping) == a.num_states:
+            return _transition_sets_match(a, b, mapping)
+        state = next(s for s in range(a.num_states) if s not in mapping)
+        for candidate in range(b.num_states):
+            if candidate in used:
+                continue
+            if (state in a.finals) != (candidate in b.finals):
+                continue
+            if a_out[state] != b_out[candidate]:
+                continue
+            mapping[state] = candidate
+            used.add(candidate)
+            if extend(mapping, used):
+                return True
+            del mapping[state]
+            used.discard(candidate)
+        return False
+
+    return extend({a.initial: b.initial}, {b.initial})
+
+
+def _signature_index(fsa: Fsa) -> list[tuple[int, int]]:
+    out_deg = [0] * fsa.num_states
+    in_deg = [0] * fsa.num_states
+    for t in fsa.transitions:
+        out_deg[t.src] += 1
+        in_deg[t.dst] += 1
+    return list(zip(out_deg, in_deg))
+
+
+def _transition_sets_match(a: Fsa, b: Fsa, mapping: dict[int, int]) -> bool:
+    mapped = {(mapping[t.src], mapping[t.dst], None if t.label is None else t.label.mask) for t in a.transitions}
+    actual = {(t.src, t.dst, None if t.label is None else t.label.mask) for t in b.transitions}
+    return mapped == actual
+
+
+def concat_state_count(fsas: Iterable[Fsa]) -> tuple[int, int]:
+    """Total (states, transitions) over a collection — Table I helper."""
+    states = 0
+    transitions = 0
+    for fsa in fsas:
+        states += fsa.num_states
+        transitions += fsa.num_transitions
+    return states, transitions

@@ -1,0 +1,147 @@
+"""Glushkov (position-automaton) construction: AST → ε-free NFA.
+
+The McNaughton–Yamada/Glushkov construction [37, 45] builds, for an RE
+with n symbol occurrences (positions), an automaton with exactly n+1
+states and no ε-arcs, where every incoming arc of a position carries
+that position's character class — i.e. the automaton is *homogeneous*,
+the shape ANML natively expresses (see :mod:`repro.anml.homogenize`).
+
+Provided as an alternative to Thompson construction (+ ε-removal): the
+pipeline's ``construction="glushkov"`` option swaps it in, and the
+construction ablation bench compares the two on automaton size and
+merging effectiveness.  Finite repetition bounds are expanded through
+:func:`repro.automata.loops.expand_loops` first, mirroring the paper's
+loop-expansion pass.
+
+Implementation: the classic nullable/first/last/follow recursion over
+the AST, with positions numbered left to right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.fsa import Fsa
+from repro.automata.loops import expand_loops
+from repro.frontend.ast import Alternation, AstNode, Concat, Empty, Literal, Repeat
+from repro.labels import CharClass
+
+
+@dataclass
+class _Facts:
+    """Glushkov attributes of one subtree."""
+
+    nullable: bool
+    first: list[int]
+    last: list[int]
+
+
+@dataclass
+class _Builder:
+    labels: list[CharClass] = field(default_factory=list)  # per position
+    follow: list[set[int]] = field(default_factory=list)
+
+    def new_position(self, charclass: CharClass) -> int:
+        self.labels.append(charclass)
+        self.follow.append(set())
+        return len(self.labels) - 1
+
+    def analyse(self, node: AstNode) -> _Facts:
+        if isinstance(node, Empty):
+            return _Facts(nullable=True, first=[], last=[])
+        if isinstance(node, Literal):
+            position = self.new_position(node.charclass)
+            return _Facts(nullable=False, first=[position], last=[position])
+        if isinstance(node, Concat):
+            return self._concat(node)
+        if isinstance(node, Alternation):
+            facts = [self.analyse(branch) for branch in node.branches]
+            return _Facts(
+                nullable=any(f.nullable for f in facts),
+                first=[p for f in facts for p in f.first],
+                last=[p for f in facts for p in f.last],
+            )
+        if isinstance(node, Repeat):
+            return self._repeat(node)
+        raise TypeError(f"unknown AST node: {node!r}")
+
+    def _concat(self, node: Concat) -> _Facts:
+        facts = [self.analyse(part) for part in node.parts]
+        # follow: last(prefix block) -> first(next part), where the prefix
+        # block extends left through nullable parts.
+        for index in range(1, len(facts)):
+            first_here = facts[index].first
+            back = index - 1
+            while back >= 0:
+                for p in facts[back].last:
+                    self.follow[p].update(first_here)
+                if not facts[back].nullable:
+                    break
+                back -= 1
+
+        nullable = all(f.nullable for f in facts)
+        first: list[int] = []
+        for f in facts:
+            first.extend(f.first)
+            if not f.nullable:
+                break
+        last: list[int] = []
+        for f in reversed(facts):
+            last.extend(f.last)
+            if not f.nullable:
+                break
+        return _Facts(nullable=nullable, first=first, last=last)
+
+    def _repeat(self, node: Repeat) -> _Facts:
+        low, high = node.low, node.high
+        if (low, high) == (0, 1):
+            inner = self.analyse(node.body)
+            return _Facts(nullable=True, first=inner.first, last=inner.last)
+        if high is None and low in (0, 1):
+            inner = self.analyse(node.body)
+            for p in inner.last:
+                self.follow[p].update(inner.first)
+            return _Facts(nullable=inner.nullable or low == 0,
+                          first=inner.first, last=inner.last)
+        raise ValueError(
+            "finite repetition bounds must be expanded before Glushkov "
+            "construction (run repro.automata.loops.expand_loops)"
+        )
+
+
+def glushkov_construct(node: AstNode, pattern: str | None = None) -> Fsa:
+    """Build the position automaton for ``node`` (see module docstring).
+
+    Finite ``{m,n}`` bounds are expanded automatically; the result has
+    one state per symbol position plus the start state, and no ε-arcs.
+    """
+    node = expand_loops(node)
+    builder = _Builder()
+    facts = builder.analyse(node)
+
+    fsa = Fsa(pattern=pattern)
+    start = fsa.add_state()
+    fsa.initial = start
+    state_of = [fsa.add_state() for _ in builder.labels]
+
+    for position in facts.first:
+        fsa.add_transition(start, state_of[position], builder.labels[position])
+    for source, successors in enumerate(builder.follow):
+        for position in successors:
+            fsa.add_transition(state_of[source], state_of[position], builder.labels[position])
+
+    fsa.finals = {state_of[p] for p in facts.last}
+    if facts.nullable:
+        fsa.finals.add(start)
+    return fsa.trimmed()
+
+
+def is_homogeneous(fsa: Fsa) -> bool:
+    """True when every state's incoming arcs share one label — the
+    Glushkov invariant (and ANML's element shape)."""
+    incoming: dict[int, int] = {}
+    for t in fsa.labelled_transitions():
+        mask = t.label.mask  # type: ignore[union-attr]
+        if incoming.setdefault(t.dst, mask) != mask:
+            return False
+    return True

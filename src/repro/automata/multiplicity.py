@@ -1,0 +1,51 @@
+"""Multiplicity simplification (paper §IV-C, pass 3 — Fig. 5b).
+
+The *multiplicity* of a state pair ``(q1, q2)`` is the number of parallel
+arcs between them.  Merging individual parallel single-character arcs
+across automata can create incorrect MFSAs (Fig. 5b: sharing only the
+``k`` arc of ``(k|h)`` with another RE's ``k`` lets the MFSA accept
+``hfd``).  The pass therefore fuses all parallel arcs between a state pair
+into a single character-class arc, whose label is the union of the
+individual labels.  Labels then merge only when *identical as sets*,
+which is exactly the paper's CC-comparison rule.
+
+The rewrite is trivially language-preserving:
+``q1 -a-> q2`` and ``q1 -b-> q2``  ≡  ``q1 -[ab]-> q2``.
+"""
+
+from __future__ import annotations
+
+from repro.automata.fsa import Fsa, Transition
+from repro.labels import CharClass
+
+
+def simplify_multiplicity(fsa: Fsa) -> Fsa:
+    """Fuse parallel arcs between each state pair into one CC arc.
+
+    ε-arcs must already be removed.  Transition order follows the first
+    occurrence of each state pair in the input, keeping the pass stable.
+    """
+    if fsa.has_epsilon():
+        raise ValueError("simplify_multiplicity requires an ε-free FSA")
+
+    fused: dict[tuple[int, int], int] = {}
+    order: list[tuple[int, int]] = []
+    for t in fsa.transitions:
+        key = (t.src, t.dst)
+        if key not in fused:
+            fused[key] = 0
+            order.append(key)
+        fused[key] |= t.label.mask  # type: ignore[union-attr]
+
+    out = Fsa(num_states=fsa.num_states, initial=fsa.initial, finals=set(fsa.finals), pattern=fsa.pattern)
+    out.transitions = [Transition(src, dst, CharClass(fused[(src, dst)])) for src, dst in order]
+    return out
+
+
+def multiplicity(fsa: Fsa) -> dict[tuple[int, int], int]:
+    """Arc count per state pair — diagnostic used by tests and benches."""
+    counts: dict[tuple[int, int], int] = {}
+    for t in fsa.transitions:
+        key = (t.src, t.dst)
+        counts[key] = counts.get(key, 0) + 1
+    return counts

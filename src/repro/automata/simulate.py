@@ -1,0 +1,94 @@
+"""Reference NFA simulation — the semantic oracle for the engines.
+
+Two match notions are provided:
+
+* :func:`accepts` — whole-string (language membership) acceptance, used to
+  test construction passes against Python's ``re`` and hand-built cases.
+* :func:`find_match_ends` / :func:`simulate_stream` — streaming substring
+  matching: a match is reported at offset ``e`` when some substring ending
+  at ``e`` (starting anywhere) is in the language.  This is the semantics
+  of iNFAnt/iMFAnt and of DPI engines generally, and the baseline the
+  engines in :mod:`repro.engine` must agree with exactly.
+
+The implementation is deliberately simple set-of-states simulation —
+clarity over speed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.automata.epsilon import epsilon_closure
+from repro.automata.fsa import Fsa
+
+
+def _indexed_delta(fsa: Fsa) -> dict[int, list[tuple[int, int]]]:
+    """state -> [(label_mask, dst)] for labelled arcs."""
+    delta: dict[int, list[tuple[int, int]]] = {}
+    for t in fsa.labelled_transitions():
+        delta.setdefault(t.src, []).append((t.label.mask, t.dst))  # type: ignore[union-attr]
+    return delta
+
+
+def _as_bytes(data: bytes | str) -> bytes:
+    return data.encode("latin-1") if isinstance(data, str) else data
+
+
+def accepts(fsa: Fsa, data: bytes | str) -> bool:
+    """Whole-string acceptance (handles ε-arcs if present)."""
+    payload = _as_bytes(data)
+    current = epsilon_closure(fsa, {fsa.initial})
+    delta = _indexed_delta(fsa)
+    for byte in payload:
+        moved: set[int] = set()
+        bit = 1 << byte
+        for state in current:
+            for mask, dst in delta.get(state, ()):
+                if mask & bit:
+                    moved.add(dst)
+        if not moved:
+            return False
+        current = epsilon_closure(fsa, moved)
+    return bool(current & fsa.finals)
+
+
+def find_match_ends(fsa: Fsa, data: bytes | str) -> set[int]:
+    """Offsets ``e`` (1-based, i.e. number of consumed bytes) at which some
+    substring ending there matches; streaming semantics.
+
+    If the FSA accepts the empty string every offset 0..len matches and a
+    full range is returned.
+    """
+    payload = _as_bytes(data)
+    if fsa.accepts_empty():
+        return set(range(len(payload) + 1))
+
+    delta = _indexed_delta(fsa)
+    initial_closure = frozenset(epsilon_closure(fsa, {fsa.initial}))
+    has_eps = fsa.has_epsilon()
+
+    matches: set[int] = set()
+    current: set[int] = set()
+    for position, byte in enumerate(payload, start=1):
+        bit = 1 << byte
+        moved: set[int] = set()
+        for state in current | initial_closure:
+            for mask, dst in delta.get(state, ()):
+                if mask & bit:
+                    moved.add(dst)
+        current = epsilon_closure(fsa, moved) if has_eps else moved
+        if current & fsa.finals:
+            matches.add(position)
+    return matches
+
+
+def simulate_stream(fsas: Iterable[tuple[int, Fsa]], data: bytes | str) -> set[tuple[int, int]]:
+    """Run several (rule_id, FSA) pairs over the stream; returns the set of
+    ``(rule_id, end_offset)`` matches — the report format shared with the
+    engines and compared in integration tests.
+    """
+    results: set[tuple[int, int]] = set()
+    for rule_id, fsa in fsas:
+        for end in find_match_ends(fsa, data):
+            results.add((rule_id, end))
+    return results

@@ -1,0 +1,77 @@
+"""Suffix state merging: collapse language-equivalent tail states.
+
+Thompson construction followed by ε-removal leaves many states with
+*identical futures* — e.g. in ``(k|h)bc`` the two branch states reached
+by ``k`` and ``h`` both lead into the same ``bc`` tail.  Collapsing them
+yields the compact automata the paper's examples show (Fig. 5b draws
+``(k|h)bc`` with a single post-branch state) and is what makes parallel
+single-character arcs (multiplicity > 1) appear between one state pair,
+so the multiplicity-simplification pass has something to fuse.
+
+The pass iteratively merges states with equal signature
+``(is_final, {(label, destination)})`` — a backward-bisimulation
+collapse, safe for NFAs (bisimilar states accept the same suffix
+language) and run to a fixpoint.  The initial state participates like
+any other state.
+"""
+
+from __future__ import annotations
+
+from repro.automata.fsa import Fsa, Transition
+
+
+def merge_suffix_states(fsa: Fsa, max_rounds: int | None = None) -> Fsa:
+    """Collapse states with identical finality and outgoing arc sets.
+
+    Returns a new, densely renumbered FSA; iterates until no two states
+    share a signature (or ``max_rounds`` is hit).
+    """
+    if fsa.has_epsilon():
+        raise ValueError("merge_suffix_states requires an ε-free FSA")
+
+    current = fsa
+    rounds = 0
+    while True:
+        mapping = _merge_round(current)
+        if mapping is None:
+            return current
+        current = _apply_merge(current, mapping)
+        rounds += 1
+        if max_rounds is not None and rounds >= max_rounds:
+            return current
+
+
+def _merge_round(fsa: Fsa) -> dict[int, int] | None:
+    """One merge round: state → representative, or None at fixpoint."""
+    outgoing: dict[int, set[tuple[int, int]]] = {s: set() for s in range(fsa.num_states)}
+    for t in fsa.transitions:
+        outgoing[t.src].add((t.label.mask, t.dst))  # type: ignore[union-attr]
+
+    representative: dict[tuple, int] = {}
+    mapping: dict[int, int] = {}
+    merged_any = False
+    for state in range(fsa.num_states):
+        signature = (state in fsa.finals, frozenset(outgoing[state]))
+        if signature in representative:
+            mapping[state] = representative[signature]
+            merged_any = True
+        else:
+            representative[signature] = state
+            mapping[state] = state
+    return mapping if merged_any else None
+
+
+def _apply_merge(fsa: Fsa, mapping: dict[int, int]) -> Fsa:
+    kept = sorted(set(mapping.values()))
+    dense = {old: new for new, old in enumerate(kept)}
+    rename = {state: dense[mapping[state]] for state in range(fsa.num_states)}
+
+    out = Fsa(num_states=len(kept), initial=rename[fsa.initial], pattern=fsa.pattern)
+    out.finals = {rename[f] for f in fsa.finals}
+    seen: set[tuple[int, int, int]] = set()
+    for t in fsa.transitions:
+        key = (rename[t.src], rename[t.dst], t.label.mask)  # type: ignore[union-attr]
+        if key not in seen:
+            seen.add(key)
+            out.transitions.append(Transition(key[0], key[1], t.label))
+    return out

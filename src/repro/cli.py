@@ -1,0 +1,300 @@
+"""Command-line entry points.
+
+* ``repro-compile`` — compile a ruleset file (one ERE per line) into
+  extended-ANML MFSAs, mirroring the paper artifact's compiler driver.
+* ``repro-match`` — run iMFAnt over an input stream with compiled MFSAs
+  (or compile on the fly), mirroring ``multithreaded_imfant``.
+* ``repro-report`` — regenerate the paper's tables/figures as text
+  (the per-figure benchmarks with one command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.anml.reader import read_anml
+from repro.engine.imfant import IMfantEngine
+from repro.engine.multithread import run_pool
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+from repro.reporting import tables
+from repro.reporting.experiments import (
+    ExperimentConfig,
+    experiment_active_sets,
+    experiment_compilation_time,
+    experiment_compression,
+    experiment_dataset_stats,
+    experiment_scaling,
+    experiment_similarity,
+    experiment_throughput,
+    scaling_summary,
+)
+
+
+def _read_patterns(path: Path) -> list[str]:
+    patterns = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            patterns.append(line)
+    if not patterns:
+        raise SystemExit(f"no patterns found in {path}")
+    return patterns
+
+
+def compile_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-compile``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-compile",
+        description="Compile a ruleset of POSIX EREs into extended-ANML MFSAs.",
+    )
+    parser.add_argument("ruleset", type=Path, help="file with one ERE per line ('#' comments)")
+    parser.add_argument("-m", "--merging-factor", type=int, default=0,
+                        help="group size M; 0 merges the whole ruleset (default)")
+    parser.add_argument("-o", "--output-dir", type=Path, default=Path("mfsa_out"),
+                        help="directory for the .anml files")
+    parser.add_argument("--stratify", action="store_true",
+                        help="enable partial character-class merging")
+    args = parser.parse_args(argv)
+
+    patterns = _read_patterns(args.ruleset)
+    options = CompileOptions(merging_factor=args.merging_factor,
+                             stratify_charclasses=args.stratify)
+    result = compile_ruleset(patterns, options)
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    assert result.anml is not None
+    for index, document in enumerate(result.anml):
+        (args.output_dir / f"mfsa{index}.anml").write_text(document)
+
+    report = result.merge_report
+    print(f"compiled {len(patterns)} REs into {len(result.mfsas)} MFSA(s)")
+    print(f"states: {report.input_states} -> {report.output_states} "
+          f"({report.state_compression:.2f}% compression)")
+    print(f"transitions: {report.input_transitions} -> {report.output_transitions} "
+          f"({report.transition_compression:.2f}% compression)")
+    print("stage times (s): " + ", ".join(
+        f"{name}={seconds:.4f}" for name, seconds in result.stage_times.as_dict().items()))
+    print(f"wrote {len(result.anml)} file(s) to {args.output_dir}/")
+    return 0
+
+
+def match_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-match``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-match",
+        description="Match an input stream against MFSAs with the iMFAnt engine.",
+    )
+    parser.add_argument("stream", type=Path, help="input stream file (binary)")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--mfsa-dir", type=Path, help="directory of .anml MFSAs")
+    source.add_argument("--ruleset", type=Path, help="compile this ruleset on the fly")
+    parser.add_argument("-m", "--merging-factor", type=int, default=0,
+                        help="merging factor when compiling on the fly")
+    parser.add_argument("-t", "--threads", type=int, default=1,
+                        help="thread-pool size for multi-MFSA execution")
+    parser.add_argument("--backend", choices=("python", "numpy"), default="python")
+    parser.add_argument("--single-match", action="store_true",
+                        help="report each rule's first match only (early exit)")
+    parser.add_argument("--show-matches", type=int, default=10, metavar="N",
+                        help="print the first N matches (0 = none)")
+    args = parser.parse_args(argv)
+
+    if args.mfsa_dir is not None:
+        files = sorted(args.mfsa_dir.glob("*.anml"))
+        if not files:
+            raise SystemExit(f"no .anml files in {args.mfsa_dir}")
+        mfsas = [read_anml(path.read_text()) for path in files]
+    else:
+        patterns = _read_patterns(args.ruleset)
+        result = compile_ruleset(patterns, CompileOptions(merging_factor=args.merging_factor,
+                                                          emit_anml=False))
+        mfsas = result.mfsas
+
+    data = args.stream.read_bytes()
+    engines = [
+        IMfantEngine(mfsa, backend=args.backend, single_match=args.single_match)
+        for mfsa in mfsas
+    ]
+    started = time.perf_counter()
+    matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
+    elapsed = time.perf_counter() - started
+
+    print(f"matched {len(data)} bytes against {len(mfsas)} MFSA(s) "
+          f"({sum(len(m.initials) for m in mfsas)} rules) on {args.threads} thread(s)")
+    print(f"matches: {len(matches)}   time: {elapsed:.4f}s   "
+          f"transitions examined: {stats.transitions_examined}")
+    for rule, end in sorted(matches)[: args.show_matches]:
+        print(f"  rule {rule} matched ending at offset {end}")
+    return 0
+
+
+def viz_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-viz``: render a ruleset's automata as DOT."""
+    parser = argparse.ArgumentParser(
+        prog="repro-viz",
+        description="Render a ruleset's FSAs/MFSA as Graphviz DOT files.",
+    )
+    parser.add_argument("ruleset", type=Path, help="file with one ERE per line")
+    parser.add_argument("-m", "--merging-factor", type=int, default=0)
+    parser.add_argument("-o", "--output-dir", type=Path, default=Path("dot_out"))
+    parser.add_argument("--per-rule", action="store_true",
+                        help="also render each rule's optimised FSA")
+    args = parser.parse_args(argv)
+
+    from repro.viz import fsa_to_dot, mfsa_to_dot
+
+    patterns = _read_patterns(args.ruleset)
+    result = compile_ruleset(patterns, CompileOptions(merging_factor=args.merging_factor,
+                                                      emit_anml=False))
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for index, mfsa in enumerate(result.mfsas):
+        (args.output_dir / f"mfsa{index}.dot").write_text(mfsa_to_dot(mfsa, f"mfsa{index}"))
+        written += 1
+    if args.per_rule:
+        for rule_id, fsa in enumerate(result.fsas):
+            (args.output_dir / f"rule{rule_id}.dot").write_text(
+                fsa_to_dot(fsa, f"rule{rule_id}"))
+            written += 1
+    print(f"wrote {written} DOT file(s) to {args.output_dir}/ "
+          f"(render with: dot -Tsvg {args.output_dir}/mfsa0.dot)")
+    return 0
+
+
+def report_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-report``: regenerate tables/figures as text."""
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Regenerate the paper's evaluation tables/figures.",
+    )
+    parser.add_argument("what", choices=("fig1", "table1", "fig7", "fig8", "fig9", "fig10", "table2", "all"))
+    parser.add_argument("--scale", type=int, default=6,
+                        help="dataset size divisor (1 = paper-scale; default 6)")
+    parser.add_argument("--stream-size", type=int, default=4096,
+                        help="input stream bytes (paper: 1 MB)")
+    parser.add_argument("--export", type=Path, metavar="DIR", default=None,
+                        help="additionally write raw CSV series to DIR")
+    parser.add_argument("--datasets", type=str, default=None, metavar="ABBRS",
+                        help="comma-separated suite subset, e.g. BRO,TCP")
+    args = parser.parse_args(argv)
+    if args.datasets:
+        from repro.datasets import DATASET_PROFILES
+
+        wanted_suites = tuple(s.strip().upper() for s in args.datasets.split(","))
+        unknown = [s for s in wanted_suites if s not in DATASET_PROFILES]
+        if unknown:
+            raise SystemExit(f"unknown dataset(s): {', '.join(unknown)}")
+        config = ExperimentConfig(scale=args.scale, stream_size=args.stream_size,
+                                  datasets=wanted_suites)
+    else:
+        config = ExperimentConfig(scale=args.scale, stream_size=args.stream_size)
+
+    wanted = [args.what] if args.what != "all" else [
+        "fig1", "table1", "fig7", "fig8", "fig9", "fig10", "table2"]
+    for item in wanted:
+        _REPORTS[item](config)
+        print()
+    if args.export is not None:
+        from repro.reporting.export import export_all
+
+        written = export_all(config, args.export)
+        print(f"wrote {len(written)} raw-result files to {args.export}/")
+    return 0
+
+
+def _report_fig1(config: ExperimentConfig) -> None:
+    from repro.reporting.plots import bar_chart
+
+    sims = experiment_similarity(config)
+    print(bar_chart(sims, title="Fig. 1 — normalised INDEL similarity"))
+
+
+def _report_table1(config: ExperimentConfig) -> None:
+    stats = experiment_dataset_stats(config)
+    rows = [
+        (abbr, int(s["num_res"]), int(s["total_states"]), int(s["total_transitions"]),
+         int(s["total_cc_length"]), s["avg_states"], s["avg_transitions"])
+        for abbr, s in stats.items()
+    ]
+    print(tables.format_table(
+        ("Dataset", "#REs", "Tot Q", "Tot T", "Tot CC", "Avg Q", "Avg T"), rows,
+        title="Table I — dataset characteristics"))
+
+
+def _report_fig7(config: ExperimentConfig) -> None:
+    data = experiment_compression(config)
+    for abbr, per_m in data.items():
+        rows = [(_m_label(m), f"{s:.2f}", f"{t:.2f}") for m, (s, t) in per_m.items()]
+        print(tables.format_table(("M", "states %", "transitions %"), rows,
+                                  title=f"Fig. 7 — compression ({abbr})"))
+
+
+def _report_fig8(config: ExperimentConfig) -> None:
+    data = experiment_compilation_time(config)
+    for abbr, per_m in data.items():
+        rows = [
+            (_m_label(m), *(f"{stage_times[s]*1000:.2f}" for s in ("FE", "AST to FSA", "ME-single", "ME-merging", "BE")))
+            for m, stage_times in per_m.items()
+        ]
+        print(tables.format_table(("M", "FE ms", "AST>FSA ms", "ME-single ms", "ME-merge ms", "BE ms"),
+                                  rows, title=f"Fig. 8 — compilation stages ({abbr})"))
+
+
+def _report_fig9(config: ExperimentConfig) -> None:
+    data = experiment_throughput(config)
+    for abbr, per_m in data.items():
+        rows = [(_m_label(m), f"{row['work']:.0f}", f"{row['improvement']:.2f}x")
+                for m, row in per_m.items()]
+        print(tables.format_table(("M", "exec work", "throughput vs M=1"), rows,
+                                  title=f"Fig. 9 — single-thread execution ({abbr})"))
+
+
+def _report_fig10(config: ExperimentConfig) -> None:
+    from repro.reporting.plots import line_chart
+
+    data = experiment_scaling(config)
+    for abbr, per_m in data.items():
+        headers = ("M", *(f"T={t}" for t in config.threads))
+        rows = [(_m_label(m), *(f"{series[t]:.0f}" for t in config.threads))
+                for m, series in per_m.items()]
+        summary = scaling_summary(per_m)
+        print(tables.format_table(headers, rows, title=f"Fig. 10 — thread scaling ({abbr})"))
+        series = {
+            f"M={_m_label(m)}": [(math.log2(t), latency) for t, latency in sorted(per_m[m].items())]
+            for m in per_m
+        }
+        print(line_chart(series, title=f"  latency vs log2(threads), log scale ({abbr})",
+                         log_y=True))
+        print(f"  best M>1 vs best M=1 speedup: {summary['speedup']:.2f}x; "
+              f"threads for MFSA to match best single-FSA: "
+              f"{summary['mfsa_threads_to_match_single']}")
+
+
+def _report_table2(config: ExperimentConfig) -> None:
+    data = experiment_active_sets(config)
+    rows = [(abbr, f"{s['avg_active']:.2f}", int(s["max_active"])) for abbr, s in data.items()]
+    print(tables.format_table(("Dataset", "Avg active", "Max active"), rows,
+                              title="Table II — active sets during traversal (M=all)"))
+
+
+def _m_label(m: int) -> str:
+    return "all" if m == 0 else str(m)
+
+
+_REPORTS = {
+    "fig1": _report_fig1,
+    "table1": _report_table1,
+    "fig7": _report_fig7,
+    "fig8": _report_fig8,
+    "fig9": _report_fig9,
+    "fig10": _report_fig10,
+    "table2": _report_table2,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(report_main())

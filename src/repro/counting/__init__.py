@@ -1,0 +1,43 @@
+"""Counting automata: bounded repetition without loop expansion.
+
+The paper's pipeline *expands* bounded quantifiers (§IV-C, Fig. 5a),
+which maximises merging but grows the automaton linearly in the bound —
+`[^\\n]{1000}` becomes a thousand states, and the expansion budget in
+:mod:`repro.automata.loops` refuses far earlier.  The related work the
+paper cites ([12], Turoňová et al.'s counting-set automata) keeps such
+loops *compressed* with a counter and matches them in O(1) amortised
+work per byte.
+
+This package implements that comparator for the common DPI shape —
+bounded repeats of a single character class:
+
+* :mod:`repro.counting.model` — NFA extended with counting transitions;
+* :mod:`repro.counting.build` — Thompson-like construction that keeps
+  width-1 bounded repeats as counting loops (everything else builds as
+  usual) plus the mixed-arc ε-removal;
+* :mod:`repro.counting.engine` — the counting-set streaming engine:
+  per-counter deques of entry offsets, so counts increment implicitly
+  with the stream position.
+
+The counting ablation bench quantifies the trade-off against the
+expansion pipeline across bound sizes.
+"""
+
+from repro.counting.build import build_counting_fsa
+from repro.counting.engine import CountingSetEngine
+from repro.counting.merge import CountingMergeReport, merge_counting_fsas
+from repro.counting.mfsa import CMTransition, CountingMfsa
+from repro.counting.mfsa_engine import CountingMfsaEngine
+from repro.counting.model import CountingFsa, CountingTransition
+
+__all__ = [
+    "CountingFsa",
+    "CountingTransition",
+    "CountingSetEngine",
+    "build_counting_fsa",
+    "CMTransition",
+    "CountingMfsa",
+    "CountingMfsaEngine",
+    "CountingMergeReport",
+    "merge_counting_fsas",
+]

@@ -1,0 +1,106 @@
+"""The counting-set streaming engine.
+
+Executes a :class:`repro.counting.model.CountingFsa` with Turoňová-style
+counting sets: each counting arc keeps a deque of *entry offsets*, so a
+path's count is ``position - entry_offset`` and increments implicitly as
+the stream advances.  Per input byte the work per counter is O(1)
+amortised: stale entries (count > high) pop from the left, one new entry
+may push on the right, and the arc's exit state activates iff the oldest
+surviving entry has count ≥ low.
+
+Unbounded counters (``high is None``) *saturate*: once the oldest entry
+reaches the lower bound the exit stays continuously available while
+matching bytes keep arriving, so the deque collapses into one flag.
+
+Matches are ``(rule_id, end_offset)`` pairs, identical to every other
+engine; equivalence with the expansion pipeline is property-tested.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.counting.model import CountingFsa
+from repro.engine.counters import RunResult
+from repro.labels import ALPHABET_SIZE
+
+
+class CountingSetEngine:
+    """Streaming matcher over one counting NFA."""
+
+    def __init__(self, cfsa: CountingFsa, rule_id: int = 0) -> None:
+        cfsa.validate()
+        self.cfsa = cfsa
+        self.rule_id = rule_id
+        # Per symbol: plain (src, dst) pairs and relevant counting-arc ids.
+        self._plain_by_symbol: list[list[tuple[int, int]]] = [[] for _ in range(ALPHABET_SIZE)]
+        for src, dst, label in cfsa.plain:
+            pair = (src, dst)
+            for byte in label.chars():
+                self._plain_by_symbol[byte].append(pair)
+        self._counter_masks = [arc.label.mask for arc in cfsa.counting]
+
+    def run(self, data: bytes | str, collect_stats: bool = True) -> RunResult:
+        payload = data.encode("latin-1") if isinstance(data, str) else data
+        cfsa = self.cfsa
+        plain_by_symbol = self._plain_by_symbol
+        counting = cfsa.counting
+        counter_masks = self._counter_masks
+        finals = cfsa.finals
+        initial = cfsa.initial
+
+        result = RunResult()
+        stats = result.stats
+        matches = result.matches
+        if cfsa.accepts_empty():
+            matches.update((self.rule_id, end) for end in range(len(payload) + 1))
+
+        started = time.perf_counter()
+        active: set[int] = set()
+        entries: list[deque[int]] = [deque() for _ in counting]
+        saturated = [False] * len(counting)
+        for position, byte in enumerate(payload, start=1):
+            bit = 1 << byte
+            enabled = plain_by_symbol[byte]
+            nxt: set[int] = set()
+            for src, dst in enabled:
+                if src == initial or src in active:
+                    nxt.add(dst)
+
+            for index, arc in enumerate(counting):
+                queue = entries[index]
+                if not (counter_masks[index] & bit):
+                    if queue:
+                        queue.clear()
+                    saturated[index] = False
+                    continue
+                # stale entries (count exceeds the upper bound) expire
+                if arc.high is not None:
+                    while queue and position - queue[0] > arc.high:
+                        queue.popleft()
+                elif queue and position - queue[0] >= arc.low:
+                    # unbounded counter saturates: exit available forever
+                    saturated[index] = True
+                    queue.clear()
+                # a path at the arc's source enters with count 1
+                if arc.src == initial or arc.src in active:
+                    queue.append(position - 1)
+                # exit: some surviving entry has count within the bounds
+                if saturated[index] or (queue and position - queue[0] >= arc.low):
+                    nxt.add(arc.dst)
+
+            active = nxt
+            if active & finals:
+                matches.add((self.rule_id, position))
+            if collect_stats:
+                stats.transitions_examined += len(enabled) + len(counting)
+                live = len(active) + sum(len(q) for q in entries) + sum(saturated)
+                stats.active_pair_total += live
+                if live > stats.max_state_activation:
+                    stats.max_state_activation = live
+
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = len(payload)
+        stats.match_count = len(matches)
+        return result

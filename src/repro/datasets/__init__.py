@@ -1,0 +1,32 @@
+"""Dataset substrate: synthetic stand-ins for the paper's six rulesets.
+
+The paper evaluates on Bro217, Dotstar09, PowerEN, Protomata, Ranges1 and
+TCP-ExactMatch (ANMLZoo + Becchi et al.).  Those rulesets are not
+redistributable here, so :mod:`repro.datasets.synthetic` generates seeded
+synthetic suites whose *structural properties* — RE count, automaton
+size, character-class density, dot-star usage and (crucially) the
+morphological similarity the merging exploits — mimic each original's
+published profile (Table I / Fig. 1).  See DESIGN.md §3, substitution 1.
+"""
+
+from repro.datasets.profiles import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    get_profile,
+)
+from repro.datasets.synthetic import Ruleset, generate_ruleset
+from repro.datasets.streams import generate_adversarial_stream, generate_stream
+from repro.datasets.builtin_loader import BuiltinRuleset, list_builtin, load_builtin
+
+__all__ = [
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "get_profile",
+    "Ruleset",
+    "generate_ruleset",
+    "generate_stream",
+    "generate_adversarial_stream",
+    "BuiltinRuleset",
+    "list_builtin",
+    "load_builtin",
+]

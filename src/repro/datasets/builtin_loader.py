@@ -1,0 +1,59 @@
+"""Loader for the curated builtin rulesets shipped with the package.
+
+The paper's evaluation suites are not redistributable, so besides the
+*synthetic generators* (:mod:`repro.datasets.synthetic`) the package
+ships a handful of small hand-written rulesets with the same flavours —
+original material, usable as realistic demo/test inputs::
+
+    from repro.datasets import load_builtin, list_builtin
+
+    ruleset = load_builtin("http_signatures")
+    result = compile_ruleset(ruleset.patterns)
+
+Files live in ``repro/datasets/builtin/*.rules`` (one ERE per line,
+``#`` comments) and every pattern is guaranteed to pass the front-end
+(tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import resources
+
+_PACKAGE = "repro.datasets.builtin"
+
+
+@dataclass(frozen=True)
+class BuiltinRuleset:
+    """A curated ruleset: its name and patterns."""
+
+    name: str
+    patterns: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+
+def list_builtin() -> list[str]:
+    """Names of the available curated rulesets."""
+    names = []
+    for entry in resources.files(_PACKAGE).iterdir():
+        if entry.name.endswith(".rules"):
+            names.append(entry.name[: -len(".rules")])
+    return sorted(names)
+
+
+def load_builtin(name: str) -> BuiltinRuleset:
+    """Load one curated ruleset by name (see :func:`list_builtin`)."""
+    resource = resources.files(_PACKAGE) / f"{name}.rules"
+    try:
+        text = resource.read_text()
+    except FileNotFoundError:
+        known = ", ".join(list_builtin())
+        raise KeyError(f"unknown builtin ruleset {name!r}; known: {known}") from None
+    patterns = tuple(
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+    return BuiltinRuleset(name=name, patterns=patterns)

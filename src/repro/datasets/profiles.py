@@ -1,0 +1,196 @@
+"""Profiles of the six evaluation rulesets (paper Table I).
+
+Each :class:`DatasetProfile` parameterises the synthetic generator so the
+resulting suite mimics the original's published characteristics:
+
+====== ======================== ============ ============= ==============
+Abbr.  Original                 #REs         Avg states    Character
+====== ======================== ============ ============= ==============
+BRO    Bro217 (Becchi et al.)   217          ~13           literal HTTP-ish strings, some classes
+DS9    Dotstar09                299          ~43           heavy ``.*`` infixes, long patterns
+PEN    PowerEN                  300          ~16           moderate classes, medium length
+PRO    Protomata                300          ~12           wide classes, high inter-RE similarity
+RG1    Ranges1                  299          ~43           many bracket ranges, long patterns
+TCP    TCP-ExactMatch           300          ~30           near-exact strings, highest literal share
+====== ======================== ============ ============= ==============
+
+Similarity targets follow Fig. 1 (average normalised INDEL ≈ 0.25–0.5,
+PRO highest); active-set behaviour follows Table II (DS9/PRO large,
+TCP/RG1 tiny), driven here by the dot-star and wide-class rates.
+
+``scaled()`` produces reduced-size variants: the pure-Python engines are
+~10³× slower than the paper's C++, so benchmarks default to suites of
+``num_res // scale`` REs (the shape of every figure is preserved — the
+compression and throughput trends depend on ratios, not absolute sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Generator parameters for one synthetic suite."""
+
+    name: str
+    abbr: str
+    num_res: int
+    #: base alphabet the literals are drawn from
+    alphabet: str
+    #: number of distinct shared motifs in the pool
+    motif_pool: int
+    #: motif length range (inclusive)
+    motif_len: tuple[int, int]
+    #: segments concatenated per RE
+    segments_per_re: tuple[int, int]
+    #: probability a segment comes from the shared pool (similarity dial)
+    share_prob: float
+    #: probability a literal character is widened into a character class
+    cc_prob: float
+    #: width range of generated character classes
+    cc_width: tuple[int, int]
+    #: probability of inserting ``.*`` between two segments
+    dotstar_prob: float
+    #: probability of wrapping a segment into an alternation with a variant
+    alt_prob: float
+    #: probability of appending a bounded repeat to a segment
+    rep_prob: float
+    #: probability of a trailing ``+`` on a segment's last literal
+    plus_prob: float
+    #: generator seed (deterministic suites)
+    seed: int
+
+    def scaled(self, scale: int) -> "DatasetProfile":
+        """A reduced-size variant with ``num_res // scale`` REs (≥ 8).
+
+        The motif pool shrinks proportionally so the *similarity level* —
+        the property merging exploits — is preserved.
+        """
+        if scale <= 1:
+            return self
+        return replace(
+            self,
+            num_res=max(8, self.num_res // scale),
+            motif_pool=max(4, self.motif_pool // scale),
+        )
+
+
+_LOWER = "abcdefghijklmnopqrstuvwxyz"
+_HTTP = _LOWER + "0123456789/=&-_"
+_PROTEIN = "ACDEFGHIKLMNPQRSTVWY"
+
+
+DATASET_PROFILES: dict[str, DatasetProfile] = {
+    "BRO": DatasetProfile(
+        name="Bro217-like",
+        abbr="BRO",
+        num_res=217,
+        alphabet=_HTTP,
+        motif_pool=36,
+        motif_len=(3, 6),
+        segments_per_re=(2, 4),
+        share_prob=0.55,
+        cc_prob=0.04,
+        cc_width=(2, 4),
+        dotstar_prob=0.05,
+        alt_prob=0.08,
+        rep_prob=0.04,
+        plus_prob=0.03,
+        seed=0xB20,
+    ),
+    "DS9": DatasetProfile(
+        name="Dotstar09-like",
+        abbr="DS9",
+        num_res=299,
+        alphabet=_LOWER + "0123456789",
+        motif_pool=48,
+        motif_len=(4, 8),
+        segments_per_re=(4, 7),
+        share_prob=0.58,
+        cc_prob=0.05,
+        cc_width=(2, 6),
+        dotstar_prob=0.55,
+        alt_prob=0.06,
+        rep_prob=0.05,
+        plus_prob=0.04,
+        seed=0xD59,
+    ),
+    "PEN": DatasetProfile(
+        name="PowerEN-like",
+        abbr="PEN",
+        num_res=300,
+        alphabet=_LOWER + "0123456789",
+        motif_pool=64,
+        motif_len=(3, 6),
+        segments_per_re=(2, 5),
+        share_prob=0.38,
+        cc_prob=0.08,
+        cc_width=(2, 5),
+        dotstar_prob=0.08,
+        alt_prob=0.10,
+        rep_prob=0.06,
+        plus_prob=0.04,
+        seed=0x9EA,
+    ),
+    "PRO": DatasetProfile(
+        name="Protomata-like",
+        abbr="PRO",
+        num_res=300,
+        alphabet=_PROTEIN,
+        motif_pool=12,
+        motif_len=(2, 4),
+        segments_per_re=(3, 4),
+        share_prob=0.82,
+        cc_prob=0.30,
+        cc_width=(4, 10),
+        dotstar_prob=0.20,
+        alt_prob=0.12,
+        rep_prob=0.10,
+        plus_prob=0.02,
+        seed=0x960,
+    ),
+    "RG1": DatasetProfile(
+        name="Ranges1-like",
+        abbr="RG1",
+        num_res=299,
+        alphabet=_LOWER + "0123456789",
+        motif_pool=56,
+        motif_len=(4, 8),
+        segments_per_re=(4, 7),
+        share_prob=0.50,
+        cc_prob=0.18,
+        cc_width=(3, 8),
+        dotstar_prob=0.03,
+        alt_prob=0.05,
+        rep_prob=0.08,
+        plus_prob=0.03,
+        seed=0x261,
+    ),
+    "TCP": DatasetProfile(
+        name="TCP-ExactMatch-like",
+        abbr="TCP",
+        num_res=300,
+        alphabet=_HTTP,
+        motif_pool=44,
+        motif_len=(4, 8),
+        segments_per_re=(3, 5),
+        share_prob=0.46,
+        cc_prob=0.01,
+        cc_width=(2, 3),
+        dotstar_prob=0.0,
+        alt_prob=0.02,
+        rep_prob=0.02,
+        plus_prob=0.01,
+        seed=0x7C9,
+    ),
+}
+
+
+def get_profile(abbr: str) -> DatasetProfile:
+    """Look up a profile by its paper abbreviation (case-insensitive)."""
+    try:
+        return DATASET_PROFILES[abbr.upper()]
+    except KeyError:
+        known = ", ".join(DATASET_PROFILES)
+        raise KeyError(f"unknown dataset {abbr!r}; known: {known}") from None

@@ -1,0 +1,72 @@
+"""Input-stream generation (the paper's 1 MB data inputs).
+
+Streams mix background bytes drawn from the suite's alphabet with planted
+occurrences of ruleset material (motifs and whole literal cores) at a
+controlled rate, so engines see realistic partial- and full-match
+activity.  Generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.synthetic import Ruleset
+
+#: Fraction of the stream (roughly) covered by planted ruleset material.
+DEFAULT_HIT_DENSITY = 0.3
+
+
+def generate_stream(
+    ruleset: Ruleset,
+    size: int,
+    seed: int = 1,
+    hit_density: float = DEFAULT_HIT_DENSITY,
+) -> bytes:
+    """A ``size``-byte stream for ``ruleset``.
+
+    ``hit_density`` is the approximate fraction of bytes belonging to
+    planted motifs / literal cores (0 → pure background noise).
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    rng = random.Random((ruleset.profile.seed << 16) ^ seed)
+    alphabet = ruleset.profile.alphabet
+    plantable = ruleset.motifs + ruleset.literal_cores
+
+    chunks: list[str] = []
+    produced = 0
+    while produced < size:
+        if plantable and rng.random() < hit_density:
+            planted = rng.choice(plantable)
+            chunks.append(planted)
+            produced += len(planted)
+        else:
+            run = rng.randint(2, 12)
+            noise = "".join(rng.choice(alphabet) for _ in range(run))
+            chunks.append(noise)
+            produced += run
+    return "".join(chunks).encode("latin-1")[:size]
+
+
+def generate_adversarial_stream(ruleset: Ruleset, size: int, seed: int = 1) -> bytes:
+    """A worst-case stream: maximal partial-match pressure.
+
+    Instead of whole motifs, the stream concatenates *prefixes* of the
+    ruleset's literal cores (each prefix starts many rules without
+    finishing them), which keeps activation sets large — the stress
+    input for Table-II-style analyses and engine robustness tests.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    rng = random.Random((ruleset.profile.seed << 20) ^ seed ^ 0xAD7E)
+    cores = [c for c in ruleset.literal_cores if len(c) >= 2] or ["aa"]
+
+    chunks: list[str] = []
+    produced = 0
+    while produced < size:
+        core = rng.choice(cores)
+        cut = rng.randint(1, max(1, len(core) - 1))  # strictly partial
+        prefix = core[:cut]
+        chunks.append(prefix)
+        produced += len(prefix)
+    return "".join(chunks).encode("latin-1")[:size]

@@ -1,0 +1,187 @@
+"""Seeded synthetic ruleset generation (DESIGN.md §3, substitution 1).
+
+Every RE is a concatenation of *segments*; a segment is either drawn from
+the suite's shared motif pool (producing the inter-RE similarity that
+merging exploits) or freshly random.  Decorations — character classes,
+``.*`` infixes, alternations, bounded repeats — are applied at the rates
+the profile prescribes, mimicking each original suite's flavour.
+
+Generation is fully deterministic given the profile (which embeds its
+seed), so compression/throughput results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.profiles import DatasetProfile
+
+_ERE_SPECIAL = set(".^$*+?()[]{}|\\")
+
+
+def _escape(ch: str) -> str:
+    return "\\" + ch if ch in _ERE_SPECIAL else ch
+
+
+@dataclass
+class Ruleset:
+    """A generated suite: patterns plus the literal material behind them.
+
+    ``literal_cores`` holds each RE's undecorated literal skeleton — the
+    strings the Fig. 1 INDEL analysis runs on (the paper computes INDEL
+    over the REs' string content) and that stream generation plants to
+    control the hit rate.
+    """
+
+    profile: DatasetProfile
+    patterns: list[str] = field(default_factory=list)
+    literal_cores: list[str] = field(default_factory=list)
+    motifs: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.profile.abbr
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+
+def generate_ruleset(profile: DatasetProfile) -> Ruleset:
+    """Generate the suite for ``profile`` (deterministic)."""
+    rng = random.Random(profile.seed)
+    motifs = _motif_pool(rng, profile)
+    ruleset = Ruleset(profile=profile, motifs=list(motifs))
+    seen: set[str] = set()
+    while len(ruleset.patterns) < profile.num_res:
+        pattern, core = _generate_re(rng, profile, motifs)
+        if pattern in seen:
+            continue
+        seen.add(pattern)
+        ruleset.patterns.append(pattern)
+        ruleset.literal_cores.append(core)
+    return ruleset
+
+
+def _motif_pool(rng: random.Random, profile: DatasetProfile) -> list[str]:
+    pool: set[str] = set()
+    lo, hi = profile.motif_len
+    while len(pool) < profile.motif_pool:
+        length = rng.randint(lo, hi)
+        pool.add("".join(rng.choice(profile.alphabet) for _ in range(length)))
+    return sorted(pool)
+
+
+def _generate_re(
+    rng: random.Random,
+    profile: DatasetProfile,
+    motifs: list[str],
+) -> tuple[str, str]:
+    """One RE: returns (pattern, literal core)."""
+    lo, hi = profile.segments_per_re
+    num_segments = rng.randint(lo, hi)
+    parts: list[str] = []
+    core_parts: list[str] = []
+    for index in range(num_segments):
+        literal = _pick_segment(rng, profile, motifs)
+        core_parts.append(literal)
+        segment = _decorate_segment(rng, profile, literal)
+        if index > 0 and rng.random() < profile.dotstar_prob:
+            parts.append(".*")
+        parts.append(segment)
+    return "".join(parts), "".join(core_parts)
+
+
+def _pick_segment(rng: random.Random, profile: DatasetProfile, motifs: list[str]) -> str:
+    if motifs and rng.random() < profile.share_prob:
+        return rng.choice(motifs)
+    lo, hi = profile.motif_len
+    length = rng.randint(lo, hi)
+    return "".join(rng.choice(profile.alphabet) for _ in range(length))
+
+
+def _decorate_segment(rng: random.Random, profile: DatasetProfile, literal: str) -> str:
+    """Apply profile-rate decorations to a literal segment."""
+    rendered: list[str] = []
+    for ch in literal:
+        if rng.random() < profile.cc_prob:
+            rendered.append(_character_class(rng, profile, ch))
+        else:
+            rendered.append(_escape(ch))
+    segment = "".join(rendered)
+
+    if len(literal) >= 2 and rng.random() < profile.alt_prob:
+        variant = _variant_of(rng, profile, literal)
+        segment = f"({segment}|{variant})"
+
+    if rng.random() < profile.rep_prob:
+        low = rng.randint(1, 2)
+        high = low + rng.randint(0, 2)
+        segment = segment if segment.startswith("(") else f"({segment})"
+        segment = f"{segment}{{{low},{high}}}"
+    elif rng.random() < profile.plus_prob:
+        # '+' binds to the last atom (group, class or character) — all of
+        # which a decorated segment legally ends with.
+        segment += "+"
+    return segment
+
+
+def _variant_of(rng: random.Random, profile: DatasetProfile, literal: str) -> str:
+    """A near-copy of the literal with one substituted character."""
+    position = rng.randrange(len(literal))
+    replacement = rng.choice(profile.alphabet)
+    variant = literal[:position] + replacement + literal[position + 1 :]
+    return "".join(_escape(c) for c in variant)
+
+
+def _character_class(rng: random.Random, profile: DatasetProfile, ch: str) -> str:
+    """A bracket expression containing ``ch`` plus random alphabet chars,
+    rendered as an explicit member list or a compact range."""
+    lo, hi = profile.cc_width
+    width = rng.randint(lo, hi)
+    if rng.random() < 0.5:
+        # contiguous range around ch inside the alphabet ordering
+        ordered = sorted(set(profile.alphabet))
+        anchor = ordered.index(ch) if ch in ordered else 0
+        start = max(0, anchor - rng.randint(0, width - 1))
+        end = min(len(ordered) - 1, start + width - 1)
+        members = ordered[start : end + 1]
+        if len(members) >= 3 and _is_contiguous(members):
+            return f"[{members[0]}-{members[-1]}]"
+        return "[" + "".join(members) + "]"
+    members_set = {ch}
+    while len(members_set) < width:
+        members_set.add(rng.choice(profile.alphabet))
+    return "[" + "".join(sorted(members_set)) + "]"
+
+
+def _is_contiguous(members: list[str]) -> bool:
+    codes = [ord(c) for c in members]
+    return all(b - a == 1 for a, b in zip(codes, codes[1:]))
+
+
+def save_ruleset(ruleset: Ruleset, path) -> None:
+    """Write a generated suite as a .rules file (one ERE per line, with a
+    provenance header) — the artifact ships "a copy of the executed REs"
+    the same way."""
+    from pathlib import Path
+
+    profile = ruleset.profile
+    header = (
+        f"# synthetic suite {profile.abbr} ({profile.name})\n"
+        f"# seed={profile.seed:#x} num_res={profile.num_res} "
+        f"motif_pool={profile.motif_pool} share_prob={profile.share_prob}\n"
+    )
+    Path(path).write_text(header + "\n".join(ruleset.patterns) + "\n")
+
+
+def load_ruleset_file(path) -> list[str]:
+    """Read a .rules file (one ERE per line, '#' comments) into patterns."""
+    from pathlib import Path
+
+    patterns = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            patterns.append(line)
+    return patterns

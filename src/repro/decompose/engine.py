@@ -1,0 +1,143 @@
+"""The prefilter engine: Aho–Corasick gating + windowed FSA confirmation.
+
+Execution of a ruleset proceeds in two phases:
+
+1. **Prefilter** — one Aho–Corasick pass over the stream finds every
+   occurrence of every rule's literal factors.  Rules with no factor
+   occurrence cannot match and are skipped entirely.
+2. **Confirmation** — surviving rules run their FSA:
+
+   * unbounded rules (``window is None``) scan the whole stream;
+   * bounded rules scan only merged windows around their literal hits —
+     a match of width ≤ w containing a factor ending at h must itself
+     end within ``[h, h + w)`` and start within ``(h - 2w, h]``, so
+     scanning ``[h - 2w, h + w)`` with offset-corrected reporting finds
+     exactly the stream's matches (windows are merged when overlapping).
+
+The result equals running every rule over the whole stream (property-
+tested against the reference simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.automata.optimize import OptimizeOptions
+from repro.decompose.rules import DecomposedRule, decompose_rule
+from repro.engine.counters import ExecutionStats, RunResult
+from repro.engine.infant import INfantEngine
+from repro.stringmatch.ahocorasick import AhoCorasick
+
+
+@dataclass
+class PrefilterStats:
+    """How effective the literal gate was on one stream."""
+
+    total_rules: int = 0
+    prefilterable_rules: int = 0
+    rules_confirmed: int = 0
+    literal_hits: int = 0
+    bytes_scanned_confirming: int = 0
+    engine: ExecutionStats = field(default_factory=ExecutionStats)
+
+    @property
+    def rules_skipped(self) -> int:
+        """Rules the literal gate eliminated without running their FSA."""
+        return self.total_rules - self.rules_confirmed
+
+
+class PrefilterEngine:
+    """Hyperscan-style matcher for a whole ruleset (see module doc)."""
+
+    def __init__(self, patterns: Sequence[str], options: OptimizeOptions | None = None) -> None:
+        self.rules: list[DecomposedRule] = [
+            decompose_rule(rule_id, pattern, options)
+            for rule_id, pattern in enumerate(patterns)
+        ]
+        # One shared Aho–Corasick over all factors, mapping each literal
+        # occurrence back to the rules requiring it.
+        self._literal_owners: list[list[int]] = []
+        literals: list[str] = []
+        owner_of: dict[str, int] = {}
+        for rule in self.rules:
+            if rule.literals is None:
+                continue
+            for literal in rule.literals:
+                index = owner_of.get(literal)
+                if index is None:
+                    index = len(literals)
+                    owner_of[literal] = index
+                    literals.append(literal)
+                    self._literal_owners.append([])
+                self._literal_owners[index].append(rule.rule_id)
+        self._prefilter = AhoCorasick(literals) if literals else None
+        self._engines = {rule.rule_id: INfantEngine(rule.fsa, rule.rule_id) for rule in self.rules}
+        self._rule_by_id = {rule.rule_id: rule for rule in self.rules}
+
+    def run(self, data: bytes | str) -> tuple[set[tuple[int, int]], PrefilterStats]:
+        payload = data.encode("latin-1") if isinstance(data, str) else data
+        stats = PrefilterStats(
+            total_rules=len(self.rules),
+            prefilterable_rules=sum(1 for r in self.rules if r.prefilterable),
+        )
+
+        hits_per_rule: dict[int, list[int]] = {}
+        if self._prefilter is not None:
+            for literal_id, end in self._prefilter.iter_matches(payload):
+                stats.literal_hits += 1
+                for rule_id in self._literal_owners[literal_id]:
+                    hits_per_rule.setdefault(rule_id, []).append(end)
+
+        matches: set[tuple[int, int]] = set()
+        for rule in self.rules:
+            if rule.prefilterable and rule.rule_id not in hits_per_rule:
+                continue  # literal gate: the rule cannot match
+            stats.rules_confirmed += 1
+            matches |= self._confirm(rule, payload, hits_per_rule.get(rule.rule_id), stats)
+        stats.engine.match_count = len(matches)
+        return matches, stats
+
+    # -- confirmation -------------------------------------------------------
+
+    def _confirm(
+        self,
+        rule: DecomposedRule,
+        payload: bytes,
+        hits: list[int] | None,
+        stats: PrefilterStats,
+    ) -> set[tuple[int, int]]:
+        engine = self._engines[rule.rule_id]
+        if hits is None or rule.window is None:
+            stats.bytes_scanned_confirming += len(payload)
+            result = engine.run(payload)
+            stats.engine.merge(result.stats)
+            return result.matches
+
+        windows = _merge_windows(hits, rule.window, len(payload))
+        matches: set[tuple[int, int]] = set()
+        for start, end in windows:
+            stats.bytes_scanned_confirming += end - start
+            result = engine.run(payload[start:end])
+            stats.engine.merge(result.stats)
+            matches |= {(rule.rule_id, offset + start) for _, offset in result.matches}
+        return matches
+
+
+def _merge_windows(hits: list[int], width: int, stream_len: int) -> list[tuple[int, int]]:
+    """Confirmation windows ``[h - 2w, h + w)`` per hit, clamped and merged.
+
+    ``width`` is the rule's maximum match width w ≥ 1.  A match (length
+    ≤ w) whose factor occurrence ends at ``h`` starts after ``h - 2w``
+    and ends before ``h + w``, so the window covers it entirely.
+    """
+    span = max(1, width)
+    intervals = sorted((max(0, h - 2 * span), min(stream_len, h + span)) for h in hits)
+    merged: list[tuple[int, int]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1]:
+            previous = merged.pop()
+            merged.append((previous[0], max(previous[1], end)))
+        else:
+            merged.append((start, end))
+    return merged

@@ -1,0 +1,49 @@
+"""Per-rule decomposition: literal factors and confirmation strategy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.automata.fsa import Fsa
+from repro.automata.optimize import OptimizeOptions, compile_re_to_fsa, optimize_ast
+from repro.frontend.analysis import max_width, min_width, required_literals
+from repro.frontend.parser import parse
+
+
+@dataclass(frozen=True)
+class DecomposedRule:
+    """One rule's decomposition result.
+
+    ``literals`` is a required factor set (every match contains one of
+    them) or None when no useful factor exists — such rules bypass the
+    prefilter and always run their automaton ("outliers" in Hyperscan
+    terms).  ``window`` is the confirmation half-width for bounded rules
+    (None = unbounded, confirm over the whole stream on any hit).
+    """
+
+    rule_id: int
+    pattern: str
+    fsa: Fsa
+    literals: Optional[frozenset[str]]
+    min_len: int
+    window: Optional[int]
+
+    @property
+    def prefilterable(self) -> bool:
+        return self.literals is not None
+
+
+def decompose_rule(rule_id: int, pattern: str, options: OptimizeOptions | None = None) -> DecomposedRule:
+    """Analyse one rule: factors, widths and the compiled FSA."""
+    ast = parse(pattern)
+    factors = required_literals(optimize_ast(ast, options))
+    widest = max_width(ast)
+    return DecomposedRule(
+        rule_id=rule_id,
+        pattern=pattern,
+        fsa=compile_re_to_fsa(pattern, options),
+        literals=factors.literals if factors is not None else None,
+        min_len=min_width(ast),
+        window=widest,
+    )

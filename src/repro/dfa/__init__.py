@@ -1,0 +1,42 @@
+"""DFA substrate: determinisation, minimisation, D2FA compression.
+
+The paper's background (§II) contrasts the MFSA/NFA approach with the
+classic DFA pipeline: subset construction (with its state-explosion
+risk), minimisation, and default-transition compression (D2FA-family,
+related work [33, 39, 48]).  This package implements that pipeline so
+the benchmarks can compare MFSA merging against the DFA alternatives on
+the same rulesets:
+
+* :mod:`repro.dfa.dfa` — the DFA model with per-rule accept sets;
+* :mod:`repro.dfa.determinize` — subset construction over optimised
+  NFAs, streaming (match-anywhere) or anchored, with a state cap that
+  surfaces the explosion instead of hanging;
+* :mod:`repro.dfa.minimize` — Moore/Hopcroft-style minimisation
+  respecting per-rule accept partitions;
+* :mod:`repro.dfa.d2fa` — default-transition compression (maximum-weight
+  spanning forest over transition-sharing weights);
+* :mod:`repro.dfa.multistride` — 2-stride DFAs over alphabet classes
+  (the related-work throughput optimisation, [11, 28, 40]);
+* :mod:`repro.dfa.engine` — matching engines for DFAs and D2FAs.
+"""
+
+from repro.dfa.dfa import Dfa, DfaExplosionError
+from repro.dfa.determinize import determinize
+from repro.dfa.minimize import minimize
+from repro.dfa.d2fa import D2fa, compress_default_transitions
+from repro.dfa.engine import D2faEngine, DfaEngine
+from repro.dfa.multistride import StrideDfa, StrideDfaEngine, build_stride2
+
+__all__ = [
+    "Dfa",
+    "DfaExplosionError",
+    "determinize",
+    "minimize",
+    "D2fa",
+    "compress_default_transitions",
+    "D2faEngine",
+    "DfaEngine",
+    "StrideDfa",
+    "StrideDfaEngine",
+    "build_stride2",
+]

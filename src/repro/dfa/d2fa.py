@@ -1,0 +1,188 @@
+"""D2FA: default-transition compression of DFAs (related work [33, 48]).
+
+Two DFA states whose transition rows largely agree can share them: one
+state keeps only the *differing* entries plus a **default transition**
+to the other, which is followed for any symbol without an explicit
+entry.  Kumar et al. build a maximum-weight spanning forest over the
+"space reduction graph" (edge weight = number of identical row entries)
+and orient each tree towards a root that keeps its full row.
+
+This implementation follows that construction with Kruskal's algorithm
+and an optional bound on the default-chain depth (long chains trade
+memory for per-byte lookup time — the classic D2FA knob).  Pair
+enumeration is O(n²) row comparisons; a candidate cap keeps it usable on
+the post-minimisation DFAs the benchmarks build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dfa.dfa import DEAD, Dfa
+from repro.labels import ALPHABET_SIZE
+
+#: Pairs with fewer shared entries than this are not worth an edge.
+MIN_SHARED_ENTRIES = 32
+
+
+@dataclass
+class D2fa:
+    """A default-transition-compressed DFA.
+
+    ``sparse[q]`` holds only the entries differing from the default
+    chain; ``default[q]`` is the fallback state (None for roots, whose
+    rows are stored in full inside ``sparse``).
+    """
+
+    num_states: int
+    initial: int
+    sparse: list[dict[int, int]]
+    default: list[Optional[int]]
+    accepts: list[frozenset[int]]
+
+    @property
+    def num_stored_transitions(self) -> int:
+        """Explicit entries + one default pointer per non-root state —
+        the D2FA memory-footprint metric."""
+        return sum(len(row) for row in self.sparse) + sum(
+            1 for d in self.default if d is not None
+        )
+
+    def lookup(self, state: int, byte: int) -> int:
+        """Resolve one move, walking the default chain as needed."""
+        current: Optional[int] = state
+        while current is not None:
+            hit = self.sparse[current].get(byte)
+            if hit is not None:
+                return hit
+            current = self.default[current]
+        return DEAD
+
+    def max_default_depth(self) -> int:
+        depths = [0] * self.num_states
+        def depth(q: int) -> int:
+            if self.default[q] is None:
+                return 0
+            if depths[q]:
+                return depths[q]
+            depths[q] = 1 + depth(self.default[q])
+            return depths[q]
+        return max((depth(q) for q in range(self.num_states)), default=0)
+
+
+@dataclass
+class _DisjointSet:
+    parent: list[int] = field(default_factory=list)
+
+    def make(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[rb] = ra
+        return True
+
+
+def compress_default_transitions(
+    dfa: Dfa,
+    max_depth: Optional[int] = None,
+    min_shared: int = MIN_SHARED_ENTRIES,
+) -> D2fa:
+    """Build a D2FA from ``dfa`` (see module doc).
+
+    ``max_depth`` bounds the default-chain length (None = unbounded);
+    ``min_shared`` is the minimum row agreement for an edge to be
+    considered.
+    """
+    import numpy as np
+
+    n = dfa.num_states
+    rows = np.asarray(dfa.rows, dtype=np.int64)
+    edges: list[tuple[int, int, int]] = []  # (weight, a, b)
+    for a in range(n):
+        if a + 1 >= n:
+            break
+        # vectorised row agreement of state a against all later states
+        shared = (rows[a + 1 :] == rows[a]).sum(axis=1)
+        for offset in np.nonzero(shared >= min_shared)[0]:
+            edges.append((int(shared[offset]), a, a + 1 + int(offset)))
+    edges.sort(key=lambda e: -e[0])
+
+    forest = _DisjointSet()
+    forest.make(n)
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    for weight, a, b in edges:
+        if forest.union(a, b):
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+
+    # Orient each tree from a root (the member with the most neighbours,
+    # a good hub heuristic); enforce the depth bound by re-rooting
+    # overflow nodes as new roots.
+    default: list[Optional[int]] = [None] * n
+    visited = [False] * n
+    for seed in range(n):
+        if visited[seed]:
+            continue
+        component = _collect_component(adjacency, seed)
+        root = max(component, key=lambda q: len(adjacency[q]))
+        stack = [(root, None, 0)]
+        while stack:
+            node, parent, d = stack.pop()
+            if visited[node]:
+                continue
+            visited[node] = True
+            if parent is None or (max_depth is not None and d > max_depth):
+                default[node] = None
+                d = 0
+            else:
+                default[node] = parent
+            for neighbour in adjacency[node]:
+                if not visited[neighbour]:
+                    stack.append((neighbour, node, d + 1))
+
+    # Materialise sparse rows: roots keep every live entry; a child keeps
+    # the entries where its row differs from its default target's true
+    # row (lookups that fall through then resolve correctly by induction
+    # along the chain).
+    sparse: list[dict[int, int]] = [dict() for _ in range(n)]
+    for q in range(n):
+        row = rows[q]
+        if default[q] is None:
+            live = np.nonzero(row != DEAD)[0]
+            sparse[q] = {int(byte): int(row[byte]) for byte in live}
+        else:
+            differing = np.nonzero(row != rows[default[q]])[0]
+            sparse[q] = {int(byte): int(row[byte]) for byte in differing}
+
+    out = D2fa(
+        num_states=n,
+        initial=dfa.initial,
+        sparse=sparse,
+        default=default,
+        accepts=list(dfa.accepts),
+    )
+    return out
+
+
+def _collect_component(adjacency: list[list[int]], seed: int) -> list[int]:
+    seen = {seed}
+    stack = [seed]
+    while stack:
+        node = stack.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                stack.append(neighbour)
+    return sorted(seen)

@@ -1,0 +1,76 @@
+"""The DFA model with per-rule accept sets.
+
+States are dense integers; the transition function is total over the
+256-symbol alphabet (a missing entry means the dead state, encoded as
+-1).  ``accepts[q]`` is the frozen set of rule identifiers matched upon
+*reaching* ``q`` — the multi-RE union DFA the classic pipelines build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.labels import ALPHABET_SIZE
+
+DEAD = -1
+
+
+class DfaExplosionError(RuntimeError):
+    """Raised when subset construction exceeds its state budget — the
+    state-explosion phenomenon the paper's §II discusses."""
+
+    def __init__(self, budget: int) -> None:
+        super().__init__(f"subset construction exceeded {budget} states")
+        self.budget = budget
+
+
+@dataclass
+class Dfa:
+    """A deterministic automaton over bytes (see module docstring)."""
+
+    num_states: int = 0
+    initial: int = 0
+    #: per state: 256-entry transition row (DEAD = no move)
+    rows: list[list[int]] = field(default_factory=list)
+    #: per state: rule ids accepted on arrival
+    accepts: list[frozenset[int]] = field(default_factory=list)
+
+    def add_state(self, accept: frozenset[int] = frozenset()) -> int:
+        state = self.num_states
+        self.num_states += 1
+        self.rows.append([DEAD] * ALPHABET_SIZE)
+        self.accepts.append(accept)
+        return state
+
+    @property
+    def num_transitions(self) -> int:
+        """Live (non-dead) transition count — the memory-footprint metric
+        default-transition compression tries to reduce."""
+        return sum(1 for row in self.rows for dst in row if dst != DEAD)
+
+    def step(self, state: int, byte: int) -> int:
+        return self.rows[state][byte]
+
+    def validate(self) -> None:
+        if not 0 <= self.initial < self.num_states:
+            raise ValueError("initial state out of range")
+        if len(self.rows) != self.num_states or len(self.accepts) != self.num_states:
+            raise ValueError("rows/accepts length mismatch")
+        for state, row in enumerate(self.rows):
+            if len(row) != ALPHABET_SIZE:
+                raise ValueError(f"state {state} row has {len(row)} entries")
+            for dst in row:
+                if dst != DEAD and not 0 <= dst < self.num_states:
+                    raise ValueError(f"state {state} has out-of-range target {dst}")
+
+    def rule_ids(self) -> frozenset[int]:
+        out: set[int] = set()
+        for accept in self.accepts:
+            out |= accept
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dfa(states={self.num_states}, transitions={self.num_transitions}, "
+            f"rules={len(self.rule_ids())})"
+        )

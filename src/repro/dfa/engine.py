@@ -1,0 +1,105 @@
+"""Matching engines over DFAs and D2FAs.
+
+A deterministic scan keeps exactly one active state, so per-byte work is
+a single table lookup (DFA) or a short default-chain walk (D2FA) — the
+"upper complexity limit strictly related to the time required for a
+single transition traversal" of the paper's §II.  Matches are reported
+as ``(rule_id, end_offset)``, identical to the NFA engines; streaming
+DFAs built by :func:`repro.dfa.determinize.determinize` agree with
+iNFAnt/iMFAnt match for match (tested).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dfa.d2fa import D2fa
+from repro.dfa.dfa import DEAD, Dfa
+from repro.engine.counters import RunResult
+
+
+class DfaEngine:
+    """Single-state streaming scan over a (streaming) DFA."""
+
+    def __init__(self, dfa: Dfa) -> None:
+        dfa.validate()
+        self.dfa = dfa
+
+    def run(self, data: bytes | str, collect_stats: bool = True) -> RunResult:
+        payload = data.encode("latin-1") if isinstance(data, str) else data
+        rows = self.dfa.rows
+        accepts = self.dfa.accepts
+
+        result = RunResult()
+        started = time.perf_counter()
+        state = self.dfa.initial
+        matches = result.matches
+        # ε-accepting rules have a final state inside the seed subset and
+        # match at offset 0 (before any byte), like the NFA engines.
+        for rule in accepts[state]:
+            matches.add((rule, 0))
+        for position, byte in enumerate(payload, start=1):
+            state = rows[state][byte]
+            if state == DEAD:
+                state = self.dfa.initial
+                continue
+            hit = accepts[state]
+            if hit:
+                for rule in hit:
+                    matches.add((rule, position))
+        stats = result.stats
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = len(payload)
+        stats.transitions_examined = len(payload)  # one lookup per byte
+        stats.match_count = len(matches)
+        return result
+
+
+class D2faEngine:
+    """Streaming scan over a default-transition-compressed DFA.
+
+    Identical matches to :class:`DfaEngine` on the source DFA; the
+    ``transitions_examined`` counter records default-chain hops, the
+    compression's runtime price.
+    """
+
+    def __init__(self, d2fa: D2fa) -> None:
+        self.d2fa = d2fa
+
+    def run(self, data: bytes | str, collect_stats: bool = True) -> RunResult:
+        payload = data.encode("latin-1") if isinstance(data, str) else data
+        d2fa = self.d2fa
+        sparse = d2fa.sparse
+        default = d2fa.default
+        accepts = d2fa.accepts
+
+        result = RunResult()
+        stats = result.stats
+        started = time.perf_counter()
+        state = d2fa.initial
+        matches = result.matches
+        for rule in accepts[state]:
+            matches.add((rule, 0))
+        for position, byte in enumerate(payload, start=1):
+            cursor: int | None = state
+            nxt = DEAD
+            while cursor is not None:
+                if collect_stats:
+                    stats.transitions_examined += 1
+                hit = sparse[cursor].get(byte)
+                if hit is not None:
+                    nxt = hit
+                    break
+                cursor = default[cursor]
+            if nxt == DEAD:
+                state = d2fa.initial
+                continue
+            state = nxt
+            rules = accepts[state]
+            if rules:
+                for rule in rules:
+                    matches.add((rule, position))
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = len(payload)
+        stats.match_count = len(matches)
+        return result

@@ -1,0 +1,94 @@
+"""DFA minimisation (Moore partition refinement, per-rule accepts).
+
+Classic minimisation adapted to multi-rule DFAs: the initial partition
+groups states by their *accept set* (two states accepting different rule
+sets are never equivalent), then blocks are refined until every block's
+states agree on the block of every symbol successor.  The refinement
+rounds are vectorised with NumPy: one round maps every transition row
+through the current block assignment and re-blocks states by
+``numpy.unique`` over the mapped rows, so a round costs O(n·Σ) array
+work instead of Python-level loops.
+
+The dead state (-1) is treated as its own implicit block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dfa.dfa import DEAD, Dfa
+from repro.labels import ALPHABET_SIZE
+
+
+def minimize(dfa: Dfa) -> Dfa:
+    """Return the minimal DFA equivalent to ``dfa`` (per-rule accepts)."""
+    reachable = _reachable(dfa)
+    order = sorted(reachable)
+    index_of = {state: i for i, state in enumerate(order)}
+    n = len(order)
+
+    # Dense transition matrix over reachable states; DEAD stays -1.
+    rows = np.full((n, ALPHABET_SIZE), DEAD, dtype=np.int64)
+    for i, state in enumerate(order):
+        row = dfa.rows[state]
+        for byte in range(ALPHABET_SIZE):
+            dst = row[byte]
+            rows[i, byte] = index_of[dst] if dst != DEAD else DEAD
+
+    # Initial partition: by accept set.
+    interned: dict[frozenset[int], int] = {}
+    initial_blocks = np.empty(n, dtype=np.int64)
+    for i, state in enumerate(order):
+        accept = dfa.accepts[state]
+        if accept not in interned:
+            interned[accept] = len(interned)
+        initial_blocks[i] = interned[accept]
+
+    blocks = initial_blocks
+    num_blocks = len(interned)
+    while True:
+        # Map successors through the current blocks (-1 for DEAD) and
+        # re-block by (own block, successor-block row).
+        mapped = np.where(rows == DEAD, np.int64(-1), blocks[rows])
+        signature = np.concatenate([blocks[:, None], mapped], axis=1)
+        _, new_blocks = np.unique(signature, axis=0, return_inverse=True)
+        new_count = int(new_blocks.max()) + 1 if n else 0
+        if new_count == num_blocks:
+            break
+        blocks = new_blocks.astype(np.int64)
+        num_blocks = new_count
+
+    # Rebuild: one state per block, representative = smallest member.
+    representatives: dict[int, int] = {}
+    for i in range(n):
+        block = int(blocks[i])
+        if block not in representatives or i < representatives[block]:
+            representatives[block] = i
+    block_order = sorted(representatives, key=lambda b: representatives[b])
+    new_id = {block: i for i, block in enumerate(block_order)}
+
+    out = Dfa()
+    for block in block_order:
+        out.add_state(dfa.accepts[order[representatives[block]]])
+    out.initial = new_id[int(blocks[index_of[dfa.initial]])]
+    for block in block_order:
+        source_row = rows[representatives[block]]
+        new_row = out.rows[new_id[block]]
+        for byte in range(ALPHABET_SIZE):
+            dst = int(source_row[byte])
+            if dst != DEAD:
+                new_row[byte] = new_id[int(blocks[dst])]
+    out.validate()
+    return out
+
+
+def _reachable(dfa: Dfa) -> set[int]:
+    seen = {dfa.initial}
+    stack = [dfa.initial]
+    while stack:
+        state = stack.pop()
+        for dst in dfa.rows[state]:
+            if dst != DEAD and dst not in seen:
+                seen.add(dst)
+                stack.append(dst)
+    return seen

@@ -1,0 +1,163 @@
+"""Multi-stride DFAs: consume k symbols per state traversal (§VII).
+
+Multi-striding is the classic DFA *throughput* optimisation the paper's
+related work discusses ([11, 28, 40]): a 2-stride DFA halves the number
+of state traversals per byte at the price of a transition table over
+symbol *pairs* — "all the k-characters combinations of adjacent
+transitions", which is what makes the approach expensive.
+
+As in practical implementations, the pair table is built over *alphabet
+equivalence classes* rather than raw bytes: bytes that every transition
+row treats identically share a class, so the table is
+``states × classes²`` instead of ``states × 65536``.  Matches ending at
+odd offsets are preserved by recording, for every pair entry, the rules
+accepted at the *intermediate* state.
+
+The engine agrees with the base DFA match for match (property-tested);
+the benchmark quantifies the steps-halved vs table-squared trade-off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.dfa.dfa import DEAD, Dfa
+from repro.engine.counters import RunResult
+from repro.labels import ALPHABET_SIZE
+
+
+@dataclass
+class StrideDfa:
+    """A 2-stride DFA over alphabet classes (see module docstring)."""
+
+    num_states: int
+    initial: int
+    #: byte -> alphabet class id
+    class_of: list[int]
+    num_classes: int
+    #: per state: pair-index (c1 * num_classes + c2) -> destination state
+    pair_rows: list[list[int]]
+    #: per state: pair-index -> rules accepted at the intermediate state
+    mid_accepts: list[dict[int, frozenset[int]]]
+    #: per state: rules accepted on arrival (end of a 2-byte step)
+    accepts: list[frozenset[int]]
+    #: the base (1-stride) row per state, for the odd trailing byte
+    base_rows: list[list[int]]
+
+    @property
+    def table_entries(self) -> int:
+        """Stored pair-table entries — the multi-stride memory cost."""
+        return self.num_states * self.num_classes * self.num_classes
+
+
+def byte_classes(dfa: Dfa) -> tuple[list[int], int]:
+    """Partition bytes into equivalence classes: two bytes are equivalent
+    when *every* state's row sends them to the same destination."""
+    signatures: dict[tuple[int, ...], int] = {}
+    class_of = [0] * ALPHABET_SIZE
+    for byte in range(ALPHABET_SIZE):
+        signature = tuple(row[byte] for row in dfa.rows)
+        class_of[byte] = signatures.setdefault(signature, len(signatures))
+    return class_of, len(signatures)
+
+
+def build_stride2(dfa: Dfa) -> StrideDfa:
+    """Compile a (streaming) DFA into its 2-stride form."""
+    dfa.validate()
+    class_of, num_classes = byte_classes(dfa)
+    # one representative byte per class
+    representative = [0] * num_classes
+    for byte in range(ALPHABET_SIZE - 1, -1, -1):
+        representative[class_of[byte]] = byte
+
+    pair_rows: list[list[int]] = []
+    mid_accepts: list[dict[int, frozenset[int]]] = []
+    for state in range(dfa.num_states):
+        row = dfa.rows[state]
+        pairs = [DEAD] * (num_classes * num_classes)
+        mids: dict[int, frozenset[int]] = {}
+        for c1 in range(num_classes):
+            middle = row[representative[c1]]
+            if middle == DEAD:
+                continue
+            mid_accept = dfa.accepts[middle]
+            middle_row = dfa.rows[middle]
+            base = c1 * num_classes
+            for c2 in range(num_classes):
+                dst = middle_row[representative[c2]]
+                pairs[base + c2] = dst
+                if mid_accept:
+                    mids[base + c2] = mid_accept
+        pair_rows.append(pairs)
+        mid_accepts.append(mids)
+
+    return StrideDfa(
+        num_states=dfa.num_states,
+        initial=dfa.initial,
+        class_of=class_of,
+        num_classes=num_classes,
+        pair_rows=pair_rows,
+        mid_accepts=mid_accepts,
+        accepts=list(dfa.accepts),
+        base_rows=[list(row) for row in dfa.rows],
+    )
+
+
+class StrideDfaEngine:
+    """Streaming scan consuming two bytes per traversal."""
+
+    def __init__(self, stride: StrideDfa) -> None:
+        self.stride = stride
+
+    def run(self, data: bytes | str, collect_stats: bool = True) -> RunResult:
+        payload = data.encode("latin-1") if isinstance(data, str) else data
+        stride = self.stride
+        class_of = stride.class_of
+        num_classes = stride.num_classes
+        pair_rows = stride.pair_rows
+        mid_accepts = stride.mid_accepts
+        accepts = stride.accepts
+
+        result = RunResult()
+        matches = result.matches
+        for rule in accepts[stride.initial]:
+            matches.add((rule, 0))
+
+        started = time.perf_counter()
+        state = stride.initial
+        position = 0
+        steps = 0
+        limit = len(payload) - 1
+        while position < limit:
+            pair = class_of[payload[position]] * num_classes + class_of[payload[position + 1]]
+            steps += 1
+            mid = mid_accepts[state].get(pair)
+            if mid:
+                for rule in mid:
+                    matches.add((rule, position + 1))
+            state = pair_rows[state][pair]
+            position += 2
+            if state == DEAD:
+                state = stride.initial
+                continue
+            hit = accepts[state]
+            if hit:
+                for rule in hit:
+                    matches.add((rule, position))
+        if position < len(payload):  # odd trailing byte: one base step
+            steps += 1
+            state = stride.base_rows[state][payload[position]]
+            position += 1
+            if state == DEAD:
+                state = stride.initial
+            else:
+                for rule in accepts[state]:
+                    matches.add((rule, position))
+
+        stats = result.stats
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = len(payload)
+        stats.transitions_examined = steps
+        stats.match_count = len(matches)
+        return result

@@ -1,0 +1,37 @@
+"""Execution engines: iNFAnt (single FSA) and iMFAnt (MFSA) (paper §V).
+
+* :mod:`repro.engine.tables` — pre-processing: symbol-indexed transition
+  tables (the iNFAnt data structure linking each of the 256 symbols to
+  the transitions it enables).
+* :mod:`repro.engine.infant` — the baseline iNFAnt engine over one FSA.
+* :mod:`repro.engine.imfant` — the iMFAnt engine over an MFSA, pure-Python
+  and NumPy-vectorised (the data-parallel GPGPU-style variant).
+* :mod:`repro.engine.counters` — execution statistics (work counters).
+* :mod:`repro.engine.cost` — the work-based timing model used by the
+  thread-scaling experiments.
+* :mod:`repro.engine.multithread` — multi-automata scheduling: a real
+  thread pool plus a deterministic machine-model simulator.
+"""
+
+from repro.engine.counters import ExecutionStats
+from repro.engine.infant import INfantEngine
+from repro.engine.imfant import IMfantEngine
+from repro.engine.tables import FsaTables, MfsaTables
+from repro.engine.cost import CostModel
+from repro.engine.multithread import (
+    MachineModel,
+    run_pool,
+    simulate_parallel_latency,
+)
+
+__all__ = [
+    "ExecutionStats",
+    "INfantEngine",
+    "IMfantEngine",
+    "FsaTables",
+    "MfsaTables",
+    "CostModel",
+    "MachineModel",
+    "run_pool",
+    "simulate_parallel_latency",
+]

@@ -1,0 +1,99 @@
+"""Chunk-parallel scanning of a single stream (data-parallel DPI).
+
+Figs. 9–10 parallelise across *automata*; the orthogonal axis is
+parallelising one automaton across *stream chunks* — the standard
+technique when one flow dominates.  Correctness hinges on overlap: a
+match of width ≤ w that crosses a chunk boundary lies entirely within a
+w−1-byte overlap prepended to the next chunk, so every chunk can be
+scanned independently and matches deduplicate by absolute offset.
+
+The overlap must bound the longest possible match, which
+:func:`repro.frontend.analysis.max_width` provides per rule:
+
+* all rules bounded → ``chunk_scan`` splits, scans in parallel (real
+  thread pool) and re-bases offsets;
+* any rule unbounded (``.*`` etc.) → no finite overlap is sound, and the
+  function falls back to a sequential scan of the whole stream (callers
+  can route such rules to a separate engine first — see
+  :class:`repro.engine.hybrid.HybridEngine` for the splitting pattern).
+
+Matches are exactly those of a single-shot scan (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.engine.imfant import IMfantEngine
+from repro.engine.multithread import run_pool
+from repro.frontend.analysis import max_width
+from repro.frontend.parser import parse
+from repro.mfsa.model import Mfsa
+
+
+def ruleset_max_width(patterns: Sequence[str]) -> Optional[int]:
+    """The longest possible match over the ruleset; None when unbounded."""
+    widest = 0
+    for pattern in patterns:
+        width = max_width(parse(pattern))
+        if width is None:
+            return None
+        widest = max(widest, width)
+    return widest
+
+
+def chunk_scan(
+    mfsa: Mfsa,
+    data: bytes | str,
+    overlap: Optional[int],
+    chunk_size: int = 4096,
+    num_threads: int = 4,
+    backend: str = "python",
+) -> set[tuple[int, int]]:
+    """Scan ``data`` in overlapping chunks; returns the single-shot matches.
+
+    ``overlap`` is the ruleset's maximum match width (see
+    :func:`ruleset_max_width`); ``None`` falls back to one sequential
+    scan.  ``chunk_size`` must exceed the overlap for the split to make
+    progress.
+    """
+    payload = data.encode("latin-1") if isinstance(data, str) else data
+    engine = IMfantEngine(mfsa, backend=backend)
+    if overlap is None or len(payload) <= chunk_size:
+        return engine.run(payload, collect_stats=False).matches
+    if chunk_size <= overlap:
+        raise ValueError(f"chunk_size ({chunk_size}) must exceed overlap ({overlap})")
+
+    # Chunk k covers [start, end) with `lead` bytes of left context; any
+    # match ending inside [start, end) started within the context, so it
+    # is found — and matches ending inside the context are the previous
+    # chunk's responsibility (dropped here to avoid double reporting of
+    # empty-rule offsets; set-dedup covers the rest anyway).
+    jobs = []
+    for start in range(0, len(payload), chunk_size):
+        lead = min(overlap, start)
+        segment = payload[start - lead : min(start + chunk_size, len(payload))]
+        jobs.append((start, lead, segment))
+
+    def make_runner(start: int, lead: int, segment: bytes):
+        def run():
+            result = engine.run(segment, collect_stats=False)
+            rebased = {
+                (rule, end + start - lead)
+                for rule, end in result.matches
+                if end > lead or (start == 0 and end >= 0)
+            }
+            result.matches = rebased
+            return result
+        return run
+
+    matches, _ = run_pool(
+        [make_runner(start, lead, segment) for start, lead, segment in jobs],
+        num_threads=num_threads,
+    )
+    # ε-accepting rules match at every offset; chunked scans only see
+    # their own ranges, so complete the range explicitly.
+    for rule, q0 in mfsa.initials.items():
+        if q0 in mfsa.finals[rule]:
+            matches.update((rule, end) for end in range(len(payload) + 1))
+    return matches

@@ -1,0 +1,218 @@
+"""The iMFAnt engine: streaming MFSA matching with activation sets (§V).
+
+iMFAnt extends iNFAnt's symbol-indexed evaluation with the activation
+function: the state vector stores, for each active state, the set of
+active rule identifiers reaching it (a bitmask).  One evaluated
+transition ``src --c--> dst`` contributes
+
+    ``(J(src) ∪ init(src)) ∩ bel(src→dst)``
+
+to ``J(dst)``; a non-empty contribution is a performed move, and bits of
+``J(dst) ∩ final(dst)`` are reported as matches (see
+:mod:`repro.mfsa.activation` for the semantics derivation).
+
+Two interchangeable implementations:
+
+* ``backend="python"`` — dict-based sparse state vector with arbitrary-
+  precision int masks; clear and allocation-light.
+* ``backend="numpy"`` — dense ``(num_states, limbs)`` uint64 state vector
+  with bulk gather/scatter per symbol; the CPU analogue of iNFAnt's
+  data-parallel GPU formulation.
+
+Both produce identical matches and (modulo wall time) identical work
+counters; tests enforce the agreement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from repro.engine.counters import ExecutionStats, RunResult
+from repro.engine.tables import MfsaTables, limbs_for
+from repro.mfsa.model import Mfsa
+
+_BACKENDS = ("python", "numpy")
+
+
+class IMfantEngine:
+    """Streaming matcher for one MFSA.
+
+    ``single_match=True`` enables the DPI *single-match* reporting mode
+    (Hyperscan's ``HS_FLAG_SINGLEMATCH``): each rule reports only its
+    first match.  The python backend additionally stops scanning once
+    every rule has fired (the numpy backend post-filters) — the cheap
+    mode IDS rules that only need a verdict use.
+    """
+
+    def __init__(
+        self,
+        mfsa: Mfsa,
+        backend: str = "python",
+        pop_on_final: bool = False,
+        single_match: bool = False,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
+        self.backend = backend
+        self.pop_on_final = pop_on_final
+        self.single_match = single_match
+        self.tables = MfsaTables.build(mfsa)
+        if backend == "numpy":
+            self.tables.ensure_arrays()
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, data: bytes | str, collect_stats: bool = True) -> RunResult:
+        payload = data.encode("latin-1") if isinstance(data, str) else data
+        if self.backend == "numpy":
+            result = self._run_numpy(payload, collect_stats)
+        else:
+            result = self._run_python(payload, collect_stats)
+        if self.single_match:
+            firsts: dict[int, int] = {}
+            for rule, end in result.matches:
+                if rule not in firsts or end < firsts[rule]:
+                    firsts[rule] = end
+            result.matches = {(rule, end) for rule, end in firsts.items()}
+            result.stats.match_count = len(result.matches)
+        return result
+
+    # -- python backend ------------------------------------------------------
+
+    def _run_python(self, payload: bytes, collect_stats: bool) -> RunResult:
+        tables = self.tables
+        by_symbol = tables.by_symbol
+        init_mask = tables.init_mask
+        final_mask = tables.final_mask
+        slot_to_rule = tables.slot_to_rule
+        pop_on_final = self.pop_on_final
+
+        result = RunResult()
+        stats = result.stats
+        stats.mask_limbs = limbs_for(tables.num_rules)
+        matches = result.matches
+        for rule in tables.empty_matching_rules:
+            matches.update((rule, end) for end in range(len(payload) + 1))
+
+        all_rules_mask = (1 << tables.num_rules) - 1
+        # ε-accepting rules are trivially matched already (offset 0)
+        rule_to_slot = {rule: slot for slot, rule in enumerate(slot_to_rule)}
+        matched_rules = 0
+        for rule in tables.empty_matching_rules:
+            matched_rules |= 1 << rule_to_slot[rule]
+        consumed = 0
+        started = time.perf_counter()
+        active: dict[int, int] = {}  # state -> activation bitmask J
+        for position, byte in enumerate(payload, start=1):
+            consumed = position
+            enabled = by_symbol[byte]
+            nxt: dict[int, int] = {}
+            for src, dst, bel in enabled:
+                mask = (active.get(src, 0) | init_mask[src]) & bel
+                if mask:
+                    nxt[dst] = nxt.get(dst, 0) | mask
+                    if collect_stats:
+                        stats.transitions_taken += 1
+            active = nxt
+            for state, mask in nxt.items():
+                hit = mask & final_mask[state]
+                if hit:
+                    matched_rules |= hit
+                    for slot in _bits(hit):
+                        matches.add((slot_to_rule[slot], position))
+                    if pop_on_final:
+                        active[state] = mask & ~hit
+            if self.single_match and matched_rules == all_rules_mask:
+                break
+            if collect_stats:
+                stats.transitions_examined += len(enabled)
+                total = 0
+                peak = stats.max_state_activation
+                for mask in active.values():
+                    n = mask.bit_count()
+                    total += n
+                    if n > peak:
+                        peak = n
+                stats.active_pair_total += total
+                stats.max_state_activation = peak
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = consumed if self.single_match else len(payload)
+        stats.match_count = len(matches)
+        return result
+
+    # -- numpy backend ----------------------------------------------------------
+
+    def _run_numpy(self, payload: bytes, collect_stats: bool) -> RunResult:
+        tables = self.tables
+        tables.ensure_arrays()
+        limbs = tables.limbs
+        src_tab, dst_tab, bel_tab = tables.np_src, tables.np_dst, tables.np_bel
+        final_rows_tab = tables.np_final_rows
+        init_arr = tables.np_init
+        final_arr = tables.np_final
+        slot_to_rule = tables.slot_to_rule
+        pop_on_final = self.pop_on_final
+
+        result = RunResult()
+        stats = result.stats
+        stats.mask_limbs = limbs
+        matches = result.matches
+        for rule in tables.empty_matching_rules:
+            matches.update((rule, end) for end in range(len(payload) + 1))
+
+        started = time.perf_counter()
+        sv = np.zeros((tables.num_states, limbs), dtype=np.uint64)
+        scratch = np.zeros_like(sv)
+        for position, byte in enumerate(payload, start=1):
+            src = src_tab[byte]
+            if src is None:
+                if sv.any():
+                    sv.fill(0)
+                continue
+            dst = dst_tab[byte]
+            bel = bel_tab[byte]
+            contrib = (sv[src] | init_arr[src]) & bel  # (k, limbs)
+            scratch.fill(0)
+            np.bitwise_or.at(scratch, dst, contrib)
+            sv, scratch = scratch, sv
+            rows = final_rows_tab[byte]
+            if rows is not None:
+                finals_dst = dst[rows]
+                hits = sv[finals_dst] & final_arr[finals_dst]
+                if hits.any():
+                    hit_rows, hit_limbs = np.nonzero(hits)
+                    for r, l in zip(hit_rows.tolist(), hit_limbs.tolist()):
+                        word = int(hits[r, l])
+                        for bit in _bits(word):
+                            matches.add((slot_to_rule[64 * l + bit], position))
+                        if pop_on_final:
+                            # Idempotent per (state, limb): `word` is a
+                            # snapshot, so repeated rows re-clear harmlessly.
+                            sv[int(finals_dst[r]), l] &= ~np.uint64(word)
+            if collect_stats:
+                stats.transitions_examined += len(src)
+                stats.transitions_taken += int(np.count_nonzero(contrib.any(axis=1)))
+                popcounts = _popcount_rows(sv)
+                stats.active_pair_total += int(popcounts.sum())
+                peak = int(popcounts.max()) if popcounts.size else 0
+                if peak > stats.max_state_activation:
+                    stats.max_state_activation = peak
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = len(payload)
+        stats.match_count = len(matches)
+        return result
+
+
+def _bits(mask: int) -> Iterable[int]:
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _popcount_rows(sv: np.ndarray) -> np.ndarray:
+    """Per-state popcount of a (states, limbs) uint64 activation matrix."""
+    return np.bitwise_count(sv).sum(axis=1)

@@ -1,0 +1,79 @@
+"""Match-span recovery: start offsets for reported match ends.
+
+The automata engines report matches as end offsets only (the iNFAnt /
+DPI convention — cheapest, and enough to raise an alert).  Applications
+that need the matched *span* (extraction, highlighting) can recover the
+start offsets with a backward scan: from a match end, simulate the
+reversed automaton over the stream right-to-left; every position where
+the reversed state set touches the original initial state is a valid
+start.
+
+``find_spans`` combines a forward end-offset pass with per-end backward
+scans.  Cost is O(ends × span length) in the worst case — acceptable for
+the post-filtering role it plays (the hot path stays end-offset-only).
+"""
+
+from __future__ import annotations
+
+from repro.automata.fsa import Fsa
+
+
+class SpanFinder:
+    """Span recovery for one rule's ε-free FSA."""
+
+    def __init__(self, fsa: Fsa) -> None:
+        if fsa.has_epsilon():
+            raise ValueError("SpanFinder requires an ε-free FSA")
+        self.fsa = fsa
+        # reversed transition index: dst -> [(mask, src)]
+        self._backward: dict[int, list[tuple[int, int]]] = {}
+        for t in fsa.labelled_transitions():
+            self._backward.setdefault(t.dst, []).append((t.label.mask, t.src))  # type: ignore[union-attr]
+        self._accepts_empty = fsa.initial in fsa.finals
+
+    def starts_for_end(self, data: bytes | str, end: int) -> set[int]:
+        """All start offsets s such that ``data[s:end]`` matches."""
+        payload = data.encode("latin-1") if isinstance(data, str) else data
+        if not 0 <= end <= len(payload):
+            raise ValueError(f"end offset {end} out of range")
+        starts: set[int] = set()
+        if self._accepts_empty:
+            starts.add(end)
+        current = set(self.fsa.finals)
+        for position in range(end - 1, -1, -1):
+            bit = 1 << payload[position]
+            moved: set[int] = set()
+            for state in current:
+                for mask, src in self._backward.get(state, ()):
+                    if mask & bit:
+                        moved.add(src)
+            if not moved:
+                break
+            current = moved
+            if self.fsa.initial in current:
+                starts.add(position)
+        return starts
+
+    def find_spans(self, data: bytes | str, leftmost_only: bool = False) -> set[tuple[int, int]]:
+        """All (start, end) spans of matches in the stream.
+
+        ``leftmost_only`` keeps only the leftmost (longest) start per end
+        — the usual reporting convention of scanning engines.
+        """
+        from repro.automata.simulate import find_match_ends
+
+        spans: set[tuple[int, int]] = set()
+        for end in find_match_ends(self.fsa, data):
+            starts = self.starts_for_end(data, end)
+            if not starts:
+                continue
+            if leftmost_only:
+                spans.add((min(starts), end))
+            else:
+                spans.update((start, end) for start in starts)
+        return spans
+
+
+def find_spans(fsa: Fsa, data: bytes | str, leftmost_only: bool = False) -> set[tuple[int, int]]:
+    """Convenience wrapper over :class:`SpanFinder`."""
+    return SpanFinder(fsa).find_spans(data, leftmost_only=leftmost_only)

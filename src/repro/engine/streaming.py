@@ -1,0 +1,91 @@
+"""Stateful streaming matching: feed the input in chunks.
+
+DPI engines rarely see the whole stream at once; packets arrive in
+pieces.  :class:`StreamingMatcher` carries the iMFAnt activation state
+across ``feed()`` calls, so matches spanning chunk boundaries are found
+and offsets are absolute — feeding a stream in any chunking produces
+exactly the matches of a single-shot run (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engine.tables import MfsaTables
+from repro.mfsa.model import Mfsa
+
+
+class StreamingMatcher:
+    """Incremental iMFAnt over one MFSA (pure-Python state machine)."""
+
+    def __init__(self, mfsa: Mfsa, pop_on_final: bool = False) -> None:
+        self.tables = MfsaTables.build(mfsa)
+        self.pop_on_final = pop_on_final
+        self._active: dict[int, int] = {}
+        self._offset = 0
+        self._matches: set[tuple[int, int]] = set()
+        for rule in self.tables.empty_matching_rules:
+            self._matches.add((rule, 0))
+
+    @property
+    def offset(self) -> int:
+        """Total bytes consumed so far."""
+        return self._offset
+
+    @property
+    def matches(self) -> set[tuple[int, int]]:
+        """All matches reported so far (absolute end offsets)."""
+        return set(self._matches)
+
+    def feed(self, chunk: bytes | str) -> set[tuple[int, int]]:
+        """Consume one chunk; returns the matches it produced."""
+        payload = chunk.encode("latin-1") if isinstance(chunk, str) else chunk
+        tables = self.tables
+        by_symbol = tables.by_symbol
+        init_mask = tables.init_mask
+        final_mask = tables.final_mask
+        slot_to_rule = tables.slot_to_rule
+
+        new_matches: set[tuple[int, int]] = set()
+        active = self._active
+        position = self._offset
+        empty_rules = tables.empty_matching_rules
+        for byte in payload:
+            position += 1
+            nxt: dict[int, int] = {}
+            for src, dst, bel in by_symbol[byte]:
+                mask = (active.get(src, 0) | init_mask[src]) & bel
+                if mask:
+                    nxt[dst] = nxt.get(dst, 0) | mask
+            active = nxt
+            for state, mask in nxt.items():
+                hit = mask & final_mask[state]
+                if hit:
+                    bits = hit
+                    while bits:
+                        low = bits & -bits
+                        new_matches.add((slot_to_rule[low.bit_length() - 1], position))
+                        bits ^= low
+                    if self.pop_on_final:
+                        active[state] = mask & ~hit
+            for rule in empty_rules:
+                new_matches.add((rule, position))
+        self._active = active
+        self._offset = position
+        self._matches |= new_matches
+        return new_matches
+
+    def feed_all(self, chunks: Iterable[bytes | str]) -> set[tuple[int, int]]:
+        """Consume an iterable of chunks; returns all matches produced."""
+        out: set[tuple[int, int]] = set()
+        for chunk in chunks:
+            out |= self.feed(chunk)
+        return out
+
+    def reset(self) -> None:
+        """Forget all state and reported matches; offset returns to 0."""
+        self._active = {}
+        self._offset = 0
+        self._matches = set()
+        for rule in self.tables.empty_matching_rules:
+            self._matches.add((rule, 0))

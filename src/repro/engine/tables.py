@@ -1,0 +1,161 @@
+"""Engine pre-processing: symbol-indexed transition tables.
+
+iNFAnt's core data structure "links each symbol in a standard
+256-characters alphabet to the transitions it enables" (paper §V).  Both
+engines build these tables once per automaton; building them is the
+algorithm's pre-processing step and is timed separately by the pipeline.
+
+Two encodings are produced:
+
+* Python lists of ``(src, dst)`` / ``(src, dst, bel_mask)`` tuples for the
+  interpretive engines;
+* NumPy arrays (``src``, ``dst`` vectors plus a ``(k, limbs)`` uint64
+  belonging matrix) for the vectorised engine — the CPU analogue of the
+  GPU layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.automata.fsa import Fsa
+from repro.labels import ALPHABET_SIZE
+from repro.mfsa.model import Mfsa
+
+_LIMB_BITS = 64
+
+
+def limbs_for(num_rules: int) -> int:
+    """uint64 limbs needed for a bitmask over ``num_rules`` rule slots."""
+    return max(1, (num_rules + _LIMB_BITS - 1) // _LIMB_BITS)
+
+
+def mask_to_limbs(mask: int, limbs: int) -> tuple[int, ...]:
+    return tuple((mask >> (_LIMB_BITS * i)) & 0xFFFFFFFFFFFFFFFF for i in range(limbs))
+
+
+@dataclass
+class FsaTables:
+    """Symbol-indexed tables for one plain FSA (iNFAnt layout)."""
+
+    num_states: int
+    initial: int
+    finals: frozenset[int]
+    #: per symbol: list of (src, dst) pairs enabled by it
+    by_symbol: list[list[tuple[int, int]]]
+    accepts_empty: bool
+
+    @classmethod
+    def build(cls, fsa: Fsa) -> "FsaTables":
+        if fsa.has_epsilon():
+            raise ValueError("engines require ε-free FSAs")
+        by_symbol: list[list[tuple[int, int]]] = [[] for _ in range(ALPHABET_SIZE)]
+        for t in fsa.labelled_transitions():
+            pair = (t.src, t.dst)
+            for byte in t.label.chars():  # type: ignore[union-attr]
+                by_symbol[byte].append(pair)
+        return cls(
+            num_states=fsa.num_states,
+            initial=fsa.initial,
+            finals=frozenset(fsa.finals),
+            by_symbol=by_symbol,
+            accepts_empty=fsa.initial in fsa.finals,
+        )
+
+
+@dataclass
+class MfsaTables:
+    """Symbol-indexed tables for one MFSA (iMFAnt layout).
+
+    The extra per-state field the paper adds to the state vector — the
+    activation function value — is supported via the ``init_mask`` /
+    ``final_mask`` state vectors and the per-transition ``bel`` masks.
+    """
+
+    num_states: int
+    num_rules: int
+    #: dense slot -> caller rule id
+    slot_to_rule: list[int]
+    #: per state: bitmask of rules whose initial state it is
+    init_mask: list[int]
+    #: per state: bitmask of rules it is final for
+    final_mask: list[int]
+    #: per symbol: list of (src, dst, bel_mask) triples enabled by it
+    by_symbol: list[list[tuple[int, int, int]]]
+    #: rules whose language contains ε (match at every offset)
+    empty_matching_rules: list[int]
+
+    # NumPy views (built lazily by `ensure_arrays`)
+    limbs: int = 1
+    np_src: list | None = None
+    np_dst: list | None = None
+    np_bel: list | None = None
+    np_init: "np.ndarray | None" = None
+    np_final: "np.ndarray | None" = None
+    np_final_rows: list | None = None
+
+    @classmethod
+    def build(cls, mfsa: Mfsa) -> "MfsaTables":
+        slots = mfsa.slot_of()
+        slot_to_rule = [rule for rule, _ in sorted(slots.items(), key=lambda kv: kv[1])]
+        init_mask = mfsa.initial_mask_per_state()
+        final_mask = mfsa.final_mask_per_state()
+        bel_masks = mfsa.belonging_masks()
+
+        by_symbol: list[list[tuple[int, int, int]]] = [[] for _ in range(ALPHABET_SIZE)]
+        for i, t in enumerate(mfsa.transitions):
+            triple = (t.src, t.dst, bel_masks[i])
+            for byte in t.label.chars():
+                by_symbol[byte].append(triple)
+
+        empty_rules = [rule for rule, q0 in mfsa.initials.items() if q0 in mfsa.finals[rule]]
+        return cls(
+            num_states=mfsa.num_states,
+            num_rules=mfsa.num_rules,
+            slot_to_rule=slot_to_rule,
+            init_mask=init_mask,
+            final_mask=final_mask,
+            by_symbol=by_symbol,
+            empty_matching_rules=empty_rules,
+        )
+
+    def ensure_arrays(self) -> None:
+        """Materialise the NumPy layout (idempotent)."""
+        if self.np_src is not None:
+            return
+        self.limbs = limbs_for(self.num_rules)
+        self.np_src = []
+        self.np_dst = []
+        self.np_bel = []
+        self.np_final_rows = []
+        final_arr = np.zeros((self.num_states, self.limbs), dtype=np.uint64)
+        init_arr = np.zeros((self.num_states, self.limbs), dtype=np.uint64)
+        for state in range(self.num_states):
+            final_arr[state] = mask_to_limbs(self.final_mask[state], self.limbs)
+            init_arr[state] = mask_to_limbs(self.init_mask[state], self.limbs)
+        self.np_init = init_arr
+        self.np_final = final_arr
+        for symbol in range(ALPHABET_SIZE):
+            triples = self.by_symbol[symbol]
+            if not triples:
+                self.np_src.append(None)
+                self.np_dst.append(None)
+                self.np_bel.append(None)
+                self.np_final_rows.append(None)
+                continue
+            src = np.fromiter((t[0] for t in triples), dtype=np.int64, count=len(triples))
+            dst = np.fromiter((t[1] for t in triples), dtype=np.int64, count=len(triples))
+            bel = np.zeros((len(triples), self.limbs), dtype=np.uint64)
+            for row, (_, _, mask) in enumerate(triples):
+                bel[row] = mask_to_limbs(mask, self.limbs)
+            self.np_src.append(src)
+            self.np_dst.append(dst)
+            self.np_bel.append(bel)
+            # rows whose destination can signal a match for some rule
+            rows = np.fromiter(
+                (i for i, (_, d, _) in enumerate(triples) if self.final_mask[d]),
+                dtype=np.int64,
+            )
+            self.np_final_rows.append(rows if rows.size else None)

@@ -1,0 +1,33 @@
+"""Front-end of the compilation framework: POSIX ERE lexing and parsing.
+
+The paper implements this stage with Flex and Bison; we provide an
+equivalent hand-written lexer (:mod:`repro.frontend.lexer`) and
+recursive-descent parser (:mod:`repro.frontend.parser`) producing the
+typed AST of :mod:`repro.frontend.ast`.
+"""
+
+from repro.frontend.ast import (
+    Alternation,
+    AstNode,
+    Concat,
+    Empty,
+    Literal,
+    Repeat,
+)
+from repro.frontend.errors import RegexSyntaxError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import parse
+
+__all__ = [
+    "Alternation",
+    "AstNode",
+    "Concat",
+    "Empty",
+    "Literal",
+    "Repeat",
+    "RegexSyntaxError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+]

@@ -1,0 +1,226 @@
+"""Static analysis over regex ASTs: match widths and required literals.
+
+Supports the Hyperscan-style decomposition baseline
+(:mod:`repro.decompose`, paper related work [6]): a rule whose matches
+*must* contain one of a small set of literal strings can be guarded by
+an exact-string prefilter, and a rule with a finite maximum match width
+can be confirmed on a bounded window around each literal hit.
+
+All analyses are conservative: ``None`` / unbounded results mean "no
+useful fact", never a wrong one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.ast import Alternation, AstNode, Concat, Empty, Literal, Repeat
+
+#: Caps keeping the exact-set expansion tractable.
+MAX_EXACT_STRINGS = 64
+MAX_EXACT_LENGTH = 64
+#: Character classes wider than this are not expanded into literals.
+MAX_CLASS_WIDTH = 4
+
+
+def min_width(node: AstNode) -> int:
+    """Minimum number of symbols any match consumes."""
+    if isinstance(node, Empty):
+        return 0
+    if isinstance(node, Literal):
+        return 1
+    if isinstance(node, Concat):
+        return sum(min_width(part) for part in node.parts)
+    if isinstance(node, Alternation):
+        return min(min_width(branch) for branch in node.branches)
+    if isinstance(node, Repeat):
+        return node.low * min_width(node.body)
+    raise TypeError(f"unknown AST node: {node!r}")
+
+
+def max_width(node: AstNode) -> Optional[int]:
+    """Maximum number of symbols any match consumes; None = unbounded."""
+    if isinstance(node, Empty):
+        return 0
+    if isinstance(node, Literal):
+        return 1
+    if isinstance(node, Concat):
+        total = 0
+        for part in node.parts:
+            width = max_width(part)
+            if width is None:
+                return None
+            total += width
+        return total
+    if isinstance(node, Alternation):
+        widths = [max_width(branch) for branch in node.branches]
+        if any(w is None for w in widths):
+            return None
+        return max(widths)  # type: ignore[arg-type]
+    if isinstance(node, Repeat):
+        if node.high is None:
+            return None if max_width(node.body) != 0 else 0
+        body = max_width(node.body)
+        return None if body is None else node.high * body
+    raise TypeError(f"unknown AST node: {node!r}")
+
+
+def exact_strings(node: AstNode) -> Optional[frozenset[str]]:
+    """The full language as a finite string set, or None when infinite /
+    too large (bounded by MAX_EXACT_STRINGS × MAX_EXACT_LENGTH)."""
+    if isinstance(node, Empty):
+        return frozenset({""})
+    if isinstance(node, Literal):
+        if len(node.charclass) > MAX_CLASS_WIDTH:
+            return None
+        return frozenset(chr(b) for b in node.charclass.chars())
+    if isinstance(node, Concat):
+        result = frozenset({""})
+        for part in node.parts:
+            tails = exact_strings(part)
+            if tails is None:
+                return None
+            result = frozenset(a + b for a in result for b in tails)
+            if len(result) > MAX_EXACT_STRINGS or any(len(s) > MAX_EXACT_LENGTH for s in result):
+                return None
+        return result
+    if isinstance(node, Alternation):
+        result: set[str] = set()
+        for branch in node.branches:
+            strings = exact_strings(branch)
+            if strings is None:
+                return None
+            result |= strings
+            if len(result) > MAX_EXACT_STRINGS:
+                return None
+        return frozenset(result)
+    if isinstance(node, Repeat):
+        if node.high is None:
+            return None
+        result: set[str] = set()
+        body = exact_strings(node.body)
+        if body is None:
+            return None
+        for count in range(node.low, node.high + 1):
+            layer = frozenset({""})
+            for _ in range(count):
+                layer = frozenset(a + b for a in layer for b in body)
+                if len(layer) > MAX_EXACT_STRINGS:
+                    return None
+            result |= layer
+            if len(result) > MAX_EXACT_STRINGS or any(len(s) > MAX_EXACT_LENGTH for s in result):
+                return None
+        return frozenset(result)
+    raise TypeError(f"unknown AST node: {node!r}")
+
+
+@dataclass(frozen=True)
+class RequiredLiterals:
+    """A *required factor set*: every match contains at least one member
+    as a contiguous substring.  Smaller sets with longer members make
+    better prefilters; ``quality()`` scores that."""
+
+    literals: frozenset[str]
+
+    def quality(self) -> float:
+        if not self.literals:
+            return 0.0
+        shortest = min(len(s) for s in self.literals)
+        return shortest / (1.0 + 0.1 * len(self.literals))
+
+
+def required_literals(node: AstNode) -> Optional[RequiredLiterals]:
+    """A required factor set for the node's language, or None.
+
+    Soundness invariant (property-tested): every string matching the RE
+    contains some member of the returned set as a substring.
+    """
+    candidates = _candidate_sets(node)
+    if not candidates:
+        return None
+    best = max(candidates, key=lambda c: c.quality())
+    if best.quality() <= 0 or any(not s for s in best.literals):
+        return None
+    return best
+
+
+def _bounded_cross(heads: frozenset[str], tails: frozenset[str]) -> frozenset[str] | None:
+    """Concatenation cross-product, or None when it exceeds the caps."""
+    if len(heads) * len(tails) > MAX_EXACT_STRINGS:
+        return None
+    combined = frozenset(a + b for a in heads for b in tails)
+    if any(len(s) > MAX_EXACT_LENGTH for s in combined):
+        return None
+    return combined
+
+
+def _candidate_sets(node: AstNode) -> list[RequiredLiterals]:
+    """All discovered required factor sets for the node (possibly empty)."""
+    if isinstance(node, Concat):
+        return _concat_candidates(node)
+
+    exact = exact_strings(node)
+    if exact is not None and exact and all(exact):
+        return [RequiredLiterals(frozenset(exact))]
+
+    if isinstance(node, Alternation):
+        # A factor set exists only when every branch provides one; the
+        # union then covers every match.
+        per_branch: list[RequiredLiterals] = []
+        for branch in node.branches:
+            sets = _candidate_sets(branch)
+            if not sets:
+                return []
+            per_branch.append(max(sets, key=lambda c: c.quality()))
+        merged = frozenset().union(*(c.literals for c in per_branch))
+        if len(merged) > MAX_EXACT_STRINGS:
+            return []
+        return [RequiredLiterals(merged)]
+    if isinstance(node, Repeat):
+        if node.low >= 1:
+            # The body occurs at least once, so its factors are required.
+            return _candidate_sets(node.body)
+        return []
+    if isinstance(node, Literal):
+        if len(node.charclass) <= MAX_CLASS_WIDTH:
+            return [RequiredLiterals(frozenset(chr(b) for b in node.charclass.chars()))]
+        return []
+    return []
+
+
+def _concat_candidates(node: Concat) -> list[RequiredLiterals]:
+    """Factor sets for a concatenation.
+
+    Every part is mandatory, so each part's factor sets carry over; in
+    addition, maximal runs of exactly-expandable adjacent parts combine
+    into longer (higher-quality) factors — in ``foo.*barbar`` the runs
+    yield ``foo`` and ``barbar``, not single letters.  Parts that can
+    match the empty string (optional content) terminate a run instead of
+    diluting its factors.
+    """
+    out: list[RequiredLiterals] = []
+    run: frozenset[str] | None = None
+
+    def flush(current: frozenset[str] | None) -> None:
+        if current and all(current):
+            out.append(RequiredLiterals(current))
+
+    for part in node.parts:
+        exact = exact_strings(part)
+        if exact is not None and "" not in exact:
+            combined = _bounded_cross(run if run is not None else frozenset({""}), exact)
+            if combined is not None:
+                run = combined
+                continue
+            # over budget: keep the finished run, restart from this part
+            flush(run)
+            run = exact
+            continue
+        flush(run)
+        run = None
+        if exact is None:
+            out.extend(_candidate_sets(part))
+        # optional exact parts ("" in exact) contribute nothing required
+    flush(run)
+    return out

@@ -1,0 +1,219 @@
+"""Typed abstract syntax tree for POSIX extended regular expressions.
+
+The parser produces these nodes; the mid-end consumes them, first through
+the loop-expansion rewrite (:mod:`repro.automata.loops`) and then through
+Thompson construction (:mod:`repro.automata.thompson`).
+
+Only the *regular* core of POSIX ERE is modelled (the paper does the same;
+backreferences are explicitly future work).  Anchors are not part of the
+paper's streaming-match model and are rejected by the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.labels import CharClass
+
+#: Marker for an unbounded repetition upper bound (``*``, ``+``, ``{m,}``).
+UNBOUNDED: Optional[int] = None
+
+
+class AstNode:
+    """Base class for regex AST nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["AstNode", ...]:
+        return ()
+
+    def walk(self) -> Iterator["AstNode"]:
+        """Depth-first pre-order traversal of the subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def pattern(self) -> str:
+        """Render the subtree back to an ERE string (parenthesised safely)."""
+        raise NotImplementedError
+
+    # Nodes are compared structurally; used heavily in tests.
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+
+    def _key(self):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, eq=False)
+class Empty(AstNode):
+    """The empty string (epsilon), e.g. one branch of ``(a|)``."""
+
+    def pattern(self) -> str:
+        return ""
+
+    def _key(self):
+        return ()
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(AstNode):
+    """One input symbol drawn from a character class.
+
+    Plain characters are singleton classes; bracket expressions and ``.``
+    are wider classes.
+    """
+
+    charclass: CharClass
+
+    def pattern(self) -> str:
+        return self.charclass.pattern()
+
+    def _key(self):
+        return (self.charclass.mask,)
+
+
+@dataclass(frozen=True, eq=False)
+class Concat(AstNode):
+    """Concatenation of two or more sub-expressions."""
+
+    parts: tuple[AstNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Concat requires at least two parts")
+
+    def children(self) -> tuple[AstNode, ...]:
+        return self.parts
+
+    def pattern(self) -> str:
+        rendered = []
+        for part in self.parts:
+            text = part.pattern()
+            if isinstance(part, Alternation):
+                text = f"({text})"
+            rendered.append(text)
+        return "".join(rendered)
+
+    def _key(self):
+        return self.parts
+
+
+@dataclass(frozen=True, eq=False)
+class Alternation(AstNode):
+    """Alternation between two or more branches: ``a|b|c``."""
+
+    branches: tuple[AstNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise ValueError("Alternation requires at least two branches")
+
+    def children(self) -> tuple[AstNode, ...]:
+        return self.branches
+
+    def pattern(self) -> str:
+        return "|".join(branch.pattern() for branch in self.branches)
+
+    def _key(self):
+        return self.branches
+
+
+@dataclass(frozen=True, eq=False)
+class Repeat(AstNode):
+    """Quantified sub-expression: ``x*``, ``x+``, ``x?``, ``x{m,n}``.
+
+    ``high`` is :data:`UNBOUNDED` (``None``) for ``*``, ``+`` and ``{m,}``.
+    The paper's loop-expansion pass (§IV-C) rewrites bounded repeats into
+    explicit concatenations before merging; see
+    :func:`repro.automata.loops.expand_loops`.
+    """
+
+    body: AstNode
+    low: int
+    high: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.low < 0:
+            raise ValueError("repeat lower bound must be >= 0")
+        if self.high is not None and self.high < self.low:
+            raise ValueError("repeat upper bound below lower bound")
+
+    def children(self) -> tuple[AstNode, ...]:
+        return (self.body,)
+
+    def quantifier(self) -> str:
+        if (self.low, self.high) == (0, UNBOUNDED):
+            return "*"
+        if (self.low, self.high) == (1, UNBOUNDED):
+            return "+"
+        if (self.low, self.high) == (0, 1):
+            return "?"
+        if self.high == self.low:
+            return f"{{{self.low}}}"
+        if self.high is UNBOUNDED:
+            return f"{{{self.low},}}"
+        return f"{{{self.low},{self.high}}}"
+
+    def pattern(self) -> str:
+        text = self.body.pattern()
+        if not isinstance(self.body, Literal):
+            text = f"({text})"
+        return text + self.quantifier()
+
+    def _key(self):
+        return (self.body, self.low, self.high)
+
+
+def map_ast(node: AstNode, fn: Callable[[AstNode], AstNode]) -> AstNode:
+    """Bottom-up structural rewrite: apply ``fn`` to every node.
+
+    Children are rewritten first, then ``fn`` is applied to the rebuilt
+    node.  Used by normalisation passes such as loop expansion.
+    """
+    if isinstance(node, Concat):
+        node = concat([map_ast(p, fn) for p in node.parts])
+    elif isinstance(node, Alternation):
+        node = alternation([map_ast(b, fn) for b in node.branches])
+    elif isinstance(node, Repeat):
+        node = Repeat(map_ast(node.body, fn), node.low, node.high)
+    return fn(node)
+
+
+def concat(parts: list[AstNode]) -> AstNode:
+    """Smart concatenation: flattens nesting and drops epsilons."""
+    flat: list[AstNode] = []
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return Empty()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def alternation(branches: list[AstNode]) -> AstNode:
+    """Smart alternation: flattens nested alternations, keeps duplicates."""
+    flat: list[AstNode] = []
+    for branch in branches:
+        if isinstance(branch, Alternation):
+            flat.extend(branch.branches)
+        else:
+            flat.append(branch)
+    if len(flat) == 1:
+        return flat[0]
+    return Alternation(tuple(flat))
+
+
+def count_literals(node: AstNode) -> int:
+    """Number of Literal leaves; a rough size proxy used by dataset stats."""
+    return sum(1 for n in node.walk() if isinstance(n, Literal))

@@ -1,0 +1,42 @@
+"""Case-insensitive matching support (the DPI ``nocase`` option).
+
+Snort/Suricata rules routinely match case-insensitively; automata
+engines implement this at *compile* time by widening every literal's
+character class with its ASCII case counterpart — `[aA]` behaviour
+without runtime folding, so engine hot loops are untouched.
+
+``fold_case`` is an AST→AST rewrite applied before construction
+(`OptimizeOptions.case_insensitive=True` threads it through the
+pipeline); matches agree with ``re.IGNORECASE`` on the ASCII subset
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast import AstNode, Literal, map_ast
+from repro.labels import CharClass
+
+_UPPER_LO, _UPPER_HI = 0x41, 0x5A
+_LOWER_LO, _LOWER_HI = 0x61, 0x7A
+_CASE_DELTA = 0x20
+
+
+def fold_charclass(charclass: CharClass) -> CharClass:
+    """Widen a class with the ASCII case counterparts of its members."""
+    mask = charclass.mask
+    upper_members = mask & (((1 << (_UPPER_HI + 1)) - 1) & ~((1 << _UPPER_LO) - 1))
+    lower_members = mask & (((1 << (_LOWER_HI + 1)) - 1) & ~((1 << _LOWER_LO) - 1))
+    return CharClass(mask | (upper_members << _CASE_DELTA) | (lower_members >> _CASE_DELTA))
+
+
+def fold_case(node: AstNode) -> AstNode:
+    """Rewrite every literal to match both cases (see module docstring)."""
+
+    def rewrite(n: AstNode) -> AstNode:
+        if isinstance(n, Literal):
+            folded = fold_charclass(n.charclass)
+            if folded != n.charclass:
+                return Literal(folded)
+        return n
+
+    return map_ast(node, rewrite)

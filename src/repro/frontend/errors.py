@@ -1,0 +1,21 @@
+"""Diagnostics for the regular-expression front-end."""
+
+from __future__ import annotations
+
+
+class RegexSyntaxError(ValueError):
+    """A lexical or syntactic error in an input regular expression.
+
+    Carries the offending pattern and the character offset so callers can
+    render a caret diagnostic.
+    """
+
+    def __init__(self, message: str, pattern: str, position: int) -> None:
+        self.message = message
+        self.pattern = pattern
+        self.position = position
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        caret = " " * self.position + "^"
+        return f"{self.message} at offset {self.position}\n  {self.pattern}\n  {caret}"

@@ -1,0 +1,265 @@
+"""Lexer for POSIX extended regular expressions.
+
+Produces a flat token stream for :mod:`repro.frontend.parser`.  Bracket
+expressions (``[...]``) are lexed as a single :data:`TokenKind.CHARCLASS`
+token whose value is a fully-resolved :class:`repro.labels.CharClass`,
+since their internal grammar is independent of the surrounding ERE
+grammar.  Escapes are resolved here as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, Optional
+
+from repro.frontend.errors import RegexSyntaxError
+from repro.labels import CharClass
+
+_ESCAPES = {
+    "n": 0x0A,
+    "t": 0x09,
+    "r": 0x0D,
+    "f": 0x0C,
+    "v": 0x0B,
+    "a": 0x07,
+    "0": 0x00,
+}
+
+#: Shorthand classes (common extensions accepted by the front-end).
+_SHORTHAND = {
+    "d": CharClass.posix("digit"),
+    "D": CharClass.posix("digit").negate(),
+    "w": CharClass.posix("alnum") | CharClass.single("_"),
+    "W": (CharClass.posix("alnum") | CharClass.single("_")).negate(),
+    "s": CharClass.posix("space"),
+    "S": CharClass.posix("space").negate(),
+}
+
+
+class TokenKind(Enum):
+    CHAR = auto()  # a literal character (value: int byte)
+    CHARCLASS = auto()  # a resolved bracket expression / dot (value: CharClass)
+    LPAREN = auto()
+    RPAREN = auto()
+    ALTERNATE = auto()  # |
+    STAR = auto()
+    PLUS = auto()
+    QUESTION = auto()
+    REPEAT = auto()  # {m,n}; value: (low, high|None)
+    END = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    position: int
+    value: object = None
+
+    def __repr__(self) -> str:  # compact for test failure output
+        if self.value is None:
+            return f"<{self.kind.name}@{self.position}>"
+        return f"<{self.kind.name}@{self.position}:{self.value!r}>"
+
+
+class _Scanner:
+    """Character-level cursor over the pattern with error reporting."""
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.pattern)
+
+    def peek(self) -> Optional[str]:
+        return None if self.eof() else self.pattern[self.pos]
+
+    def advance(self) -> str:
+        ch = self.pattern[self.pos]
+        self.pos += 1
+        return ch
+
+    def error(self, message: str, position: Optional[int] = None) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.pos if position is None else position)
+
+
+def tokenize(pattern: str) -> list[Token]:
+    """Tokenize an ERE pattern; raises :class:`RegexSyntaxError` on bad input."""
+    scanner = _Scanner(pattern)
+    tokens: list[Token] = []
+    while not scanner.eof():
+        start = scanner.pos
+        ch = scanner.advance()
+        if ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, start))
+        elif ch == ")":
+            tokens.append(Token(TokenKind.RPAREN, start))
+        elif ch == "|":
+            tokens.append(Token(TokenKind.ALTERNATE, start))
+        elif ch == "*":
+            tokens.append(Token(TokenKind.STAR, start))
+        elif ch == "+":
+            tokens.append(Token(TokenKind.PLUS, start))
+        elif ch == "?":
+            tokens.append(Token(TokenKind.QUESTION, start))
+        elif ch == "{":
+            tokens.append(_lex_bound(scanner, start))
+        elif ch == "}":
+            raise scanner.error("unmatched '}'", start)
+        elif ch == "[":
+            tokens.append(Token(TokenKind.CHARCLASS, start, _lex_bracket(scanner, start)))
+        elif ch == "]":
+            raise scanner.error("unmatched ']'", start)
+        elif ch == ".":
+            tokens.append(Token(TokenKind.CHARCLASS, start, CharClass.any_char()))
+        elif ch in ("^", "$"):
+            raise scanner.error(
+                "anchors are not supported in the streaming-match model", start
+            )
+        elif ch == "\\":
+            tokens.append(_lex_escape(scanner, start))
+        else:
+            byte = ord(ch)
+            if byte > 0xFF:
+                raise scanner.error(f"non-byte character {ch!r}", start)
+            tokens.append(Token(TokenKind.CHAR, start, byte))
+    tokens.append(Token(TokenKind.END, len(pattern)))
+    return tokens
+
+
+def _lex_escape(scanner: _Scanner, start: int) -> Token:
+    if scanner.eof():
+        raise scanner.error("trailing backslash", start)
+    ch = scanner.advance()
+    if ch in _SHORTHAND:
+        return Token(TokenKind.CHARCLASS, start, _SHORTHAND[ch])
+    if ch in _ESCAPES:
+        return Token(TokenKind.CHAR, start, _ESCAPES[ch])
+    if ch in "123456789":
+        # Non-regular operator: rejected explicitly rather than silently
+        # matching a literal digit (the paper defers backreferences to
+        # future work [50]).
+        raise scanner.error(f"backreference \\{ch} is not supported (non-regular)", start)
+    if ch == "x":
+        return Token(TokenKind.CHAR, start, _lex_hex(scanner, start))
+    byte = ord(ch)
+    if byte > 0xFF:
+        raise scanner.error(f"non-byte character {ch!r}", start)
+    # POSIX: a backslash before any other character matches that character.
+    return Token(TokenKind.CHAR, start, byte)
+
+
+def _lex_hex(scanner: _Scanner, start: int) -> int:
+    digits = ""
+    while len(digits) < 2 and not scanner.eof() and scanner.peek() in "0123456789abcdefABCDEF":
+        digits += scanner.advance()
+    if len(digits) != 2:
+        raise scanner.error("\\x escape requires two hex digits", start)
+    return int(digits, 16)
+
+
+def _lex_bound(scanner: _Scanner, start: int) -> Token:
+    """Lex the interior of ``{m}``, ``{m,}`` or ``{m,n}``."""
+    body = ""
+    while not scanner.eof() and scanner.peek() != "}":
+        body += scanner.advance()
+    if scanner.eof():
+        raise scanner.error("unterminated '{' bound", start)
+    scanner.advance()  # consume '}'
+    head, sep, tail = body.partition(",")
+    if not head.isdigit():
+        raise scanner.error(f"invalid repetition bound {{{body}}}", start)
+    low = int(head)
+    if not sep:
+        high: Optional[int] = low
+    elif tail == "":
+        high = None
+    elif tail.isdigit():
+        high = int(tail)
+    else:
+        raise scanner.error(f"invalid repetition bound {{{body}}}", start)
+    if high is not None and high < low:
+        raise scanner.error(f"repetition bound {{{body}}} has max < min", start)
+    return Token(TokenKind.REPEAT, start, (low, high))
+
+
+def _lex_bracket(scanner: _Scanner, start: int) -> CharClass:
+    """Lex a bracket expression body (the ``[`` is already consumed)."""
+    negated = False
+    if scanner.peek() == "^":
+        scanner.advance()
+        negated = True
+    members = CharClass.empty()
+    first = True
+    while True:
+        if scanner.eof():
+            raise scanner.error("unterminated bracket expression", start)
+        if scanner.peek() == "]" and not first:
+            scanner.advance()
+            break
+        item, item_is_class = _bracket_item(scanner, start)
+        first = False
+        # Range detection: item '-' item, where both ends are single chars.
+        if (
+            not item_is_class
+            and scanner.peek() == "-"
+            and _range_end_follows(scanner)
+        ):
+            scanner.advance()  # consume '-'
+            end, end_is_class = _bracket_item(scanner, start)
+            if end_is_class:
+                raise scanner.error("character class cannot end a range", start)
+            if end < item:
+                raise scanner.error("reversed range in bracket expression", start)
+            members = members | CharClass.from_range(item, end)
+        elif item_is_class:
+            members = members | item  # type: ignore[operator]
+        else:
+            members = members | CharClass.single(item)  # type: ignore[arg-type]
+    return members.negate() if negated else members
+
+
+def _range_end_follows(scanner: _Scanner) -> bool:
+    """True when the '-' at the cursor starts a range (not a literal '-]')."""
+    nxt = scanner.pattern[scanner.pos + 1] if scanner.pos + 1 < len(scanner.pattern) else None
+    return nxt is not None and nxt != "]"
+
+
+def _bracket_item(scanner: _Scanner, start: int) -> tuple[object, bool]:
+    """One bracket item: returns ``(byte, False)`` or ``(CharClass, True)``."""
+    ch = scanner.advance()
+    if ch == "[" and scanner.peek() == ":":
+        scanner.advance()  # ':'
+        name = ""
+        while not scanner.eof() and scanner.peek() != ":":
+            name += scanner.advance()
+        if scanner.eof():
+            raise scanner.error("unterminated [:class:]", start)
+        scanner.advance()  # ':'
+        if scanner.eof() or scanner.advance() != "]":
+            raise scanner.error("malformed [:class:]", start)
+        try:
+            return CharClass.posix(name), True
+        except ValueError as exc:
+            raise scanner.error(str(exc), start) from None
+    if ch == "\\":
+        if scanner.eof():
+            raise scanner.error("trailing backslash in bracket expression", start)
+        esc = scanner.advance()
+        if esc in _SHORTHAND:
+            return _SHORTHAND[esc], True
+        if esc in _ESCAPES:
+            return _ESCAPES[esc], False
+        if esc == "x":
+            return _lex_hex(scanner, start), False
+        return ord(esc), False
+    byte = ord(ch)
+    if byte > 0xFF:
+        raise scanner.error(f"non-byte character {ch!r}", start)
+    return byte, False
+
+
+def token_stream(pattern: str) -> Iterator[Token]:
+    """Convenience generator wrapper over :func:`tokenize`."""
+    yield from tokenize(pattern)

@@ -1,0 +1,125 @@
+"""Recursive-descent parser for POSIX extended regular expressions.
+
+Grammar (standard ERE, minus anchors and backreferences):
+
+    alternation := concat ('|' concat)*
+    concat      := repeat*
+    repeat      := atom quantifier*
+    quantifier  := '*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}'
+    atom        := CHAR | CHARCLASS | '(' alternation ')'
+
+An empty concat (e.g. one side of ``(a|)`` or the whole pattern ``""``)
+parses to :class:`repro.frontend.ast.Empty`.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast import (
+    AstNode,
+    Empty,
+    Literal,
+    Repeat,
+    alternation,
+    concat,
+)
+from repro.frontend.errors import RegexSyntaxError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.labels import CharClass
+
+_QUANTIFIERS = {
+    TokenKind.STAR: (0, None),
+    TokenKind.PLUS: (1, None),
+    TokenKind.QUESTION: (0, 1),
+}
+
+_ATOM_STARTERS = {TokenKind.CHAR, TokenKind.CHARCLASS, TokenKind.LPAREN}
+
+
+class _Parser:
+    def __init__(self, pattern: str, tokens: list[Token]) -> None:
+        self.pattern = pattern
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def error(self, message: str, token: Token) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, token.position)
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_alternation(self) -> AstNode:
+        branches = [self.parse_concat()]
+        while self.peek().kind is TokenKind.ALTERNATE:
+            self.advance()
+            branches.append(self.parse_concat())
+        if len(branches) == 1:
+            return branches[0]
+        return alternation(branches)
+
+    def parse_concat(self) -> AstNode:
+        parts: list[AstNode] = []
+        while self.peek().kind in _ATOM_STARTERS:
+            parts.append(self.parse_repeat())
+        if not parts:
+            return Empty()
+        return concat(parts)
+
+    def parse_repeat(self) -> AstNode:
+        node = self.parse_atom()
+        while True:
+            token = self.peek()
+            if token.kind in _QUANTIFIERS:
+                self.advance()
+                low, high = _QUANTIFIERS[token.kind]
+                node = Repeat(node, low, high)
+            elif token.kind is TokenKind.REPEAT:
+                self.advance()
+                low, high = token.value  # type: ignore[misc]
+                node = Repeat(node, low, high)
+            else:
+                return node
+
+    def parse_atom(self) -> AstNode:
+        token = self.advance()
+        if token.kind is TokenKind.CHAR:
+            return Literal(CharClass.single(token.value))  # type: ignore[arg-type]
+        if token.kind is TokenKind.CHARCLASS:
+            charclass = token.value
+            assert isinstance(charclass, CharClass)
+            if charclass.is_empty():
+                raise self.error("empty character class matches nothing", token)
+            return Literal(charclass)
+        if token.kind is TokenKind.LPAREN:
+            inner = self.parse_alternation()
+            closing = self.advance()
+            if closing.kind is not TokenKind.RPAREN:
+                raise self.error("expected ')'", closing)
+            return inner
+        if token.kind is TokenKind.RPAREN:
+            raise self.error("unmatched ')'", token)
+        if token.kind in (TokenKind.STAR, TokenKind.PLUS, TokenKind.QUESTION, TokenKind.REPEAT):
+            raise self.error("quantifier with nothing to repeat", token)
+        raise self.error("unexpected end of pattern", token)
+
+
+def parse(pattern: str) -> AstNode:
+    """Parse an ERE pattern into an AST.
+
+    Raises :class:`RegexSyntaxError` for lexical or syntactic errors; this
+    is the paper's front-end "compliance with POSIX ERE" check.
+    """
+    parser = _Parser(pattern, tokenize(pattern))
+    node = parser.parse_alternation()
+    trailing = parser.peek()
+    if trailing.kind is not TokenKind.END:
+        raise parser.error("trailing input after pattern", trailing)
+    return node

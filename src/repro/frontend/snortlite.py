@@ -1,0 +1,276 @@
+"""Snort-lite rule ingestion: IDS-style rules → compile-ready patterns.
+
+DPI rulesets rarely arrive as bare EREs; Snort/Suricata rules wrap them
+in an action header and an option list.  This module parses the subset
+that matters for pattern matching, so real-world-shaped rule files feed
+the pipeline directly::
+
+    alert tcp any any -> any 80 (msg:"SQLi probe"; \
+        content:"union select"; nocase; sid:1001;)
+    alert tcp any any -> any any (pcre:"/etc\\/(passwd|shadow)/"; sid:1002;)
+
+Supported options:
+
+* ``content:"..."`` — literal bytes; ``|41 42|`` hex escapes; multiple
+  contents AND-combine in order (joined with ``.*``);
+* ``pcre:"/.../"`` — the inner pattern is taken as our ERE subset
+  (flags: only ``i`` is honoured);
+* ``nocase`` — case-insensitive matching for the preceding content;
+* ``msg:"..."``, ``sid:N`` — carried as metadata.
+
+Anything else in the option list is ignored (recorded in
+``SnortRule.ignored_options``), and malformed rules raise
+:class:`SnortParseError` with the line number.
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+from dataclasses import dataclass, field
+from typing import Optional
+
+_ERE_SPECIAL = set(".^$*+?()[]{}|\\")
+
+
+class SnortParseError(ValueError):
+    """A malformed snort-lite rule; carries the 1-based line number."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass
+class SnortRule:
+    """One parsed rule, ready for the compilation pipeline."""
+
+    action: str
+    header: str
+    pattern: str
+    msg: Optional[str] = None
+    sid: Optional[int] = None
+    nocase: bool = False
+    ignored_options: list[str] = field(default_factory=list)
+    line: int = 0
+
+
+_HEADER = _stdlib_re.compile(
+    r"^(alert|log|pass|drop|reject)\s+(\S+\s+\S+\s+\S+\s+->\s+\S+\s+\S+)\s*\((.*)\)\s*$"
+)
+
+
+def parse_rules(text: str) -> list[SnortRule]:
+    """Parse a snort-lite rule file (one rule per line, ``\\`` continuations,
+    ``#`` comments)."""
+    rules: list[SnortRule] = []
+    pending = ""
+    pending_start = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not pending:
+            pending_start = number
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        pending += line
+        rules.append(_parse_rule(pending, pending_start))
+        pending = ""
+    if pending:
+        raise SnortParseError("unterminated continuation", pending_start)
+    return rules
+
+
+def _parse_rule(line: str, number: int) -> SnortRule:
+    match = _HEADER.match(line)
+    if not match:
+        raise SnortParseError("malformed rule header", number)
+    action, header, body = match.groups()
+
+    contents: list[tuple[str, bool]] = []  # (escaped ERE fragment, nocase)
+    pcre: Optional[str] = None
+    pcre_nocase = False
+    msg: Optional[str] = None
+    sid: Optional[int] = None
+    ignored: list[str] = []
+
+    for option in _split_options(body, number):
+        key, _, value = option.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if key == "content":
+            contents.append((_content_to_ere(_unquote(value, number), number), False))
+        elif key == "nocase":
+            if not contents:
+                raise SnortParseError("nocase before any content", number)
+            fragment, _ = contents[-1]
+            contents[-1] = (fragment, True)
+        elif key == "pcre":
+            pcre, pcre_nocase = _parse_pcre(_unquote(value, number), number)
+        elif key == "msg":
+            msg = _unquote(value, number)
+        elif key == "sid":
+            try:
+                sid = int(value)
+            except ValueError:
+                raise SnortParseError(f"bad sid {value!r}", number) from None
+        else:
+            ignored.append(key)
+
+    pattern, nocase = _combine(contents, pcre, pcre_nocase, number)
+    return SnortRule(
+        action=action,
+        header=header.strip(),
+        pattern=pattern,
+        msg=msg,
+        sid=sid,
+        nocase=nocase,
+        ignored_options=ignored,
+        line=number,
+    )
+
+
+def _split_options(body: str, number: int) -> list[str]:
+    """Split on ';' outside quoted strings."""
+    options: list[str] = []
+    current = ""
+    in_quotes = False
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == '"' and (i == 0 or body[i - 1] != "\\"):
+            in_quotes = not in_quotes
+        if ch == ";" and not in_quotes:
+            if current.strip():
+                options.append(current.strip())
+            current = ""
+        else:
+            current += ch
+        i += 1
+    if in_quotes:
+        raise SnortParseError("unterminated quoted string", number)
+    if current.strip():
+        options.append(current.strip())
+    return options
+
+
+def _unquote(value: str, number: int) -> str:
+    if len(value) < 2 or not (value.startswith('"') and value.endswith('"')):
+        raise SnortParseError(f"expected quoted value, got {value!r}", number)
+    return value[1:-1].replace('\\"', '"')
+
+
+def _content_to_ere(content: str, number: int) -> str:
+    """Literal content (with |hex| blocks) → an escaped ERE fragment."""
+    out: list[str] = []
+    i = 0
+    while i < len(content):
+        ch = content[i]
+        if ch == "|":
+            end = content.find("|", i + 1)
+            if end == -1:
+                raise SnortParseError("unterminated |hex| block", number)
+            for token in content[i + 1 : end].split():
+                try:
+                    byte = int(token, 16)
+                except ValueError:
+                    raise SnortParseError(f"bad hex byte {token!r}", number) from None
+                out.append(f"\\x{byte:02x}")
+            i = end + 1
+            continue
+        out.append("\\" + ch if ch in _ERE_SPECIAL else ch)
+        i += 1
+    if not out:
+        raise SnortParseError("empty content", number)
+    return "".join(out)
+
+
+def _parse_pcre(value: str, number: int) -> tuple[str, bool]:
+    if not value.startswith("/"):
+        raise SnortParseError("pcre value must start with '/'", number)
+    end = value.rfind("/")
+    if end == 0:
+        raise SnortParseError("unterminated pcre pattern", number)
+    flags = value[end + 1 :]
+    unsupported = set(flags) - {"i", "s"}
+    if unsupported:
+        raise SnortParseError(f"unsupported pcre flags {''.join(sorted(unsupported))!r}", number)
+    return value[1:end], "i" in flags
+
+
+def _combine(
+    contents: list[tuple[str, bool]],
+    pcre: Optional[str],
+    pcre_nocase: bool,
+    number: int,
+) -> tuple[str, bool]:
+    """AND-combine contents (ordered, gap-tolerant) and the pcre pattern."""
+    parts = [fragment for fragment, _ in contents]
+    if pcre is not None:
+        parts.append(pcre)
+    if not parts:
+        raise SnortParseError("rule has neither content nor pcre", number)
+    nocase_flags = [flag for _, flag in contents] + ([pcre_nocase] if pcre is not None else [])
+    # A rule is compiled case-insensitively when every matching option is.
+    nocase = all(nocase_flags) and bool(nocase_flags)
+    return ".*".join(parts), nocase
+
+
+def compile_snort_rules(text: str):
+    """Parse rules and compile them into per-rule FSAs.
+
+    Returns ``(rules, fsas)`` where ``fsas[i]`` matches ``rules[i]``
+    (case folding applied per rule's nocase flag).  Mixed-case rulesets
+    compile per rule rather than globally.
+    """
+    from repro.automata.optimize import OptimizeOptions, compile_re_to_fsa
+
+    rules = parse_rules(text)
+    fsas = []
+    for rule in rules:
+        options = OptimizeOptions(case_insensitive=rule.nocase)
+        fsas.append(compile_re_to_fsa(rule.pattern, options))
+    return rules, fsas
+
+
+class SnortRulesetEngine:
+    """Turn-key matcher for a snort-lite rule file.
+
+    Rules split by their nocase flag (case folding is a compile-time
+    property), each group merges into MFSAs at the given merging factor,
+    and ``scan`` reports alerts as ``(SnortRule, end_offset)`` pairs —
+    the library form of what a hand-rolled IDS loop would do.
+    """
+
+    def __init__(self, text: str, merging_factor: int = 0) -> None:
+        from repro.automata.optimize import OptimizeOptions
+        from repro.engine.imfant import IMfantEngine
+        from repro.pipeline.compiler import CompileOptions, compile_ruleset
+
+        self.rules = parse_rules(text)
+        self._groups: list[tuple[list[SnortRule], list[IMfantEngine]]] = []
+        for flag in (False, True):
+            members = [r for r in self.rules if r.nocase is flag]
+            if not members:
+                continue
+            compiled = compile_ruleset(
+                [r.pattern for r in members],
+                CompileOptions(
+                    merging_factor=merging_factor,
+                    emit_anml=False,
+                    optimize=OptimizeOptions(case_insensitive=flag),
+                ),
+            )
+            engines = [IMfantEngine(mfsa) for mfsa in compiled.mfsas]
+            self._groups.append((members, engines))
+
+    def scan(self, data: bytes | str) -> list[tuple[SnortRule, int]]:
+        """All alerts on the stream, ordered by end offset."""
+        alerts: list[tuple[SnortRule, int]] = []
+        for members, engines in self._groups:
+            for engine in engines:
+                for rule_index, end in engine.run(data, collect_stats=False).matches:
+                    alerts.append((members[rule_index], end))
+        alerts.sort(key=lambda pair: (pair[1], pair[0].sid or 0))
+        return alerts

@@ -1,0 +1,232 @@
+"""Transition labels: sets of byte symbols over the 256-symbol alphabet.
+
+Every non-epsilon transition in an FSA or MFSA is enabled by a
+:class:`CharClass` — an immutable set of byte values represented as a
+256-bit integer bitmask.  Single characters are singleton classes, POSIX
+bracket expressions (``[a-f0-9]``, ``[^\\n]``, ``[[:digit:]]``) are larger
+classes, and ``.`` is the full alphabet minus newline (POSIX ERE).
+
+Two labels are *mergeable* by the MFSA merging algorithm iff they describe
+exactly the same character set, i.e. iff their bitmasks are equal (paper
+§III-A: ``CC_k,1 == CC_l,2``).  Using a canonical bitmask makes that test a
+single integer comparison.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+ALPHABET_SIZE = 256
+FULL_MASK = (1 << ALPHABET_SIZE) - 1
+
+#: POSIX character class names -> predicate over byte values (ASCII rules).
+_POSIX_CLASSES = {
+    "alnum": lambda b: chr(b).isalnum() and b < 128,
+    "alpha": lambda b: chr(b).isalpha() and b < 128,
+    "blank": lambda b: b in (0x20, 0x09),
+    "cntrl": lambda b: b < 0x20 or b == 0x7F,
+    "digit": lambda b: 0x30 <= b <= 0x39,
+    "graph": lambda b: 0x21 <= b <= 0x7E,
+    "lower": lambda b: 0x61 <= b <= 0x7A,
+    "print": lambda b: 0x20 <= b <= 0x7E,
+    "punct": lambda b: (0x21 <= b <= 0x7E) and not chr(b).isalnum(),
+    "space": lambda b: b in (0x20, 0x09, 0x0A, 0x0B, 0x0C, 0x0D),
+    "upper": lambda b: 0x41 <= b <= 0x5A,
+    "xdigit": lambda b: chr(b) in "0123456789abcdefABCDEF",
+}
+
+
+class CharClass:
+    """An immutable set of byte symbols, the label of one transition.
+
+    Instances are hashable and compare by their bitmask, so identical
+    classes are interchangeable regardless of how they were built.
+    """
+
+    __slots__ = ("mask",)
+
+    def __init__(self, mask: int) -> None:
+        if not 0 <= mask <= FULL_MASK:
+            raise ValueError(f"mask out of range: {mask:#x}")
+        self.mask = mask
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def single(cls, char: int | str) -> "CharClass":
+        """Singleton class for one byte value or one-character string."""
+        return cls(1 << _as_byte(char))
+
+    @classmethod
+    def from_chars(cls, chars: Iterable[int | str]) -> "CharClass":
+        mask = 0
+        for c in chars:
+            mask |= 1 << _as_byte(c)
+        return cls(mask)
+
+    @classmethod
+    def from_range(cls, lo: int | str, hi: int | str) -> "CharClass":
+        lo_b, hi_b = _as_byte(lo), _as_byte(hi)
+        if lo_b > hi_b:
+            raise ValueError(f"invalid range: {lo!r}-{hi!r}")
+        return cls(((1 << (hi_b + 1)) - 1) & ~((1 << lo_b) - 1))
+
+    @classmethod
+    def posix(cls, name: str) -> "CharClass":
+        """Named POSIX class, e.g. ``posix('digit')`` for ``[[:digit:]]``."""
+        try:
+            predicate = _POSIX_CLASSES[name]
+        except KeyError:
+            raise ValueError(f"unknown POSIX character class: [:{name}:]") from None
+        return cls.from_chars(b for b in range(ALPHABET_SIZE) if predicate(b))
+
+    @classmethod
+    def any_char(cls, include_newline: bool = False) -> "CharClass":
+        """The ``.`` metacharacter: every byte, minus newline by default."""
+        mask = FULL_MASK
+        if not include_newline:
+            mask &= ~(1 << 0x0A)
+        return cls(mask)
+
+    @classmethod
+    def empty(cls) -> "CharClass":
+        return cls(0)
+
+    @classmethod
+    def full(cls) -> "CharClass":
+        return cls(FULL_MASK)
+
+    # -- set algebra ----------------------------------------------------
+
+    def union(self, other: "CharClass") -> "CharClass":
+        return CharClass(self.mask | other.mask)
+
+    def intersection(self, other: "CharClass") -> "CharClass":
+        return CharClass(self.mask & other.mask)
+
+    def difference(self, other: "CharClass") -> "CharClass":
+        return CharClass(self.mask & ~other.mask)
+
+    def negate(self) -> "CharClass":
+        return CharClass(FULL_MASK & ~self.mask)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __invert__ = negate
+
+    # -- queries ---------------------------------------------------------
+
+    def contains(self, char: int | str) -> bool:
+        return bool(self.mask >> _as_byte(char) & 1)
+
+    __contains__ = contains
+
+    def is_empty(self) -> bool:
+        return self.mask == 0
+
+    def is_single(self) -> bool:
+        """True when the class holds exactly one character (paper: a plain
+        character transition, as opposed to a CC transition)."""
+        return self.mask != 0 and (self.mask & (self.mask - 1)) == 0
+
+    def __len__(self) -> int:
+        return self.mask.bit_count()
+
+    def chars(self) -> Iterator[int]:
+        """Yield the member byte values in ascending order."""
+        mask = self.mask
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def sample(self) -> int:
+        """An arbitrary member byte (the smallest); class must be non-empty."""
+        if self.mask == 0:
+            raise ValueError("empty character class has no members")
+        return (self.mask & -self.mask).bit_length() - 1
+
+    def overlaps(self, other: "CharClass") -> bool:
+        return bool(self.mask & other.mask)
+
+    # -- dunder ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharClass) and self.mask == other.mask
+
+    def __hash__(self) -> int:
+        return hash(self.mask)
+
+    def __repr__(self) -> str:
+        return f"CharClass({self.pattern()!r})"
+
+    # -- rendering ---------------------------------------------------------
+
+    def pattern(self) -> str:
+        """Render back to an ERE fragment (canonical, possibly bracketed)."""
+        if self.mask == 0:
+            return "[]"  # unmatchable; not valid ERE, diagnostic only
+        if self.mask == CharClass.any_char().mask:
+            return "."
+        if self.is_single():
+            return _escape_char(self.sample())
+        members = list(self.chars())
+        if len(members) > ALPHABET_SIZE // 2:
+            inverse = CharClass(FULL_MASK & ~self.mask)
+            return "[^" + _render_members(list(inverse.chars())) + "]"
+        return "[" + _render_members(members) + "]"
+
+
+def _as_byte(char: int | str) -> int:
+    """Normalise a one-character string or an int to a byte value."""
+    if isinstance(char, str):
+        if len(char) != 1:
+            raise ValueError(f"expected a single character, got {char!r}")
+        char = ord(char)
+    if not 0 <= char < ALPHABET_SIZE:
+        raise ValueError(f"byte value out of range: {char}")
+    return char
+
+
+_ERE_SPECIAL = set(b".^$*+?()[]{}|\\")
+
+
+def _escape_char(b: int) -> str:
+    if b in _ERE_SPECIAL:
+        return "\\" + chr(b)
+    if 0x20 <= b <= 0x7E:
+        return chr(b)
+    return f"\\x{b:02x}"
+
+
+def _bracket_escape(b: int) -> str:
+    # Inside a bracket expression only a few characters are special.
+    if b in (ord("]"), ord("\\"), ord("^"), ord("-")):
+        return "\\" + chr(b)
+    if 0x20 <= b <= 0x7E:
+        return chr(b)
+    return f"\\x{b:02x}"
+
+
+def _render_members(members: list[int]) -> str:
+    """Render sorted byte values as compact ranges: ``a-f0-9``."""
+    parts: list[str] = []
+    i = 0
+    while i < len(members):
+        j = i
+        while j + 1 < len(members) and members[j + 1] == members[j] + 1:
+            j += 1
+        if j - i >= 2:
+            parts.append(_bracket_escape(members[i]) + "-" + _bracket_escape(members[j]))
+        else:
+            parts.extend(_bracket_escape(members[k]) for k in range(i, j + 1))
+        i = j + 1
+    return "".join(parts)
+
+
+@lru_cache(maxsize=None)
+def single(char: int | str) -> CharClass:
+    """Cached singleton-class constructor (hot path in construction)."""
+    return CharClass.single(char)

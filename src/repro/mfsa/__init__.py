@@ -1,0 +1,47 @@
+"""The MFSA: Multi-RE Finite State Automaton (paper §III).
+
+* :mod:`repro.mfsa.model` — the formal model ``z = (Q, Σ, Δ, I, F, J, R)``
+  with belonging-annotated transitions and per-rule projections.
+* :mod:`repro.mfsa.merge` — Algorithm 1: iterative merging of FSAs into an
+  MFSA via common sub-path discovery and consistent relabeling.
+* :mod:`repro.mfsa.activation` — the activation-function semantics
+  (Eqs. 4–6) as an executable reference.
+* :mod:`repro.mfsa.ccpartial` — opt-in partial character-class merging
+  (the paper's §VI-A future-work extension).
+"""
+
+from repro.mfsa.model import Mfsa, MTransition, validate_projections
+from repro.mfsa.merge import (
+    MergeReport,
+    MergingStructure,
+    merge_fsas,
+    merge_groups,
+    merge_ruleset,
+)
+from repro.mfsa.activation import ActivationConfig, reference_match
+from repro.mfsa.ccpartial import stratify_ruleset
+from repro.mfsa.clustering import similarity_groups
+from repro.mfsa.reduce import reduce_mfsa
+from repro.mfsa.serialize import dumps as mfsa_dumps, loads as mfsa_loads
+from repro.mfsa.statistics import SharingProfile, describe_profile, sharing_profile
+
+__all__ = [
+    "Mfsa",
+    "MTransition",
+    "MergeReport",
+    "MergingStructure",
+    "merge_fsas",
+    "merge_groups",
+    "merge_ruleset",
+    "ActivationConfig",
+    "reference_match",
+    "validate_projections",
+    "stratify_ruleset",
+    "similarity_groups",
+    "reduce_mfsa",
+    "mfsa_dumps",
+    "mfsa_loads",
+    "SharingProfile",
+    "describe_profile",
+    "sharing_profile",
+]

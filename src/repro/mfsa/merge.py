@@ -1,0 +1,428 @@
+"""Algorithm 1: merging a set of FSAs into a single MFSA (paper §III-A).
+
+The merger consumes *optimised* ε-free FSAs (loop-expanded, multiplicity-
+simplified — see :mod:`repro.automata.optimize`) and folds them into an
+:class:`repro.mfsa.model.Mfsa` one at a time:
+
+1. the first FSA seeds the MFSA verbatim (``generateNew(z, A[1])``);
+2. for each incoming FSA ``a``, transitions of ``z`` and ``a`` with the
+   *same label* (single character, or character class with the identical
+   member set — the sets X and Y of §III-A) seed common sub-path walks;
+   each maximal walk is recorded in a :class:`MergingStructure` holding
+   the 4-tuples ``(q_i,z , q_j,z , q_n,a , q_m,a)``;
+3. the merging structures are combined into a *consistent* state
+   correspondence (injective, functional — see below), the incoming FSA
+   is relabelled through it (``relabel``), and its transitions are merged
+   into ``z``: shared arcs gain ``a``'s identifier in their belonging set,
+   new arcs are copied (``generateNew(mrg, a)``).
+
+Consistency requirement (implicit in the paper, enforced explicitly
+here): the relabeling map ``a-state -> z-state`` must be injective and
+functional, so that the per-rule projection of the resulting MFSA stays
+isomorphic to the input FSA and no rule's morphology is disturbed.
+Merging structures are committed greedily, longest walk first; tuples
+that would break consistency are dropped.
+
+The three outcomes of the paper's §III-A fall out naturally: no common
+sub-paths → the FSA is copied disjointly; some common sub-paths → shared
+arcs get the new identifier; identical FSA → every arc's belonging is
+extended and no state is added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.automata.fsa import Fsa
+from repro.mfsa.model import Mfsa, MTransition, from_single_fsa
+
+
+@dataclass(frozen=True)
+class PathTuple:
+    """One matched transition pair: the paper's 4-tuple plus its label.
+
+    ``(z_src, z_dst)`` is the transition in the evolving MFSA,
+    ``(a_src, a_dst)`` the isomorphic transition in the incoming FSA.
+    """
+
+    z_src: int
+    z_dst: int
+    a_src: int
+    a_dst: int
+    label_mask: int
+
+
+@dataclass
+class MergingStructure:
+    """A maximal common sub-path: an ordered list of matched pairs (MS).
+
+    ``seed_pairs`` records the (z-transition-index, a-transition-index)
+    pairs making up the walk, used to avoid re-discovering suffixes of an
+    already-found walk as separate structures.
+    """
+
+    tuples: list[PathTuple] = field(default_factory=list)
+    seed_pairs: list[tuple[int, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def push(self, item: PathTuple) -> None:
+        self.tuples.append(item)
+
+
+@dataclass
+class MergeReport:
+    """Counters describing one ruleset merge (complexity/compression data)."""
+
+    input_states: int = 0
+    input_transitions: int = 0
+    output_states: int = 0
+    output_transitions: int = 0
+    label_comparisons: int = 0
+    walk_steps: int = 0
+    merged_transitions: int = 0
+    merging_structures: int = 0
+
+    @property
+    def state_compression(self) -> float:
+        """%comp_states of §VI-A (0 when nothing was merged)."""
+        if self.input_states == 0:
+            return 0.0
+        return 100.0 * (self.input_states - self.output_states) / self.input_states
+
+    @property
+    def transition_compression(self) -> float:
+        if self.input_transitions == 0:
+            return 0.0
+        return 100.0 * (self.input_transitions - self.output_transitions) / self.input_transitions
+
+
+#: Cap on same-label seed candidates examined per incoming transition.
+#: Bounds the quadratic seed phase on labels that occur extremely often;
+#: `None` disables the cap (paper-faithful exhaustive search).
+DEFAULT_SEED_CAP: Optional[int] = 64
+
+
+def merge_fsas(
+    items: Sequence[tuple[int, Fsa]],
+    report: MergeReport | None = None,
+    seed_cap: Optional[int] = DEFAULT_SEED_CAP,
+    collect_structures: bool = False,
+    strategy: str = "longest-first",
+    min_walk_len: int = 1,
+) -> Mfsa | tuple[Mfsa, list[MergingStructure]]:
+    """Merge ``(rule_id, fsa)`` pairs into one MFSA (Algorithm 1).
+
+    FSAs must be ε-free; rule ids must be distinct.  When
+    ``collect_structures`` is true the merging structures of the *last*
+    incoming FSA are returned too (used by tests mirroring Fig. 2).
+
+    ``strategy`` picks the order in which merging structures commit into
+    the relabeling map: ``"longest-first"`` (default — longer shared
+    paths win conflicts) or ``"discovery-order"`` (the order Algorithm 1
+    finds them; the ablation comparator).  ``min_walk_len`` discards
+    merging structures shorter than the given number of transitions —
+    at ruleset scale, 1-arc "coincidence" merges dominate unless
+    filtered, and real engines prefer longer shared runs for locality.
+    Either way the map stays a bijection, so correctness is unaffected —
+    only compression varies.
+    """
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+    if not items:
+        raise ValueError("cannot merge an empty ruleset")
+    seen_rules = [rule for rule, _ in items]
+    if len(set(seen_rules)) != len(seen_rules):
+        raise ValueError("duplicate rule ids in merge input")
+    for _, fsa in items:
+        if fsa.has_epsilon():
+            raise ValueError("merge requires ε-free FSAs (run the optimiser first)")
+
+    stats = report if report is not None else MergeReport()
+    stats.input_states = sum(fsa.num_states for _, fsa in items)
+    stats.input_transitions = sum(fsa.num_transitions for _, fsa in items)
+
+    first_rule, first_fsa = items[0]
+    mfsa = from_single_fsa(first_rule, first_fsa)
+    structures: list[MergingStructure] = []
+    for rule, fsa in items[1:]:
+        structures = _merge_one(mfsa, rule, fsa, stats, seed_cap, strategy, min_walk_len)
+
+    stats.output_states = mfsa.num_states
+    stats.output_transitions = mfsa.num_transitions
+    mfsa.validate()
+    if collect_structures:
+        return mfsa, structures
+    return mfsa
+
+
+def merge_ruleset(
+    items: Sequence[tuple[int, Fsa]],
+    merging_factor: int,
+    report: MergeReport | None = None,
+    seed_cap: Optional[int] = DEFAULT_SEED_CAP,
+    min_walk_len: int = 1,
+) -> list[Mfsa]:
+    """Merge a ruleset in M-sized sequential groups → K=⌈N/M⌉ MFSAs.
+
+    ``merging_factor <= 0`` means "all" (merge the entire ruleset into one
+    MFSA), matching the artifact's ``M=0`` convention.  Sequential
+    sampling follows the paper's §VI; see :func:`merge_groups` for the
+    similarity-clustered alternative.
+    """
+    if merging_factor <= 0 or merging_factor >= len(items):
+        groups = [list(range(len(items)))]
+    else:
+        groups = [
+            list(range(i, min(i + merging_factor, len(items))))
+            for i in range(0, len(items), merging_factor)
+        ]
+    return merge_groups(items, groups, report=report, seed_cap=seed_cap,
+                        min_walk_len=min_walk_len)
+
+
+def merge_groups(
+    items: Sequence[tuple[int, Fsa]],
+    groups: Sequence[Sequence[int]],
+    report: MergeReport | None = None,
+    seed_cap: Optional[int] = DEFAULT_SEED_CAP,
+    min_walk_len: int = 1,
+) -> list[Mfsa]:
+    """Merge a ruleset along an explicit partition into item-index groups
+    (e.g. from :func:`repro.mfsa.clustering.similarity_groups`)."""
+    stats = report if report is not None else MergeReport()
+    out: list[Mfsa] = []
+    for group in groups:
+        group_report = MergeReport()
+        merged = merge_fsas([items[i] for i in group], report=group_report,
+                            seed_cap=seed_cap, min_walk_len=min_walk_len)
+        assert isinstance(merged, Mfsa)
+        _accumulate(stats, group_report)
+        out.append(merged)
+    return out
+
+
+def _accumulate(total: MergeReport, part: MergeReport) -> None:
+    total.input_states += part.input_states
+    total.input_transitions += part.input_transitions
+    total.output_states += part.output_states
+    total.output_transitions += part.output_transitions
+    total.label_comparisons += part.label_comparisons
+    total.walk_steps += part.walk_steps
+    total.merged_transitions += part.merged_transitions
+    total.merging_structures += part.merging_structures
+
+
+# ---------------------------------------------------------------------------
+# One incoming FSA
+# ---------------------------------------------------------------------------
+
+
+_STRATEGIES = ("longest-first", "discovery-order")
+
+
+def _merge_one(
+    mfsa: Mfsa,
+    rule: int,
+    fsa: Fsa,
+    stats: MergeReport,
+    seed_cap: Optional[int],
+    strategy: str = "longest-first",
+    min_walk_len: int = 1,
+) -> list[MergingStructure]:
+    structures = _find_merging_structures(mfsa, fsa, stats, seed_cap)
+    if min_walk_len > 1:
+        structures = [ms for ms in structures if len(ms) >= min_walk_len]
+    mapping = _consistent_mapping(mfsa, structures, strategy)
+    _relabel_and_merge(mfsa, rule, fsa, mapping, stats)
+    return structures
+
+
+def _find_merging_structures(
+    mfsa: Mfsa,
+    fsa: Fsa,
+    stats: MergeReport,
+    seed_cap: Optional[int],
+) -> list[MergingStructure]:
+    """Walk common sub-paths seeded at every same-label transition pair.
+
+    Mirrors Algorithm 1's nested loops over the COO ``idx`` vectors: each
+    (z-transition, a-transition) pair with an identical label starts a
+    walk that extends while the successor transitions keep matching, and
+    each maximal walk becomes one Merging Structure.
+    """
+    z_by_label = mfsa.arcs_by_label()
+    z_out = mfsa.outgoing_index()
+    z_arcs = mfsa.transitions
+
+    a_arcs = list(fsa.labelled_transitions())
+    a_out: dict[int, list[int]] = {}
+    for i, t in enumerate(a_arcs):
+        a_out.setdefault(t.src, []).append(i)
+
+    structures: list[MergingStructure] = []
+    seen_seeds: set[tuple[int, int]] = set()
+
+    for ai, at in enumerate(a_arcs):
+        candidates = z_by_label.get(at.label.mask, ())  # type: ignore[union-attr]
+        if seed_cap is not None:
+            candidates = candidates[:seed_cap]
+        for zi in candidates:
+            stats.label_comparisons += 1
+            if (zi, ai) in seen_seeds:
+                continue
+            ms = _walk(z_arcs, z_out, a_arcs, a_out, zi, ai, stats)
+            # Mark every pair on the walk as seeded so overlapping suffix
+            # walks are not re-discovered as separate structures.
+            seen_seeds.update(ms.seed_pairs)
+            structures.append(ms)
+            stats.merging_structures += 1
+    return structures
+
+
+def _walk(
+    z_arcs: list[MTransition],
+    z_out: dict[int, list[int]],
+    a_arcs,
+    a_out: dict[int, list[int]],
+    zi: int,
+    ai: int,
+    stats: MergeReport,
+) -> MergingStructure:
+    """Extend a matched pair forward while successor labels keep matching.
+
+    Follows a single chain (the paper walks ``next(r), next(t)`` and stops
+    at the first difference); at branch points the first matching
+    successor pair in index order is taken.  A visited set prevents
+    looping on cyclic automata (e.g. Kleene-star back arcs).
+    """
+    ms = MergingStructure()
+    visited: set[tuple[int, int]] = set()
+    cur_z, cur_a = zi, ai
+    while (cur_z, cur_a) not in visited:
+        visited.add((cur_z, cur_a))
+        zt = z_arcs[cur_z]
+        at = a_arcs[cur_a]
+        ms.push(PathTuple(zt.src, zt.dst, at.src, at.dst, at.label.mask))
+        ms.seed_pairs.append((cur_z, cur_a))
+        stats.walk_steps += 1
+        nxt = _next_matching_pair(z_arcs, z_out, a_arcs, a_out, zt.dst, at.dst, stats)
+        if nxt is None:
+            break
+        cur_z, cur_a = nxt
+    return ms
+
+
+def _next_matching_pair(
+    z_arcs: list[MTransition],
+    z_out: dict[int, list[int]],
+    a_arcs,
+    a_out: dict[int, list[int]],
+    z_state: int,
+    a_state: int,
+    stats: MergeReport,
+) -> tuple[int, int] | None:
+    for ai in a_out.get(a_state, ()):
+        a_mask = a_arcs[ai].label.mask
+        for zi in z_out.get(z_state, ()):
+            stats.label_comparisons += 1
+            if z_arcs[zi].label.mask == a_mask:
+                return zi, ai
+    return None
+
+
+def _consistent_mapping(
+    mfsa: Mfsa,
+    structures: list[MergingStructure],
+    strategy: str = "longest-first",
+) -> dict[int, int]:
+    """Combine merging structures into an injective a-state → z-state map.
+
+    Structures are committed longest-first; a tuple is committed only when
+    both of its endpoint bindings are compatible with the map built so far
+    (functional and injective).  Longer shared paths therefore win over
+    shorter conflicting ones — the greedy heuristic behind Algorithm 1's
+    ``relabel(ms, a)``.
+    """
+    forward: dict[int, int] = {}  # a-state -> z-state
+    backward: dict[int, int] = {}  # z-state -> a-state
+    ordered = (
+        sorted(structures, key=len, reverse=True)
+        if strategy == "longest-first"
+        else structures
+    )
+    for ms in ordered:
+        for item in ms.tuples:
+            bindings = ((item.a_src, item.z_src), (item.a_dst, item.z_dst))
+            if _jointly_compatible(forward, backward, bindings):
+                for a, z in bindings:
+                    forward[a] = z
+                    backward[z] = a
+            else:
+                # An incompatible tuple interrupts this structure's chain:
+                # the remaining suffix would attach to unmapped interior
+                # states, so the rest of the walk is abandoned.
+                break
+    return forward
+
+
+def _jointly_compatible(
+    forward: dict[int, int],
+    backward: dict[int, int],
+    bindings: tuple[tuple[int, int], ...],
+) -> bool:
+    """Would committing all ``(a, z)`` bindings keep the map a bijection?
+
+    The bindings of one tuple must be checked against each other as well
+    as against the committed map: a self-loop on one side matched to a
+    plain arc on the other would otherwise corrupt injectivity.
+    """
+    staged_fwd: dict[int, int] = {}
+    staged_bwd: dict[int, int] = {}
+    for a, z in bindings:
+        bound_z = forward.get(a, staged_fwd.get(a))
+        if bound_z is not None:
+            if bound_z != z:
+                return False
+            continue
+        bound_a = backward.get(z, staged_bwd.get(z))
+        if bound_a is not None and bound_a != a:
+            return False
+        staged_fwd[a] = z
+        staged_bwd[z] = a
+    return True
+
+
+def _relabel_and_merge(
+    mfsa: Mfsa, rule: int, fsa: Fsa, mapping: dict[int, int], stats: MergeReport
+) -> None:
+    """Relabel the incoming FSA through ``mapping`` and fold it into ``z``.
+
+    Unmapped states get fresh MFSA state numbers (disjoint relabeling);
+    arcs already present in ``z`` (same endpoints and label) gain ``rule``
+    in their belonging set, new arcs are appended with ``bel = {rule}``.
+    """
+    relabel = dict(mapping)
+    for state in range(fsa.num_states):
+        if state not in relabel:
+            relabel[state] = mfsa.add_state()
+
+    arc_index = {(t.src, t.dst, t.label.mask): i for i, t in enumerate(mfsa.transitions)}
+    for t in fsa.labelled_transitions():
+        src, dst = relabel[t.src], relabel[t.dst]
+        key = (src, dst, t.label.mask)  # type: ignore[union-attr]
+        existing = arc_index.get(key)
+        if existing is not None:
+            old = mfsa.transitions[existing]
+            mfsa.transitions[existing] = MTransition(old.src, old.dst, old.label, old.bel | {rule})
+            stats.merged_transitions += 1
+        else:
+            mfsa.add_transition(src, dst, t.label, (rule,))  # type: ignore[arg-type]
+            arc_index[key] = len(mfsa.transitions) - 1
+
+    mfsa.initials[rule] = relabel[fsa.initial]
+    mfsa.finals[rule] = {relabel[f] for f in fsa.finals}
+    if fsa.pattern is not None:
+        mfsa.patterns[rule] = fsa.pattern

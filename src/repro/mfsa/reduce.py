@@ -1,0 +1,111 @@
+"""Post-merge MFSA state reduction: belonging-aware suffix merging.
+
+After Algorithm 1 runs, the MFSA can still contain states with identical
+futures that the greedy walk never paired (they were discovered through
+conflicting structures, or arrived from different incoming FSAs).  This
+pass collapses them with the same backward-bisimulation idea as
+:mod:`repro.automata.statemerge`, extended to the MFSA's extra
+structure: two states may merge only when they agree on
+
+* their outgoing arcs *including belonging sets* — ``(label, bel, dst)``
+  triples must be identical;
+* the rules they are final for, and
+* the rules they are initial for (an initial state seeds activation, so
+  merging it with a non-initial state would create spurious attempts).
+
+Under those conditions the states are indistinguishable to the
+activation semantics, so matches are preserved exactly (property-tested)
+and every per-rule projection stays language-equivalent.  The pass runs
+to a fixpoint; the pipeline exposes it as ``reduce_mfsa=True``.  In
+practice the greedy merger already catches most tail equality and the
+belonging sets rarely coincide afterwards, so gains are modest — the
+pass mostly serves restrictive-merging configurations
+(``min_walk_len > 1``) and hand-built MFSAs.
+"""
+
+from __future__ import annotations
+
+from repro.mfsa.model import Mfsa, MTransition
+
+
+def reduce_mfsa(mfsa: Mfsa, max_rounds: int | None = None) -> Mfsa:
+    """Collapse belonging-equivalent suffix states (see module doc)."""
+    current = mfsa
+    rounds = 0
+    while True:
+        mapping = _merge_round(current)
+        if mapping is None:
+            return current
+        current = _apply(current, mapping)
+        rounds += 1
+        if max_rounds is not None and rounds >= max_rounds:
+            return current
+
+
+def _merge_round(mfsa: Mfsa) -> dict[int, int] | None:
+    outgoing: dict[int, set[tuple[int, frozenset[int], int]]] = {
+        state: set() for state in range(mfsa.num_states)
+    }
+    for t in mfsa.transitions:
+        outgoing[t.src].add((t.label.mask, t.bel, t.dst))
+
+    final_for: dict[int, frozenset[int]] = {}
+    for state in range(mfsa.num_states):
+        final_for[state] = frozenset(
+            rule for rule, finals in mfsa.finals.items() if state in finals
+        )
+    initial_for: dict[int, frozenset[int]] = {}
+    for state in range(mfsa.num_states):
+        initial_for[state] = frozenset(
+            rule for rule, q0 in mfsa.initials.items() if q0 == state
+        )
+
+    representative: dict[tuple, int] = {}
+    mapping: dict[int, int] = {}
+    merged_any = False
+    for state in range(mfsa.num_states):
+        signature = (
+            final_for[state],
+            initial_for[state],
+            frozenset(outgoing[state]),
+        )
+        if signature in representative:
+            mapping[state] = representative[signature]
+            merged_any = True
+        else:
+            representative[signature] = state
+            mapping[state] = state
+    return mapping if merged_any else None
+
+
+def _apply(mfsa: Mfsa, mapping: dict[int, int]) -> Mfsa:
+    kept = sorted(set(mapping.values()))
+    dense = {old: new for new, old in enumerate(kept)}
+    rename = {state: dense[mapping[state]] for state in range(mfsa.num_states)}
+
+    out = Mfsa(num_states=len(kept))
+    out.initials = {rule: rename[q0] for rule, q0 in mfsa.initials.items()}
+    out.finals = {rule: {rename[f] for f in finals} for rule, finals in mfsa.finals.items()}
+    out.patterns = dict(mfsa.patterns)
+
+    # Arcs falling together keep the union of their belongings: the
+    # merged states had identical (label, bel, dst) sets, so unioning is
+    # only needed when *different sources* map to the same new source —
+    # their arcs were identical triples and dedupe to one.
+    merged: dict[tuple[int, int, int], frozenset[int]] = {}
+    order: list[tuple[int, int, int]] = []
+    label_of: dict[int, object] = {}
+    for t in mfsa.transitions:
+        key = (rename[t.src], rename[t.dst], t.label.mask)
+        label_of.setdefault(t.label.mask, t.label)
+        if key not in merged:
+            merged[key] = t.bel
+            order.append(key)
+        else:
+            merged[key] = merged[key] | t.bel
+    for src, dst, mask in order:
+        out.transitions.append(
+            MTransition(src, dst, label_of[mask], merged[(src, dst, mask)])  # type: ignore[arg-type]
+        )
+    out.validate()
+    return out

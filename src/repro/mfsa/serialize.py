@@ -1,0 +1,76 @@
+"""Compact JSON (de)serialisation of MFSAs.
+
+The extended-ANML back-end (:mod:`repro.anml`) is the paper-faithful
+interchange format; for caching compiled automata between runs a plain
+JSON encoding is smaller and faster to parse.  Character classes are
+encoded as hex bitmask strings; belongings as rule-id lists.
+
+Round trips are exact and property-tested; documents carry a format
+version for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.labels import CharClass
+from repro.mfsa.model import Mfsa, MTransition
+
+FORMAT = "repro-mfsa-json"
+VERSION = 1
+
+
+class MfsaJsonError(ValueError):
+    """Malformed or incompatible JSON document."""
+
+
+def mfsa_to_dict(mfsa: Mfsa) -> dict[str, Any]:
+    """Encode an MFSA as a JSON-ready dict."""
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "num_states": mfsa.num_states,
+        "initials": {str(rule): state for rule, state in mfsa.initials.items()},
+        "finals": {str(rule): sorted(states) for rule, states in mfsa.finals.items()},
+        "patterns": {str(rule): pattern for rule, pattern in mfsa.patterns.items()},
+        "transitions": [
+            [t.src, t.dst, f"{t.label.mask:x}", sorted(t.bel)] for t in mfsa.transitions
+        ],
+    }
+
+
+def mfsa_from_dict(data: dict[str, Any]) -> Mfsa:
+    """Decode the dict produced by :func:`mfsa_to_dict` (validated)."""
+    if not isinstance(data, dict) or data.get("format") != FORMAT:
+        raise MfsaJsonError("not a repro-mfsa-json document")
+    if data.get("version") != VERSION:
+        raise MfsaJsonError(f"unsupported version {data.get('version')!r}")
+    try:
+        mfsa = Mfsa(num_states=int(data["num_states"]))
+        mfsa.initials = {int(rule): int(state) for rule, state in data["initials"].items()}
+        mfsa.finals = {
+            int(rule): {int(s) for s in states} for rule, states in data["finals"].items()
+        }
+        mfsa.patterns = {int(rule): str(p) for rule, p in data.get("patterns", {}).items()}
+        for src, dst, mask_hex, bel in data["transitions"]:
+            mfsa.transitions.append(
+                MTransition(int(src), int(dst), CharClass(int(mask_hex, 16)),
+                            frozenset(int(r) for r in bel))
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MfsaJsonError(f"malformed document: {exc}") from exc
+    mfsa.validate()
+    return mfsa
+
+
+def dumps(mfsa: Mfsa, indent: int | None = None) -> str:
+    return json.dumps(mfsa_to_dict(mfsa), indent=indent)
+
+
+def loads(text: str) -> Mfsa:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise MfsaJsonError(f"invalid JSON: {exc}") from exc
+    return mfsa_from_dict(data)

@@ -1,0 +1,96 @@
+"""Structural statistics of merged automata: who shares what.
+
+Compression percentages (Fig. 7) summarise merging in one number; these
+helpers expose the structure behind it — how many transitions are shared
+by how many rules, which rule pairs overlap most, and each rule's
+sharing ratio — the quantities one inspects when deciding merging
+factors or clustering strategies for a new ruleset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.mfsa.model import Mfsa
+
+
+@dataclass
+class SharingProfile:
+    """Aggregate sharing structure of one MFSA."""
+
+    #: sharing histogram: belonging-set size -> number of transitions
+    histogram: dict[int, int] = field(default_factory=dict)
+    #: per rule: fraction of its transitions shared with ≥1 other rule
+    rule_sharing_ratio: dict[int, float] = field(default_factory=dict)
+    #: rule-pair overlap: (rule_a, rule_b) -> transitions shared by both
+    pair_overlap: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def shared_transitions(self) -> int:
+        return sum(count for size, count in self.histogram.items() if size > 1)
+
+    @property
+    def exclusive_transitions(self) -> int:
+        return self.histogram.get(1, 0)
+
+    @property
+    def max_sharing(self) -> int:
+        """Largest number of rules any single transition serves."""
+        return max(self.histogram, default=0)
+
+    def top_pairs(self, count: int = 5) -> list[tuple[tuple[int, int], int]]:
+        return sorted(self.pair_overlap.items(), key=lambda kv: -kv[1])[:count]
+
+
+def sharing_profile(mfsa: Mfsa, pair_limit: int | None = 10_000) -> SharingProfile:
+    """Compute the sharing structure (see module doc).
+
+    ``pair_limit`` caps the number of (rule, rule) pairs tracked for the
+    overlap table (quadratic in sharing width); ``None`` disables it.
+    """
+    profile = SharingProfile()
+    histogram: Counter[int] = Counter()
+    per_rule_total: Counter[int] = Counter()
+    per_rule_shared: Counter[int] = Counter()
+    pair_overlap: Counter[tuple[int, int]] = Counter()
+    pairs_tracked = 0
+
+    for t in mfsa.transitions:
+        size = len(t.bel)
+        histogram[size] += 1
+        for rule in t.bel:
+            per_rule_total[rule] += 1
+            if size > 1:
+                per_rule_shared[rule] += 1
+        if size > 1 and (pair_limit is None or pairs_tracked < pair_limit):
+            for pair in combinations(sorted(t.bel), 2):
+                pair_overlap[pair] += 1
+                pairs_tracked += 1
+
+    profile.histogram = dict(histogram)
+    profile.pair_overlap = dict(pair_overlap)
+    for rule in mfsa.rule_ids:
+        total = per_rule_total.get(rule, 0)
+        profile.rule_sharing_ratio[rule] = (
+            per_rule_shared.get(rule, 0) / total if total else 0.0
+        )
+    return profile
+
+
+def describe_profile(profile: SharingProfile, max_rows: int = 8) -> str:
+    """Human-readable rendering used by examples and the CLI."""
+    lines = ["sharing histogram (|belonging| -> #transitions):"]
+    for size in sorted(profile.histogram):
+        lines.append(f"  {size:>3} rules: {profile.histogram[size]} transitions")
+    lines.append(
+        f"shared {profile.shared_transitions} / exclusive "
+        f"{profile.exclusive_transitions}; widest sharing {profile.max_sharing}"
+    )
+    top = profile.top_pairs(max_rows)
+    if top:
+        lines.append("top overlapping rule pairs:")
+        for (a, b), count in top:
+            lines.append(f"  rules {a} & {b}: {count} shared transitions")
+    return "\n".join(lines)

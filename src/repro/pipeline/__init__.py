@@ -1,0 +1,24 @@
+"""The multi-level compilation framework (paper §IV, Fig. 4).
+
+Front-end (lexical/syntactic analysis) → mid-end (AST→FSA conversion,
+single-FSA optimisation, merging with factor M) → back-end (extended
+ANML generation), each stage individually timed for the Fig. 8
+compilation-time analysis.
+"""
+
+from repro.pipeline.compiler import (
+    CompilationResult,
+    CompileOptions,
+    StageTimes,
+    compile_ruleset,
+)
+from repro.pipeline.autotune import AutotuneReport, autotune_merging_factor
+
+__all__ = [
+    "CompilationResult",
+    "CompileOptions",
+    "StageTimes",
+    "compile_ruleset",
+    "AutotuneReport",
+    "autotune_merging_factor",
+]

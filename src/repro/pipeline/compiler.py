@@ -1,0 +1,178 @@
+"""The compilation driver: REs in, MFSAs (+ extended ANML) out.
+
+Mirrors the paper's Fig. 4 stage structure and timing attribution:
+
+=============== ==========================================================
+Stage           Work
+=============== ==========================================================
+``frontend``    lexical + syntactic analysis (pattern → AST)
+``ast_to_fsa``  loop expansion (AST rewrite) + Thompson construction
+``single_opt``  ε-removal + multiplicity simplification (per FSA)
+``merging``     Algorithm 1 over M-sized sequential groups (K = ⌈N/M⌉)
+``backend``     extended-ANML generation
+=============== ==========================================================
+
+Deviation note: the paper expands loops inside single-FSA optimisation;
+we rewrite at AST level (provably equivalent output) so the expansion is
+attributed to ``ast_to_fsa``.  DESIGN.md §5 records this.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.automata.fsa import Fsa
+from repro.automata.optimize import OptimizeOptions, construct_nfa, optimize_ast, optimize_fsa
+from repro.anml.writer import write_anml
+from repro.frontend.parser import parse
+from repro.mfsa.ccpartial import stratify_ruleset
+from repro.mfsa.clustering import similarity_groups
+from repro.mfsa.merge import DEFAULT_SEED_CAP, MergeReport, merge_groups, merge_ruleset
+from repro.mfsa.model import Mfsa
+from repro.mfsa.reduce import reduce_mfsa
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Framework configuration.
+
+    ``merging_factor`` follows the artifact's convention: 0 (or any value
+    ≥ the ruleset size) merges the whole ruleset into one MFSA ("all");
+    1 disables merging (the single-FSA baseline); otherwise REs are
+    grouped sequentially in M-sized groups.
+    """
+
+    merging_factor: int = 0
+    optimize: OptimizeOptions = field(default_factory=OptimizeOptions)
+    #: how M-sized groups are formed: "sequential" (the paper's §VI
+    #: sampling) or "clustered" (INDEL-similarity grouping — the paper's
+    #: future-work extension, see repro.mfsa.clustering)
+    grouping: str = "sequential"
+    #: opt-in partial-CC merging via alphabet stratification (§VI-A ext.)
+    stratify_charclasses: bool = False
+    #: cap on same-label seed candidates in the merger (None = exhaustive)
+    seed_cap: Optional[int] = DEFAULT_SEED_CAP
+    #: discard shared sub-paths shorter than this many transitions before
+    #: relabeling (1 = maximal merging; 2 reproduces the paper's
+    #: compression levels at paper scale — see EXPERIMENTS.md)
+    min_walk_len: int = 1
+    #: run the post-merge belonging-aware suffix reduction
+    #: (repro.mfsa.reduce) on every MFSA
+    reduce_mfsa: bool = False
+    #: generate the extended-ANML output (the back-end stage)
+    emit_anml: bool = True
+
+
+@dataclass
+class StageTimes:
+    """Per-stage wall-clock seconds (the Fig. 8 series)."""
+
+    frontend: float = 0.0
+    ast_to_fsa: float = 0.0
+    single_opt: float = 0.0
+    merging: float = 0.0
+    backend: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.frontend + self.ast_to_fsa + self.single_opt + self.merging + self.backend
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "FE": self.frontend,
+            "AST to FSA": self.ast_to_fsa,
+            "ME-single": self.single_opt,
+            "ME-merging": self.merging,
+            "BE": self.backend,
+        }
+
+
+@dataclass
+class CompilationResult:
+    """Everything the framework produced for one ruleset + options."""
+
+    patterns: list[str]
+    options: CompileOptions
+    #: optimised per-RE FSAs (the merger's input), indexed by rule id
+    fsas: list[Fsa]
+    #: the K = ⌈N/M⌉ merged automata
+    mfsas: list[Mfsa]
+    stage_times: StageTimes
+    merge_report: MergeReport
+    #: one extended-ANML document per MFSA (None when emit_anml=False)
+    anml: list[str] | None
+
+    @property
+    def total_input_states(self) -> int:
+        return sum(fsa.num_states for fsa in self.fsas)
+
+    @property
+    def total_output_states(self) -> int:
+        return sum(m.num_states for m in self.mfsas)
+
+
+def compile_ruleset(patterns: Sequence[str], options: CompileOptions | None = None) -> CompilationResult:
+    """Run the full framework over a ruleset (see module docstring)."""
+    options = options or CompileOptions()
+    times = StageTimes()
+
+    # Front-end: lexical and syntactic analyses.
+    started = time.perf_counter()
+    asts = [parse(pattern) for pattern in patterns]
+    times.frontend = time.perf_counter() - started
+
+    # Mid-end: AST → FSA (loop expansion + Thompson construction).
+    started = time.perf_counter()
+    asts = [optimize_ast(ast, options.optimize) for ast in asts]
+    nfas = [
+        construct_nfa(ast, pattern, options.optimize)
+        for ast, pattern in zip(asts, patterns)
+    ]
+    times.ast_to_fsa = time.perf_counter() - started
+
+    # Mid-end: single-FSA optimisation.
+    started = time.perf_counter()
+    fsas = [optimize_fsa(nfa, options.optimize) for nfa in nfas]
+    if options.stratify_charclasses:
+        fsas = stratify_ruleset(fsas)
+    times.single_opt = time.perf_counter() - started
+
+    # Mid-end: merging.
+    started = time.perf_counter()
+    merge_report = MergeReport()
+    items = list(enumerate(fsas))
+    if options.grouping == "sequential":
+        mfsas = merge_ruleset(
+            items, options.merging_factor, report=merge_report,
+            seed_cap=options.seed_cap, min_walk_len=options.min_walk_len,
+        )
+    elif options.grouping == "clustered":
+        groups = similarity_groups(list(patterns), options.merging_factor)
+        mfsas = merge_groups(items, groups, report=merge_report,
+                             seed_cap=options.seed_cap, min_walk_len=options.min_walk_len)
+    else:
+        raise ValueError(f"unknown grouping {options.grouping!r}")
+    if options.reduce_mfsa:
+        mfsas = [reduce_mfsa(m) for m in mfsas]
+        merge_report.output_states = sum(m.num_states for m in mfsas)
+        merge_report.output_transitions = sum(m.num_transitions for m in mfsas)
+    times.merging = time.perf_counter() - started
+
+    # Back-end: extended-ANML generation.
+    anml: list[str] | None = None
+    if options.emit_anml:
+        started = time.perf_counter()
+        anml = [write_anml(mfsa, network_id=f"mfsa{i}") for i, mfsa in enumerate(mfsas)]
+        times.backend = time.perf_counter() - started
+
+    return CompilationResult(
+        patterns=list(patterns),
+        options=options,
+        fsas=fsas,
+        mfsas=mfsas,
+        stage_times=times,
+        merge_report=merge_report,
+        anml=anml,
+    )

@@ -1,0 +1,28 @@
+"""Result formatting and shared experiment harnesses for the benchmarks."""
+
+from repro.reporting.tables import format_table, geometric_mean
+from repro.reporting.experiments import (
+    ExperimentConfig,
+    dataset_bundle,
+    experiment_active_sets,
+    experiment_compilation_time,
+    experiment_compression,
+    experiment_dataset_stats,
+    experiment_scaling,
+    experiment_similarity,
+    experiment_throughput,
+)
+
+__all__ = [
+    "format_table",
+    "geometric_mean",
+    "ExperimentConfig",
+    "dataset_bundle",
+    "experiment_active_sets",
+    "experiment_compilation_time",
+    "experiment_compression",
+    "experiment_dataset_stats",
+    "experiment_scaling",
+    "experiment_similarity",
+    "experiment_throughput",
+]

@@ -1,0 +1,105 @@
+"""Paper-band comparison: measured values against the paper's figures.
+
+EXPERIMENTS.md reports paper-vs-measured prose; this module makes the
+comparison machine-checkable.  :data:`PAPER_HEADLINES` records the
+numbers the paper states (§VI / abstract) together with the acceptance
+band this reproduction targets (shape, not absolute identity), and
+:func:`compare_headlines` evaluates a measured set against them —
+used by ``scripts/run_full_reproduction.py`` and the release test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperValue:
+    """One headline number with its acceptance band."""
+
+    key: str
+    description: str
+    paper: float
+    lo: float
+    hi: float
+    unit: str = ""
+
+    def in_band(self, measured: float) -> bool:
+        return self.lo <= measured <= self.hi
+
+
+#: The paper's headline results and the bands this reproduction accepts.
+#: Bands are wide on purpose: the substrate is synthetic and the engine
+#: interpretive; what must hold is the *conclusion*, not the digit.
+PAPER_HEADLINES: dict[str, PaperValue] = {
+    value.key: value
+    for value in (
+        PaperValue(
+            key="state_compression",
+            description="avg state compression at M=all",
+            paper=71.95, lo=55.0, hi=95.0, unit="%",
+        ),
+        PaperValue(
+            key="transition_compression",
+            description="avg transition compression at M=all",
+            paper=38.88, lo=30.0, hi=75.0, unit="%",
+        ),
+        PaperValue(
+            key="best_throughput_geomean",
+            description="geomean best-M single-thread throughput improvement",
+            paper=5.99, lo=2.0, hi=20.0, unit="x",
+        ),
+        PaperValue(
+            key="multithread_speedup_geomean",
+            description="geomean best-MFSA vs best multi-threaded single-FSA speedup",
+            paper=4.05, lo=1.5, hi=12.0, unit="x",
+        ),
+        PaperValue(
+            key="threads_to_match_max",
+            description="max threads an MFSA needs to reach the single-FSA best",
+            paper=2, lo=1, hi=4,
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    key: str
+    description: str
+    paper: float
+    measured: float
+    unit: str
+    ok: bool
+
+    def render(self) -> str:
+        flag = "ok " if self.ok else "OUT"
+        return (f"[{flag}] {self.description}: measured {self.measured:.2f}{self.unit} "
+                f"(paper {self.paper:.2f}{self.unit})")
+
+
+def compare_headlines(measured: dict[str, float]) -> list[Comparison]:
+    """Evaluate measured headline values against the paper bands.
+
+    Unknown keys raise; missing keys are simply not compared (partial
+    reproductions are legitimate).
+    """
+    unknown = set(measured) - set(PAPER_HEADLINES)
+    if unknown:
+        raise KeyError(f"unknown headline keys: {sorted(unknown)}")
+    out = []
+    for key, value in measured.items():
+        spec = PAPER_HEADLINES[key]
+        out.append(Comparison(
+            key=key,
+            description=spec.description,
+            paper=spec.paper,
+            measured=value,
+            unit=spec.unit,
+            ok=spec.in_band(value),
+        ))
+    return out
+
+
+def all_in_band(measured: dict[str, float]) -> bool:
+    return all(c.ok for c in compare_headlines(measured))

@@ -1,0 +1,167 @@
+"""Raw-result export: CSV/JSON series for every reproduced table/figure.
+
+The paper's artifact emits raw results plus charts; this module writes
+the reproduced data in machine-readable form so downstream plotting
+(matplotlib, gnuplot, spreadsheets) can regenerate the figures without
+re-running the experiments.  One file per experiment, under a target
+directory:
+
+    fig1_similarity.csv       dataset, similarity
+    table1_datasets.csv       dataset, num_res, ...
+    fig7_compression.csv      dataset, merging_factor, states_pct, transitions_pct
+    fig8_compilation.csv      dataset, merging_factor, stage, seconds
+    fig9_throughput.csv       dataset, merging_factor, work, wall_seconds, throughput, improvement
+    fig10_scaling.csv         dataset, merging_factor, threads, latency
+    table2_active.csv         dataset, avg_active, max_active
+    manifest.json             configuration + file index
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.reporting.experiments import (
+    ExperimentConfig,
+    experiment_active_sets,
+    experiment_compilation_time,
+    experiment_compression,
+    experiment_dataset_stats,
+    experiment_scaling,
+    experiment_similarity,
+    experiment_throughput,
+)
+
+
+def export_all(config: ExperimentConfig, target: Path | str) -> list[Path]:
+    """Run every experiment and write its CSV; returns the files written."""
+    target = Path(target)
+    target.mkdir(parents=True, exist_ok=True)
+    written = [
+        export_fig1(config, target),
+        export_table1(config, target),
+        export_fig7(config, target),
+        export_fig8(config, target),
+        export_fig9(config, target),
+        export_fig10(config, target),
+        export_table2(config, target),
+    ]
+    manifest = target / "manifest.json"
+    manifest.write_text(json.dumps({
+        "config": {
+            "datasets": list(config.datasets),
+            "scale": config.scale,
+            "stream_size": config.stream_size,
+            "merging_factors": list(config.merging_factors),
+            "threads": list(config.threads),
+            "engine_backend": config.engine_backend,
+            "cost_model": asdict(config.cost_model),
+            "machine": asdict(config.machine),
+        },
+        "files": [path.name for path in written],
+    }, indent=2) + "\n")
+    written.append(manifest)
+    return written
+
+
+def _write_csv(path: Path, header: list[str], rows: list[list]) -> Path:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def _m_label(m: int) -> str:
+    return "all" if m == 0 else str(m)
+
+
+def export_fig1(config: ExperimentConfig, target: Path) -> Path:
+    data = experiment_similarity(config)
+    return _write_csv(
+        target / "fig1_similarity.csv",
+        ["dataset", "avg_indel_similarity"],
+        [[abbr, f"{value:.6f}"] for abbr, value in data.items()],
+    )
+
+
+def export_table1(config: ExperimentConfig, target: Path) -> Path:
+    data = experiment_dataset_stats(config)
+    return _write_csv(
+        target / "table1_datasets.csv",
+        ["dataset", "num_res", "total_states", "total_transitions",
+         "total_cc_length", "avg_states", "avg_transitions"],
+        [
+            [abbr, int(s["num_res"]), int(s["total_states"]), int(s["total_transitions"]),
+             int(s["total_cc_length"]), f"{s['avg_states']:.4f}", f"{s['avg_transitions']:.4f}"]
+            for abbr, s in data.items()
+        ],
+    )
+
+
+def export_fig7(config: ExperimentConfig, target: Path) -> Path:
+    data = experiment_compression(config)
+    rows = []
+    for abbr, per_m in data.items():
+        for m, (states, transitions) in per_m.items():
+            rows.append([abbr, _m_label(m), f"{states:.4f}", f"{transitions:.4f}"])
+    return _write_csv(
+        target / "fig7_compression.csv",
+        ["dataset", "merging_factor", "states_pct", "transitions_pct"],
+        rows,
+    )
+
+
+def export_fig8(config: ExperimentConfig, target: Path) -> Path:
+    data = experiment_compilation_time(config)
+    rows = []
+    for abbr, per_m in data.items():
+        for m, stages in per_m.items():
+            for stage, seconds in stages.items():
+                rows.append([abbr, _m_label(m), stage, f"{seconds:.6f}"])
+    return _write_csv(
+        target / "fig8_compilation.csv",
+        ["dataset", "merging_factor", "stage", "seconds"],
+        rows,
+    )
+
+
+def export_fig9(config: ExperimentConfig, target: Path) -> Path:
+    data = experiment_throughput(config)
+    rows = []
+    for abbr, per_m in data.items():
+        for m, row in per_m.items():
+            rows.append([
+                abbr, _m_label(m), f"{row['work']:.2f}", f"{row['wall_seconds']:.6f}",
+                f"{row['throughput']:.2f}", f"{row['improvement']:.4f}",
+            ])
+    return _write_csv(
+        target / "fig9_throughput.csv",
+        ["dataset", "merging_factor", "work", "wall_seconds", "throughput", "improvement"],
+        rows,
+    )
+
+
+def export_fig10(config: ExperimentConfig, target: Path) -> Path:
+    data = experiment_scaling(config)
+    rows = []
+    for abbr, per_m in data.items():
+        for m, series in per_m.items():
+            for threads, latency in series.items():
+                rows.append([abbr, _m_label(m), threads, f"{latency:.2f}"])
+    return _write_csv(
+        target / "fig10_scaling.csv",
+        ["dataset", "merging_factor", "threads", "latency"],
+        rows,
+    )
+
+
+def export_table2(config: ExperimentConfig, target: Path) -> Path:
+    data = experiment_active_sets(config)
+    return _write_csv(
+        target / "table2_active.csv",
+        ["dataset", "avg_active", "max_active"],
+        [[abbr, f"{row['avg_active']:.4f}", int(row["max_active"])] for abbr, row in data.items()],
+    )

@@ -1,0 +1,105 @@
+"""Memory-footprint estimation for the automata representations.
+
+The paper frames compression as "a metric directly impacting the
+representation of the FSAs, hence their memory footprint" (§VI-A).
+This module turns structure counts into comparable byte estimates using
+one consistent storage model:
+
+* **NFA / MFSA (COO)** — per transition: 4-byte ``row`` + 4-byte ``col``
+  + label (1 byte for a single character, a 32-byte bitmap for a CC —
+  the two label encodings the paper's COO carries); MFSA transitions add
+  a ⌈|R|/8⌉-byte belonging bitmap; per rule: 4 bytes initial + 4 bytes
+  per final state.
+* **DFA** — the classic full table: 4 bytes × 256 per state, plus accept
+  bitmaps.
+* **D2FA** — per stored entry: 1-byte symbol + 4-byte target; per
+  non-root state a 4-byte default pointer.
+* **2-stride DFA** — 4 bytes per pair-table entry + the 256-byte class
+  map.
+
+These are *models*, not measured heap sizes — their value is relative
+comparison on equal terms, as used by the footprint benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.automata.fsa import Fsa
+from repro.dfa.d2fa import D2fa
+from repro.dfa.dfa import Dfa
+from repro.dfa.multistride import StrideDfa
+from repro.mfsa.model import Mfsa
+
+_PTR = 4  # bytes per state reference
+_CC_BITMAP = 32  # 256-bit character-class bitmap
+_CHAR = 1
+
+
+def _label_bytes(single: bool) -> int:
+    return _CHAR if single else _CC_BITMAP
+
+
+def fsa_memory(fsa: Fsa) -> int:
+    """COO bytes of one plain ε-free FSA."""
+    total = _PTR  # initial state
+    total += _PTR * len(fsa.finals)
+    for t in fsa.labelled_transitions():
+        total += 2 * _PTR + _label_bytes(t.label.is_single())  # type: ignore[union-attr]
+    return total
+
+
+def ruleset_memory(fsas: list[Fsa]) -> int:
+    """Total bytes of an unmerged FSA set (the M=1 baseline)."""
+    return sum(fsa_memory(fsa) for fsa in fsas)
+
+
+def mfsa_memory(mfsa: Mfsa) -> int:
+    """COO bytes of one MFSA, including belonging bitmaps and rule table."""
+    bel_bytes = (mfsa.num_rules + 7) // 8
+    total = 0
+    for t in mfsa.transitions:
+        total += 2 * _PTR + _label_bytes(t.label.is_single()) + bel_bytes
+    for rule in mfsa.initials:
+        total += _PTR + _PTR * len(mfsa.finals[rule])
+    return total
+
+
+def dfa_memory(dfa: Dfa) -> int:
+    """Full-table DFA bytes (4 B × 256 per state + accept bitmaps)."""
+    rules = len(dfa.rule_ids())
+    accept_bytes = max(1, (rules + 7) // 8)
+    return dfa.num_states * (256 * _PTR + accept_bytes)
+
+
+def d2fa_memory(d2fa: D2fa) -> int:
+    """Default-transition-compressed DFA bytes."""
+    total = 0
+    for row in d2fa.sparse:
+        total += len(row) * (_CHAR + _PTR)
+    total += sum(_PTR for d in d2fa.default if d is not None)
+    rules = {r for accept in d2fa.accepts for r in accept}
+    accept_bytes = max(1, (len(rules) + 7) // 8)
+    total += d2fa.num_states * accept_bytes
+    return total
+
+
+def stride2_memory(stride: StrideDfa) -> int:
+    """2-stride DFA bytes: pair table + byte→class map."""
+    return stride.table_entries * _PTR + 256
+
+
+def footprint_summary(
+    fsas: list[Fsa],
+    mfsa: Mfsa,
+    dfa: Dfa | None = None,
+    d2fa: D2fa | None = None,
+) -> dict[str, int]:
+    """Byte estimates for every available representation of one ruleset."""
+    out = {
+        "fsa_set": ruleset_memory(fsas),
+        "mfsa": mfsa_memory(mfsa),
+    }
+    if dfa is not None:
+        out["dfa"] = dfa_memory(dfa)
+    if d2fa is not None:
+        out["d2fa"] = d2fa_memory(d2fa)
+    return out

@@ -1,0 +1,114 @@
+"""Terminal plotting: ASCII bar charts and line series.
+
+The paper's artifact renders PDF charts with matplotlib; this offline
+reproduction renders the same figures as Unicode/ASCII plots so
+``repro-report`` output is self-contained.  Two primitives cover all the
+figures:
+
+* :func:`bar_chart` — grouped horizontal bars (Figs. 1, 7, 9);
+* :func:`line_chart` — multi-series log-friendly lines over a shared
+  x-axis (Figs. 8, 10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_BAR = "█"
+_HALF = "▌"
+_MARKERS = "ox+*#@%&"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str | None = None,
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; one row per labelled value."""
+    if not values:
+        return title or ""
+    peak = max(values.values())
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        filled = 0 if peak <= 0 else value / peak * width
+        bar = _BAR * int(filled) + (_HALF if filled - int(filled) >= 0.5 else "")
+        lines.append(f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+                     f"{value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Bars grouped by outer key (dataset), one row per inner key (e.g. M)."""
+    lines = [title] if title else []
+    peak = max(
+        (value for inner in series.values() for value in inner.values()), default=0.0
+    )
+    for group, inner in series.items():
+        lines.append(f"{group}:")
+        label_width = max(len(str(k)) for k in inner)
+        for label, value in inner.items():
+            filled = 0 if peak <= 0 else value / peak * width
+            bar = _BAR * int(filled) + (_HALF if filled - int(filled) >= 0.5 else "")
+            lines.append(f"  {str(label).rjust(label_width)} |{bar.ljust(width)}| "
+                         f"{value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+    width: int = 56,
+    height: int = 14,
+    log_y: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character canvas.
+
+    Each series is a list of (x, y) points; series are distinguished by
+    marker characters with a legend underneath.  ``log_y`` plots log10(y)
+    (the scale of the paper's Figs. 8 and 10).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title or ""
+
+    def ty(y: float) -> float:
+        return math.log10(max(y, 1e-12)) if log_y else y
+
+    xs = [x for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((ty(y) - y_lo) / y_span * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    lines = [title] if title else []
+    top_label = f"{10 ** y_hi:.3g}" if log_y else f"{y_hi:.3g}"
+    bottom_label = f"{10 ** y_lo:.3g}" if log_y else f"{y_lo:.3g}"
+    gutter = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(canvas):
+        label = top_label if row_index == 0 else (
+            bottom_label if row_index == height - 1 else "")
+        lines.append(f"{label.rjust(gutter)} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(" " * gutter + f"  {x_lo:g}" + f"{x_hi:g}".rjust(width - len(f"{x_lo:g}")))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""RE similarity analysis: the INDEL metric of the paper's Fig. 1."""
+
+from repro.similarity.indel import (
+    average_pairwise_similarity,
+    indel_distance,
+    indel_distance_bitparallel,
+    lcs_length,
+    normalized_indel_similarity,
+)
+
+__all__ = [
+    "average_pairwise_similarity",
+    "indel_distance",
+    "indel_distance_bitparallel",
+    "lcs_length",
+    "normalized_indel_similarity",
+]

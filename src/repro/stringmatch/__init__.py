@@ -1,0 +1,11 @@
+"""Exact string-matching substrate (Aho–Corasick).
+
+Pattern matching on plain strings is the "well-defined problem addressed
+by various existing algorithms" the paper contrasts REs against (§I);
+the multi-pattern Aho–Corasick automaton is the substrate behind the
+Hyperscan-style decomposition baseline in :mod:`repro.decompose`.
+"""
+
+from repro.stringmatch.ahocorasick import AhoCorasick
+
+__all__ = ["AhoCorasick"]

@@ -1,0 +1,110 @@
+"""Aho–Corasick multi-pattern exact string matching.
+
+The classic trie + failure-link automaton: all occurrences of every
+pattern are reported in one pass over the stream, in time
+O(|stream| + matches).  Used as
+
+* the literal-matching half of the Hyperscan-style decomposition
+  baseline (:mod:`repro.decompose`) the paper positions itself against;
+* a self-contained multi-string matcher for the examples.
+
+Matches are reported as ``(pattern_id, end_offset)`` with 1-based end
+offsets, the same convention as the automata engines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+
+class AhoCorasick:
+    """An immutable matching automaton over a set of byte-string patterns.
+
+    Empty patterns are rejected (they would match at every offset).
+    Duplicate patterns are allowed and each reports under its own id.
+    """
+
+    def __init__(self, patterns: Sequence[bytes | str]) -> None:
+        normalised: list[bytes] = []
+        for pattern in patterns:
+            data = pattern.encode("latin-1") if isinstance(pattern, str) else bytes(pattern)
+            if not data:
+                raise ValueError("empty patterns are not supported")
+            normalised.append(data)
+        self.patterns: list[bytes] = normalised
+
+        # Trie as list-of-dicts; node 0 is the root.
+        self._goto: list[dict[int, int]] = [{}]
+        self._output: list[list[int]] = [[]]
+        for pattern_id, pattern in enumerate(self.patterns):
+            self._insert(pattern, pattern_id)
+        self._fail: list[int] = [0] * len(self._goto)
+        self._build_failure_links()
+
+    # -- construction -------------------------------------------------------
+
+    def _insert(self, pattern: bytes, pattern_id: int) -> None:
+        node = 0
+        for byte in pattern:
+            nxt = self._goto[node].get(byte)
+            if nxt is None:
+                nxt = len(self._goto)
+                self._goto[node][byte] = nxt
+                self._goto.append({})
+                self._output.append([])
+            node = nxt
+        self._output[node].append(pattern_id)
+
+    def _build_failure_links(self) -> None:
+        queue: deque[int] = deque()
+        for child in self._goto[0].values():
+            self._fail[child] = 0
+            queue.append(child)
+        while queue:
+            node = queue.popleft()
+            for byte, child in self._goto[node].items():
+                queue.append(child)
+                fallback = self._fail[node]
+                while fallback and byte not in self._goto[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[child] = self._goto[fallback].get(byte, 0)
+                if self._fail[child] == child:  # root self-edge guard
+                    self._fail[child] = 0
+                self._output[child].extend(self._output[self._fail[child]])
+
+    # -- matching ---------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._goto)
+
+    def iter_matches(self, data: bytes | str) -> Iterator[tuple[int, int]]:
+        """Yield ``(pattern_id, end_offset)`` for every occurrence."""
+        payload = data.encode("latin-1") if isinstance(data, str) else data
+        node = 0
+        for position, byte in enumerate(payload, start=1):
+            while node and byte not in self._goto[node]:
+                node = self._fail[node]
+            node = self._goto[node].get(byte, 0)
+            for pattern_id in self._output[node]:
+                yield pattern_id, position
+
+    def find_all(self, data: bytes | str) -> set[tuple[int, int]]:
+        """All matches as a set (the engines' reporting convention)."""
+        return set(self.iter_matches(data))
+
+    def contains_any(self, data: bytes | str) -> bool:
+        """Early-exit containment test (prefilter use)."""
+        for _ in self.iter_matches(data):
+            return True
+        return False
+
+    def match_positions(self, data: bytes | str) -> dict[int, list[int]]:
+        """pattern_id -> sorted end offsets (convenience for examples)."""
+        out: dict[int, list[int]] = {}
+        for pattern_id, end in self.iter_matches(data):
+            out.setdefault(pattern_id, []).append(end)
+        for ends in out.values():
+            ends.sort()
+        return out

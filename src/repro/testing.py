@@ -1,0 +1,103 @@
+"""Public property-testing utilities (hypothesis strategies + generators).
+
+The library's own test suite drives every engine against oracles using
+these strategies; they are exported so downstream users can fuzz their
+integrations the same way::
+
+    from hypothesis import given
+    from repro.testing import ere_patterns, subject_strings
+    from repro import compile_re_to_fsa
+
+    @given(ere_patterns(), subject_strings())
+    def test_my_engine(pattern, text):
+        ...
+
+Requires the ``hypothesis`` extra (``pip install repro[dev]``); importing
+this module without hypothesis installed raises ImportError.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+#: Default alphabet for generated patterns/subjects: small alphabets
+#: maximise collision/overlap coverage per example.
+DEFAULT_ALPHABET = "abcd"
+
+
+@st.composite
+def ere_patterns(draw, alphabet: str = DEFAULT_ALPHABET, max_depth: int = 3) -> str:
+    """A syntactically valid POSIX ERE over ``alphabet``.
+
+    Covers the constructs the front-end supports: literals, bracket
+    expressions, concatenation, alternation, ``* + ?`` and bounded
+    repeats.  Depth-bounded so reference simulation stays fast.
+    """
+
+    def charclass_fragment() -> str:
+        chars = draw(st.lists(st.sampled_from(alphabet), min_size=1, max_size=3, unique=True))
+        return "[" + "".join(sorted(chars)) + "]"
+
+    def node(depth: int) -> str:
+        if depth >= max_depth:
+            return draw(st.sampled_from(alphabet))
+        kind = draw(st.sampled_from(
+            ["char", "char", "char", "class", "concat", "alt", "star", "plus", "opt", "rep"]))
+        if kind == "char":
+            return draw(st.sampled_from(alphabet))
+        if kind == "class":
+            return charclass_fragment()
+        if kind == "concat":
+            return node(depth + 1) + node(depth + 1)
+        if kind == "alt":
+            return "(" + node(depth + 1) + "|" + node(depth + 1) + ")"
+        if kind == "star":
+            return "(" + node(depth + 1) + ")*"
+        if kind == "plus":
+            return "(" + node(depth + 1) + ")+"
+        if kind == "opt":
+            return "(" + node(depth + 1) + ")?"
+        low = draw(st.integers(min_value=0, max_value=2))
+        high = low + draw(st.integers(min_value=0, max_value=2))
+        return "(" + node(depth + 1) + "){" + f"{low},{high}" + "}"
+
+    return node(0)
+
+
+@st.composite
+def subject_strings(draw, alphabet: str = DEFAULT_ALPHABET, max_size: int = 24) -> str:
+    """An input string over the same alphabet as the patterns."""
+    return "".join(draw(st.lists(st.sampled_from(alphabet), max_size=max_size)))
+
+
+@st.composite
+def rulesets(draw, alphabet: str = DEFAULT_ALPHABET, min_size: int = 1, max_size: int = 5) -> list[str]:
+    """A small list of patterns, as fed to ``compile_ruleset``."""
+    return draw(st.lists(ere_patterns(alphabet=alphabet), min_size=min_size, max_size=max_size))
+
+
+def random_patterns(seed: int, count: int, alphabet: str = DEFAULT_ALPHABET) -> list[str]:
+    """Deterministic (non-hypothesis) random pattern list.
+
+    Useful for parametrised tests and reproducible examples; the same
+    ``seed`` always yields the same ruleset.
+    """
+    rng = random.Random(seed)
+
+    def pattern(depth: int = 0) -> str:
+        roll = rng.random()
+        if depth > 2 or roll < 0.35:
+            return rng.choice(alphabet)
+        if roll < 0.6:
+            return pattern(depth + 1) + pattern(depth + 1)
+        if roll < 0.75:
+            return "(" + pattern(depth + 1) + "|" + pattern(depth + 1) + ")"
+        if roll < 0.85:
+            return "(" + pattern(depth + 1) + ")*"
+        if roll < 0.95:
+            return "(" + pattern(depth + 1) + ")+"
+        return "(" + pattern(depth + 1) + "){1,2}"
+
+    return [pattern() for _ in range(count)]

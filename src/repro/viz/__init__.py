@@ -1,0 +1,5 @@
+"""Graphviz (DOT) rendering of automata — the figures of the paper as code."""
+
+from repro.viz.dot import counting_mfsa_to_dot, dfa_to_dot, fsa_to_dot, mfsa_to_dot
+
+__all__ = ["counting_mfsa_to_dot", "dfa_to_dot", "fsa_to_dot", "mfsa_to_dot"]

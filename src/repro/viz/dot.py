@@ -1,0 +1,147 @@
+"""DOT (Graphviz) export for FSAs, MFSAs and DFAs.
+
+The paper's figures draw automata with per-rule transition colouring
+(Figs. 2, 3, 5, 6); these helpers produce the same pictures from live
+objects:
+
+* :func:`fsa_to_dot` — plain automaton, double circles for finals;
+* :func:`mfsa_to_dot` — belonging-aware rendering: each transition is
+  labelled with its character class and its belonging set, coloured by
+  belonging (shared arcs get a distinct colour, like the paper's
+  "transitions belong to a1/a2/both" legend);
+* :func:`dfa_to_dot` — condensed DFA view, one edge per (src, dst) pair
+  labelled by the byte set that takes it.
+
+Output is plain DOT text; render with ``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+from repro.automata.fsa import Fsa
+from repro.dfa.dfa import DEAD, Dfa
+from repro.labels import ALPHABET_SIZE, CharClass
+from repro.mfsa.model import Mfsa
+
+#: Palette used to colour belonging sets (cycled).
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+_SHARED_COLOR = "#17becf"
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def fsa_to_dot(fsa: Fsa, name: str = "fsa") -> str:
+    """Render one FSA (ε-arcs drawn dashed with an ε label)."""
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;", "  node [shape=circle];"]
+    lines.append('  __start [shape=point, label=""];')
+    for state in range(fsa.num_states):
+        shape = "doublecircle" if state in fsa.finals else "circle"
+        lines.append(f'  q{state} [shape={shape}, label="{state}"];')
+    lines.append(f"  __start -> q{fsa.initial};")
+    for t in fsa.transitions:
+        if t.is_epsilon():
+            lines.append(f'  q{t.src} -> q{t.dst} [label="ε", style=dashed];')
+        else:
+            label = _escape(t.label.pattern())  # type: ignore[union-attr]
+            lines.append(f'  q{t.src} -> q{t.dst} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def mfsa_to_dot(mfsa: Mfsa, name: str = "mfsa") -> str:
+    """Render an MFSA with belonging-coloured transitions (paper Fig. 2/6
+    style).  Rule initials are annotated ``▸r``, finals ``✓r``."""
+    slots = mfsa.slot_of()
+    color_of_rule = {rule: _COLORS[slot % len(_COLORS)] for rule, slot in slots.items()}
+
+    initial_marks: dict[int, list[int]] = {}
+    for rule, state in mfsa.initials.items():
+        initial_marks.setdefault(state, []).append(rule)
+    final_marks: dict[int, list[int]] = {}
+    for rule, states in mfsa.finals.items():
+        for state in states:
+            final_marks.setdefault(state, []).append(rule)
+
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;", "  node [shape=circle];"]
+    for state in range(mfsa.num_states):
+        notes = []
+        if state in initial_marks:
+            notes.append("▸" + ",".join(str(r) for r in sorted(initial_marks[state])))
+        if state in final_marks:
+            notes.append("✓" + ",".join(str(r) for r in sorted(final_marks[state])))
+        label = str(state) + ("\\n" + " ".join(notes) if notes else "")
+        shape = "doublecircle" if state in final_marks else "circle"
+        lines.append(f'  q{state} [shape={shape}, label="{label}"];')
+    for t in mfsa.transitions:
+        bel = sorted(t.bel)
+        color = color_of_rule[bel[0]] if len(bel) == 1 else _SHARED_COLOR
+        width = "2.0" if len(bel) > 1 else "1.0"
+        label = _escape(t.label.pattern()) + " {" + ",".join(str(r) for r in bel) + "}"
+        lines.append(
+            f'  q{t.src} -> q{t.dst} [label="{label}", color="{color}", penwidth={width}];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dfa_to_dot(dfa: Dfa, name: str = "dfa", max_label_chars: int = 12) -> str:
+    """Render a DFA with one condensed edge per (src, dst) state pair."""
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;", "  node [shape=circle];"]
+    lines.append('  __start [shape=point, label=""];')
+    for state in range(dfa.num_states):
+        shape = "doublecircle" if dfa.accepts[state] else "circle"
+        note = ""
+        if dfa.accepts[state]:
+            note = "\\n✓" + ",".join(str(r) for r in sorted(dfa.accepts[state]))
+        lines.append(f'  q{state} [shape={shape}, label="{state}{note}"];')
+    lines.append(f"  __start -> q{dfa.initial};")
+    for src in range(dfa.num_states):
+        grouped: dict[int, int] = {}
+        for byte in range(ALPHABET_SIZE):
+            dst = dfa.rows[src][byte]
+            if dst != DEAD:
+                grouped[dst] = grouped.get(dst, 0) | (1 << byte)
+        for dst, mask in grouped.items():
+            label = CharClass(mask).pattern()
+            if len(label) > max_label_chars:
+                label = label[: max_label_chars - 1] + "…"
+            lines.append(f'  q{src} -> q{dst} [label="{_escape(label)}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def counting_mfsa_to_dot(cmfsa, name: str = "cmfsa") -> str:
+    """Render a counting MFSA: counting arcs drawn dashed with their
+    bounds in the label (``[0-9]{1,3} {0,1}`` style)."""
+    from repro.counting.mfsa import CountingMfsa
+
+    assert isinstance(cmfsa, CountingMfsa)
+    slots = cmfsa.slot_of()
+    color_of_rule = {rule: _COLORS[slot % len(_COLORS)] for rule, slot in slots.items()}
+
+    final_marks: dict[int, list[int]] = {}
+    for rule, states in cmfsa.finals.items():
+        for state in states:
+            final_marks.setdefault(state, []).append(rule)
+
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;", "  node [shape=circle];"]
+    for state in range(cmfsa.num_states):
+        shape = "doublecircle" if state in final_marks else "circle"
+        lines.append(f'  q{state} [shape={shape}, label="{state}"];')
+
+    def edge(src: int, dst: int, label: str, bel, dashed: bool) -> str:
+        ordered = sorted(bel)
+        color = color_of_rule[ordered[0]] if len(ordered) == 1 else _SHARED_COLOR
+        style = ", style=dashed" if dashed else ""
+        ids = ",".join(str(r) for r in ordered)
+        return (f'  q{src} -> q{dst} [label="{_escape(label)} {{{ids}}}", '
+                f'color="{color}"{style}];')
+
+    for t in cmfsa.plain:
+        lines.append(edge(t.src, t.dst, t.label.pattern(), t.bel, dashed=False))
+    for t in cmfsa.counting:
+        bound = f"{{{t.low},{'' if t.high is None else t.high}}}"
+        lines.append(edge(t.src, t.dst, t.label.pattern() + bound, t.bel, dashed=True))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

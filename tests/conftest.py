@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite.
+
+The hypothesis strategies live in the *public* :mod:`repro.testing`
+module (they are part of the library's API for downstream fuzzing); this
+conftest re-exports them under the names the tests use.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import settings as hypothesis_settings
+
+from repro.automata.optimize import compile_re_to_fsa
+
+# Hypothesis baseline profile (per-test @settings still override it).
+hypothesis_settings.register_profile("default", deadline=None)
+hypothesis_settings.load_profile("default")
+
+#: Example count for the dedicated soak tests (tests/test_soak.py):
+#: REPRO_SOAK_EXAMPLES=2000 turns them into a long confidence run.
+SOAK_EXAMPLES = int(os.environ.get("REPRO_SOAK_EXAMPLES", "25"))
+from repro.mfsa.model import Mfsa
+from repro.testing import (
+    DEFAULT_ALPHABET as TEST_ALPHABET,
+    ere_patterns,
+    random_patterns as random_ruleset,
+    subject_strings as input_strings,
+)
+
+__all__ = [
+    "TEST_ALPHABET",
+    "ere_patterns",
+    "input_strings",
+    "random_ruleset",
+    "mfsa_equal",
+    "compile_ruleset_fsas",
+]
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def mfsa_equal(a: Mfsa, b: Mfsa) -> bool:
+    """Structural MFSA equality up to transition order."""
+    return (
+        a.num_states == b.num_states
+        and a.initials == b.initials
+        and a.finals == b.finals
+        and {(t.src, t.dst, t.label.mask, t.bel) for t in a.transitions}
+        == {(t.src, t.dst, t.label.mask, t.bel) for t in b.transitions}
+    )
+
+
+def compile_ruleset_fsas(patterns: list[str]):
+    """(rule_id, optimised FSA) pairs for a list of patterns."""
+    return [(i, compile_re_to_fsa(p)) for i, p in enumerate(patterns)]
+
+
+@pytest.fixture
+def small_ruleset():
+    """A tiny mixed ruleset exercising most constructs."""
+    return [
+        "abc",
+        "a(b|c)d",
+        "[a-c]+x",
+        "ab{2,3}c",
+        "k(fg)*h",
+        "x.*y",
+    ]

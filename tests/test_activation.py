@@ -1,0 +1,131 @@
+"""Tests for the activation-function semantics (Eqs. 4–6), including the
+paper's Fig. 3 and Fig. 6 walk-throughs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import find_match_ends
+from repro.mfsa.activation import ActivationConfig, active_set_trace, reference_match
+from repro.mfsa.merge import merge_fsas
+
+from conftest import compile_ruleset_fsas, ere_patterns, input_strings
+
+
+class TestFig3:
+    """z_{1,2} from a1 = bcdegh and a2 = def (paper Fig. 3)."""
+
+    @pytest.fixture
+    def mfsa(self):
+        return merge_fsas(compile_ruleset_fsas(["bcdegh", "def"]))
+
+    def test_s1_degh_matches_nothing(self, mfsa):
+        """s1 = degh: a2 activates on d, e but dies at g; a1 never starts."""
+        assert reference_match(mfsa, "degh") == set()
+
+    def test_s2_bcdef_matches_a2_only(self, mfsa):
+        """s2 = bcdef: a1 stays active through bcde, f discards it and the
+        branch completes a2's def (ending at offset 5)."""
+        assert reference_match(mfsa, "bcdef") == {(1, 5)}
+
+    def test_full_bcdegh_matches_a1(self, mfsa):
+        assert (0, 6) in reference_match(mfsa, "bcdegh")
+
+    def test_def_substring_matches_a2(self, mfsa):
+        assert reference_match(mfsa, "xxdefxx") == {(1, 5)}
+
+
+class TestFig6:
+    """z from a1 = (ad|cb)ab and a2 = a(b|c) against s = acbab (Fig. 6)."""
+
+    @pytest.fixture
+    def mfsa(self):
+        return merge_fsas([(1, compile_re_to_fsa("(ad|cb)ab")),
+                           (2, compile_re_to_fsa("a(b|c)"))])
+
+    def test_three_matches(self, mfsa):
+        """ac (a2, end 2), cbab (a1, end 5), ab (a2, end 5)."""
+        assert reference_match(mfsa, "acbab") == {(2, 2), (1, 5), (2, 5)}
+
+    def test_no_cross_language_false_positives(self, mfsa):
+        """adb mixes a1's ad with a2's b continuation: no rule matches at 3."""
+        got = reference_match(mfsa, "adb")
+        assert (1, 3) not in got and (2, 3) not in got
+
+
+class TestUnwantedLanguages:
+    def test_kjaglm_rejected(self):
+        """The paper's §III-B example: z of a1=a[gj](lm|cd), a2=kja[gj]cd
+        must not accept strings of neither language, e.g. kjaglm."""
+        fsas = compile_ruleset_fsas(["a[gj](lm|cd)", "kja[gj]cd"])
+        mfsa = merge_fsas(fsas)
+        text = "kjaglm"
+        expected = set()
+        for rule, fsa in fsas:
+            expected |= {(rule, e) for e in find_match_ends(fsa, text)}
+        got = reference_match(mfsa, text)
+        assert got == expected
+        # Note: rule 0 legitimately matches the *substring* aglm ending at
+        # offset 6 (streaming semantics); what must not happen is a match
+        # for rule 1 (kja[gj]cd) there — the paper's unwanted language.
+        assert (1, 6) not in got
+
+
+class TestPopOnFinal:
+    def test_pop_drops_extension_matches(self):
+        """Eq. 5 literally: ab* on 'abb' reports only the first final visit
+        per path (end 1), later ends come only from the popped path."""
+        mfsa = merge_fsas(compile_ruleset_fsas(["ab+"]))
+        keep = reference_match(mfsa, "abb")
+        pop = reference_match(mfsa, "abb", ActivationConfig(pop_on_final=True))
+        assert keep == {(0, 2), (0, 3)}
+        assert pop == {(0, 2)}
+
+    def test_pop_is_subset_of_keep(self):
+        patterns = ["a+b*", "(ab)+"]
+        mfsa = merge_fsas(compile_ruleset_fsas(patterns))
+        text = "aababb"
+        keep = reference_match(mfsa, text)
+        pop = reference_match(mfsa, text, ActivationConfig(pop_on_final=True))
+        assert pop <= keep
+
+
+class TestEmptyMatchingRules:
+    def test_star_rule_matches_everywhere(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["a*", "b"]))
+        got = reference_match(mfsa, "xb")
+        assert {(0, 0), (0, 1), (0, 2)} <= got
+        assert (1, 2) in got
+
+
+class TestActiveTrace:
+    def test_trace_length_matches_stream(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["ab", "ac"]))
+        trace = active_set_trace(mfsa, "aaxx")
+        assert len(trace) == 4
+
+    def test_trace_counts_pairs(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["ab", "ac"]))
+        trace = active_set_trace(mfsa, "a")
+        # the shared a-arc carries both rules to one state: 2 active pairs
+        assert trace[0] == 2
+
+    def test_trace_zero_on_dead_symbols(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["ab"]))
+        assert active_set_trace(mfsa, "zz") == [0, 0]
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_activation_equals_per_rule_simulation(data):
+    """The central soundness/completeness property: per-rule matches of the
+    merged automaton equal the per-FSA reference matches."""
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=4))
+    text = data.draw(input_strings())
+    fsas = compile_ruleset_fsas(patterns)
+    mfsa = merge_fsas(fsas)
+    expected = set()
+    for rule, fsa in fsas:
+        expected |= {(rule, end) for end in find_match_ends(fsa, text)}
+    assert reference_match(mfsa, text) == expected

@@ -1,0 +1,77 @@
+"""Tests for the Aho–Corasick string-matching substrate."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stringmatch import AhoCorasick
+
+WORDS = st.text(alphabet="abc", min_size=1, max_size=6)
+
+
+class TestConstruction:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick(["a", ""])
+
+    def test_accepts_bytes_and_str(self):
+        ac = AhoCorasick([b"ab", "cd"])
+        assert ac.find_all(b"abcd") == {(0, 2), (1, 4)}
+
+    def test_trie_shares_prefixes(self):
+        ac = AhoCorasick(["abc", "abd"])
+        # root + a + b + c + d
+        assert ac.num_nodes == 5
+
+
+class TestMatching:
+    def test_single_pattern(self):
+        ac = AhoCorasick(["abc"])
+        assert ac.find_all("zabcabc") == {(0, 4), (0, 7)}
+
+    def test_overlapping_patterns(self):
+        ac = AhoCorasick(["aa"])
+        assert ac.find_all("aaa") == {(0, 2), (0, 3)}
+
+    def test_substring_patterns_both_report(self):
+        ac = AhoCorasick(["he", "she", "hers"])
+        got = ac.find_all("ushers")
+        assert got == {(1, 4), (0, 4), (2, 6)}
+
+    def test_failure_links_across_patterns(self):
+        ac = AhoCorasick(["abcd", "bc"])
+        assert (1, 3) in ac.find_all("abce")
+
+    def test_duplicate_patterns_report_separately(self):
+        ac = AhoCorasick(["ab", "ab"])
+        assert ac.find_all("ab") == {(0, 2), (1, 2)}
+
+    def test_no_match(self):
+        assert AhoCorasick(["xyz"]).find_all("abcabc") == set()
+
+    def test_contains_any_early_exit(self):
+        ac = AhoCorasick(["needle"])
+        assert ac.contains_any("hay needle hay")
+        assert not ac.contains_any("hay hay")
+
+    def test_match_positions_sorted(self):
+        ac = AhoCorasick(["ab"])
+        assert ac.match_positions("ababab") == {0: [2, 4, 6]}
+
+    def test_binary_patterns(self):
+        ac = AhoCorasick([bytes([0, 255, 7])])
+        assert ac.find_all(bytes([1, 0, 255, 7, 2])) == {(0, 4)}
+
+
+@given(st.lists(WORDS, min_size=1, max_size=6), st.text(alphabet="abc", max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_matches_re_oracle(patterns, text):
+    """Every (pattern, end) pair agrees with a regex-scan oracle."""
+    ac = AhoCorasick(patterns)
+    expected = set()
+    for pattern_id, pattern in enumerate(patterns):
+        for match in re.finditer(f"(?=({re.escape(pattern)}))", text):
+            expected.add((pattern_id, match.start() + len(pattern)))
+    assert ac.find_all(text) == expected

@@ -1,0 +1,132 @@
+"""Tests for the AST static analyses (widths, exact sets, required factors)."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+
+from repro.frontend.analysis import (
+    exact_strings,
+    max_width,
+    min_width,
+    required_literals,
+)
+from repro.frontend.parser import parse
+
+from conftest import ere_patterns, input_strings
+
+
+class TestWidths:
+    @pytest.mark.parametrize("pattern,lo,hi", [
+        ("", 0, 0),
+        ("a", 1, 1),
+        ("abc", 3, 3),
+        ("a|bc", 1, 2),
+        ("a?", 0, 1),
+        ("a*", 0, None),
+        ("a+", 1, None),
+        ("a{2,5}", 2, 5),
+        ("a{3,}", 3, None),
+        ("(ab|c)d{2}", 3, 4),
+        ("(a*)?", 0, None),
+    ])
+    def test_known_bounds(self, pattern, lo, hi):
+        node = parse(pattern)
+        assert min_width(node) == lo
+        assert max_width(node) == hi
+
+    def test_zero_width_star_of_empty(self):
+        assert max_width(parse("(a{0})*")) == 0
+
+
+class TestExactStrings:
+    @pytest.mark.parametrize("pattern,expected", [
+        ("a", {"a"}),
+        ("ab|cd", {"ab", "cd"}),
+        ("[ab]c", {"ac", "bc"}),
+        ("a{1,2}", {"a", "aa"}),
+        ("a(b|)", {"ab", "a"}),
+        ("", {""}),
+    ])
+    def test_finite_languages(self, pattern, expected):
+        assert exact_strings(parse(pattern)) == frozenset(expected)
+
+    def test_unbounded_is_none(self):
+        assert exact_strings(parse("a*")) is None
+        assert exact_strings(parse("a+b")) is None
+
+    def test_wide_class_is_none(self):
+        assert exact_strings(parse("[a-z]")) is None
+
+    def test_explosion_capped(self):
+        assert exact_strings(parse("[ab][ab][ab][ab][ab][ab][ab]")) is None
+
+
+class TestRequiredLiterals:
+    def test_plain_string(self):
+        req = required_literals(parse("hello"))
+        assert req is not None and req.literals == frozenset({"hello"})
+
+    def test_alternation_union(self):
+        req = required_literals(parse("(foo|barbaz)"))
+        assert req.literals == frozenset({"foo", "barbaz"})
+
+    def test_dotstar_pattern_keeps_factors(self):
+        req = required_literals(parse("foo.*barbar"))
+        assert req is not None
+        # the longer factor wins the quality score
+        assert "barbar" in req.literals
+
+    def test_optional_parts_not_required(self):
+        req = required_literals(parse("(abc)?x"))
+        assert req is not None
+        assert req.literals == frozenset({"x"})
+
+    def test_wide_class_pattern_may_fail(self):
+        assert required_literals(parse("[a-z]+")) is None
+
+    def test_star_only_pattern(self):
+        assert required_literals(parse("(abc)*")) is None
+
+    def test_plus_body_required(self):
+        req = required_literals(parse("(abc)+"))
+        assert req.literals == frozenset({"abc"})
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=200, deadline=None)
+def test_width_bounds_sound(pattern, text):
+    """Any actual full match length lies within [min_width, max_width]."""
+    node = parse(pattern)
+    oracle = re.compile(f"(?:{pattern})\\Z")
+    if oracle.match(text):
+        assert min_width(node) <= len(text)
+        widest = max_width(node)
+        if widest is not None:
+            assert len(text) <= widest
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=200, deadline=None)
+def test_required_literals_sound(pattern, text):
+    """Every matching string contains one of the required factors."""
+    node = parse(pattern)
+    req = required_literals(node)
+    if req is None:
+        return
+    oracle = re.compile(f"(?:{pattern})\\Z")
+    if oracle.match(text):
+        assert any(literal in text for literal in req.literals), (pattern, text, req)
+
+
+@given(ere_patterns())
+@settings(max_examples=150, deadline=None)
+def test_exact_strings_sound(pattern):
+    """When finite, the exact set IS the language (checked via re)."""
+    node = parse(pattern)
+    strings = exact_strings(node)
+    if strings is None:
+        return
+    oracle = re.compile(f"(?:{pattern})\\Z")
+    for s in strings:
+        assert oracle.match(s), (pattern, s)

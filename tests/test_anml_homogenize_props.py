@@ -1,0 +1,67 @@
+"""Property tests for the ANML homogenisation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anml.homogenize import homogenize
+from repro.mfsa.merge import merge_fsas
+
+from conftest import compile_ruleset_fsas, ere_patterns
+
+
+@given(st.lists(ere_patterns(), min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_homogeneity_invariants(patterns):
+    """Structural invariants of the STE network, for random MFSAs."""
+    mfsa = merge_fsas(compile_ruleset_fsas(patterns))
+    network = homogenize(mfsa)
+
+    # 1. One STE per (original state, incoming-label) pair; ids dense.
+    keys = {(ste.state, ste.symbol_set.mask) for ste in network.stes}
+    assert len(keys) == len(network.stes)
+    assert [ste.ste_id for ste in network.stes] == list(range(len(network.stes)))
+
+    # 2. Connections reference existing STEs.
+    valid = {ste.ste_id for ste in network.stes}
+    for conn in network.connections:
+        assert conn.src in valid and conn.dst in valid
+        assert conn.bel  # never empty
+
+    # 3. Every MFSA arc is represented: either as connections from each
+    #    split of its source, or as a StartArc when the source has no
+    #    splits.
+    splits_of: dict[int, int] = {}
+    for ste in network.stes:
+        splits_of[ste.state] = splits_of.get(ste.state, 0) + 1
+    dst_key = {(ste.state, ste.symbol_set.mask): ste.ste_id for ste in network.stes}
+    conn_set = {(c.src, c.dst) for c in network.connections}
+    start_set = {(a.src_state, a.dst) for a in network.start_arcs}
+    for t in mfsa.transitions:
+        target = dst_key[(t.dst, t.label.mask)]
+        if splits_of.get(t.src, 0) == 0:
+            assert (t.src, target) in start_set
+        else:
+            for ste in network.stes:
+                if ste.state == t.src:
+                    assert (ste.ste_id, target) in conn_set
+
+    # 4. Start marks appear exactly where an arc leaves a rule's initial.
+    expected_starts: dict[int, set[int]] = {}
+    for t in mfsa.transitions:
+        starting = {r for r in t.bel if mfsa.initials[r] == t.src}
+        if starting:
+            target = dst_key[(t.dst, t.label.mask)]
+            expected_starts.setdefault(target, set()).update(starting)
+    actual_starts = {ste.ste_id: set(ste.start_for) for ste in network.stes if ste.start_for}
+    assert actual_starts == expected_starts
+
+    # 5. Report marks cover exactly the per-rule final states.
+    for ste in network.stes:
+        expected = {r for r, finals in mfsa.finals.items() if ste.state in finals}
+        assert set(ste.report_for) == expected
+
+    # 6. The rule table mirrors the MFSA.
+    assert set(network.rules) == set(mfsa.initials)
+    for rule, (initial, finals, _) in network.rules.items():
+        assert initial == mfsa.initials[rule]
+        assert finals == frozenset(mfsa.finals[rule])

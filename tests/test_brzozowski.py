@@ -1,0 +1,126 @@
+"""Tests for the Brzozowski-derivative oracle."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.brzozowski import (
+    DerivativeBudgetError,
+    Never,
+    accepts,
+    derivative,
+    derivative_dfa,
+    nullable,
+)
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import accepts as nfa_accepts
+from repro.frontend.ast import Empty, Literal
+from repro.frontend.parser import parse
+from repro.labels import CharClass
+
+from conftest import ere_patterns, input_strings
+
+
+class TestNullable:
+    @pytest.mark.parametrize("pattern,expected", [
+        ("", True), ("a", False), ("a*", True), ("a+", False),
+        ("a?", True), ("a|", True), ("ab", False), ("a{0,3}", True),
+        ("(a*)(b*)", True), ("(a|b)c", False),
+    ])
+    def test_cases(self, pattern, expected):
+        assert nullable(parse(pattern)) == expected
+
+    def test_never(self):
+        assert not nullable(Never())
+
+
+class TestDerivative:
+    def test_literal_hit(self):
+        assert derivative(parse("a"), ord("a")) == Empty()
+
+    def test_literal_miss(self):
+        assert isinstance(derivative(parse("a"), ord("b")), Never)
+
+    def test_concat_nullable_head(self):
+        d = derivative(parse("a*b"), ord("b"))
+        assert nullable(d)
+
+    def test_class_membership(self):
+        node = Literal(CharClass.from_range("a", "f"))
+        assert derivative(node, ord("c")) == Empty()
+        assert isinstance(derivative(node, ord("z")), Never)
+
+    def test_repeat_counts_down(self):
+        d = derivative(parse("a{3}"), ord("a"))
+        assert accepts(d, "aa") and not accepts(d, "aaa")
+
+    def test_zero_repeat(self):
+        assert isinstance(derivative(parse("a{0}"), ord("a")), Never)
+
+
+class TestAccepts:
+    @pytest.mark.parametrize("pattern,text,expected", [
+        ("abc", "abc", True),
+        ("abc", "abd", False),
+        ("(ab)*", "abab", True),
+        ("(ab)*", "aba", False),
+        ("a{2,4}", "aaa", True),
+        ("a{2,4}", "aaaaa", False),
+        ("[a-c]+z", "abz", True),
+        ("[a-c]+z", "abdz", False),
+        ("[a-c]+z", "z", False),
+        ("x.*y", "xanythingy", True),
+    ])
+    def test_cases(self, pattern, text, expected):
+        assert accepts(parse(pattern), text) == expected
+
+    def test_bytes_input(self):
+        assert accepts(parse("\\x00"), bytes([0]))
+
+
+class TestDerivativeDfa:
+    def test_anchored_acceptance(self):
+        from repro.dfa.dfa import DEAD
+
+        dfa = derivative_dfa(parse("ab|cd"))
+        state = dfa.initial
+        for byte in b"ab":
+            state = dfa.rows[state][byte]
+        assert dfa.accepts[state]
+
+    def test_small_state_count(self):
+        dfa = derivative_dfa(parse("(a|b)*abb"))
+        assert dfa.num_states <= 8  # the classic example minimises to 4
+
+    def test_budget(self):
+        with pytest.raises(DerivativeBudgetError):
+            derivative_dfa(parse("(a|aa){1,12}b"), max_states=5)
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=250, deadline=None)
+def test_derivatives_agree_with_nfa_pipeline(pattern, text):
+    """Three-way oracle: derivatives == Thompson pipeline == Python re."""
+    node = parse(pattern)
+    got = accepts(node, text)
+    assert got == nfa_accepts(compile_re_to_fsa(pattern), text)
+    assert got == bool(re.compile(f"(?:{pattern})\\Z").match(text))
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=80, deadline=None)
+def test_derivative_dfa_agrees(pattern, text):
+    try:
+        dfa = derivative_dfa(parse(pattern), max_states=500)
+    except DerivativeBudgetError:
+        return
+    state = dfa.initial
+    alive = True
+    for byte in text.encode("latin-1"):
+        state = dfa.rows[state][byte]
+        if state == -1:
+            alive = False
+            break
+    got = alive and bool(dfa.accepts[state])
+    assert got == accepts(parse(pattern), text)

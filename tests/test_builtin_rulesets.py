@@ -1,0 +1,81 @@
+"""Tests for the curated builtin rulesets and their loader."""
+
+import pytest
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.datasets import list_builtin, load_builtin
+from repro.engine.imfant import IMfantEngine
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+
+EXPECTED_NAMES = {
+    "dotstar_rules",
+    "http_signatures",
+    "log_patterns",
+    "protein_motifs",
+    "range_rules",
+    "tokens_exact",
+}
+
+
+class TestLoader:
+    def test_all_suites_present(self):
+        assert set(list_builtin()) == EXPECTED_NAMES
+
+    def test_load_by_name(self):
+        ruleset = load_builtin("http_signatures")
+        assert ruleset.name == "http_signatures"
+        assert len(ruleset) >= 20
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown builtin"):
+            load_builtin("nope")
+
+    def test_comments_and_blanks_stripped(self):
+        for name in list_builtin():
+            for pattern in load_builtin(name).patterns:
+                assert pattern and not pattern.startswith("#")
+
+
+class TestRuleQuality:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_every_pattern_compiles(self, name):
+        for pattern in load_builtin(name).patterns:
+            fsa = compile_re_to_fsa(pattern)
+            assert fsa.num_states >= 2
+
+    def test_http_suite_compiles_and_merges(self):
+        ruleset = load_builtin("http_signatures")
+        result = compile_ruleset(list(ruleset.patterns),
+                                 CompileOptions(merging_factor=0, emit_anml=False))
+        assert result.merge_report.state_compression > 10
+
+    def test_http_suite_fires_on_sample_traffic(self):
+        ruleset = load_builtin("http_signatures")
+        result = compile_ruleset(list(ruleset.patterns),
+                                 CompileOptions(merging_factor=0, emit_anml=False))
+        traffic = (b"GET /admin/config.php HTTP/1.1\r\n"
+                   b"User-Agent: sqlmap\r\nq=1 union  select x from users\r\n")
+        matches = IMfantEngine(result.mfsas[0]).run(traffic).matches
+        fired_rules = {rule for rule, _ in matches}
+        assert len(fired_rules) >= 3
+
+    def test_protein_suite_fires_on_motif(self):
+        ruleset = load_builtin("protein_motifs")
+        result = compile_ruleset(list(ruleset.patterns),
+                                 CompileOptions(merging_factor=0, emit_anml=False))
+        sequence = b"MKLVCSHCAAGIRGDKKKWSEQ"
+        matches = IMfantEngine(result.mfsas[0]).run(sequence).matches
+        assert matches
+
+    def test_dotstar_suite_has_dotstars(self):
+        assert all(".*" in p for p in load_builtin("dotstar_rules").patterns)
+
+    def test_exact_suite_is_literal_heavy(self):
+        from repro.frontend.analysis import required_literals
+        from repro.frontend.parser import parse
+
+        prefilterable = sum(
+            1 for p in load_builtin("tokens_exact").patterns
+            if required_literals(parse(p)) is not None
+        )
+        assert prefilterable == len(load_builtin("tokens_exact"))

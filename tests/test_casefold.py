@@ -1,0 +1,88 @@
+"""Tests for compile-time case folding (nocase matching)."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import OptimizeOptions, compile_re_to_fsa
+from repro.automata.simulate import accepts, find_match_ends
+from repro.frontend.casefold import fold_case, fold_charclass
+from repro.frontend.parser import parse
+from repro.labels import CharClass
+
+NOCASE = OptimizeOptions(case_insensitive=True)
+
+
+class TestFoldCharclass:
+    def test_lower_gains_upper(self):
+        folded = fold_charclass(CharClass.single("a"))
+        assert "a" in folded and "A" in folded
+        assert len(folded) == 2
+
+    def test_upper_gains_lower(self):
+        folded = fold_charclass(CharClass.single("Z"))
+        assert "z" in folded and "Z" in folded
+
+    def test_nonletters_untouched(self):
+        cc = CharClass.from_chars("0_ !")
+        assert fold_charclass(cc) == cc
+
+    def test_mixed_range(self):
+        folded = fold_charclass(CharClass.from_range("x", "z"))
+        assert all(c in folded for c in "xyzXYZ")
+
+    def test_idempotent(self):
+        cc = CharClass.from_chars("aB9")
+        assert fold_charclass(fold_charclass(cc)) == fold_charclass(cc)
+
+    def test_bytes_above_ascii_untouched(self):
+        cc = CharClass.from_chars([0xE9, 0xC9])  # é/É in latin-1: not folded
+        assert fold_charclass(cc) == cc
+
+
+class TestFoldCase:
+    def test_structure_preserved(self):
+        node = fold_case(parse("a(b|C)+d"))
+        assert node.pattern().lower().replace("[", "").replace("]", "") != ""
+        fsa = compile_re_to_fsa("a(b|C)+d", NOCASE)
+        assert accepts(fsa, "AbCd") and accepts(fsa, "aBcD")
+
+    def test_case_sensitive_default(self):
+        fsa = compile_re_to_fsa("abc")
+        assert not accepts(fsa, "ABC")
+
+    @pytest.mark.parametrize("pattern,text", [
+        ("select", "SELECT"),
+        ("User-Agent", "uSeR-aGeNt"),
+        ("[a-f]{3}", "AbF"),
+        ("get|post", "GET"),
+    ])
+    def test_nocase_matches(self, pattern, text):
+        fsa = compile_re_to_fsa(pattern, NOCASE)
+        assert accepts(fsa, text), (pattern, text)
+
+
+@given(st.text(alphabet="aAbB01", min_size=1, max_size=8),
+       st.text(alphabet="aAbB01", max_size=16))
+@settings(max_examples=150, deadline=None)
+def test_agrees_with_re_ignorecase(pattern_text, text):
+    """On literal patterns, nocase matching equals re.IGNORECASE."""
+    pattern = re.escape(pattern_text)
+    fsa = compile_re_to_fsa(pattern.replace("\\", "\\"), NOCASE)
+    oracle = re.compile(f"(?:{pattern})\\Z", re.IGNORECASE)
+    assert accepts(fsa, text) == bool(oracle.match(text))
+
+
+@given(st.text(alphabet="xyXY", max_size=14))
+@settings(max_examples=100, deadline=None)
+def test_stream_matching_ignorecase(text):
+    pattern = "xy+"
+    fsa = compile_re_to_fsa(pattern, NOCASE)
+    oracle = re.compile("(?:xy+)\\Z", re.IGNORECASE)
+    expected = {
+        end for end in range(len(text) + 1)
+        for start in range(end + 1) if oracle.match(text, start, end)
+    }
+    assert find_match_ends(fsa, text) == expected

@@ -1,0 +1,100 @@
+"""Tests for partial character-class merging (alphabet stratification)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import accepts, find_match_ends
+from repro.labels import CharClass
+from repro.mfsa.activation import reference_match
+from repro.mfsa.ccpartial import alphabet_partition, stratify_ruleset
+from repro.mfsa.merge import merge_fsas
+
+from conftest import compile_ruleset_fsas
+
+
+class TestPartition:
+    def test_disjoint_masks_stay(self):
+        a, b = CharClass.from_chars("ab").mask, CharClass.from_chars("cd").mask
+        blocks = alphabet_partition([a, b])
+        assert a in blocks and b in blocks
+
+    def test_overlap_is_split(self):
+        abce = CharClass.from_chars("abce").mask
+        bcd = CharClass.from_chars("bcd").mask
+        blocks = alphabet_partition([abce, bcd])
+        common = CharClass.from_chars("bc").mask
+        assert common in blocks  # the paper's shared [bc]
+        assert CharClass.from_chars("ae").mask in blocks
+        assert CharClass.single("d").mask in blocks
+
+    def test_blocks_partition_alphabet(self):
+        masks = [CharClass.from_chars("abc").mask, CharClass.from_chars("bx").mask]
+        blocks = alphabet_partition(masks)
+        union = 0
+        for block in blocks:
+            assert union & block == 0  # pairwise disjoint
+            union |= block
+        from repro.labels import FULL_MASK
+
+        assert union == FULL_MASK
+
+    def test_every_mask_is_union_of_blocks(self):
+        masks = [CharClass.from_chars("abcd").mask, CharClass.from_chars("cdef").mask,
+                 CharClass.single("a").mask]
+        blocks = alphabet_partition(masks)
+        for mask in masks:
+            covered = sum(b for b in blocks if b & mask)
+            assert covered == mask
+
+
+class TestStratify:
+    def test_splits_overlapping_classes(self):
+        fsas = [compile_re_to_fsa("[abce]x"), compile_re_to_fsa("[bcd]x")]
+        strat = stratify_ruleset(fsas)
+        # [abce] splits into [bc] + [ae]; [bcd] into [bc] + d
+        labels0 = {t.label.mask for t in strat[0].transitions}
+        labels1 = {t.label.mask for t in strat[1].transitions}
+        assert CharClass.from_chars("bc").mask in labels0 & labels1
+
+    def test_language_preserved(self):
+        fsas = [compile_re_to_fsa("[abce]x"), compile_re_to_fsa("[bcd]x")]
+        strat = stratify_ruleset(fsas)
+        for original, rewritten in zip(fsas, strat):
+            for text in ("ax", "bx", "cx", "dx", "ex", "fx", "x", ""):
+                assert accepts(original, text) == accepts(rewritten, text)
+
+    def test_enables_partial_cc_sharing(self):
+        """After stratification the [bc] sub-class is stored once."""
+        fsas = compile_ruleset_fsas(["[abce]x", "[bcd]x"])
+        plain = merge_fsas(fsas)
+        strat_fsas = list(zip([r for r, _ in fsas], stratify_ruleset([f for _, f in fsas])))
+        strat = merge_fsas(strat_fsas)
+        shared_plain = [t for t in plain.transitions if len(t.bel) == 2]
+        shared_strat = [t for t in strat.transitions if len(t.bel) == 2]
+        assert len(shared_strat) > len(shared_plain)
+
+    def test_rejects_epsilon(self):
+        from repro.automata.thompson import thompson_construct
+        from repro.frontend.parser import parse
+
+        with pytest.raises(ValueError):
+            stratify_ruleset([thompson_construct(parse("a|b"))])
+
+
+@given(st.lists(st.sampled_from(["[abce]x", "[bcd]x", "k[ab]d", "(k|h)bc", "kfd", "[a-d]+"]),
+                min_size=2, max_size=4, unique=True),
+       st.text(alphabet="abcdefkhx", max_size=16))
+@settings(max_examples=80, deadline=None)
+def test_stratified_merge_matches_plain(patterns, text):
+    """Soundness of partial CC merging under activation semantics: the
+    stratified MFSA reports exactly the per-rule reference matches (the
+    Fig. 5b hazard does not occur)."""
+    fsas = compile_ruleset_fsas(patterns)
+    strat = list(zip([r for r, _ in fsas], stratify_ruleset([f for _, f in fsas])))
+    mfsa = merge_fsas(strat)
+    expected = set()
+    for rule, fsa in fsas:
+        expected |= {(rule, end) for end in find_match_ends(fsa, text)}
+    assert reference_match(mfsa, text) == expected

@@ -1,0 +1,86 @@
+"""Tests for chunk-parallel scanning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.chunkscan import chunk_scan, ruleset_max_width
+from repro.engine.imfant import IMfantEngine
+from repro.mfsa.merge import merge_fsas
+
+from conftest import compile_ruleset_fsas, ere_patterns
+
+
+def build(patterns):
+    return merge_fsas(compile_ruleset_fsas(patterns))
+
+
+class TestRulesetMaxWidth:
+    def test_bounded(self):
+        assert ruleset_max_width(["abc", "a{2,5}", "[xy]z"]) == 5
+
+    def test_unbounded(self):
+        assert ruleset_max_width(["abc", "a+b"]) is None
+
+    def test_empty(self):
+        assert ruleset_max_width([]) == 0
+
+
+class TestChunkScan:
+    def test_boundary_straddling_match(self):
+        patterns = ["needle"]
+        mfsa = build(patterns)
+        stream = b"x" * 4094 + b"needle" + b"y" * 100  # straddles 4096
+        got = chunk_scan(mfsa, stream, overlap=6, chunk_size=4096)
+        assert got == {(0, 4100)}
+
+    def test_matches_equal_single_shot(self):
+        patterns = ["ab", "a[bc]d", "xyz"]
+        mfsa = build(patterns)
+        stream = (b"abxyzabcd" * 300)
+        expected = IMfantEngine(mfsa).run(stream).matches
+        got = chunk_scan(mfsa, stream, overlap=ruleset_max_width(patterns),
+                         chunk_size=256, num_threads=4)
+        assert got == expected
+
+    def test_unbounded_falls_back_sequential(self):
+        patterns = ["a.*b"]
+        mfsa = build(patterns)
+        stream = b"a" + b"x" * 500 + b"b"
+        got = chunk_scan(mfsa, stream, overlap=ruleset_max_width(patterns),
+                         chunk_size=64)
+        assert got == IMfantEngine(mfsa).run(stream).matches
+
+    def test_small_stream_single_shot(self):
+        mfsa = build(["ab"])
+        assert chunk_scan(mfsa, b"ab", overlap=2, chunk_size=4096) == {(0, 2)}
+
+    def test_chunk_size_must_exceed_overlap(self):
+        mfsa = build(["abcd"])
+        with pytest.raises(ValueError):
+            chunk_scan(mfsa, b"x" * 10_000, overlap=64, chunk_size=64)
+
+    def test_empty_matching_rule_full_range(self):
+        patterns = ["a*", "zq"]
+        mfsa = build(patterns)
+        stream = b"b" * 600
+        got = chunk_scan(mfsa, stream, overlap=2, chunk_size=256)
+        assert got == IMfantEngine(mfsa).run(stream).matches
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_chunkscan_equivalence_property(data):
+    patterns = data.draw(st.lists(ere_patterns(max_depth=2), min_size=1, max_size=3))
+    repeats = data.draw(st.integers(min_value=10, max_value=60))
+    base = data.draw(st.text(alphabet="abcd", min_size=1, max_size=12))
+    stream = (base * repeats).encode()
+    chunk_size = data.draw(st.sampled_from([64, 100, 257]))
+
+    mfsa = build(patterns)
+    overlap = ruleset_max_width(patterns)
+    if overlap is not None and chunk_size <= overlap:
+        chunk_size = overlap + 16
+    got = chunk_scan(mfsa, stream, overlap=overlap, chunk_size=chunk_size,
+                     num_threads=3)
+    assert got == IMfantEngine(mfsa).run(stream).matches

@@ -1,0 +1,134 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import compile_main, match_main, report_main, viz_main
+
+
+@pytest.fixture
+def ruleset_file(tmp_path):
+    path = tmp_path / "rules.txt"
+    path.write_text("# comment\nabc\nabd\na[bc]e\n\n")
+    return path
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.bin"
+    path.write_bytes(b"zzabczzabdzz")
+    return path
+
+
+class TestCompileMain:
+    def test_writes_anml(self, ruleset_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert compile_main([str(ruleset_file), "-o", str(out_dir)]) == 0
+        files = list(out_dir.glob("*.anml"))
+        assert len(files) == 1
+        captured = capsys.readouterr().out
+        assert "compiled 3 REs" in captured
+        assert "compression" in captured
+
+    def test_merging_factor(self, ruleset_file, tmp_path):
+        out_dir = tmp_path / "out"
+        compile_main([str(ruleset_file), "-m", "1", "-o", str(out_dir)])
+        assert len(list(out_dir.glob("*.anml"))) == 3
+
+    def test_empty_ruleset_errors(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing\n")
+        with pytest.raises(SystemExit):
+            compile_main([str(empty)])
+
+
+class TestMatchMain:
+    def test_compile_on_the_fly(self, ruleset_file, stream_file, capsys):
+        assert match_main([str(stream_file), "--ruleset", str(ruleset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "matches: " in out
+        assert "rule 0 matched" in out
+
+    def test_from_anml_dir(self, ruleset_file, stream_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        compile_main([str(ruleset_file), "-o", str(out_dir)])
+        capsys.readouterr()
+        assert match_main([str(stream_file), "--mfsa-dir", str(out_dir)]) == 0
+        assert "matches: " in capsys.readouterr().out
+
+    def test_anml_and_direct_agree(self, ruleset_file, stream_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        compile_main([str(ruleset_file), "-o", str(out_dir)])
+        capsys.readouterr()
+        match_main([str(stream_file), "--mfsa-dir", str(out_dir), "--show-matches", "100"])
+        via_anml = capsys.readouterr().out
+        match_main([str(stream_file), "--ruleset", str(ruleset_file), "--show-matches", "100"])
+        direct = capsys.readouterr().out
+        assert [l for l in via_anml.splitlines() if "rule" in l] == \
+               [l for l in direct.splitlines() if "rule" in l]
+
+    def test_missing_anml_dir(self, stream_file, tmp_path):
+        with pytest.raises(SystemExit):
+            match_main([str(stream_file), "--mfsa-dir", str(tmp_path / "nope")])
+
+    def test_numpy_backend_and_threads(self, ruleset_file, stream_file, capsys):
+        assert match_main([
+            str(stream_file), "--ruleset", str(ruleset_file),
+            "-m", "1", "-t", "2", "--backend", "numpy",
+        ]) == 0
+        assert "3 MFSA(s)" in capsys.readouterr().out
+
+
+class TestVizMain:
+    def test_writes_dot_files(self, ruleset_file, tmp_path, capsys):
+        out_dir = tmp_path / "dots"
+        assert viz_main([str(ruleset_file), "-o", str(out_dir)]) == 0
+        files = list(out_dir.glob("*.dot"))
+        assert len(files) == 1
+        assert files[0].read_text().startswith("digraph")
+        assert "DOT file" in capsys.readouterr().out
+
+    def test_per_rule_flag(self, ruleset_file, tmp_path):
+        out_dir = tmp_path / "dots"
+        viz_main([str(ruleset_file), "-o", str(out_dir), "--per-rule"])
+        assert len(list(out_dir.glob("rule*.dot"))) == 3
+
+
+class TestReportMain:
+    @pytest.mark.parametrize("what,needle", [
+        ("fig1", "INDEL"),
+        ("table1", "Table I"),
+        ("fig7", "compression"),
+        ("table2", "active"),
+    ])
+    def test_sections(self, what, needle, capsys):
+        assert report_main([what, "--scale", "30", "--stream-size", "256"]) == 0
+        assert needle in capsys.readouterr().out
+
+    def test_fig10_summary_lines(self, capsys):
+        report_main(["fig10", "--scale", "30", "--stream-size", "256"])
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+
+class TestReportDatasetFilter:
+    def test_subset(self, capsys):
+        report_main(["table1", "--scale", "30", "--stream-size", "256",
+                     "--datasets", "bro,tcp"])
+        out = capsys.readouterr().out
+        assert "BRO" in out and "TCP" in out
+        assert "DS9" not in out
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            report_main(["table1", "--datasets", "NOPE"])
+
+
+class TestSingleMatchFlag:
+    def test_single_match(self, ruleset_file, tmp_path, capsys):
+        stream = tmp_path / "s.bin"
+        stream.write_bytes(b"abcabcabc")
+        match_main([str(stream), "--ruleset", str(ruleset_file),
+                    "--single-match", "--show-matches", "50"])
+        out = capsys.readouterr().out
+        # rule 0 ("abc") matches three times normally; once here
+        assert out.count("rule 0 matched") == 1

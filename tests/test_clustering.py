@@ -1,0 +1,112 @@
+"""Tests for similarity-driven RE grouping (future-work extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.imfant import IMfantEngine
+from repro.mfsa.clustering import group_sizes_valid, similarity_groups
+from repro.mfsa.merge import MergeReport, merge_groups
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+
+from conftest import compile_ruleset_fsas
+
+
+class TestSimilarityGroups:
+    def test_empty(self):
+        assert similarity_groups([], 4) == []
+
+    def test_all_in_one_for_zero(self):
+        assert similarity_groups(["a", "b", "c"], 0) == [[0, 1, 2]]
+
+    def test_singletons_for_one(self):
+        assert similarity_groups(["a", "b", "c"], 1) == [[0], [1], [2]]
+
+    def test_partition_and_size_bound(self):
+        keys = [f"pattern{i % 3}{'x' * (i % 5)}" for i in range(17)]
+        groups = similarity_groups(keys, 4)
+        assert group_sizes_valid(groups, 17, 4)
+
+    def test_similar_strings_cluster_together(self):
+        keys = ["httpget", "httpput", "dnsquery", "dnsreply"]
+        groups = similarity_groups(keys, 2)
+        as_sets = {frozenset(g) for g in groups}
+        assert frozenset({0, 1}) in as_sets
+        assert frozenset({2, 3}) in as_sets
+
+    def test_deterministic(self):
+        keys = [f"k{i}{'ab' * (i % 4)}" for i in range(12)]
+        assert similarity_groups(keys, 3) == similarity_groups(keys, 3)
+
+    def test_group_sizes_valid_detects_breakage(self):
+        assert not group_sizes_valid([[0, 1], [1, 2]], 3, 2)  # duplicate
+        assert not group_sizes_valid([[0]], 2, 2)  # missing index
+        assert not group_sizes_valid([[0, 1, 2]], 3, 2)  # oversized
+
+
+class TestMergeGroups:
+    def test_explicit_groups(self):
+        patterns = ["abc", "abd", "xyz", "xyw"]
+        fsas = compile_ruleset_fsas(patterns)
+        mfsas = merge_groups(fsas, [[0, 1], [2, 3]])
+        assert len(mfsas) == 2
+        assert mfsas[0].rule_ids == [0, 1]
+        assert mfsas[1].rule_ids == [2, 3]
+
+    def test_clustered_beats_interleaved_sequential(self):
+        """With similar REs interleaved, similarity grouping compresses
+        better than the paper's sequential sampling — the motivation for
+        the future-work clustering."""
+        patterns = ["abcdef0", "uvwxyz0", "abcdef1", "uvwxyz1",
+                    "abcdef2", "uvwxyz2", "abcdef3", "uvwxyz3"]
+        fsas = compile_ruleset_fsas(patterns)
+
+        sequential_report = MergeReport()
+        from repro.mfsa.merge import merge_ruleset
+
+        merge_ruleset(fsas, 2, report=sequential_report)
+
+        clustered_report = MergeReport()
+        groups = similarity_groups(patterns, 2)
+        merge_groups(fsas, groups, report=clustered_report)
+
+        assert clustered_report.output_states < sequential_report.output_states
+
+
+class TestPipelineIntegration:
+    PATTERNS = ["getx", "gety", "put1", "put2", "del7"]
+
+    def test_clustered_option(self):
+        result = compile_ruleset(
+            self.PATTERNS,
+            CompileOptions(merging_factor=2, grouping="clustered", emit_anml=False),
+        )
+        all_rules = sorted(r for m in result.mfsas for r in m.rule_ids)
+        assert all_rules == list(range(len(self.PATTERNS)))
+        assert all(m.num_rules <= 2 for m in result.mfsas)
+
+    def test_unknown_grouping_rejected(self):
+        with pytest.raises(ValueError):
+            compile_ruleset(self.PATTERNS, CompileOptions(grouping="random"))
+
+    def test_matches_invariant_under_grouping(self):
+        text = "getxgety put1del7"
+        results = {}
+        for grouping in ("sequential", "clustered"):
+            compiled = compile_ruleset(
+                self.PATTERNS,
+                CompileOptions(merging_factor=2, grouping=grouping, emit_anml=False),
+            )
+            matches = set()
+            for mfsa in compiled.mfsas:
+                matches |= IMfantEngine(mfsa).run(text).matches
+            results[grouping] = matches
+        assert results["sequential"] == results["clustered"]
+
+
+@given(st.lists(st.text(alphabet="abcd", min_size=1, max_size=8), min_size=1, max_size=14),
+       st.integers(min_value=1, max_value=6))
+@settings(max_examples=80, deadline=None)
+def test_groups_always_partition(keys, merging_factor):
+    groups = similarity_groups(keys, merging_factor)
+    assert group_sizes_valid(groups, len(keys), merging_factor)

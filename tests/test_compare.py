@@ -1,0 +1,74 @@
+"""Tests for the paper-band comparison + the headline release gate."""
+
+import pytest
+
+from repro.reporting.compare import (
+    PAPER_HEADLINES,
+    all_in_band,
+    compare_headlines,
+)
+from repro.reporting.experiments import (
+    ExperimentConfig,
+    experiment_compression,
+    experiment_scaling,
+    experiment_throughput,
+    scaling_summary,
+)
+from repro.reporting.tables import geometric_mean
+
+
+class TestCompare:
+    def test_in_band(self):
+        results = compare_headlines({"state_compression": 75.0})
+        assert len(results) == 1
+        assert results[0].ok
+        assert "75.00%" in results[0].render()
+
+    def test_out_of_band(self):
+        results = compare_headlines({"best_throughput_geomean": 0.5})
+        assert not results[0].ok
+        assert "OUT" in results[0].render()
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            compare_headlines({"nope": 1.0})
+
+    def test_all_in_band(self):
+        assert all_in_band({"threads_to_match_max": 2})
+        assert not all_in_band({"threads_to_match_max": 9})
+
+    def test_paper_values_recorded(self):
+        assert PAPER_HEADLINES["state_compression"].paper == 71.95
+        assert PAPER_HEADLINES["multithread_speedup_geomean"].paper == 4.05
+
+
+class TestHeadlineGate:
+    """The release gate: a small two-suite run must land every headline
+    inside its paper band."""
+
+    def test_headlines_in_band(self):
+        config = ExperimentConfig(
+            datasets=("BRO", "TCP"), scale=12, stream_size=1024,
+            merging_factors=(1, 2, 5, 0), threads=(1, 2, 4, 8, 16),
+        )
+        compression = experiment_compression(config)
+        throughput = experiment_throughput(config)
+        scaling = experiment_scaling(config)
+
+        measured = {
+            "state_compression": sum(p[0][0] for p in compression.values()) / len(compression),
+            "transition_compression": sum(p[0][1] for p in compression.values()) / len(compression),
+            "best_throughput_geomean": geometric_mean(
+                [max(r["improvement"] for r in p.values()) for p in throughput.values()]
+            ),
+            "multithread_speedup_geomean": geometric_mean(
+                [scaling_summary(p)["speedup"] for p in scaling.values()]
+            ),
+            "threads_to_match_max": max(
+                scaling_summary(p)["mfsa_threads_to_match_single"] for p in scaling.values()
+            ),
+        }
+        report = compare_headlines(measured)
+        for row in report:
+            print(row.render())
+        assert all(row.ok for row in report), [r.render() for r in report if not r.ok]

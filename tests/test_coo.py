@@ -1,0 +1,52 @@
+"""Unit tests for the COO adjacency view (paper Fig. 2 representation)."""
+
+import pytest
+
+from repro.automata.coo import CooMatrix, from_coo, to_coo
+from repro.automata.fsa import EPSILON, Fsa
+from repro.automata.optimize import compile_re_to_fsa
+from repro.labels import CharClass
+
+
+class TestToCoo:
+    def test_vectors_parallel(self):
+        fsa = compile_re_to_fsa("a(b|c)d")
+        coo = to_coo(fsa)
+        assert len(coo.row) == len(coo.col) == len(coo.idx) == fsa.num_transitions
+
+    def test_sorted_row_major(self):
+        coo = to_coo(compile_re_to_fsa("(ab|cd)e"))
+        keys = list(zip(coo.row, coo.col, (c.mask for c in coo.idx)))
+        assert keys == sorted(keys)
+
+    def test_unsorted_preserves_order(self):
+        fsa = Fsa()
+        s0, s1 = fsa.add_state(), fsa.add_state()
+        fsa.add_transition(s1, s0, CharClass.single("b"))
+        fsa.add_transition(s0, s1, CharClass.single("a"))
+        fsa.finals = {s1}
+        coo = to_coo(fsa, sort=False)
+        assert coo.row == [1, 0]
+
+    def test_rejects_epsilon(self):
+        fsa = Fsa()
+        s0, s1 = fsa.add_state(), fsa.add_state()
+        fsa.add_transition(s0, s1, EPSILON)
+        with pytest.raises(ValueError):
+            to_coo(fsa)
+
+    def test_iteration_yields_transitions(self):
+        fsa = compile_re_to_fsa("ab")
+        arcs = list(to_coo(fsa))
+        assert len(arcs) == 2
+        assert arcs[0].src == fsa.initial
+
+
+class TestRoundTrip:
+    def test_from_coo_rebuilds(self):
+        fsa = compile_re_to_fsa("a[bc]+d")
+        coo = to_coo(fsa)
+        rebuilt = from_coo(coo, fsa.num_states, fsa.initial, fsa.finals)
+        assert {(t.src, t.dst, t.label.mask) for t in rebuilt.transitions} == \
+               {(t.src, t.dst, t.label.mask) for t in fsa.transitions}
+        assert rebuilt.finals == fsa.finals

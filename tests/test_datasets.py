@@ -1,0 +1,186 @@
+"""Tests for the synthetic dataset substrate."""
+
+import pytest
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.datasets import DATASET_PROFILES, generate_ruleset, generate_stream, get_profile
+from repro.frontend.parser import parse
+from repro.similarity import average_pairwise_similarity
+
+
+class TestProfiles:
+    def test_all_six_suites_present(self):
+        assert set(DATASET_PROFILES) == {"BRO", "DS9", "PEN", "PRO", "RG1", "TCP"}
+
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("bro").abbr == "BRO"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("NOPE")
+
+    def test_paper_scale_counts(self):
+        assert DATASET_PROFILES["BRO"].num_res == 217
+        assert DATASET_PROFILES["DS9"].num_res == 299
+        assert DATASET_PROFILES["TCP"].num_res == 300
+
+    def test_scaled_reduces(self):
+        profile = get_profile("TCP").scaled(6)
+        assert profile.num_res == 50
+        assert profile.motif_pool < get_profile("TCP").motif_pool
+
+    def test_scaled_noop_for_one(self):
+        assert get_profile("TCP").scaled(1) is get_profile("TCP")
+
+    def test_scaled_floor(self):
+        profile = get_profile("BRO").scaled(1000)
+        assert profile.num_res == 8
+        assert profile.motif_pool >= 4
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def suites(self):
+        return {abbr: generate_ruleset(p.scaled(10)) for abbr, p in DATASET_PROFILES.items()}
+
+    def test_counts_match_profile(self, suites):
+        for abbr, ruleset in suites.items():
+            assert len(ruleset) == DATASET_PROFILES[abbr].scaled(10).num_res
+
+    def test_deterministic(self):
+        profile = get_profile("PEN").scaled(10)
+        assert generate_ruleset(profile).patterns == generate_ruleset(profile).patterns
+
+    def test_patterns_unique(self, suites):
+        for ruleset in suites.values():
+            assert len(set(ruleset.patterns)) == len(ruleset.patterns)
+
+    def test_all_patterns_compile(self, suites):
+        for ruleset in suites.values():
+            for pattern in ruleset.patterns:
+                parse(pattern)  # raises on syntax errors
+
+    def test_cores_are_plain_strings(self, suites):
+        for ruleset in suites.values():
+            for core in ruleset.literal_cores:
+                assert core
+                assert all(ord(c) < 256 for c in core)
+
+    def test_pro_has_highest_similarity(self, suites):
+        """Fig. 1 shape: Protomata is the most self-similar suite."""
+        sims = {
+            abbr: average_pairwise_similarity(rs.literal_cores, max_pairs=200)
+            for abbr, rs in suites.items()
+        }
+        assert max(sims, key=sims.get) == "PRO"
+        assert all(0.1 < s < 0.8 for s in sims.values()), sims
+
+    def test_dotstar_flavour(self, suites):
+        """DS9 carries .* infixes; TCP has none (exact-match suite)."""
+        assert any(".*" in p for p in suites["DS9"].patterns)
+        assert not any(".*" in p for p in suites["TCP"].patterns)
+
+    def test_fsa_scale_tracks_table1(self, suites):
+        """Long suites (DS9/RG1) build much bigger automata than BRO/PRO."""
+        avg = {}
+        for abbr in ("DS9", "PRO"):
+            fsas = [compile_re_to_fsa(p) for p in suites[abbr].patterns]
+            avg[abbr] = sum(f.num_states for f in fsas) / len(fsas)
+        assert avg["DS9"] > 2 * avg["PRO"]
+
+
+class TestStreams:
+    @pytest.fixture(scope="class")
+    def ruleset(self):
+        return generate_ruleset(get_profile("BRO").scaled(10))
+
+    def test_size_exact(self, ruleset):
+        assert len(generate_stream(ruleset, 1000)) == 1000
+
+    def test_deterministic(self, ruleset):
+        assert generate_stream(ruleset, 500) == generate_stream(ruleset, 500)
+
+    def test_seed_changes_stream(self, ruleset):
+        assert generate_stream(ruleset, 500, seed=1) != generate_stream(ruleset, 500, seed=2)
+
+    def test_zero_hit_density_is_noise(self, ruleset):
+        stream = generate_stream(ruleset, 400, hit_density=0.0)
+        assert len(stream) == 400
+
+    def test_planted_material_matches(self, ruleset):
+        """At a high hit density, the ruleset actually fires on the stream."""
+        from repro.engine.imfant import IMfantEngine
+        from repro.mfsa.merge import merge_fsas
+
+        stream = generate_stream(ruleset, 2000, hit_density=0.6)
+        fsas = [(i, compile_re_to_fsa(p)) for i, p in enumerate(ruleset.patterns)]
+        mfsa = merge_fsas(fsas)
+        matches = IMfantEngine(mfsa).run(stream).matches
+        assert matches, "planted motifs should produce at least one match"
+
+    def test_negative_size_rejected(self, ruleset):
+        with pytest.raises(ValueError):
+            generate_stream(ruleset, -1)
+
+
+class TestAdversarialStreams:
+    @pytest.fixture(scope="class")
+    def ruleset(self):
+        return generate_ruleset(get_profile("DS9").scaled(12))
+
+    def test_size_and_determinism(self, ruleset):
+        from repro.datasets import generate_adversarial_stream
+
+        a = generate_adversarial_stream(ruleset, 700)
+        assert len(a) == 700
+        assert a == generate_adversarial_stream(ruleset, 700)
+
+    def test_higher_partial_match_pressure(self, ruleset):
+        """Prefix-spam keeps more (state, rule) pairs active than the
+        ordinary stream at the same size."""
+        from repro.datasets import generate_adversarial_stream, generate_stream
+        from repro.engine.imfant import IMfantEngine
+        from repro.mfsa.merge import merge_fsas
+
+        fsas = [(i, compile_re_to_fsa(p)) for i, p in enumerate(ruleset.patterns)]
+        mfsa = merge_fsas(fsas)
+        normal = IMfantEngine(mfsa).run(generate_stream(ruleset, 800)).stats
+        adversarial = IMfantEngine(mfsa).run(
+            generate_adversarial_stream(ruleset, 800)).stats
+        assert adversarial.avg_active_pairs > normal.avg_active_pairs
+
+    def test_negative_size(self, ruleset):
+        from repro.datasets import generate_adversarial_stream
+
+        with pytest.raises(ValueError):
+            generate_adversarial_stream(ruleset, -1)
+
+
+class TestRulesetFiles:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        from repro.datasets.synthetic import load_ruleset_file, save_ruleset
+
+        ruleset = generate_ruleset(get_profile("BRO").scaled(20))
+        path = tmp_path / "bro.rules"
+        save_ruleset(ruleset, path)
+        assert load_ruleset_file(path) == ruleset.patterns
+
+    def test_header_records_provenance(self, tmp_path):
+        from repro.datasets.synthetic import save_ruleset
+
+        ruleset = generate_ruleset(get_profile("TCP").scaled(20))
+        path = tmp_path / "tcp.rules"
+        save_ruleset(ruleset, path)
+        header = path.read_text().splitlines()[:2]
+        assert "TCP" in header[0]
+        assert "seed=" in header[1]
+
+    def test_saved_file_feeds_the_cli(self, tmp_path, capsys):
+        from repro.cli import compile_main
+        from repro.datasets.synthetic import save_ruleset
+
+        ruleset = generate_ruleset(get_profile("PEN").scaled(30))
+        path = tmp_path / "pen.rules"
+        save_ruleset(ruleset, path)
+        assert compile_main([str(path), "-o", str(tmp_path / "out")]) == 0
+        assert f"compiled {len(ruleset)} REs" in capsys.readouterr().out

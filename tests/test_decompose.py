@@ -1,0 +1,120 @@
+"""Tests for the Hyperscan-style decomposition baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import find_match_ends
+from repro.decompose.engine import PrefilterEngine, _merge_windows
+from repro.decompose.rules import decompose_rule
+
+from conftest import ere_patterns, input_strings
+
+
+class TestDecomposeRule:
+    def test_literal_rule(self):
+        rule = decompose_rule(0, "hello")
+        assert rule.prefilterable
+        assert rule.literals == frozenset({"hello"})
+        assert rule.min_len == 5
+        assert rule.window == 5
+
+    def test_unbounded_rule(self):
+        rule = decompose_rule(1, "foo.*bar")
+        assert rule.prefilterable
+        assert rule.window is None
+
+    def test_unfilterable_rule(self):
+        rule = decompose_rule(2, "[a-z]+")
+        assert not rule.prefilterable
+
+    def test_fsa_compiled(self):
+        rule = decompose_rule(3, "ab|cd")
+        assert rule.fsa.num_transitions > 0
+
+
+class TestMergeWindows:
+    def test_single_hit(self):
+        assert _merge_windows([10], width=3, stream_len=100) == [(4, 13)]
+
+    def test_clamping(self):
+        assert _merge_windows([1], width=5, stream_len=4) == [(0, 4)]
+
+    def test_overlapping_merge(self):
+        assert _merge_windows([10, 12], width=3, stream_len=100) == [(4, 15)]
+
+    def test_disjoint_kept(self):
+        assert _merge_windows([10, 50], width=2, stream_len=100) == [(6, 12), (46, 52)]
+
+
+class TestPrefilterEngine:
+    RULES = ["hello", "foo.*bend", "[a-z]+x9", "(cat|dog)food"]
+
+    def _expected(self, text):
+        expected = set()
+        for rule_id, pattern in enumerate(self.RULES):
+            fsa = compile_re_to_fsa(pattern)
+            expected |= {(rule_id, e) for e in find_match_ends(fsa, text)}
+        return expected
+
+    @pytest.mark.parametrize("text", [
+        "say hello world",
+        "foo bar bend",
+        "zzzx9",
+        "catfood and dogfood",
+        "nothing here",
+        "",
+        "hellohello catfood foo...bend aax9",
+    ])
+    def test_equivalent_to_full_scan(self, text):
+        engine = PrefilterEngine(self.RULES)
+        matches, _ = engine.run(text)
+        assert matches == self._expected(text)
+
+    def test_prefilter_skips_cold_rules(self):
+        engine = PrefilterEngine(["hello", "goodbye"])
+        matches, stats = engine.run("only hello here")
+        assert matches == {(0, 10)}
+        assert stats.rules_confirmed == 1
+        assert stats.rules_skipped == 1
+
+    def test_unfilterable_rules_always_run(self):
+        engine = PrefilterEngine(["[a-z]+"])
+        _, stats = engine.run("zz")
+        assert stats.rules_confirmed == 1
+        assert stats.rules_skipped == 0
+
+    def test_windowed_confirmation_bytes(self):
+        """Bounded rules scan a window, not the whole stream."""
+        engine = PrefilterEngine(["needle"])
+        stream = "x" * 10_000 + "needle" + "y" * 10_000
+        matches, stats = engine.run(stream)
+        assert matches == {(0, 10_006)}
+        assert stats.bytes_scanned_confirming < 100
+
+    def test_shared_literal_across_rules(self):
+        engine = PrefilterEngine(["abc", "abcd"])
+        matches, _ = engine.run("zabcd")
+        assert matches == {(0, 4), (1, 5)}
+
+    def test_stats_totals(self):
+        engine = PrefilterEngine(self.RULES)
+        _, stats = engine.run("hello catfood")
+        assert stats.total_rules == 4
+        # even [a-z]+x9 is prefilterable through its required "x9" factor
+        assert stats.prefilterable_rules == 4
+        assert stats.literal_hits >= 2
+
+
+@given(st.lists(ere_patterns(), min_size=1, max_size=4), input_strings())
+@settings(max_examples=80, deadline=None)
+def test_prefilter_equivalence_property(patterns, text):
+    """The decomposition engine equals a full per-rule scan, always."""
+    engine = PrefilterEngine(patterns)
+    matches, _ = engine.run(text)
+    expected = set()
+    for rule_id, pattern in enumerate(patterns):
+        fsa = compile_re_to_fsa(pattern)
+        expected |= {(rule_id, e) for e in find_match_ends(fsa, text)}
+    assert matches == expected

@@ -1,0 +1,204 @@
+"""Tests for the DFA substrate (determinise / minimise / D2FA / engines)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import find_match_ends
+from repro.dfa import (
+    D2faEngine,
+    DfaEngine,
+    DfaExplosionError,
+    compress_default_transitions,
+    determinize,
+    minimize,
+)
+
+from conftest import compile_ruleset_fsas, ere_patterns, input_strings
+
+
+def build_dfa(patterns, **kwargs):
+    return determinize(compile_ruleset_fsas(patterns), **kwargs)
+
+
+def expected_matches(patterns, text):
+    out = set()
+    for rule_id, pattern in enumerate(patterns):
+        out |= {(rule_id, e) for e in find_match_ends(compile_re_to_fsa(pattern), text)}
+    return out
+
+
+class TestDeterminize:
+    def test_simple_streaming_matches(self):
+        dfa = build_dfa(["ab", "bc"])
+        got = DfaEngine(dfa).run("zabcz").matches
+        assert got == {(0, 3), (1, 4)}
+
+    def test_rows_total_in_streaming_mode(self):
+        dfa = build_dfa(["ab"])
+        assert all(dst != -1 for row in dfa.rows for dst in row)
+
+    def test_anchored_mode_has_dead_entries(self):
+        dfa = determinize(compile_ruleset_fsas(["ab"]), streaming=False)
+        assert any(dst == -1 for row in dfa.rows for dst in row)
+
+    def test_empty_ruleset_rejected(self):
+        with pytest.raises(ValueError):
+            determinize([])
+
+    def test_epsilon_input_rejected(self):
+        from repro.automata.thompson import thompson_construct
+        from repro.frontend.parser import parse
+
+        with pytest.raises(ValueError):
+            determinize([(0, thompson_construct(parse("a|b")))])
+
+    def test_explosion_budget(self):
+        # .{0,14}x style patterns explode exponentially when unioned
+        patterns = [f"a.{{{k},{k+4}}}b" for k in range(4)]
+        with pytest.raises(DfaExplosionError):
+            determinize(compile_ruleset_fsas(patterns), max_states=50)
+
+    def test_multi_rule_accepts(self):
+        dfa = build_dfa(["ab", "ab"])
+        accept_sets = {accept for accept in dfa.accepts if accept}
+        assert frozenset({0, 1}) in accept_sets
+
+
+class TestMinimize:
+    def test_reduces_redundant_states(self):
+        dfa = build_dfa(["abc|abd"])
+        small = minimize(dfa)
+        assert small.num_states <= dfa.num_states
+
+    def test_language_preserved(self):
+        patterns = ["a(b|c)d", "xy"]
+        dfa = build_dfa(patterns)
+        small = minimize(dfa)
+        for text in ("abd", "acd", "xy", "zabdxy", "abc", ""):
+            assert DfaEngine(small).run(text).matches == DfaEngine(dfa).run(text).matches
+
+    def test_idempotent(self):
+        dfa = minimize(build_dfa(["ab*c", "d"]))
+        again = minimize(dfa)
+        assert again.num_states == dfa.num_states
+
+    def test_distinct_accept_sets_not_merged(self):
+        dfa = minimize(build_dfa(["ab", "ac"]))
+        accept_sets = {accept for accept in dfa.accepts if accept}
+        assert frozenset({0}) in accept_sets and frozenset({1}) in accept_sets
+
+
+class TestD2fa:
+    def test_lookup_equals_dfa(self):
+        dfa = minimize(build_dfa(["abc", "abd", "xbc"]))
+        d2fa = compress_default_transitions(dfa)
+        for state in range(dfa.num_states):
+            for byte in range(256):
+                assert d2fa.lookup(state, byte) == dfa.rows[state][byte]
+
+    def test_compression_reduces_stored_transitions(self):
+        dfa = minimize(build_dfa(["abcde", "abcdf", "abcdg"]))
+        d2fa = compress_default_transitions(dfa)
+        assert d2fa.num_stored_transitions < dfa.num_transitions
+
+    def test_depth_bound(self):
+        dfa = minimize(build_dfa(["abcd", "bcda", "cdab", "dabc"]))
+        bounded = compress_default_transitions(dfa, max_depth=1)
+        assert bounded.max_default_depth() <= 1
+
+    def test_engine_equivalence(self):
+        patterns = ["hello", "he[lx]p", "lp+o"]
+        dfa = minimize(build_dfa(patterns))
+        d2fa = compress_default_transitions(dfa)
+        for text in ("hello help lppo", "", "hhhh", "helphello"):
+            assert D2faEngine(d2fa).run(text).matches == DfaEngine(dfa).run(text).matches
+
+    def test_chain_walk_counted(self):
+        dfa = minimize(build_dfa(["abc", "abd"]))
+        d2fa = compress_default_transitions(dfa, min_shared=1)
+        stats = D2faEngine(d2fa).run("abcabd").stats
+        assert stats.transitions_examined >= stats.chars_processed
+
+
+class TestEngineAgainstNfa:
+    @pytest.mark.parametrize("patterns,text", [
+        (["ab", "bc"], "abcabc"),
+        (["a+b"], "aaab aab"),
+        (["x.*y"], "x123y45y"),
+        (["[0-9]{2}"], "a12b345"),
+        (["abc", "abd", "ab"], "zabdabcab"),
+    ])
+    def test_dfa_matches_reference(self, patterns, text):
+        dfa = build_dfa(patterns)
+        assert DfaEngine(dfa).run(text).matches == expected_matches(patterns, text)
+
+
+@given(st.lists(ere_patterns(), min_size=1, max_size=3), input_strings())
+@settings(max_examples=60, deadline=None)
+def test_dfa_pipeline_equivalence_property(patterns, text):
+    """determinise → minimise → D2FA all agree with the NFA reference."""
+    try:
+        dfa = build_dfa(patterns, max_states=3000)
+    except DfaExplosionError:
+        return
+    expected = expected_matches(patterns, text)
+    assert DfaEngine(dfa).run(text).matches == expected
+    small = minimize(dfa)
+    assert DfaEngine(small).run(text).matches == expected
+    d2fa = compress_default_transitions(small)
+    assert D2faEngine(d2fa).run(text).matches == expected
+
+
+class TestAnchoredVsDerivatives:
+    """Anchored subset construction cross-checked against the independent
+    Brzozowski derivative DFA (whole-string semantics on both sides)."""
+
+    @pytest.mark.parametrize("pattern", [
+        "abc", "a(b|c)*d", "[0-9]{2,4}", "x.*y", "(ab|a)b*",
+    ])
+    def test_language_agreement(self, pattern):
+        from repro.automata.brzozowski import accepts as deriv_accepts
+        from repro.frontend.parser import parse
+
+        dfa = determinize(compile_ruleset_fsas([pattern]), streaming=False)
+        node = parse(pattern)
+        probes = ["", "a", "ab", "abc", "abcd", "xy", "x12y", "99", "1234",
+                  "abb", "acd", "x\nY"]
+        for text in probes:
+            state = dfa.initial
+            alive = True
+            for byte in text.encode("latin-1"):
+                state = dfa.rows[state][byte]
+                if state == -1:
+                    alive = False
+                    break
+            got = alive and bool(dfa.accepts[state])
+            assert got == deriv_accepts(node, text), (pattern, text)
+
+
+@given(st.lists(ere_patterns(), min_size=1, max_size=2), input_strings())
+@settings(max_examples=60, deadline=None)
+def test_anchored_dfa_vs_derivatives_property(patterns, text):
+    from repro.automata.brzozowski import accepts as deriv_accepts
+    from repro.frontend.parser import parse
+
+    try:
+        dfa = determinize(compile_ruleset_fsas(patterns), streaming=False,
+                          max_states=2000)
+    except DfaExplosionError:
+        return
+    state = dfa.initial
+    if not text:
+        got_rules = set(dfa.accepts[dfa.initial])
+    else:
+        alive = True
+        for byte in text.encode("latin-1"):
+            state = dfa.rows[state][byte]
+            if state == -1:
+                alive = False
+                break
+        got_rules = set(dfa.accepts[state]) if alive else set()
+    expected = {i for i, p in enumerate(patterns) if deriv_accepts(parse(p), text)}
+    assert got_rules == expected

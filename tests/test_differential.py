@@ -1,0 +1,108 @@
+"""Grand differential property test: every execution path, one oracle.
+
+For a random ruleset and stream, the following must all report the exact
+same ``(rule, end)`` set:
+
+1. per-rule reference NFA simulation (itself validated against `re`);
+2. iNFAnt per rule (python + numpy backends);
+3. iMFAnt over the merged MFSA (python + numpy), at several M;
+4. the activation-function reference executor;
+5. the streaming chunked matcher;
+6. the ANML write→read→execute path;
+7. the decomposition prefilter engine;
+8. the DFA pipeline (subset construction → minimise → D2FA), when it
+   fits the state budget;
+9. the counting-set engine, rule by rule.
+
+One failing engine pinpoints itself via the labelled assertion.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anml import read_anml, write_anml
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import find_match_ends
+from repro.counting import CountingSetEngine, build_counting_fsa
+from repro.decompose.engine import PrefilterEngine
+from repro.dfa import (
+    D2faEngine,
+    DfaEngine,
+    DfaExplosionError,
+    compress_default_transitions,
+    determinize,
+    minimize,
+)
+from repro.engine.imfant import IMfantEngine
+from repro.engine.infant import INfantEngine
+from repro.engine.streaming import StreamingMatcher
+from repro.mfsa.activation import reference_match
+from repro.mfsa.merge import merge_fsas, merge_ruleset
+
+from conftest import ere_patterns, input_strings
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_all_engines_agree(data):
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=4))
+    text = data.draw(input_strings())
+    fsas = [(i, compile_re_to_fsa(p)) for i, p in enumerate(patterns)]
+
+    oracle = set()
+    for rule_id, fsa in fsas:
+        oracle |= {(rule_id, e) for e in find_match_ends(fsa, text)}
+
+    # 2. iNFAnt per rule
+    for backend in ("python", "numpy"):
+        got = set()
+        for rule_id, fsa in fsas:
+            got |= INfantEngine(fsa, rule_id, backend=backend).run(text).matches
+        assert got == oracle, f"iNFAnt[{backend}]"
+
+    # 3. iMFAnt at several merging factors
+    for m in (1, 2, 0):
+        mfsas = merge_ruleset(fsas, m)
+        for backend in ("python", "numpy"):
+            got = set()
+            for mfsa in mfsas:
+                got |= IMfantEngine(mfsa, backend=backend).run(text).matches
+            assert got == oracle, f"iMFAnt[{backend}] M={m}"
+
+    merged = merge_fsas(fsas)
+
+    # 4. activation reference
+    assert reference_match(merged, text) == oracle, "activation reference"
+
+    # 5. streaming matcher, chunked at a prime stride
+    matcher = StreamingMatcher(merged)
+    for start in range(0, max(1, len(text)), 3):
+        matcher.feed(text[start : start + 3])
+    assert matcher.matches == oracle, "streaming"
+
+    # 6. ANML round trip
+    recovered = read_anml(write_anml(merged))
+    assert IMfantEngine(recovered).run(text).matches == oracle, "ANML round-trip"
+
+    # 7. decomposition prefilter
+    prefilter_matches, _ = PrefilterEngine(patterns).run(text)
+    assert prefilter_matches == oracle, "prefilter"
+
+    # 8. DFA pipeline
+    try:
+        dfa = determinize(fsas, max_states=2000)
+    except DfaExplosionError:
+        dfa = None
+    if dfa is not None:
+        assert DfaEngine(dfa).run(text).matches == oracle, "DFA"
+        small = minimize(dfa)
+        assert DfaEngine(small).run(text).matches == oracle, "minDFA"
+        d2fa = compress_default_transitions(small)
+        assert D2faEngine(d2fa).run(text).matches == oracle, "D2FA"
+
+    # 9. counting-set engine per rule (counting enabled for any bound)
+    got = set()
+    for rule_id, pattern in enumerate(patterns):
+        cfsa = build_counting_fsa(pattern, min_count_bound=2)
+        got |= CountingSetEngine(cfsa, rule_id).run(text).matches
+    assert got == oracle, "counting-set"

@@ -1,0 +1,156 @@
+"""Tests for the iMFAnt engine (both backends)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.engine.imfant import IMfantEngine
+from repro.engine.infant import INfantEngine
+from repro.engine.tables import MfsaTables, limbs_for, mask_to_limbs
+from repro.mfsa.activation import ActivationConfig, reference_match
+from repro.mfsa.merge import merge_fsas
+
+from conftest import compile_ruleset_fsas, ere_patterns, input_strings
+
+
+def build(patterns):
+    return merge_fsas(compile_ruleset_fsas(patterns))
+
+
+class TestTables:
+    def test_limbs_for(self):
+        assert limbs_for(1) == 1
+        assert limbs_for(64) == 1
+        assert limbs_for(65) == 2
+        assert limbs_for(300) == 5
+
+    def test_mask_to_limbs(self):
+        mask = (1 << 70) | 1
+        assert mask_to_limbs(mask, 2) == (1, 1 << 6)
+
+    def test_build_masks(self):
+        mfsa = build(["ab", "ac"])
+        tables = MfsaTables.build(mfsa)
+        assert tables.num_rules == 2
+        assert sum(1 for m in tables.init_mask if m) == 1  # shared initial
+        assert sum(1 for m in tables.final_mask if m) == 2
+
+    def test_ensure_arrays_idempotent(self):
+        tables = MfsaTables.build(build(["ab"]))
+        tables.ensure_arrays()
+        first = tables.np_src
+        tables.ensure_arrays()
+        assert tables.np_src is first
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_matches_reference(self, backend):
+        mfsa = build(["(ad|cb)ab", "a(b|c)"])
+        engine = IMfantEngine(mfsa, backend=backend)
+        assert engine.run("acbab").matches == reference_match(mfsa, "acbab")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            IMfantEngine(build(["a"]), backend="cuda")
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_empty_matching_rules(self, backend):
+        mfsa = build(["a*", "b"])
+        got = IMfantEngine(mfsa, backend=backend).run("b").matches
+        assert got == {(0, 0), (0, 1), (1, 1)}
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_dead_symbol_discards_paths(self, backend):
+        mfsa = build(["ab"])
+        engine = IMfantEngine(mfsa, backend=backend)
+        assert engine.run("azb").matches == set()
+
+    def test_backends_agree_on_counters(self):
+        mfsa = build(["abc", "a[bc]d", "xy"])
+        text = "abcxydabcd"
+        py = IMfantEngine(mfsa, backend="python").run(text).stats
+        np_ = IMfantEngine(mfsa, backend="numpy").run(text).stats
+        assert py.transitions_examined == np_.transitions_examined
+        assert py.transitions_taken == np_.transitions_taken
+        assert py.active_pair_total == np_.active_pair_total
+        assert py.max_state_activation == np_.max_state_activation
+
+    def test_multi_limb_rules(self):
+        """More than 64 rules exercises the multi-limb numpy path."""
+        patterns = [f"x{chr(97 + i % 26)}{chr(97 + (i // 26) % 26)}y" for i in range(70)]
+        mfsa = build(patterns)
+        text = "xaay xbay xzzy"
+        expected = reference_match(mfsa, text)
+        assert IMfantEngine(mfsa, backend="numpy").run(text).matches == expected
+        assert IMfantEngine(mfsa, backend="python").run(text).matches == expected
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_pop_on_final(self, backend):
+        mfsa = build(["ab+"])
+        engine = IMfantEngine(mfsa, backend=backend, pop_on_final=True)
+        expected = reference_match(mfsa, "abbb", ActivationConfig(pop_on_final=True))
+        assert engine.run("abbb").matches == expected
+
+
+class TestAgainstInfant:
+    def test_m1_equals_infant(self):
+        """A single-rule MFSA under iMFAnt equals iNFAnt on the raw FSA."""
+        fsa = compile_re_to_fsa("a(b|c)+d")
+        mfsa = merge_fsas([(7, fsa)])
+        text = "zabcbd" * 3
+        assert IMfantEngine(mfsa).run(text).matches == INfantEngine(fsa, 7).run(text).matches
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_backend_agreement_property(data):
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=4))
+    text = data.draw(input_strings())
+    mfsa = build(patterns)
+    expected = reference_match(mfsa, text)
+    py = IMfantEngine(mfsa, backend="python").run(text)
+    np_ = IMfantEngine(mfsa, backend="numpy").run(text)
+    assert py.matches == expected
+    assert np_.matches == expected
+    assert py.stats.active_pair_total == np_.stats.active_pair_total
+
+
+class TestSingleMatch:
+    def test_first_match_per_rule_only(self):
+        mfsa = build(["ab", "cd"])
+        engine = IMfantEngine(mfsa, single_match=True)
+        got = engine.run("ababcdcd").matches
+        assert got == {(0, 2), (1, 6)}
+
+    def test_early_exit_stops_scanning(self):
+        mfsa = build(["ab"])
+        engine = IMfantEngine(mfsa, single_match=True)
+        stream = "ab" + "z" * 1000
+        stats = engine.run(stream).stats
+        assert stats.chars_processed == 2
+
+    def test_no_early_exit_until_all_rules_fire(self):
+        mfsa = build(["ab", "zz"])
+        engine = IMfantEngine(mfsa, single_match=True)
+        stream = "ab" + "y" * 50 + "zz" + "y" * 50
+        result = engine.run(stream)
+        assert result.matches == {(0, 2), (1, 54)}
+        assert result.stats.chars_processed == 54
+
+    def test_numpy_backend_post_filters(self):
+        mfsa = build(["a+"])
+        engine = IMfantEngine(mfsa, backend="numpy", single_match=True)
+        assert engine.run("aaa").matches == {(0, 1)}
+
+    def test_empty_rule_counts_as_matched(self):
+        mfsa = build(["a*", "b"])
+        engine = IMfantEngine(mfsa, single_match=True)
+        result = engine.run("bzzzz")
+        assert (1, 1) in result.matches
+        assert result.stats.chars_processed == 1  # early exit after b
+
+    def test_default_mode_unchanged(self):
+        mfsa = build(["a+"])
+        assert IMfantEngine(mfsa).run("aaa").matches == {(0, 1), (0, 2), (0, 3)}

@@ -1,0 +1,118 @@
+"""Tests for the baseline iNFAnt engine."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import find_match_ends
+from repro.engine.infant import INfantEngine
+from repro.engine.tables import FsaTables
+
+from conftest import ere_patterns, input_strings
+
+
+class TestTables:
+    def test_symbol_index_shape(self):
+        tables = FsaTables.build(compile_re_to_fsa("a[bc]"))
+        assert len(tables.by_symbol) == 256
+        assert len(tables.by_symbol[ord("a")]) == 1
+        assert len(tables.by_symbol[ord("b")]) == 1
+        assert len(tables.by_symbol[ord("c")]) == 1
+        assert tables.by_symbol[ord("z")] == []
+
+    def test_cc_transition_fans_out(self):
+        tables = FsaTables.build(compile_re_to_fsa("[a-d]"))
+        pair_sets = [tables.by_symbol[ord(c)] for c in "abcd"]
+        assert all(p == pair_sets[0] for p in pair_sets)
+
+    def test_rejects_epsilon(self):
+        from repro.automata.thompson import thompson_construct
+        from repro.frontend.parser import parse
+
+        with pytest.raises(ValueError):
+            FsaTables.build(thompson_construct(parse("ab")))
+
+
+class TestEngine:
+    def test_matches_reference(self):
+        fsa = compile_re_to_fsa("ab+c")
+        engine = INfantEngine(fsa, rule_id=3)
+        result = engine.run("zabbbcab")
+        assert result.matches == {(3, e) for e in find_match_ends(fsa, "zabbbcab")}
+
+    def test_rule_id_tagging(self):
+        engine = INfantEngine(compile_re_to_fsa("a"), rule_id=42)
+        assert engine.run("a").matches == {(42, 1)}
+
+    def test_restart_every_offset(self):
+        engine = INfantEngine(compile_re_to_fsa("ab"))
+        assert engine.run("abab").matches == {(0, 2), (0, 4)}
+
+    def test_empty_stream(self):
+        result = INfantEngine(compile_re_to_fsa("a")).run(b"")
+        assert result.matches == set()
+        assert result.stats.chars_processed == 0
+
+    def test_empty_matching_rule(self):
+        result = INfantEngine(compile_re_to_fsa("a*")).run("bb")
+        assert result.matches == {(0, 0), (0, 1), (0, 2)}
+
+    def test_bytes_input(self):
+        engine = INfantEngine(compile_re_to_fsa("\\x00\\x01"))
+        assert engine.run(bytes([0, 1])).matches == {(0, 2)}
+
+    def test_stats_counters(self):
+        fsa = compile_re_to_fsa("ab")
+        stats = INfantEngine(fsa).run("aab").stats
+        assert stats.chars_processed == 3
+        # 'a' arc examined twice, 'b' arc once
+        assert stats.transitions_examined == 3
+        assert stats.active_pair_total >= 2
+        assert stats.wall_seconds is not None
+
+    def test_stats_disabled(self):
+        stats = INfantEngine(compile_re_to_fsa("ab")).run("aab", collect_stats=False).stats
+        assert stats.transitions_examined == 0
+        assert stats.chars_processed == 3
+
+
+class TestNumpyBackend:
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            INfantEngine(compile_re_to_fsa("a"), backend="cuda")
+
+    def test_matches_python_backend(self):
+        fsa = compile_re_to_fsa("a(b|c)+d")
+        text = "zabcbdabdx" * 3
+        py = INfantEngine(fsa, 5, backend="python").run(text)
+        np_ = INfantEngine(fsa, 5, backend="numpy").run(text)
+        assert np_.matches == py.matches
+        assert np_.stats.transitions_examined == py.stats.transitions_examined
+        assert np_.stats.active_pair_total == py.stats.active_pair_total
+
+    def test_many_states_multi_limb(self):
+        """>64 states exercises the multi-limb bit-vector path."""
+        pattern = "".join("ab" for _ in range(40)) + "c"  # ~81 states
+        fsa = compile_re_to_fsa(pattern)
+        assert fsa.num_states > 64
+        text = "ab" * 40 + "c"
+        py = INfantEngine(fsa, backend="python").run(text)
+        np_ = INfantEngine(fsa, backend="numpy").run(text)
+        assert np_.matches == py.matches == {(0, 81)}
+
+    def test_empty_matching_rule(self):
+        got = INfantEngine(compile_re_to_fsa("a*"), backend="numpy").run("bb")
+        assert got.matches == {(0, 0), (0, 1), (0, 2)}
+
+    def test_dead_symbol_clears_state(self):
+        engine = INfantEngine(compile_re_to_fsa("ab"), backend="numpy")
+        assert engine.run("a\x00b").matches == set()
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+@given(pattern=ere_patterns(), text=input_strings())
+@settings(max_examples=100, deadline=None)
+def test_agrees_with_reference_property(backend, pattern, text):
+    fsa = compile_re_to_fsa(pattern)
+    engine = INfantEngine(fsa, rule_id=0, backend=backend)
+    assert engine.run(text).matches == {(0, e) for e in find_match_ends(fsa, text)}

@@ -1,0 +1,80 @@
+"""Unit tests for ε-removal."""
+
+from hypothesis import given, settings
+
+from repro.automata.epsilon import epsilon_closure, remove_epsilon
+from repro.automata.fsa import EPSILON, Fsa
+from repro.automata.simulate import accepts, find_match_ends
+from repro.automata.thompson import thompson_construct
+from repro.frontend.parser import parse
+from repro.labels import CharClass
+
+from conftest import ere_patterns, input_strings
+
+
+def chain(labels):
+    """Build a linear FSA from a list of labels (None = ε)."""
+    fsa = Fsa()
+    prev = fsa.add_state()
+    fsa.initial = prev
+    for label in labels:
+        nxt = fsa.add_state()
+        fsa.add_transition(prev, nxt, label)
+        prev = nxt
+    fsa.finals = {prev}
+    return fsa
+
+
+class TestClosure:
+    def test_self_in_closure(self):
+        fsa = chain([CharClass.single("a")])
+        assert epsilon_closure(fsa, {0}) == {0}
+
+    def test_transitive(self):
+        fsa = chain([EPSILON, EPSILON, CharClass.single("a")])
+        assert epsilon_closure(fsa, {0}) == {0, 1, 2}
+
+    def test_cycle(self):
+        fsa = chain([EPSILON])
+        fsa.add_transition(1, 0, EPSILON)
+        assert epsilon_closure(fsa, {0}) == {0, 1}
+
+
+class TestRemoval:
+    def test_result_is_epsilon_free(self):
+        fsa = remove_epsilon(thompson_construct(parse("(a|b)*c")))
+        assert not fsa.has_epsilon()
+        fsa.validate()
+
+    def test_trims_unreachable(self):
+        fsa = remove_epsilon(thompson_construct(parse("a|b")))
+        assert fsa.reachable_states() == set(range(fsa.num_states))
+
+    def test_noop_on_epsilon_free(self):
+        fsa = chain([CharClass.single("a")])
+        out = remove_epsilon(fsa)
+        assert out.num_transitions == 1
+
+    def test_empty_language_string(self):
+        fsa = remove_epsilon(thompson_construct(parse("a*")))
+        assert fsa.initial in fsa.finals  # accepts ε directly now
+
+    def test_final_through_closure(self):
+        fsa = chain([CharClass.single("a"), EPSILON])
+        out = remove_epsilon(fsa)
+        assert accepts(out, "a")
+        assert not accepts(out, "")
+
+    @given(ere_patterns(), input_strings())
+    @settings(max_examples=150, deadline=None)
+    def test_language_preserved(self, pattern, text):
+        nfa = thompson_construct(parse(pattern))
+        efree = remove_epsilon(nfa)
+        assert accepts(nfa, text) == accepts(efree, text)
+
+    @given(ere_patterns(), input_strings())
+    @settings(max_examples=100, deadline=None)
+    def test_stream_matches_preserved(self, pattern, text):
+        nfa = thompson_construct(parse(pattern))
+        efree = remove_epsilon(nfa)
+        assert find_match_ends(nfa, text) == find_match_ends(efree, text)

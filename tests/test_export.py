@@ -1,0 +1,60 @@
+"""Tests for the raw-result CSV/JSON export."""
+
+import csv
+import json
+
+from repro.reporting.experiments import ExperimentConfig
+from repro.reporting.export import export_all, export_fig7
+
+
+TINY = ExperimentConfig(
+    datasets=("BRO",),
+    scale=25,
+    stream_size=256,
+    merging_factors=(1, 2, 0),
+    threads=(1, 2, 4),
+)
+
+
+def read_csv(path):
+    with path.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestExport:
+    def test_export_all_writes_manifest_and_files(self, tmp_path):
+        written = export_all(TINY, tmp_path)
+        names = {path.name for path in written}
+        assert "manifest.json" in names
+        assert "fig7_compression.csv" in names
+        assert len(names) == 8
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["config"]["scale"] == 25
+        assert set(manifest["files"]) == names - {"manifest.json"}
+
+    def test_fig7_rows(self, tmp_path):
+        path = export_fig7(TINY, tmp_path)
+        rows = read_csv(path)
+        assert {row["merging_factor"] for row in rows} == {"2", "all"}
+        for row in rows:
+            assert 0.0 <= float(row["states_pct"]) <= 100.0
+
+    def test_fig9_improvement_column(self, tmp_path):
+        export_all(TINY, tmp_path)
+        rows = read_csv(tmp_path / "fig9_throughput.csv")
+        baseline = [r for r in rows if r["merging_factor"] == "1"]
+        assert baseline and all(abs(float(r["improvement"]) - 1.0) < 1e-9 for r in baseline)
+
+    def test_fig10_covers_thread_sweep(self, tmp_path):
+        export_all(TINY, tmp_path)
+        rows = read_csv(tmp_path / "fig10_scaling.csv")
+        assert {row["threads"] for row in rows} == {"1", "2", "4"}
+
+    def test_cli_export_flag(self, tmp_path, capsys):
+        from repro.cli import report_main
+
+        report_main(["fig1", "--scale", "30", "--stream-size", "256",
+                     "--export", str(tmp_path / "out")])
+        out = capsys.readouterr().out
+        assert "raw-result files" in out
+        assert (tmp_path / "out" / "manifest.json").exists()

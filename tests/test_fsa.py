@@ -1,0 +1,128 @@
+"""Unit tests for the FSA model (structure, transforms, isomorphism)."""
+
+import pytest
+
+from repro.automata.fsa import EPSILON, Fsa, Transition, concat_state_count, isomorphic
+from repro.automata.optimize import compile_re_to_fsa
+from repro.labels import CharClass
+
+
+def simple_fsa() -> Fsa:
+    fsa = Fsa()
+    s0, s1, s2 = fsa.add_state(), fsa.add_state(), fsa.add_state()
+    fsa.add_transition(s0, s1, CharClass.single("a"))
+    fsa.add_transition(s1, s2, CharClass.single("b"))
+    fsa.finals = {s2}
+    return fsa
+
+
+class TestConstruction:
+    def test_add_state_sequential(self):
+        fsa = Fsa()
+        assert [fsa.add_state() for _ in range(3)] == [0, 1, 2]
+        assert fsa.num_states == 3
+
+    def test_add_transition_bounds_checked(self):
+        fsa = Fsa()
+        fsa.add_state()
+        with pytest.raises(ValueError):
+            fsa.add_transition(0, 5, CharClass.single("a"))
+
+    def test_empty_label_rejected(self):
+        fsa = Fsa()
+        fsa.add_state()
+        with pytest.raises(ValueError):
+            fsa.add_transition(0, 0, CharClass.empty())
+
+    def test_epsilon_allowed(self):
+        fsa = Fsa()
+        s0, s1 = fsa.add_state(), fsa.add_state()
+        fsa.add_transition(s0, s1, EPSILON)
+        assert fsa.has_epsilon()
+
+
+class TestQueries:
+    def test_alphabet_mask(self):
+        fsa = simple_fsa()
+        assert fsa.alphabet_mask() == CharClass.from_chars("ab").mask
+
+    def test_total_cc_length_counts_wide_labels_only(self):
+        fsa = simple_fsa()
+        assert fsa.total_cc_length() == 0
+        fsa.add_transition(0, 2, CharClass.from_chars("xyz"))
+        assert fsa.total_cc_length() == 3
+
+    def test_accepts_empty(self):
+        assert compile_re_to_fsa("a*").accepts_empty()
+        assert not compile_re_to_fsa("a").accepts_empty()
+
+    def test_outgoing(self):
+        fsa = simple_fsa()
+        assert len(fsa.outgoing(0)) == 1
+        assert fsa.outgoing(2) == []
+
+    def test_concat_state_count(self):
+        fsas = [simple_fsa(), simple_fsa()]
+        assert concat_state_count(fsas) == (6, 4)
+
+
+class TestTransforms:
+    def test_renumbered(self):
+        fsa = simple_fsa()
+        mapping = {0: 2, 1: 0, 2: 1}
+        out = fsa.renumbered(mapping)
+        assert out.initial == 2
+        assert out.finals == {1}
+        assert (2, 0) in {(t.src, t.dst) for t in out.transitions}
+
+    def test_trimmed_drops_unreachable(self):
+        fsa = simple_fsa()
+        orphan = fsa.add_state()
+        fsa.add_transition(orphan, orphan, CharClass.single("z"))
+        out = fsa.trimmed()
+        assert out.num_states == 3
+        assert all(t.label.mask != CharClass.single("z").mask for t in out.transitions)
+
+    def test_copy_is_independent(self):
+        fsa = simple_fsa()
+        clone = fsa.copy()
+        clone.add_state()
+        clone.finals.add(0)
+        assert fsa.num_states == 3
+        assert 0 not in fsa.finals
+
+    def test_validate_catches_bad_final(self):
+        fsa = simple_fsa()
+        fsa.finals.add(99)
+        with pytest.raises(ValueError):
+            fsa.validate()
+
+
+class TestIsomorphism:
+    def test_identical(self):
+        assert isomorphic(simple_fsa(), simple_fsa())
+
+    def test_renamed(self):
+        fsa = simple_fsa()
+        renamed = fsa.renumbered({0: 1, 1: 2, 2: 0})
+        assert isomorphic(fsa, renamed)
+
+    def test_different_labels(self):
+        other = simple_fsa()
+        other.transitions[0] = Transition(0, 1, CharClass.single("x"))
+        assert not isomorphic(simple_fsa(), other)
+
+    def test_different_shape(self):
+        fsa = compile_re_to_fsa("ab")
+        other = compile_re_to_fsa("a|b")
+        assert not isomorphic(fsa, other)
+
+    def test_different_finals(self):
+        other = simple_fsa()
+        other.finals = {1}
+        assert not isomorphic(simple_fsa(), other)
+
+    def test_self_equivalent_patterns(self):
+        a = compile_re_to_fsa("a(b|c)d")
+        b = compile_re_to_fsa("a(c|b)d")
+        assert isomorphic(a, b)

@@ -1,0 +1,124 @@
+"""Tests for the Glushkov position-automaton construction."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.glushkov import glushkov_construct, is_homogeneous
+from repro.automata.optimize import OptimizeOptions, compile_re_to_fsa
+from repro.automata.simulate import accepts, find_match_ends
+from repro.frontend.ast import count_literals
+from repro.frontend.parser import parse
+
+from conftest import ere_patterns, input_strings
+
+
+def build(pattern: str):
+    return glushkov_construct(parse(pattern), pattern=pattern)
+
+
+class TestStructure:
+    def test_epsilon_free_by_construction(self):
+        for pattern in ("a", "a|b", "(ab)*", "a{2,4}", "x(y|z)+w"):
+            assert not build(pattern).has_epsilon()
+
+    def test_position_count(self):
+        """n positions + start state (before trimming removes nothing)."""
+        fsa = build("a(b|c)d")
+        assert fsa.num_states == 4 + 1
+
+    def test_homogeneous(self):
+        for pattern in ("a", "a|b", "(ab)*c", "a[xy]b{2}", "(a|b)(a|c)"):
+            assert is_homogeneous(build(pattern))
+
+    def test_thompson_output_generally_not_homogeneous(self):
+        """Sanity for the checker itself: a label conflict is detected."""
+        from repro.automata.fsa import Fsa
+        from repro.labels import CharClass
+
+        fsa = Fsa()
+        s0, s1 = fsa.add_state(), fsa.add_state()
+        fsa.add_transition(s0, s1, CharClass.single("a"))
+        fsa.add_transition(s1, s1, CharClass.single("b"))
+        fsa.finals = {s1}
+        assert not is_homogeneous(fsa)
+
+    def test_nullable_marks_start_final(self):
+        assert build("a*").accepts_empty()
+        assert not build("a+").accepts_empty()
+
+    def test_finite_bounds_expanded_internally(self):
+        fsa = build("a{2,3}")
+        assert accepts(fsa, "aa") and accepts(fsa, "aaa")
+        assert not accepts(fsa, "a") and not accepts(fsa, "aaaa")
+
+    def test_unexpanded_bound_rejected_by_low_level_api(self):
+        from repro.automata.glushkov import _Builder
+
+        with pytest.raises(ValueError):
+            _Builder().analyse(parse("a{2,3}"))
+
+
+class TestLanguage:
+    @pytest.mark.parametrize("pattern,inside,outside", [
+        ("abc", ["abc"], ["ab", "abcd"]),
+        ("a|bc", ["a", "bc"], ["b", "abc"]),
+        ("(ab)*", ["", "ab", "abab"], ["a", "aba"]),
+        ("a?b+", ["b", "ab", "abb"], ["a", ""]),
+        ("(a|b)(c|d)", ["ac", "bd"], ["ab", "cd"]),
+        ("a(b|)c", ["abc", "ac"], ["a"]),
+    ])
+    def test_membership(self, pattern, inside, outside):
+        fsa = build(pattern)
+        for s in inside:
+            assert accepts(fsa, s), (pattern, s)
+        for s in outside:
+            assert not accepts(fsa, s), (pattern, s)
+
+    def test_concat_through_nullable_middle(self):
+        """follow() must jump over nullable parts: a(b?)c allows a->c."""
+        fsa = build("ab?c")
+        assert accepts(fsa, "ac") and accepts(fsa, "abc")
+
+
+class TestPipelineIntegration:
+    def test_optimize_option(self):
+        options = OptimizeOptions(construction="glushkov")
+        fsa = compile_re_to_fsa("a(b|c)+d", options)
+        assert find_match_ends(fsa, "abccd") == {5}
+
+    def test_unknown_construction(self):
+        with pytest.raises(ValueError):
+            compile_re_to_fsa("a", OptimizeOptions(construction="brzozowski"))
+
+    def test_merge_works_on_glushkov_fsas(self):
+        from repro.mfsa.activation import reference_match
+        from repro.mfsa.merge import merge_fsas
+
+        options = OptimizeOptions(construction="glushkov")
+        fsas = [(i, compile_re_to_fsa(p, options)) for i, p in enumerate(["abc", "abd"])]
+        mfsa = merge_fsas(fsas)
+        assert reference_match(mfsa, "zabcabd") == {(0, 4), (1, 7)}
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=200, deadline=None)
+def test_glushkov_agrees_with_re(pattern, text):
+    fsa = build(pattern)
+    oracle = re.compile(f"(?:{pattern})\\Z")
+    assert accepts(fsa, text) == bool(oracle.match(text))
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=120, deadline=None)
+def test_glushkov_equals_thompson_pipeline(pattern, text):
+    glushkov = compile_re_to_fsa(pattern, OptimizeOptions(construction="glushkov"))
+    thompson = compile_re_to_fsa(pattern, OptimizeOptions(construction="thompson"))
+    assert find_match_ends(glushkov, text) == find_match_ends(thompson, text)
+
+
+@given(ere_patterns())
+@settings(max_examples=100, deadline=None)
+def test_homogeneity_property(pattern):
+    assert is_homogeneous(build(pattern))

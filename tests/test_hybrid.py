@@ -1,0 +1,94 @@
+"""Tests for the hybrid (MFSA + counting) ruleset engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import find_match_ends
+from repro.engine.hybrid import HybridEngine, rule_needs_counting
+
+from conftest import ere_patterns, input_strings
+
+
+class TestSplit:
+    def test_detects_large_repeats(self):
+        assert rule_needs_counting("a{100}b")
+        assert rule_needs_counting("x[0-9]{50,90}")
+        assert not rule_needs_counting("abc")
+        assert not rule_needs_counting("a{3}b")
+        assert not rule_needs_counting("(ab){100}")  # width-2 body: expands
+
+    def test_threshold_dial(self):
+        assert rule_needs_counting("a{10}", threshold=5)
+        assert not rule_needs_counting("a{10}", threshold=50)
+
+    def test_unbounded_low_counts(self):
+        assert rule_needs_counting("a{100,}b")
+
+    def test_engine_reports_split(self):
+        engine = HybridEngine(["abc", "x{99}y", "def"])
+        assert engine.counting_rule_ids == [1]
+        _, report = engine.run("abcdef")
+        assert report.merged_rules == 2
+        assert report.counting_rules == 1
+
+
+class TestMatching:
+    def test_mixed_ruleset(self):
+        patterns = ["abc", "a{40}b", "xyz"]
+        engine = HybridEngine(patterns)
+        text = "abc" + "a" * 40 + "b" + "xyz"
+        matches, _ = engine.run(text)
+        expected = set()
+        for rule_id, pattern in enumerate(patterns):
+            expected |= {(rule_id, e)
+                         for e in find_match_ends(compile_re_to_fsa(pattern), text)}
+        assert matches == expected
+
+    def test_rule_ids_preserved_after_split(self):
+        """Counting rules in the middle must not shift merged rule ids."""
+        patterns = ["aaa", "z{60}", "bbb"]
+        engine = HybridEngine(patterns)
+        matches, _ = engine.run("aaabbb")
+        assert matches == {(0, 3), (2, 6)}
+
+    def test_all_counting(self):
+        engine = HybridEngine(["a{40}", "b{50}"])
+        matches, report = engine.run("a" * 40)
+        assert matches == {(0, 40)}
+        assert report.merged_rules == 0
+
+    def test_all_merged(self):
+        engine = HybridEngine(["ab", "cd"])
+        matches, report = engine.run("abcd")
+        assert matches == {(0, 2), (1, 4)}
+        assert report.counting_rules == 0
+        assert report.mfsa_count == 1
+
+    def test_huge_bound_correct(self):
+        """A bound far past the expansion budget still matches exactly."""
+        engine = HybridEngine(["ab", "x{500}y"])
+        text = "ab" + "x" * 500 + "y"
+        matches, _ = engine.run(text)
+        assert (1, 503) in matches and (0, 2) in matches
+
+    def test_merging_factor_forwarded(self):
+        engine = HybridEngine(["ab", "cd", "ef"], merging_factor=1)
+        _, report = engine.run("abcdef")
+        assert report.mfsa_count == 3
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_hybrid_equals_baseline_property(data):
+    """With a low threshold (everything countable counts), the hybrid
+    engine equals the per-rule expansion baseline."""
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=4))
+    text = data.draw(input_strings())
+    engine = HybridEngine(patterns, counting_threshold=2)
+    matches, _ = engine.run(text)
+    expected = set()
+    for rule_id, pattern in enumerate(patterns):
+        expected |= {(rule_id, e) for e in find_match_ends(compile_re_to_fsa(pattern), text)}
+    assert matches == expected

@@ -1,0 +1,212 @@
+"""Unit tests for repro.labels (CharClass bitmask character sets)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.labels import ALPHABET_SIZE, FULL_MASK, CharClass, single
+
+
+class TestConstruction:
+    def test_single_from_str(self):
+        cc = CharClass.single("a")
+        assert cc.contains("a")
+        assert not cc.contains("b")
+        assert cc.is_single()
+        assert len(cc) == 1
+
+    def test_single_from_int(self):
+        assert CharClass.single(0x41).contains("A")
+
+    def test_single_rejects_multichar(self):
+        with pytest.raises(ValueError):
+            CharClass.single("ab")
+
+    def test_from_chars(self):
+        cc = CharClass.from_chars("abc")
+        assert len(cc) == 3
+        assert all(c in cc for c in "abc")
+
+    def test_from_range(self):
+        cc = CharClass.from_range("a", "f")
+        assert len(cc) == 6
+        assert "a" in cc and "f" in cc and "g" not in cc
+
+    def test_from_range_reversed_rejected(self):
+        with pytest.raises(ValueError):
+            CharClass.from_range("f", "a")
+
+    def test_posix_digit(self):
+        cc = CharClass.posix("digit")
+        assert len(cc) == 10
+        assert "0" in cc and "9" in cc and "a" not in cc
+
+    def test_posix_unknown(self):
+        with pytest.raises(ValueError):
+            CharClass.posix("bogus")
+
+    def test_any_char_excludes_newline(self):
+        cc = CharClass.any_char()
+        assert "\n" not in cc
+        assert len(cc) == ALPHABET_SIZE - 1
+
+    def test_any_char_with_newline(self):
+        assert len(CharClass.any_char(include_newline=True)) == ALPHABET_SIZE
+
+    def test_mask_bounds(self):
+        with pytest.raises(ValueError):
+            CharClass(-1)
+        with pytest.raises(ValueError):
+            CharClass(FULL_MASK + 1)
+
+    def test_cached_single_identity(self):
+        assert single("a") is single("a")
+        assert single("a") == CharClass.single("a")
+
+
+class TestSetAlgebra:
+    def test_union_intersection_difference(self):
+        ab = CharClass.from_chars("ab")
+        bc = CharClass.from_chars("bc")
+        assert (ab | bc) == CharClass.from_chars("abc")
+        assert (ab & bc) == CharClass.single("b")
+        assert (ab - bc) == CharClass.single("a")
+
+    def test_negate_involution(self):
+        cc = CharClass.from_chars("xyz")
+        assert ~~cc == cc
+
+    def test_empty_and_full(self):
+        assert CharClass.empty().is_empty()
+        assert len(CharClass.full()) == ALPHABET_SIZE
+        assert ~CharClass.empty() == CharClass.full()
+
+    def test_overlaps(self):
+        assert CharClass.from_chars("ab").overlaps(CharClass.from_chars("bc"))
+        assert not CharClass.single("a").overlaps(CharClass.single("b"))
+
+
+class TestQueries:
+    def test_chars_sorted(self):
+        cc = CharClass.from_chars("cab")
+        assert [chr(b) for b in cc.chars()] == ["a", "b", "c"]
+
+    def test_sample_smallest(self):
+        assert CharClass.from_chars("zya").sample() == ord("a")
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            CharClass.empty().sample()
+
+    def test_equality_and_hash(self):
+        a = CharClass.from_chars("ab")
+        b = CharClass.from_range("a", "b")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != CharClass.single("a")
+        assert a != "ab"  # not a CharClass
+
+
+class TestRendering:
+    def test_single_char(self):
+        assert CharClass.single("a").pattern() == "a"
+
+    def test_special_char_escaped(self):
+        assert CharClass.single(".").pattern() == "\\."
+        assert CharClass.single("+").pattern() == "\\+"
+
+    def test_nonprintable_hex(self):
+        assert CharClass.single(0x01).pattern() == "\\x01"
+
+    def test_range_rendering(self):
+        assert CharClass.from_range("a", "f").pattern() == "[a-f]"
+
+    def test_mixed_rendering(self):
+        cc = CharClass.from_chars("af") | CharClass.from_range("0", "4")
+        assert cc.pattern() == "[0-4af]"
+
+    def test_dot_rendering(self):
+        assert CharClass.any_char().pattern() == "."
+
+    def test_negated_rendering_for_large_classes(self):
+        cc = ~CharClass.single("\n") - CharClass.single("a")
+        text = cc.pattern()
+        assert text.startswith("[^")
+        assert "a" in text
+
+    def test_roundtrip_through_lexer(self):
+        """pattern() output re-lexes to the identical class."""
+        from repro.frontend.lexer import tokenize, TokenKind
+
+        for cc in (
+            CharClass.from_chars("ab"),
+            CharClass.from_range("0", "9"),
+            CharClass.single("]"),
+            CharClass.from_chars("-^]"),
+        ):
+            tokens = tokenize(cc.pattern())
+            assert tokens[0].kind in (TokenKind.CHAR, TokenKind.CHARCLASS)
+            if tokens[0].kind is TokenKind.CHARCLASS:
+                assert tokens[0].value == cc
+            else:
+                assert CharClass.single(tokens[0].value) == cc
+
+
+@given(st.sets(st.integers(min_value=0, max_value=255), min_size=0, max_size=40))
+def test_from_chars_membership_property(chars):
+    cc = CharClass.from_chars(chars)
+    assert set(cc.chars()) == chars
+    assert len(cc) == len(chars)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=255), max_size=20),
+    st.sets(st.integers(min_value=0, max_value=255), max_size=20),
+)
+def test_set_algebra_matches_python_sets(xs, ys):
+    a, b = CharClass.from_chars(xs), CharClass.from_chars(ys)
+    assert set((a | b).chars()) == xs | ys
+    assert set((a & b).chars()) == xs & ys
+    assert set((a - b).chars()) == xs - ys
+
+
+@given(st.sets(st.integers(min_value=0, max_value=255), min_size=1, max_size=60))
+def test_pattern_relex_roundtrip_property(chars):
+    """Any class's rendered pattern re-lexes to the identical class —
+    including negated renderings, ranges and escapes."""
+    from repro.frontend.lexer import TokenKind, tokenize
+
+    cc = CharClass.from_chars(chars)
+    token = tokenize(cc.pattern())[0]
+    if token.kind is TokenKind.CHAR:
+        assert CharClass.single(token.value) == cc
+    else:
+        assert token.value == cc
+
+
+class TestPosixClassesComplete:
+    """Every named POSIX class resolves with the right cardinalities."""
+
+    EXPECTED_SIZES = {
+        "alnum": 62, "alpha": 52, "blank": 2, "cntrl": 33, "digit": 10,
+        "graph": 94, "lower": 26, "print": 95, "punct": 32, "space": 6,
+        "upper": 26, "xdigit": 22,
+    }
+
+    def test_sizes(self):
+        for name, size in self.EXPECTED_SIZES.items():
+            assert len(CharClass.posix(name)) == size, name
+
+    def test_disjoint_structure(self):
+        alnum = CharClass.posix("alnum")
+        punct = CharClass.posix("punct")
+        assert not alnum.overlaps(punct)
+        assert (CharClass.posix("upper") | CharClass.posix("lower") |
+                CharClass.posix("digit")) == alnum
+
+    def test_graph_is_print_minus_space(self):
+        assert CharClass.posix("graph") == \
+            CharClass.posix("print") - CharClass.single(" ")
+
+    def test_xdigit_subset_of_alnum(self):
+        xdigit = CharClass.posix("xdigit")
+        assert (xdigit & CharClass.posix("alnum")) == xdigit

@@ -1,0 +1,165 @@
+"""Unit tests for the POSIX ERE lexer."""
+
+import pytest
+
+from repro.frontend.errors import RegexSyntaxError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.labels import CharClass
+
+
+def kinds(pattern: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(pattern)]
+
+
+class TestBasicTokens:
+    def test_plain_characters(self):
+        tokens = tokenize("ab")
+        assert [t.kind for t in tokens] == [TokenKind.CHAR, TokenKind.CHAR, TokenKind.END]
+        assert [t.value for t in tokens[:2]] == [ord("a"), ord("b")]
+
+    def test_metacharacters(self):
+        assert kinds("(a|b)*+?") == [
+            TokenKind.LPAREN, TokenKind.CHAR, TokenKind.ALTERNATE, TokenKind.CHAR,
+            TokenKind.RPAREN, TokenKind.STAR, TokenKind.PLUS, TokenKind.QUESTION,
+            TokenKind.END,
+        ]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a|b")
+        assert [t.position for t in tokens] == [0, 1, 2, 3]
+
+    def test_dot_is_any_char_class(self):
+        token = tokenize(".")[0]
+        assert token.kind is TokenKind.CHARCLASS
+        assert token.value == CharClass.any_char()
+
+    def test_empty_pattern(self):
+        assert kinds("") == [TokenKind.END]
+
+    def test_anchors_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("^a")
+        with pytest.raises(RegexSyntaxError):
+            tokenize("a$")
+
+
+class TestEscapes:
+    def test_escaped_metacharacter(self):
+        token = tokenize("\\*")[0]
+        assert token.kind is TokenKind.CHAR
+        assert token.value == ord("*")
+
+    def test_control_escapes(self):
+        assert tokenize("\\n")[0].value == 0x0A
+        assert tokenize("\\t")[0].value == 0x09
+
+    def test_hex_escape(self):
+        assert tokenize("\\x41")[0].value == 0x41
+
+    def test_hex_escape_requires_two_digits(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("\\x4")
+
+    def test_shorthand_classes(self):
+        token = tokenize("\\d")[0]
+        assert token.kind is TokenKind.CHARCLASS
+        assert token.value == CharClass.posix("digit")
+        assert tokenize("\\w")[0].value.contains("_")
+        assert not tokenize("\\D")[0].value.contains("5")
+
+    def test_trailing_backslash(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("a\\")
+
+    def test_backreferences_rejected(self):
+        """Non-regular operator, explicitly out of scope (paper §VIII)."""
+        with pytest.raises(RegexSyntaxError, match="backreference"):
+            tokenize("(a)\\1")
+
+    def test_escaped_zero_is_nul(self):
+        assert tokenize("\\0")[0].value == 0
+
+    def test_digit_inside_brackets_is_literal(self):
+        """POSIX: inside a bracket expression \\1 is the character 1."""
+        assert "1" in tokenize("[\\1]")[0].value
+
+
+class TestBounds:
+    def test_exact(self):
+        assert tokenize("{3}")[0].value == (3, 3)
+
+    def test_open_ended(self):
+        assert tokenize("{2,}")[0].value == (2, None)
+
+    def test_range(self):
+        assert tokenize("{2,5}")[0].value == (2, 5)
+
+    def test_invalid_bounds(self):
+        for bad in ("{a}", "{1,a}", "{5,2}", "{"):
+            with pytest.raises(RegexSyntaxError):
+                tokenize(bad)
+
+    def test_unmatched_close_brace(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("}")
+
+
+class TestBracketExpressions:
+    def test_simple_members(self):
+        assert tokenize("[abc]")[0].value == CharClass.from_chars("abc")
+
+    def test_range(self):
+        assert tokenize("[a-f]")[0].value == CharClass.from_range("a", "f")
+
+    def test_mixed(self):
+        assert tokenize("[a-c09]")[0].value == CharClass.from_chars("abc09")
+
+    def test_negation(self):
+        cc = tokenize("[^ab]")[0].value
+        assert "c" in cc and "a" not in cc
+
+    def test_literal_bracket_first(self):
+        """']' right after '[' (or '[^') is a literal member per POSIX."""
+        assert tokenize("[]a]")[0].value == CharClass.from_chars("]a")
+        assert "]" not in tokenize("[^]a]")[0].value
+
+    def test_trailing_dash_literal(self):
+        assert "-" in tokenize("[a-]")[0].value
+
+    def test_posix_class_inside(self):
+        cc = tokenize("[[:digit:]a]")[0].value
+        assert "5" in cc and "a" in cc
+
+    def test_unknown_posix_class(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("[[:nope:]]")
+
+    def test_escape_inside(self):
+        assert "]" in tokenize("[\\]]")[0].value
+        assert "\n" in tokenize("[\\n]")[0].value
+        assert "7" in tokenize("[\\d]")[0].value
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("[z-a]")
+
+    def test_unterminated(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("[abc")
+
+    def test_unmatched_close(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("]")
+
+
+class TestDiagnostics:
+    def test_error_carries_position_and_pattern(self):
+        with pytest.raises(RegexSyntaxError) as info:
+            tokenize("ab^")
+        assert info.value.position == 2
+        assert info.value.pattern == "ab^"
+        assert "^" in str(info.value)
+
+    def test_token_repr(self):
+        token = Token(TokenKind.CHAR, 0, ord("a"))
+        assert "CHAR" in repr(token)

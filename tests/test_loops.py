@@ -1,0 +1,91 @@
+"""Unit tests for loop expansion (paper §IV-C pass 2, Fig. 5a)."""
+
+from hypothesis import given, settings
+
+from repro.automata.epsilon import remove_epsilon
+from repro.automata.loops import LoopExpansionReport, expand_loops
+from repro.automata.simulate import accepts
+from repro.automata.thompson import thompson_construct
+from repro.frontend.ast import Repeat
+from repro.frontend.parser import parse
+
+from conftest import ere_patterns, input_strings
+
+
+def has_finite_repeat(node) -> bool:
+    return any(
+        isinstance(n, Repeat) and not (n.low, n.high) in ((0, None), (1, None))
+        for n in node.walk()
+    )
+
+
+class TestExpansion:
+    def test_exact_repeat_becomes_concat(self):
+        node = expand_loops(parse("(fg){2}"))
+        assert node == parse("fgfg")
+
+    def test_range_repeat(self):
+        node = expand_loops(parse("a{1,3}"))
+        assert not has_finite_repeat(node)
+        fsa = thompson_construct(node)
+        assert accepts(fsa, "a") and accepts(fsa, "aaa")
+        assert not accepts(fsa, "") and not accepts(fsa, "aaaa")
+
+    def test_zero_repeat(self):
+        node = expand_loops(parse("a{0}b"))
+        assert node == parse("b")
+
+    def test_optional_becomes_alternation(self):
+        node = expand_loops(parse("a{0,1}"))
+        assert not has_finite_repeat(node)
+
+    def test_open_bound_keeps_star(self):
+        node = expand_loops(parse("a{2,}"))
+        assert node == parse("aa(a)*") or node.pattern() == "aaa*"
+        fsa = thompson_construct(node)
+        assert not accepts(fsa, "a")
+        assert accepts(fsa, "aa") and accepts(fsa, "aaaaa")
+
+    def test_star_and_plus_untouched(self):
+        report = LoopExpansionReport()
+        node = expand_loops(parse("a*b+"), report=report)
+        assert node == parse("a*b+")
+        assert report.kept_unbounded == 2
+        assert report.expanded == 0
+
+    def test_nested_bounds(self):
+        node = expand_loops(parse("(a{2}){2}"))
+        assert node == parse("aaaa")
+
+    def test_report_counts(self):
+        report = LoopExpansionReport()
+        expand_loops(parse("a{2}b{1,2}c*"), report=report)
+        assert report.expanded == 2
+        assert report.kept_unbounded == 1
+
+    def test_budget_guard(self):
+        report = LoopExpansionReport()
+        node = expand_loops(parse("a{1000}"), budget=10, report=report)
+        assert report.over_budget == ["a{1000}"]
+        assert has_finite_repeat(node)  # left compressed
+
+    def test_fig5a_merging_motivation(self):
+        """Expanded (fg){1,2} shares a plain fgfg prefix path (Fig. 5a)."""
+        expanded = expand_loops(parse("(fg){2}"))
+        other = parse("fgab")
+        assert expanded.pattern()[:2] == other.pattern()[:2]
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=150, deadline=None)
+def test_expansion_preserves_language(pattern, text):
+    original = thompson_construct(parse(pattern))
+    expanded = thompson_construct(expand_loops(parse(pattern)))
+    assert accepts(original, text) == accepts(expanded, text)
+
+
+@given(ere_patterns())
+@settings(max_examples=100, deadline=None)
+def test_expansion_removes_finite_repeats(pattern):
+    node = expand_loops(parse(pattern))
+    assert not has_finite_repeat(node)

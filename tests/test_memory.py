@@ -1,0 +1,85 @@
+"""Tests for the memory-footprint model."""
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.dfa import build_stride2, compress_default_transitions, determinize, minimize
+from repro.mfsa.merge import merge_fsas
+from repro.reporting.memory import (
+    d2fa_memory,
+    dfa_memory,
+    footprint_summary,
+    fsa_memory,
+    mfsa_memory,
+    ruleset_memory,
+    stride2_memory,
+)
+
+from conftest import compile_ruleset_fsas
+
+
+class TestFsaMemory:
+    def test_single_char_transitions(self):
+        fsa = compile_re_to_fsa("ab")
+        # initial(4) + final(4) + 2 transitions × (4+4+1)
+        assert fsa_memory(fsa) == 4 + 4 + 2 * 9
+
+    def test_cc_transition_costs_bitmap(self):
+        plain = fsa_memory(compile_re_to_fsa("ab"))
+        with_cc = fsa_memory(compile_re_to_fsa("a[bc]"))
+        assert with_cc == plain + 31  # bitmap (32) replaces char (1)
+
+    def test_ruleset_is_sum(self):
+        fsas = [compile_re_to_fsa(p) for p in ("ab", "cd")]
+        assert ruleset_memory(fsas) == sum(fsa_memory(f) for f in fsas)
+
+
+class TestMfsaMemory:
+    def test_merging_shrinks_footprint(self):
+        patterns = ["abcdef", "abcdeg", "abcdex"]
+        fsas = compile_ruleset_fsas(patterns)
+        mfsa = merge_fsas(fsas)
+        assert mfsa_memory(mfsa) < ruleset_memory([f for _, f in fsas])
+
+    def test_belonging_bitmap_grows_with_rules(self):
+        few = merge_fsas(compile_ruleset_fsas(["ab", "ac"]))
+        # same structure, but 9 rules need a 2-byte belonging bitmap
+        many_patterns = ["ab", "ac"] + [f"x{i}" for i in range(7)]
+        many = merge_fsas(compile_ruleset_fsas(many_patterns))
+        per_arc_few = 2 * 4 + 1 + 1
+        assert any(t for t in few.transitions)
+        assert mfsa_memory(few) == sum(
+            per_arc_few for _ in few.transitions
+        ) + sum(4 + 4 * len(few.finals[r]) for r in few.initials)
+
+
+class TestDfaFamily:
+    def test_dfa_table_size(self):
+        dfa = determinize(compile_ruleset_fsas(["ab"]))
+        assert dfa_memory(dfa) == dfa.num_states * (256 * 4 + 1)
+
+    def test_d2fa_smaller_than_dfa(self):
+        dfa = minimize(determinize(compile_ruleset_fsas(["abcde", "abcdf"])))
+        d2fa = compress_default_transitions(dfa)
+        assert d2fa_memory(d2fa) < dfa_memory(dfa)
+
+    def test_stride2_larger_than_dfa_classes(self):
+        dfa = minimize(determinize(compile_ruleset_fsas(["ab", "cd"])))
+        stride = build_stride2(dfa)
+        assert stride2_memory(stride) == stride.table_entries * 4 + 256
+
+    def test_footprint_summary_keys(self):
+        # similar rules, so merging actually pays for the belonging bitmaps
+        fsas = compile_ruleset_fsas(["abcde", "abcdf", "abcdg"])
+        mfsa = merge_fsas(fsas)
+        dfa = determinize(fsas)
+        d2fa = compress_default_transitions(minimize(dfa))
+        summary = footprint_summary([f for _, f in fsas], mfsa, dfa, d2fa)
+        assert set(summary) == {"fsa_set", "mfsa", "dfa", "d2fa"}
+        assert summary["mfsa"] < summary["fsa_set"]
+        assert summary["dfa"] > summary["mfsa"]
+
+    def test_disjoint_rules_pay_belonging_overhead(self):
+        """With nothing shared, the MFSA costs slightly more than the FSA
+        set — the honest trade-off the belonging bitmaps introduce."""
+        fsas = compile_ruleset_fsas(["ab", "cd"])
+        mfsa = merge_fsas(fsas)
+        assert mfsa_memory(mfsa) >= ruleset_memory([f for _, f in fsas])

@@ -1,0 +1,173 @@
+"""Unit and property tests for Algorithm 1 (FSA merging)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import find_match_ends
+from repro.mfsa.activation import reference_match
+from repro.mfsa.merge import (
+    MergeReport,
+    merge_fsas,
+    merge_ruleset,
+)
+from repro.mfsa.model import Mfsa, validate_projections
+
+from conftest import compile_ruleset_fsas, ere_patterns, input_strings, random_ruleset
+
+
+class TestBasics:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            merge_fsas([])
+
+    def test_duplicate_rule_ids_rejected(self):
+        fsa = compile_re_to_fsa("a")
+        with pytest.raises(ValueError):
+            merge_fsas([(1, fsa), (1, fsa)])
+
+    def test_epsilon_input_rejected(self):
+        from repro.automata.thompson import thompson_construct
+        from repro.frontend.parser import parse
+
+        with pytest.raises(ValueError):
+            merge_fsas([(0, thompson_construct(parse("ab")))])
+
+    def test_single_fsa_is_trivial_wrap(self):
+        fsa = compile_re_to_fsa("abc")
+        mfsa = merge_fsas([(0, fsa)])
+        assert isinstance(mfsa, Mfsa)
+        assert mfsa.num_states == fsa.num_states
+        assert mfsa.num_transitions == fsa.num_transitions
+
+
+class TestOutcomes:
+    """The three §III-A outcomes of the common-sub-path search."""
+
+    def test_no_common_subpaths_disjoint_copy(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["abc", "xyz"]))
+        f1 = compile_re_to_fsa("abc")
+        f2 = compile_re_to_fsa("xyz")
+        assert mfsa.num_states == f1.num_states + f2.num_states
+        assert mfsa.num_transitions == f1.num_transitions + f2.num_transitions
+        assert all(len(t.bel) == 1 for t in mfsa.transitions)
+
+    def test_partial_sharing_updates_belonging(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["abc", "abd"]))
+        shared = [t for t in mfsa.transitions if len(t.bel) == 2]
+        assert len(shared) == 2  # the a and b arcs
+        total_single = sum(f.num_states for f in
+                           (compile_re_to_fsa("abc"), compile_re_to_fsa("abd")))
+        assert mfsa.num_states < total_single
+
+    def test_identical_fsas_fully_merge(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["abc", "abc"[:3]]))
+        # identical patterns: every arc belongs to both, no state added
+        assert mfsa.num_states == compile_re_to_fsa("abc").num_states
+        assert all(t.bel == frozenset({0, 1}) for t in mfsa.transitions)
+
+    def test_fig2_style_shared_prefix(self):
+        """The paper's Fig. 2 scenario: a shared [gf]-style sub-path is
+        stored once with updated belonging."""
+        mfsa, structures = merge_fsas(
+            compile_ruleset_fsas(["a[fg]lm", "kja[fg]"]), collect_structures=True
+        )
+        assert structures, "merging structures should be discovered"
+        assert any(len(ms) >= 1 for ms in structures)
+        shared = [t for t in mfsa.transitions if len(t.bel) == 2]
+        assert shared, "the a[fg] sub-path should be shared"
+
+
+class TestReport:
+    def test_compression_counters(self):
+        report = MergeReport()
+        merge_fsas(compile_ruleset_fsas(["abcd", "abce"]), report=report)
+        assert report.input_states > report.output_states
+        assert 0 < report.state_compression < 100
+        assert report.merged_transitions >= 2
+        assert report.label_comparisons > 0
+
+    def test_zero_inputs_compression(self):
+        assert MergeReport().state_compression == 0.0
+        assert MergeReport().transition_compression == 0.0
+
+
+class TestMergeRuleset:
+    def test_grouping_counts(self):
+        fsas = compile_ruleset_fsas(["ab", "cd", "ef", "gh", "ij"])
+        assert len(merge_ruleset(fsas, 2)) == 3  # ceil(5/2)
+        assert len(merge_ruleset(fsas, 0)) == 1  # all
+        assert len(merge_ruleset(fsas, 1)) == 5  # no merging
+        assert len(merge_ruleset(fsas, 99)) == 1  # M >= N behaves like all
+
+    def test_report_accumulates_over_groups(self):
+        fsas = compile_ruleset_fsas(["abc", "abd", "abe", "abf"])
+        report = MergeReport()
+        merge_ruleset(fsas, 2, report=report)
+        assert report.input_states == sum(f.num_states for _, f in fsas)
+        assert report.output_states > 0
+
+    def test_rule_ids_preserved_across_groups(self):
+        fsas = compile_ruleset_fsas(["ab", "cd", "ef"])
+        mfsas = merge_ruleset(fsas, 2)
+        all_rules = sorted(r for m in mfsas for r in m.rule_ids)
+        assert all_rules == [0, 1, 2]
+
+
+class TestCorrectness:
+    """Structural and language correctness of merging."""
+
+    @pytest.mark.parametrize("patterns", [
+        ["abc", "abd"],
+        ["abc", "abc"],
+        ["a[bc]d", "a[bc]e"],
+        ["a[bc]d", "abd"],          # CC vs single char: must NOT merge labels
+        ["(ad|cb)ab", "a(b|c)"],    # paper Fig. 6 pair
+        ["bcdegh", "def"],          # paper Fig. 3 pair
+        ["ab*c", "ab*d"],
+        ["aaa", "aa", "a"],
+    ])
+    def test_projection_isomorphism(self, patterns):
+        fsas = compile_ruleset_fsas(patterns)
+        mfsa = merge_fsas(fsas)
+        validate_projections(mfsa, dict(fsas))
+
+    def test_cc_merges_only_on_exact_set(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["[ab]x", "[abc]x"]))
+        first = [t for t in mfsa.transitions if len(t.bel) == 2]
+        # [ab] != [abc]: the class arcs stay separate (x tails may share)
+        from repro.labels import CharClass
+
+        for t in mfsa.transitions:
+            if t.label == CharClass.from_chars("ab") or t.label == CharClass.from_chars("abc"):
+                assert len(t.bel) == 1
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_preserves_matches_property(self, data):
+        patterns = data.draw(st.lists(ere_patterns(), min_size=2, max_size=5))
+        text = data.draw(input_strings())
+        fsas = compile_ruleset_fsas(patterns)
+        mfsa = merge_fsas(fsas)
+        validate_projections(mfsa, dict(fsas))
+        expected = set()
+        for rule, fsa in fsas:
+            expected |= {(rule, end) for end in find_match_ends(fsa, text)}
+        assert reference_match(mfsa, text) == expected
+
+    def test_deterministic(self):
+        patterns = random_ruleset(5, 8)
+        a = merge_fsas(compile_ruleset_fsas(patterns))
+        b = merge_fsas(compile_ruleset_fsas(patterns))
+        assert {(t.src, t.dst, t.label.mask, t.bel) for t in a.transitions} == \
+               {(t.src, t.dst, t.label.mask, t.bel) for t in b.transitions}
+
+    def test_seed_cap_none_is_exhaustive(self):
+        patterns = random_ruleset(9, 6)
+        capped = merge_fsas(compile_ruleset_fsas(patterns), seed_cap=2)
+        full = merge_fsas(compile_ruleset_fsas(patterns), seed_cap=None)
+        # both are correct MFSAs; the exhaustive search merges at least as much
+        assert full.num_states <= capped.num_states
+        validate_projections(full, dict(compile_ruleset_fsas(patterns)))
+        validate_projections(capped, dict(compile_ruleset_fsas(patterns)))

@@ -1,0 +1,55 @@
+"""Empirical validation of the merging complexity estimate (paper Eq. 3).
+
+The paper approximates Algorithm 1 as O((4M·N_TS² + 8N_TS³)(M−1)) — the
+dominant effect being superlinear growth of comparison work with the
+merging factor.  These tests check the *measured* counter growth follows
+that direction (without pinning brittle constants).
+"""
+
+import pytest
+
+from repro.mfsa.merge import MergeReport, merge_ruleset
+
+from conftest import compile_ruleset_fsas, random_ruleset
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return compile_ruleset_fsas(random_ruleset(seed=42, count=24))
+
+
+def comparisons_at(ruleset, m: int) -> int:
+    report = MergeReport()
+    merge_ruleset(ruleset, m, report=report)
+    return report.label_comparisons
+
+
+class TestComplexityGrowth:
+    def test_comparisons_grow_with_m(self, ruleset):
+        series = [comparisons_at(ruleset, m) for m in (2, 4, 8, 0)]
+        assert series == sorted(series)
+        assert series[-1] > series[0]
+
+    def test_superlinear_in_m(self, ruleset):
+        """Per-group work grows faster than linearly: merging all 24 REs
+        costs more than 3x merging them in groups of 8."""
+        groups_of_8 = comparisons_at(ruleset, 8)
+        merged_all = comparisons_at(ruleset, 0)
+        assert merged_all > groups_of_8
+
+    def test_m1_costs_nothing(self, ruleset):
+        assert comparisons_at(ruleset, 1) == 0
+
+    def test_walk_steps_bounded_by_comparisons(self, ruleset):
+        report = MergeReport()
+        merge_ruleset(ruleset, 0, report=report)
+        # every walk step triggers at least one label comparison (seed or
+        # successor search), so steps cannot exceed comparisons + seeds
+        assert report.walk_steps <= report.label_comparisons + report.merging_structures
+
+    def test_seed_cap_bounds_comparisons(self, ruleset):
+        capped = MergeReport()
+        merge_ruleset(ruleset, 0, report=capped, seed_cap=2)
+        full = MergeReport()
+        merge_ruleset(ruleset, 0, report=full, seed_cap=None)
+        assert capped.label_comparisons <= full.label_comparisons

@@ -1,0 +1,126 @@
+"""Unit tests for the MFSA formal model."""
+
+import pytest
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.labels import CharClass
+from repro.mfsa.model import Mfsa, from_single_fsa, validate_projections
+from repro.mfsa.merge import merge_fsas
+
+
+def tiny_mfsa() -> Mfsa:
+    """Two rules sharing an 'a' arc: 0-a->1 {1,2}, 1-b->2 {1}, 1-c->3 {2}."""
+    m = Mfsa(num_states=4)
+    m.add_transition(0, 1, CharClass.single("a"), (1, 2))
+    m.add_transition(1, 2, CharClass.single("b"), (1,))
+    m.add_transition(1, 3, CharClass.single("c"), (2,))
+    m.initials = {1: 0, 2: 0}
+    m.finals = {1: {2}, 2: {3}}
+    return m
+
+
+class TestModel:
+    def test_rule_ids_in_merge_order(self):
+        assert tiny_mfsa().rule_ids == [1, 2]
+
+    def test_counts(self):
+        m = tiny_mfsa()
+        assert m.num_rules == 2
+        assert m.num_transitions == 3
+
+    def test_slots_dense(self):
+        assert tiny_mfsa().slot_of() == {1: 0, 2: 1}
+
+    def test_initial_mask(self):
+        masks = tiny_mfsa().initial_mask_per_state()
+        assert masks[0] == 0b11
+        assert masks[1] == 0
+
+    def test_final_mask(self):
+        masks = tiny_mfsa().final_mask_per_state()
+        assert masks[2] == 0b01
+        assert masks[3] == 0b10
+
+    def test_belonging_masks(self):
+        assert tiny_mfsa().belonging_masks() == [0b11, 0b01, 0b10]
+
+    def test_alphabet_mask(self):
+        assert tiny_mfsa().alphabet_mask() == CharClass.from_chars("abc").mask
+
+    def test_empty_belonging_rejected(self):
+        m = Mfsa(num_states=2)
+        with pytest.raises(ValueError):
+            m.add_transition(0, 1, CharClass.single("a"), ())
+
+
+class TestProjection:
+    def test_projection_languages(self):
+        from repro.automata.simulate import accepts
+
+        m = tiny_mfsa()
+        p1, p2 = m.projection(1), m.projection(2)
+        assert accepts(p1, "ab") and not accepts(p1, "ac")
+        assert accepts(p2, "ac") and not accepts(p2, "ab")
+
+    def test_projection_unknown_rule(self):
+        with pytest.raises(KeyError):
+            tiny_mfsa().projection(99)
+
+    def test_validate_projections_after_merge(self):
+        patterns = ["abc", "abd", "xbc"]
+        fsas = [(i, compile_re_to_fsa(p)) for i, p in enumerate(patterns)]
+        mfsa = merge_fsas(fsas)
+        validate_projections(mfsa, dict(fsas))
+
+
+class TestValidate:
+    def test_valid(self):
+        tiny_mfsa().validate()
+
+    def test_missing_finals_entry(self):
+        m = tiny_mfsa()
+        del m.finals[2]
+        with pytest.raises(ValueError):
+            m.validate()
+
+    def test_empty_final_set(self):
+        m = tiny_mfsa()
+        m.finals[1] = set()
+        with pytest.raises(ValueError):
+            m.validate()
+
+    def test_unknown_rule_in_belonging(self):
+        m = tiny_mfsa()
+        m.add_transition(0, 1, CharClass.single("z"), (7,))
+        with pytest.raises(ValueError):
+            m.validate()
+
+    def test_duplicate_arc_rejected(self):
+        m = tiny_mfsa()
+        m.add_transition(0, 1, CharClass.single("a"), (1,))
+        with pytest.raises(ValueError):
+            m.validate()
+
+    def test_out_of_range_states(self):
+        m = tiny_mfsa()
+        m.initials[1] = 17
+        with pytest.raises(ValueError):
+            m.validate()
+
+
+class TestFromSingleFsa:
+    def test_wraps_fsa(self):
+        fsa = compile_re_to_fsa("a(b|c)")
+        m = from_single_fsa(5, fsa)
+        assert m.rule_ids == [5]
+        assert m.num_states == fsa.num_states
+        assert all(t.bel == frozenset({5}) for t in m.transitions)
+        assert m.patterns[5] == "a(b|c)"
+
+    def test_rejects_epsilon(self):
+        from repro.automata.thompson import thompson_construct
+        from repro.frontend.parser import parse
+
+        nfa = thompson_construct(parse("ab"))
+        with pytest.raises(ValueError):
+            from_single_fsa(0, nfa)

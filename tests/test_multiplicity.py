@@ -1,0 +1,75 @@
+"""Unit tests for multiplicity simplification (paper §IV-C pass 3, Fig. 5b)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.epsilon import remove_epsilon
+from repro.automata.fsa import EPSILON, Fsa
+from repro.automata.multiplicity import multiplicity, simplify_multiplicity
+from repro.automata.simulate import accepts
+from repro.automata.statemerge import merge_suffix_states
+from repro.automata.thompson import thompson_construct
+from repro.frontend.parser import parse
+from repro.labels import CharClass
+
+from conftest import ere_patterns, input_strings
+
+
+def build(pattern: str) -> Fsa:
+    """ε-removal + suffix merging: the pipeline state right before the
+    multiplicity pass runs (suffix merging is what makes parallel arcs
+    land between the same state pair — see repro.automata.statemerge)."""
+    return merge_suffix_states(remove_epsilon(thompson_construct(parse(pattern))))
+
+
+class TestSimplify:
+    def test_single_char_alternation_fuses(self):
+        """Fig. 5b: (k|h) becomes a single [hk]-labelled arc."""
+        fsa = simplify_multiplicity(build("(k|h)bc"))
+        assert max(multiplicity(fsa).values()) == 1
+        labels = {t.label.mask for t in fsa.transitions}
+        assert CharClass.from_chars("kh").mask in labels
+
+    def test_fused_label_differs_from_plain_k(self):
+        """After the pass, [kh] ≠ k, so the unsafe Fig. 5b merge is
+        structurally impossible."""
+        a1 = simplify_multiplicity(build("(k|h)bc"))
+        a2 = simplify_multiplicity(build("kfd"))
+        labels1 = {t.label.mask for t in a1.transitions}
+        labels2 = {t.label.mask for t in a2.transitions}
+        assert CharClass.single("k").mask in labels2
+        assert CharClass.single("k").mask not in labels1
+
+    def test_idempotent(self):
+        fsa = simplify_multiplicity(build("(a|b|c)d"))
+        again = simplify_multiplicity(fsa)
+        assert {(t.src, t.dst, t.label.mask) for t in fsa.transitions} == \
+               {(t.src, t.dst, t.label.mask) for t in again.transitions}
+
+    def test_preserves_finals_and_initial(self):
+        fsa = build("(a|b)c")
+        out = simplify_multiplicity(fsa)
+        assert out.initial == fsa.initial
+        assert out.finals == fsa.finals
+
+    def test_rejects_epsilon(self):
+        fsa = Fsa()
+        s0, s1 = fsa.add_state(), fsa.add_state()
+        fsa.add_transition(s0, s1, EPSILON)
+        fsa.finals = {s1}
+        with pytest.raises(ValueError):
+            simplify_multiplicity(fsa)
+
+    def test_multiplicity_counts(self):
+        fsa = build("(a|b)c")
+        counts = multiplicity(fsa)
+        assert max(counts.values()) >= 2
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=150, deadline=None)
+def test_simplification_preserves_language(pattern, text):
+    fsa = build(pattern)
+    fused = simplify_multiplicity(fsa)
+    assert accepts(fsa, text) == accepts(fused, text)
+    assert max(multiplicity(fused).values(), default=1) == 1

@@ -1,0 +1,89 @@
+"""Tests for 2-stride DFAs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfa import DfaEngine, DfaExplosionError, build_stride2, determinize
+from repro.dfa.multistride import StrideDfaEngine, byte_classes
+
+from conftest import compile_ruleset_fsas, ere_patterns, input_strings
+
+
+def build(patterns):
+    return determinize(compile_ruleset_fsas(patterns))
+
+
+class TestByteClasses:
+    def test_used_and_unused_bytes_split(self):
+        dfa = build(["ab"])
+        class_of, count = byte_classes(dfa)
+        assert class_of[ord("a")] != class_of[ord("b")]
+        assert class_of[ord("x")] == class_of[ord("y")]  # both unused
+        assert count >= 3
+
+    def test_cc_members_share_class(self):
+        dfa = build(["[a-d]z"])
+        class_of, _ = byte_classes(dfa)
+        assert len({class_of[ord(c)] for c in "abcd"}) == 1
+
+    def test_class_count_bounded_by_alphabet(self):
+        dfa = build(["ab", "cd", "e[fg]"])
+        _, count = byte_classes(dfa)
+        assert count <= 256
+
+
+class TestStride2:
+    def test_even_length_matches(self):
+        stride = build_stride2(build(["abcd"]))
+        assert StrideDfaEngine(stride).run("zabcdz").matches == {(0, 5)}
+
+    def test_odd_offset_match_via_mid_accepts(self):
+        """A match ending at an odd offset is reported from the pair's
+        intermediate state."""
+        stride = build_stride2(build(["abc"]))
+        assert StrideDfaEngine(stride).run("abcx").matches == {(0, 3)}
+
+    def test_odd_length_stream_tail(self):
+        stride = build_stride2(build(["abc"]))
+        assert StrideDfaEngine(stride).run("abc").matches == {(0, 3)}
+
+    def test_empty_and_single_byte_streams(self):
+        stride = build_stride2(build(["a"]))
+        assert StrideDfaEngine(stride).run(b"").matches == set()
+        assert StrideDfaEngine(stride).run("a").matches == {(0, 1)}
+
+    def test_half_the_steps(self):
+        stride = build_stride2(build(["ab"]))
+        stats = StrideDfaEngine(stride).run("abab" * 8).stats
+        assert stats.transitions_examined == stats.chars_processed // 2
+
+    def test_table_entries_metric(self):
+        dfa = build(["ab", "cd"])
+        stride = build_stride2(dfa)
+        assert stride.table_entries == stride.num_states * stride.num_classes ** 2
+        # quadratically larger than the per-class 1-stride table
+        assert stride.table_entries > dfa.num_states * stride.num_classes
+
+    @pytest.mark.parametrize("patterns,text", [
+        (["ab", "bc"], "abcabc"),
+        (["a+b"], "aaab aab"),
+        (["x.*y"], "x12y4y"),
+        (["abc", "abd", "ab"], "zabdabcab"),
+        (["a*", "b"], "ab"),
+    ])
+    def test_agrees_with_base_dfa(self, patterns, text):
+        dfa = build(patterns)
+        stride = build_stride2(dfa)
+        assert StrideDfaEngine(stride).run(text).matches == DfaEngine(dfa).run(text).matches
+
+
+@given(st.lists(ere_patterns(), min_size=1, max_size=3), input_strings())
+@settings(max_examples=60, deadline=None)
+def test_stride2_equivalence_property(patterns, text):
+    try:
+        dfa = build(patterns)
+    except DfaExplosionError:
+        return
+    stride = build_stride2(dfa)
+    assert StrideDfaEngine(stride).run(text).matches == DfaEngine(dfa).run(text).matches

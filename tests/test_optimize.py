@@ -1,0 +1,71 @@
+"""Tests for the composed single-FSA pipeline, with Python `re` as oracle."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.multiplicity import multiplicity
+from repro.automata.optimize import OptimizeOptions, compile_re_to_fsa, optimize_ast
+from repro.automata.simulate import accepts, find_match_ends
+from repro.frontend.parser import parse
+
+from conftest import ere_patterns, input_strings
+
+
+class TestPipeline:
+    def test_output_is_epsilon_free_and_simplified(self):
+        fsa = compile_re_to_fsa("(a|b){1,2}c*")
+        assert not fsa.has_epsilon()
+        assert max(multiplicity(fsa).values(), default=1) == 1
+        fsa.validate()
+
+    def test_options_disable_passes(self):
+        options = OptimizeOptions(simplify_multiplicity=False)
+        fsa = compile_re_to_fsa("(a|b)c", options)
+        assert max(multiplicity(fsa).values()) == 2
+
+    def test_optimize_ast_passthrough_when_disabled(self):
+        node = parse("a{2}")
+        assert optimize_ast(node, OptimizeOptions(expand_loops=False)) == node
+
+    def test_pattern_attached(self):
+        assert compile_re_to_fsa("abc").pattern == "abc"
+
+    @pytest.mark.parametrize("pattern,text,expected_ends", [
+        ("abc", "xxabcabc", {5, 8}),
+        ("a+", "aa", {1, 2}),
+        ("x.*y", "xzzy", {4}),
+        ("[0-9]{2}", "a12b34", {3, 6}),
+    ])
+    def test_stream_matching(self, pattern, text, expected_ends):
+        fsa = compile_re_to_fsa(pattern)
+        assert find_match_ends(fsa, text) == expected_ends
+
+
+class TestReOracle:
+    """The constructed automata agree with Python's `re` on the common
+    ERE subset — full-match membership and streaming end offsets."""
+
+    @given(ere_patterns(), input_strings())
+    @settings(max_examples=250, deadline=None)
+    def test_full_match_agrees_with_re(self, pattern, text):
+        fsa = compile_re_to_fsa(pattern)
+        oracle = re.compile(f"(?:{pattern})\\Z")
+        assert accepts(fsa, text) == bool(oracle.match(text))
+
+    @given(ere_patterns(), input_strings())
+    @settings(max_examples=150, deadline=None)
+    def test_match_ends_agree_with_re(self, pattern, text):
+        fsa = compile_re_to_fsa(pattern)
+        oracle = re.compile(f"(?:{pattern})\\Z")
+        expected = {
+            end
+            for end in range(len(text) + 1)
+            for start in range(end + 1)
+            if oracle.match(text, start, end) and oracle.match(text, start, end).end() == end
+        }
+        got = find_match_ends(fsa, text)
+        if accepts(fsa, ""):
+            expected |= set(range(len(text) + 1))
+        assert got == expected

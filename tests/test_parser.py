@@ -1,0 +1,174 @@
+"""Unit tests for the ERE parser (pattern → AST)."""
+
+import pytest
+from hypothesis import given
+
+from repro.frontend.ast import Alternation, Concat, Empty, Literal, Repeat
+from repro.frontend.errors import RegexSyntaxError
+from repro.frontend.parser import parse
+from repro.labels import CharClass
+
+from conftest import ere_patterns
+
+
+class TestAtoms:
+    def test_single_char(self):
+        node = parse("a")
+        assert isinstance(node, Literal)
+        assert node.charclass == CharClass.single("a")
+
+    def test_charclass(self):
+        node = parse("[a-c]")
+        assert isinstance(node, Literal)
+        assert node.charclass == CharClass.from_range("a", "c")
+
+    def test_empty_pattern(self):
+        assert parse("") == Empty()
+
+    def test_group(self):
+        assert parse("(a)") == parse("a")
+
+
+class TestCombinators:
+    def test_concat(self):
+        node = parse("ab")
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 2
+
+    def test_concat_flattens(self):
+        node = parse("abc")
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 3
+
+    def test_alternation(self):
+        node = parse("a|b|c")
+        assert isinstance(node, Alternation)
+        assert len(node.branches) == 3
+
+    def test_alternation_with_empty_branch(self):
+        node = parse("a|")
+        assert isinstance(node, Alternation)
+        assert node.branches[1] == Empty()
+
+    def test_precedence_concat_over_alt(self):
+        node = parse("ab|cd")
+        assert isinstance(node, Alternation)
+        assert all(isinstance(b, Concat) for b in node.branches)
+
+    def test_grouping_overrides(self):
+        node = parse("a(b|c)d")
+        assert isinstance(node, Concat)
+        assert isinstance(node.parts[1], Alternation)
+
+
+class TestQuantifiers:
+    @pytest.mark.parametrize("text,low,high", [
+        ("a*", 0, None),
+        ("a+", 1, None),
+        ("a?", 0, 1),
+        ("a{3}", 3, 3),
+        ("a{2,}", 2, None),
+        ("a{2,5}", 2, 5),
+    ])
+    def test_quantifier_bounds(self, text, low, high):
+        node = parse(text)
+        assert isinstance(node, Repeat)
+        assert (node.low, node.high) == (low, high)
+
+    def test_quantifier_binds_to_atom(self):
+        node = parse("ab*")
+        assert isinstance(node, Concat)
+        assert isinstance(node.parts[1], Repeat)
+
+    def test_quantifier_on_group(self):
+        node = parse("(ab)*")
+        assert isinstance(node, Repeat)
+        assert isinstance(node.body, Concat)
+
+    def test_stacked_quantifiers(self):
+        node = parse("a*?")
+        assert isinstance(node, Repeat)
+        assert isinstance(node.body, Repeat)
+
+    def test_dangling_quantifier_rejected(self):
+        for bad in ("*", "|*", "(*)", "{1}"):
+            with pytest.raises(RegexSyntaxError):
+                parse(bad)
+
+
+class TestErrors:
+    def test_unbalanced_parens(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(a")
+        with pytest.raises(RegexSyntaxError):
+            parse("a)")
+
+    def test_error_position(self):
+        with pytest.raises(RegexSyntaxError) as info:
+            parse("ab)")
+        assert info.value.position == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("pattern", [
+        "a", "abc", "a|b", "(a|b)c", "a*", "(ab)+", "a{2,3}",
+        "[a-f]x", "a(b|c)*d", "x\\.y",
+    ])
+    def test_pattern_render_reparse(self, pattern):
+        node = parse(pattern)
+        assert parse(node.pattern()) == node
+
+    @given(ere_patterns())
+    def test_render_reparse_property(self, pattern):
+        node = parse(pattern)
+        assert parse(node.pattern()) == node
+
+
+class TestAstUtilities:
+    def test_walk_preorder(self):
+        node = parse("a(b|c)")
+        kinds = [type(n).__name__ for n in node.walk()]
+        assert kinds[0] == "Concat"
+        assert "Alternation" in kinds
+
+    def test_structural_equality(self):
+        assert parse("a(b)c") == parse("abc")
+        assert parse("a|b") != parse("b|a")
+        assert hash(parse("ab")) == hash(parse("ab"))
+
+    def test_invalid_constructions(self):
+        with pytest.raises(ValueError):
+            Concat((Empty(),))
+        with pytest.raises(ValueError):
+            Alternation((Empty(),))
+        with pytest.raises(ValueError):
+            Repeat(Empty(), -1, None)
+        with pytest.raises(ValueError):
+            Repeat(Empty(), 3, 2)
+
+
+class TestDiagnosticRendering:
+    """The caret diagnostics users actually see."""
+
+    def test_caret_points_at_offender(self):
+        from repro.frontend.errors import RegexSyntaxError
+
+        try:
+            parse("ab)cd")
+        except RegexSyntaxError as exc:
+            rendered = str(exc)
+            lines = rendered.splitlines()
+            assert lines[1].strip() == "ab)cd"
+            assert lines[2].index("^") - lines[1].index("ab)cd") == 2
+        else:
+            raise AssertionError("expected RegexSyntaxError")
+
+    def test_message_names_problem(self):
+        from repro.frontend.errors import RegexSyntaxError
+
+        with pytest.raises(RegexSyntaxError, match="trailing input"):
+            parse("*a")
+        with pytest.raises(RegexSyntaxError, match="expected '\\)'"):
+            parse("(ab")
+        with pytest.raises(RegexSyntaxError, match="backreference"):
+            parse("(a)\\1")

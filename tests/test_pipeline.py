@@ -1,0 +1,110 @@
+"""Tests for the multi-level compilation framework driver."""
+
+import pytest
+
+from repro.anml.reader import read_anml
+from repro.engine.imfant import IMfantEngine
+from repro.mfsa.activation import reference_match
+from repro.pipeline.compiler import CompilationResult, CompileOptions, compile_ruleset
+
+from conftest import mfsa_equal
+
+
+PATTERNS = ["abc", "abd", "a[bc]e", "xy+z", "ab{2,3}"]
+
+
+class TestCompile:
+    def test_default_merges_all(self):
+        result = compile_ruleset(PATTERNS)
+        assert len(result.mfsas) == 1
+        assert result.mfsas[0].num_rules == len(PATTERNS)
+
+    def test_m1_no_merging(self):
+        result = compile_ruleset(PATTERNS, CompileOptions(merging_factor=1, emit_anml=False))
+        assert len(result.mfsas) == len(PATTERNS)
+        assert all(m.num_rules == 1 for m in result.mfsas)
+
+    def test_grouping(self):
+        result = compile_ruleset(PATTERNS, CompileOptions(merging_factor=2, emit_anml=False))
+        assert len(result.mfsas) == 3  # ceil(5/2)
+        assert [m.num_rules for m in result.mfsas] == [2, 2, 1]
+
+    def test_rule_ids_are_ruleset_indices(self):
+        result = compile_ruleset(PATTERNS, CompileOptions(merging_factor=2, emit_anml=False))
+        all_rules = sorted(r for m in result.mfsas for r in m.rule_ids)
+        assert all_rules == list(range(len(PATTERNS)))
+
+    def test_stage_times_populated(self):
+        result = compile_ruleset(PATTERNS)
+        times = result.stage_times
+        assert times.frontend > 0
+        assert times.ast_to_fsa > 0
+        assert times.single_opt > 0
+        assert times.merging > 0
+        assert times.backend > 0
+        assert times.total == pytest.approx(sum(times.as_dict().values()))
+
+    def test_no_anml_when_disabled(self):
+        result = compile_ruleset(PATTERNS, CompileOptions(emit_anml=False))
+        assert result.anml is None
+        assert result.stage_times.backend == 0.0
+
+    def test_anml_round_trips(self):
+        result = compile_ruleset(PATTERNS, CompileOptions(merging_factor=0))
+        assert result.anml is not None and len(result.anml) == 1
+        recovered = read_anml(result.anml[0])
+        assert mfsa_equal(result.mfsas[0], recovered)
+
+    def test_merge_report_totals(self):
+        result = compile_ruleset(PATTERNS, CompileOptions(emit_anml=False))
+        report = result.merge_report
+        assert report.input_states == result.total_input_states
+        assert report.output_states == result.total_output_states
+        assert report.state_compression > 0
+
+    def test_compression_grows_with_m(self):
+        by_m = {}
+        for m in (1, 2, 0):
+            result = compile_ruleset(PATTERNS, CompileOptions(merging_factor=m, emit_anml=False))
+            by_m[m] = result.total_output_states
+        assert by_m[0] <= by_m[2] <= by_m[1]
+
+    def test_stratification_option(self):
+        patterns = ["[abce]x", "[bcd]x"]
+        plain = compile_ruleset(patterns, CompileOptions(emit_anml=False))
+        strat = compile_ruleset(
+            patterns, CompileOptions(emit_anml=False, stratify_charclasses=True)
+        )
+        assert strat.total_output_states <= plain.total_output_states
+
+    def test_syntax_error_propagates(self):
+        from repro.frontend.errors import RegexSyntaxError
+
+        with pytest.raises(RegexSyntaxError):
+            compile_ruleset(["a("])
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("m", [1, 2, 0])
+    def test_matches_identical_across_merging_factors(self, m):
+        """The merging factor is a pure performance knob: matches are
+        invariant (integration across the whole pipeline + engine)."""
+        text = "zabcabde" * 4 + "xyyyzabbbc"
+        baseline = compile_ruleset(PATTERNS, CompileOptions(merging_factor=1, emit_anml=False))
+        expected = set()
+        for mfsa in baseline.mfsas:
+            expected |= IMfantEngine(mfsa).run(text).matches
+
+        result = compile_ruleset(PATTERNS, CompileOptions(merging_factor=m, emit_anml=False))
+        got = set()
+        for mfsa in result.mfsas:
+            got |= IMfantEngine(mfsa).run(text).matches
+        assert got == expected
+
+    def test_anml_consumers_match(self):
+        """Compile → ANML → read → execute equals direct execution."""
+        text = "abcabdabe"
+        result = compile_ruleset(PATTERNS, CompileOptions(merging_factor=0))
+        direct = reference_match(result.mfsas[0], text)
+        via_anml = reference_match(read_anml(result.anml[0]), text)
+        assert direct == via_anml

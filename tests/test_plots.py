@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.reporting.plots import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        text = bar_chart({"A": 10.0, "B": 5.0}, title="T", width=20)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("█") == 20  # the max fills the width
+        assert lines[2].count("█") == 10
+
+    def test_values_rendered(self):
+        text = bar_chart({"X": 0.337})
+        assert "0.337" in text
+
+    def test_unit_suffix(self):
+        assert "7%" in bar_chart({"A": 7.0}, unit="%")
+
+    def test_empty(self):
+        assert bar_chart({}, title="nothing") == "nothing"
+
+    def test_zero_peak(self):
+        text = bar_chart({"A": 0.0})
+        assert "█" not in text
+
+
+class TestGroupedBarChart:
+    def test_groups_and_rows(self):
+        text = grouped_bar_chart({"G1": {"a": 1.0, "b": 2.0}, "G2": {"a": 2.0}})
+        assert "G1:" in text and "G2:" in text
+        assert text.count("|") == 6  # two bars + one bar, two pipes each
+
+    def test_shared_scale(self):
+        text = grouped_bar_chart({"G1": {"a": 10.0}, "G2": {"a": 5.0}}, width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+
+class TestLineChart:
+    SERIES = {
+        "one": [(1.0, 10.0), (2.0, 20.0), (3.0, 40.0)],
+        "two": [(1.0, 40.0), (2.0, 20.0), (3.0, 10.0)],
+    }
+
+    def test_markers_and_legend(self):
+        text = line_chart(self.SERIES, title="L")
+        assert text.startswith("L")
+        assert "o one" in text and "x two" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels(self):
+        text = line_chart(self.SERIES)
+        assert "40" in text  # top y label
+        assert "10" in text  # bottom y label
+        assert "1" in text and "3" in text  # x extremes
+
+    def test_log_scale_labels(self):
+        text = line_chart({"s": [(0.0, 10.0), (1.0, 1000.0)]}, log_y=True)
+        assert "1e+03" in text or "1000" in text
+
+    def test_empty(self):
+        assert line_chart({}, title="none") == "none"
+
+    def test_single_point(self):
+        text = line_chart({"s": [(5.0, 5.0)]})
+        assert "o" in text

@@ -1,0 +1,79 @@
+"""Public-API hygiene: exports resolve, docs exist, version is sane."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_PACKAGES = [
+    "repro",
+    "repro.frontend",
+    "repro.automata",
+    "repro.mfsa",
+    "repro.anml",
+    "repro.engine",
+    "repro.counting",
+    "repro.dfa",
+    "repro.decompose",
+    "repro.stringmatch",
+    "repro.datasets",
+    "repro.similarity",
+    "repro.pipeline",
+    "repro.reporting",
+    "repro.viz",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_private_exports(self):
+        assert not any(name.startswith("_") for name in repro.__all__ if name != "__version__")
+
+    def test_key_types_importable_from_top_level(self):
+        from repro import (  # noqa: F401
+            AhoCorasick,
+            CompileOptions,
+            IMfantEngine,
+            Mfsa,
+            PrefilterEngine,
+            SpanFinder,
+            StreamingMatcher,
+            compile_ruleset,
+        )
+
+
+class TestModuleHygiene:
+    @pytest.mark.parametrize("package", PUBLIC_PACKAGES)
+    def test_package_has_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20, package
+
+    def test_every_submodule_has_docstring(self):
+        undocumented = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if "builtin" in info.name:
+                continue  # data package
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ and module.__doc__.strip()):
+                undocumented.append(info.name)
+        assert not undocumented, undocumented
+
+    def test_subpackage_alls_resolve(self):
+        for package in PUBLIC_PACKAGES:
+            module = importlib.import_module(package)
+            for name in getattr(module, "__all__", ()):
+                assert hasattr(module, name), f"{package}.{name}"
+
+    def test_py_typed_marker_shipped(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()

@@ -1,0 +1,95 @@
+"""Tests for post-merge MFSA state reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.engine.imfant import IMfantEngine
+from repro.mfsa.activation import reference_match
+from repro.mfsa.merge import merge_fsas
+from repro.mfsa.reduce import reduce_mfsa
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+
+from conftest import compile_ruleset_fsas, ere_patterns, input_strings
+
+
+class TestReduce:
+    def test_collapses_identical_tails(self):
+        """Two rules with the same suffix discovered through conflicting
+        walks leave duplicate tail states the reducer can fold."""
+        patterns = ["axyz", "bxyz", "cxyz", "dxyz"]
+        mfsa = merge_fsas(compile_ruleset_fsas(patterns), min_walk_len=2)
+        reduced = reduce_mfsa(mfsa)
+        assert reduced.num_states <= mfsa.num_states
+
+    def test_fixpoint(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["abcd", "zbcd"]))
+        reduced = reduce_mfsa(mfsa)
+        again = reduce_mfsa(reduced)
+        assert again.num_states == reduced.num_states
+
+    def test_matches_preserved(self):
+        patterns = ["abc", "abd", "xbc", "a[bc]e"]
+        mfsa = merge_fsas(compile_ruleset_fsas(patterns))
+        reduced = reduce_mfsa(mfsa)
+        text = "zabcabdxbcabe"
+        assert reference_match(reduced, text) == reference_match(mfsa, text)
+
+    def test_initials_not_merged_with_plain_states(self):
+        """A rule's initial state never merges with a non-initial one —
+        the signature includes initial-for."""
+        mfsa = merge_fsas(compile_ruleset_fsas(["ab", "b"]))
+        reduced = reduce_mfsa(mfsa)
+        q0s = set(reduced.initials.values())
+        for rule, q0 in reduced.initials.items():
+            assert q0 in q0s
+        # matching still exact
+        for text in ("ab", "b", "bb", "aab"):
+            assert reference_match(reduced, text) == reference_match(mfsa, text)
+
+    def test_belonging_union_on_collapsed_arcs(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["abx", "cbx"]), min_walk_len=3)
+        reduced = reduce_mfsa(mfsa)
+        reduced.validate()
+
+    def test_max_rounds(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["aaaz", "baaz"]), min_walk_len=4)
+        once = reduce_mfsa(mfsa, max_rounds=1)
+        full = reduce_mfsa(mfsa)
+        assert full.num_states <= once.num_states
+
+
+class TestPipelineOption:
+    def test_reduce_option_counts(self):
+        patterns = ["axyz", "bxyz", "cxyz"]
+        plain = compile_ruleset(patterns, CompileOptions(
+            merging_factor=0, emit_anml=False, min_walk_len=3))
+        reduced = compile_ruleset(patterns, CompileOptions(
+            merging_factor=0, emit_anml=False, min_walk_len=3, reduce_mfsa=True))
+        assert reduced.total_output_states <= plain.total_output_states
+        assert reduced.merge_report.output_states == reduced.total_output_states
+
+    def test_reduce_option_matches(self):
+        patterns = ["abc", "abd", "ab"]
+        text = "zabcabdab"
+        outputs = []
+        for flag in (False, True):
+            compiled = compile_ruleset(patterns, CompileOptions(
+                merging_factor=0, emit_anml=False, reduce_mfsa=flag))
+            matches = set()
+            for mfsa in compiled.mfsas:
+                matches |= IMfantEngine(mfsa).run(text).matches
+            outputs.append(matches)
+        assert outputs[0] == outputs[1]
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_reduction_preserves_matches_property(data):
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=4))
+    text = data.draw(input_strings())
+    mfsa = merge_fsas(compile_ruleset_fsas(patterns))
+    reduced = reduce_mfsa(mfsa)
+    assert reduced.num_states <= mfsa.num_states
+    assert reference_match(reduced, text) == reference_match(mfsa, text)

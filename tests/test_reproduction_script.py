@@ -1,0 +1,28 @@
+"""Smoke test for the one-shot reproduction driver."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "run_full_reproduction.py"
+
+
+def load_script():
+    spec = importlib.util.spec_from_file_location("run_full_reproduction", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDriver:
+    def test_tiny_run_lands_in_bands(self, tmp_path, capsys):
+        module = load_script()
+        code = module.main(["--scale", "20", "--stream-size", "512",
+                            "--out", str(tmp_path / "results")])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "HEADLINE SUMMARY" in out
+        assert out.count("[ok ]") == 5
+        assert (tmp_path / "results" / "manifest.json").exists()
+        assert "Fig. 7" in out and "Table II" in out

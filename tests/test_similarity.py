@@ -1,0 +1,103 @@
+"""Tests for the INDEL similarity metric (paper Fig. 1 substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.indel import (
+    average_pairwise_similarity,
+    indel_distance,
+    indel_distance_bitparallel,
+    lcs_length,
+    lcs_length_bitparallel,
+    normalized_indel_similarity,
+)
+
+TEXT = st.text(alphabet="abcxyz", max_size=40)
+
+
+class TestLcs:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0),
+        ("a", "", 0),
+        ("abc", "abc", 3),
+        ("abc", "acb", 2),
+        ("abcdef", "zabxcy", 3),
+        ("aaaa", "aa", 2),
+    ])
+    def test_known_values(self, a, b, expected):
+        assert lcs_length(a, b) == expected
+        assert lcs_length_bitparallel(a, b) == expected
+
+    def test_symmetric(self):
+        assert lcs_length("abcde", "badec") == lcs_length("badec", "abcde")
+
+
+class TestIndel:
+    def test_paper_worked_example(self):
+        """lewenstein vs levenshtein: distance 3, similarity 1 - 3/21."""
+        assert indel_distance("lewenstein", "levenshtein") == 3
+        sim = normalized_indel_similarity("lewenstein", "levenshtein")
+        assert sim == pytest.approx(1 - 3 / 21)
+
+    def test_identical_strings(self):
+        assert indel_distance("abc", "abc") == 0
+        assert normalized_indel_similarity("abc", "abc") == 1.0
+
+    def test_disjoint_strings(self):
+        assert normalized_indel_similarity("aaa", "bbb") == 0.0
+
+    def test_empty_pair(self):
+        assert normalized_indel_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert indel_distance("abc", "") == 3
+        assert normalized_indel_similarity("abc", "") == 0.0
+
+    def test_dp_option(self):
+        assert normalized_indel_similarity("abcd", "abce", bitparallel=False) == \
+               normalized_indel_similarity("abcd", "abce", bitparallel=True)
+
+
+class TestAverages:
+    def test_all_pairs(self):
+        strings = ["ab", "ab", "cd"]
+        # pairs: (ab,ab)=1, (ab,cd)=0, (ab,cd)=0
+        assert average_pairwise_similarity(strings) == pytest.approx(1 / 3)
+
+    def test_single_string(self):
+        assert average_pairwise_similarity(["ab"]) == 0.0
+
+    def test_subsampling_is_deterministic(self):
+        strings = [f"s{i}word{i % 3}" for i in range(20)]
+        a = average_pairwise_similarity(strings, max_pairs=30)
+        b = average_pairwise_similarity(strings, max_pairs=30)
+        assert a == b
+
+    def test_subsample_close_to_full(self):
+        strings = [f"prefix{i % 4}tail{i}" for i in range(16)]
+        full = average_pairwise_similarity(strings)
+        sampled = average_pairwise_similarity(strings, max_pairs=60)
+        assert abs(full - sampled) < 0.25
+
+
+@given(TEXT, TEXT)
+@settings(max_examples=200, deadline=None)
+def test_bitparallel_equals_dp(a, b):
+    assert lcs_length(a, b) == lcs_length_bitparallel(a, b)
+    assert indel_distance(a, b) == indel_distance_bitparallel(a, b)
+
+
+@given(TEXT, TEXT)
+@settings(max_examples=150, deadline=None)
+def test_metric_properties(a, b):
+    d = indel_distance(a, b)
+    assert d == indel_distance(b, a)
+    assert (d == 0) == (a == b)
+    assert 0 <= normalized_indel_similarity(a, b) <= 1
+
+
+@given(TEXT, TEXT, TEXT)
+@settings(max_examples=80, deadline=None)
+def test_triangle_inequality(a, b, c):
+    assert indel_distance(a, c) <= indel_distance(a, b) + indel_distance(b, c)

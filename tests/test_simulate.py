@@ -1,0 +1,57 @@
+"""Unit tests for the reference NFA simulator."""
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.automata.simulate import accepts, find_match_ends, simulate_stream
+from repro.automata.thompson import thompson_construct
+from repro.frontend.parser import parse
+
+
+class TestAccepts:
+    def test_bytes_and_str_inputs(self):
+        fsa = compile_re_to_fsa("ab")
+        assert accepts(fsa, "ab")
+        assert accepts(fsa, b"ab")
+
+    def test_handles_epsilon_nfa(self):
+        nfa = thompson_construct(parse("a|b"))
+        assert accepts(nfa, "a") and accepts(nfa, "b")
+        assert not accepts(nfa, "ab")
+
+    def test_dead_end(self):
+        fsa = compile_re_to_fsa("abc")
+        assert not accepts(fsa, "abx")
+
+
+class TestFindMatchEnds:
+    def test_basic_offsets(self):
+        fsa = compile_re_to_fsa("ab")
+        assert find_match_ends(fsa, "abxab") == {2, 5}
+
+    def test_overlapping_matches(self):
+        fsa = compile_re_to_fsa("aa")
+        assert find_match_ends(fsa, "aaa") == {2, 3}
+
+    def test_empty_language_matches_everywhere(self):
+        fsa = compile_re_to_fsa("a*")
+        assert find_match_ends(fsa, "bb") == {0, 1, 2}
+
+    def test_no_matches(self):
+        fsa = compile_re_to_fsa("xyz")
+        assert find_match_ends(fsa, "aaaa") == set()
+
+    def test_match_on_epsilon_nfa(self):
+        nfa = thompson_construct(parse("ab"))
+        assert find_match_ends(nfa, "zab") == {3}
+
+    def test_offsets_are_one_based_byte_counts(self):
+        fsa = compile_re_to_fsa("a")
+        assert find_match_ends(fsa, "a") == {1}
+
+
+class TestSimulateStream:
+    def test_multiple_rules(self):
+        rules = [(7, compile_re_to_fsa("ab")), (9, compile_re_to_fsa("b"))]
+        assert simulate_stream(rules, "ab") == {(7, 2), (9, 2)}
+
+    def test_empty_rule_list(self):
+        assert simulate_stream([], "abc") == set()

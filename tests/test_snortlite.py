@@ -1,0 +1,138 @@
+"""Tests for the snort-lite rule ingestion front-end."""
+
+import pytest
+
+from repro.automata.simulate import find_match_ends
+from repro.frontend.snortlite import (
+    SnortParseError,
+    compile_snort_rules,
+    parse_rules,
+)
+
+SAMPLE = '''
+# demo ruleset
+alert tcp any any -> any 80 (msg:"SQLi probe"; content:"union select"; nocase; sid:1001;)
+alert tcp any any -> any any (pcre:"/etc\\/(passwd|shadow)/"; sid:1002;)
+drop udp any any -> any 53 (content:"|04|evil|03|com"; msg:"dns exfil"; sid:1003;)
+alert tcp any any -> any any (content:"GET "; content:".php?cmd="; sid:1004;)
+'''
+
+
+class TestParsing:
+    def test_counts_and_metadata(self):
+        rules = parse_rules(SAMPLE)
+        assert len(rules) == 4
+        assert rules[0].action == "alert"
+        assert rules[0].msg == "SQLi probe"
+        assert rules[0].sid == 1001
+        assert rules[2].action == "drop"
+
+    def test_nocase_flag(self):
+        rules = parse_rules(SAMPLE)
+        assert rules[0].nocase
+        assert not rules[1].nocase
+
+    def test_content_escaping(self):
+        rule = parse_rules('alert tcp a a -> a a (content:"a.b+c"; sid:1;)')[0]
+        assert rule.pattern == "a\\.b\\+c"
+
+    def test_hex_blocks(self):
+        rules = parse_rules(SAMPLE)
+        assert rules[2].pattern.startswith("\\x04evil\\x03com")
+
+    def test_multiple_contents_joined(self):
+        rules = parse_rules(SAMPLE)
+        assert rules[3].pattern == "GET .*\\.php\\?cmd="
+
+    def test_continuation_lines(self):
+        text = ('alert tcp any any -> any any (msg:"two liner"; \\\n'
+                '    content:"abc"; sid:7;)')
+        rules = parse_rules(text)
+        assert len(rules) == 1
+        assert rules[0].sid == 7
+
+    def test_unknown_options_ignored(self):
+        rule = parse_rules(
+            'alert tcp a a -> a a (content:"x"; flow:to_server; classtype:misc; sid:2;)'
+        )[0]
+        assert set(rule.ignored_options) == {"flow", "classtype"}
+
+    def test_semicolon_inside_quotes(self):
+        rule = parse_rules('alert tcp a a -> a a (content:"a;b"; sid:3;)')[0]
+        assert rule.pattern == "a;b"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "not a rule at all",
+        'alert tcp a a -> a a (nocase; sid:1;)',            # nocase w/o content
+        'alert tcp a a -> a a (sid:1;)',                     # no pattern
+        'alert tcp a a -> a a (content:"|zz|"; sid:1;)',     # bad hex
+        'alert tcp a a -> a a (content:"|41"; sid:1;)',      # unterminated hex
+        'alert tcp a a -> a a (content:"x"; sid:abc;)',      # bad sid
+        'alert tcp a a -> a a (pcre:"no-slashes"; sid:1;)',  # bad pcre
+        'alert tcp a a -> a a (pcre:"/a/x"; sid:1;)',        # unsupported flag
+        'alert tcp a a -> a a (content:"unterminated;)',     # open quote
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(SnortParseError):
+            parse_rules(bad)
+
+    def test_line_number_in_error(self):
+        with pytest.raises(SnortParseError, match="line 3"):
+            parse_rules("\n\nbroken rule\n")
+
+
+class TestCompile:
+    def test_rules_fire_on_traffic(self):
+        rules, fsas = compile_snort_rules(SAMPLE)
+        traffic = (b"GET /x.php?cmd=id HTTP/1.1\r\n"
+                   b"q=1 UNION SELECT pass FROM users\r\n"
+                   b"read /etc/passwd\r\n")
+        fired = set()
+        for rule, fsa in zip(rules, fsas):
+            if find_match_ends(fsa, traffic):
+                fired.add(rule.sid)
+        assert fired == {1001, 1002, 1004}
+
+    def test_nocase_applies_per_rule(self):
+        rules, fsas = compile_snort_rules(SAMPLE)
+        nocase_fsa = fsas[0]
+        assert find_match_ends(nocase_fsa, b"UNION SELECT")
+        case_fsa = fsas[1]
+        assert not find_match_ends(case_fsa, b"ETC/PASSWD")
+
+    def test_hex_rule_matches_binary(self):
+        rules, fsas = compile_snort_rules(SAMPLE)
+        payload = bytes([4]) + b"evil" + bytes([3]) + b"com"
+        assert find_match_ends(fsas[2], payload)
+
+
+class TestSnortRulesetEngine:
+    def test_scan_reports_rules_and_offsets(self):
+        from repro.frontend.snortlite import SnortRulesetEngine
+
+        engine = SnortRulesetEngine(SAMPLE)
+        traffic = b"GET /x.php?cmd=id UNION SELECT"
+        alerts = engine.scan(traffic)
+        sids = {rule.sid for rule, _ in alerts}
+        assert 1004 in sids
+        assert 1001 in sids  # nocase rule fires on upper case
+        ends = [end for _, end in alerts]
+        assert ends == sorted(ends)  # ordered by offset
+
+    def test_merging_factor_forwarded(self):
+        from repro.frontend.snortlite import SnortRulesetEngine
+
+        split = SnortRulesetEngine(SAMPLE, merging_factor=1)
+        merged = SnortRulesetEngine(SAMPLE, merging_factor=0)
+        traffic = b"GET /a.php?cmd=1 union select etc/passwd"
+        assert {(r.sid, e) for r, e in split.scan(traffic)} == \
+               {(r.sid, e) for r, e in merged.scan(traffic)}
+
+    def test_all_nocase_ruleset(self):
+        from repro.frontend.snortlite import SnortRulesetEngine
+
+        text = 'alert tcp a a -> a a (content:"abc"; nocase; sid:1;)'
+        engine = SnortRulesetEngine(text)
+        assert [r.sid for r, _ in engine.scan(b"xABCx")] == [1]

@@ -1,0 +1,75 @@
+"""Tests for match-span recovery (start offsets)."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.engine.spans import SpanFinder, find_spans
+
+from conftest import ere_patterns, input_strings
+
+
+class TestStartsForEnd:
+    def test_fixed_length(self):
+        finder = SpanFinder(compile_re_to_fsa("abc"))
+        assert finder.starts_for_end("zabc", 4) == {1}
+
+    def test_variable_length(self):
+        finder = SpanFinder(compile_re_to_fsa("a+"))
+        assert finder.starts_for_end("aaa", 3) == {0, 1, 2}
+
+    def test_no_match_at_end(self):
+        finder = SpanFinder(compile_re_to_fsa("abc"))
+        assert finder.starts_for_end("zzzz", 4) == set()
+
+    def test_empty_match(self):
+        finder = SpanFinder(compile_re_to_fsa("a*"))
+        assert 2 in finder.starts_for_end("bb", 2)
+
+    def test_end_out_of_range(self):
+        finder = SpanFinder(compile_re_to_fsa("a"))
+        with pytest.raises(ValueError):
+            finder.starts_for_end("a", 5)
+
+    def test_requires_epsilon_free(self):
+        from repro.automata.thompson import thompson_construct
+        from repro.frontend.parser import parse
+
+        with pytest.raises(ValueError):
+            SpanFinder(thompson_construct(parse("a|b")))
+
+
+class TestFindSpans:
+    def test_all_spans(self):
+        spans = find_spans(compile_re_to_fsa("a+"), "aab")
+        assert spans == {(0, 1), (0, 2), (1, 2)}
+
+    def test_leftmost_only(self):
+        spans = find_spans(compile_re_to_fsa("a+"), "aab", leftmost_only=True)
+        assert spans == {(0, 1), (0, 2)}
+
+    def test_disjoint_occurrences(self):
+        spans = find_spans(compile_re_to_fsa("ab"), "abxab")
+        assert spans == {(0, 2), (3, 5)}
+
+    def test_alternation_lengths(self):
+        spans = find_spans(compile_re_to_fsa("a|ba"), "ba")
+        assert spans == {(0, 2), (1, 2)}
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=120, deadline=None)
+def test_spans_agree_with_re(pattern, text):
+    """Every recovered span is a genuine match and every re-findable span
+    is recovered (all-starts mode, compared against an exhaustive oracle)."""
+    fsa = compile_re_to_fsa(pattern)
+    oracle = re.compile(f"(?:{pattern})\\Z")
+    expected = {
+        (start, end)
+        for end in range(len(text) + 1)
+        for start in range(end + 1)
+        if oracle.match(text, start, end)
+    }
+    assert find_spans(fsa, text) == expected

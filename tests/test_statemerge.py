@@ -1,0 +1,88 @@
+"""Unit tests for suffix state merging."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.epsilon import remove_epsilon
+from repro.automata.fsa import EPSILON, Fsa
+from repro.automata.simulate import accepts, find_match_ends
+from repro.automata.statemerge import merge_suffix_states
+from repro.automata.thompson import thompson_construct
+from repro.frontend.parser import parse
+from repro.labels import CharClass
+
+from conftest import ere_patterns, input_strings
+
+
+def build(pattern: str) -> Fsa:
+    return remove_epsilon(thompson_construct(parse(pattern)))
+
+
+class TestMerging:
+    def test_branch_tails_collapse(self):
+        """(k|h)bc: the two post-branch states share the bc tail (Fig. 5b)."""
+        merged = merge_suffix_states(build("(k|h)bc"))
+        pairs = {}
+        for t in merged.transitions:
+            pairs.setdefault((t.src, t.dst), []).append(t.label)
+        assert any(len(labels) == 2 for labels in pairs.values())
+
+    def test_reduces_states(self):
+        fsa = build("(abc|xbc)")
+        merged = merge_suffix_states(fsa)
+        assert merged.num_states < fsa.num_states
+
+    def test_fixpoint_iterates_upstream(self):
+        """abcz | xbcz collapses the whole shared bcz tail, not just the
+        last state."""
+        merged = merge_suffix_states(build("(abcz|xbcz)"))
+        # initial + shared b,c,z tail states + final = 5, plus the two
+        # distinct post-a / post-x states merged into one.
+        assert merged.num_states == 5
+
+    def test_distinct_tails_not_merged(self):
+        fsa = build("(ab|cd)")
+        merged = merge_suffix_states(fsa)
+        assert accepts(merged, "ab") and accepts(merged, "cd")
+        assert not accepts(merged, "ad") and not accepts(merged, "cb")
+
+    def test_finality_respected(self):
+        merged = merge_suffix_states(build("a|ab"))
+        assert accepts(merged, "a") and accepts(merged, "ab")
+        assert not accepts(merged, "b")
+
+    def test_rejects_epsilon(self):
+        fsa = Fsa()
+        s0, s1 = fsa.add_state(), fsa.add_state()
+        fsa.add_transition(s0, s1, EPSILON)
+        with pytest.raises(ValueError):
+            merge_suffix_states(fsa)
+
+    def test_max_rounds_bounds_iterations(self):
+        fsa = build("(abcz|xbcz)")
+        once = merge_suffix_states(fsa, max_rounds=1)
+        full = merge_suffix_states(fsa)
+        assert once.num_states >= full.num_states
+
+    def test_self_loops_kept(self):
+        merged = merge_suffix_states(build("ab*c"))
+        assert accepts(merged, "ac") and accepts(merged, "abbbc")
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=200, deadline=None)
+def test_merging_preserves_streaming_matches(pattern, text):
+    fsa = build(pattern)
+    merged = merge_suffix_states(fsa)
+    assert find_match_ends(fsa, text) == find_match_ends(merged, text)
+    assert merged.num_states <= fsa.num_states
+
+
+@given(ere_patterns(), input_strings())
+@settings(max_examples=150, deadline=None)
+def test_merged_agrees_with_re(pattern, text):
+    merged = merge_suffix_states(build(pattern))
+    oracle = re.compile(f"(?:{pattern})\\Z")
+    assert accepts(merged, text) == bool(oracle.match(text))

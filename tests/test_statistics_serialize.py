@@ -1,0 +1,96 @@
+"""Tests for MFSA sharing statistics and JSON serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mfsa.merge import merge_fsas
+from repro.mfsa.serialize import MfsaJsonError, dumps, loads, mfsa_to_dict
+from repro.mfsa.statistics import describe_profile, sharing_profile
+
+from conftest import compile_ruleset_fsas, ere_patterns, mfsa_equal
+
+
+def build(patterns):
+    return merge_fsas(compile_ruleset_fsas(patterns))
+
+
+class TestSharingProfile:
+    def test_histogram_partitions_transitions(self):
+        mfsa = build(["abc", "abd", "xyz"])
+        profile = sharing_profile(mfsa)
+        assert sum(profile.histogram.values()) == mfsa.num_transitions
+        assert profile.shared_transitions + profile.exclusive_transitions == \
+            mfsa.num_transitions
+
+    def test_identical_rules_fully_shared(self):
+        mfsa = build(["abc", "abc"[:3]])
+        profile = sharing_profile(mfsa)
+        assert profile.exclusive_transitions == 0
+        assert profile.max_sharing == 2
+        assert profile.rule_sharing_ratio == {0: 1.0, 1: 1.0}
+
+    def test_disjoint_rules_unshared(self):
+        profile = sharing_profile(build(["abc", "xyz"]))
+        assert profile.shared_transitions == 0
+        assert profile.pair_overlap == {}
+        assert all(ratio == 0.0 for ratio in profile.rule_sharing_ratio.values())
+
+    def test_pair_overlap_counts(self):
+        mfsa = build(["abq", "abr", "abs"])
+        profile = sharing_profile(mfsa)
+        # the shared ab prefix: each pair overlaps on those arcs
+        assert profile.pair_overlap[(0, 1)] >= 2
+        assert profile.pair_overlap[(0, 2)] >= 2
+        assert profile.top_pairs(1)[0][1] >= 2
+
+    def test_describe_renders(self):
+        text = describe_profile(sharing_profile(build(["abc", "abd"])))
+        assert "sharing histogram" in text
+        assert "rules 0 & 1" in text
+
+
+class TestJsonSerialize:
+    def test_roundtrip(self):
+        mfsa = build(["a[bc]d", "abe", "x{2,3}"])
+        assert mfsa_equal(mfsa, loads(dumps(mfsa)))
+
+    def test_roundtrip_with_indent(self):
+        mfsa = build(["ab"])
+        text = dumps(mfsa, indent=2)
+        assert "\n" in text
+        assert mfsa_equal(mfsa, loads(text))
+
+    def test_patterns_preserved(self):
+        mfsa = build(["ab", "cd"])
+        recovered = loads(dumps(mfsa))
+        assert recovered.patterns == {0: "ab", 1: "cd"}
+
+    def test_format_marker(self):
+        data = mfsa_to_dict(build(["a"]))
+        assert data["format"] == "repro-mfsa-json"
+
+    @pytest.mark.parametrize("bad", [
+        "not json at all {",
+        '{"format": "something-else"}',
+        '{"format": "repro-mfsa-json", "version": 99}',
+        '{"format": "repro-mfsa-json", "version": 1}',  # missing fields
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(MfsaJsonError):
+            loads(bad)
+
+    def test_rejects_inconsistent_document(self):
+        data = mfsa_to_dict(build(["ab"]))
+        data["transitions"][0][0] = 99  # out-of-range state
+        import json
+
+        with pytest.raises(Exception):
+            loads(json.dumps(data))
+
+
+@given(st.lists(ere_patterns(), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_json_roundtrip_property(patterns):
+    mfsa = build(patterns)
+    assert mfsa_equal(mfsa, loads(dumps(mfsa)))

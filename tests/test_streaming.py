@@ -1,0 +1,102 @@
+"""Tests for the chunked streaming matcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.imfant import IMfantEngine
+from repro.engine.streaming import StreamingMatcher
+from repro.mfsa.merge import merge_fsas
+
+from conftest import compile_ruleset_fsas, ere_patterns, input_strings
+
+
+def build(patterns):
+    return merge_fsas(compile_ruleset_fsas(patterns))
+
+
+class TestStreamingMatcher:
+    def test_single_feed_equals_oneshot(self):
+        mfsa = build(["abc", "ab"])
+        text = "zabcab"
+        matcher = StreamingMatcher(mfsa)
+        matcher.feed(text)
+        assert matcher.matches == IMfantEngine(mfsa).run(text).matches
+
+    def test_match_spanning_chunks(self):
+        mfsa = build(["hello"])
+        matcher = StreamingMatcher(mfsa)
+        assert matcher.feed("xxhel") == set()
+        assert matcher.feed("loyy") == {(0, 7)}
+
+    def test_offsets_are_absolute(self):
+        mfsa = build(["ab"])
+        matcher = StreamingMatcher(mfsa)
+        matcher.feed("ab")
+        matcher.feed("ab")
+        assert matcher.matches == {(0, 2), (0, 4)}
+        assert matcher.offset == 4
+
+    def test_feed_returns_only_new_matches(self):
+        mfsa = build(["a"])
+        matcher = StreamingMatcher(mfsa)
+        first = matcher.feed("a")
+        second = matcher.feed("b")
+        assert first == {(0, 1)}
+        assert second == set()
+
+    def test_empty_chunks_are_noops(self):
+        mfsa = build(["ab"])
+        matcher = StreamingMatcher(mfsa)
+        matcher.feed("")
+        matcher.feed(b"")
+        assert matcher.offset == 0
+
+    def test_empty_matching_rule_reports_everywhere(self):
+        mfsa = build(["a*", "b"])
+        matcher = StreamingMatcher(mfsa)
+        matcher.feed("xb")
+        assert {(0, 0), (0, 1), (0, 2), (1, 2)} <= matcher.matches
+
+    def test_reset(self):
+        mfsa = build(["ab"])
+        matcher = StreamingMatcher(mfsa)
+        matcher.feed("ab")
+        matcher.reset()
+        assert matcher.offset == 0
+        assert matcher.matches == set()
+        assert matcher.feed("ab") == {(0, 2)}
+
+    def test_feed_all(self):
+        mfsa = build(["abcd"])
+        matcher = StreamingMatcher(mfsa)
+        got = matcher.feed_all(["a", "b", "c", "d"])
+        assert got == {(0, 4)}
+
+    def test_pop_on_final_mode(self):
+        mfsa = build(["ab+"])
+        matcher = StreamingMatcher(mfsa, pop_on_final=True)
+        matcher.feed("abbb")
+        engine = IMfantEngine(mfsa, pop_on_final=True)
+        assert matcher.matches == engine.run("abbb").matches
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_any_chunking_equals_oneshot(data):
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=3))
+    text = data.draw(input_strings())
+    cut_count = data.draw(st.integers(min_value=0, max_value=4))
+    cuts = sorted(data.draw(
+        st.lists(st.integers(min_value=0, max_value=len(text)),
+                 min_size=cut_count, max_size=cut_count)))
+
+    mfsa = build(patterns)
+    expected = IMfantEngine(mfsa).run(text).matches
+
+    matcher = StreamingMatcher(mfsa)
+    previous = 0
+    for cut in cuts + [len(text)]:
+        matcher.feed(text[previous:cut])
+        previous = cut
+    assert matcher.matches == expected

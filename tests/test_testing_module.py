@@ -1,0 +1,54 @@
+"""Tests for the public repro.testing strategies."""
+
+from hypothesis import given, settings
+
+from repro.frontend.parser import parse
+from repro.testing import (
+    DEFAULT_ALPHABET,
+    ere_patterns,
+    random_patterns,
+    rulesets,
+    subject_strings,
+)
+
+
+@given(ere_patterns())
+@settings(max_examples=100, deadline=None)
+def test_generated_patterns_parse(pattern):
+    parse(pattern)  # must be syntactically valid
+
+
+@given(ere_patterns(alphabet="xy", max_depth=2))
+@settings(max_examples=50, deadline=None)
+def test_custom_alphabet_respected(pattern):
+    assert not set(pattern) & set("abcd")
+
+
+@given(subject_strings(max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_subject_strings_bounded(text):
+    assert len(text) <= 10
+    assert set(text) <= set(DEFAULT_ALPHABET)
+
+
+@given(rulesets(min_size=2, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_rulesets_sizes(patterns):
+    assert 2 <= len(patterns) <= 4
+    for pattern in patterns:
+        parse(pattern)
+
+
+class TestRandomPatterns:
+    def test_deterministic(self):
+        assert random_patterns(5, 10) == random_patterns(5, 10)
+
+    def test_seed_sensitivity(self):
+        assert random_patterns(5, 10) != random_patterns(6, 10)
+
+    def test_all_parse(self):
+        for pattern in random_patterns(1, 50):
+            parse(pattern)
+
+    def test_count(self):
+        assert len(random_patterns(0, 17)) == 17

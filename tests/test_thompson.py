@@ -1,0 +1,82 @@
+"""Unit tests for Thompson construction (AST → ε-NFA)."""
+
+import pytest
+
+from repro.automata.fsa import Fsa
+from repro.automata.simulate import accepts
+from repro.automata.thompson import thompson_construct
+from repro.frontend.parser import parse
+
+
+def build(pattern: str) -> Fsa:
+    return thompson_construct(parse(pattern), pattern=pattern)
+
+
+class TestStructure:
+    def test_literal_shape(self):
+        fsa = build("a")
+        assert fsa.num_states == 2
+        assert fsa.num_transitions == 1
+        assert not fsa.has_epsilon()
+
+    def test_single_initial_single_final(self):
+        for pattern in ("a", "ab", "a|b", "a*", "(ab){2,4}"):
+            fsa = build(pattern)
+            assert len(fsa.finals) == 1
+
+    def test_concat_uses_epsilon_glue(self):
+        fsa = build("ab")
+        assert sum(1 for t in fsa.transitions if t.is_epsilon()) == 1
+
+    def test_pattern_recorded(self):
+        assert build("ab").pattern == "ab"
+
+    def test_validates(self):
+        build("(a|b)*c{2,3}").validate()
+
+
+class TestLanguage:
+    @pytest.mark.parametrize("pattern,inside,outside", [
+        ("a", ["a"], ["", "b", "aa"]),
+        ("ab", ["ab"], ["a", "b", "ba"]),
+        ("a|b", ["a", "b"], ["", "ab"]),
+        ("a*", ["", "a", "aaaa"], ["b"]),
+        ("a+", ["a", "aa"], [""]),
+        ("a?", ["", "a"], ["aa"]),
+        ("a{3}", ["aaa"], ["aa", "aaaa"]),
+        ("a{2,}", ["aa", "aaaaa"], ["a"]),
+        ("a{1,3}", ["a", "aa", "aaa"], ["", "aaaa"]),
+        ("a{0,2}", ["", "a", "aa"], ["aaa"]),
+        ("(ab|cd)+", ["ab", "abcd", "cdab"], ["", "ac"]),
+        ("[a-c]x", ["ax", "bx", "cx"], ["dx", "x"]),
+        ("(a|)b", ["ab", "b"], ["a"]),
+        ("a{0}", [""], ["a"]),
+    ])
+    def test_membership(self, pattern, inside, outside):
+        fsa = build(pattern)
+        for s in inside:
+            assert accepts(fsa, s), (pattern, s)
+        for s in outside:
+            assert not accepts(fsa, s), (pattern, s)
+
+    def test_empty_pattern_accepts_only_empty(self):
+        fsa = build("")
+        assert accepts(fsa, "")
+        assert not accepts(fsa, "a")
+
+    def test_nested_stars(self):
+        fsa = build("((a*)*)*")
+        assert accepts(fsa, "")
+        assert accepts(fsa, "aaa")
+
+    def test_bounded_after_unbounded(self):
+        fsa = build("(a{2,})?b")
+        assert accepts(fsa, "b")
+        assert accepts(fsa, "aab")
+        assert not accepts(fsa, "ab")
+
+
+class TestBadInput:
+    def test_unknown_node_type(self):
+        with pytest.raises(TypeError):
+            thompson_construct("not an ast")  # type: ignore[arg-type]

@@ -1,0 +1,93 @@
+"""Tests for execution tracing, including the paper's Fig. 6 walk-through."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.optimize import compile_re_to_fsa
+from repro.engine.imfant import IMfantEngine
+from repro.engine.trace import trace_execution
+from repro.mfsa.merge import merge_fsas
+
+from conftest import compile_ruleset_fsas, ere_patterns, input_strings
+
+
+class TestFig6Walkthrough:
+    """The paper's Fig. 6 narrative, machine-checked: z from
+    a1 = (ad|cb)ab (rule 1) and a2 = a(b|c) (rule 2), input acbab."""
+
+    def setup_method(self):
+        mfsa = merge_fsas([(1, compile_re_to_fsa("(ad|cb)ab")),
+                           (2, compile_re_to_fsa("a(b|c)"))])
+        self.trace = trace_execution(mfsa, "acbab")
+
+    def test_five_steps(self):
+        assert len(self.trace) == 5
+
+    def test_step1_activates_both_rules(self):
+        """Reading 'a' starts match attempts for both rules and fires
+        nothing.  (Our merger shares the two rules' 'a' openers in one
+        state with J={1,2}; the paper's drawing keeps them separate —
+        both satisfy the activation semantics.)"""
+        step = self.trace.steps[0]
+        active_rules = {r for rules in step.activation.values() for r in rules}
+        assert active_rules == {1, 2}
+        assert step.fired == ()
+
+    def test_step2_match_for_rule2(self):
+        """Reading 'c': ac completes a(b|c) — a match for rule 2 only."""
+        step = self.trace.steps[1]
+        assert {rule for rule, _ in step.fired} == {2}
+
+    def test_step3_shared_state_activates_both(self):
+        """Reading 'b': the path reaches the shared state that is also
+        rule 2's initial — its activation set becomes {1, 2}."""
+        step = self.trace.steps[2]
+        assert (1, 2) in step.activation.values() or (
+            # rule 2's initial may be a distinct state; then J={1} at the
+            # cb-branch state is the expected activation
+            (1,) in step.activation.values()
+        )
+        assert step.fired == ()
+
+    def test_step5_match_for_both(self):
+        """Final 'b': cbab completes rule 1 and ab completes rule 2."""
+        step = self.trace.steps[4]
+        assert {rule for rule, _ in step.fired} == {1, 2}
+
+    def test_trace_matches_equal_engine(self):
+        mfsa = merge_fsas([(1, compile_re_to_fsa("(ad|cb)ab")),
+                           (2, compile_re_to_fsa("a(b|c)"))])
+        assert self.trace.matches() == IMfantEngine(mfsa).run("acbab").matches
+
+
+class TestTraceApi:
+    def test_describe_renders_every_step(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["ab"]))
+        text = trace_execution(mfsa, "ab").describe()
+        assert "@1 'a'" in text and "@2 'b'" in text
+        assert "MATCH rule 0" in text
+
+    def test_describe_nonprintable(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["\\x01"]))
+        text = trace_execution(mfsa, bytes([1])).describe()
+        assert "\\x01" in text
+
+    def test_dead_step_reported(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["ab"]))
+        trace = trace_execution(mfsa, "az")
+        assert trace.steps[1].activation == {}
+        assert "discarded" in trace.steps[1].describe()
+
+
+@given(st.lists(ere_patterns(), min_size=1, max_size=3), input_strings())
+@settings(max_examples=60, deadline=None)
+def test_trace_matches_equal_engine_property(patterns, text):
+    mfsa = merge_fsas(compile_ruleset_fsas(patterns))
+    trace = trace_execution(mfsa, text)
+    engine_matches = IMfantEngine(mfsa).run(text).matches
+    # the trace records only arc-driven matches: it cannot see the
+    # everywhere-matches of ε-accepting rules (no arc fires for them)
+    empty_rules = {r for r, q0 in mfsa.initials.items() if q0 in mfsa.finals[r]}
+    comparable = {(r, e) for r, e in engine_matches if r not in empty_rules}
+    traced = {(r, e) for r, e in trace.matches() if r not in empty_rules}
+    assert traced == comparable
