@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install dev test bench bench-verbose report reproduce examples clean
+.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,6 +25,12 @@ reproduce:
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
+
+# End-to-end observability smoke: compile a builtin ruleset with tracing
+# on, match 64 KB of stream, and validate the emitted Chrome-trace JSON
+# against the trace-event schema (strict key/type checks, well-nested).
+obs-smoke:
+	PYTHONPATH=src pytest tests/ -m obs -q
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \

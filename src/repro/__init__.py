@@ -21,6 +21,7 @@ See README.md for the architecture overview, DESIGN.md for the system
 inventory, and EXPERIMENTS.md for the reproduction results.
 """
 
+from repro import obs
 from repro.automata import compile_re_to_fsa
 from repro.automata.fsa import Fsa, Transition
 from repro.automata.optimize import OptimizeOptions
@@ -70,6 +71,7 @@ __all__ = [
     "merge_fsas",
     "merge_ruleset",
     "normalized_indel_similarity",
+    "obs",
     "parse",
     "read_anml",
     "reference_match",

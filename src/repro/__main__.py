@@ -1,0 +1,8 @@
+"""``python -m repro`` — umbrella CLI dispatcher (see repro.cli.main)."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,16 +6,27 @@
   (or compile on the fly), mirroring ``multithreaded_imfant``.
 * ``repro-report`` — regenerate the paper's tables/figures as text
   (the per-figure benchmarks with one command).
+* ``repro-obs`` — compile + match one ruleset with the observability
+  layer on; pretty-print the span tree and metrics, and export Chrome
+  trace / JSONL / Prometheus artifacts.
+* ``repro`` — umbrella dispatcher: ``repro <compile|match|report|viz|obs> …``.
+
+``repro-compile`` and ``repro-match`` accept ``--trace-out FILE`` and
+``--metrics-out FILE`` to capture any production invocation's spans
+(Chrome trace-event JSON, Perfetto-loadable) and metrics (Prometheus
+text exposition) without changing the command's behaviour.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import math
 import sys
 import time
 from pathlib import Path
 
+import repro.obs as obs
 from repro.anml.reader import read_anml
 from repro.engine.imfant import IMfantEngine
 from repro.engine.multithread import run_pool
@@ -45,6 +56,34 @@ def _read_patterns(path: Path) -> list[str]:
     return patterns
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                       help="write a Chrome trace-event JSON of the run's spans")
+    group.add_argument("--metrics-out", type=Path, default=None, metavar="FILE",
+                       help="write the run's metrics in Prometheus text format")
+    group.add_argument("--obs-stride", type=int, default=None, metavar="N",
+                       help="engine sampling stride (default: %d)" % obs.DEFAULT_SAMPLE_STRIDE)
+
+
+def _obs_scope(args: argparse.Namespace):
+    """A capture scope when any observability flag was given, else no-op."""
+    if args.trace_out is None and args.metrics_out is None:
+        return contextlib.nullcontext(None)
+    return obs.capture(stride=args.obs_stride)
+
+
+def _export_obs(args: argparse.Namespace, cap: "obs.ObsCapture | None") -> None:
+    if cap is None:
+        return
+    if args.trace_out is not None:
+        obs.write_chrome_trace(cap.tracer, args.trace_out)
+        print(f"wrote span trace ({len(cap.tracer.spans())} spans) to {args.trace_out}")
+    if args.metrics_out is not None:
+        obs.write_prometheus(cap.registry, args.metrics_out)
+        print(f"wrote {len(cap.registry.instruments())} metric(s) to {args.metrics_out}")
+
+
 def compile_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-compile``."""
     parser = argparse.ArgumentParser(
@@ -58,12 +97,14 @@ def compile_main(argv: list[str] | None = None) -> int:
                         help="directory for the .anml files")
     parser.add_argument("--stratify", action="store_true",
                         help="enable partial character-class merging")
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
     patterns = _read_patterns(args.ruleset)
     options = CompileOptions(merging_factor=args.merging_factor,
                              stratify_charclasses=args.stratify)
-    result = compile_ruleset(patterns, options)
+    with _obs_scope(args) as cap:
+        result = compile_ruleset(patterns, options)
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     assert result.anml is not None
@@ -79,6 +120,7 @@ def compile_main(argv: list[str] | None = None) -> int:
     print("stage times (s): " + ", ".join(
         f"{name}={seconds:.4f}" for name, seconds in result.stage_times.as_dict().items()))
     print(f"wrote {len(result.anml)} file(s) to {args.output_dir}/")
+    _export_obs(args, cap)
     return 0
 
 
@@ -101,27 +143,29 @@ def match_main(argv: list[str] | None = None) -> int:
                         help="report each rule's first match only (early exit)")
     parser.add_argument("--show-matches", type=int, default=10, metavar="N",
                         help="print the first N matches (0 = none)")
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
-    if args.mfsa_dir is not None:
-        files = sorted(args.mfsa_dir.glob("*.anml"))
-        if not files:
-            raise SystemExit(f"no .anml files in {args.mfsa_dir}")
-        mfsas = [read_anml(path.read_text()) for path in files]
-    else:
-        patterns = _read_patterns(args.ruleset)
-        result = compile_ruleset(patterns, CompileOptions(merging_factor=args.merging_factor,
-                                                          emit_anml=False))
-        mfsas = result.mfsas
+    with _obs_scope(args) as cap:
+        if args.mfsa_dir is not None:
+            files = sorted(args.mfsa_dir.glob("*.anml"))
+            if not files:
+                raise SystemExit(f"no .anml files in {args.mfsa_dir}")
+            mfsas = [read_anml(path.read_text()) for path in files]
+        else:
+            patterns = _read_patterns(args.ruleset)
+            result = compile_ruleset(patterns, CompileOptions(merging_factor=args.merging_factor,
+                                                              emit_anml=False))
+            mfsas = result.mfsas
 
-    data = args.stream.read_bytes()
-    engines = [
-        IMfantEngine(mfsa, backend=args.backend, single_match=args.single_match)
-        for mfsa in mfsas
-    ]
-    started = time.perf_counter()
-    matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
-    elapsed = time.perf_counter() - started
+        data = args.stream.read_bytes()
+        engines = [
+            IMfantEngine(mfsa, backend=args.backend, single_match=args.single_match)
+            for mfsa in mfsas
+        ]
+        started = time.perf_counter()
+        matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
+        elapsed = time.perf_counter() - started
 
     print(f"matched {len(data)} bytes against {len(mfsas)} MFSA(s) "
           f"({sum(len(m.initials) for m in mfsas)} rules) on {args.threads} thread(s)")
@@ -129,6 +173,7 @@ def match_main(argv: list[str] | None = None) -> int:
           f"transitions examined: {stats.transitions_examined}")
     for rule, end in sorted(matches)[: args.show_matches]:
         print(f"  rule {rule} matched ending at offset {end}")
+    _export_obs(args, cap)
     return 0
 
 
@@ -296,5 +341,144 @@ _REPORTS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# repro obs — capture and pretty-print a run's observability artifacts
+# ---------------------------------------------------------------------------
+
+
+def _demo_stream(patterns: list[str], size: int, seed: int = 1) -> bytes:
+    """A deterministic stream mixing ruleset literal material with noise
+    (enough match activity to make the runtime histograms interesting)."""
+    import random
+
+    rng = random.Random(seed)
+    literals = []
+    for pattern in patterns:
+        core = "".join(ch for ch in pattern if ch.isalnum() or ch in " _-/.:")
+        if core:
+            literals.append(core)
+    alphabet = sorted({ch for lit in literals for ch in lit} | set("abcxyz 01"))
+    chunks: list[str] = []
+    produced = 0
+    while produced < size:
+        if literals and rng.random() < 0.3:
+            piece = rng.choice(literals)
+        else:
+            piece = "".join(rng.choice(alphabet) for _ in range(rng.randint(2, 12)))
+        chunks.append(piece)
+        produced += len(piece)
+    return "".join(chunks).encode("latin-1")[:size]
+
+
+def obs_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-obs`` (also ``repro obs``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Run compile+match with the observability layer on and "
+                    "export/pretty-print the captured spans and metrics.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--ruleset", type=Path, help="ruleset file, one ERE per line")
+    source.add_argument("--builtin", type=str, metavar="NAME",
+                        help="curated builtin ruleset (see repro.datasets.list_builtin)")
+    parser.add_argument("--stream", type=Path, default=None,
+                        help="input stream file (default: generated)")
+    parser.add_argument("--stream-size", type=int, default=65536, metavar="BYTES",
+                        help="generated stream size (default 64 KiB)")
+    parser.add_argument("-m", "--merging-factor", type=int, default=0)
+    parser.add_argument("-t", "--threads", type=int, default=1)
+    parser.add_argument("--backend", choices=("python", "numpy"), default="python")
+    parser.add_argument("--stride", type=int, default=None, metavar="N",
+                        help="engine sampling stride (default: %d)" % obs.DEFAULT_SAMPLE_STRIDE)
+    parser.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                        help="write the Chrome trace-event JSON here")
+    parser.add_argument("--spans-out", type=Path, default=None, metavar="FILE",
+                        help="write the JSON-lines span dump here")
+    parser.add_argument("--metrics-out", type=Path, default=None, metavar="FILE",
+                        help="write the Prometheus text exposition here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="skip the pretty-printed span tree / metric summary")
+    args = parser.parse_args(argv)
+
+    if args.builtin is not None:
+        from repro.datasets import load_builtin
+
+        try:
+            patterns = list(load_builtin(args.builtin).patterns)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+    else:
+        patterns = _read_patterns(args.ruleset)
+    data = args.stream.read_bytes() if args.stream else _demo_stream(patterns, args.stream_size)
+
+    with obs.capture(stride=args.stride) as cap:
+        result = compile_ruleset(
+            patterns, CompileOptions(merging_factor=args.merging_factor, emit_anml=True)
+        )
+        engines = [IMfantEngine(m, backend=args.backend) for m in result.mfsas]
+        matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
+    cap.tracer.validate()
+
+    print(f"captured {len(cap.tracer.spans())} span(s) and "
+          f"{len(cap.registry.instruments())} metric(s): "
+          f"{len(patterns)} rule(s), {len(result.mfsas)} MFSA(s), "
+          f"{len(data)} bytes, {len(matches)} match(es)")
+    if not args.quiet:
+        print()
+        print("span tree (wall / cpu):")
+        for line in cap.tracer.tree_lines():
+            print("  " + line)
+        print()
+        print("metrics:")
+        for inst in cap.registry.instruments():
+            snap = inst.snapshot()
+            if snap["kind"] == "histogram":
+                print(f"  {inst.name}: count={snap['count']} mean={inst.mean:.2f} "
+                      f"min={snap['min']} max={snap['max']}")
+            else:
+                print(f"  {inst.name}: {snap['value']:g}")
+    if args.trace_out is not None:
+        obs.write_chrome_trace(cap.tracer, args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out} (open in Perfetto)")
+    if args.spans_out is not None:
+        obs.write_jsonl(cap.tracer, args.spans_out)
+        print(f"wrote span JSONL to {args.spans_out}")
+    if args.metrics_out is not None:
+        obs.write_prometheus(cap.registry, args.metrics_out)
+        print(f"wrote Prometheus metrics to {args.metrics_out}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro — umbrella dispatcher
+# ---------------------------------------------------------------------------
+
+_SUBCOMMANDS = {
+    "compile": compile_main,
+    "match": match_main,
+    "report": report_main,
+    "viz": viz_main,
+    "obs": obs_main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro``: dispatch to ``repro <subcommand> …``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(sorted(_SUBCOMMANDS))
+        print(f"usage: repro {{{names}}} [options]\n"
+              f"run 'repro <subcommand> --help' for subcommand options")
+        return 0 if argv else 2
+    command = argv[0]
+    handler = _SUBCOMMANDS.get(command)
+    if handler is None:
+        names = ", ".join(sorted(_SUBCOMMANDS))
+        print(f"repro: unknown subcommand {command!r} (choose from {names})",
+              file=sys.stderr)
+        return 2
+    return handler(argv[1:])
+
+
 if __name__ == "__main__":
-    sys.exit(report_main())
+    sys.exit(main())

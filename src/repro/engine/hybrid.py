@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import repro.obs as obs
 from repro.counting.build import build_counting_fsa
 from repro.counting.engine import CountingSetEngine
 from repro.engine.counters import ExecutionStats
@@ -113,14 +114,23 @@ class HybridEngine:
             mfsa_count=self._mfsa_count,
         )
         matches: set[tuple[int, int]] = set()
-        for engine in self._mfsa_engines:
-            result = engine.run(data)
-            report.stats.merge(result.stats)
-            matches.update(
-                (self._merged_remap[rule], end) for rule, end in result.matches
-            )
-        for engine in self._counting_engines:
-            result = engine.run(data)
-            report.stats.merge(result.stats)
-            matches |= result.matches
+        with obs.span(
+            "hybrid.run",
+            merged_rules=report.merged_rules,
+            counting_rules=report.counting_rules,
+            mfsas=report.mfsa_count,
+        ) as sp:
+            with obs.span("hybrid.merged", engines=len(self._mfsa_engines)):
+                for engine in self._mfsa_engines:
+                    result = engine.run(data)
+                    report.stats.merge(result.stats)
+                    matches.update(
+                        (self._merged_remap[rule], end) for rule, end in result.matches
+                    )
+            with obs.span("hybrid.counting", engines=len(self._counting_engines)):
+                for engine in self._counting_engines:
+                    result = engine.run(data)
+                    report.stats.merge(result.stats)
+                    matches |= result.matches
+            sp.set(matches=len(matches))
         return matches, report

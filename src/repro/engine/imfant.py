@@ -30,6 +30,7 @@ from typing import Iterable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine.counters import ExecutionStats, RunResult
 from repro.engine.tables import MfsaTables, limbs_for
 from repro.mfsa.model import Mfsa
@@ -67,17 +68,25 @@ class IMfantEngine:
 
     def run(self, data: bytes | str, collect_stats: bool = True) -> RunResult:
         payload = data.encode("latin-1") if isinstance(data, str) else data
-        if self.backend == "numpy":
-            result = self._run_numpy(payload, collect_stats)
-        else:
-            result = self._run_python(payload, collect_stats)
-        if self.single_match:
-            firsts: dict[int, int] = {}
-            for rule, end in result.matches:
-                if rule not in firsts or end < firsts[rule]:
-                    firsts[rule] = end
-            result.matches = {(rule, end) for rule, end in firsts.items()}
-            result.stats.match_count = len(result.matches)
+        with obs.span(
+            "imfant.run",
+            backend=self.backend,
+            states=self.tables.num_states,
+            rules=self.tables.num_rules,
+            bytes=len(payload),
+        ) as sp:
+            if self.backend == "numpy":
+                result = self._run_numpy(payload, collect_stats)
+            else:
+                result = self._run_python(payload, collect_stats)
+            if self.single_match:
+                firsts: dict[int, int] = {}
+                for rule, end in result.matches:
+                    if rule not in firsts or end < firsts[rule]:
+                        firsts[rule] = end
+                result.matches = {(rule, end) for rule, end in firsts.items()}
+                result.stats.match_count = len(result.matches)
+            sp.set(matches=result.stats.match_count)
         return result
 
     # -- python backend ------------------------------------------------------
@@ -104,6 +113,8 @@ class IMfantEngine:
         for rule in tables.empty_matching_rules:
             matched_rules |= 1 << rule_to_slot[rule]
         consumed = 0
+        sampler = obs.engine_sampler("imfant")
+        stride = sampler.stride if sampler is not None else 0
         started = time.perf_counter()
         active: dict[int, int] = {}  # state -> activation bitmask J
         for position, byte in enumerate(payload, start=1):
@@ -138,6 +149,14 @@ class IMfantEngine:
                         peak = n
                 stats.active_pair_total += total
                 stats.max_state_activation = peak
+            if sampler is not None and position % stride == 0:
+                pairs = 0
+                width = 0
+                for mask in active.values():
+                    if mask:
+                        width += 1
+                        pairs += mask.bit_count()
+                sampler.observe(pairs, width, len(enabled))
         stats.wall_seconds = time.perf_counter() - started
         stats.chars_processed = consumed if self.single_match else len(payload)
         stats.match_count = len(matches)
@@ -163,6 +182,8 @@ class IMfantEngine:
         for rule in tables.empty_matching_rules:
             matches.update((rule, end) for end in range(len(payload) + 1))
 
+        sampler = obs.engine_sampler("imfant")
+        stride = sampler.stride if sampler is not None else 0
         started = time.perf_counter()
         sv = np.zeros((tables.num_states, limbs), dtype=np.uint64)
         scratch = np.zeros_like(sv)
@@ -171,6 +192,10 @@ class IMfantEngine:
             if src is None:
                 if sv.any():
                     sv.fill(0)
+                # keep the sampled positions (and the all-dead observation)
+                # aligned with the python backend's empty-symbol path
+                if sampler is not None and position % stride == 0:
+                    sampler.observe(0, 0, 0)
                 continue
             dst = dst_tab[byte]
             bel = bel_tab[byte]
@@ -200,6 +225,13 @@ class IMfantEngine:
                 peak = int(popcounts.max()) if popcounts.size else 0
                 if peak > stats.max_state_activation:
                     stats.max_state_activation = peak
+            if sampler is not None and position % stride == 0:
+                popcounts = _popcount_rows(sv)
+                sampler.observe(
+                    int(popcounts.sum()),
+                    int(np.count_nonzero(popcounts)),
+                    len(src),
+                )
         stats.wall_seconds = time.perf_counter() - started
         stats.chars_processed = len(payload)
         stats.match_count = len(matches)

@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+import repro.obs as obs
 from repro.automata.fsa import Fsa
 from repro.engine.counters import ExecutionStats, RunResult
 from repro.engine.tables import FsaTables
@@ -50,6 +51,18 @@ class INfantEngine:
         off).
         """
         payload = data.encode("latin-1") if isinstance(data, str) else data
+        with obs.span(
+            "infant.run",
+            backend=self.backend,
+            rule=self.rule_id,
+            states=self.tables.num_states,
+            bytes=len(payload),
+        ) as sp:
+            result = self._run(payload, collect_stats)
+            sp.set(matches=result.stats.match_count)
+        return result
+
+    def _run(self, payload: bytes, collect_stats: bool) -> RunResult:
         if self._np is not None:
             return self._run_numpy(payload, collect_stats)
         tables = self.tables
@@ -63,6 +76,8 @@ class INfantEngine:
         if tables.accepts_empty:
             matches.update((self.rule_id, end) for end in range(len(payload) + 1))
 
+        sampler = obs.engine_sampler("infant")
+        stride = sampler.stride if sampler is not None else 0
         started = time.perf_counter()
         active: set[int] = set()
         for position, byte in enumerate(payload, start=1):
@@ -79,6 +94,9 @@ class INfantEngine:
                 stats.active_pair_total += len(active)
                 if len(active) > stats.max_state_activation:
                     stats.max_state_activation = len(active)
+            if sampler is not None and position % stride == 0:
+                # one rule: active pairs == frontier width == |active|
+                sampler.observe(len(active), len(active), len(enabled))
         stats.wall_seconds = time.perf_counter() - started
         stats.chars_processed = len(payload)
         stats.match_count = len(matches)
@@ -96,6 +114,8 @@ class INfantEngine:
             matches.update((self.rule_id, end) for end in range(len(payload) + 1))
 
         limbs = np_tables.limbs
+        sampler = obs.engine_sampler("infant")
+        stride = sampler.stride if sampler is not None else 0
         started = time.perf_counter()
         sv = np.zeros(limbs, dtype=np.uint64)
         scratch = np.zeros(limbs, dtype=np.uint64)
@@ -107,6 +127,8 @@ class INfantEngine:
             if src_limb is None:
                 if sv.any():
                     sv.fill(0)
+                if sampler is not None and position % stride == 0:
+                    sampler.observe(0, 0, 0)
                 continue
             sv[init_limb] |= init_mask  # new attempts start every offset
             # gather: which evaluated transitions have an active source?
@@ -124,6 +146,9 @@ class INfantEngine:
                 stats.active_pair_total += popcount
                 if popcount > stats.max_state_activation:
                     stats.max_state_activation = popcount
+            if sampler is not None and position % stride == 0:
+                popcount = int(np.bitwise_count(sv).sum())
+                sampler.observe(popcount, popcount, len(src_limb))
         stats.wall_seconds = time.perf_counter() - started
         stats.chars_processed = len(payload)
         stats.match_count = len(matches)

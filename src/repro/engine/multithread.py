@@ -27,6 +27,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import repro.obs as obs
 from repro.engine.counters import ExecutionStats, RunResult
 
 
@@ -123,11 +124,26 @@ def run_pool(
 ) -> tuple[set[tuple[int, int]], ExecutionStats]:
     """Execute engine runs on a real thread pool; returns the union of
     matches and the merged statistics.  Functional correctness only —
-    wall-clock scaling is limited by the GIL for the Python engines."""
+    wall-clock scaling is limited by the GIL for the Python engines.
+
+    Observability: the whole pool run is one ``run_pool`` span; each
+    runner executes inside a ``run_pool.worker`` child span explicitly
+    parented to it (workers run on pool threads, so automatic per-thread
+    nesting cannot see the caller's stack).  Worker spans close even
+    when a runner raises — the exception marks the span and propagates.
+    """
     matches: set[tuple[int, int]] = set()
     totals = ExecutionStats()
-    with ThreadPoolExecutor(max_workers=num_threads) as pool:
-        for result in pool.map(lambda fn: fn(), runners):
-            matches |= result.matches
-            totals.merge(result.stats)
+    with obs.span("run_pool", automata=len(runners), threads=num_threads) as pool_span:
+
+        def invoke(item: tuple[int, Callable[[], RunResult]]) -> RunResult:
+            index, runner = item
+            with obs.span("run_pool.worker", parent=pool_span, automaton=index):
+                return runner()
+
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            for result in pool.map(invoke, enumerate(runners)):
+                matches |= result.matches
+                totals.merge(result.stats)
+        pool_span.set(matches=len(matches))
     return matches, totals

@@ -10,6 +10,7 @@ form of the paper's figures (the Fig. 6 walk-through is a test).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.engine.tables import MfsaTables
@@ -61,6 +62,55 @@ class ExecutionTrace:
 
     def describe(self) -> str:
         return "\n".join(step.describe() for step in self.steps)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise the trace (exportable next to repro.obs span dumps).
+
+        The schema is stable and round-trips through :meth:`from_json`:
+        activation keys become strings (JSON objects), rule tuples become
+        lists; ``from_json`` restores the exact in-memory form.
+        """
+        return json.dumps(
+            {
+                "version": 1,
+                "steps": [
+                    {
+                        "position": step.position,
+                        "byte": step.byte,
+                        "activation": {
+                            str(state): list(rules)
+                            for state, rules in sorted(step.activation.items())
+                        },
+                        "fired": [list(pair) for pair in step.fired],
+                    }
+                    for step in self.steps
+                ],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionTrace":
+        """Inverse of :meth:`to_json` (raises ``ValueError`` on bad input)."""
+        document = json.loads(text)
+        if not isinstance(document, dict) or "steps" not in document:
+            raise ValueError("not an ExecutionTrace JSON document")
+        steps = []
+        for row in document["steps"]:
+            steps.append(
+                StepTrace(
+                    position=int(row["position"]),
+                    byte=int(row["byte"]),
+                    activation={
+                        int(state): tuple(int(r) for r in rules)
+                        for state, rules in row["activation"].items()
+                    },
+                    fired=tuple(
+                        (int(rule), int(state)) for rule, state in row["fired"]
+                    ),
+                )
+            )
+        return cls(steps=steps)
 
 
 def trace_execution(mfsa: Mfsa, data: bytes | str) -> ExecutionTrace:

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+import repro.obs as obs
 from repro.automata.fsa import Fsa
 from repro.mfsa.model import Mfsa, MTransition, from_single_fsa
 
@@ -144,15 +145,22 @@ def merge_fsas(
     stats.input_states = sum(fsa.num_states for _, fsa in items)
     stats.input_transitions = sum(fsa.num_transitions for _, fsa in items)
 
-    first_rule, first_fsa = items[0]
-    mfsa = from_single_fsa(first_rule, first_fsa)
-    structures: list[MergingStructure] = []
-    for rule, fsa in items[1:]:
-        structures = _merge_one(mfsa, rule, fsa, stats, seed_cap, strategy, min_walk_len)
+    with obs.span("merge.group", rules=len(items)) as group_span:
+        first_rule, first_fsa = items[0]
+        mfsa = from_single_fsa(first_rule, first_fsa)
+        structures: list[MergingStructure] = []
+        for rule, fsa in items[1:]:
+            structures = _merge_one(mfsa, rule, fsa, stats, seed_cap, strategy, min_walk_len)
 
-    stats.output_states = mfsa.num_states
-    stats.output_transitions = mfsa.num_transitions
-    mfsa.validate()
+        stats.output_states = mfsa.num_states
+        stats.output_transitions = mfsa.num_transitions
+        mfsa.validate()
+        group_span.set(
+            seeds_tried=stats.label_comparisons,
+            walk_steps=stats.walk_steps,
+            output_states=stats.output_states,
+            state_compression=round(stats.state_compression, 3),
+        )
     if collect_structures:
         return mfsa, structures
     return mfsa
@@ -232,11 +240,21 @@ def _merge_one(
     strategy: str = "longest-first",
     min_walk_len: int = 1,
 ) -> list[MergingStructure]:
-    structures = _find_merging_structures(mfsa, fsa, stats, seed_cap)
-    if min_walk_len > 1:
-        structures = [ms for ms in structures if len(ms) >= min_walk_len]
-    mapping = _consistent_mapping(mfsa, structures, strategy)
-    _relabel_and_merge(mfsa, rule, fsa, mapping, stats)
+    seeds_before = stats.label_comparisons
+    with obs.span("merge.fsa", rule=rule) as sp:
+        structures = _find_merging_structures(mfsa, fsa, stats, seed_cap)
+        walks_found = len(structures)
+        if min_walk_len > 1:
+            structures = [ms for ms in structures if len(ms) >= min_walk_len]
+        mapping = _consistent_mapping(mfsa, structures, strategy)
+        _relabel_and_merge(mfsa, rule, fsa, mapping, stats)
+        sp.set(
+            seeds_tried=stats.label_comparisons - seeds_before,
+            walks_found=walks_found,
+            walks_kept=len(structures),
+            walks_discarded=walks_found - len(structures),
+            mapped_states=len(mapping),
+        )
     return structures
 
 

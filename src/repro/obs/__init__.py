@@ -1,0 +1,156 @@
+"""repro.obs — the unified observability layer.
+
+One instrumentation substrate for the whole compile→match pipeline:
+
+* :mod:`repro.obs.spans` — nestable, thread-safe structured spans with
+  wall + CPU time and attributes (stage timing, engine runs, merge
+  progress, pool workers);
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms, including
+  the strided engine sampling of active-set size, frontier width, and
+  transitions-per-byte;
+* :mod:`repro.obs.exporters` — JSON-lines span dumps, Chrome
+  trace-event JSON (Perfetto-loadable, thread lanes), Prometheus text
+  exposition.
+
+Everything is **off by default** and stays off the hot path: the only
+cost left in instrumented code is a global load + ``is None`` test.
+Turn it on globally with :func:`repro.obs.enable` (or ``REPRO_OBS=1``),
+or scoped:
+
+    import repro.obs as obs
+
+    with obs.capture() as cap:
+        result = compile_ruleset(patterns)
+        engine.run(stream)
+    print("\\n".join(cap.tracer.tree_lines()))
+    print(obs.metrics_to_prometheus(cap.registry))
+
+The ``repro obs`` CLI subcommand (see :mod:`repro.cli`) wraps exactly
+this flow; ``--trace-out``/``--metrics-out`` on ``repro-compile`` /
+``repro-match`` capture production invocations.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.obs.exporters import (
+    metrics_to_prometheus,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_SAMPLE_STRIDE,
+    Counter,
+    EngineSampler,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    engine_sampler,
+    sample_stride,
+    set_sample_stride,
+)
+from repro.obs.spans import NOOP_SPAN, Span, Tracer, iter_tree, span
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "iter_tree",
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EngineSampler",
+    "engine_sampler",
+    "sample_stride",
+    "set_sample_stride",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_SAMPLE_STRIDE",
+    "enable",
+    "disable",
+    "is_enabled",
+    "get_tracer",
+    "get_registry",
+    "capture",
+    "ObsCapture",
+    "spans_to_jsonl",
+    "spans_to_chrome_trace",
+    "metrics_to_prometheus",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+
+def enable(
+    tracer: Tracer | None = None, registry: MetricsRegistry | None = None
+) -> tuple[Tracer, MetricsRegistry]:
+    """Turn on both spans and metrics globally; returns the pair."""
+    return _spans.enable(tracer), _metrics.enable(registry)
+
+
+def disable() -> None:
+    """Turn off both spans and metrics globally."""
+    _spans.disable()
+    _metrics.disable()
+
+
+def is_enabled() -> bool:
+    """True when *either* side of the layer is active."""
+    return _spans.is_enabled() or _metrics.is_enabled()
+
+
+def get_tracer() -> Tracer | None:
+    return _spans.get_tracer()
+
+
+def get_registry() -> MetricsRegistry | None:
+    return _metrics.get_registry()
+
+
+@dataclass
+class ObsCapture:
+    """The artifacts of one :func:`capture` scope."""
+
+    tracer: Tracer
+    registry: MetricsRegistry
+
+
+@contextmanager
+def capture(stride: int | None = None) -> Iterator[ObsCapture]:
+    """Scoped observability: fresh tracer + registry for the block.
+
+    Restores whatever was active before on exit (including "nothing"),
+    so captures nest and never leak global state — the form tests and
+    the CLI use.  ``stride`` overrides the engine sampling stride within
+    the scope.
+    """
+    prev_tracer = _spans.get_tracer()
+    prev_registry = _metrics.get_registry()
+    prev_stride = _metrics.sample_stride()
+    tracer = _spans.enable(Tracer())
+    registry = _metrics.enable(MetricsRegistry())
+    if stride is not None:
+        _metrics.set_sample_stride(stride)
+    try:
+        yield ObsCapture(tracer=tracer, registry=registry)
+    finally:
+        _metrics.set_sample_stride(prev_stride)
+        if prev_tracer is None:
+            _spans.disable()
+        else:
+            _spans.enable(prev_tracer)
+        if prev_registry is None:
+            _metrics.disable()
+        else:
+            _metrics.enable(prev_registry)

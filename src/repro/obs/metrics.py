@@ -1,0 +1,384 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+The runtime-distribution side of the observability layer (spans answer
+"where did the time go", metrics answer "what did the run look like"):
+per-symbol active-set sizes, frontier widths, transitions evaluated per
+byte — the quantities behind the paper's Table II and the §VI-C
+active-set discussion — plus whatever counters/gauges call sites want.
+
+Instruments are get-or-create by name from a :class:`MetricsRegistry`;
+the module-level accessors mirror :mod:`repro.obs.spans`: when no
+registry is active, :func:`engine_sampler` returns ``None`` and the
+engines skip their per-byte sampling entirely (their only residual cost
+is one ``is not None`` test per consumed byte).
+
+Engine sampling is *strided*: every ``stride``-th position is observed
+(default :data:`DEFAULT_SAMPLE_STRIDE`, override via
+``REPRO_OBS_STRIDE`` or :func:`set_sample_stride`).  Both iMFAnt
+backends sample the same positions with the same definitions, so their
+histograms agree exactly — the cross-backend invariant the engines
+already guarantee for work counters, extended to distributions (tested).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EngineSampler",
+    "DEFAULT_SAMPLE_STRIDE",
+    "DEFAULT_BUCKETS",
+    "enable",
+    "disable",
+    "get_registry",
+    "is_enabled",
+    "engine_sampler",
+    "sample_stride",
+    "set_sample_stride",
+]
+
+#: Exponential bucket upper bounds (≤) for the runtime histograms:
+#: 1, 2, 4, … 4096 covers active sets from "one rule alive" to the
+#: pathological-merge regime; +Inf is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(float(2 ** i) for i in range(13))
+
+#: Sample every Nth consumed byte in the engines.
+DEFAULT_SAMPLE_STRIDE = 64
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket distribution (Prometheus-style cumulative export).
+
+    ``bounds`` are inclusive upper edges of the finite buckets; an
+    implicit +Inf bucket catches the rest.  ``counts`` are *per-bucket*
+    (non-cumulative) internally; the exporter accumulates.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "bounds", "counts", "_sum", "_count", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, bounds: Iterable[float] | None = None, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        edges = tuple(sorted(float(b) for b in (bounds if bounds is not None else DEFAULT_BUCKETS)))
+        if not edges:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(edges)) != len(edges):
+            raise ValueError("duplicate histogram bucket bounds")
+        self.bounds = edges
+        self.counts = [0] * (len(edges) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        # linear scan: bucket lists are short (≤ ~16) and the scan is
+        # cheaper than bisect's call overhead at these sizes
+        index = 0
+        bounds = self.bounds
+        while index < len(bounds) and value > bounds[index]:
+            index += 1
+        with self._lock:
+            self.counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float | None:
+        return self._min
+
+    @property
+    def max(self) -> float | None:
+        return self._max
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs ending with (+Inf, count)."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self._sum,
+            "count": self._count,
+            "min": self._min,
+            "max": self._max,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create accessors.
+
+    Re-requesting a name returns the existing instrument; requesting it
+    as a different kind raises (names are global within a registry).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as {existing.kind}, "
+                        f"requested {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(self, name: str, bounds: Iterable[float] | None = None, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, bounds=bounds, help=help)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def instruments(self) -> list[Counter | Gauge | Histogram]:
+        with self._lock:
+            return [self._instruments[name] for name in sorted(self._instruments)]
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        """JSON-ready snapshot of every instrument."""
+        return {inst.name: inst.snapshot() for inst in self.instruments()}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+# ---------------------------------------------------------------------------
+# Engine sampling
+# ---------------------------------------------------------------------------
+
+
+class EngineSampler:
+    """Per-run bundle of the three runtime histograms + a sampling stride.
+
+    One instance is created at the top of an engine run (so histogram
+    lookups stay out of the byte loop); :meth:`observe` is called at the
+    sampled positions only.
+    """
+
+    __slots__ = ("stride", "active_set", "frontier", "transitions", "samples")
+
+    def __init__(self, prefix: str, registry: MetricsRegistry, stride: int) -> None:
+        if stride < 1:
+            raise ValueError("sampling stride must be >= 1")
+        self.stride = stride
+        self.active_set = registry.histogram(
+            f"{prefix}_active_set_size",
+            help="active (state, rule) pairs at sampled positions",
+        )
+        self.frontier = registry.histogram(
+            f"{prefix}_frontier_width",
+            help="distinct active states at sampled positions",
+        )
+        self.transitions = registry.histogram(
+            f"{prefix}_transitions_per_byte",
+            help="transitions evaluated for the sampled consumed byte",
+        )
+        self.samples = registry.counter(
+            f"{prefix}_samples_total", help="positions sampled"
+        )
+
+    def observe(self, active_pairs: int, frontier_width: int, transitions: int) -> None:
+        self.active_set.observe(active_pairs)
+        self.frontier.observe(frontier_width)
+        self.transitions.observe(transitions)
+        self.samples.inc()
+
+
+# ---------------------------------------------------------------------------
+# Module-level switchboard
+# ---------------------------------------------------------------------------
+
+_ACTIVE: MetricsRegistry | None = None
+_STRIDE = DEFAULT_SAMPLE_STRIDE
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install (and return) the active registry; a fresh one by default."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def get_registry() -> MetricsRegistry | None:
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def sample_stride() -> int:
+    return _STRIDE
+
+
+def set_sample_stride(stride: int) -> None:
+    """Set the global engine sampling stride (1 = every byte)."""
+    global _STRIDE
+    if stride < 1:
+        raise ValueError("sampling stride must be >= 1")
+    _STRIDE = stride
+
+
+def engine_sampler(prefix: str) -> EngineSampler | None:
+    """An :class:`EngineSampler` on the active registry, or None when off.
+
+    The engines call this once per run; a ``None`` return removes all
+    sampling work from the run.
+    """
+    registry = _ACTIVE
+    if registry is None:
+        return None
+    return EngineSampler(prefix, registry, _STRIDE)
+
+
+def _env_stride() -> None:  # pragma: no cover - env-dependent
+    raw = os.environ.get("REPRO_OBS_STRIDE")
+    if raw:
+        try:
+            set_sample_stride(int(raw))
+        except ValueError:
+            pass
+
+
+_env_stride()
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Merge instrument snapshots of the *same* instrument (sharded runs).
+
+    Counters/gauges sum; histograms require identical bounds and sum
+    counts element-wise.  Used by callers aggregating per-shard
+    registries into fleet totals.
+    """
+    merged: dict[str, Any] | None = None
+    for snap in snapshots:
+        if merged is None:
+            merged = dict(snap)
+            if "counts" in merged:
+                merged["counts"] = list(merged["counts"])
+            continue
+        if snap["kind"] != merged["kind"] or snap["name"] != merged["name"]:
+            raise ValueError("cannot merge snapshots of different instruments")
+        if merged["kind"] == "histogram":
+            if list(snap["bounds"]) != list(merged["bounds"]):
+                raise ValueError("histogram bounds differ")
+            merged["counts"] = [a + b for a, b in zip(merged["counts"], snap["counts"])]
+            merged["sum"] += snap["sum"]
+            merged["count"] += snap["count"]
+            for key, pick in (("min", min), ("max", max)):
+                values = [v for v in (merged.get(key), snap.get(key)) if v is not None]
+                merged[key] = pick(values) if values else None
+        else:
+            merged["value"] += snap["value"]
+    if merged is None:
+        raise ValueError("no snapshots to merge")
+    return merged

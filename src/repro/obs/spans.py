@@ -1,0 +1,369 @@
+"""Structured span tracing: the timing substrate of the observability layer.
+
+A *span* is one named, attributed interval of work — a compile stage, an
+engine run, a merge step, a worker's slice of a thread-pool run.  Spans
+nest: each thread keeps a stack, so ``with span("a"): with span("b")``
+records ``b`` as a child of ``a``; cross-thread children (pool workers
+under the pool's run span) pass ``parent=`` explicitly.  Every span
+carries wall time (``time.perf_counter``) *and* CPU time
+(``time.thread_time``), so off-CPU waits are visible, plus free-form
+attributes attached at open or close.
+
+Design constraints (mirroring the paper's measurement discipline and
+production tracers alike):
+
+* **Monotonic, high-resolution clocks only.**  All timing here and in
+  the code instrumented with it uses ``perf_counter``/``thread_time``;
+  wall-clock epoch time appears only once, as the tracer's anchor for
+  exporters that want absolute timestamps.
+* **Near-zero cost when disabled.**  The module-level :func:`span`
+  fast-path is one global load and an ``is None`` test returning a
+  shared no-op context manager — safe to leave in per-run (not per-byte)
+  code unconditionally.  Per-byte sampling in the engines is additionally
+  gated by its own ``is None`` check (see :mod:`repro.obs.metrics`).
+* **Thread safety.**  Span stacks are thread-local; the finished-span
+  list is lock-protected; ids come from an atomic counter.
+
+Enable with :func:`enable` / the ``REPRO_OBS=1`` environment variable,
+or scoped with :func:`repro.obs.capture`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One recorded interval (see module docstring)."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    thread_name: str
+    #: seconds on the tracer's ``perf_counter`` timeline
+    start: float
+    end: float | None = None
+    #: seconds of this thread's CPU time (``time.thread_time``)
+    cpu_start: float = 0.0
+    cpu_end: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    #: ``"ok"`` or ``"error"`` (an exception escaped the span body)
+    status: str = "ok"
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def cpu_time(self) -> float:
+        """CPU seconds of the owning thread (0.0 while still open)."""
+        return 0.0 if self.cpu_end is None else self.cpu_end - self.cpu_start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach/overwrite attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (the JSONL exporter's row)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "thread_name": self.thread_name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "cpu_time": self.cpu_time,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _SpanContext:
+    """Context manager for one live span (created by :meth:`Tracer.span`)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        if exc is not None:
+            span.status = "error"
+            span.attributes.setdefault("error", repr(exc))
+        self._tracer._pop(span)
+        return False  # never swallow
+
+
+class _NoopSpan:
+    """The disabled-path stand-in: accepts the whole Span surface."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+    status = "ok"
+    duration = 0.0
+    cpu_time = 0.0
+    closed = True
+    attributes: dict[str, Any] = {}
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+    # reentrant, shareable context manager
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Thread-safe recorder of a span tree (or forest, one root per run).
+
+    All public reads return snapshots; the tracer may keep recording
+    concurrently.
+    """
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        #: perf_counter value all span ``start``/``end`` are relative to
+        self.epoch_perf = time.perf_counter()
+        #: wall-clock anchor matching ``epoch_perf`` (for exporters only —
+        #: never used for measuring durations)
+        self.epoch_unix = time.time()
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._open: dict[int, Span] = {}
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, parent: Span | None = None, **attributes: Any) -> _SpanContext:
+        """Open a span as a context manager.
+
+        Nesting is automatic within a thread; pass ``parent=`` to adopt a
+        span from another thread (e.g. pool workers under the pool span).
+        A ``parent`` that is the no-op span (observability was off when it
+        was created) is treated as "no explicit parent".
+        """
+        if parent is not None and not isinstance(parent, Span):
+            parent = None
+        stack = self._stack()
+        if parent is not None:
+            parent_id: int | None = parent.span_id
+        elif stack:
+            parent_id = stack[-1].span_id
+        else:
+            parent_id = None
+        thread = threading.current_thread()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            start=time.perf_counter() - self.epoch_perf,
+            cpu_start=time.thread_time(),
+            attributes=dict(attributes),
+        )
+        return _SpanContext(self, span)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+        with self._lock:
+            self._open[span.span_id] = span
+
+    def _pop(self, span: Span) -> None:
+        span.cpu_end = time.thread_time()
+        span.end = time.perf_counter() - self.epoch_perf
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order close (shouldn't happen; stay consistent)
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            self._open.pop(span.span_id, None)
+            self._finished.append(span)
+
+    # -- reading ----------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Finished spans, ordered by start time."""
+        with self._lock:
+            snapshot = list(self._finished)
+        return sorted(snapshot, key=lambda s: (s.start, s.span_id))
+
+    def open_spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._open.values())
+
+    def roots(self) -> list[Span]:
+        ids = {s.span_id for s in self.spans()}
+        return [s for s in self.spans() if s.parent_id not in ids]
+
+    def children(self, parent: Span) -> list[Span]:
+        return [s for s in self.spans() if s.parent_id == parent.span_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._open.clear()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on structural problems.
+
+        Checks: every span closed; every non-root parent id exists and is
+        closed; children fall inside their parent's wall interval (with a
+        small clock-read tolerance — parents close *after* children).
+        """
+        spans = self.spans()
+        if self.open_spans():
+            names = ", ".join(s.name for s in self.open_spans())
+            raise ValueError(f"unclosed spans: {names}")
+        by_id = {s.span_id: s for s in spans}
+        tolerance = 1e-6
+        for s in spans:
+            if s.parent_id is None:
+                continue
+            parent = by_id.get(s.parent_id)
+            if parent is None:
+                raise ValueError(f"span {s.name!r} has unknown parent id {s.parent_id}")
+            assert s.end is not None and parent.end is not None
+            if s.start < parent.start - tolerance or s.end > parent.end + tolerance:
+                raise ValueError(
+                    f"span {s.name!r} [{s.start:.6f}, {s.end:.6f}] escapes parent "
+                    f"{parent.name!r} [{parent.start:.6f}, {parent.end:.6f}]"
+                )
+
+    def tree_lines(self) -> list[str]:
+        """Indented pretty-print of the span forest (CLI output)."""
+        spans = self.spans()
+        by_parent: dict[int | None, list[Span]] = {}
+        ids = {s.span_id for s in spans}
+        for s in spans:
+            key = s.parent_id if s.parent_id in ids else None
+            by_parent.setdefault(key, []).append(s)
+
+        lines: list[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            attrs = ""
+            if span.attributes:
+                attrs = "  " + " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+            flag = "" if span.status == "ok" else "  [ERROR]"
+            lines.append(
+                f"{'  ' * depth}{span.name:<28} {span.duration * 1e3:9.3f} ms "
+                f"(cpu {span.cpu_time * 1e3:8.3f} ms){flag}{attrs}"
+            )
+            for child in by_parent.get(span.span_id, ()):
+                emit(child, depth + 1)
+
+        for root in by_parent.get(None, ()):
+            emit(root, 0)
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# Module-level switchboard (the fast path)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Tracer | None = None
+
+
+def span(name: str, parent: Span | None = None, **attributes: Any):
+    """Open a span on the active tracer — or a shared no-op when disabled.
+
+    This is the call sites' entry point; the disabled path is one global
+    read and an ``is None`` test.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, parent=parent, **attributes)
+
+
+def enable(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) the active tracer; a fresh one by default."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Remove the active tracer (span() reverts to the no-op fast path)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def get_tracer() -> Tracer | None:
+    """The active tracer, or None when tracing is disabled."""
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def _env_truthy(value: str | None) -> bool:
+    return (value or "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+#: honoured at import: REPRO_OBS=1 turns tracing (and metrics) on globally
+if _env_truthy(os.environ.get("REPRO_OBS")):  # pragma: no cover - env-dependent
+    enable()
+
+
+def iter_tree(tracer: Tracer) -> Iterator[tuple[int, Span]]:
+    """(depth, span) pairs in pre-order — convenience for custom renderers."""
+    spans = tracer.spans()
+    ids = {s.span_id for s in spans}
+    by_parent: dict[int | None, list[Span]] = {}
+    for s in spans:
+        key = s.parent_id if s.parent_id in ids else None
+        by_parent.setdefault(key, []).append(s)
+
+    def walk(parent_key: int | None, depth: int) -> Iterator[tuple[int, Span]]:
+        for s in by_parent.get(parent_key, ()):
+            yield depth, s
+            yield from walk(s.span_id, depth + 1)
+
+    return walk(None, 0)

@@ -15,13 +15,23 @@ Stage           Work
 Deviation note: the paper expands loops inside single-FSA optimisation;
 we rewrite at AST level (provably equivalent output) so the expansion is
 attributed to ``ast_to_fsa``.  DESIGN.md §5 records this.
+
+Timing is measured with ``time.perf_counter`` (monotonic,
+high-resolution) and emitted through :mod:`repro.obs` spans — one
+``compile`` root span with a ``compile.<stage>`` child per stage — while
+the aggregate lands in the same :class:`StageTimes` result shape the
+reporting layer consumes.  With observability disabled the spans are
+no-ops and only the ``StageTimes`` arithmetic remains.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
+
+import repro.obs as obs
 
 from repro.automata.fsa import Fsa
 from repro.automata.optimize import OptimizeOptions, construct_nfa, optimize_ast, optimize_fsa
@@ -113,59 +123,81 @@ class CompilationResult:
         return sum(m.num_states for m in self.mfsas)
 
 
+@contextmanager
+def _stage(times: StageTimes, name: str, **span_attrs):
+    """Time one stage into ``times.<name>`` and emit a ``compile.<name>``
+    span around it (a no-op span when observability is off)."""
+    with obs.span(f"compile.{name}", **span_attrs) as sp:
+        started = time.perf_counter()
+        try:
+            yield sp
+        finally:
+            setattr(times, name, time.perf_counter() - started)
+
+
 def compile_ruleset(patterns: Sequence[str], options: CompileOptions | None = None) -> CompilationResult:
     """Run the full framework over a ruleset (see module docstring)."""
     options = options or CompileOptions()
     times = StageTimes()
 
-    # Front-end: lexical and syntactic analyses.
-    started = time.perf_counter()
-    asts = [parse(pattern) for pattern in patterns]
-    times.frontend = time.perf_counter() - started
+    with obs.span(
+        "compile",
+        rules=len(patterns),
+        merging_factor=options.merging_factor,
+        grouping=options.grouping,
+    ) as root:
+        # Front-end: lexical and syntactic analyses.
+        with _stage(times, "frontend"):
+            asts = [parse(pattern) for pattern in patterns]
 
-    # Mid-end: AST → FSA (loop expansion + Thompson construction).
-    started = time.perf_counter()
-    asts = [optimize_ast(ast, options.optimize) for ast in asts]
-    nfas = [
-        construct_nfa(ast, pattern, options.optimize)
-        for ast, pattern in zip(asts, patterns)
-    ]
-    times.ast_to_fsa = time.perf_counter() - started
+        # Mid-end: AST → FSA (loop expansion + Thompson construction).
+        with _stage(times, "ast_to_fsa"):
+            asts = [optimize_ast(ast, options.optimize) for ast in asts]
+            nfas = [
+                construct_nfa(ast, pattern, options.optimize)
+                for ast, pattern in zip(asts, patterns)
+            ]
 
-    # Mid-end: single-FSA optimisation.
-    started = time.perf_counter()
-    fsas = [optimize_fsa(nfa, options.optimize) for nfa in nfas]
-    if options.stratify_charclasses:
-        fsas = stratify_ruleset(fsas)
-    times.single_opt = time.perf_counter() - started
+        # Mid-end: single-FSA optimisation.
+        with _stage(times, "single_opt"):
+            fsas = [optimize_fsa(nfa, options.optimize) for nfa in nfas]
+            if options.stratify_charclasses:
+                fsas = stratify_ruleset(fsas)
 
-    # Mid-end: merging.
-    started = time.perf_counter()
-    merge_report = MergeReport()
-    items = list(enumerate(fsas))
-    if options.grouping == "sequential":
-        mfsas = merge_ruleset(
-            items, options.merging_factor, report=merge_report,
-            seed_cap=options.seed_cap, min_walk_len=options.min_walk_len,
+        # Mid-end: merging.
+        with _stage(times, "merging") as merge_span:
+            merge_report = MergeReport()
+            items = list(enumerate(fsas))
+            if options.grouping == "sequential":
+                mfsas = merge_ruleset(
+                    items, options.merging_factor, report=merge_report,
+                    seed_cap=options.seed_cap, min_walk_len=options.min_walk_len,
+                )
+            elif options.grouping == "clustered":
+                groups = similarity_groups(list(patterns), options.merging_factor)
+                mfsas = merge_groups(items, groups, report=merge_report,
+                                     seed_cap=options.seed_cap, min_walk_len=options.min_walk_len)
+            else:
+                raise ValueError(f"unknown grouping {options.grouping!r}")
+            if options.reduce_mfsa:
+                mfsas = [reduce_mfsa(m) for m in mfsas]
+                merge_report.output_states = sum(m.num_states for m in mfsas)
+                merge_report.output_transitions = sum(m.num_transitions for m in mfsas)
+            merge_span.set(
+                mfsas=len(mfsas),
+                state_compression=round(merge_report.state_compression, 3),
+            )
+
+        # Back-end: extended-ANML generation.
+        anml: list[str] | None = None
+        if options.emit_anml:
+            with _stage(times, "backend"):
+                anml = [write_anml(mfsa, network_id=f"mfsa{i}") for i, mfsa in enumerate(mfsas)]
+
+        root.set(
+            input_states=merge_report.input_states,
+            output_states=merge_report.output_states,
         )
-    elif options.grouping == "clustered":
-        groups = similarity_groups(list(patterns), options.merging_factor)
-        mfsas = merge_groups(items, groups, report=merge_report,
-                             seed_cap=options.seed_cap, min_walk_len=options.min_walk_len)
-    else:
-        raise ValueError(f"unknown grouping {options.grouping!r}")
-    if options.reduce_mfsa:
-        mfsas = [reduce_mfsa(m) for m in mfsas]
-        merge_report.output_states = sum(m.num_states for m in mfsas)
-        merge_report.output_transitions = sum(m.num_transitions for m in mfsas)
-    times.merging = time.perf_counter() - started
-
-    # Back-end: extended-ANML generation.
-    anml: list[str] | None = None
-    if options.emit_anml:
-        started = time.perf_counter()
-        anml = [write_anml(mfsa, network_id=f"mfsa{i}") for i, mfsa in enumerate(mfsas)]
-        times.backend = time.perf_counter() - started
 
     return CompilationResult(
         patterns=list(patterns),

@@ -1,0 +1,130 @@
+"""Unit tests for the exporters (repro.obs.exporters)."""
+
+from __future__ import annotations
+
+import json
+
+import repro.obs as obs
+from repro.obs.spans import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("compile", rules=3):
+        with tracer.span("compile.frontend"):
+            pass
+        with tracer.span("compile.merging", mfsas=1):
+            pass
+    return tracer
+
+
+def test_jsonl_one_object_per_line_sorted_by_start():
+    tracer = _sample_tracer()
+    text = obs.spans_to_jsonl(tracer)
+    lines = text.strip().splitlines()
+    assert len(lines) == 3
+    rows = [json.loads(line) for line in lines]
+    assert [r["name"] for r in rows] == ["compile", "compile.frontend", "compile.merging"]
+    starts = [r["start"] for r in rows]
+    assert starts == sorted(starts)
+    assert rows[0]["attributes"] == {"rules": 3}
+
+
+def test_jsonl_empty_tracer():
+    assert obs.spans_to_jsonl(Tracer()) == ""
+
+
+def test_chrome_trace_shape_and_types():
+    tracer = _sample_tracer()
+    trace = obs.spans_to_chrome_trace(tracer)
+    assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    x_events = [e for e in events if e["ph"] == "X"]
+    m_events = [e for e in events if e["ph"] == "M"]
+    assert len(x_events) == 3
+    assert len(m_events) == 1  # one thread lane
+    for event in x_events:
+        assert isinstance(event["name"], str)
+        assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+        assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert isinstance(event["args"], dict)
+        assert "cpu_ms" in event["args"]
+        assert event["cat"] == event["name"].split(".", 1)[0]
+    for event in m_events:
+        assert event["name"] == "thread_name"
+        assert isinstance(event["args"]["name"], str)
+    # the whole document is JSON-serialisable
+    json.dumps(trace)
+
+
+def test_chrome_trace_children_nest_within_parent_interval():
+    tracer = _sample_tracer()
+    trace = obs.spans_to_chrome_trace(tracer)
+    events = {e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+    parent = events["compile"]
+    for name in ("compile.frontend", "compile.merging"):
+        child = events[name]
+        assert child["ts"] >= parent["ts"] - 1e-3
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1e-3
+
+
+def test_chrome_trace_attribute_coercion():
+    tracer = Tracer()
+    with tracer.span("x", items=(1, 2), mapping={"k": "v"}, obj=object()):
+        pass
+    (event,) = [e for e in obs.spans_to_chrome_trace(tracer)["traceEvents"] if e["ph"] == "X"]
+    assert event["args"]["items"] == [1, 2]
+    assert event["args"]["mapping"] == {"k": "v"}
+    assert isinstance(event["args"]["obj"], str)
+
+
+def test_prometheus_counter_gauge_exposition():
+    registry = obs.MetricsRegistry()
+    registry.counter("requests_total", help="total requests").inc(5)
+    registry.gauge("depth").set(2.5)
+    text = obs.metrics_to_prometheus(registry)
+    assert "# HELP requests_total total requests" in text
+    assert "# TYPE requests_total counter" in text
+    assert "\nrequests_total 5\n" in text
+    assert "# TYPE depth gauge" in text
+    assert "\ndepth 2.5" in text
+
+
+def test_prometheus_histogram_exposition_cumulative():
+    registry = obs.MetricsRegistry()
+    h = registry.histogram("sizes", bounds=(1, 4))
+    for v in (0, 2, 9):
+        h.observe(v)
+    text = obs.metrics_to_prometheus(registry)
+    lines = text.splitlines()
+    assert '# TYPE sizes histogram' in lines
+    assert 'sizes_bucket{le="1"} 1' in lines
+    assert 'sizes_bucket{le="4"} 2' in lines
+    assert 'sizes_bucket{le="+Inf"} 3' in lines
+    assert "sizes_sum 11" in lines
+    assert "sizes_count 3" in lines
+    # cumulative counts never decrease
+    values = [int(line.rsplit(" ", 1)[1]) for line in lines if line.startswith("sizes_bucket")]
+    assert values == sorted(values)
+
+
+def test_prometheus_empty_registry():
+    assert obs.metrics_to_prometheus(obs.MetricsRegistry()) == ""
+
+
+def test_file_writers(tmp_path):
+    tracer = _sample_tracer()
+    registry = obs.MetricsRegistry()
+    registry.counter("c").inc()
+
+    trace_path = obs.write_chrome_trace(tracer, tmp_path / "trace.json")
+    jsonl_path = obs.write_jsonl(tracer, tmp_path / "spans.jsonl")
+    prom_path = obs.write_prometheus(registry, tmp_path / "metrics.prom")
+
+    loaded = json.loads(trace_path.read_text())
+    assert "traceEvents" in loaded
+    assert len(jsonl_path.read_text().strip().splitlines()) == 3
+    assert "c 1" in prom_path.read_text()

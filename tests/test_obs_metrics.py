@@ -1,0 +1,143 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import (
+    DEFAULT_SAMPLE_STRIDE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+def test_counter_semantics():
+    c = Counter("hits", help="h")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.snapshot() == {"kind": "counter", "name": "hits", "value": 3.5}
+
+
+def test_gauge_semantics():
+    g = Gauge("depth")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value == 12.0
+
+
+def test_histogram_bucketing_edges():
+    h = Histogram("sizes", bounds=(1, 2, 4))
+    for value in (0, 1, 2, 3, 4, 5, 100):
+        h.observe(value)
+    # per-bucket: <=1, <=2, <=4, +Inf
+    assert h.counts == [2, 1, 2, 2]
+    assert h.count == 7
+    assert h.sum == 115.0
+    assert h.min == 0
+    assert h.max == 100
+    assert h.mean == pytest.approx(115 / 7)
+    cumulative = h.cumulative_buckets()
+    assert cumulative == [(1.0, 2), (2.0, 3), (4.0, 5), (float("inf"), 7)]
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("empty", bounds=())
+    with pytest.raises(ValueError):
+        Histogram("dupes", bounds=(1, 1, 2))
+
+
+def test_registry_get_or_create_and_kind_conflict():
+    reg = MetricsRegistry()
+    c1 = reg.counter("x")
+    c2 = reg.counter("x")
+    assert c1 is c2
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    assert reg.get("x") is c1
+    assert reg.get("missing") is None
+
+
+def test_registry_snapshot_sorted_by_name():
+    reg = MetricsRegistry()
+    reg.counter("zeta").inc()
+    reg.histogram("alpha", bounds=(1,)).observe(0)
+    reg.gauge("mid").set(3)
+    names = [inst.name for inst in reg.instruments()]
+    assert names == ["alpha", "mid", "zeta"]
+    snap = reg.as_dict()
+    assert snap["zeta"]["value"] == 1.0
+    assert snap["alpha"]["count"] == 1
+
+
+def test_histogram_thread_safety():
+    h = Histogram("con", bounds=(10,))
+
+    def worker():
+        for i in range(1000):
+            h.observe(i % 20)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert h.count == 4000
+    assert sum(h.counts) == 4000
+
+
+def test_engine_sampler_disabled_returns_none():
+    obs.disable()
+    assert obs.engine_sampler("imfant") is None
+
+
+def test_engine_sampler_creates_instruments():
+    with obs.capture(stride=4) as cap:
+        sampler = obs.engine_sampler("imfant")
+        assert sampler is not None
+        assert sampler.stride == 4
+        sampler.observe(active_pairs=3, frontier_width=2, transitions=9)
+    assert cap.registry.get("imfant_active_set_size").count == 1
+    assert cap.registry.get("imfant_frontier_width").sum == 2
+    assert cap.registry.get("imfant_transitions_per_byte").max == 9
+    assert cap.registry.get("imfant_samples_total").value == 1
+
+
+def test_sample_stride_validation_and_default():
+    assert obs.sample_stride() == DEFAULT_SAMPLE_STRIDE
+    with pytest.raises(ValueError):
+        obs.set_sample_stride(0)
+
+
+def test_merge_snapshots_counters_and_histograms():
+    a = Histogram("h", bounds=(1, 2))
+    b = Histogram("h", bounds=(1, 2))
+    a.observe(0)
+    a.observe(5)
+    b.observe(2)
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["counts"] == [1, 1, 1]
+    assert merged["count"] == 3
+    assert merged["sum"] == 7.0
+    assert merged["min"] == 0
+    assert merged["max"] == 5
+
+    c1, c2 = Counter("c"), Counter("c")
+    c1.inc(2)
+    c2.inc(3)
+    assert merge_snapshots([c1.snapshot(), c2.snapshot()])["value"] == 5.0
+
+    with pytest.raises(ValueError):
+        merge_snapshots([a.snapshot(), Histogram("h", bounds=(9,)).snapshot()])
+    with pytest.raises(ValueError):
+        merge_snapshots([])

@@ -1,0 +1,205 @@
+"""Unit tests for the span tracer (repro.obs.spans)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.spans import NOOP_SPAN, Span, Tracer
+
+
+def test_basic_span_records_duration_and_attributes():
+    tracer = Tracer()
+    with tracer.span("work", kind="test") as sp:
+        sp.set(extra=42)
+    spans = tracer.spans()
+    assert [s.name for s in spans] == ["work"]
+    done = spans[0]
+    assert done.closed
+    assert done.duration >= 0.0
+    assert done.cpu_time >= 0.0
+    assert done.attributes == {"kind": "test", "extra": 42}
+    assert done.parent_id is None
+    tracer.validate()
+
+
+def test_nesting_is_automatic_within_a_thread():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            with tracer.span("leaf"):
+                pass
+    by_name = {s.name: s for s in tracer.spans()}
+    assert by_name["inner"].parent_id == outer.span_id
+    assert by_name["leaf"].parent_id == inner.span_id
+    assert by_name["outer"].parent_id is None
+    assert tracer.roots() == [by_name["outer"]]
+    assert tracer.children(by_name["outer"]) == [by_name["inner"]]
+    tracer.validate()
+
+
+def test_siblings_do_not_nest():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    by_name = {s.name: s for s in tracer.spans()}
+    assert by_name["a"].parent_id == by_name["root"].span_id
+    assert by_name["b"].parent_id == by_name["root"].span_id
+
+
+def test_explicit_parent_overrides_stack():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("intermediate"):
+            with tracer.span("adopted", parent=root):
+                pass
+    by_name = {s.name: s for s in tracer.spans()}
+    assert by_name["adopted"].parent_id == root.span_id
+
+
+def test_exception_marks_error_and_closes_span():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("kaput")
+    (span,) = tracer.spans()
+    assert span.closed
+    assert span.status == "error"
+    assert "kaput" in span.attributes["error"]
+    tracer.validate()
+
+
+def test_error_propagates_through_nested_spans():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise ValueError("deep")
+    by_name = {s.name: s for s in tracer.spans()}
+    assert by_name["inner"].status == "error"
+    assert by_name["outer"].status == "error"
+    assert not tracer.open_spans()
+
+
+def test_cross_thread_spans_with_explicit_parent():
+    tracer = Tracer()
+    with tracer.span("pool") as pool_span:
+
+        def worker(i: int) -> None:
+            with tracer.span("worker", parent=pool_span, i=i):
+                pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    workers = [s for s in tracer.spans() if s.name == "worker"]
+    assert len(workers) == 4
+    assert {w.parent_id for w in workers} == {pool_span.span_id}
+    assert len({w.thread_id for w in workers}) >= 1
+    tracer.validate()
+
+
+def test_concurrent_recording_is_thread_safe():
+    tracer = Tracer()
+
+    def hammer(tid: int) -> None:
+        for i in range(50):
+            with tracer.span(f"t{tid}", i=i):
+                pass
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tracer.spans()) == 400
+    assert len({s.span_id for s in tracer.spans()}) == 400
+    tracer.validate()
+
+
+def test_validate_flags_unclosed_spans():
+    tracer = Tracer()
+    ctx = tracer.span("open")
+    ctx.__enter__()
+    with pytest.raises(ValueError, match="unclosed"):
+        tracer.validate()
+    ctx.__exit__(None, None, None)
+    tracer.validate()
+
+
+def test_disabled_module_span_is_shared_noop():
+    obs.disable()
+    assert obs.span("anything") is NOOP_SPAN
+    with obs.span("anything", a=1) as sp:
+        assert sp is NOOP_SPAN
+        assert sp.set(b=2) is sp  # chainable, records nothing
+    assert NOOP_SPAN.attributes == {}
+    assert obs.get_tracer() is None
+
+
+def test_enable_disable_roundtrip():
+    tracer, registry = obs.enable()
+    try:
+        assert obs.get_tracer() is tracer
+        assert obs.get_registry() is registry
+        with obs.span("visible"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["visible"]
+    finally:
+        obs.disable()
+    assert obs.get_tracer() is None
+    assert not obs.is_enabled()
+
+
+def test_capture_restores_previous_state():
+    assert obs.get_tracer() is None
+    with obs.capture() as outer:
+        with obs.span("outer-span"):
+            with obs.capture() as inner:
+                with obs.span("inner-span"):
+                    pass
+            # inner capture popped: outer tracer active again
+            assert obs.get_tracer() is outer.tracer
+        assert [s.name for s in inner.tracer.spans()] == ["inner-span"]
+    assert obs.get_tracer() is None
+    assert [s.name for s in outer.tracer.spans()] == ["outer-span"]
+
+
+def test_capture_stride_override_is_scoped():
+    before = obs.sample_stride()
+    with obs.capture(stride=7):
+        assert obs.sample_stride() == 7
+    assert obs.sample_stride() == before
+
+
+def test_tree_lines_and_iter_tree():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("child", k="v"):
+            pass
+    lines = tracer.tree_lines()
+    assert len(lines) == 2
+    assert lines[0].lstrip().startswith("root")
+    assert lines[1].startswith("  ")  # indented child
+    assert "k=v" in lines[1]
+    depths = [(depth, s.name) for depth, s in obs.iter_tree(tracer)]
+    assert depths == [(0, "root"), (1, "child")]
+
+
+def test_span_to_dict_is_json_shaped():
+    tracer = Tracer()
+    with tracer.span("x", n=1):
+        pass
+    row = tracer.spans()[0].to_dict()
+    for key in ("name", "span_id", "parent_id", "thread_id", "thread_name",
+                "start", "end", "duration", "cpu_time", "status", "attributes"):
+        assert key in row
+    assert row["status"] == "ok"
+    assert row["attributes"] == {"n": 1}

@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.automata.optimize import compile_re_to_fsa
 from repro.engine.imfant import IMfantEngine
-from repro.engine.trace import trace_execution
+from repro.engine.trace import ExecutionTrace, trace_execution
 from repro.mfsa.merge import merge_fsas
 
 from conftest import compile_ruleset_fsas, ere_patterns, input_strings
@@ -77,6 +77,43 @@ class TestTraceApi:
         trace = trace_execution(mfsa, "az")
         assert trace.steps[1].activation == {}
         assert "discarded" in trace.steps[1].describe()
+
+
+class TestTraceJsonRoundTrip:
+    def test_round_trip_preserves_steps_exactly(self):
+        mfsa = merge_fsas([(1, compile_re_to_fsa("(ad|cb)ab")),
+                           (2, compile_re_to_fsa("a(b|c)"))])
+        trace = trace_execution(mfsa, "acbab")
+        restored = ExecutionTrace.from_json(trace.to_json())
+        assert len(restored) == len(trace)
+        for original, loaded in zip(trace.steps, restored.steps):
+            assert loaded.position == original.position
+            assert loaded.byte == original.byte
+            assert loaded.activation == original.activation
+            assert loaded.fired == original.fired
+        assert restored.matches() == trace.matches()
+
+    def test_round_trip_restores_in_memory_types(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["ab"]))
+        restored = ExecutionTrace.from_json(trace_execution(mfsa, "ab").to_json())
+        step = restored.steps[-1]
+        assert all(isinstance(q, int) for q in step.activation)
+        assert all(isinstance(rules, tuple) for rules in step.activation.values())
+        assert all(isinstance(f, tuple) for f in step.fired)
+
+    def test_empty_trace_round_trips(self):
+        mfsa = merge_fsas(compile_ruleset_fsas(["ab"]))
+        trace = trace_execution(mfsa, "")
+        restored = ExecutionTrace.from_json(trace.to_json())
+        assert len(restored) == 0
+
+    def test_from_json_rejects_malformed_documents(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ExecutionTrace.from_json("[]")
+        with pytest.raises(ValueError):
+            ExecutionTrace.from_json("{}")
 
 
 @given(st.lists(ere_patterns(), min_size=1, max_size=3), input_strings())
