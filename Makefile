@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke clean
+.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,6 +31,12 @@ examples:
 # against the trace-event schema (strict key/type checks, well-nested).
 obs-smoke:
 	PYTHONPATH=src pytest tests/ -m obs -q
+
+# What .github/workflows/ci.yml runs, for local use: the tier-1 suite
+# plus the observability smoke.
+ci:
+	PYTHONPATH=src python -m pytest -x -q
+	$(MAKE) obs-smoke
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \

@@ -29,6 +29,7 @@ from pathlib import Path
 import repro.obs as obs
 from repro.anml.reader import read_anml
 from repro.engine.imfant import IMfantEngine
+from repro.engine.lazy import DEFAULT_CACHE_SIZE
 from repro.engine.multithread import run_pool
 from repro.pipeline.compiler import CompileOptions, compile_ruleset
 from repro.reporting import tables
@@ -82,6 +83,20 @@ def _export_obs(args: argparse.Namespace, cap: "obs.ObsCapture | None") -> None:
     if args.metrics_out is not None:
         obs.write_prometheus(cap.registry, args.metrics_out)
         print(f"wrote {len(cap.registry.instruments())} metric(s) to {args.metrics_out}")
+
+
+def _merge_lazy_stats(engines) -> dict[str, float]:
+    """Sum the per-engine lazy-cache counters into one summary dict."""
+    totals = {"hits": 0.0, "misses": 0.0, "evictions": 0.0, "flushes": 0.0}
+    for engine in engines:
+        cache = getattr(engine, "lazy_cache", None)
+        if cache is None:
+            continue
+        for key in ("hits", "misses", "evictions", "flushes"):
+            totals[key] += getattr(cache.stats, key)
+    lookups = totals["hits"] + totals["misses"]
+    totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+    return totals
 
 
 def compile_main(argv: list[str] | None = None) -> int:
@@ -138,7 +153,12 @@ def match_main(argv: list[str] | None = None) -> int:
                         help="merging factor when compiling on the fly")
     parser.add_argument("-t", "--threads", type=int, default=1,
                         help="thread-pool size for multi-MFSA execution")
-    parser.add_argument("--backend", choices=("python", "numpy"), default="python")
+    parser.add_argument("--backend", choices=("python", "numpy", "lazy"), default="python")
+    parser.add_argument("--lazy-cache-size", type=int, default=None, metavar="N",
+                        help="lazy-backend transition-cache budget in entries "
+                             "(default: %d)" % DEFAULT_CACHE_SIZE)
+    parser.add_argument("--lazy-eviction", choices=("flush", "lru"), default="flush",
+                        help="lazy-backend eviction policy when the cache fills")
     parser.add_argument("--single-match", action="store_true",
                         help="report each rule's first match only (early exit)")
     parser.add_argument("--show-matches", type=int, default=10, metavar="N",
@@ -160,7 +180,9 @@ def match_main(argv: list[str] | None = None) -> int:
 
         data = args.stream.read_bytes()
         engines = [
-            IMfantEngine(mfsa, backend=args.backend, single_match=args.single_match)
+            IMfantEngine(mfsa, backend=args.backend, single_match=args.single_match,
+                         lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
+                         lazy_eviction=args.lazy_eviction)
             for mfsa in mfsas
         ]
         started = time.perf_counter()
@@ -171,6 +193,11 @@ def match_main(argv: list[str] | None = None) -> int:
           f"({sum(len(m.initials) for m in mfsas)} rules) on {args.threads} thread(s)")
     print(f"matches: {len(matches)}   time: {elapsed:.4f}s   "
           f"transitions examined: {stats.transitions_examined}")
+    if args.backend == "lazy":
+        totals = _merge_lazy_stats(engines)
+        print(f"lazy cache: {totals['hits']:.0f} hits / {totals['misses']:.0f} misses "
+              f"({totals['hit_rate']:.1%} hit rate), "
+              f"{totals['evictions']:.0f} eviction(s), {totals['flushes']:.0f} flush(es)")
     for rule, end in sorted(matches)[: args.show_matches]:
         print(f"  rule {rule} matched ending at offset {end}")
     _export_obs(args, cap)
@@ -387,7 +414,12 @@ def obs_main(argv: list[str] | None = None) -> int:
                         help="generated stream size (default 64 KiB)")
     parser.add_argument("-m", "--merging-factor", type=int, default=0)
     parser.add_argument("-t", "--threads", type=int, default=1)
-    parser.add_argument("--backend", choices=("python", "numpy"), default="python")
+    parser.add_argument("--backend", choices=("python", "numpy", "lazy"), default="python")
+    parser.add_argument("--lazy-cache-size", type=int, default=None, metavar="N",
+                        help="lazy-backend transition-cache budget in entries "
+                             "(default: %d)" % DEFAULT_CACHE_SIZE)
+    parser.add_argument("--lazy-eviction", choices=("flush", "lru"), default="flush",
+                        help="lazy-backend eviction policy when the cache fills")
     parser.add_argument("--stride", type=int, default=None, metavar="N",
                         help="engine sampling stride (default: %d)" % obs.DEFAULT_SAMPLE_STRIDE)
     parser.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
@@ -415,7 +447,12 @@ def obs_main(argv: list[str] | None = None) -> int:
         result = compile_ruleset(
             patterns, CompileOptions(merging_factor=args.merging_factor, emit_anml=True)
         )
-        engines = [IMfantEngine(m, backend=args.backend) for m in result.mfsas]
+        engines = [
+            IMfantEngine(m, backend=args.backend,
+                         lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
+                         lazy_eviction=args.lazy_eviction)
+            for m in result.mfsas
+        ]
         matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
     cap.tracer.validate()
 

@@ -4,8 +4,13 @@
   tables (the iNFAnt data structure linking each of the 256 symbols to
   the transitions it enables).
 * :mod:`repro.engine.infant` — the baseline iNFAnt engine over one FSA.
-* :mod:`repro.engine.imfant` — the iMFAnt engine over an MFSA, pure-Python
-  and NumPy-vectorised (the data-parallel GPGPU-style variant).
+* :mod:`repro.engine.imfant` — the iMFAnt engine over an MFSA, pure-Python,
+  NumPy-vectorised (the data-parallel GPGPU-style variant), and lazy
+  (memoized frontier transitions).
+* :mod:`repro.engine.lazy` — the bounded lazy-DFA configuration cache
+  behind ``backend="lazy"``.
+* :mod:`repro.engine.bitops` — uint64 popcount helpers (native
+  ``np.bitwise_count`` or a pre-NumPy-2.0 ``np.unpackbits`` fallback).
 * :mod:`repro.engine.counters` — execution statistics (work counters).
 * :mod:`repro.engine.cost` — the work-based timing model used by the
   thread-scaling experiments.
@@ -16,6 +21,7 @@
 from repro.engine.counters import ExecutionStats
 from repro.engine.infant import INfantEngine
 from repro.engine.imfant import IMfantEngine
+from repro.engine.lazy import DEFAULT_CACHE_SIZE, LazyCacheStats, LazyConfigCache
 from repro.engine.tables import FsaTables, MfsaTables
 from repro.engine.cost import CostModel
 from repro.engine.multithread import (
@@ -28,6 +34,9 @@ __all__ = [
     "ExecutionStats",
     "INfantEngine",
     "IMfantEngine",
+    "LazyCacheStats",
+    "LazyConfigCache",
+    "DEFAULT_CACHE_SIZE",
     "FsaTables",
     "MfsaTables",
     "CostModel",

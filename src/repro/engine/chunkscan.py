@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.engine.imfant import IMfantEngine
+from repro.engine.lazy import DEFAULT_CACHE_SIZE
 from repro.engine.multithread import run_pool
 from repro.frontend.analysis import max_width
 from repro.frontend.parser import parse
@@ -49,6 +50,7 @@ def chunk_scan(
     chunk_size: int = 4096,
     num_threads: int = 4,
     backend: str = "python",
+    lazy_cache_size: int = DEFAULT_CACHE_SIZE,
 ) -> set[tuple[int, int]]:
     """Scan ``data`` in overlapping chunks; returns the single-shot matches.
 
@@ -56,9 +58,16 @@ def chunk_scan(
     :func:`ruleset_max_width`); ``None`` falls back to one sequential
     scan.  ``chunk_size`` must exceed the overlap for the split to make
     progress.
+
+    Under ``backend="lazy"`` each chunk worker *owns* its cache: workers
+    run concurrently and the lazy cache is single-writer mutable state,
+    so sharing one would either race or need a lock on the hot path.
+    The per-chunk caches share the engine's immutable tables (via
+    :meth:`IMfantEngine.fork`) and their cold-start misses amortise over
+    the chunk length; ``lazy_cache_size`` bounds each worker's cache.
     """
     payload = data.encode("latin-1") if isinstance(data, str) else data
-    engine = IMfantEngine(mfsa, backend=backend)
+    engine = IMfantEngine(mfsa, backend=backend, lazy_cache_size=lazy_cache_size)
     if overlap is None or len(payload) <= chunk_size:
         return engine.run(payload, collect_stats=False).matches
     if chunk_size <= overlap:
@@ -76,8 +85,13 @@ def chunk_scan(
         jobs.append((start, lead, segment))
 
     def make_runner(start: int, lead: int, segment: bytes):
+        # each worker gets private mutable state (its own lazy cache);
+        # non-lazy backends are stateless across runs, but fork() is
+        # cheap either way (tables are shared, never rebuilt)
+        worker_engine = engine.fork() if backend == "lazy" else engine
+
         def run():
-            result = engine.run(segment, collect_stats=False)
+            result = worker_engine.run(segment, collect_stats=False)
             rebased = {
                 (rule, end + start - lead)
                 for rule, end in result.matches

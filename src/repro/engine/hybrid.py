@@ -26,6 +26,7 @@ from repro.counting.build import build_counting_fsa
 from repro.counting.engine import CountingSetEngine
 from repro.engine.counters import ExecutionStats
 from repro.engine.imfant import IMfantEngine
+from repro.engine.lazy import DEFAULT_CACHE_SIZE
 from repro.frontend.ast import AstNode, Literal, Repeat
 from repro.frontend.parser import parse
 from repro.pipeline.compiler import CompileOptions, compile_ruleset
@@ -71,6 +72,7 @@ class HybridEngine:
         merging_factor: int = 0,
         counting_threshold: int = DEFAULT_COUNTING_THRESHOLD,
         backend: str = "python",
+        lazy_cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         self.patterns = list(patterns)
         self._counting_ids = [
@@ -92,7 +94,10 @@ class HybridEngine:
                 sub_patterns, CompileOptions(merging_factor=merging_factor, emit_anml=False)
             )
             self._merged_remap = dict(enumerate(self._merged_ids))
-            self._mfsa_engines = [IMfantEngine(m, backend=backend) for m in compiled.mfsas]
+            self._mfsa_engines = [
+                IMfantEngine(m, backend=backend, lazy_cache_size=lazy_cache_size)
+                for m in compiled.mfsas
+            ]
             self._mfsa_count = len(compiled.mfsas)
         else:
             self._mfsa_count = 0

@@ -11,15 +11,19 @@ to ``J(dst)``; a non-empty contribution is a performed move, and bits of
 ``J(dst) ∩ final(dst)`` are reported as matches (see
 :mod:`repro.mfsa.activation` for the semantics derivation).
 
-Two interchangeable implementations:
+Three interchangeable implementations:
 
 * ``backend="python"`` — dict-based sparse state vector with arbitrary-
   precision int masks; clear and allocation-light.
 * ``backend="numpy"`` — dense ``(num_states, limbs)`` uint64 state vector
   with bulk gather/scatter per symbol; the CPU analogue of iNFAnt's
   data-parallel GPU formulation.
+* ``backend="lazy"`` — the python step memoized behind a bounded
+  lazy-DFA configuration cache (:mod:`repro.engine.lazy`): steady-state
+  scanning is one dict lookup per byte, falling back to the interpretive
+  step on cache miss.
 
-Both produce identical matches and (modulo wall time) identical work
+All produce identical matches and (modulo wall time) identical work
 counters; tests enforce the agreement.
 """
 
@@ -31,11 +35,13 @@ from typing import Iterable
 import numpy as np
 
 import repro.obs as obs
+from repro.engine.bitops import popcount_rows
 from repro.engine.counters import ExecutionStats, RunResult
+from repro.engine.lazy import DEFAULT_CACHE_SIZE, LazyConfigCache
 from repro.engine.tables import MfsaTables, limbs_for
 from repro.mfsa.model import Mfsa
 
-_BACKENDS = ("python", "numpy")
+_BACKENDS = ("python", "numpy", "lazy")
 
 
 class IMfantEngine:
@@ -43,9 +49,15 @@ class IMfantEngine:
 
     ``single_match=True`` enables the DPI *single-match* reporting mode
     (Hyperscan's ``HS_FLAG_SINGLEMATCH``): each rule reports only its
-    first match.  The python backend additionally stops scanning once
-    every rule has fired (the numpy backend post-filters) — the cheap
-    mode IDS rules that only need a verdict use.
+    first match, and every backend stops scanning once every rule has
+    fired (``stats.chars_processed`` reports the bytes actually
+    consumed) — the cheap mode IDS rules that only need a verdict use.
+
+    ``backend="lazy"`` memoizes frontier transitions in a bounded
+    :class:`~repro.engine.lazy.LazyConfigCache` owned by the engine; the
+    cache stays warm across :meth:`run` calls.  ``lazy_cache_size`` and
+    ``lazy_eviction`` configure its budget and eviction policy (see
+    :mod:`repro.engine.lazy`); both are ignored by the other backends.
     """
 
     def __init__(
@@ -54,15 +66,46 @@ class IMfantEngine:
         backend: str = "python",
         pop_on_final: bool = False,
         single_match: bool = False,
+        lazy_cache_size: int = DEFAULT_CACHE_SIZE,
+        lazy_eviction: str = "flush",
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
         self.backend = backend
         self.pop_on_final = pop_on_final
         self.single_match = single_match
+        self.lazy_cache_size = lazy_cache_size
+        self.lazy_eviction = lazy_eviction
         self.tables = MfsaTables.build(mfsa)
-        if backend == "numpy":
+        self.lazy_cache: LazyConfigCache | None = None
+        self._init_backend()
+
+    def _init_backend(self) -> None:
+        if self.backend == "numpy":
             self.tables.ensure_arrays()
+        elif self.backend == "lazy":
+            self.lazy_cache = LazyConfigCache(
+                self.tables,
+                pop_on_final=self.pop_on_final,
+                max_entries=self.lazy_cache_size,
+                eviction=self.lazy_eviction,
+            )
+
+    def fork(self) -> "IMfantEngine":
+        """A new engine sharing this one's (immutable) tables but owning
+        private mutable state — under ``backend="lazy"`` that is a fresh,
+        cold cache.  The cheap way to give each worker thread its own
+        engine without rebuilding the transition tables."""
+        clone = IMfantEngine.__new__(IMfantEngine)
+        clone.backend = self.backend
+        clone.pop_on_final = self.pop_on_final
+        clone.single_match = self.single_match
+        clone.lazy_cache_size = self.lazy_cache_size
+        clone.lazy_eviction = self.lazy_eviction
+        clone.tables = self.tables
+        clone.lazy_cache = None
+        clone._init_backend()
+        return clone
 
     # -- public API -------------------------------------------------------
 
@@ -77,6 +120,8 @@ class IMfantEngine:
         ) as sp:
             if self.backend == "numpy":
                 result = self._run_numpy(payload, collect_stats)
+            elif self.backend == "lazy":
+                result = self._run_lazy(payload, collect_stats)
             else:
                 result = self._run_python(payload, collect_stats)
             if self.single_match:
@@ -162,6 +207,110 @@ class IMfantEngine:
         stats.match_count = len(matches)
         return result
 
+    # -- lazy backend -----------------------------------------------------------
+
+    def _run_lazy(self, payload: bytes, collect_stats: bool) -> RunResult:
+        """The python step behind a lazy-DFA configuration cache.
+
+        Steady state is one dict lookup per byte; misses fall back to
+        :meth:`LazyConfigCache.step` (one interpretive step + memoize).
+        Stats and sampled observations reproduce the python backend
+        exactly — cached entries carry their step's work counters and
+        interned configurations their activation statistics.
+        """
+        cache = self.lazy_cache
+        assert cache is not None
+        tables = self.tables
+        slot_to_rule = tables.slot_to_rule
+        transitions = cache.transitions
+        step = cache.step
+        config_stats = cache.config_stats
+        examined_by_byte = cache.examined_by_byte
+        lru = cache.eviction == "lru"
+        move_to_end = transitions.move_to_end if lru else None  # type: ignore[union-attr]
+        single_match = self.single_match
+
+        result = RunResult()
+        stats = result.stats
+        stats.mask_limbs = limbs_for(tables.num_rules)
+        matches = result.matches
+        for rule in tables.empty_matching_rules:
+            matches.update((rule, end) for end in range(len(payload) + 1))
+
+        all_rules_mask = (1 << tables.num_rules) - 1
+        rule_to_slot = {rule: slot for slot, rule in enumerate(slot_to_rule)}
+        matched_rules = 0
+        for rule in tables.empty_matching_rules:
+            matched_rules |= 1 << rule_to_slot[rule]
+        consumed = 0
+        hits = misses = 0
+        evictions_before = cache.stats.evictions
+        flushes_before = cache.stats.flushes
+        sampler = obs.engine_sampler("imfant")
+        stride = sampler.stride if sampler is not None else 0
+        started = time.perf_counter()
+        cur = 0  # config id 0 == empty frontier
+        for position, byte in enumerate(payload, start=1):
+            consumed = position
+            key = (cur << 8) | byte
+            entry = transitions.get(key)
+            if entry is None:
+                entry = step(cur, byte)
+                misses += 1
+            else:
+                hits += 1
+                if lru:
+                    move_to_end(key)
+            cur = entry[0]
+            if collect_stats:
+                # the python backend counts taken transitions *during*
+                # the step, so the early-exit position still counts them
+                stats.transitions_taken += entry[3]
+            if entry[2]:
+                matched_rules |= entry[2]
+                for slot in entry[1]:
+                    matches.add((slot_to_rule[slot], position))
+            if single_match and matched_rules == all_rules_mask:
+                break
+            if collect_stats:
+                stats.transitions_examined += examined_by_byte[byte]
+                total, peak, _ = config_stats[cur]
+                stats.active_pair_total += total
+                if peak > stats.max_state_activation:
+                    stats.max_state_activation = peak
+            if sampler is not None and position % stride == 0:
+                total, _, width = config_stats[cur]
+                sampler.observe(total, width, examined_by_byte[byte])
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = consumed if single_match else len(payload)
+        stats.match_count = len(matches)
+
+        cache.stats.hits += hits
+        cache.stats.misses += misses
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.counter(
+                "imfant_lazy_cache_hits_total",
+                help="lazy-backend transition-cache hits",
+            ).inc(hits)
+            registry.counter(
+                "imfant_lazy_cache_misses_total",
+                help="lazy-backend transition-cache misses (interpretive steps)",
+            ).inc(misses)
+            registry.counter(
+                "imfant_lazy_cache_evictions_total",
+                help="lazy-backend LRU entry evictions",
+            ).inc(cache.stats.evictions - evictions_before)
+            registry.counter(
+                "imfant_lazy_cache_flushes_total",
+                help="lazy-backend whole-cache flushes",
+            ).inc(cache.stats.flushes - flushes_before)
+            registry.gauge(
+                "imfant_lazy_distinct_configs",
+                help="distinct frontier configurations currently interned",
+            ).set(cache.num_configs)
+        return result
+
     # -- numpy backend ----------------------------------------------------------
 
     def _run_numpy(self, payload: bytes, collect_stats: bool) -> RunResult:
@@ -182,14 +331,24 @@ class IMfantEngine:
         for rule in tables.empty_matching_rules:
             matches.update((rule, end) for end in range(len(payload) + 1))
 
+        all_rules_mask = (1 << tables.num_rules) - 1
+        rule_to_slot = {rule: slot for slot, rule in enumerate(slot_to_rule)}
+        matched_rules = 0
+        for rule in tables.empty_matching_rules:
+            matched_rules |= 1 << rule_to_slot[rule]
+        single_match = self.single_match
+        consumed = 0
         sampler = obs.engine_sampler("imfant")
         stride = sampler.stride if sampler is not None else 0
         started = time.perf_counter()
         sv = np.zeros((tables.num_states, limbs), dtype=np.uint64)
         scratch = np.zeros_like(sv)
         for position, byte in enumerate(payload, start=1):
+            consumed = position
             src = src_tab[byte]
             if src is None:
+                if single_match and matched_rules == all_rules_mask:
+                    break
                 if sv.any():
                     sv.fill(0)
                 # keep the sampled positions (and the all-dead observation)
@@ -203,6 +362,10 @@ class IMfantEngine:
             scratch.fill(0)
             np.bitwise_or.at(scratch, dst, contrib)
             sv, scratch = scratch, sv
+            if collect_stats:
+                # counted before the early-exit check, matching the
+                # python backend's in-step accounting
+                stats.transitions_taken += int(np.count_nonzero(contrib.any(axis=1)))
             rows = final_rows_tab[byte]
             if rows is not None:
                 finals_dst = dst[rows]
@@ -211,29 +374,31 @@ class IMfantEngine:
                     hit_rows, hit_limbs = np.nonzero(hits)
                     for r, l in zip(hit_rows.tolist(), hit_limbs.tolist()):
                         word = int(hits[r, l])
+                        matched_rules |= word << (64 * l)
                         for bit in _bits(word):
                             matches.add((slot_to_rule[64 * l + bit], position))
                         if pop_on_final:
                             # Idempotent per (state, limb): `word` is a
                             # snapshot, so repeated rows re-clear harmlessly.
                             sv[int(finals_dst[r]), l] &= ~np.uint64(word)
+            if single_match and matched_rules == all_rules_mask:
+                break
             if collect_stats:
                 stats.transitions_examined += len(src)
-                stats.transitions_taken += int(np.count_nonzero(contrib.any(axis=1)))
-                popcounts = _popcount_rows(sv)
+                popcounts = popcount_rows(sv)
                 stats.active_pair_total += int(popcounts.sum())
                 peak = int(popcounts.max()) if popcounts.size else 0
                 if peak > stats.max_state_activation:
                     stats.max_state_activation = peak
             if sampler is not None and position % stride == 0:
-                popcounts = _popcount_rows(sv)
+                popcounts = popcount_rows(sv)
                 sampler.observe(
                     int(popcounts.sum()),
                     int(np.count_nonzero(popcounts)),
                     len(src),
                 )
         stats.wall_seconds = time.perf_counter() - started
-        stats.chars_processed = len(payload)
+        stats.chars_processed = consumed if single_match else len(payload)
         stats.match_count = len(matches)
         return result
 
@@ -243,8 +408,3 @@ def _bits(mask: int) -> Iterable[int]:
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
-
-
-def _popcount_rows(sv: np.ndarray) -> np.ndarray:
-    """Per-state popcount of a (states, limbs) uint64 activation matrix."""
-    return np.bitwise_count(sv).sum(axis=1)

@@ -26,6 +26,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.automata.fsa import Fsa
+from repro.engine.bitops import popcount_total
 from repro.engine.counters import ExecutionStats, RunResult
 from repro.engine.tables import FsaTables
 
@@ -142,12 +143,12 @@ class INfantEngine:
             if collect_stats:
                 stats.transitions_examined += len(src_limb)
                 stats.transitions_taken += int(active.sum())
-                popcount = int(np.bitwise_count(sv).sum())
+                popcount = popcount_total(sv)
                 stats.active_pair_total += popcount
                 if popcount > stats.max_state_activation:
                     stats.max_state_activation = popcount
             if sampler is not None and position % stride == 0:
-                popcount = int(np.bitwise_count(sv).sum())
+                popcount = popcount_total(sv)
                 sampler.observe(popcount, popcount, len(src_limb))
         stats.wall_seconds = time.perf_counter() - started
         stats.chars_processed = len(payload)

@@ -72,12 +72,16 @@ def autotune_merging_factor(
     cost_model: CostModel | None = None,
     machine: MachineModel | None = None,
     options: CompileOptions | None = None,
+    backend: str = "python",
 ) -> AutotuneReport:
     """Pick the merging factor minimising modelled latency on ``sample``.
 
     ``candidates`` follows the artifact convention (0 = all); factors
     ≥ len(patterns) alias with "all" and are deduplicated.  ``options``
     supplies the non-M compilation knobs (grouping, passes, …).
+    ``backend`` selects the profiling engine; the work counters that
+    feed the cost model are backend-invariant, so any backend gives the
+    same selection (pick the fastest one for large samples).
     """
     if not patterns:
         raise ValueError("cannot autotune an empty ruleset")
@@ -108,7 +112,7 @@ def autotune_merging_factor(
         )
         works = []
         for mfsa in compiled.mfsas:
-            stats = IMfantEngine(mfsa).run(sample).stats
+            stats = IMfantEngine(mfsa, backend=backend).run(sample).stats
             works.append(cost_model.run_cost(stats))
         report.candidates.append(CandidateResult(
             merging_factor=effective,

@@ -118,35 +118,39 @@ def test_backend_agreement_property(data):
 
 
 class TestSingleMatch:
-    def test_first_match_per_rule_only(self):
+    @pytest.mark.parametrize("backend", ["python", "numpy", "lazy"])
+    def test_first_match_per_rule_only(self, backend):
         mfsa = build(["ab", "cd"])
-        engine = IMfantEngine(mfsa, single_match=True)
+        engine = IMfantEngine(mfsa, backend=backend, single_match=True)
         got = engine.run("ababcdcd").matches
         assert got == {(0, 2), (1, 6)}
 
-    def test_early_exit_stops_scanning(self):
+    @pytest.mark.parametrize("backend", ["python", "numpy", "lazy"])
+    def test_early_exit_stops_scanning(self, backend):
         mfsa = build(["ab"])
-        engine = IMfantEngine(mfsa, single_match=True)
+        engine = IMfantEngine(mfsa, backend=backend, single_match=True)
         stream = "ab" + "z" * 1000
         stats = engine.run(stream).stats
         assert stats.chars_processed == 2
 
-    def test_no_early_exit_until_all_rules_fire(self):
+    @pytest.mark.parametrize("backend", ["python", "numpy", "lazy"])
+    def test_no_early_exit_until_all_rules_fire(self, backend):
         mfsa = build(["ab", "zz"])
-        engine = IMfantEngine(mfsa, single_match=True)
+        engine = IMfantEngine(mfsa, backend=backend, single_match=True)
         stream = "ab" + "y" * 50 + "zz" + "y" * 50
         result = engine.run(stream)
         assert result.matches == {(0, 2), (1, 54)}
         assert result.stats.chars_processed == 54
 
-    def test_numpy_backend_post_filters(self):
+    def test_numpy_backend_first_match_semantics(self):
         mfsa = build(["a+"])
         engine = IMfantEngine(mfsa, backend="numpy", single_match=True)
         assert engine.run("aaa").matches == {(0, 1)}
 
-    def test_empty_rule_counts_as_matched(self):
+    @pytest.mark.parametrize("backend", ["python", "numpy", "lazy"])
+    def test_empty_rule_counts_as_matched(self, backend):
         mfsa = build(["a*", "b"])
-        engine = IMfantEngine(mfsa, single_match=True)
+        engine = IMfantEngine(mfsa, backend=backend, single_match=True)
         result = engine.run("bzzzz")
         assert (1, 1) in result.matches
         assert result.stats.chars_processed == 1  # early exit after b
@@ -154,3 +158,31 @@ class TestSingleMatch:
     def test_default_mode_unchanged(self):
         mfsa = build(["a+"])
         assert IMfantEngine(mfsa).run("aaa").matches == {(0, 1), (0, 2), (0, 3)}
+
+    def test_backends_agree_on_single_match_stats(self):
+        """The numpy backend early-exits like the python one and reports
+        the bytes actually consumed; work counters agree position for
+        position (taken is counted in-step, examined post-exit)."""
+        mfsa = build(["abc", "a[bc]d", "xy"])
+        text = "abcxyzacd" + "z" * 200 + "xy"
+        results = {
+            backend: IMfantEngine(mfsa, backend=backend, single_match=True).run(text)
+            for backend in ("python", "numpy", "lazy")
+        }
+        py = results["python"]
+        assert py.stats.chars_processed < len(text)  # exit actually fired
+        for backend in ("numpy", "lazy"):
+            other = results[backend]
+            assert other.matches == py.matches, backend
+            assert other.stats.chars_processed == py.stats.chars_processed, backend
+            assert other.stats.transitions_examined == py.stats.transitions_examined, backend
+            assert other.stats.transitions_taken == py.stats.transitions_taken, backend
+            assert other.stats.active_pair_total == py.stats.active_pair_total, backend
+
+    def test_numpy_dead_symbol_early_exit(self):
+        """All rules ε-accepting: every backend consumes exactly one byte
+        even when that byte enables no transitions."""
+        mfsa = build(["a*", "b*"])
+        for backend in ("python", "numpy", "lazy"):
+            stats = IMfantEngine(mfsa, backend=backend, single_match=True).run("zzzz").stats
+            assert stats.chars_processed == 1, backend
