@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke ci clean
+.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,11 +32,25 @@ examples:
 obs-smoke:
 	PYTHONPATH=src pytest tests/ -m obs -q
 
+# Resource-governance smoke: the guard/fault-injection suites, then an
+# adversarial CLI drill — a state-explosion rule under --on-error
+# quarantine must isolate the offender and exit 3 (partial), within a
+# hard timeout (a governed compile may fail, never hang).
+guard-smoke:
+	PYTHONPATH=src pytest tests/ -m guard -q
+	@printf 'abc\nx{5000}\nabd\n' > /tmp/guard-smoke-rules.txt
+	@sh -c 'PYTHONPATH=src timeout 60 python -m repro.cli compile \
+	    /tmp/guard-smoke-rules.txt -o /tmp/guard-smoke-out \
+	    --budget-loop-copies 256 --on-error quarantine; \
+	  test $$? -eq 3 && echo "guard-smoke: quarantine exit code OK"'
+	@rm -rf /tmp/guard-smoke-rules.txt /tmp/guard-smoke-out
+
 # What .github/workflows/ci.yml runs, for local use: the tier-1 suite
-# plus the observability smoke.
+# plus the observability and governance smokes.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) obs-smoke
+	$(MAKE) guard-smoke
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \

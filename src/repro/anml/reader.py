@@ -15,12 +15,18 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 
 from repro.frontend.lexer import tokenize, TokenKind
+from repro.guard.errors import FormatError
 from repro.labels import CharClass
 from repro.mfsa.model import Mfsa
 
 
-class AnmlFormatError(ValueError):
-    """Raised when the XML is not valid extended ANML."""
+class AnmlFormatError(FormatError, ValueError):
+    """Raised when the XML is not valid extended ANML.
+
+    A :class:`~repro.guard.errors.FormatError` in the taxonomy; keeps
+    its historical :class:`ValueError` base."""
+
+    default_stage = "anml"
 
 
 def read_anml(text: str) -> Mfsa:

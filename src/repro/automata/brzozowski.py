@@ -34,6 +34,7 @@ from repro.frontend.ast import (
     Literal,
     Repeat,
 )
+from repro.guard.errors import BudgetExceeded
 from repro.labels import CharClass
 from repro.mfsa.ccpartial import alphabet_partition
 
@@ -148,9 +149,14 @@ def accepts(node: AstNode, data: bytes | str) -> bool:
 # -- derivative automaton -----------------------------------------------------
 
 
-class DerivativeBudgetError(RuntimeError):
+class DerivativeBudgetError(BudgetExceeded, RuntimeError):
     """Raised when the derivative DFA exceeds its state budget (the weak
-    normal form does not guarantee finiteness for every regex)."""
+    normal form does not guarantee finiteness for every regex).
+
+    A :class:`~repro.guard.errors.BudgetExceeded` in the taxonomy; keeps
+    its historical :class:`RuntimeError` base."""
+
+    default_stage = "determinize"
 
 
 def _labels_of(node: AstNode) -> list[int]:

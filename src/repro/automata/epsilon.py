@@ -37,8 +37,13 @@ def epsilon_closure(fsa: Fsa, seeds: Iterable[int]) -> set[int]:
     return closure
 
 
-def remove_epsilon(fsa: Fsa) -> Fsa:
-    """Return an equivalent ε-free FSA (trimmed and densely renumbered)."""
+def remove_epsilon(fsa: Fsa, *, meter=None, rule=None) -> Fsa:
+    """Return an equivalent ε-free FSA (trimmed and densely renumbered).
+
+    ``meter`` is an optional :class:`~repro.guard.budget.BudgetMeter`:
+    the closure product can square the arc count, so each emitted arc is
+    charged and the deadline is checked every ``check_stride`` arcs.
+    """
     if not fsa.has_epsilon():
         return fsa.trimmed()
 
@@ -52,6 +57,8 @@ def remove_epsilon(fsa: Fsa) -> Fsa:
 
     closures = _all_closures(fsa.num_states, eps_adj)
 
+    stride = meter.budget.check_stride if meter is not None else 0
+    emitted = 0
     out = Fsa(num_states=fsa.num_states, initial=fsa.initial, pattern=fsa.pattern)
     seen_arcs: set[tuple[int, int, int]] = set()
     for q in range(fsa.num_states):
@@ -61,6 +68,11 @@ def remove_epsilon(fsa: Fsa) -> Fsa:
                 if key not in seen_arcs:
                     seen_arcs.add(key)
                     out.add_transition(q, t.dst, t.label)
+                    if meter is not None:
+                        emitted += 1
+                        meter.charge_transitions(1, stage="single_opt", rule=rule)
+                        if emitted % stride == 0:
+                            meter.check_deadline(stage="single_opt", rule=rule)
         if closures[q] & fsa.finals:
             out.finals.add(q)
 

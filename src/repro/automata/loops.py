@@ -11,11 +11,18 @@ The pass is an AST→AST rewrite, applied before Thompson construction.  An
 expansion budget guards against pathological bounds (``x{1000000}``)
 blowing up the automaton; patterns exceeding it are left compressed and
 reported via :class:`LoopExpansionReport`.
+
+When a :class:`~repro.guard.budget.BudgetMeter` with ``max_loop_copies``
+is supplied the cap flows from the budget instead of the module default
+and enforcement is strict: the offending pattern is *not* silently kept
+compressed — a :class:`~repro.guard.errors.LoopBudgetExceeded` naming
+the rule and the exact repeat sub-expression is raised.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.frontend.ast import (
     AstNode,
@@ -43,9 +50,32 @@ def expand_loops(
     node: AstNode,
     budget: int = DEFAULT_EXPANSION_BUDGET,
     report: LoopExpansionReport | None = None,
+    *,
+    meter=None,
+    rule: Optional[int] = None,
 ) -> AstNode:
-    """Rewrite finite repetitions into concatenations (see module doc)."""
+    """Rewrite finite repetitions into concatenations (see module doc).
+
+    ``meter`` is an optional :class:`~repro.guard.budget.BudgetMeter`;
+    when it carries ``max_loop_copies`` that cap replaces ``budget`` and
+    over-budget repeats raise instead of staying compressed, with the
+    error naming ``rule`` and the offending repeat.
+    """
     stats = report if report is not None else LoopExpansionReport()
+    strict = meter is not None and meter.budget.max_loop_copies is not None
+    if strict:
+        budget = meter.budget.max_loop_copies
+
+    def charge(n: Repeat, copies: int) -> bool:
+        """Account for ``copies`` body copies; True means within budget."""
+        if strict:
+            # Raises LoopBudgetExceeded naming the rule and repeat.
+            meter.charge_loop_copies(copies, rule=rule, repeat=n.pattern())
+            return True
+        if copies > budget:
+            stats.over_budget.append(n.pattern())
+            return False
+        return True
 
     def rewrite(n: AstNode) -> AstNode:
         if not isinstance(n, Repeat):
@@ -56,14 +86,12 @@ def expand_loops(
             return n
         if high is None:
             # x{m,} -> x^m x*
-            if low > budget:
-                stats.over_budget.append(n.pattern())
+            if not charge(n, low):
                 return n
             stats.expanded += 1
             stats.kept_unbounded += 1
             return concat([n.body] * low + [Repeat(n.body, 0, None)])
-        if high > budget:
-            stats.over_budget.append(n.pattern())
+        if not charge(n, high):
             return n
         stats.expanded += 1
         return _expand_bounded(n.body, low, high)

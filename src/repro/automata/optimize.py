@@ -34,23 +34,45 @@ class OptimizeOptions:
     simplify_multiplicity: bool = True
 
 
-def optimize_ast(node: AstNode, options: OptimizeOptions | None = None) -> AstNode:
-    """AST-level passes: case folding, then loop expansion."""
+def optimize_ast(
+    node: AstNode,
+    options: OptimizeOptions | None = None,
+    *,
+    meter=None,
+    rule=None,
+) -> AstNode:
+    """AST-level passes: case folding, then loop expansion.
+
+    ``meter``/``rule`` (an optional :class:`~repro.guard.budget.BudgetMeter`
+    and the rule id being compiled) flow into loop expansion so strict
+    loop budgets name their offender."""
     options = options or OptimizeOptions()
     if options.case_insensitive:
         from repro.frontend.casefold import fold_case
 
         node = fold_case(node)
     if options.expand_loops:
-        return expand_loops(node, budget=options.loop_budget, report=LoopExpansionReport())
+        return expand_loops(
+            node,
+            budget=options.loop_budget,
+            report=LoopExpansionReport(),
+            meter=meter,
+            rule=rule,
+        )
     return node
 
 
-def optimize_fsa(fsa: Fsa, options: OptimizeOptions | None = None) -> Fsa:
+def optimize_fsa(
+    fsa: Fsa,
+    options: OptimizeOptions | None = None,
+    *,
+    meter=None,
+    rule=None,
+) -> Fsa:
     """FSA-level passes: ε-removal, suffix state merging, multiplicity
     simplification (in that order; each is individually optional)."""
     options = options or OptimizeOptions()
-    out = remove_epsilon(fsa)
+    out = remove_epsilon(fsa, meter=meter, rule=rule)
     if options.merge_suffix_states:
         out = merge_suffix_states(out)
     if options.simplify_multiplicity:
@@ -58,6 +80,8 @@ def optimize_fsa(fsa: Fsa, options: OptimizeOptions | None = None) -> Fsa:
         if options.merge_suffix_states:
             # Fused labels can expose further suffix equivalences.
             out = merge_suffix_states(out)
+    if meter is not None:
+        meter.check_deadline(stage="single_opt", rule=rule)
     return out
 
 
@@ -69,7 +93,9 @@ def construct_nfa(ast: AstNode, pattern: str | None, options: OptimizeOptions) -
         from repro.automata.glushkov import glushkov_construct
 
         return glushkov_construct(ast, pattern=pattern)
-    raise ValueError(f"unknown construction {options.construction!r}")
+    from repro.guard.errors import UsageError
+
+    raise UsageError(f"unknown construction {options.construction!r}")
 
 
 def compile_re_to_fsa(pattern: str, options: OptimizeOptions | None = None) -> Fsa:

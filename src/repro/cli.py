@@ -15,12 +15,22 @@
 ``--metrics-out FILE`` to capture any production invocation's spans
 (Chrome trace-event JSON, Perfetto-loadable) and metrics (Prometheus
 text exposition) without changing the command's behaviour.
+
+All commands share one error contract: every deliberate failure is a
+:class:`~repro.guard.errors.ReproError`, caught by a single top-level
+handler that prints ``error: <stage>: <message>`` to stderr and exits
+with the taxonomy code (0 ok, 1 error, 2 usage, 3 partial/quarantined,
+4 budget/deadline).  ``repro compile``/``match``/``obs`` accept
+``--budget-*``/``--deadline`` resource limits, ``--on-error
+{fail,quarantine}`` per-rule failure isolation and (``match``)
+``--degrade {off,auto}`` backend degradation — see docs/robustness.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import functools
 import math
 import sys
 import time
@@ -31,6 +41,14 @@ from repro.anml.reader import read_anml
 from repro.engine.imfant import IMfantEngine
 from repro.engine.lazy import DEFAULT_CACHE_SIZE
 from repro.engine.multithread import run_pool
+from repro.guard.budget import Budget
+from repro.guard.errors import (
+    EXIT_PARTIAL,
+    ReproError,
+    UsageError,
+    exit_code_for,
+    stage_of,
+)
 from repro.pipeline.compiler import CompileOptions, compile_ruleset
 from repro.reporting import tables
 from repro.reporting.experiments import (
@@ -46,15 +64,89 @@ from repro.reporting.experiments import (
 )
 
 
+def _guarded(func):
+    """The single top-level error handler every entry point runs under:
+    a :class:`ReproError` becomes one ``error: <stage>: <message>`` line
+    on stderr plus the taxonomy exit code — never a traceback."""
+
+    @functools.wraps(func)
+    def wrapper(argv: list[str] | None = None) -> int:
+        try:
+            return func(argv)
+        except ReproError as error:
+            print(f"error: {stage_of(error)}: {error}", file=sys.stderr)
+            return exit_code_for(error)
+
+    return wrapper
+
+
 def _read_patterns(path: Path) -> list[str]:
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise UsageError(f"cannot read ruleset {path}: {exc}") from exc
     patterns = []
-    for line in path.read_text().splitlines():
+    for line in text.splitlines():
         line = line.strip()
         if line and not line.startswith("#"):
             patterns.append(line)
     if not patterns:
-        raise SystemExit(f"no patterns found in {path}")
+        raise UsageError(f"no patterns found in {path}")
     return patterns
+
+
+def _add_guard_flags(parser: argparse.ArgumentParser, degrade: bool = False) -> None:
+    group = parser.add_argument_group("resource governance")
+    group.add_argument("--budget-states", type=int, default=None, metavar="N",
+                       help="max automaton states constructed per compile")
+    group.add_argument("--budget-transitions", type=int, default=None, metavar="N",
+                       help="max automaton transitions constructed per compile")
+    group.add_argument("--budget-loop-copies", type=int, default=None, metavar="N",
+                       help="max loop-expansion copies (strict: over-budget "
+                            "repeats fail instead of staying compressed)")
+    group.add_argument("--budget-memory-mb", type=float, default=None, metavar="MB",
+                       help="modelled memory ceiling for construction")
+    group.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock deadline (covers the compile; for "
+                            "match, also each engine scan)")
+    group.add_argument("--on-error", choices=("fail", "quarantine"), default="fail",
+                       help="quarantine: isolate failing rules per-rule and "
+                            "ship the survivors (exit 3); fail: first error "
+                            "aborts (default)")
+    if degrade:
+        group.add_argument("--degrade", choices=("off", "auto"), default="off",
+                           help="auto: step the backend ladder lazy->numpy->"
+                                "python on allocation failure / cache thrash")
+
+
+def _budget_from(args: argparse.Namespace) -> Budget | None:
+    """Build a Budget from the guard flags; None when none was given."""
+    if (args.budget_states is None and args.budget_transitions is None
+            and args.budget_loop_copies is None and args.budget_memory_mb is None
+            and args.deadline is None):
+        return None
+    return Budget(
+        max_states=args.budget_states,
+        max_transitions=args.budget_transitions,
+        max_loop_copies=args.budget_loop_copies,
+        max_memory_bytes=(int(args.budget_memory_mb * 1024 * 1024)
+                          if args.budget_memory_mb is not None else None),
+        deadline=args.deadline,
+    )
+
+
+def _guarded_compile(patterns: list[str], options: CompileOptions,
+                     args: argparse.Namespace):
+    """Compile under the guard flags; prints the quarantine summary (if
+    any) to stderr and returns the :class:`GuardedCompilation`."""
+    from repro.guard.compiler import GuardedCompiler
+
+    compiler = GuardedCompiler(options, budget=_budget_from(args),
+                               on_error=args.on_error)
+    compilation = compiler.compile(patterns)
+    for line in compilation.quarantine.summary_lines():
+        print(f"warning: {line}", file=sys.stderr)
+    return compilation
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -99,6 +191,7 @@ def _merge_lazy_stats(engines) -> dict[str, float]:
     return totals
 
 
+@_guarded
 def compile_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-compile``."""
     parser = argparse.ArgumentParser(
@@ -112,6 +205,7 @@ def compile_main(argv: list[str] | None = None) -> int:
                         help="directory for the .anml files")
     parser.add_argument("--stratify", action="store_true",
                         help="enable partial character-class merging")
+    _add_guard_flags(parser)
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
@@ -119,15 +213,19 @@ def compile_main(argv: list[str] | None = None) -> int:
     options = CompileOptions(merging_factor=args.merging_factor,
                              stratify_charclasses=args.stratify)
     with _obs_scope(args) as cap:
-        result = compile_ruleset(patterns, options)
+        compilation = _guarded_compile(patterns, options, args)
+    result = compilation.result
+    assert result is not None and result.anml is not None
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
-    assert result.anml is not None
     for index, document in enumerate(result.anml):
         (args.output_dir / f"mfsa{index}.anml").write_text(document)
 
     report = result.merge_report
-    print(f"compiled {len(patterns)} REs into {len(result.mfsas)} MFSA(s)")
+    print(f"compiled {len(result.patterns)} REs into {len(result.mfsas)} MFSA(s)")
+    if compilation.partial:
+        print(f"quarantined {len(compilation.quarantine)} of {len(patterns)} rule(s); "
+              f"survivors shipped")
     print(f"states: {report.input_states} -> {report.output_states} "
           f"({report.state_compression:.2f}% compression)")
     print(f"transitions: {report.input_transitions} -> {report.output_transitions} "
@@ -136,9 +234,10 @@ def compile_main(argv: list[str] | None = None) -> int:
         f"{name}={seconds:.4f}" for name, seconds in result.stage_times.as_dict().items()))
     print(f"wrote {len(result.anml)} file(s) to {args.output_dir}/")
     _export_obs(args, cap)
-    return 0
+    return EXIT_PARTIAL if compilation.partial else 0
 
 
+@_guarded
 def match_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-match``."""
     parser = argparse.ArgumentParser(
@@ -163,37 +262,80 @@ def match_main(argv: list[str] | None = None) -> int:
                         help="report each rule's first match only (early exit)")
     parser.add_argument("--show-matches", type=int, default=10, metavar="N",
                         help="print the first N matches (0 = none)")
+    _add_guard_flags(parser, degrade=True)
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
+    quarantined = 0
     with _obs_scope(args) as cap:
+        rule_map = None
+        quarantine = None
         if args.mfsa_dir is not None:
             files = sorted(args.mfsa_dir.glob("*.anml"))
             if not files:
-                raise SystemExit(f"no .anml files in {args.mfsa_dir}")
+                raise UsageError(f"no .anml files in {args.mfsa_dir}")
             mfsas = [read_anml(path.read_text()) for path in files]
         else:
             patterns = _read_patterns(args.ruleset)
-            result = compile_ruleset(patterns, CompileOptions(merging_factor=args.merging_factor,
-                                                              emit_anml=False))
-            mfsas = result.mfsas
+            compilation = _guarded_compile(
+                patterns,
+                CompileOptions(merging_factor=args.merging_factor, emit_anml=False),
+                args,
+            )
+            assert compilation.result is not None
+            mfsas = compilation.result.mfsas
+            quarantined = len(compilation.quarantine)
+            if compilation.partial:
+                rule_map = compilation.surviving_ids
+                quarantine = compilation.quarantine
 
-        data = args.stream.read_bytes()
-        engines = [
-            IMfantEngine(mfsa, backend=args.backend, single_match=args.single_match,
-                         lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
-                         lazy_eviction=args.lazy_eviction)
-            for mfsa in mfsas
-        ]
+        try:
+            data = args.stream.read_bytes()
+        except OSError as exc:
+            raise UsageError(f"cannot read stream {args.stream}: {exc}") from exc
+        degradations: list = []
         started = time.perf_counter()
-        matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
+        if args.degrade == "auto" or quarantine is not None:
+            from repro.guard.degrade import DegradePolicy, GuardedMatcher
+
+            # with --degrade off, the guarded matcher is only here for
+            # quarantine remapping/fallback — freeze the ladder
+            policy = None if args.degrade == "auto" else DegradePolicy(
+                on_alloc_failure=False, on_cache_thrash=False)
+            matcher = GuardedMatcher(
+                mfsas,
+                rule_map=rule_map,
+                quarantine=quarantine,
+                backend=args.backend,
+                policy=policy,
+                scan_deadline=args.deadline,
+                threads=args.threads,
+                single_match=args.single_match,
+                lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
+                lazy_eviction=args.lazy_eviction,
+            )
+            run = matcher.run(data)
+            matches, stats = run.matches, run.stats
+            degradations = run.degradations
+            engines = matcher._ensure_engines()
+        else:
+            engines = [
+                IMfantEngine(mfsa, backend=args.backend, single_match=args.single_match,
+                             lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
+                             lazy_eviction=args.lazy_eviction,
+                             scan_deadline=args.deadline)
+                for mfsa in mfsas
+            ]
+            matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
         elapsed = time.perf_counter() - started
 
     print(f"matched {len(data)} bytes against {len(mfsas)} MFSA(s) "
           f"({sum(len(m.initials) for m in mfsas)} rules) on {args.threads} thread(s)")
     print(f"matches: {len(matches)}   time: {elapsed:.4f}s   "
           f"transitions examined: {stats.transitions_examined}")
-    if args.backend == "lazy":
+    for step in degradations:
+        print(f"degraded {step.from_backend} -> {step.to_backend}: {step.reason}")
+    if args.backend == "lazy" and not degradations:
         totals = _merge_lazy_stats(engines)
         print(f"lazy cache: {totals['hits']:.0f} hits / {totals['misses']:.0f} misses "
               f"({totals['hit_rate']:.1%} hit rate), "
@@ -201,9 +343,10 @@ def match_main(argv: list[str] | None = None) -> int:
     for rule, end in sorted(matches)[: args.show_matches]:
         print(f"  rule {rule} matched ending at offset {end}")
     _export_obs(args, cap)
-    return 0
+    return EXIT_PARTIAL if quarantined else 0
 
 
+@_guarded
 def viz_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-viz``: render a ruleset's automata as DOT."""
     parser = argparse.ArgumentParser(
@@ -237,6 +380,7 @@ def viz_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+@_guarded
 def report_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-report``: regenerate tables/figures as text."""
     parser = argparse.ArgumentParser(
@@ -259,7 +403,7 @@ def report_main(argv: list[str] | None = None) -> int:
         wanted_suites = tuple(s.strip().upper() for s in args.datasets.split(","))
         unknown = [s for s in wanted_suites if s not in DATASET_PROFILES]
         if unknown:
-            raise SystemExit(f"unknown dataset(s): {', '.join(unknown)}")
+            raise UsageError(f"unknown dataset(s): {', '.join(unknown)}")
         config = ExperimentConfig(scale=args.scale, stream_size=args.stream_size,
                                   datasets=wanted_suites)
     else:
@@ -397,6 +541,7 @@ def _demo_stream(patterns: list[str], size: int, seed: int = 1) -> bytes:
     return "".join(chunks).encode("latin-1")[:size]
 
 
+@_guarded
 def obs_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-obs`` (also ``repro obs``)."""
     parser = argparse.ArgumentParser(
@@ -430,6 +575,7 @@ def obs_main(argv: list[str] | None = None) -> int:
                         help="write the Prometheus text exposition here")
     parser.add_argument("--quiet", action="store_true",
                         help="skip the pretty-printed span tree / metric summary")
+    _add_guard_flags(parser)
     args = parser.parse_args(argv)
 
     if args.builtin is not None:
@@ -438,19 +584,24 @@ def obs_main(argv: list[str] | None = None) -> int:
         try:
             patterns = list(load_builtin(args.builtin).patterns)
         except KeyError as exc:
-            raise SystemExit(str(exc.args[0]))
+            raise UsageError(str(exc.args[0])) from exc
     else:
         patterns = _read_patterns(args.ruleset)
     data = args.stream.read_bytes() if args.stream else _demo_stream(patterns, args.stream_size)
 
     with obs.capture(stride=args.stride) as cap:
-        result = compile_ruleset(
-            patterns, CompileOptions(merging_factor=args.merging_factor, emit_anml=True)
+        compilation = _guarded_compile(
+            patterns,
+            CompileOptions(merging_factor=args.merging_factor, emit_anml=True),
+            args,
         )
+        result = compilation.result
+        assert result is not None
         engines = [
             IMfantEngine(m, backend=args.backend,
                          lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
-                         lazy_eviction=args.lazy_eviction)
+                         lazy_eviction=args.lazy_eviction,
+                         scan_deadline=args.deadline)
             for m in result.mfsas
         ]
         matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
@@ -483,7 +634,7 @@ def obs_main(argv: list[str] | None = None) -> int:
     if args.metrics_out is not None:
         obs.write_prometheus(cap.registry, args.metrics_out)
         print(f"wrote Prometheus metrics to {args.metrics_out}")
-    return 0
+    return EXIT_PARTIAL if compilation.partial else 0
 
 
 # ---------------------------------------------------------------------------

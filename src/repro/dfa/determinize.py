@@ -30,13 +30,22 @@ def determinize(
     rules: Sequence[tuple[int, Fsa]],
     streaming: bool = True,
     max_states: int = DEFAULT_MAX_STATES,
+    meter=None,
 ) -> Dfa:
-    """Build the multi-rule DFA for ``(rule_id, ε-free NFA)`` pairs."""
+    """Build the multi-rule DFA for ``(rule_id, ε-free NFA)`` pairs.
+
+    ``meter`` is an optional :class:`~repro.guard.budget.BudgetMeter`;
+    its ``max_states`` (when tighter) lowers the explosion budget and
+    its deadline is checked once per popped subset."""
+    from repro.guard.errors import UsageError
+
     if not rules:
-        raise ValueError("cannot determinise an empty ruleset")
+        raise UsageError("cannot determinise an empty ruleset")
     for _, fsa in rules:
         if fsa.has_epsilon():
-            raise ValueError("determinize requires ε-free NFAs")
+            raise UsageError("determinize requires ε-free NFAs")
+    if meter is not None and meter.budget.max_states is not None:
+        max_states = min(max_states, meter.budget.max_states)
 
     # Flatten the union NFA: globally renumber each rule's states.
     offsets: list[int] = []
@@ -71,6 +80,8 @@ def determinize(
     while worklist:
         subset = worklist.pop()
         src_id = subset_ids[subset]
+        if meter is not None:
+            meter.check_deadline(stage="determinize")
         # Partition the alphabet by the labels leaving this subset.
         masks = sorted({mask for state in subset for mask, _ in arcs_from[state]})
         if not masks:

@@ -10,17 +10,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.guard.errors import BudgetExceeded
 from repro.labels import ALPHABET_SIZE
 
 DEAD = -1
 
 
-class DfaExplosionError(RuntimeError):
+class DfaExplosionError(BudgetExceeded, RuntimeError):
     """Raised when subset construction exceeds its state budget — the
-    state-explosion phenomenon the paper's §II discusses."""
+    state-explosion phenomenon the paper's §II discusses.
+
+    A :class:`~repro.guard.errors.BudgetExceeded` in the taxonomy (exit
+    code 4); keeps its historical :class:`RuntimeError` base."""
+
+    default_stage = "determinize"
 
     def __init__(self, budget: int) -> None:
-        super().__init__(f"subset construction exceeded {budget} states")
+        super().__init__(
+            f"subset construction exceeded {budget} states",
+            resource="states",
+            limit=budget,
+        )
         self.budget = budget
 
 

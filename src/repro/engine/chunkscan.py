@@ -51,6 +51,7 @@ def chunk_scan(
     num_threads: int = 4,
     backend: str = "python",
     lazy_cache_size: int = DEFAULT_CACHE_SIZE,
+    scan_deadline: Optional[float] = None,
 ) -> set[tuple[int, int]]:
     """Scan ``data`` in overlapping chunks; returns the single-shot matches.
 
@@ -67,7 +68,9 @@ def chunk_scan(
     the chunk length; ``lazy_cache_size`` bounds each worker's cache.
     """
     payload = data.encode("latin-1") if isinstance(data, str) else data
-    engine = IMfantEngine(mfsa, backend=backend, lazy_cache_size=lazy_cache_size)
+    engine = IMfantEngine(
+        mfsa, backend=backend, lazy_cache_size=lazy_cache_size, scan_deadline=scan_deadline
+    )
     if overlap is None or len(payload) <= chunk_size:
         return engine.run(payload, collect_stats=False).matches
     if chunk_size <= overlap:

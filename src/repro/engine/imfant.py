@@ -39,9 +39,15 @@ from repro.engine.bitops import popcount_rows
 from repro.engine.counters import ExecutionStats, RunResult
 from repro.engine.lazy import DEFAULT_CACHE_SIZE, LazyConfigCache
 from repro.engine.tables import MfsaTables, limbs_for
+from repro.guard import faultinject
+from repro.guard.errors import AllocationFailed, ScanDeadlineExceeded, UsageError
 from repro.mfsa.model import Mfsa
 
 _BACKENDS = ("python", "numpy", "lazy")
+
+#: Scan positions between deadline checks (one modulo per byte; the
+#: perf_counter read happens only every stride-th position).
+DEFAULT_DEADLINE_STRIDE = 4096
 
 
 class IMfantEngine:
@@ -68,28 +74,42 @@ class IMfantEngine:
         single_match: bool = False,
         lazy_cache_size: int = DEFAULT_CACHE_SIZE,
         lazy_eviction: str = "flush",
+        scan_deadline: float | None = None,
+        deadline_stride: int = DEFAULT_DEADLINE_STRIDE,
     ) -> None:
         if backend not in _BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
+            raise UsageError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
+        if scan_deadline is not None and scan_deadline <= 0:
+            raise UsageError(f"scan_deadline must be positive (got {scan_deadline})")
+        if deadline_stride < 1:
+            raise UsageError(f"deadline_stride must be >= 1 (got {deadline_stride})")
         self.backend = backend
         self.pop_on_final = pop_on_final
         self.single_match = single_match
         self.lazy_cache_size = lazy_cache_size
         self.lazy_eviction = lazy_eviction
+        self.scan_deadline = scan_deadline
+        self.deadline_stride = deadline_stride
         self.tables = MfsaTables.build(mfsa)
         self.lazy_cache: LazyConfigCache | None = None
         self._init_backend()
 
     def _init_backend(self) -> None:
-        if self.backend == "numpy":
-            self.tables.ensure_arrays()
-        elif self.backend == "lazy":
-            self.lazy_cache = LazyConfigCache(
-                self.tables,
-                pop_on_final=self.pop_on_final,
-                max_entries=self.lazy_cache_size,
-                eviction=self.lazy_eviction,
-            )
+        try:
+            faultinject.fire("alloc", backend=self.backend)
+            if self.backend == "numpy":
+                self.tables.ensure_arrays()
+            elif self.backend == "lazy":
+                self.lazy_cache = LazyConfigCache(
+                    self.tables,
+                    pop_on_final=self.pop_on_final,
+                    max_entries=self.lazy_cache_size,
+                    eviction=self.lazy_eviction,
+                )
+        except MemoryError as exc:
+            raise AllocationFailed(
+                f"backend {self.backend!r} allocation failed: {exc}"
+            ) from exc
 
     def fork(self) -> "IMfantEngine":
         """A new engine sharing this one's (immutable) tables but owning
@@ -102,10 +122,40 @@ class IMfantEngine:
         clone.single_match = self.single_match
         clone.lazy_cache_size = self.lazy_cache_size
         clone.lazy_eviction = self.lazy_eviction
+        clone.scan_deadline = self.scan_deadline
+        clone.deadline_stride = self.deadline_stride
         clone.tables = self.tables
         clone.lazy_cache = None
         clone._init_backend()
         return clone
+
+    def _deadline_at(self, started: float) -> float | None:
+        return started + self.scan_deadline if self.scan_deadline is not None else None
+
+    def _deadline_check(
+        self, deadline_at: float, started: float, consumed: int, result: RunResult
+    ) -> None:
+        """Stride-gated scan-deadline check (also the step-delay fault point).
+
+        On expiry the partial :class:`RunResult` is finalized with honest
+        counters (matches so far, ``chars_processed`` = bytes actually
+        consumed) and attached to the raised error — callers never get a
+        silent truncation."""
+        faultinject.fire("engine.step_delay")
+        now = time.perf_counter()
+        if now <= deadline_at:
+            return
+        stats = result.stats
+        stats.wall_seconds = now - started
+        stats.chars_processed = consumed
+        stats.match_count = len(result.matches)
+        raise ScanDeadlineExceeded(
+            f"scan exceeded deadline of {self.scan_deadline:.3f}s "
+            f"after {consumed} bytes",
+            limit=self.scan_deadline,
+            used=now - started,
+            partial=result,
+        )
 
     # -- public API -------------------------------------------------------
 
@@ -160,10 +210,14 @@ class IMfantEngine:
         consumed = 0
         sampler = obs.engine_sampler("imfant")
         stride = sampler.stride if sampler is not None else 0
+        dstride = self.deadline_stride
         started = time.perf_counter()
+        deadline_at = self._deadline_at(started)
         active: dict[int, int] = {}  # state -> activation bitmask J
         for position, byte in enumerate(payload, start=1):
             consumed = position
+            if deadline_at is not None and position % dstride == 0:
+                self._deadline_check(deadline_at, started, consumed, result)
             enabled = by_symbol[byte]
             nxt: dict[int, int] = {}
             for src, dst, bel in enabled:
@@ -248,10 +302,14 @@ class IMfantEngine:
         flushes_before = cache.stats.flushes
         sampler = obs.engine_sampler("imfant")
         stride = sampler.stride if sampler is not None else 0
+        dstride = self.deadline_stride
         started = time.perf_counter()
+        deadline_at = self._deadline_at(started)
         cur = 0  # config id 0 == empty frontier
         for position, byte in enumerate(payload, start=1):
             consumed = position
+            if deadline_at is not None and position % dstride == 0:
+                self._deadline_check(deadline_at, started, consumed, result)
             key = (cur << 8) | byte
             entry = transitions.get(key)
             if entry is None:
@@ -340,11 +398,15 @@ class IMfantEngine:
         consumed = 0
         sampler = obs.engine_sampler("imfant")
         stride = sampler.stride if sampler is not None else 0
+        dstride = self.deadline_stride
         started = time.perf_counter()
+        deadline_at = self._deadline_at(started)
         sv = np.zeros((tables.num_states, limbs), dtype=np.uint64)
         scratch = np.zeros_like(sv)
         for position, byte in enumerate(payload, start=1):
             consumed = position
+            if deadline_at is not None and position % dstride == 0:
+                self._deadline_check(deadline_at, started, consumed, result)
             src = src_tab[byte]
             if src is None:
                 if single_match and matched_rules == all_rules_mask:

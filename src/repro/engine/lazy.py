@@ -45,6 +45,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.engine.tables import MfsaTables
+from repro.guard import faultinject
 
 __all__ = ["DEFAULT_CACHE_SIZE", "EVICTION_POLICIES", "LazyCacheStats", "LazyConfigCache"]
 
@@ -112,6 +113,11 @@ class LazyConfigCache:
             raise ValueError(
                 f"unknown eviction policy {eviction!r}; choose from {EVICTION_POLICIES}"
             )
+        pressure = faultinject.value("lazy.cache_pressure")
+        if pressure is not None:
+            # Injected cache pressure: clamp the budget so eviction/thrash
+            # paths exercise without multi-megabyte adversarial inputs.
+            max_entries = 1 if pressure is True else max(1, min(max_entries, int(pressure)))
         self.tables = tables
         self.pop_on_final = pop_on_final
         self.max_entries = max_entries

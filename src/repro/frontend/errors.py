@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
+from repro.guard.errors import CompileError
 
-class RegexSyntaxError(ValueError):
+
+class RegexSyntaxError(CompileError, ValueError):
     """A lexical or syntactic error in an input regular expression.
 
     Carries the offending pattern and the character offset so callers can
-    render a caret diagnostic.
+    render a caret diagnostic.  Part of the :class:`~repro.guard.errors.
+    ReproError` taxonomy (a :class:`CompileError`); keeps its historical
+    :class:`ValueError` base for older call sites.
     """
+
+    default_stage = "frontend"
 
     def __init__(self, message: str, pattern: str, position: int) -> None:
         self.message = message

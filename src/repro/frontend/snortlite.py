@@ -29,11 +29,18 @@ import re as _stdlib_re
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.guard.errors import CompileError
+
 _ERE_SPECIAL = set(".^$*+?()[]{}|\\")
 
 
-class SnortParseError(ValueError):
-    """A malformed snort-lite rule; carries the 1-based line number."""
+class SnortParseError(CompileError, ValueError):
+    """A malformed snort-lite rule; carries the 1-based line number.
+
+    A :class:`~repro.guard.errors.CompileError` in the taxonomy; keeps
+    its historical :class:`ValueError` base."""
+
+    default_stage = "frontend"
 
     def __init__(self, message: str, line: int) -> None:
         super().__init__(f"line {line}: {message}")

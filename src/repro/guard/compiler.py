@@ -1,0 +1,233 @@
+"""Per-rule quarantine around the compilation pipeline.
+
+:class:`GuardedCompiler` wraps :func:`repro.pipeline.compiler.
+compile_ruleset` with failure isolation: when a governed compile fails,
+the ruleset is bisected until the failure is attributed to individual
+rules, the offenders land in a :class:`~repro.guard.quarantine.
+QuarantineReport`, and the surviving rules still ship a working MFSA.
+One pathological rule no longer takes the batch down.
+
+Attribution strategy
+====================
+
+``compile_ruleset`` is all-or-nothing, so attribution works on subsets:
+
+1. try the full id set; success → no quarantine;
+2. on a :class:`~repro.guard.errors.ReproError`, bisect: a failing
+   singleton is quarantined (its error, stage and budget counters go in
+   the report); otherwise recurse into both halves and re-try the
+   combined survivors;
+3. if both halves pass individually but their union fails — a *group*
+   budget blown by combination, not by any one bad rule — the heaviest
+   remaining rule (longest pattern, the cheap proxy for automaton size)
+   is evicted and the loop continues.  Every round shrinks the set, so
+   termination is structural.
+
+Subset compile outcomes are memoised, so the final survivors' result is
+reused rather than recompiled.
+
+Rules evicted at group level are *individually* sound; their solo FSAs
+are salvaged onto the quarantine entry (``fallback_fsa``) so the
+degradation ladder (:mod:`repro.guard.degrade`) can preserve their match
+semantics by per-rule simulation.  Rules that fail alone have nothing to
+salvage.
+
+Rule identity
+=============
+
+``compile_ruleset`` numbers rules by position, so the survivors' MFSA
+speaks *local* ids.  :attr:`GuardedCompilation.surviving_ids` maps local
+→ original, and :meth:`GuardedCompilation.remap_matches` translates an
+engine's match set back into original rule ids — the contract the
+guarded matcher and the CLI rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import repro.obs as obs
+from repro.guard.budget import Budget
+from repro.guard.errors import ReproError, RuleQuarantined, UsageError
+from repro.guard.quarantine import QuarantineEntry, QuarantineReport
+from repro.pipeline.compiler import CompilationResult, CompileOptions, compile_ruleset
+
+__all__ = ["GuardedCompilation", "GuardedCompiler", "ON_ERROR_POLICIES"]
+
+ON_ERROR_POLICIES = ("fail", "quarantine")
+
+
+@dataclass
+class GuardedCompilation:
+    """Outcome of one guarded compile: survivors' result + audit trail."""
+
+    patterns: list
+    options: CompileOptions
+    #: the survivors' compilation (None when every rule was quarantined)
+    result: Optional[CompilationResult]
+    quarantine: QuarantineReport = field(default_factory=QuarantineReport)
+    #: local rule id (position in ``result``) -> original rule id
+    surviving_ids: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantine
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.quarantine) and self.result is not None
+
+    def remap_matches(self, matches: set) -> set:
+        """Translate ``(local_rule, end)`` matches to original rule ids."""
+        return {(self.surviving_ids[rule], end) for rule, end in matches}
+
+
+class GuardedCompiler:
+    """Compile rulesets with per-rule failure isolation (see module doc).
+
+    ``on_error="quarantine"`` (default) isolates offenders and ships the
+    survivors; ``on_error="fail"`` propagates the first taxonomy error
+    unchanged (the pre-guard behaviour, still under budgets).
+    """
+
+    def __init__(
+        self,
+        options: Optional[CompileOptions] = None,
+        budget: Optional[Budget] = None,
+        on_error: str = "quarantine",
+    ) -> None:
+        if on_error not in ON_ERROR_POLICIES:
+            raise UsageError(
+                f"unknown on_error policy {on_error!r}; choose from {ON_ERROR_POLICIES}"
+            )
+        options = options or CompileOptions()
+        if budget is not None:
+            options = replace(options, budget=budget)
+        self.options = options
+        self.on_error = on_error
+
+    # -- public API -------------------------------------------------------
+
+    def compile(self, patterns: Sequence[str]) -> GuardedCompilation:
+        patterns = list(patterns)
+        if not patterns:
+            raise UsageError("cannot compile an empty ruleset")
+        self._patterns = patterns
+        self._cache: dict = {}
+        report = QuarantineReport()
+
+        with obs.span("guard.compile", rules=len(patterns), on_error=self.on_error):
+            if self.on_error == "fail":
+                result = compile_ruleset(patterns, self.options)
+                survivors = list(range(len(patterns)))
+            else:
+                survivors = self._survivors(tuple(range(len(patterns))), report)
+                result = None
+                if survivors:
+                    outcome = self._try(tuple(survivors))
+                    assert not isinstance(outcome, ReproError)
+                    result = outcome
+                self._salvage(report)
+            self._emit_metrics(report)
+
+        if self.on_error == "quarantine" and not survivors:
+            raise RuleQuarantined(
+                f"all {len(patterns)} rule(s) quarantined; nothing to compile "
+                f"(first: {report.entries[0].message})",
+            )
+        return GuardedCompilation(
+            patterns=patterns,
+            options=self.options,
+            result=result,
+            quarantine=report,
+            surviving_ids=list(survivors),
+        )
+
+    # -- attribution ------------------------------------------------------
+
+    def _try(self, ids: tuple):
+        """Compile the subset; memoised ``CompilationResult | ReproError``."""
+        cached = self._cache.get(ids)
+        if cached is not None:
+            return cached
+        try:
+            outcome = compile_ruleset([self._patterns[i] for i in ids], self.options)
+        except ReproError as exc:
+            outcome = exc
+        self._cache[ids] = outcome
+        return outcome
+
+    def _survivors(self, ids: tuple, report: QuarantineReport) -> list:
+        if not ids:
+            return []
+        outcome = self._try(ids)
+        if not isinstance(outcome, ReproError):
+            return list(ids)
+        if len(ids) == 1:
+            self._quarantine(ids[0], outcome, report)
+            return []
+        mid = len(ids) // 2
+        left = self._survivors(ids[:mid], report)
+        right = self._survivors(ids[mid:], report)
+        merged = left + right
+        if tuple(merged) != ids:
+            return self._survivors(tuple(merged), report) if merged else []
+        # Both halves compile but the union does not: evict the heaviest
+        # rule (longest pattern — the cheap size proxy) and keep going.
+        victim = max(ids, key=lambda i: (len(self._patterns[i]), i))
+        self._quarantine(victim, outcome, report, evicted=True)
+        return self._survivors(tuple(i for i in ids if i != victim), report)
+
+    def _quarantine(
+        self, rule: int, error: ReproError, report: QuarantineReport, evicted: bool = False
+    ) -> None:
+        message = str(error)
+        # Subset compiles renumber rules from 0; rewrite a leading local
+        # "rule N: " provenance prefix to the original rule id.
+        local = getattr(error, "rule", None)
+        if local is not None and local != rule and message.startswith(f"rule {local}: "):
+            message = f"rule {rule}: " + message[len(f"rule {local}: "):]
+        if evicted:
+            message = f"group compile failed with: {message}"
+        report.add(
+            QuarantineEntry(
+                rule=rule,
+                pattern=self._patterns[rule],
+                stage=error.stage or ("merging" if evicted else "compile"),
+                error_type=type(error).__name__,
+                message=message,
+                counters=dict(getattr(error, "counters", None) or {}),
+                evicted=evicted,
+            )
+        )
+
+    def _salvage(self, report: QuarantineReport) -> None:
+        """Attach solo FSAs to group-evicted rules for fallback matching."""
+        for entry in report.entries:
+            if not entry.evicted:
+                continue
+            outcome = self._try((entry.rule,))
+            if not isinstance(outcome, ReproError) and outcome.fsas:
+                entry.fallback_fsa = outcome.fsas[0]
+
+    # -- observability ----------------------------------------------------
+
+    def _emit_metrics(self, report: QuarantineReport) -> None:
+        registry = obs.get_registry()
+        if registry is None:
+            return
+        # get-or-create all guard instruments so they are visible (at 0)
+        # in any captured run, quarantine or not
+        registry.counter(
+            "guard_budget_exceeded_total",
+            help="resource-budget violations raised by the guard layer",
+        )
+        registry.counter(
+            "guard_degradations_total",
+            help="backend degradation steps taken by guarded matchers",
+        )
+        registry.gauge(
+            "guard_quarantined_rules",
+            help="rules quarantined by the last guarded compilation",
+        ).set(len(report))

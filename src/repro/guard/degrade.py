@@ -1,0 +1,244 @@
+"""The match-time degradation ladder: lazy → numpy → python → per-rule.
+
+A governed service must keep answering under pressure, just slower.
+:class:`GuardedMatcher` owns the engines for a (possibly quarantined)
+compilation and walks the backend ladder when trouble shows up:
+
+* **allocation failure** (a real :class:`MemoryError` during backend
+  setup, surfaced as :class:`~repro.guard.errors.AllocationFailed`) —
+  the matcher steps down a backend and retries the run immediately; the
+  answer of the retried run is exact, not approximate;
+* **cache thrash** (lazy backend only) — when a run's lazy-cache hit
+  rate stays under the policy threshold after a warm-up's worth of
+  lookups, the next runs use the next backend down.  Thrash never
+  corrupts results (the lazy backend is exact at any hit rate), it only
+  wastes time, so degradation happens *between* runs, not mid-run;
+* **quarantined rules** — entries carrying a salvaged ``fallback_fsa``
+  are matched by per-rule NFA simulation after the merged-MFSA pass and
+  stitched into the same match set under their original rule ids, so
+  the caller-visible semantics of the full ruleset survive quarantine.
+
+Scan deadlines are *not* degradation triggers: a blown deadline is a
+taxonomy error (:class:`~repro.guard.errors.ScanDeadlineExceeded`,
+carrying the partial result) because silently re-running a slow scan on
+a slower backend would make the overload worse.
+
+Every step down increments ``guard_degradations_total`` on the active
+:mod:`repro.obs` registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import repro.obs as obs
+from repro.engine.counters import ExecutionStats
+from repro.engine.imfant import IMfantEngine
+from repro.engine.lazy import DEFAULT_CACHE_SIZE
+from repro.engine.multithread import run_pool
+from repro.guard.errors import AllocationFailed, UsageError
+from repro.guard.quarantine import QuarantineReport
+
+__all__ = ["BACKEND_LADDER", "DegradePolicy", "DegradationStep", "GuardedMatcher", "GuardedRunResult"]
+
+#: Fastest-first backend order; degradation only ever moves rightward.
+BACKEND_LADDER = ("lazy", "numpy", "python")
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """When the ladder steps down (see module docstring)."""
+
+    #: react to AllocationFailed by stepping down and retrying
+    on_alloc_failure: bool = True
+    #: react to lazy-cache thrash by stepping down for subsequent runs
+    on_cache_thrash: bool = True
+    #: lookups a run must make before its hit rate is judged
+    min_lookups: int = 1024
+    #: hit rate below this (after min_lookups) counts as thrashing
+    thrash_hit_rate: float = 0.5
+
+
+@dataclass(frozen=True)
+class DegradationStep:
+    """One recorded step down the ladder."""
+
+    from_backend: str
+    to_backend: str
+    reason: str
+
+
+@dataclass
+class GuardedRunResult:
+    """One guarded scan: matches in *original* rule ids + provenance."""
+
+    matches: set
+    stats: ExecutionStats
+    #: backend that produced the merged-MFSA matches
+    backend: str
+    #: ladder steps taken so far (cumulative over the matcher's life)
+    degradations: list = field(default_factory=list)
+    #: original ids of quarantined rules matched via per-rule fallback
+    fallback_rules: list = field(default_factory=list)
+
+
+class GuardedMatcher:
+    """Degradation-aware matcher over one compilation's MFSAs.
+
+    ``rule_map`` maps local rule ids (positions in the compiled ruleset)
+    to original rule ids; ``quarantine`` supplies fallback FSAs for
+    isolated rules.  Both default to the trivial un-quarantined case.
+    """
+
+    def __init__(
+        self,
+        mfsas: Sequence,
+        *,
+        rule_map: Optional[Sequence[int]] = None,
+        quarantine: Optional[QuarantineReport] = None,
+        backend: str = "python",
+        policy: Optional[DegradePolicy] = None,
+        scan_deadline: Optional[float] = None,
+        threads: int = 1,
+        single_match: bool = False,
+        lazy_cache_size: int = DEFAULT_CACHE_SIZE,
+        lazy_eviction: str = "flush",
+    ) -> None:
+        if backend not in BACKEND_LADDER:
+            raise UsageError(
+                f"unknown backend {backend!r}; choose from {BACKEND_LADDER}"
+            )
+        self.mfsas = list(mfsas)
+        self.rule_map = list(rule_map) if rule_map is not None else None
+        self.quarantine = quarantine or QuarantineReport()
+        self.backend = backend
+        self.policy = policy or DegradePolicy()
+        self.scan_deadline = scan_deadline
+        self.threads = threads
+        self.single_match = single_match
+        self.lazy_cache_size = lazy_cache_size
+        self.lazy_eviction = lazy_eviction
+        self.degradations: list = []
+        self._engines: Optional[list] = None
+
+    @classmethod
+    def from_compilation(cls, compilation, **kwargs) -> "GuardedMatcher":
+        """Build from a :class:`~repro.guard.compiler.GuardedCompilation`."""
+        if compilation.result is None:
+            raise UsageError("compilation has no surviving rules to match")
+        return cls(
+            compilation.result.mfsas,
+            rule_map=compilation.surviving_ids,
+            quarantine=compilation.quarantine,
+            **kwargs,
+        )
+
+    # -- ladder -----------------------------------------------------------
+
+    def _degrade(self, reason: str) -> bool:
+        """Step down one backend; False when already at the bottom."""
+        position = BACKEND_LADDER.index(self.backend)
+        if position + 1 >= len(BACKEND_LADDER):
+            return False
+        step = DegradationStep(
+            from_backend=self.backend,
+            to_backend=BACKEND_LADDER[position + 1],
+            reason=reason,
+        )
+        self.backend = step.to_backend
+        self.degradations.append(step)
+        self._engines = None
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.counter(
+                "guard_degradations_total",
+                help="backend degradation steps taken by guarded matchers",
+            ).inc()
+        return True
+
+    def _ensure_engines(self) -> list:
+        while True:
+            if self._engines is not None:
+                return self._engines
+            try:
+                self._engines = [
+                    IMfantEngine(
+                        mfsa,
+                        backend=self.backend,
+                        single_match=self.single_match,
+                        scan_deadline=self.scan_deadline,
+                        lazy_cache_size=self.lazy_cache_size,
+                        lazy_eviction=self.lazy_eviction,
+                    )
+                    for mfsa in self.mfsas
+                ]
+            except AllocationFailed as exc:
+                if not (self.policy.on_alloc_failure and self._degrade(f"allocation-failure: {exc}")):
+                    raise
+
+    # -- matching ---------------------------------------------------------
+
+    def run(self, data) -> GuardedRunResult:
+        """Scan ``data``; returns matches in original rule ids.
+
+        Retries on allocation failure (one ladder step per retry);
+        checks for lazy-cache thrash afterwards and pre-degrades the
+        *next* run.  :class:`ScanDeadlineExceeded` propagates.
+        """
+        payload = data.encode("latin-1") if isinstance(data, str) else data
+        with obs.span("guard.run", backend=self.backend, automata=len(self.mfsas)):
+            while True:
+                engines = self._ensure_engines()
+                before = self._cache_totals(engines)
+                try:
+                    matches, stats = run_pool(
+                        [lambda e=e: e.run(payload) for e in engines], self.threads
+                    )
+                    break
+                except AllocationFailed as exc:
+                    if not (self.policy.on_alloc_failure and self._degrade(f"allocation-failure: {exc}")):
+                        raise
+            used_backend = self.backend
+            if used_backend == "lazy" and self.policy.on_cache_thrash:
+                self._check_thrash(engines, before)
+
+        if self.rule_map is not None:
+            matches = {(self.rule_map[rule], end) for rule, end in matches}
+        fallback_rules = []
+        for entry in self.quarantine.salvaged():
+            from repro.automata.simulate import find_match_ends
+
+            fallback_rules.append(entry.rule)
+            for end in find_match_ends(entry.fallback_fsa, payload):
+                matches.add((entry.rule, end))
+        return GuardedRunResult(
+            matches=matches,
+            stats=stats,
+            backend=used_backend,
+            degradations=list(self.degradations),
+            fallback_rules=fallback_rules,
+        )
+
+    @staticmethod
+    def _cache_totals(engines) -> tuple:
+        hits = misses = 0
+        for engine in engines:
+            cache = getattr(engine, "lazy_cache", None)
+            if cache is not None:
+                hits += cache.stats.hits
+                misses += cache.stats.misses
+        return hits, misses
+
+    def _check_thrash(self, engines, before: tuple) -> None:
+        hits, misses = self._cache_totals(engines)
+        run_hits, run_misses = hits - before[0], misses - before[1]
+        lookups = run_hits + run_misses
+        if lookups < self.policy.min_lookups:
+            return
+        hit_rate = run_hits / lookups
+        if hit_rate < self.policy.thrash_hit_rate:
+            self._degrade(
+                f"cache-thrash: hit rate {hit_rate:.1%} < "
+                f"{self.policy.thrash_hit_rate:.1%} over {lookups} lookups"
+            )

@@ -1,0 +1,222 @@
+"""The ``ReproError`` taxonomy: one catchable base for every failure.
+
+Historically each subsystem grew its own exception class on an ad-hoc
+base (``RegexSyntaxError(ValueError)``, ``DfaExplosionError
+(RuntimeError)``, …), so a caller hardening a service had to enumerate
+six classes across six modules — and still got bare ``ValueError``s from
+the CLI glue.  The taxonomy re-parents all of them:
+
+::
+
+    ReproError
+    ├── UsageError                 bad CLI arguments / API misuse
+    ├── CompileError               pattern → automaton failures
+    │   ├── RegexSyntaxError       (frontend.errors;  also ValueError)
+    │   ├── SnortParseError        (frontend.snortlite; also ValueError)
+    │   └── InjectedFaultError     (guard.faultinject)
+    ├── FormatError                serialized-artifact problems
+    │   ├── AnmlFormatError        (anml.reader;   also ValueError)
+    │   └── MfsaJsonError          (mfsa.serialize; also ValueError)
+    ├── BudgetExceeded             a resource budget was hit
+    │   ├── LoopBudgetExceeded     (automata.loops)
+    │   ├── DfaExplosionError      (dfa.dfa;        also RuntimeError)
+    │   ├── DerivativeBudgetError  (automata.brzozowski; also RuntimeError)
+    │   ├── AllocationFailed       wrapped MemoryError
+    │   └── DeadlineExceeded       wall-clock budget
+    │       └── ScanDeadlineExceeded   (engines; carries partial results)
+    └── RuleQuarantined            a rule was isolated by GuardedCompiler
+
+The legacy classes keep their legacy bases through multiple inheritance,
+so ``except ValueError`` / ``except RuntimeError`` call sites keep
+working; new code catches :class:`ReproError` (or a branch of it) once.
+
+Every error carries an optional ``stage`` (pipeline stage name) and
+``rule`` (offending rule id) so the CLI's single top-level handler can
+print ``error: <stage>: <message>`` uniformly, and
+:func:`exit_code_for` maps the branch to the process exit code:
+
+========================  ====
+outcome                   code
+========================  ====
+success                   0
+any other ``ReproError``  1
+``UsageError``            2
+partial (quarantined)     3
+``BudgetExceeded``        4
+========================  ====
+
+This module imports nothing from the rest of ``repro`` — it sits at the
+bottom of the dependency graph so every subsystem can re-parent onto it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "ReproError",
+    "UsageError",
+    "CompileError",
+    "FormatError",
+    "BudgetExceeded",
+    "LoopBudgetExceeded",
+    "MemoryBudgetExceeded",
+    "AllocationFailed",
+    "DeadlineExceeded",
+    "ScanDeadlineExceeded",
+    "RuleQuarantined",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_USAGE",
+    "EXIT_PARTIAL",
+    "EXIT_BUDGET",
+    "exit_code_for",
+]
+
+#: Process exit codes of the governed CLI (see module docstring).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+EXIT_BUDGET = 4
+
+
+class ReproError(Exception):
+    """Base of every error the repro pipeline raises on purpose.
+
+    ``stage`` names the pipeline stage that failed (``"frontend"``,
+    ``"merging"``, ``"scan"``, …); ``rule`` is the offending rule id
+    when one is attributable.  Subclasses may pin a ``default_stage``.
+    """
+
+    default_stage: Optional[str] = None
+
+    def __init__(self, *args: Any, stage: Optional[str] = None, rule: Optional[int] = None) -> None:
+        super().__init__(*args)
+        self.stage = stage if stage is not None else self.default_stage
+        self.rule = rule
+
+
+class UsageError(ReproError, ValueError):
+    """Bad CLI arguments or API misuse (unknown grouping/backend, empty
+    ruleset file, missing inputs).  Maps to exit code 2."""
+
+    default_stage = "usage"
+
+
+class CompileError(ReproError):
+    """Any failure turning pattern text into automata."""
+
+    default_stage = "compile"
+
+
+class FormatError(ReproError):
+    """A serialized artifact (ANML, MFSA JSON) is malformed."""
+
+    default_stage = "format"
+
+
+class BudgetExceeded(ReproError):
+    """A resource budget was exceeded (states, transitions, loop copies,
+    memory, wall clock).  Carries which resource, the limit, the usage at
+    the moment of the check, and a snapshot of the meter's counters."""
+
+    default_stage = "budget"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: Optional[str] = None,
+        limit: Optional[float] = None,
+        used: Optional[float] = None,
+        counters: Optional[dict] = None,
+        stage: Optional[str] = None,
+        rule: Optional[int] = None,
+    ) -> None:
+        super().__init__(message, stage=stage, rule=rule)
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        self.counters = dict(counters) if counters else {}
+
+
+class LoopBudgetExceeded(BudgetExceeded):
+    """A bounded repeat would expand into more copies than the budget
+    allows; names the rule and the offending repeat sub-expression."""
+
+    default_stage = "ast_to_fsa"
+
+    def __init__(self, message: str, *, repeat: Optional[str] = None, **kwargs: Any) -> None:
+        kwargs.setdefault("resource", "loop_copies")
+        super().__init__(message, **kwargs)
+        self.repeat = repeat
+
+
+class MemoryBudgetExceeded(BudgetExceeded):
+    """The cooperative (approximate) memory accounting crossed the
+    configured ceiling."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("resource", "memory_bytes")
+        super().__init__(message, **kwargs)
+
+
+class AllocationFailed(BudgetExceeded):
+    """A real :class:`MemoryError` (or an injected one) during backend
+    setup, wrapped into the taxonomy so governed matchers can degrade."""
+
+    default_stage = "engine"
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("resource", "memory_bytes")
+        super().__init__(message, **kwargs)
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """A wall-clock deadline expired during a governed operation."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("resource", "wall_seconds")
+        super().__init__(message, **kwargs)
+
+
+class ScanDeadlineExceeded(DeadlineExceeded):
+    """An engine scan ran past its deadline.  ``partial`` holds the
+    :class:`~repro.engine.counters.RunResult` accumulated up to the
+    abort point (matches found so far, honest ``chars_processed``), so
+    callers never get a silent wrong answer — they get an explicit
+    partial one."""
+
+    default_stage = "scan"
+
+    def __init__(self, message: str, *, partial: Any = None, **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.partial = partial
+
+
+class RuleQuarantined(ReproError):
+    """A rule was isolated by the guarded compiler.  Raised directly only
+    when *no* rule survives; otherwise the per-rule instances live inside
+    the :class:`~repro.guard.quarantine.QuarantineReport`."""
+
+    default_stage = "quarantine"
+
+
+def exit_code_for(error: BaseException) -> int:
+    """Map an exception to the governed CLI's exit code."""
+    if isinstance(error, UsageError):
+        return EXIT_USAGE
+    if isinstance(error, BudgetExceeded):
+        return EXIT_BUDGET
+    if isinstance(error, RuleQuarantined):
+        return EXIT_PARTIAL
+    if isinstance(error, ReproError):
+        return EXIT_ERROR
+    raise TypeError(f"not a ReproError: {error!r}")
+
+
+def stage_of(error: BaseException) -> str:
+    """The stage label for the CLI's ``error: <stage>: <message>`` line."""
+    stage = getattr(error, "stage", None)
+    return stage if stage else "repro"

@@ -1,0 +1,97 @@
+"""Structured record of which rules were isolated, where, and why.
+
+A :class:`QuarantineReport` is the guarded compiler's audit trail: one
+:class:`QuarantineEntry` per isolated rule carrying the original rule
+id, the pattern text, the pipeline stage that failed, the taxonomy error
+class and message, and the budget counters at the moment of failure.
+
+Entries optionally carry a ``fallback_fsa`` — the rule's *individually*
+compiled automaton, salvaged when the rule itself is fine but its
+participation blew a group budget (merge explosion).  The degradation
+ladder (:mod:`repro.guard.degrade`) simulates those per-rule so match
+semantics survive end-to-end even for quarantined rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = ["QuarantineEntry", "QuarantineReport"]
+
+
+@dataclass
+class QuarantineEntry:
+    """One isolated rule (see module docstring)."""
+
+    rule: int
+    pattern: str
+    stage: str
+    error_type: str
+    message: str
+    #: budget-meter counters at failure time (empty for non-budget errors)
+    counters: dict = field(default_factory=dict)
+    #: True when the rule compiled fine alone but was evicted because a
+    #: group it joined blew a budget (salvage candidates)
+    evicted: bool = False
+    #: the rule's individually compiled FSA when salvageable, else None
+    fallback_fsa: Optional[Any] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "pattern": self.pattern,
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+            "counters": dict(self.counters),
+            "evicted": self.evicted,
+            "has_fallback": self.fallback_fsa is not None,
+        }
+
+
+@dataclass
+class QuarantineReport:
+    """All quarantined rules of one guarded compilation."""
+
+    entries: list = field(default_factory=list)
+
+    def add(self, entry: QuarantineEntry) -> None:
+        self.entries.append(entry)
+
+    def rules(self) -> list:
+        """Quarantined rule ids, ascending."""
+        return sorted(e.rule for e in self.entries)
+
+    def entry_for(self, rule: int) -> Optional[QuarantineEntry]:
+        for entry in self.entries:
+            if entry.rule == rule:
+                return entry
+        return None
+
+    def salvaged(self) -> list:
+        """Entries that kept a per-rule fallback FSA."""
+        return [e for e in self.entries if e.fallback_fsa is not None]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __iter__(self) -> Iterator[QuarantineEntry]:
+        return iter(self.entries)
+
+    def to_dict(self) -> dict:
+        return {"quarantined": [e.to_dict() for e in sorted(self.entries, key=lambda e: e.rule)]}
+
+    def summary_lines(self) -> list:
+        """Human-readable per-rule lines for CLI output."""
+        out = []
+        for entry in sorted(self.entries, key=lambda e: e.rule):
+            fallback = " [per-rule fallback active]" if entry.fallback_fsa is not None else ""
+            out.append(
+                f"rule {entry.rule} quarantined at {entry.stage}: "
+                f"{entry.error_type}: {entry.message}{fallback}"
+            )
+        return out

@@ -36,6 +36,7 @@ from typing import Iterable, Optional, Sequence
 
 import repro.obs as obs
 from repro.automata.fsa import Fsa
+from repro.guard.errors import UsageError
 from repro.mfsa.model import Mfsa, MTransition, from_single_fsa
 
 
@@ -113,12 +114,16 @@ def merge_fsas(
     collect_structures: bool = False,
     strategy: str = "longest-first",
     min_walk_len: int = 1,
+    meter=None,
 ) -> Mfsa | tuple[Mfsa, list[MergingStructure]]:
     """Merge ``(rule_id, fsa)`` pairs into one MFSA (Algorithm 1).
 
     FSAs must be ε-free; rule ids must be distinct.  When
     ``collect_structures`` is true the merging structures of the *last*
     incoming FSA are returned too (used by tests mirroring Fig. 2).
+    ``meter`` is an optional :class:`~repro.guard.budget.BudgetMeter`:
+    the output automaton's growth is charged per incoming FSA and the
+    deadline is checked periodically inside the quadratic seed search.
 
     ``strategy`` picks the order in which merging structures commit into
     the relabeling map: ``"longest-first"`` (default — longer shared
@@ -131,15 +136,15 @@ def merge_fsas(
     only compression varies.
     """
     if strategy not in _STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+        raise UsageError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
     if not items:
-        raise ValueError("cannot merge an empty ruleset")
+        raise UsageError("cannot merge an empty ruleset")
     seen_rules = [rule for rule, _ in items]
     if len(set(seen_rules)) != len(seen_rules):
-        raise ValueError("duplicate rule ids in merge input")
+        raise UsageError("duplicate rule ids in merge input")
     for _, fsa in items:
         if fsa.has_epsilon():
-            raise ValueError("merge requires ε-free FSAs (run the optimiser first)")
+            raise UsageError("merge requires ε-free FSAs (run the optimiser first)")
 
     stats = report if report is not None else MergeReport()
     stats.input_states = sum(fsa.num_states for _, fsa in items)
@@ -148,9 +153,15 @@ def merge_fsas(
     with obs.span("merge.group", rules=len(items)) as group_span:
         first_rule, first_fsa = items[0]
         mfsa = from_single_fsa(first_rule, first_fsa)
+        if meter is not None:
+            meter.charge_automaton(
+                mfsa.num_states, mfsa.num_transitions, stage="merging", rule=first_rule
+            )
         structures: list[MergingStructure] = []
         for rule, fsa in items[1:]:
-            structures = _merge_one(mfsa, rule, fsa, stats, seed_cap, strategy, min_walk_len)
+            structures = _merge_one(
+                mfsa, rule, fsa, stats, seed_cap, strategy, min_walk_len, meter=meter
+            )
 
         stats.output_states = mfsa.num_states
         stats.output_transitions = mfsa.num_transitions
@@ -172,6 +183,7 @@ def merge_ruleset(
     report: MergeReport | None = None,
     seed_cap: Optional[int] = DEFAULT_SEED_CAP,
     min_walk_len: int = 1,
+    meter=None,
 ) -> list[Mfsa]:
     """Merge a ruleset in M-sized sequential groups → K=⌈N/M⌉ MFSAs.
 
@@ -188,7 +200,7 @@ def merge_ruleset(
             for i in range(0, len(items), merging_factor)
         ]
     return merge_groups(items, groups, report=report, seed_cap=seed_cap,
-                        min_walk_len=min_walk_len)
+                        min_walk_len=min_walk_len, meter=meter)
 
 
 def merge_groups(
@@ -197,6 +209,7 @@ def merge_groups(
     report: MergeReport | None = None,
     seed_cap: Optional[int] = DEFAULT_SEED_CAP,
     min_walk_len: int = 1,
+    meter=None,
 ) -> list[Mfsa]:
     """Merge a ruleset along an explicit partition into item-index groups
     (e.g. from :func:`repro.mfsa.clustering.similarity_groups`)."""
@@ -205,7 +218,7 @@ def merge_groups(
     for group in groups:
         group_report = MergeReport()
         merged = merge_fsas([items[i] for i in group], report=group_report,
-                            seed_cap=seed_cap, min_walk_len=min_walk_len)
+                            seed_cap=seed_cap, min_walk_len=min_walk_len, meter=meter)
         assert isinstance(merged, Mfsa)
         _accumulate(stats, group_report)
         out.append(merged)
@@ -239,15 +252,25 @@ def _merge_one(
     seed_cap: Optional[int],
     strategy: str = "longest-first",
     min_walk_len: int = 1,
+    meter=None,
 ) -> list[MergingStructure]:
     seeds_before = stats.label_comparisons
+    states_before = mfsa.num_states
+    transitions_before = mfsa.num_transitions
     with obs.span("merge.fsa", rule=rule) as sp:
-        structures = _find_merging_structures(mfsa, fsa, stats, seed_cap)
+        structures = _find_merging_structures(mfsa, fsa, stats, seed_cap, meter=meter, rule=rule)
         walks_found = len(structures)
         if min_walk_len > 1:
             structures = [ms for ms in structures if len(ms) >= min_walk_len]
         mapping = _consistent_mapping(mfsa, structures, strategy)
         _relabel_and_merge(mfsa, rule, fsa, mapping, stats)
+        if meter is not None:
+            meter.charge_automaton(
+                mfsa.num_states - states_before,
+                mfsa.num_transitions - transitions_before,
+                stage="merging",
+                rule=rule,
+            )
         sp.set(
             seeds_tried=stats.label_comparisons - seeds_before,
             walks_found=walks_found,
@@ -263,13 +286,17 @@ def _find_merging_structures(
     fsa: Fsa,
     stats: MergeReport,
     seed_cap: Optional[int],
+    meter=None,
+    rule: Optional[int] = None,
 ) -> list[MergingStructure]:
     """Walk common sub-paths seeded at every same-label transition pair.
 
     Mirrors Algorithm 1's nested loops over the COO ``idx`` vectors: each
     (z-transition, a-transition) pair with an identical label starts a
     walk that extends while the successor transitions keep matching, and
-    each maximal walk becomes one Merging Structure.
+    each maximal walk becomes one Merging Structure.  The seed search is
+    the quadratic heart of the merge, so the budget deadline is checked
+    every ``check_stride`` label comparisons when a meter is present.
     """
     z_by_label = mfsa.arcs_by_label()
     z_out = mfsa.outgoing_index()
@@ -282,6 +309,7 @@ def _find_merging_structures(
 
     structures: list[MergingStructure] = []
     seen_seeds: set[tuple[int, int]] = set()
+    stride = meter.budget.check_stride if meter is not None else 0
 
     for ai, at in enumerate(a_arcs):
         candidates = z_by_label.get(at.label.mask, ())  # type: ignore[union-attr]
@@ -289,6 +317,8 @@ def _find_merging_structures(
             candidates = candidates[:seed_cap]
         for zi in candidates:
             stats.label_comparisons += 1
+            if meter is not None and stats.label_comparisons % stride == 0:
+                meter.check_deadline(stage="merging", rule=rule)
             if (zi, ai) in seen_seeds:
                 continue
             ms = _walk(z_arcs, z_out, a_arcs, a_out, zi, ai, stats)

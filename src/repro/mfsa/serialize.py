@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.guard.errors import FormatError
 from repro.labels import CharClass
 from repro.mfsa.model import Mfsa, MTransition
 
@@ -21,8 +22,13 @@ FORMAT = "repro-mfsa-json"
 VERSION = 1
 
 
-class MfsaJsonError(ValueError):
-    """Malformed or incompatible JSON document."""
+class MfsaJsonError(FormatError, ValueError):
+    """Malformed or incompatible JSON document.
+
+    A :class:`~repro.guard.errors.FormatError` in the taxonomy; keeps
+    its historical :class:`ValueError` base."""
+
+    default_stage = "mfsa-json"
 
 
 def mfsa_to_dict(mfsa: Mfsa) -> dict[str, Any]:

@@ -37,6 +37,9 @@ from repro.automata.fsa import Fsa
 from repro.automata.optimize import OptimizeOptions, construct_nfa, optimize_ast, optimize_fsa
 from repro.anml.writer import write_anml
 from repro.frontend.parser import parse
+from repro.guard import faultinject
+from repro.guard.budget import Budget
+from repro.guard.errors import CompileError, UsageError
 from repro.mfsa.ccpartial import stratify_ruleset
 from repro.mfsa.clustering import similarity_groups
 from repro.mfsa.merge import DEFAULT_SEED_CAP, MergeReport, merge_groups, merge_ruleset
@@ -73,6 +76,10 @@ class CompileOptions:
     reduce_mfsa: bool = False
     #: generate the extended-ANML output (the back-end stage)
     emit_anml: bool = True
+    #: resource budget for the whole compile (None = ungoverned); one
+    #: :class:`~repro.guard.budget.BudgetMeter` spans every stage, so a
+    #: deadline covers the compile end to end
+    budget: Optional[Budget] = None
 
 
 @dataclass
@@ -126,8 +133,10 @@ class CompilationResult:
 @contextmanager
 def _stage(times: StageTimes, name: str, **span_attrs):
     """Time one stage into ``times.<name>`` and emit a ``compile.<name>``
-    span around it (a no-op span when observability is off)."""
+    span around it (a no-op span when observability is off).  Each stage
+    entry is a fault-injection point (``compile.stage``)."""
     with obs.span(f"compile.{name}", **span_attrs) as sp:
+        faultinject.fire("compile.stage", stage=name)
         started = time.perf_counter()
         try:
             yield sp
@@ -136,9 +145,19 @@ def _stage(times: StageTimes, name: str, **span_attrs):
 
 
 def compile_ruleset(patterns: Sequence[str], options: CompileOptions | None = None) -> CompilationResult:
-    """Run the full framework over a ruleset (see module docstring)."""
+    """Run the full framework over a ruleset (see module docstring).
+
+    With ``options.budget`` set, one :class:`~repro.guard.budget.
+    BudgetMeter` is started here and charged cooperatively by every
+    stage; violations surface as :class:`~repro.guard.errors.
+    BudgetExceeded` branch errors naming the stage (and rule, when
+    attributable).  Pathologically nested patterns that blow the
+    interpreter's recursion limit are wrapped into
+    :class:`~repro.guard.errors.CompileError` instead of escaping as
+    bare ``RecursionError``."""
     options = options or CompileOptions()
     times = StageTimes()
+    meter = options.budget.start() if options.budget is not None else None
 
     with obs.span(
         "compile",
@@ -148,19 +167,47 @@ def compile_ruleset(patterns: Sequence[str], options: CompileOptions | None = No
     ) as root:
         # Front-end: lexical and syntactic analyses.
         with _stage(times, "frontend"):
-            asts = [parse(pattern) for pattern in patterns]
+            asts = []
+            for rule, pattern in enumerate(patterns):
+                faultinject.fire("compile.rule", pattern=pattern, rule=rule)
+                try:
+                    asts.append(parse(pattern))
+                except RecursionError as exc:
+                    raise CompileError(
+                        "pattern nests beyond the recursion limit",
+                        stage="frontend", rule=rule,
+                    ) from exc
+            if meter is not None:
+                meter.check_deadline(stage="frontend")
 
         # Mid-end: AST → FSA (loop expansion + Thompson construction).
         with _stage(times, "ast_to_fsa"):
-            asts = [optimize_ast(ast, options.optimize) for ast in asts]
-            nfas = [
-                construct_nfa(ast, pattern, options.optimize)
-                for ast, pattern in zip(asts, patterns)
+            asts = [
+                optimize_ast(ast, options.optimize, meter=meter, rule=rule)
+                for rule, ast in enumerate(asts)
             ]
+            nfas = []
+            for rule, (ast, pattern) in enumerate(zip(asts, patterns)):
+                try:
+                    nfa = construct_nfa(ast, pattern, options.optimize)
+                except RecursionError as exc:
+                    raise CompileError(
+                        "automaton construction exceeded the recursion limit",
+                        stage="ast_to_fsa", rule=rule,
+                    ) from exc
+                if meter is not None:
+                    meter.charge_automaton(
+                        nfa.num_states, nfa.num_transitions,
+                        stage="ast_to_fsa", rule=rule,
+                    )
+                nfas.append(nfa)
 
         # Mid-end: single-FSA optimisation.
         with _stage(times, "single_opt"):
-            fsas = [optimize_fsa(nfa, options.optimize) for nfa in nfas]
+            fsas = [
+                optimize_fsa(nfa, options.optimize, meter=meter, rule=rule)
+                for rule, nfa in enumerate(nfas)
+            ]
             if options.stratify_charclasses:
                 fsas = stratify_ruleset(fsas)
 
@@ -172,13 +219,15 @@ def compile_ruleset(patterns: Sequence[str], options: CompileOptions | None = No
                 mfsas = merge_ruleset(
                     items, options.merging_factor, report=merge_report,
                     seed_cap=options.seed_cap, min_walk_len=options.min_walk_len,
+                    meter=meter,
                 )
             elif options.grouping == "clustered":
                 groups = similarity_groups(list(patterns), options.merging_factor)
                 mfsas = merge_groups(items, groups, report=merge_report,
-                                     seed_cap=options.seed_cap, min_walk_len=options.min_walk_len)
+                                     seed_cap=options.seed_cap,
+                                     min_walk_len=options.min_walk_len, meter=meter)
             else:
-                raise ValueError(f"unknown grouping {options.grouping!r}")
+                raise UsageError(f"unknown grouping {options.grouping!r}")
             if options.reduce_mfsa:
                 mfsas = [reduce_mfsa(m) for m in mfsas]
                 merge_report.output_states = sum(m.num_states for m in mfsas)
@@ -193,6 +242,8 @@ def compile_ruleset(patterns: Sequence[str], options: CompileOptions | None = No
         if options.emit_anml:
             with _stage(times, "backend"):
                 anml = [write_anml(mfsa, network_id=f"mfsa{i}") for i, mfsa in enumerate(mfsas)]
+                if meter is not None:
+                    meter.check_deadline(stage="backend")
 
         root.set(
             input_states=merge_report.input_states,

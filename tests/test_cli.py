@@ -34,11 +34,11 @@ class TestCompileMain:
         compile_main([str(ruleset_file), "-m", "1", "-o", str(out_dir)])
         assert len(list(out_dir.glob("*.anml"))) == 3
 
-    def test_empty_ruleset_errors(self, tmp_path):
+    def test_empty_ruleset_errors(self, tmp_path, capsys):
         empty = tmp_path / "empty.txt"
         empty.write_text("# nothing\n")
-        with pytest.raises(SystemExit):
-            compile_main([str(empty)])
+        assert compile_main([str(empty)]) == 2
+        assert "error: usage:" in capsys.readouterr().err
 
 
 class TestMatchMain:
@@ -66,9 +66,9 @@ class TestMatchMain:
         assert [l for l in via_anml.splitlines() if "rule" in l] == \
                [l for l in direct.splitlines() if "rule" in l]
 
-    def test_missing_anml_dir(self, stream_file, tmp_path):
-        with pytest.raises(SystemExit):
-            match_main([str(stream_file), "--mfsa-dir", str(tmp_path / "nope")])
+    def test_missing_anml_dir(self, stream_file, tmp_path, capsys):
+        assert match_main([str(stream_file), "--mfsa-dir", str(tmp_path / "nope")]) == 2
+        assert "no .anml files" in capsys.readouterr().err
 
     def test_numpy_backend_and_threads(self, ruleset_file, stream_file, capsys):
         assert match_main([
@@ -118,9 +118,9 @@ class TestReportDatasetFilter:
         assert "BRO" in out and "TCP" in out
         assert "DS9" not in out
 
-    def test_unknown_dataset(self):
-        with pytest.raises(SystemExit):
-            report_main(["table1", "--datasets", "NOPE"])
+    def test_unknown_dataset(self, capsys):
+        assert report_main(["table1", "--datasets", "NOPE"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
 
 
 class TestSingleMatchFlag:

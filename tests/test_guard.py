@@ -1,0 +1,312 @@
+"""Tests for the resource-governance layer (repro.guard).
+
+Covers the error taxonomy (re-parenting + exit codes), budgets and the
+cooperative meter, per-rule quarantine with bisection attribution, the
+degradation-aware matcher, and the governed CLI exit codes.
+"""
+
+import pytest
+
+from repro.engine.imfant import IMfantEngine
+from repro.guard.budget import Budget
+from repro.guard.compiler import GuardedCompiler
+from repro.guard.degrade import GuardedMatcher
+from repro.guard.errors import (
+    EXIT_BUDGET,
+    EXIT_ERROR,
+    EXIT_PARTIAL,
+    EXIT_USAGE,
+    BudgetExceeded,
+    CompileError,
+    DeadlineExceeded,
+    FormatError,
+    LoopBudgetExceeded,
+    MemoryBudgetExceeded,
+    ReproError,
+    RuleQuarantined,
+    UsageError,
+    exit_code_for,
+    stage_of,
+)
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+
+pytestmark = pytest.mark.guard
+
+
+class TestTaxonomy:
+    """Every legacy error is a ReproError AND keeps its legacy base."""
+
+    def test_regex_syntax_error(self):
+        from repro.frontend.errors import RegexSyntaxError
+
+        assert issubclass(RegexSyntaxError, CompileError)
+        assert issubclass(RegexSyntaxError, ValueError)
+        with pytest.raises(ReproError):
+            compile_ruleset(["a{bad"])
+
+    def test_snort_parse_error(self):
+        from repro.frontend.snortlite import SnortParseError
+
+        assert issubclass(SnortParseError, CompileError)
+        assert issubclass(SnortParseError, ValueError)
+
+    def test_dfa_explosion_error(self):
+        from repro.dfa.dfa import DfaExplosionError
+
+        assert issubclass(DfaExplosionError, BudgetExceeded)
+        assert issubclass(DfaExplosionError, RuntimeError)
+
+    def test_derivative_budget_error(self):
+        from repro.automata.brzozowski import DerivativeBudgetError
+
+        assert issubclass(DerivativeBudgetError, BudgetExceeded)
+        assert issubclass(DerivativeBudgetError, RuntimeError)
+
+    def test_format_errors(self):
+        from repro.anml.reader import AnmlFormatError
+        from repro.mfsa.serialize import MfsaJsonError
+
+        assert issubclass(AnmlFormatError, FormatError)
+        assert issubclass(AnmlFormatError, ValueError)
+        assert issubclass(MfsaJsonError, FormatError)
+        assert issubclass(MfsaJsonError, ValueError)
+
+    def test_legacy_catch_sites_still_work(self):
+        # `except ValueError` predates the taxonomy and must keep working
+        with pytest.raises(ValueError):
+            compile_ruleset(["(unclosed"])
+
+    def test_exit_codes(self):
+        assert exit_code_for(UsageError("x")) == EXIT_USAGE
+        assert exit_code_for(BudgetExceeded("x")) == EXIT_BUDGET
+        assert exit_code_for(LoopBudgetExceeded("x")) == EXIT_BUDGET
+        assert exit_code_for(RuleQuarantined("x")) == EXIT_PARTIAL
+        assert exit_code_for(CompileError("x")) == EXIT_ERROR
+        with pytest.raises(TypeError):
+            exit_code_for(KeyError("not ours"))
+
+    def test_stage_of(self):
+        assert stage_of(CompileError("x", stage="merging")) == "merging"
+        assert stage_of(UsageError("x")) == "usage"
+        assert stage_of(KeyError("x")) == "repro"
+
+
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(max_states=0)
+        with pytest.raises(ValueError):
+            Budget(deadline=-1.0)
+        assert Budget().unlimited
+        assert not Budget(max_states=10).unlimited
+
+    def test_state_budget(self):
+        meter = Budget(max_states=5).start()
+        meter.charge_states(5, stage="test")
+        with pytest.raises(BudgetExceeded) as info:
+            meter.charge_states(1, stage="test", rule=3)
+        assert info.value.resource == "states"
+        assert info.value.limit == 5
+        assert info.value.rule == 3
+        assert info.value.counters["states"] == 6
+
+    def test_transition_budget(self):
+        meter = Budget(max_transitions=2).start()
+        with pytest.raises(BudgetExceeded) as info:
+            meter.charge_transitions(3, stage="test")
+        assert info.value.resource == "transitions"
+
+    def test_memory_ceiling(self):
+        meter = Budget(max_memory_bytes=1024).start()
+        with pytest.raises(MemoryBudgetExceeded):
+            meter.charge_memory(2048, stage="test")
+
+    def test_compile_under_state_budget(self):
+        options = CompileOptions(budget=Budget(max_states=4))
+        with pytest.raises(BudgetExceeded) as info:
+            compile_ruleset(["abcdefgh"], options)
+        assert info.value.stage == "ast_to_fsa"
+
+    def test_compile_deadline(self):
+        options = CompileOptions(budget=Budget(deadline=1e-9))
+        with pytest.raises(DeadlineExceeded) as info:
+            compile_ruleset(["abc", "abd"], options)
+        assert info.value.resource == "wall_seconds"
+
+    def test_unbudgeted_compile_unchanged(self):
+        result = compile_ruleset(["abc", "abd"])
+        assert len(result.mfsas) == 1
+
+
+class TestStrictLoopExpansion:
+    """max_loop_copies caps expansion and names the offending repeat."""
+
+    def test_over_budget_repeat_raises_with_provenance(self):
+        options = CompileOptions(budget=Budget(max_loop_copies=256))
+        with pytest.raises(LoopBudgetExceeded) as info:
+            compile_ruleset(["abc", "x{5000}"], options)
+        error = info.value
+        assert error.rule == 1
+        assert "x{5000}" in str(error)
+        assert error.repeat == "x{5000}"
+        assert error.stage == "ast_to_fsa"
+
+    def test_without_budget_big_repeats_stay_compressed(self):
+        # the legacy path: over-default-budget repeats compress, not fail
+        result = compile_ruleset(["x{5000}"])
+        assert len(result.mfsas) == 1
+
+
+class TestQuarantine:
+    PATTERNS = ["abc", "x{5000}", "abd"]
+    BUDGET = Budget(max_loop_copies=256)
+
+    def test_exactly_the_bad_rule_is_quarantined(self):
+        compilation = GuardedCompiler(budget=self.BUDGET).compile(self.PATTERNS)
+        assert compilation.partial
+        assert compilation.quarantine.rules() == [1]
+        entry = compilation.quarantine.entry_for(1)
+        assert entry.error_type == "LoopBudgetExceeded"
+        assert entry.stage == "ast_to_fsa"
+        assert "rule 1" in entry.message and "x{5000}" in entry.message
+        assert compilation.surviving_ids == [0, 2]
+
+    def test_survivors_identical_to_solo_compile(self):
+        """Acceptance criterion: survivors' output is byte-identical to
+        compiling the survivors alone."""
+        guarded = GuardedCompiler(
+            CompileOptions(emit_anml=True), budget=self.BUDGET
+        ).compile(self.PATTERNS)
+        solo = compile_ruleset(["abc", "abd"],
+                               CompileOptions(emit_anml=True, budget=self.BUDGET))
+        assert guarded.result.anml == solo.anml  # byte-identical ANML
+        data = b"zzabczzzabdzz"
+        guarded_matches = IMfantEngine(guarded.result.mfsas[0]).run(data).matches
+        solo_matches = IMfantEngine(solo.mfsas[0]).run(data).matches
+        assert guarded_matches == solo_matches
+
+    def test_matches_remap_to_original_rule_ids(self):
+        compilation = GuardedCompiler(budget=self.BUDGET).compile(self.PATTERNS)
+        data = b"zzabczzzabdzz"
+        local = IMfantEngine(compilation.result.mfsas[0]).run(data).matches
+        assert compilation.remap_matches(local) == {(0, 5), (2, 11)}
+
+    def test_fail_policy_propagates(self):
+        with pytest.raises(LoopBudgetExceeded):
+            GuardedCompiler(budget=self.BUDGET, on_error="fail").compile(self.PATTERNS)
+
+    def test_all_rules_bad_raises_rule_quarantined(self):
+        with pytest.raises(RuleQuarantined):
+            GuardedCompiler(budget=self.BUDGET).compile(["x{9000}", "y{9000}"])
+
+    def test_empty_ruleset_is_usage_error(self):
+        with pytest.raises(UsageError):
+            GuardedCompiler().compile([])
+
+    def test_unknown_policy_is_usage_error(self):
+        with pytest.raises(UsageError):
+            GuardedCompiler(on_error="retry")
+
+    def test_report_round_trips_to_dict(self):
+        compilation = GuardedCompiler(budget=self.BUDGET).compile(self.PATTERNS)
+        payload = compilation.quarantine.to_dict()
+        assert payload["quarantined"][0]["rule"] == 1
+        assert compilation.quarantine.summary_lines()
+
+
+class TestGroupEviction:
+    """Both halves pass alone but the union blows the budget: the
+    heaviest rule is evicted, salvaged solo, and matched via fallback."""
+
+    PATTERNS = ["abcd", "wxyz!"]
+
+    @classmethod
+    def _group_budget(cls):
+        """The tightest state budget the pair blows but each solo fits.
+
+        Charged states include NFA construction and merge output, so the
+        threshold is probed empirically rather than modelled."""
+
+        def minimal(patterns):
+            need = 1
+            while True:
+                try:
+                    compile_ruleset(patterns, CompileOptions(budget=Budget(max_states=need)))
+                    return need
+                except BudgetExceeded:
+                    need += 1
+
+        pair_needs = minimal(cls.PATTERNS)
+        assert all(minimal([p]) < pair_needs for p in cls.PATTERNS)
+        return Budget(max_states=pair_needs - 1)
+
+    def test_eviction_salvages_a_fallback(self):
+        compilation = GuardedCompiler(budget=self._group_budget()).compile(self.PATTERNS)
+        assert compilation.partial
+        [entry] = compilation.quarantine.entries
+        assert entry.evicted
+        assert entry.rule == 1  # the longer pattern is the size proxy
+        assert entry.fallback_fsa is not None
+        assert "group compile failed" in entry.message
+
+    def test_fallback_preserves_match_semantics(self):
+        compilation = GuardedCompiler(budget=self._group_budget()).compile(self.PATTERNS)
+        matcher = GuardedMatcher.from_compilation(compilation)
+        run = matcher.run(b"..abcd..wxyz!..")
+        assert run.matches == {(0, 6), (1, 13)}
+        assert run.fallback_rules == [1]
+
+
+class TestGuardedMatcher:
+    def test_unknown_backend_is_usage_error(self):
+        with pytest.raises(UsageError):
+            GuardedMatcher([], backend="gpu")
+
+    def test_trivial_case_matches_plain_engine(self):
+        result = compile_ruleset(["abc", "abd"])
+        matcher = GuardedMatcher(result.mfsas)
+        run = matcher.run(b"zzabczzabdzz")
+        plain = IMfantEngine(result.mfsas[0]).run(b"zzabczzabdzz").matches
+        assert run.matches == plain
+        assert run.degradations == []
+
+
+class TestCliExitCodes:
+    RULES = "abc\nx{5000}\nabd\n"
+
+    def test_quarantine_exits_partial(self, tmp_path, capsys):
+        from repro.cli import compile_main
+
+        rules = tmp_path / "r.txt"
+        rules.write_text(self.RULES)
+        code = compile_main([str(rules), "-o", str(tmp_path / "out"),
+                             "--budget-loop-copies", "256",
+                             "--on-error", "quarantine"])
+        assert code == EXIT_PARTIAL
+        captured = capsys.readouterr()
+        assert "quarantined 1 of 3 rule(s)" in captured.out
+        assert "warning: rule 1 quarantined" in captured.err
+
+    def test_fail_mode_exits_budget(self, tmp_path, capsys):
+        from repro.cli import compile_main
+
+        rules = tmp_path / "r.txt"
+        rules.write_text(self.RULES)
+        code = compile_main([str(rules), "-o", str(tmp_path / "out"),
+                             "--budget-loop-copies", "256"])
+        assert code == EXIT_BUDGET
+        assert "error: ast_to_fsa:" in capsys.readouterr().err
+
+    def test_match_quarantine_remaps_and_exits_partial(self, tmp_path, capsys):
+        from repro.cli import match_main
+
+        rules = tmp_path / "r.txt"
+        rules.write_text(self.RULES)
+        stream = tmp_path / "s.bin"
+        stream.write_bytes(b"zzabczzzabdzz")
+        code = match_main([str(stream), "--ruleset", str(rules),
+                           "--budget-loop-copies", "256",
+                           "--on-error", "quarantine"])
+        assert code == EXIT_PARTIAL
+        out = capsys.readouterr().out
+        assert "rule 0 matched" in out and "rule 2 matched" in out

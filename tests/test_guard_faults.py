@@ -1,0 +1,180 @@
+"""Fault-injection drills: every armed fault surfaces as a taxonomy
+error (never a hang, never a bare traceback), within its deadline.
+"""
+
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.engine.imfant import IMfantEngine
+from repro.guard import faultinject
+from repro.guard.budget import Budget
+from repro.guard.compiler import GuardedCompiler
+from repro.guard.degrade import DegradePolicy, GuardedMatcher
+from repro.guard.errors import (
+    AllocationFailed,
+    CompileError,
+    ReproError,
+    ScanDeadlineExceeded,
+)
+from repro.guard.faultinject import InjectedFaultError
+from repro.pipeline.compiler import compile_ruleset
+
+pytestmark = pytest.mark.guard
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+@pytest.fixture
+def mfsa():
+    return compile_ruleset(["abc", "abd"]).mfsas[0]
+
+
+class TestCompileFaults:
+    def test_rule_fault_is_a_taxonomy_error(self):
+        with faultinject.inject("compile.rule", "EVIL"):
+            with pytest.raises(InjectedFaultError) as info:
+                compile_ruleset(["abc", "EVILx", "abd"])
+        assert isinstance(info.value, CompileError)
+        assert info.value.rule == 1
+
+    def test_rule_fault_quarantines_exactly_the_victim(self):
+        with faultinject.inject("compile.rule", "EVIL"):
+            compilation = GuardedCompiler().compile(["abc", "EVILx", "abd"])
+        assert compilation.quarantine.rules() == [1]
+        assert compilation.surviving_ids == [0, 2]
+        assert compilation.quarantine.entry_for(1).error_type == "InjectedFaultError"
+
+    def test_stage_fault_names_the_stage(self):
+        with faultinject.inject("compile.stage", "merging"):
+            with pytest.raises(InjectedFaultError) as info:
+                compile_ruleset(["abc"])
+        assert info.value.stage == "merging"
+
+    def test_disarmed_points_cost_nothing(self):
+        assert not faultinject.active_points()
+        compile_ruleset(["abc"])  # no fault, no error
+
+
+class TestScanFaults:
+    def test_step_delay_trips_the_scan_deadline(self, mfsa):
+        engine = IMfantEngine(mfsa, scan_deadline=0.02, deadline_stride=1)
+        started = time.perf_counter()
+        with faultinject.inject("engine.step_delay", 0.005):
+            with pytest.raises(ScanDeadlineExceeded) as info:
+                engine.run(b"zzabczz" * 64)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 2.0  # the deadline bound, not a hang
+        error = info.value
+        assert isinstance(error, ReproError)
+        assert error.limit == 0.02
+        partial = error.partial
+        assert partial is not None
+        assert 0 < partial.stats.chars_processed < 7 * 64
+        assert partial.stats.wall_seconds > 0
+
+    def test_partial_result_keeps_matches_found_so_far(self, mfsa):
+        engine = IMfantEngine(mfsa, scan_deadline=0.02, deadline_stride=1)
+        payload = b"abc" + b"z" * 1024
+        with faultinject.inject("engine.step_delay", 0.005):
+            with pytest.raises(ScanDeadlineExceeded) as info:
+                engine.run(payload)
+        assert (0, 3) in info.value.partial.matches
+
+    def test_no_deadline_means_no_check(self, mfsa):
+        # armed delay but no deadline: slow, not fatal (stride gates fire)
+        engine = IMfantEngine(mfsa)
+        result = engine.run(b"zzabczz")
+        assert (0, 5) in result.matches
+
+
+class TestAllocFaults:
+    def test_alloc_fault_becomes_allocation_failed(self, mfsa):
+        with faultinject.inject("alloc", "numpy"):
+            with pytest.raises(AllocationFailed) as info:
+                IMfantEngine(mfsa, backend="numpy")
+        assert isinstance(info.value, ReproError)
+        assert "numpy" in str(info.value)
+
+    def test_guarded_matcher_degrades_past_the_fault(self, mfsa):
+        with faultinject.inject("alloc", "numpy"):
+            matcher = GuardedMatcher([mfsa], backend="numpy")
+            run = matcher.run(b"zzabczzabdzz")
+        assert matcher.backend == "python"
+        assert [s.to_backend for s in run.degradations] == ["python"]
+        assert (0, 5) in run.matches and (1, 10) in run.matches
+
+    def test_ladder_bottom_propagates(self, mfsa):
+        with faultinject.inject("alloc", True):
+            with pytest.raises(AllocationFailed):
+                GuardedMatcher([mfsa], backend="lazy").run(b"abc")
+
+    def test_policy_can_refuse_to_degrade(self, mfsa):
+        policy = DegradePolicy(on_alloc_failure=False)
+        with faultinject.inject("alloc", "numpy"):
+            with pytest.raises(AllocationFailed):
+                GuardedMatcher([mfsa], backend="numpy", policy=policy).run(b"abc")
+
+
+class TestCachePressureFaults:
+    def test_pressure_clamps_the_lazy_cache(self, mfsa):
+        with faultinject.inject("lazy.cache_pressure", True):
+            engine = IMfantEngine(mfsa, backend="lazy")
+        assert engine.lazy_cache.max_entries == 1
+
+    def test_thrash_degrades_the_next_run(self, mfsa):
+        policy = DegradePolicy(min_lookups=16, thrash_hit_rate=0.5)
+        with faultinject.inject("lazy.cache_pressure", True):
+            matcher = GuardedMatcher([mfsa], backend="lazy", policy=policy)
+            first = matcher.run(b"abcdzzabdzz" * 16)
+        # the thrashing run itself is exact ...
+        assert (0, 3) in first.matches
+        # ... and the matcher has stepped down for subsequent runs
+        assert matcher.backend == "numpy"
+        assert any("cache-thrash" in s.reason for s in matcher.degradations)
+
+
+class TestEnvActivation:
+    def test_repro_faults_env_parses(self):
+        armed = faultinject.load_env(
+            {"REPRO_FAULTS": "engine.step_delay=0.01, alloc=numpy"}
+        )
+        assert armed == 2
+        assert faultinject.value("engine.step_delay") == 0.01
+        assert faultinject.value("alloc") == "numpy"
+
+    def test_unknown_point_is_loud(self):
+        with pytest.raises(ValueError):
+            faultinject.load_env({"REPRO_FAULTS": "compile.rul=EVIL"})
+
+    def test_empty_env_arms_nothing(self):
+        assert faultinject.load_env({}) == 0
+
+
+class TestGuardCounters:
+    def test_counters_visible_on_the_registry(self):
+        with obs.capture() as cap:
+            with faultinject.inject("compile.rule", "EVIL"):
+                GuardedCompiler(budget=Budget(max_loop_copies=256)).compile(
+                    ["abc", "EVILx", "x{5000}"]
+                )
+        names = {inst.name for inst in cap.registry.instruments()}
+        assert {"guard_budget_exceeded_total", "guard_quarantined_rules",
+                "guard_degradations_total"} <= names
+        gauge = next(i for i in cap.registry.instruments()
+                     if i.name == "guard_quarantined_rules")
+        assert gauge.snapshot()["value"] == 2
+
+    def test_degradations_counted(self, mfsa):
+        with obs.capture() as cap:
+            with faultinject.inject("alloc", "numpy"):
+                GuardedMatcher([mfsa], backend="numpy").run(b"abc")
+        counter = next(i for i in cap.registry.instruments()
+                       if i.name == "guard_degradations_total")
+        assert counter.snapshot()["value"] == 1

@@ -1,0 +1,87 @@
+"""Fuzz the error contract: arbitrary (mostly malformed) pattern text
+through the frontend and the governed compiler must either compile or
+raise a :class:`ReproError` — never any other exception, never a hang.
+"""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.parser import parse
+from repro.guard.budget import Budget
+from repro.guard.compiler import GuardedCompiler
+from repro.guard.errors import ReproError
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+
+pytestmark = pytest.mark.guard
+
+#: metacharacter-heavy alphabet so most samples are malformed EREs
+_METAISH = st.text(
+    alphabet="ab01(){}[]|*+?-^$\\.,:= \t",
+    min_size=0,
+    max_size=40,
+)
+
+#: a compile budget that bounds every fuzz case (loops, states, time)
+_FUZZ_BUDGET = Budget(max_states=2000, max_transitions=8000,
+                      max_loop_copies=512, deadline=2.0)
+
+PER_PATTERN_DEADLINE = 2.0
+
+
+def _assert_only_repro_errors(patterns):
+    started = time.perf_counter()
+    try:
+        compile_ruleset(patterns, CompileOptions(budget=_FUZZ_BUDGET))
+    except ReproError:
+        pass
+    # anything else (bare ValueError not in the taxonomy, KeyError,
+    # RecursionError, ...) propagates and fails the test
+    assert time.perf_counter() - started < PER_PATTERN_DEADLINE
+
+
+class TestFrontendFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(_METAISH)
+    def test_parse_raises_only_taxonomy_errors(self, pattern):
+        try:
+            parse(pattern)
+        except ReproError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(_METAISH)
+    def test_compile_raises_only_taxonomy_errors(self, pattern):
+        _assert_only_repro_errors([pattern])
+
+
+class TestGuardedCompilerFuzz:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_METAISH, min_size=1, max_size=4))
+    def test_quarantine_never_leaks_foreign_errors(self, patterns):
+        started = time.perf_counter()
+        try:
+            compilation = GuardedCompiler(budget=_FUZZ_BUDGET).compile(patterns)
+        except ReproError:
+            pass
+        else:
+            # whatever survived really is compiled output
+            if compilation.result is not None:
+                assert compilation.result.mfsas
+            assert len(compilation.surviving_ids) + len(compilation.quarantine) >= 1
+        assert time.perf_counter() - started < PER_PATTERN_DEADLINE * len(patterns)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_METAISH, min_size=2, max_size=4))
+    def test_survivors_of_mixed_rulesets_recompile_cleanly(self, patterns):
+        try:
+            compilation = GuardedCompiler(budget=_FUZZ_BUDGET).compile(patterns)
+        except ReproError:
+            return
+        if not compilation.partial:
+            return
+        survivors = [compilation.patterns[i] for i in compilation.surviving_ids]
+        solo = compile_ruleset(survivors, CompileOptions(budget=_FUZZ_BUDGET))
+        assert len(solo.mfsas) == len(compilation.result.mfsas)
