@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke ci clean
+.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -45,12 +45,31 @@ guard-smoke:
 	  test $$? -eq 3 && echo "guard-smoke: quarantine exit code OK"'
 	@rm -rf /tmp/guard-smoke-rules.txt /tmp/guard-smoke-out
 
+# Serving smoke: the serve-marked suite (protocol, artifact cache,
+# shard pool, backpressure, fault drills, socket round trips), then an
+# end-to-end CLI drill — serve a builtin ruleset on a UNIX socket,
+# match a payload through the client, and shut the server down cleanly.
+serve-smoke:
+	PYTHONPATH=src pytest tests/ -m serve -q
+	@rm -rf /tmp/serve-smoke && mkdir -p /tmp/serve-smoke
+	@printf 'MAIL FROM:x AUTH LOGIN smoke payload' > /tmp/serve-smoke/payload.bin
+	@sh -c 'PYTHONPATH=src timeout 120 python -m repro.cli serve \
+	    --builtin tokens_exact --socket /tmp/serve-smoke/sock \
+	    --shards 2 --artifact-dir /tmp/serve-smoke/cache & \
+	  for i in $$(seq 1 100); do test -S /tmp/serve-smoke/sock && break; sleep 0.1; done; \
+	  PYTHONPATH=src python -m repro.cli client /tmp/serve-smoke/payload.bin \
+	    --socket /tmp/serve-smoke/sock && \
+	  PYTHONPATH=src python -m repro.cli client --socket /tmp/serve-smoke/sock --shutdown && \
+	  wait && echo "serve-smoke: end-to-end OK"'
+	@rm -rf /tmp/serve-smoke
+
 # What .github/workflows/ci.yml runs, for local use: the tier-1 suite
-# plus the observability and governance smokes.
+# plus the observability, governance and serving smokes.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) obs-smoke
 	$(MAKE) guard-smoke
+	$(MAKE) serve-smoke
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \

@@ -1,0 +1,153 @@
+"""Serving-path benchmark: batched throughput through the socket front door.
+
+Measures the resident matching service end to end — client sockets,
+length-prefixed frames, the bounded queue, batch coalescing and the
+shard pool — against the same payloads scanned single-process, so the
+serving overhead and the shard-parallel payoff are both visible:
+
+* requests/second and payload MB/s for several ``(shards, clients)``
+  configurations (concurrent clients make batch coalescing real: the
+  dispatcher drains whatever queued while the previous batch ran);
+* the single-process single-shot baseline on identical payloads;
+* correctness asserted inline: every served response must equal the
+  single-process oracle match set.
+
+Two entry points:
+
+* ``PYTHONPATH=src python benchmarks/bench_serve.py`` — full sweep,
+  writes ``BENCH_serve.json`` and prints a table;
+* ``pytest benchmarks/bench_serve.py --benchmark-only`` — the
+  pytest-benchmark spelling for one configuration.
+
+Environment: ``REPRO_BENCH_SERVE_PAYLOAD`` payload bytes (default
+16384), ``REPRO_BENCH_SERVE_REQUESTS`` requests per configuration
+(default 64).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import pytest
+
+from repro.cli import _demo_stream
+from repro.datasets import load_builtin
+from repro.engine.imfant import IMfantEngine
+from repro.pipeline.compiler import CompileOptions
+from repro.serve import ArtifactStore, MatchClient, ServeConfig, ServerThread
+
+PAYLOAD_BYTES = int(os.environ.get("REPRO_BENCH_SERVE_PAYLOAD", str(1 << 14)))
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "64"))
+RULESET = "tokens_exact"  # bounded match width → the pool really shards
+
+#: (shards, concurrent clients) sweep
+CONFIGURATIONS = ((1, 1), (2, 4), (4, 8))
+
+
+def _materials(tmp_dir: str):
+    patterns = list(load_builtin(RULESET).patterns)
+    artifact = ArtifactStore(tmp_dir).get_or_compile(
+        patterns, CompileOptions(emit_anml=False)
+    )
+    payload = _demo_stream(patterns, PAYLOAD_BYTES)
+    oracle = set()
+    for mfsa in artifact.mfsas:
+        oracle |= IMfantEngine(mfsa).run(payload.decode("latin-1")).matches
+    return artifact, payload, oracle
+
+
+def _single_process_baseline(artifact, payload: bytes, repeats: int = 3) -> float:
+    engines = [IMfantEngine(mfsa) for mfsa in artifact.mfsas]
+    text = payload.decode("latin-1")
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for engine in engines:
+            engine.run(text, collect_stats=False)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_configuration(artifact, payload, oracle, shards, clients, requests=REQUESTS):
+    """Throughput of one (shards, clients) point; asserts correctness."""
+    config = ServeConfig(shards=shards, batch_max=8, queue_depth=max(64, requests))
+    per_client = requests // clients
+
+    def worker(address):
+        with MatchClient.connect(address) as client:
+            for _ in range(per_client):
+                result = client.match(payload)
+                assert result.ok, result.error
+                assert result.matches == oracle
+        return per_client
+
+    with ServerThread(artifact, config) as address:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as executor:
+            completed = sum(executor.map(worker, [address] * clients))
+        elapsed = time.perf_counter() - started
+    return {
+        "shards": shards,
+        "clients": clients,
+        "requests": completed,
+        "seconds": elapsed,
+        "requests_per_second": completed / elapsed,
+        "payload_mb_per_second": completed * len(payload) / elapsed / 1e6,
+    }
+
+
+def run_sweep() -> dict:
+    with TemporaryDirectory() as tmp_dir:
+        artifact, payload, oracle = _materials(tmp_dir)
+        baseline_seconds = _single_process_baseline(artifact, payload)
+        rows = [
+            bench_configuration(artifact, payload, oracle, shards, clients)
+            for shards, clients in CONFIGURATIONS
+        ]
+    return {
+        "benchmark": "bench_serve",
+        "ruleset": RULESET,
+        "payload_bytes": len(payload),
+        "requests_per_configuration": REQUESTS,
+        "single_process_scan_seconds": baseline_seconds,
+        "single_process_mb_per_second": len(payload) / baseline_seconds / 1e6,
+        "note": "served throughput includes sockets, framing, queueing and "
+                "batch coalescing; correctness asserted per response",
+        "results": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    out = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    report = run_sweep()
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"{'shards':>7s} {'clients':>8s} {'req/s':>10s} {'MB/s':>10s}")
+    for row in report["results"]:
+        print(f"{row['shards']:7d} {row['clients']:8d} "
+              f"{row['requests_per_second']:10.1f} {row['payload_mb_per_second']:10.2f}")
+    print(f"single-process baseline: {report['single_process_mb_per_second']:.2f} MB/s")
+    print(f"\nwrote {out}")
+    return 0
+
+
+# -- pytest-benchmark spelling ----------------------------------------------
+
+
+@pytest.mark.serve
+def test_serve_round_trip_throughput(benchmark, tmp_path):
+    artifact, payload, oracle = _materials(str(tmp_path))
+    config = ServeConfig(shards=2, batch_max=8, queue_depth=64)
+    with ServerThread(artifact, config) as address:
+        with MatchClient.connect(address) as client:
+            result = benchmark(lambda: client.match(payload))
+    assert result.matches == oracle
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

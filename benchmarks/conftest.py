@@ -22,9 +22,18 @@ import pytest
 from repro.engine.cost import CostModel
 from repro.engine.multithread import MachineModel
 from repro.reporting.experiments import ExperimentConfig
+from repro.testing import seed_all
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "8"))
 BENCH_STREAM = int(os.environ.get("REPRO_BENCH_STREAM", "2048"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(autouse=True)
+def _seeded_rng():
+    """Benchmarks draw the same streams/rulesets regardless of run order."""
+    seed_all(BENCH_SEED)
+    yield
 
 BENCH_CONFIG = ExperimentConfig(
     scale=BENCH_SCALE,

@@ -9,7 +9,10 @@
 * ``repro-obs`` — compile + match one ruleset with the observability
   layer on; pretty-print the span tree and metrics, and export Chrome
   trace / JSONL / Prometheus artifacts.
-* ``repro`` — umbrella dispatcher: ``repro <compile|match|report|viz|obs> …``.
+* ``repro-serve`` / ``repro-client`` — resident sharded matching
+  service and its protocol client (see docs/serving.md).
+* ``repro`` — umbrella dispatcher:
+  ``repro <compile|match|report|viz|obs|serve|client> …``.
 
 ``repro-compile`` and ``repro-match`` accept ``--trace-out FILE`` and
 ``--metrics-out FILE`` to capture any production invocation's spans
@@ -638,6 +641,199 @@ def obs_main(argv: list[str] | None = None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro serve / repro client — the resident matching service
+# ---------------------------------------------------------------------------
+
+
+def _serve_patterns(args: argparse.Namespace) -> list[str]:
+    """Resolve --ruleset/--builtin into the pattern list."""
+    if args.builtin is not None:
+        from repro.datasets import load_builtin
+
+        try:
+            return list(load_builtin(args.builtin).patterns)
+        except KeyError as exc:
+            raise UsageError(str(exc.args[0])) from exc
+    return _read_patterns(args.ruleset)
+
+
+def _client_address(args: argparse.Namespace):
+    if args.socket is not None:
+        return str(args.socket)
+    if args.port is None:
+        raise UsageError("specify --socket PATH or --port N")
+    return (args.host, args.port)
+
+
+@_guarded
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro serve``: run the resident matching service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve a compiled ruleset over TCP/UNIX socket with a "
+                    "sharded worker pool (see docs/serving.md).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--ruleset", type=Path, help="ruleset file, one ERE per line")
+    source.add_argument("--builtin", type=str, metavar="NAME",
+                        help="curated builtin ruleset (see repro.datasets.list_builtin)")
+    parser.add_argument("-m", "--merging-factor", type=int, default=0,
+                        help="group size M; 0 merges the whole ruleset (default)")
+    transport = parser.add_mutually_exclusive_group()
+    transport.add_argument("--socket", type=Path, default=None, metavar="PATH",
+                           help="serve on a UNIX socket at PATH")
+    transport.add_argument("--port", type=int, default=None, metavar="N",
+                           help="serve on TCP port N (0 = ephemeral; default)")
+    parser.add_argument("--host", type=str, default="127.0.0.1",
+                        help="TCP bind address (default 127.0.0.1)")
+    sizing = parser.add_argument_group("sizing")
+    sizing.add_argument("--shards", type=int, default=2, metavar="N",
+                        help="shard-pool workers per payload (default 2)")
+    sizing.add_argument("--batch-max", type=int, default=8, metavar="N",
+                        help="max requests coalesced per dispatch cycle (default 8)")
+    sizing.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                        help="bounded request queue; full -> 429-style reject "
+                             "(default 64)")
+    parser.add_argument("--mode", choices=("thread", "process"), default="thread",
+                        help="shard workers in-process (thread) or forked worker "
+                             "processes loading the cached artifact (process)")
+    parser.add_argument("--backend", choices=("lazy", "numpy", "python"), default="lazy")
+    parser.add_argument("--lazy-cache-size", type=int, default=None, metavar="N",
+                        help="lazy-backend transition-cache budget in entries "
+                             "(default: %d)" % DEFAULT_CACHE_SIZE)
+    parser.add_argument("--lazy-eviction", choices=("flush", "lru"), default="flush")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="default per-request wall-clock deadline "
+                             "(requests may override via deadline_ms)")
+    parser.add_argument("--artifact-dir", type=Path, default=Path("serve_cache"),
+                        metavar="DIR",
+                        help="compiled-ruleset cache directory (default ./serve_cache)")
+    parser.add_argument("--no-shutdown-op", action="store_true",
+                        help="ignore protocol shutdown requests")
+    _add_obs_flags(parser)
+    args = parser.parse_args(argv)
+
+    import asyncio as _asyncio
+
+    from repro.serve.artifacts import ArtifactStore
+    from repro.serve.server import MatchServer, MatchService, ServeConfig
+
+    patterns = _serve_patterns(args)
+    with _obs_scope(args) as cap:
+        store = ArtifactStore(args.artifact_dir)
+        artifact = store.get_or_compile(
+            patterns, CompileOptions(merging_factor=args.merging_factor, emit_anml=False)
+        )
+        origin = "loaded from cache" if artifact.loaded_from_cache else "compiled"
+        print(f"ruleset {artifact.key[:12]}…: {artifact.num_rules} rule(s), "
+              f"{len(artifact.mfsas)} MFSA(s), {artifact.total_states} state(s) "
+              f"({origin}: {artifact.path})")
+
+        config = ServeConfig(
+            shards=args.shards,
+            batch_max=args.batch_max,
+            queue_depth=args.queue_depth,
+            backend=args.backend,
+            mode=args.mode,
+            default_deadline=args.deadline,
+            lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
+            lazy_eviction=args.lazy_eviction,
+            allow_shutdown=not args.no_shutdown_op,
+        )
+
+        async def _run() -> None:
+            service = MatchService(artifact, config)
+            if args.socket is not None:
+                server = MatchServer(service, socket_path=str(args.socket))
+            else:
+                server = MatchServer(service, host=args.host, port=args.port or 0)
+            await server.start()
+            address = server.address
+            shown = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+            print(f"serving on {shown} "
+                  f"(shards={config.shards} batch_max={config.batch_max} "
+                  f"queue_depth={config.queue_depth} backend={config.backend} "
+                  f"mode={config.mode}) — Ctrl-C to stop", flush=True)
+            await server.serve_until_stopped()
+
+        try:
+            _asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("interrupted; shutting down")
+    _export_obs(args, cap)
+    return 0
+
+
+@_guarded
+def client_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro client``: talk to a running match service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-client",
+        description="Send payloads (or control ops) to a running repro serve "
+                    "instance over its length-prefixed JSON protocol.",
+    )
+    parser.add_argument("stream", type=Path, nargs="?", default=None,
+                        help="input stream file to match (omit for --ping/"
+                             "--stats/--shutdown)")
+    parser.add_argument("--socket", type=Path, default=None, metavar="PATH",
+                        help="connect to a UNIX socket at PATH")
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None, metavar="N")
+    parser.add_argument("--single-match", action="store_true",
+                        help="report each rule's first match only")
+    parser.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                        help="per-request wall-clock deadline in milliseconds")
+    parser.add_argument("--show-matches", type=int, default=10, metavar="N",
+                        help="print the first N matches (0 = none)")
+    parser.add_argument("--ping", action="store_true", help="liveness probe")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the server's counters snapshot")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="ask the server to drain and stop")
+    args = parser.parse_args(argv)
+
+    from repro.serve.client import MatchClient
+
+    exit_code = 0
+    with MatchClient.connect(_client_address(args)) as client:
+        if args.ping:
+            alive = client.ping()
+            print("pong" if alive else "no response")
+            if not alive:
+                return 1
+        if args.stats:
+            for key, value in sorted(client.server_stats().items()):
+                print(f"  {key}: {value}")
+        if args.stream is not None:
+            try:
+                data = args.stream.read_bytes()
+            except OSError as exc:
+                raise UsageError(f"cannot read stream {args.stream}: {exc}") from exc
+            result = client.match(
+                data, single_match=args.single_match, deadline_ms=args.deadline_ms
+            )
+            print(f"status: {result.status} (code {result.code})   "
+                  f"matches: {len(result.matches)}   backend: {result.backend}   "
+                  f"shards: {result.shards}")
+            if result.error:
+                print(f"note: {result.error}")
+            if result.stats:
+                print(f"chars: {result.stats.get('chars_processed')}   "
+                      f"transitions examined: {result.stats.get('transitions_examined')}")
+            for rule, end in sorted(result.matches)[: args.show_matches]:
+                print(f"  rule {rule} matched ending at offset {end}")
+            if result.partial:
+                exit_code = EXIT_PARTIAL
+            elif not result.ok:
+                exit_code = 1
+        elif not (args.ping or args.stats or args.shutdown):
+            raise UsageError("nothing to do: give a stream file or --ping/--stats/--shutdown")
+        if args.shutdown:
+            print("shutdown acknowledged" if client.shutdown() else "shutdown refused")
+    return exit_code
+
+
+# ---------------------------------------------------------------------------
 # repro — umbrella dispatcher
 # ---------------------------------------------------------------------------
 
@@ -647,6 +843,8 @@ _SUBCOMMANDS = {
     "report": report_main,
     "viz": viz_main,
     "obs": obs_main,
+    "serve": serve_main,
+    "client": client_main,
 }
 
 

@@ -52,6 +52,19 @@ class ExecutionStats:
             return 0.0
         return self.active_pair_total / self.chars_processed
 
+    def as_dict(self) -> dict[str, int | float | None]:
+        """JSON-ready snapshot (the serve protocol's ``stats`` object)."""
+        return {
+            "chars_processed": self.chars_processed,
+            "transitions_examined": self.transitions_examined,
+            "transitions_taken": self.transitions_taken,
+            "active_pair_total": self.active_pair_total,
+            "max_state_activation": self.max_state_activation,
+            "match_count": self.match_count,
+            "mask_limbs": self.mask_limbs,
+            "wall_seconds": self.wall_seconds,
+        }
+
 
 @dataclass
 class RunResult:

@@ -1,0 +1,189 @@
+"""Content-addressed store of compiled rulesets (the serve-time cache).
+
+A resident matching service must not pay the compile pipeline on every
+(re)start: the MFSAs for a ruleset + options pair are a pure function of
+their inputs, so they are cached under a content-hash key.  The key
+covers every knob that changes the compiled output (the pattern list in
+rule-id order plus the :class:`~repro.pipeline.compiler.CompileOptions`
+fields that shape the automata); budgets and ANML emission do not alter
+the MFSAs and are deliberately excluded.
+
+One artifact file is one JSON document: the key, the fingerprint it was
+derived from, and the MFSAs via :mod:`repro.mfsa.serialize` (exact,
+property-tested round trips).  ``get_or_compile`` is the single entry
+point workers and servers use::
+
+    store = ArtifactStore(Path("~/.cache/repro-serve"))
+    artifact = store.get_or_compile(patterns)      # compiles once
+    artifact = store.get_or_compile(patterns)      # loads from disk
+
+Cache hits emit a ``serve.artifact.load`` span and **no** ``compile``
+span — the absence of a recompile is observable in the trace (tested).
+A corrupt or version-skewed cache file is treated as a miss and
+overwritten, never trusted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+import repro.obs as obs
+from repro.guard.errors import UsageError
+from repro.mfsa.model import Mfsa
+from repro.mfsa.serialize import MfsaJsonError, mfsa_from_dict, mfsa_to_dict
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+
+__all__ = ["Artifact", "ArtifactStore", "ARTIFACT_FORMAT", "ARTIFACT_VERSION", "ruleset_key"]
+
+ARTIFACT_FORMAT = "repro-serve-artifact"
+ARTIFACT_VERSION = 1
+
+
+def _fingerprint(patterns: Sequence[str], options: CompileOptions) -> dict:
+    """The canonical JSON-able identity of a compiled ruleset.
+
+    Only fields that change the produced MFSAs participate; ``budget``
+    (a limit, not a shape) and ``emit_anml`` (a sibling output) do not.
+    """
+    return {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "patterns": list(patterns),
+        "merging_factor": options.merging_factor,
+        "grouping": options.grouping,
+        "stratify_charclasses": options.stratify_charclasses,
+        "seed_cap": options.seed_cap,
+        "min_walk_len": options.min_walk_len,
+        "reduce_mfsa": options.reduce_mfsa,
+        "optimize": dataclasses.asdict(options.optimize),
+    }
+
+
+def ruleset_key(patterns: Sequence[str], options: CompileOptions | None = None) -> str:
+    """The content-hash key for a ruleset + options pair (hex sha256)."""
+    options = options or CompileOptions()
+    blob = json.dumps(_fingerprint(patterns, options), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class Artifact:
+    """One compiled ruleset as the service consumes it."""
+
+    key: str
+    patterns: list[str]
+    mfsas: list[Mfsa]
+    #: True when this came off disk instead of the compile pipeline
+    loaded_from_cache: bool
+    #: where the artifact lives on disk (None for in-memory-only stores)
+    path: Optional[Path] = None
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def total_states(self) -> int:
+        return sum(m.num_states for m in self.mfsas)
+
+
+class ArtifactStore:
+    """Directory-backed cache of compiled rulesets keyed by content hash."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.mfsa.json"
+
+    # -- load / save ------------------------------------------------------
+
+    def load(self, key: str) -> Optional[Artifact]:
+        """The cached artifact for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != ARTIFACT_FORMAT
+            or data.get("version") != ARTIFACT_VERSION
+            or data.get("key") != key
+        ):
+            return None
+        try:
+            mfsas = [mfsa_from_dict(doc) for doc in data["mfsas"]]
+            patterns = [str(p) for p in data["patterns"]]
+        except (KeyError, TypeError, MfsaJsonError):
+            return None
+        return Artifact(
+            key=key, patterns=patterns, mfsas=mfsas, loaded_from_cache=True, path=path
+        )
+
+    def save(self, key: str, patterns: Sequence[str], mfsas: Sequence[Mfsa]) -> Path:
+        """Persist an artifact atomically (write + rename)."""
+        path = self.path_for(key)
+        document = {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "key": key,
+            "patterns": list(patterns),
+            "mfsas": [mfsa_to_dict(m) for m in mfsas],
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        return path
+
+    # -- the single entry point -------------------------------------------
+
+    def get_or_compile(
+        self, patterns: Sequence[str], options: CompileOptions | None = None
+    ) -> Artifact:
+        """Load the compiled ruleset from cache, or compile and persist it.
+
+        The compile path runs the full pipeline (so spans/budgets behave
+        exactly as a direct :func:`compile_ruleset` call); the load path
+        touches only the serializer.
+        """
+        if not patterns:
+            raise UsageError("cannot serve an empty ruleset")
+        options = options or CompileOptions()
+        key = ruleset_key(patterns, options)
+        cached = self.load(key)
+        if cached is not None:
+            with obs.span(
+                "serve.artifact.load",
+                key=key[:12],
+                rules=len(cached.patterns),
+                mfsas=len(cached.mfsas),
+            ):
+                pass
+            return cached
+        if options.emit_anml:
+            options = dataclasses.replace(options, emit_anml=False)
+        result = compile_ruleset(patterns, options)
+        path = self.save(key, patterns, result.mfsas)
+        return Artifact(
+            key=key,
+            patterns=list(patterns),
+            mfsas=result.mfsas,
+            loaded_from_cache=False,
+            path=path,
+        )

@@ -1,0 +1,155 @@
+"""Blocking client for the serve protocol (CLI + tests + benchmarks).
+
+The server is async so it can juggle thousands of connections; clients
+are usually scripts that want one answer, so the client side is plain
+blocking sockets — no event loop to stand up, trivially usable from a
+REPL::
+
+    with MatchClient.connect(("127.0.0.1", 7071)) as client:
+        result = client.match(b"GET /admin/config.php")
+        print(result.status, sorted(result.matches))
+
+``connect`` accepts a ``(host, port)`` tuple or a UNIX-socket path
+string — the same ``address`` value :class:`~repro.serve.server.
+ServerThread` exposes.  Requests carry monotonically increasing ids;
+since this client pipelines nothing, responses map 1:1 in order.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.guard.errors import UsageError
+from repro.serve.protocol import (
+    FrameError,
+    encode_payload,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["ClientResult", "MatchClient"]
+
+Address = Union[tuple[str, int], str]
+
+
+@dataclass
+class ClientResult:
+    """One match response, decoded."""
+
+    status: str
+    code: int
+    matches: set[tuple[int, int]] = field(default_factory=set)
+    stats: Optional[dict[str, Any]] = None
+    backend: Optional[str] = None
+    shards: Optional[int] = None
+    error: Optional[str] = None
+    raw: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def partial(self) -> bool:
+        return self.status == "partial"
+
+    @property
+    def rejected(self) -> bool:
+        return self.status == "rejected"
+
+
+class MatchClient:
+    """One connection to a running match service."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._next_id = 0
+
+    @classmethod
+    def connect(cls, address: Address, timeout: Optional[float] = 30.0) -> "MatchClient":
+        """Open a connection to a TCP ``(host, port)`` or UNIX-path address."""
+        if isinstance(address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        elif isinstance(address, tuple) and len(address) == 2:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        else:
+            raise UsageError(f"bad address {address!r}: need (host, port) or a socket path")
+        sock.settimeout(timeout)
+        try:
+            sock.connect(address)
+        except OSError as exc:
+            sock.close()
+            raise UsageError(f"cannot connect to {address!r}: {exc}") from exc
+        return cls(sock)
+
+    # -- request plumbing --------------------------------------------------
+
+    def _roundtrip(self, document: dict[str, Any]) -> dict[str, Any]:
+        self._next_id += 1
+        document["id"] = self._next_id
+        try:
+            send_frame(self._sock, document)
+            response = recv_frame(self._sock)
+        except (OSError, FrameError) as exc:
+            raise UsageError(f"serve request failed: {exc}") from exc
+        if response.get("id") not in (self._next_id, None):
+            raise UsageError(
+                f"response id {response.get('id')} does not match request {self._next_id}"
+            )
+        return response
+
+    # -- operations --------------------------------------------------------
+
+    def match(
+        self,
+        payload: bytes | str,
+        single_match: bool = False,
+        deadline_ms: Optional[float] = None,
+    ) -> ClientResult:
+        """Scan one payload; returns the decoded response."""
+        data = payload.encode("latin-1") if isinstance(payload, str) else payload
+        document: dict[str, Any] = {"op": "match", "payload": encode_payload(data)}
+        if single_match:
+            document["single_match"] = True
+        if deadline_ms is not None:
+            document["deadline_ms"] = deadline_ms
+        response = self._roundtrip(document)
+        return ClientResult(
+            status=response.get("status", "error"),
+            code=response.get("code", 500),
+            matches={(rule, end) for rule, end in response.get("matches", [])},
+            stats=response.get("stats"),
+            backend=response.get("backend"),
+            shards=response.get("shards"),
+            error=response.get("error"),
+            raw=response,
+        )
+
+    def ping(self) -> bool:
+        return self._roundtrip({"op": "ping"}).get("status") == "ok"
+
+    def server_stats(self) -> dict[str, Any]:
+        response = self._roundtrip({"op": "stats"})
+        if response.get("status") != "ok":
+            raise UsageError(f"stats request failed: {response.get('error')}")
+        return response.get("server", {})
+
+    def shutdown(self) -> bool:
+        """Ask the server to drain and stop; True when acknowledged."""
+        return self._roundtrip({"op": "shutdown"}).get("status") == "ok"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "MatchClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,219 @@
+"""The serve wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Length-prefixing keeps framing trivial for both
+asyncio streams and blocking sockets, JSON keeps the protocol inspectable
+with ``nc`` + a JSON pretty-printer; binary payloads travel base64-coded
+inside the document.  A frame-size ceiling bounds what one client can
+make the server buffer.
+
+Requests
+========
+
+``{"id": 7, "op": "match", "payload": "<base64>", ...}``
+
+========== ============================================================
+op         semantics
+========== ============================================================
+``match``  scan the payload; optional ``single_match`` (bool) and
+           ``deadline_ms`` (per-request wall-clock budget)
+``ping``   liveness probe; echoes ``id``
+``stats``  service counters snapshot (queue depth, shards, backend, …)
+``shutdown`` drain and stop the server (when enabled)
+========== ============================================================
+
+Responses
+=========
+
+``{"id": 7, "status": "ok", "code": 200, "matches": [[rule, end], …]}``
+
+HTTP-flavoured codes so operators can reuse their intuition: 200 ok,
+206 partial result (deadline hit — the returned matches are the honest
+prefix), 400 malformed request, 429 rejected by backpressure (bounded
+queue full; retry later), 500 internal error.  A response always echoes
+the request ``id`` — batching may complete requests out of order.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.guard.errors import FormatError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "STATUS_CODES",
+    "FrameError",
+    "MatchRequest",
+    "encode_frame",
+    "decode_body",
+    "encode_payload",
+    "decode_payload",
+    "recv_frame",
+    "send_frame",
+    "match_response",
+    "error_response",
+]
+
+#: Frame-size ceiling (length prefix values above this are refused).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: status string → HTTP-flavoured numeric code
+STATUS_CODES = {
+    "ok": 200,
+    "partial": 206,
+    "bad-request": 400,
+    "rejected": 429,
+    "error": 500,
+}
+
+
+class FrameError(FormatError, ValueError):
+    """Malformed frame or protocol document."""
+
+    default_stage = "serve-protocol"
+
+
+# ---------------------------------------------------------------------------
+# Frame encoding (transport-independent)
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(document: dict[str, Any]) -> bytes:
+    """One wire frame: length prefix + JSON body."""
+    body = json.dumps(document, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds ceiling {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict[str, Any]:
+    """Parse one frame body (the bytes after the length prefix)."""
+    try:
+        document = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise FrameError("frame body must be a JSON object")
+    return document
+
+
+def frame_length(prefix: bytes) -> int:
+    """Validate and decode the 4-byte length prefix."""
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"declared frame of {length} bytes exceeds ceiling {MAX_FRAME_BYTES}")
+    return length
+
+
+def encode_payload(payload: bytes) -> str:
+    return base64.b64encode(payload).decode("ascii")
+
+
+def decode_payload(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise FrameError(f"payload is not valid base64: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Blocking-socket helpers (the sync client side)
+# ---------------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, document: dict[str, Any]) -> None:
+    sock.sendall(encode_frame(document))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any]:
+    """Read one complete frame from a blocking socket."""
+    length = frame_length(_recv_exact(sock, _LENGTH.size))
+    return decode_body(_recv_exact(sock, length))
+
+
+# ---------------------------------------------------------------------------
+# Request / response shapes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MatchRequest:
+    """A validated ``match`` request as the service consumes it."""
+
+    id: int
+    payload: bytes
+    single_match: bool = False
+    deadline_ms: Optional[float] = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_document(cls, document: dict[str, Any]) -> "MatchRequest":
+        request_id = document.get("id")
+        if not isinstance(request_id, int):
+            raise FrameError("request 'id' must be an integer")
+        payload = decode_payload(document.get("payload", ""))
+        single_match = bool(document.get("single_match", False))
+        deadline_ms = document.get("deadline_ms")
+        if deadline_ms is not None:
+            try:
+                deadline_ms = float(deadline_ms)
+            except (TypeError, ValueError) as exc:
+                raise FrameError("'deadline_ms' must be a number") from exc
+            if deadline_ms <= 0:
+                raise FrameError("'deadline_ms' must be positive")
+        return cls(
+            id=request_id,
+            payload=payload,
+            single_match=single_match,
+            deadline_ms=deadline_ms,
+        )
+
+
+def match_response(
+    request_id: int,
+    status: str,
+    matches: Optional[set[tuple[int, int]]] = None,
+    stats: Optional[dict[str, Any]] = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """A response document for one match request."""
+    document: dict[str, Any] = {
+        "id": request_id,
+        "status": status,
+        "code": STATUS_CODES[status],
+    }
+    if matches is not None:
+        document["matches"] = sorted([rule, end] for rule, end in matches)
+    if stats is not None:
+        document["stats"] = stats
+    document.update(extra)
+    return document
+
+
+def error_response(request_id: Optional[int], status: str, message: str) -> dict[str, Any]:
+    return {
+        "id": request_id,
+        "status": status,
+        "code": STATUS_CODES[status],
+        "error": message,
+    }

@@ -1,0 +1,543 @@
+"""The asyncio front door: batching, backpressure, deadlines, obs.
+
+The resident matching service (Figs. 9–10 at service scale): one
+process accepts length-prefixed JSON requests over TCP or a UNIX
+socket, coalesces them into batches, and fans each payload out over the
+:class:`~repro.serve.shards.ShardPool`.  The design goals, in order:
+
+1. **Never hang.**  Every match request runs under a per-request
+   :class:`~repro.guard.budget.Budget` deadline (client-supplied
+   ``deadline_ms`` or the configured default); a wedged shard surfaces
+   the honest partial result with a 206-style status.
+2. **Reject early, explicitly.**  The request queue is bounded
+   (``queue_depth``); when it is full the request is answered *now*
+   with a 429-style rejection instead of queueing into a latency cliff.
+3. **Batch the front, shard the back.**  The dispatcher drains up to
+   ``batch_max`` queued requests per cycle and scans them concurrently
+   — shard workers interleave across the batch, so one giant payload
+   does not serialize the queue behind it.
+4. **Observable.**  Queue-depth gauge, request/reject/partial counters,
+   batch-size and queue-wait histograms, per-shard throughput (via the
+   pool) — all on the active :mod:`repro.obs` registry, exportable with
+   the usual ``--metrics-out``.
+
+:class:`ServerThread` wraps the event loop in a daemon thread for
+synchronous callers (tests, benchmarks, the CLI's smoke path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Awaitable, Callable, Optional
+
+import repro.obs as obs
+from repro.engine.imfant import DEFAULT_DEADLINE_STRIDE
+from repro.engine.lazy import DEFAULT_CACHE_SIZE
+from repro.guard.budget import Budget
+from repro.guard.errors import DeadlineExceeded, ReproError, UsageError
+from repro.serve.artifacts import Artifact
+from repro.serve.protocol import (
+    FrameError,
+    MatchRequest,
+    decode_body,
+    encode_frame,
+    error_response,
+    frame_length,
+    match_response,
+)
+from repro.serve.shards import ShardPool
+
+__all__ = ["ServeConfig", "MatchService", "MatchServer", "ServerThread"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Sizing and behaviour knobs for one service instance."""
+
+    #: shard-pool workers per payload
+    shards: int = 2
+    #: max requests coalesced into one dispatch cycle
+    batch_max: int = 8
+    #: bounded request-queue depth; a full queue rejects (429-style)
+    queue_depth: int = 64
+    backend: str = "lazy"
+    #: "thread" (in-process workers) or "process" (forked workers that
+    #: load the artifact from disk)
+    mode: str = "thread"
+    #: default per-request wall-clock deadline in seconds (None = none);
+    #: a request's ``deadline_ms`` overrides it
+    default_deadline: Optional[float] = None
+    lazy_cache_size: int = DEFAULT_CACHE_SIZE
+    lazy_eviction: str = "flush"
+    #: scan positions between deadline checks inside the engines
+    deadline_stride: int = DEFAULT_DEADLINE_STRIDE
+    #: honour the protocol's ``shutdown`` op (CLI and tests; a hardened
+    #: deployment would front this with real auth)
+    allow_shutdown: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_max < 1:
+            raise UsageError(f"batch_max must be >= 1 (got {self.batch_max})")
+        if self.queue_depth < 1:
+            raise UsageError(f"queue_depth must be >= 1 (got {self.queue_depth})")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise UsageError("default_deadline must be positive")
+
+
+class _Metrics:
+    """Lazily-bound obs instruments (no-ops when obs is disabled)."""
+
+    def __init__(self) -> None:
+        pass
+
+    @property
+    def registry(self):
+        return obs.get_registry()
+
+    def count(self, name: str, help: str, amount: float = 1.0) -> None:
+        registry = self.registry
+        if registry is not None:
+            registry.counter(name, help=help).inc(amount)
+
+    def gauge(self, name: str, help: str, value: float) -> None:
+        registry = self.registry
+        if registry is not None:
+            registry.gauge(name, help=help).set(value)
+
+    def observe(self, name: str, help: str, value: float, bounds=None) -> None:
+        registry = self.registry
+        if registry is not None:
+            registry.histogram(name, bounds=bounds, help=help).observe(value)
+
+
+@dataclass
+class _Pending:
+    """One queued match request plus its reply channel and budget meter."""
+
+    request: MatchRequest
+    reply: Callable[[dict[str, Any]], Awaitable[None]]
+    meter: Any  # BudgetMeter | None
+    enqueued_at: float
+
+
+class MatchService:
+    """The queue + dispatcher + shard pool behind the socket front end."""
+
+    def __init__(self, artifact: Artifact, config: ServeConfig | None = None) -> None:
+        self.artifact = artifact
+        self.config = config or ServeConfig()
+        self.pool = ShardPool(
+            artifact,
+            num_shards=self.config.shards,
+            backend=self.config.backend,
+            mode=self.config.mode,
+            lazy_cache_size=self.config.lazy_cache_size,
+            lazy_eviction=self.config.lazy_eviction,
+            deadline_stride=self.config.deadline_stride,
+        )
+        self.metrics = _Metrics()
+        self.requests_handled = 0
+        self.requests_rejected = 0
+        self.requests_partial = 0
+        self.batches = 0
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        self.pool.close()
+
+    # -- intake ------------------------------------------------------------
+
+    def _deadline_for(self, request: MatchRequest) -> Optional[float]:
+        if request.deadline_ms is not None:
+            return request.deadline_ms / 1000.0
+        return self.config.default_deadline
+
+    async def submit(
+        self,
+        request: MatchRequest,
+        reply: Callable[[dict[str, Any]], Awaitable[None]],
+    ) -> None:
+        """Enqueue a match request, or answer 429 when the queue is full.
+
+        The budget deadline starts *here* — queue wait counts against
+        the request's wall clock, as a client sees it.
+        """
+        assert self._queue is not None, "service not started"
+        deadline = self._deadline_for(request)
+        meter = Budget(deadline=deadline).start() if deadline is not None else None
+        pending = _Pending(
+            request=request, reply=reply, meter=meter, enqueued_at=time.perf_counter()
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.requests_rejected += 1
+            self.metrics.count(
+                "serve_rejected_total", "requests rejected by backpressure (queue full)"
+            )
+            await reply(
+                error_response(
+                    request.id, "rejected",
+                    f"queue full ({self.config.queue_depth} deep); retry later",
+                )
+            )
+            return
+        self.metrics.gauge(
+            "serve_queue_depth", "match requests waiting for dispatch",
+            self._queue.qsize(),
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            batch = [await self._queue.get()]
+            while len(batch) < self.config.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self.batches += 1
+            self.metrics.count("serve_batches_total", "dispatch cycles executed")
+            self.metrics.observe(
+                "serve_batch_size", "requests coalesced per dispatch cycle",
+                len(batch), bounds=_BATCH_BUCKETS,
+            )
+            self.metrics.gauge(
+                "serve_queue_depth", "match requests waiting for dispatch",
+                self._queue.qsize(),
+            )
+            with obs.span("serve.batch", requests=len(batch)):
+                await asyncio.gather(
+                    *(self._process(pending) for pending in batch),
+                    return_exceptions=False,
+                )
+
+    async def _process(self, pending: _Pending) -> None:
+        request = pending.request
+        self.requests_handled += 1
+        self.metrics.count("serve_requests_total", "match requests processed")
+        self.metrics.observe(
+            "serve_request_bytes", "payload bytes per match request",
+            len(request.payload), bounds=_BYTES_BUCKETS,
+        )
+        self.metrics.observe(
+            "serve_queue_wait_seconds", "time spent queued before dispatch",
+            time.perf_counter() - pending.enqueued_at, bounds=_WAIT_BUCKETS,
+        )
+        remaining: Optional[float] = None
+        if pending.meter is not None:
+            try:
+                pending.meter.check_deadline(stage="serve-queue")
+            except DeadlineExceeded as exc:
+                # the deadline died in the queue: answer partial-empty
+                # rather than scanning work the client has given up on
+                self.requests_partial += 1
+                self.metrics.count(
+                    "serve_partial_total", "requests answered with partial results"
+                )
+                await pending.reply(
+                    match_response(
+                        request.id, "partial", matches=set(),
+                        stats=None, error=str(exc), shards=0,
+                        backend=self.pool.backend,
+                    )
+                )
+                return
+            remaining = pending.meter.deadline_at - time.perf_counter()
+        try:
+            result = await asyncio.to_thread(
+                self.pool.scan,
+                request.payload,
+                deadline=remaining,
+                single_match=request.single_match,
+            )
+        except ReproError as exc:
+            self.metrics.count("serve_errors_total", "requests failed with an error")
+            await pending.reply(error_response(request.id, "error", str(exc)))
+            return
+        status = "partial" if result.partial else "ok"
+        if result.partial:
+            self.requests_partial += 1
+            self.metrics.count(
+                "serve_partial_total", "requests answered with partial results"
+            )
+        await pending.reply(
+            match_response(
+                request.id,
+                status,
+                matches=result.matches,
+                stats=result.stats.as_dict(),
+                backend=result.backend,
+                shards=result.shards,
+                timed_out_shards=result.timed_out_shards,
+                degradations=[
+                    {"from": s.from_backend, "to": s.to_backend, "reason": s.reason}
+                    for s in result.degradations
+                ],
+            )
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        return {
+            "ruleset_key": self.artifact.key,
+            "rules": self.artifact.num_rules,
+            "mfsas": len(self.artifact.mfsas),
+            "loaded_from_cache": self.artifact.loaded_from_cache,
+            "backend": self.pool.backend,
+            "mode": self.pool.mode,
+            "shards": self.config.shards,
+            "batch_max": self.config.batch_max,
+            "queue_depth": self.config.queue_depth,
+            "queued": self._queue.qsize() if self._queue is not None else 0,
+            "overlap": self.pool.overlap,
+            "requests_handled": self.requests_handled,
+            "requests_rejected": self.requests_rejected,
+            "requests_partial": self.requests_partial,
+            "batches": self.batches,
+            "degradations": len(self.pool.degradations),
+        }
+
+
+class MatchServer:
+    """asyncio socket server speaking the serve protocol."""
+
+    def __init__(
+        self,
+        service: MatchService,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+    ) -> None:
+        if (socket_path is None) == (host is None and port is None):
+            raise UsageError("specify either socket_path or host+port, not both")
+        self.service = service
+        self.host = host or "127.0.0.1"
+        self.port = port
+        self.socket_path = socket_path
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int] | str:
+        """Where the server is reachable (set after :meth:`start`)."""
+        if self.socket_path is not None:
+            return self.socket_path
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        await self.service.start()
+        if self.socket_path is not None:
+            # asyncio only unlinks the socket file on close from 3.13 on;
+            # a previous instance's stale file would otherwise both break
+            # the bind and misdirect clients into "connection refused".
+            path = Path(self.socket_path)
+            if path.is_socket():
+                path.unlink(missing_ok=True)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port or 0
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._stopping.wait()
+        await self.service.stop()
+        if self.socket_path is not None:
+            Path(self.socket_path).unlink(missing_ok=True)
+
+    async def run(self) -> None:
+        await self.start()
+        await self.serve_until_stopped()
+
+    def request_stop(self) -> None:
+        self._stopping.set()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+
+        async def reply(document: dict[str, Any]) -> None:
+            async with write_lock:
+                if writer.is_closing():
+                    return
+                writer.write(encode_frame(document))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                try:
+                    body = await reader.readexactly(frame_length(prefix))
+                    document = decode_body(body)
+                except FrameError as exc:
+                    await reply(error_response(None, "bad-request", str(exc)))
+                    break  # framing is lost; close the connection
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                await self._handle_document(document, reply)
+        except asyncio.CancelledError:
+            pass  # loop shutdown while blocked on a read: close quietly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _handle_document(
+        self, document: dict[str, Any], reply: Callable[[dict[str, Any]], Awaitable[None]]
+    ) -> None:
+        op = document.get("op", "match")
+        request_id = document.get("id")
+        if op == "ping":
+            await reply({"id": request_id, "status": "ok", "code": 200, "op": "ping"})
+        elif op == "stats":
+            await reply(
+                {
+                    "id": request_id,
+                    "status": "ok",
+                    "code": 200,
+                    "op": "stats",
+                    "server": self.service.stats_snapshot(),
+                }
+            )
+        elif op == "shutdown":
+            if not self.service.config.allow_shutdown:
+                await reply(
+                    error_response(request_id, "bad-request", "shutdown is disabled")
+                )
+                return
+            await reply({"id": request_id, "status": "ok", "code": 200, "op": "shutdown"})
+            self.request_stop()
+        elif op == "match":
+            try:
+                request = MatchRequest.from_document(document)
+            except FrameError as exc:
+                await reply(error_response(request_id, "bad-request", str(exc)))
+                return
+            await self.service.submit(request, reply)
+        else:
+            await reply(error_response(request_id, "bad-request", f"unknown op {op!r}"))
+
+
+class ServerThread:
+    """Run a :class:`MatchServer` on a daemon thread (sync callers).
+
+    ::
+
+        with ServerThread(artifact, config, socket_path=path) as address:
+            client = MatchClient.connect(address)
+    """
+
+    def __init__(
+        self,
+        artifact: Artifact,
+        config: ServeConfig | None = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+    ) -> None:
+        if socket_path is None and host is None and port is None:
+            host, port = "127.0.0.1", 0
+        self.service = MatchService(artifact, config)
+        self._host, self._port, self._socket_path = host, port, socket_path
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[MatchServer] = None
+        self._thread = threading.Thread(target=self._run, daemon=True, name="repro-serve")
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._server = MatchServer(
+                self.service, host=self._host, port=self._port,
+                socket_path=self._socket_path,
+            )
+            try:
+                await self._server.start()
+            except BaseException as exc:  # surface bind errors to the caller
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self._server.serve_until_stopped()
+
+        try:
+            asyncio.run(main())
+        except BaseException:
+            if not self._ready.is_set():
+                self._ready.set()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self._server is None or self._loop is None:
+            raise UsageError("server failed to start within 30s")
+        return self
+
+    @property
+    def address(self) -> tuple[str, int] | str:
+        assert self._server is not None
+        return self._server.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._server.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> tuple[str, int] | str:
+        self.start()
+        return self.address
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+#: batch-size buckets 1..batch caps
+_BATCH_BUCKETS = tuple(float(2 ** i) for i in range(9))
+#: payload-size buckets: 64 B … 64 MiB
+_BYTES_BUCKETS = tuple(64.0 * (4 ** i) for i in range(11))
+#: queue-wait buckets: 100 µs … ~1.6 s
+_WAIT_BUCKETS = tuple(0.0001 * (2 ** i) for i in range(15))

@@ -1,0 +1,463 @@
+"""The shard pool: one payload, many workers, exact stitching.
+
+Figs. 9–10 parallelise across automata; :mod:`repro.engine.chunkscan`
+parallelises one automaton across stream chunks.  The serve layer needs
+the chunk axis as a *resident* facility — workers that outlive requests,
+own their engines, and scan whatever payload slice the planner hands
+them — so this module lifts chunkscan's overlap/stitch semantics into a
+:class:`ShardPool`:
+
+* **Planning** — :func:`plan_shards` splits ``[0, n)`` into per-worker
+  jobs ``(start, lead, stop)`` where ``lead ≤ overlap`` bytes of left
+  context are prepended.  Any match of width ≤ overlap that crosses a
+  boundary lies entirely inside some job's segment, so scanning jobs
+  independently loses nothing (property-tested against single-pass).
+* **Stitching** — :func:`rebase_matches` re-bases a job's match offsets
+  to absolute positions and drops matches ending inside the lead (the
+  previous shard's responsibility), exactly as chunkscan does.
+* **Workers** — each pool worker owns :meth:`IMfantEngine.fork` clones
+  of the template engines (shared immutable tables, private lazy
+  caches).  ``mode="thread"`` keeps workers in-process;
+  ``mode="process"`` runs them in forked worker processes that *load*
+  the compiled artifact from the :class:`~repro.serve.artifacts.
+  ArtifactStore` instead of recompiling.
+* **Degradation** — an :class:`~repro.guard.errors.AllocationFailed`
+  while building worker engines steps the pool down the
+  :data:`~repro.guard.degrade.BACKEND_LADDER` (lazy → numpy → python)
+  and retries, mirroring :class:`~repro.guard.degrade.GuardedMatcher`;
+  every step increments ``guard_degradations_total``.
+* **Deadlines** — a per-scan deadline is divided among jobs as the
+  *remaining* wall clock at job start; a job that blows it returns the
+  honest partial result carried by :class:`~repro.guard.errors.
+  ScanDeadlineExceeded` and the pool marks the scan ``partial`` instead
+  of hanging or discarding the other shards' work.
+
+A ruleset with an unbounded match width (``.*`` …) has no finite sound
+overlap; the pool then runs every scan as one sequential job (still
+through a worker, still governed) — callers keep one code path.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock, local
+from typing import Optional, Sequence
+
+import repro.obs as obs
+from repro.engine.counters import ExecutionStats
+from repro.engine.imfant import DEFAULT_DEADLINE_STRIDE, IMfantEngine
+from repro.engine.lazy import DEFAULT_CACHE_SIZE
+from repro.engine.chunkscan import ruleset_max_width
+from repro.guard.degrade import BACKEND_LADDER, DegradationStep
+from repro.guard.errors import AllocationFailed, ScanDeadlineExceeded, UsageError
+from repro.mfsa.model import Mfsa
+from repro.serve.artifacts import Artifact
+
+__all__ = ["ShardJob", "ShardScanResult", "ShardPool", "plan_shards", "rebase_matches"]
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One worker's slice: scan ``payload[start - lead : stop]``."""
+
+    start: int
+    lead: int
+    stop: int
+
+    @property
+    def segment_slice(self) -> slice:
+        return slice(self.start - self.lead, self.stop)
+
+
+def plan_shards(payload_len: int, num_shards: int, overlap: int) -> list[ShardJob]:
+    """Split ``[0, payload_len)`` into ≤ ``num_shards`` overlapping jobs.
+
+    Shards are contiguous, near-equal ranges; each (except the first)
+    carries ``min(overlap, start)`` bytes of left context.  Shard sizes
+    below the overlap would re-scan more than they advance, so the
+    planner lowers the shard count until every shard makes progress.
+    """
+    if num_shards < 1:
+        raise UsageError(f"num_shards must be >= 1 (got {num_shards})")
+    if payload_len <= 0:
+        return [ShardJob(0, 0, payload_len)] if payload_len == 0 else []
+    # every shard must advance past its own lead
+    effective = min(num_shards, max(1, payload_len // max(1, overlap + 1)))
+    base, remainder = divmod(payload_len, effective)
+    jobs: list[ShardJob] = []
+    start = 0
+    for index in range(effective):
+        size = base + (1 if index < remainder else 0)
+        stop = start + size
+        jobs.append(ShardJob(start=start, lead=min(overlap, start), stop=stop))
+        start = stop
+    return jobs
+
+
+def rebase_matches(
+    matches: Sequence[tuple[int, int]], job: ShardJob
+) -> set[tuple[int, int]]:
+    """Job-relative match ends → absolute ends, lead-claimed ones dropped.
+
+    A match ending inside the lead belongs to the previous shard (it was
+    found there in full); keeping the first shard's ``end >= 0`` matches
+    preserves offset-0 empty-width matches, as in chunkscan.
+    """
+    base = job.start - job.lead
+    return {
+        (rule, end + base)
+        for rule, end in matches
+        if end > job.lead or (job.start == 0 and end >= 0)
+    }
+
+
+@dataclass
+class ShardScanResult:
+    """One pool scan: stitched matches plus execution provenance."""
+
+    matches: set[tuple[int, int]]
+    stats: ExecutionStats
+    #: backend that executed the scan (after any degradation)
+    backend: str
+    #: jobs the planner produced for this payload
+    shards: int
+    #: True when at least one shard hit its deadline — ``matches`` is
+    #: then the honest union of completed work, not the full answer
+    partial: bool = False
+    #: indices of the jobs that timed out
+    timed_out_shards: list[int] = field(default_factory=list)
+    #: ladder steps taken over the pool's lifetime
+    degradations: list[DegradationStep] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Process-mode worker half (module-level: must be picklable by reference)
+# ---------------------------------------------------------------------------
+
+_PROCESS_STATE: dict = {}
+
+
+def _process_init(artifact_path: str, backend: str, lazy_cache_size: int,
+                  lazy_eviction: str, deadline_stride: int) -> None:
+    """Worker-process initializer: *load* the artifact, never recompile."""
+    import json
+
+    from repro.mfsa.serialize import mfsa_from_dict
+
+    data = json.loads(Path(artifact_path).read_text())
+    mfsas = [mfsa_from_dict(doc) for doc in data["mfsas"]]
+    _PROCESS_STATE["engines"] = _build_engines(
+        mfsas, backend, lazy_cache_size, lazy_eviction, deadline_stride
+    )
+
+
+def _process_scan(args: tuple) -> tuple[set, ExecutionStats, bool]:
+    segment, deadline, collect_stats = args
+    return _scan_segment(_PROCESS_STATE["engines"], segment, deadline, collect_stats)
+
+
+def _build_engines(
+    mfsas: Sequence[Mfsa],
+    backend: str,
+    lazy_cache_size: int,
+    lazy_eviction: str,
+    deadline_stride: int = DEFAULT_DEADLINE_STRIDE,
+) -> list[IMfantEngine]:
+    return [
+        IMfantEngine(
+            mfsa,
+            backend=backend,
+            lazy_cache_size=lazy_cache_size,
+            lazy_eviction=lazy_eviction,
+            deadline_stride=deadline_stride,
+        )
+        for mfsa in mfsas
+    ]
+
+
+def _scan_segment(
+    engines: Sequence[IMfantEngine],
+    segment: bytes,
+    deadline: Optional[float],
+    collect_stats: bool,
+) -> tuple[set, ExecutionStats, bool]:
+    """Scan one segment with every engine; returns (matches, stats, timed_out).
+
+    The deadline is the job's *remaining* seconds; a blown deadline
+    yields the partial result the engine finalized, never a hang.
+    """
+    matches: set[tuple[int, int]] = set()
+    totals = ExecutionStats()
+    timed_out = False
+    for engine in engines:
+        engine.scan_deadline = deadline if deadline is None or deadline > 0 else 1e-9
+        try:
+            result = engine.run(segment, collect_stats=collect_stats)
+        except ScanDeadlineExceeded as exc:
+            result = exc.partial
+            timed_out = True
+        matches |= result.matches
+        totals.merge(result.stats)
+        if timed_out:
+            break
+    return matches, totals, timed_out
+
+
+class ShardPool:
+    """Resident pool of matching workers over one compiled artifact."""
+
+    def __init__(
+        self,
+        artifact: Artifact,
+        num_shards: int = 2,
+        backend: str = "lazy",
+        mode: str = "thread",
+        lazy_cache_size: int = DEFAULT_CACHE_SIZE,
+        lazy_eviction: str = "flush",
+        deadline_stride: int = DEFAULT_DEADLINE_STRIDE,
+        overlap: Optional[int] = "auto",  # type: ignore[assignment]
+    ) -> None:
+        if num_shards < 1:
+            raise UsageError(f"num_shards must be >= 1 (got {num_shards})")
+        if mode not in ("thread", "process"):
+            raise UsageError(f"unknown shard mode {mode!r}; choose thread or process")
+        if backend not in BACKEND_LADDER:
+            raise UsageError(f"unknown backend {backend!r}; choose from {BACKEND_LADDER}")
+        if mode == "process" and artifact.path is None:
+            raise UsageError("process-mode shards need an on-disk artifact to load")
+        self.artifact = artifact
+        self.num_shards = num_shards
+        self.backend = backend
+        self.mode = mode
+        self.lazy_cache_size = lazy_cache_size
+        self.lazy_eviction = lazy_eviction
+        self.deadline_stride = deadline_stride
+        #: max match width over the ruleset; None = unbounded (sequential)
+        self.overlap: Optional[int] = (
+            ruleset_max_width(artifact.patterns) if overlap == "auto" else overlap
+        )
+        self.degradations: list[DegradationStep] = []
+        self._lock = Lock()
+        self._local = local()
+        self._generation = 0  # bumped on degradation; invalidates worker forks
+        self._templates: Optional[list[IMfantEngine]] = None
+        self._executor: Optional[Executor] = None
+        self._empty_matching_rules = self._find_empty_matching_rules(artifact.mfsas)
+
+    @staticmethod
+    def _find_empty_matching_rules(mfsas: Sequence[Mfsa]) -> list[int]:
+        rules = []
+        for mfsa in mfsas:
+            for rule, q0 in mfsa.initials.items():
+                if q0 in mfsa.finals[rule]:
+                    rules.append(rule)
+        return rules
+
+    # -- worker/executor management ---------------------------------------
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.mode == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.num_shards, thread_name_prefix="repro-shard"
+                )
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.num_shards,
+                    initializer=_process_init,
+                    initargs=(
+                        str(self.artifact.path),
+                        self.backend,
+                        self.lazy_cache_size,
+                        self.lazy_eviction,
+                        self.deadline_stride,
+                    ),
+                )
+        return self._executor
+
+    def _degrade(self, reason: str) -> bool:
+        """Step the whole pool down one backend (see GuardedMatcher)."""
+        with self._lock:
+            position = BACKEND_LADDER.index(self.backend)
+            if position + 1 >= len(BACKEND_LADDER):
+                return False
+            step = DegradationStep(
+                from_backend=self.backend,
+                to_backend=BACKEND_LADDER[position + 1],
+                reason=reason,
+            )
+            self.backend = step.to_backend
+            self.degradations.append(step)
+            self._templates = None
+            self._generation += 1
+            if self.mode == "process" and self._executor is not None:
+                # process workers bake the backend into their initializer
+                self._executor.shutdown(wait=True)
+                self._executor = None
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.counter(
+                "guard_degradations_total",
+                help="backend degradation steps taken by guarded matchers",
+            ).inc()
+        return True
+
+    def _ensure_templates(self) -> list[IMfantEngine]:
+        while True:
+            with self._lock:
+                if self._templates is not None:
+                    return self._templates
+                try:
+                    self._templates = _build_engines(
+                        self.artifact.mfsas, self.backend,
+                        self.lazy_cache_size, self.lazy_eviction,
+                        self.deadline_stride,
+                    )
+                    return self._templates
+                except AllocationFailed as exc:
+                    failure = exc
+            if not self._degrade(f"allocation-failure: {failure}"):
+                raise failure
+
+    def _worker_engines(self) -> list[IMfantEngine]:
+        """This worker thread's private engine forks (rebuilt after any
+        degradation — the generation stamp invalidates stale forks)."""
+        templates = self._ensure_templates()
+        state = self._local
+        if getattr(state, "generation", None) != self._generation:
+            while True:
+                try:
+                    state.engines = [template.fork() for template in templates]
+                    break
+                except AllocationFailed as exc:
+                    if not self._degrade(f"allocation-failure: {exc}"):
+                        raise
+                    templates = self._ensure_templates()
+            state.generation = self._generation
+        return state.engines
+
+    def _thread_scan(
+        self, segment: bytes, deadline: Optional[float], collect_stats: bool
+    ) -> tuple[set, ExecutionStats, bool]:
+        return _scan_segment(self._worker_engines(), segment, deadline, collect_stats)
+
+    # -- scanning ----------------------------------------------------------
+
+    def scan(
+        self,
+        payload: bytes | str,
+        deadline: Optional[float] = None,
+        single_match: bool = False,
+        collect_stats: bool = True,
+    ) -> ShardScanResult:
+        """Scan one payload across the pool; exact single-pass semantics.
+
+        ``deadline`` is wall-clock seconds for the whole scan.  Shards
+        that exceed it surface their honest partial results and the scan
+        is flagged ``partial`` — the answer is a sound under-
+        approximation, never silently wrong.
+        """
+        data = payload.encode("latin-1") if isinstance(payload, str) else payload
+        if self.overlap is None:
+            jobs = [ShardJob(0, 0, len(data))]
+        else:
+            jobs = plan_shards(len(data), self.num_shards, self.overlap)
+        deadline_at = time.perf_counter() + deadline if deadline is not None else None
+        executor = self._ensure_executor()
+
+        with obs.span(
+            "serve.shard_scan",
+            shards=len(jobs),
+            bytes=len(data),
+            backend=self.backend,
+            mode=self.mode,
+        ) as span:
+            futures = []
+            for job in jobs:
+                segment = data[job.segment_slice]
+                if self.mode == "thread":
+                    remaining = (
+                        None if deadline_at is None
+                        else deadline_at - time.perf_counter()
+                    )
+                    futures.append(
+                        executor.submit(self._thread_scan, segment, remaining, collect_stats)
+                    )
+                else:
+                    remaining = (
+                        None if deadline_at is None
+                        else deadline_at - time.perf_counter()
+                    )
+                    futures.append(
+                        executor.submit(
+                            _process_scan, (segment, remaining, collect_stats)
+                        )
+                    )
+
+            matches: set[tuple[int, int]] = set()
+            totals = ExecutionStats()
+            timed_out: list[int] = []
+            registry = obs.get_registry()
+            for index, (job, future) in enumerate(zip(jobs, futures)):
+                job_matches, job_stats, job_timed_out = future.result()
+                matches |= rebase_matches(job_matches, job)
+                totals.merge(job_stats)
+                if job_timed_out:
+                    timed_out.append(index)
+                if registry is not None and job_stats.wall_seconds:
+                    registry.histogram(
+                        "serve_shard_scan_seconds",
+                        bounds=_LATENCY_BUCKETS,
+                        help="per-shard scan wall seconds",
+                    ).observe(job_stats.wall_seconds)
+                    registry.histogram(
+                        "serve_shard_throughput_bytes_per_sec",
+                        bounds=_THROUGHPUT_BUCKETS,
+                        help="per-shard scan throughput",
+                    ).observe(job_stats.chars_processed / job_stats.wall_seconds)
+
+            # ε-accepting rules match at every offset; shards only see
+            # their own ranges, so complete the range explicitly.
+            for rule in self._empty_matching_rules:
+                matches.update((rule, end) for end in range(len(data) + 1))
+
+            if single_match:
+                firsts: dict[int, int] = {}
+                for rule, end in matches:
+                    if rule not in firsts or end < firsts[rule]:
+                        firsts[rule] = end
+                matches = {(rule, end) for rule, end in firsts.items()}
+            totals.match_count = len(matches)
+            span.set(matches=len(matches), partial=bool(timed_out))
+
+        return ShardScanResult(
+            matches=matches,
+            stats=totals,
+            backend=self.backend,
+            shards=len(jobs),
+            partial=bool(timed_out),
+            timed_out_shards=timed_out,
+            degradations=list(self.degradations),
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: latency buckets: 100 µs … ~13 s, exponential
+_LATENCY_BUCKETS = tuple(0.0001 * (2 ** i) for i in range(18))
+#: throughput buckets: 1 KiB/s … 1 GiB/s, ×4 steps
+_THROUGHPUT_BUCKETS = tuple(1024.0 * (4 ** i) for i in range(11))

@@ -26,6 +26,27 @@ from hypothesis import strategies as st
 #: maximise collision/overlap coverage per example.
 DEFAULT_ALPHABET = "abcd"
 
+#: Seed the test/bench conftests install per test (see :func:`seed_all`).
+DEFAULT_TEST_SEED = 0x5EED
+
+
+def seed_all(seed: int = DEFAULT_TEST_SEED) -> int:
+    """Seed every RNG the suite can reach; returns the seed used.
+
+    Non-hypothesis tests and benchmarks that call :mod:`random` (or
+    numpy's global RNG) directly become order-independent once each test
+    starts from the same state — the conftests install this as an
+    autouse fixture so one test's draws can never leak into the next.
+    """
+    random.seed(seed)
+    try:
+        import numpy as _np
+
+        _np.random.seed(seed % (2**32))
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        pass
+    return seed
+
 
 @st.composite
 def ere_patterns(draw, alphabet: str = DEFAULT_ALPHABET, max_depth: int = 3) -> str:

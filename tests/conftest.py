@@ -12,11 +12,20 @@ import os
 import pytest
 from hypothesis import settings as hypothesis_settings
 
+import repro.obs as obs
 from repro.automata.optimize import compile_re_to_fsa
+from repro.guard import faultinject
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 
 # Hypothesis baseline profile (per-test @settings still override it).
 hypothesis_settings.register_profile("default", deadline=None)
-hypothesis_settings.load_profile("default")
+# Derandomized twin: REPRO_TEST_DETERMINISTIC=1 makes hypothesis replay
+# the same example sequence every run (bisection / flake triage).
+hypothesis_settings.register_profile("deterministic", deadline=None, derandomize=True)
+hypothesis_settings.load_profile(
+    "deterministic" if os.environ.get("REPRO_TEST_DETERMINISTIC") else "default"
+)
 
 #: Example count for the dedicated soak tests (tests/test_soak.py):
 #: REPRO_SOAK_EXAMPLES=2000 turns them into a long confidence run.
@@ -26,6 +35,7 @@ from repro.testing import (
     DEFAULT_ALPHABET as TEST_ALPHABET,
     ere_patterns,
     random_patterns as random_ruleset,
+    seed_all,
     subject_strings as input_strings,
 )
 
@@ -37,6 +47,48 @@ __all__ = [
     "mfsa_equal",
     "compile_ruleset_fsas",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Test isolation (autouse)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _seeded_rng():
+    """Every test starts from the same RNG state (see repro.testing.seed_all)."""
+    seed_all()
+    yield
+
+
+@pytest.fixture(autouse=True)
+def _obs_and_fault_isolation():
+    """No test can leak global observability or fault-injection state.
+
+    Saves the obs switchboard (active tracer/registry + sampling stride)
+    and the armed fault points before each test, restores them after —
+    a test that enables metrics, tweaks the stride, or arms
+    ``engine.step_delay`` and then dies mid-way cannot poison the rest
+    of the run.
+    """
+    saved_tracer = obs.get_tracer()
+    saved_registry = obs.get_registry()
+    saved_stride = obs.sample_stride()
+    saved_faults = {point: faultinject.value(point) for point in faultinject.active_points()}
+    yield
+    # Restore the exact pre-test switchboard (including "off").
+    if saved_tracer is not None:
+        obs_spans.enable(saved_tracer)
+    else:
+        obs_spans.disable()
+    if saved_registry is not None:
+        obs_metrics.enable(saved_registry)
+    else:
+        obs_metrics.disable()
+    obs.set_sample_stride(saved_stride)
+    faultinject.clear()
+    for point, arg in saved_faults.items():
+        faultinject.arm(point, arg)
 
 
 # ---------------------------------------------------------------------------

@@ -5,7 +5,7 @@ same ``(rule, end)`` set:
 
 1. per-rule reference NFA simulation (itself validated against `re`);
 2. iNFAnt per rule (python + numpy backends);
-3. iMFAnt over the merged MFSA (python + numpy), at several M;
+3. iMFAnt over the merged MFSA (python + numpy + lazy), at several M;
 4. the activation-function reference executor;
 5. the streaming chunked matcher;
 6. the ANML write→read→execute path;
@@ -60,10 +60,11 @@ def test_all_engines_agree(data):
             got |= INfantEngine(fsa, rule_id, backend=backend).run(text).matches
         assert got == oracle, f"iNFAnt[{backend}]"
 
-    # 3. iMFAnt at several merging factors
+    # 3. iMFAnt at several merging factors (all three backends, lazy
+    #    exercising its config-cache memoization against the same oracle)
     for m in (1, 2, 0):
         mfsas = merge_ruleset(fsas, m)
-        for backend in ("python", "numpy"):
+        for backend in ("python", "numpy", "lazy"):
             got = set()
             for mfsa in mfsas:
                 got |= IMfantEngine(mfsa, backend=backend).run(text).matches

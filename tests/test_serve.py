@@ -1,0 +1,437 @@
+"""repro.serve tests: protocol, artifact cache, pool, service, sockets.
+
+Runs the serving stack at every layer — pure frame codecs, the
+content-addressed artifact store (compile once, load forever), the
+shard pool's degradation/deadline behaviour under injected faults, the
+asyncio service's batching and backpressure (deterministically: the
+dispatcher cannot run between non-suspending ``submit`` calls, so the
+bounded queue fills exactly on cue), and the full socket round trip.
+
+Everything here carries the ``serve`` marker (``make serve-smoke``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket as socket_module
+
+import pytest
+
+import repro.obs as obs
+from repro.engine.imfant import IMfantEngine
+from repro.guard import faultinject
+from repro.guard.errors import UsageError
+from repro.obs.spans import iter_tree
+from repro.pipeline.compiler import CompileOptions
+from repro.serve import (
+    ArtifactStore,
+    MatchClient,
+    MatchRequest,
+    ServeConfig,
+    ServerThread,
+    ShardPool,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_body,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    error_response,
+    frame_length,
+    match_response,
+)
+from repro.serve.server import MatchService
+
+pytestmark = pytest.mark.serve
+
+#: bounded-width ruleset (max_width is finite) → the pool really shards
+PATTERNS = ["needle", "boundary", "ha[py]{2}stack", "x[0-9]{1,3}y"]
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    store = ArtifactStore(tmp_path_factory.mktemp("artifacts"))
+    return store.get_or_compile(PATTERNS, CompileOptions(emit_anml=False))
+
+
+def _oracle(artifact, payload: bytes) -> set:
+    text = payload.decode("latin-1")
+    matches: set = set()
+    for mfsa in artifact.mfsas:
+        matches |= IMfantEngine(mfsa).run(text).matches
+    return matches
+
+
+PAYLOAD = (b"xy" * 300 + b"needle" + b"z" * 200 + b"happystack"
+           + b"no" * 150 + b"x42y" + b"boundary")
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+
+def test_frame_round_trip():
+    document = {"id": 3, "op": "match", "payload": encode_payload(b"\x00\xffbytes")}
+    frame = encode_frame(document)
+    assert frame_length(frame[:4]) == len(frame) - 4
+    decoded = decode_body(frame[4:])
+    assert decoded == document
+    assert decode_payload(decoded["payload"]) == b"\x00\xffbytes"
+
+
+def test_frame_length_ceiling():
+    import struct
+
+    oversized = struct.pack(">I", MAX_FRAME_BYTES + 1)
+    with pytest.raises(FrameError):
+        frame_length(oversized)
+
+
+@pytest.mark.parametrize("body", [b"not json", b"[1,2,3]", b'"string"'])
+def test_decode_body_rejects_non_objects(body):
+    with pytest.raises(FrameError):
+        decode_body(body)
+
+
+def test_decode_payload_rejects_bad_base64():
+    with pytest.raises(FrameError):
+        decode_payload("!!not-base64!!")
+
+
+@pytest.mark.parametrize("document", [
+    {"op": "match", "payload": ""},                      # missing id
+    {"id": "seven", "op": "match", "payload": ""},       # non-int id
+    {"id": 1, "op": "match", "payload": "", "deadline_ms": 0},    # non-positive
+    {"id": 1, "op": "match", "payload": "", "deadline_ms": "no"},  # non-numeric
+])
+def test_match_request_validation(document):
+    with pytest.raises(FrameError):
+        MatchRequest.from_document(document)
+
+
+def test_match_request_defaults():
+    request = MatchRequest.from_document({"id": 9, "payload": encode_payload(b"abc")})
+    assert request.payload == b"abc"
+    assert request.single_match is False
+    assert request.deadline_ms is None
+
+
+def test_response_codes_and_match_sorting():
+    response = match_response(5, "ok", matches={(2, 10), (0, 3)})
+    assert response["code"] == 200
+    assert response["matches"] == [[0, 3], [2, 10]]
+    assert error_response(None, "rejected", "full")["code"] == 429
+    assert match_response(1, "partial")["code"] == 206
+
+
+# ---------------------------------------------------------------------------
+# Artifact store
+# ---------------------------------------------------------------------------
+
+
+def test_artifact_compiles_then_loads(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with obs.capture() as cold:
+        first = store.get_or_compile(PATTERNS, CompileOptions(emit_anml=False))
+    assert not first.loaded_from_cache
+    assert first.path is not None and first.path.exists()
+    cold_spans = {span.name for _, span in iter_tree(cold.tracer)}
+    assert "compile" in cold_spans
+
+    with obs.capture() as warm:
+        second = store.get_or_compile(PATTERNS, CompileOptions(emit_anml=False))
+    assert second.loaded_from_cache
+    assert second.key == first.key
+    warm_spans = {span.name for _, span in iter_tree(warm.tracer)}
+    assert "serve.artifact.load" in warm_spans
+    # the whole point: a warm start never re-runs the compile pipeline
+    assert not any(name == "compile" or name.startswith("compile.") for name in warm_spans)
+
+    # and the loaded automata behave identically
+    text = PAYLOAD.decode("latin-1")
+    assert _oracle(first, PAYLOAD) == _oracle(second, PAYLOAD)
+
+
+def test_artifact_key_depends_on_options(tmp_path):
+    from repro.serve import ruleset_key
+
+    assert ruleset_key(PATTERNS) != ruleset_key(PATTERNS[:-1])
+    assert (ruleset_key(PATTERNS, CompileOptions(merging_factor=2))
+            != ruleset_key(PATTERNS, CompileOptions(merging_factor=0)))
+
+
+def test_artifact_survives_corruption(tmp_path):
+    store = ArtifactStore(tmp_path)
+    first = store.get_or_compile(PATTERNS, CompileOptions(emit_anml=False))
+    first.path.write_text("{ truncated garbage")
+    recompiled = store.get_or_compile(PATTERNS, CompileOptions(emit_anml=False))
+    assert not recompiled.loaded_from_cache  # corrupt cache → silent recompile
+    assert _oracle(recompiled, PAYLOAD) == _oracle(first, PAYLOAD)
+
+
+def test_artifact_rejects_version_skew(tmp_path):
+    store = ArtifactStore(tmp_path)
+    first = store.get_or_compile(PATTERNS, CompileOptions(emit_anml=False))
+    document = json.loads(first.path.read_text())
+    document["version"] = 999
+    first.path.write_text(json.dumps(document))
+    assert store.load(first.key) is None
+
+
+def test_empty_ruleset_refused(tmp_path):
+    with pytest.raises(UsageError):
+        ArtifactStore(tmp_path).get_or_compile([])
+
+
+# ---------------------------------------------------------------------------
+# Shard pool: degradation + deadlines under injected faults
+# ---------------------------------------------------------------------------
+
+
+def test_pool_degrades_on_allocation_failure(artifact):
+    oracle = _oracle(artifact, PAYLOAD)
+    with obs.capture() as cap:
+        with faultinject.inject("alloc", "lazy"):
+            with ShardPool(artifact, num_shards=2, backend="lazy") as pool:
+                result = pool.scan(PAYLOAD)
+    assert result.backend == "numpy"  # stepped one rung down the ladder
+    assert result.matches == oracle
+    assert [(s.from_backend, s.to_backend) for s in result.degradations] == [("lazy", "numpy")]
+    counter = cap.registry.get("guard_degradations_total")
+    assert counter is not None and counter.value >= 1
+
+
+def test_pool_deadline_yields_partial(artifact):
+    with faultinject.inject("engine.step_delay", 0.05):
+        with ShardPool(artifact, num_shards=2, backend="python",
+                       deadline_stride=64) as pool:
+            result = pool.scan(PAYLOAD, deadline=0.15)
+    assert result.partial
+    assert result.timed_out_shards  # at least one shard hit the wall
+    assert result.matches <= _oracle(artifact, PAYLOAD)  # honest prefix
+
+
+def test_pool_process_mode_loads_artifact(artifact):
+    assert artifact.path is not None
+    with ShardPool(artifact, num_shards=2, backend="python", mode="process") as pool:
+        result = pool.scan(PAYLOAD)
+    assert result.matches == _oracle(artifact, PAYLOAD)
+    assert result.shards == 2
+
+
+def test_pool_rejects_bad_config(artifact):
+    with pytest.raises(UsageError):
+        ShardPool(artifact, num_shards=0)
+    with pytest.raises(UsageError):
+        ShardPool(artifact, num_shards=1, backend="cuda")
+    with pytest.raises(UsageError):
+        ShardPool(artifact, num_shards=1, mode="fiber")
+
+
+# ---------------------------------------------------------------------------
+# Service: batching + backpressure (deterministic, no sockets)
+# ---------------------------------------------------------------------------
+
+
+def _collecting_reply(replies: list):
+    async def reply(document):
+        replies.append(document)
+    return reply
+
+
+def test_service_backpressure_rejects_when_queue_full(artifact):
+    """queue_depth+N non-suspending submits → exactly N 429 rejections.
+
+    ``submit`` has no await point on its accept path, so the dispatcher
+    task can never run between these calls — the queue must fill.
+    """
+    config = ServeConfig(shards=1, batch_max=2, queue_depth=3)
+    replies: list = []
+
+    async def scenario():
+        service = MatchService(artifact, config)
+        await service.start()
+        try:
+            payload = encode_payload(b"needle")
+            for i in range(5):
+                request = MatchRequest.from_document({"id": i, "payload": payload})
+                await service.submit(request, _collecting_reply(replies))
+            rejected = [r for r in replies if r["status"] == "rejected"]
+            assert len(rejected) == 2  # 5 submitted, 3 queued
+            assert all(r["code"] == 429 for r in rejected)
+            while len(replies) < 5:
+                await asyncio.sleep(0.01)
+        finally:
+            await service.stop()
+        return service
+
+    service = asyncio.run(scenario())
+    assert service.requests_rejected == 2
+    assert service.requests_handled == 3
+    statuses = sorted(r["status"] for r in replies)
+    assert statuses == ["ok", "ok", "ok", "rejected", "rejected"]
+
+
+def test_service_batches_coalesce(artifact):
+    config = ServeConfig(shards=1, batch_max=4, queue_depth=8)
+    replies: list = []
+
+    async def scenario():
+        service = MatchService(artifact, config)
+        await service.start()
+        try:
+            payload = encode_payload(PAYLOAD)
+            for i in range(4):
+                request = MatchRequest.from_document({"id": i, "payload": payload})
+                await service.submit(request, _collecting_reply(replies))
+            while len(replies) < 4:
+                await asyncio.sleep(0.01)
+        finally:
+            await service.stop()
+        return service
+
+    with obs.capture() as cap:
+        service = asyncio.run(scenario())
+    # all four queued before the dispatcher woke → one coalesced batch
+    assert service.batches == 1
+    batch_hist = cap.registry.get("serve_batch_size")
+    assert batch_hist is not None and batch_hist.snapshot()["count"] == 1
+    assert cap.registry.get("serve_requests_total").value == 4
+    assert cap.registry.get("serve_queue_depth") is not None
+    assert cap.registry.get("serve_shard_scan_seconds").snapshot()["count"] >= 4
+
+
+def test_service_deadline_dies_in_queue(artifact):
+    """A request whose deadline expired while queued → 206 partial-empty."""
+    config = ServeConfig(shards=1, batch_max=1, queue_depth=4)
+    replies: list = []
+
+    async def scenario():
+        service = MatchService(artifact, config)
+        await service.start()
+        try:
+            request = MatchRequest.from_document({
+                "id": 1, "payload": encode_payload(PAYLOAD), "deadline_ms": 0.001,
+            })
+            await service.submit(request, _collecting_reply(replies))
+            while not replies:
+                await asyncio.sleep(0.005)
+        finally:
+            await service.stop()
+        return service
+
+    service = asyncio.run(scenario())
+    assert replies[0]["status"] == "partial"
+    assert replies[0]["code"] == 206
+    assert replies[0]["matches"] == []
+    assert service.requests_partial == 1
+
+
+# ---------------------------------------------------------------------------
+# Socket round trip (ServerThread + MatchClient)
+# ---------------------------------------------------------------------------
+
+
+def test_socket_round_trip_and_ops(artifact, tmp_path):
+    config = ServeConfig(shards=2, batch_max=4, queue_depth=16)
+    with ServerThread(artifact, config, socket_path=str(tmp_path / "sock")) as address:
+        with MatchClient.connect(address) as client:
+            assert client.ping()
+            stats = client.server_stats()
+            assert stats["ruleset_key"] == artifact.key
+            assert stats["shards"] == 2
+            result = client.match(PAYLOAD)
+            assert result.ok and result.code == 200
+            assert result.matches == _oracle(artifact, PAYLOAD)
+            assert result.stats["match_count"] == len(result.matches)
+            assert client.shutdown()
+
+
+def test_socket_restart_over_stale_path(artifact, tmp_path):
+    """A crashed instance's socket file must not break (or misdirect) a
+    restart: the server unlinks stale files before binding and removes
+    its own on clean shutdown (asyncio only does this from 3.13 on)."""
+    import os
+
+    path = tmp_path / "sock"
+    config = ServeConfig(shards=1)
+    with ServerThread(artifact, config, socket_path=str(path)) as address:
+        with MatchClient.connect(address) as client:
+            assert client.ping()
+    assert not path.exists()  # clean shutdown removed the socket file
+
+    # simulate a crash: plant a stale, unserved socket file at the path
+    stale = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+    stale.bind(str(path))
+    stale.close()
+    assert path.is_socket()
+    with ServerThread(artifact, config, socket_path=str(path)) as address:
+        with MatchClient.connect(address) as client:
+            assert client.match(PAYLOAD).matches == _oracle(artifact, PAYLOAD)
+
+
+def test_socket_tcp_and_malformed_frame(artifact):
+    config = ServeConfig(shards=1)
+    with ServerThread(artifact, config) as address:
+        host, port = address
+        # a syntactically broken frame gets a 400 and the connection closed
+        raw = socket_module.create_connection((host, port), timeout=10)
+        try:
+            body = b"this is not json"
+            import struct
+
+            raw.sendall(struct.pack(">I", len(body)) + body)
+            prefix = raw.recv(4)
+            length = frame_length(prefix)
+            response = decode_body(raw.recv(length))
+            assert response["code"] == 400
+            assert raw.recv(1) == b""  # server closed after framing loss
+        finally:
+            raw.close()
+        # the server survives and still answers a well-formed client
+        with MatchClient.connect(address) as client:
+            assert client.match(PAYLOAD).matches == _oracle(artifact, PAYLOAD)
+
+
+def test_socket_unknown_op_and_disabled_shutdown(artifact):
+    config = ServeConfig(shards=1, allow_shutdown=False)
+    with ServerThread(artifact, config) as address:
+        with MatchClient.connect(address) as client:
+            response = client._roundtrip({"op": "frobnicate"})
+            assert response["code"] == 400
+            assert not client.shutdown()  # refused, connection stays up
+            assert client.ping()
+
+
+def test_socket_fault_drill_partial_not_hang(artifact):
+    """The wedged-shard drill: injected step delay + deadline → 206, fast."""
+    import time
+
+    config = ServeConfig(shards=2, backend="python", deadline_stride=64)
+    with faultinject.inject("engine.step_delay", 0.05):
+        with ServerThread(artifact, config) as address:
+            with MatchClient.connect(address) as client:
+                started = time.perf_counter()
+                result = client.match(PAYLOAD, deadline_ms=200)
+                elapsed = time.perf_counter() - started
+    assert result.partial and result.code == 206
+    assert result.raw["timed_out_shards"]
+    assert result.matches <= _oracle(artifact, PAYLOAD)
+    assert elapsed < 5.0  # answered promptly, did not hang on the wedged shards
+
+
+def test_socket_degradation_reported(artifact):
+    with faultinject.inject("alloc", "lazy"):
+        with ServerThread(artifact, ServeConfig(shards=2, backend="lazy")) as address:
+            with MatchClient.connect(address) as client:
+                result = client.match(PAYLOAD)
+    assert result.ok
+    assert result.backend == "numpy"
+    steps = result.raw["degradations"]
+    assert [(s["from"], s["to"]) for s in steps] == [("lazy", "numpy")]
+    assert steps[0]["reason"].startswith("allocation-failure")
+    assert result.matches == _oracle(artifact, PAYLOAD)

@@ -3,7 +3,10 @@
 By default these add a light extra pass over the heaviest cross-system
 properties; set ``REPRO_SOAK_EXAMPLES=2000`` (or higher) to turn them
 into a long-running confidence sweep before a release.
-"""
+
+Determinism: the conftest seeds :mod:`random` before every test and
+``REPRO_TEST_DETERMINISTIC=1`` loads a derandomized hypothesis profile,
+so a soak failure replays exactly (docs/testing.md)."""
 
 import re
 
