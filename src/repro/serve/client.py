@@ -116,10 +116,17 @@ class MatchClient:
         if deadline_ms is not None:
             document["deadline_ms"] = deadline_ms
         response = self._roundtrip(document)
+        matches = {(rule, end) for rule, end in response.get("matches", [])}
+        # ε-accepting rules arrive compactly as all_offsets_rules (they
+        # match at every offset — enumerating them on the wire would let
+        # one rule inflate the response past the frame ceiling); expand
+        # them here against the payload length the client already knows.
+        for rule in response.get("all_offsets_rules", []):
+            matches.update((rule, end) for end in range(len(data) + 1))
         return ClientResult(
             status=response.get("status", "error"),
             code=response.get("code", 500),
-            matches={(rule, end) for rule, end in response.get("matches", [])},
+            matches=matches,
             stats=response.get("stats"),
             backend=response.get("backend"),
             shards=response.get("shards"),

@@ -30,8 +30,15 @@ Responses
 HTTP-flavoured codes so operators can reuse their intuition: 200 ok,
 206 partial result (deadline hit — the returned matches are the honest
 prefix), 400 malformed request, 429 rejected by backpressure (bounded
-queue full; retry later), 500 internal error.  A response always echoes
-the request ``id`` — batching may complete requests out of order.
+queue full, or the server is shutting down; retry later), 500 internal
+error.  A response always echoes the request ``id`` — batching may
+complete requests out of order.
+
+Rules that match at *every* offset (ε-accepting, e.g. ``a*``) are not
+enumerated in ``matches`` — one such rule on a large payload would
+inflate the response past ``MAX_FRAME_BYTES``.  They arrive as
+``"all_offsets_rules": [rule, …]`` and the client expands them against
+the payload length it already knows.
 """
 
 from __future__ import annotations

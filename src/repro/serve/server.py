@@ -12,6 +12,12 @@ socket, coalesces them into batches, and fans each payload out over the
 2. **Reject early, explicitly.**  The request queue is bounded
    (``queue_depth``); when it is full the request is answered *now*
    with a 429-style rejection instead of queueing into a latency cliff.
+   Shutdown drains: queued work is answered (bounded window) and
+   anything left gets an explicit shutting-down rejection, never a
+   silently closed socket.  The dispatcher guards every per-request
+   path — a reset client, an unframeable response, or a non-ReproError
+   worker crash costs that one request a 500, not the service — and a
+   done-callback restarts the loop if a bug escapes anyway.
 3. **Batch the front, shard the back.**  The dispatcher drains up to
    ``batch_max`` queued requests per cycle and scans them concurrently
    — shard workers interleave across the batch, so one giant payload
@@ -28,6 +34,7 @@ synchronous callers (tests, benchmarks, the CLI's smoke path).
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
 from dataclasses import dataclass
@@ -52,6 +59,8 @@ from repro.serve.protocol import (
 from repro.serve.shards import ShardPool
 
 __all__ = ["ServeConfig", "MatchService", "MatchServer", "ServerThread"]
+
+_log = logging.getLogger("repro.serve")
 
 
 @dataclass(frozen=True)
@@ -146,14 +155,61 @@ class MatchService:
         self.batches = 0
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
+        self._inflight = 0
+        self._running = False
+        self._draining = False
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
         self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
-        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._running = True
+        self._draining = False
+        self._spawn_dispatcher()
 
-    async def stop(self) -> None:
+    def _spawn_dispatcher(self) -> None:
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._dispatcher.add_done_callback(self._on_dispatcher_done)
+
+    def _on_dispatcher_done(self, task: asyncio.Task) -> None:
+        """Last line of defence: the dispatcher must not die silently.
+
+        ``_process`` guards every per-request path, so reaching here with
+        an exception means a bug escaped — restart the loop so queued
+        requests keep draining instead of 429-ing forever.
+        """
+        if task.cancelled() or not self._running:
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        _log.error("serve dispatcher died unexpectedly (%r); restarting", exc)
+        self.metrics.count(
+            "serve_dispatcher_restarts_total",
+            "dispatcher tasks restarted after an unexpected death",
+        )
+        self._spawn_dispatcher()
+
+    async def _wait_drained(self) -> None:
+        while (self._queue is not None and self._queue.qsize() > 0) or self._inflight:
+            await asyncio.sleep(0.01)
+
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        """Drain, then stop: answer queued work before killing the loop.
+
+        New submissions are rejected the moment draining starts; requests
+        already queued or in flight get up to ``drain_timeout`` seconds
+        to complete, and anything still queued after that is answered
+        with an explicit shutting-down rejection — clients never learn of
+        a shutdown only via a closed connection.
+        """
+        self._draining = True
+        if self._dispatcher is not None and drain_timeout > 0:
+            try:
+                await asyncio.wait_for(self._wait_drained(), timeout=drain_timeout)
+            except asyncio.TimeoutError:
+                pass
+        self._running = False
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -161,6 +217,23 @@ class MatchService:
             except asyncio.CancelledError:
                 pass
             self._dispatcher = None
+        if self._queue is not None:
+            while True:
+                try:
+                    pending = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self.requests_rejected += 1
+                self.metrics.count(
+                    "serve_rejected_total",
+                    "requests rejected by backpressure (queue full)",
+                )
+                await self._try_reply(
+                    pending,
+                    error_response(
+                        pending.request.id, "rejected", "server shutting down"
+                    ),
+                )
         self.pool.close()
 
     # -- intake ------------------------------------------------------------
@@ -181,6 +254,15 @@ class MatchService:
         the request's wall clock, as a client sees it.
         """
         assert self._queue is not None, "service not started"
+        if self._draining:
+            self.requests_rejected += 1
+            self.metrics.count(
+                "serve_rejected_total", "requests rejected by backpressure (queue full)"
+            )
+            await reply(
+                error_response(request.id, "rejected", "server shutting down")
+            )
+            return
         deadline = self._deadline_for(request)
         meter = Budget(deadline=deadline).start() if deadline is not None else None
         pending = _Pending(
@@ -226,13 +308,57 @@ class MatchService:
                 "serve_queue_depth", "match requests waiting for dispatch",
                 self._queue.qsize(),
             )
-            with obs.span("serve.batch", requests=len(batch)):
-                await asyncio.gather(
-                    *(self._process(pending) for pending in batch),
-                    return_exceptions=False,
-                )
+            self._inflight = len(batch)
+            try:
+                with obs.span("serve.batch", requests=len(batch)):
+                    # _process guards itself; return_exceptions is the
+                    # backstop that keeps one bad request from killing
+                    # the dispatcher (and with it the whole service)
+                    await asyncio.gather(
+                        *(self._process(pending) for pending in batch),
+                        return_exceptions=True,
+                    )
+            finally:
+                self._inflight = 0
+
+    async def _try_reply(self, pending: _Pending, document: dict[str, Any]) -> None:
+        """Best-effort reply: a vanished client must not take the
+        dispatcher (or the rest of the batch) down with it."""
+        try:
+            await pending.reply(document)
+        except Exception:
+            pass
 
     async def _process(self, pending: _Pending) -> None:
+        request = pending.request
+        try:
+            await self._process_inner(pending)
+        except FrameError as exc:
+            # the response document itself could not be framed (e.g. a
+            # match set above MAX_FRAME_BYTES): nothing hit the wire, so
+            # the connection framing is intact — answer with a small 500
+            self.metrics.count("serve_errors_total", "requests failed with an error")
+            await self._try_reply(
+                pending,
+                error_response(
+                    request.id, "error", f"response exceeds frame ceiling: {exc}"
+                ),
+            )
+        except ReproError as exc:
+            self.metrics.count("serve_errors_total", "requests failed with an error")
+            await self._try_reply(pending, error_response(request.id, "error", str(exc)))
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # the client reset mid-reply; there is no one to answer
+        except Exception as exc:
+            # anything else is a bug, but one request's bug: answer 500
+            # and keep the dispatcher alive for everyone else
+            _log.exception("unexpected error processing request %s", request.id)
+            self.metrics.count("serve_errors_total", "requests failed with an error")
+            await self._try_reply(
+                pending, error_response(request.id, "error", f"internal error: {exc}")
+            )
+
+    async def _process_inner(self, pending: _Pending) -> None:
         request = pending.request
         self.requests_handled += 1
         self.metrics.count("serve_requests_total", "match requests processed")
@@ -264,23 +390,23 @@ class MatchService:
                 )
                 return
             remaining = pending.meter.deadline_at - time.perf_counter()
-        try:
-            result = await asyncio.to_thread(
-                self.pool.scan,
-                request.payload,
-                deadline=remaining,
-                single_match=request.single_match,
-            )
-        except ReproError as exc:
-            self.metrics.count("serve_errors_total", "requests failed with an error")
-            await pending.reply(error_response(request.id, "error", str(exc)))
-            return
+        result = await asyncio.to_thread(
+            self.pool.scan,
+            request.payload,
+            deadline=remaining,
+            single_match=request.single_match,
+        )
         status = "partial" if result.partial else "ok"
         if result.partial:
             self.requests_partial += 1
             self.metrics.count(
                 "serve_partial_total", "requests answered with partial results"
             )
+        extra: dict[str, Any] = {}
+        if result.all_offsets_rules:
+            # ε-accepting rules stay compact on the wire; the client
+            # expands them against its own copy of the payload length
+            extra["all_offsets_rules"] = result.all_offsets_rules
         await pending.reply(
             match_response(
                 request.id,
@@ -294,6 +420,7 @@ class MatchService:
                     {"from": s.from_backend, "to": s.to_backend, "reason": s.reason}
                     for s in result.degradations
                 ],
+                **extra,
             )
         )
 
@@ -390,11 +517,18 @@ class MatchServer:
         write_lock = asyncio.Lock()
 
         async def reply(document: dict[str, Any]) -> None:
+            frame = encode_frame(document)  # FrameError surfaces to the caller
             async with write_lock:
                 if writer.is_closing():
                     return
-                writer.write(encode_frame(document))
-                await writer.drain()
+                try:
+                    writer.write(frame)
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    # the is_closing() check races with connection_lost:
+                    # a client that reset mid-reply gets nothing, and the
+                    # read loop will observe EOF and close up
+                    pass
 
         try:
             while True:

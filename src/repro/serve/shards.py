@@ -26,11 +26,19 @@ them — so this module lifts chunkscan's overlap/stitch semantics into a
   :data:`~repro.guard.degrade.BACKEND_LADDER` (lazy → numpy → python)
   and retries, mirroring :class:`~repro.guard.degrade.GuardedMatcher`;
   every step increments ``guard_degradations_total``.
-* **Deadlines** — a per-scan deadline is divided among jobs as the
-  *remaining* wall clock at job start; a job that blows it returns the
-  honest partial result carried by :class:`~repro.guard.errors.
-  ScanDeadlineExceeded` and the pool marks the scan ``partial`` instead
-  of hanging or discarding the other shards' work.
+* **Deadlines** — the scan's absolute expiry travels with every job and
+  each job recomputes its *remaining* wall clock when it actually starts
+  on a worker, so time spent queued behind other jobs still counts; a
+  job that blows it returns the honest partial result carried by
+  :class:`~repro.guard.errors.ScanDeadlineExceeded` and the pool marks
+  the scan ``partial`` instead of hanging or discarding the other
+  shards' work.
+* **ε-rules stay compact** — a rule accepting the empty string matches
+  at every offset ``0..len(payload)``; enumerating those tuples scales
+  with the payload (a remotely-triggerable memory blow-up at service
+  scale), so the pool strips them from the enumerated set and reports
+  the rule ids in ``all_offsets_rules`` instead.  Callers that want the
+  materialized set use :meth:`ShardScanResult.full_matches`.
 
 A ruleset with an unbounded match width (``.*`` …) has no finite sound
 overlap; the pool then runs every scan as one sequential job (still
@@ -41,6 +49,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from threading import Lock, local
@@ -52,7 +61,12 @@ from repro.engine.imfant import DEFAULT_DEADLINE_STRIDE, IMfantEngine
 from repro.engine.lazy import DEFAULT_CACHE_SIZE
 from repro.engine.chunkscan import ruleset_max_width
 from repro.guard.degrade import BACKEND_LADDER, DegradationStep
-from repro.guard.errors import AllocationFailed, ScanDeadlineExceeded, UsageError
+from repro.guard.errors import (
+    AllocationFailed,
+    ReproError,
+    ScanDeadlineExceeded,
+    UsageError,
+)
 from repro.mfsa.model import Mfsa
 from repro.serve.artifacts import Artifact
 
@@ -124,6 +138,11 @@ class ShardScanResult:
     backend: str
     #: jobs the planner produced for this payload
     shards: int
+    #: payload size; the offset range of ``all_offsets_rules``
+    payload_len: int = 0
+    #: rules that match at *every* offset ``0..payload_len`` (ε-accepting),
+    #: kept out of ``matches`` so the result stays payload-size-bounded
+    all_offsets_rules: list[int] = field(default_factory=list)
     #: True when at least one shard hit its deadline — ``matches`` is
     #: then the honest union of completed work, not the full answer
     partial: bool = False
@@ -131,6 +150,18 @@ class ShardScanResult:
     timed_out_shards: list[int] = field(default_factory=list)
     #: ladder steps taken over the pool's lifetime
     degradations: list[DegradationStep] = field(default_factory=list)
+
+    def full_matches(self) -> set[tuple[int, int]]:
+        """The materialized match set, ``all_offsets_rules`` expanded.
+
+        Equal to a single-pass engine scan; for large payloads with
+        ε-accepting rules this allocates ``payload_len + 1`` tuples per
+        such rule — the blow-up the compact form exists to avoid.
+        """
+        out = set(self.matches)
+        for rule in self.all_offsets_rules:
+            out.update((rule, end) for end in range(self.payload_len + 1))
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -155,8 +186,8 @@ def _process_init(artifact_path: str, backend: str, lazy_cache_size: int,
 
 
 def _process_scan(args: tuple) -> tuple[set, ExecutionStats, bool]:
-    segment, deadline, collect_stats = args
-    return _scan_segment(_PROCESS_STATE["engines"], segment, deadline, collect_stats)
+    segment, deadline_at, collect_stats = args
+    return _scan_segment(_PROCESS_STATE["engines"], segment, deadline_at, collect_stats)
 
 
 def _build_engines(
@@ -181,19 +212,28 @@ def _build_engines(
 def _scan_segment(
     engines: Sequence[IMfantEngine],
     segment: bytes,
-    deadline: Optional[float],
+    deadline_at: Optional[float],
     collect_stats: bool,
 ) -> tuple[set, ExecutionStats, bool]:
     """Scan one segment with every engine; returns (matches, stats, timed_out).
 
-    The deadline is the job's *remaining* seconds; a blown deadline
-    yields the partial result the engine finalized, never a hang.
+    ``deadline_at`` is the scan's *absolute* expiry on the
+    ``time.perf_counter`` clock — CLOCK_MONOTONIC on Linux, shared
+    across forked worker processes — so a job that sat in the executor
+    queue gets only what is genuinely left, not its full budget again.
+    The remaining time is recomputed before every engine; a blown
+    deadline yields the partial result the engine finalized, never a
+    hang.
     """
     matches: set[tuple[int, int]] = set()
     totals = ExecutionStats()
     timed_out = False
     for engine in engines:
-        engine.scan_deadline = deadline if deadline is None or deadline > 0 else 1e-9
+        if deadline_at is None:
+            engine.scan_deadline = None
+        else:
+            remaining = deadline_at - time.perf_counter()
+            engine.scan_deadline = remaining if remaining > 0 else 1e-9
         try:
             result = engine.run(segment, collect_stats=collect_stats)
         except ScanDeadlineExceeded as exc:
@@ -340,9 +380,24 @@ class ShardPool:
         return state.engines
 
     def _thread_scan(
-        self, segment: bytes, deadline: Optional[float], collect_stats: bool
+        self, segment: bytes, deadline_at: Optional[float], collect_stats: bool
     ) -> tuple[set, ExecutionStats, bool]:
-        return _scan_segment(self._worker_engines(), segment, deadline, collect_stats)
+        return _scan_segment(self._worker_engines(), segment, deadline_at, collect_stats)
+
+    def _recover_workers(self, failure: BaseException) -> bool:
+        """Replace dead process workers and step the ladder; False when
+        the ladder is exhausted (the caller re-raises).
+
+        Process-mode engine builds happen in ``_process_init``, so an
+        AllocationFailed there surfaces here as BrokenProcessPool — the
+        only place the process path can join the degradation ladder.
+        """
+        if self.mode == "process":
+            with self._lock:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=True)
+                    self._executor = None
+        return self._degrade(f"worker-failure: {failure}")
 
     # -- scanning ----------------------------------------------------------
 
@@ -366,7 +421,6 @@ class ShardPool:
         else:
             jobs = plan_shards(len(data), self.num_shards, self.overlap)
         deadline_at = time.perf_counter() + deadline if deadline is not None else None
-        executor = self._ensure_executor()
 
         with obs.span(
             "serve.shard_scan",
@@ -375,34 +429,41 @@ class ShardPool:
             backend=self.backend,
             mode=self.mode,
         ) as span:
-            futures = []
-            for job in jobs:
-                segment = data[job.segment_slice]
-                if self.mode == "thread":
-                    remaining = (
-                        None if deadline_at is None
-                        else deadline_at - time.perf_counter()
-                    )
-                    futures.append(
-                        executor.submit(self._thread_scan, segment, remaining, collect_stats)
-                    )
-                else:
-                    remaining = (
-                        None if deadline_at is None
-                        else deadline_at - time.perf_counter()
-                    )
-                    futures.append(
-                        executor.submit(
-                            _process_scan, (segment, remaining, collect_stats)
+            while True:
+                executor = self._ensure_executor()
+                futures = []
+                for job in jobs:
+                    segment = data[job.segment_slice]
+                    if self.mode == "thread":
+                        futures.append(
+                            executor.submit(
+                                self._thread_scan, segment, deadline_at, collect_stats
+                            )
                         )
-                    )
+                    else:
+                        futures.append(
+                            executor.submit(
+                                _process_scan, (segment, deadline_at, collect_stats)
+                            )
+                        )
+                try:
+                    outcomes = [future.result() for future in futures]
+                except (AllocationFailed, BrokenProcessPool) as exc:
+                    if self._recover_workers(exc):
+                        continue  # retry on the next rung down the ladder
+                    if isinstance(exc, ReproError):
+                        raise
+                    raise AllocationFailed(
+                        f"shard workers failed with the backend ladder exhausted: {exc}"
+                    ) from exc
+                break
 
             matches: set[tuple[int, int]] = set()
             totals = ExecutionStats()
             timed_out: list[int] = []
             registry = obs.get_registry()
-            for index, (job, future) in enumerate(zip(jobs, futures)):
-                job_matches, job_stats, job_timed_out = future.result()
+            for index, (job, outcome) in enumerate(zip(jobs, outcomes)):
+                job_matches, job_stats, job_timed_out = outcome
                 matches |= rebase_matches(job_matches, job)
                 totals.merge(job_stats)
                 if job_timed_out:
@@ -419,10 +480,19 @@ class ShardPool:
                         help="per-shard scan throughput",
                     ).observe(job_stats.chars_processed / job_stats.wall_seconds)
 
-            # ε-accepting rules match at every offset; shards only see
-            # their own ranges, so complete the range explicitly.
-            for rule in self._empty_matching_rules:
-                matches.update((rule, end) for end in range(len(data) + 1))
+            # ε-accepting rules match at every offset 0..len(data); the
+            # engines enumerate them per segment, which scales with the
+            # payload — keep the result compact by stripping them from
+            # the enumerated set and naming the rules instead.
+            all_offsets_rules: list[int] = []
+            if self._empty_matching_rules:
+                if single_match:
+                    # their first match is the ε at offset 0
+                    matches.update((rule, 0) for rule in self._empty_matching_rules)
+                else:
+                    everywhere = set(self._empty_matching_rules)
+                    matches = {m for m in matches if m[0] not in everywhere}
+                    all_offsets_rules = sorted(everywhere)
 
             if single_match:
                 firsts: dict[int, int] = {}
@@ -430,14 +500,22 @@ class ShardPool:
                     if rule not in firsts or end < firsts[rule]:
                         firsts[rule] = end
                 matches = {(rule, end) for rule, end in firsts.items()}
-            totals.match_count = len(matches)
-            span.set(matches=len(matches), partial=bool(timed_out))
+            totals.match_count = (
+                len(matches) + len(all_offsets_rules) * (len(data) + 1)
+            )
+            span.set(
+                matches=totals.match_count,
+                partial=bool(timed_out),
+                backend=self.backend,
+            )
 
         return ShardScanResult(
             matches=matches,
             stats=totals,
             backend=self.backend,
             shards=len(jobs),
+            payload_len=len(data),
+            all_offsets_rules=all_offsets_rules,
             partial=bool(timed_out),
             timed_out_shards=timed_out,
             degradations=list(self.degradations),

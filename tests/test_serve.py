@@ -232,6 +232,69 @@ def test_pool_rejects_bad_config(artifact):
         ShardPool(artifact, num_shards=1, mode="fiber")
 
 
+def test_pool_process_mode_degrades_on_worker_failure(artifact):
+    """An AllocationFailed inside a process worker's initializer surfaces
+    as BrokenProcessPool; the pool must step the ladder and retry, not
+    leak the raw executor error."""
+    assert artifact.path is not None
+    with obs.capture() as cap:
+        with faultinject.inject("alloc", "lazy"):
+            with ShardPool(artifact, num_shards=2, backend="lazy",
+                           mode="process") as pool:
+                result = pool.scan(PAYLOAD)
+    assert result.backend == "numpy"
+    assert result.matches == _oracle(artifact, PAYLOAD)
+    assert [(s.from_backend, s.to_backend) for s in result.degradations] == [
+        ("lazy", "numpy")
+    ]
+    counter = cap.registry.get("guard_degradations_total")
+    assert counter is not None and counter.value >= 1
+
+
+def test_scan_segment_deadline_is_absolute(artifact):
+    """A job whose budget was consumed while it queued must time out the
+    moment it starts — the deadline is absolute, not reset at job start."""
+    import time
+
+    from repro.serve.shards import _build_engines, _scan_segment
+
+    engines = _build_engines(artifact.mfsas, "python", 1024, "flush", 64)
+    started = time.perf_counter()
+    matches, _, timed_out = _scan_segment(
+        engines, PAYLOAD, time.perf_counter() - 1.0, True
+    )
+    assert timed_out
+    assert time.perf_counter() - started < 2.0  # gave up immediately
+    assert matches <= _oracle(artifact, PAYLOAD)
+
+
+EPSILON_PATTERNS = ["a*", "abc"]
+
+
+@pytest.fixture(scope="module")
+def epsilon_artifact(tmp_path_factory):
+    store = ArtifactStore(tmp_path_factory.mktemp("eps-artifacts"))
+    return store.get_or_compile(EPSILON_PATTERNS, CompileOptions(emit_anml=False))
+
+
+def test_pool_epsilon_rules_stay_compact(epsilon_artifact):
+    """ε-accepting rules must not be enumerated per offset — one such
+    rule on a large payload would blow up memory and the wire frame."""
+    payload = b"xxabcaax" * 4
+    oracle = _oracle(epsilon_artifact, payload)
+    with ShardPool(epsilon_artifact, num_shards=2) as pool:
+        result = pool.scan(payload)
+        single = pool.scan(payload, single_match=True)
+    assert result.all_offsets_rules == [0]
+    assert all(rule != 0 for rule, _ in result.matches)
+    assert result.payload_len == len(payload)
+    assert result.full_matches() == oracle
+    assert result.stats.match_count == len(oracle)
+    # single_match stays enumerable: the ε rule's first match is at 0
+    assert not single.all_offsets_rules
+    assert (0, 0) in single.matches
+
+
 # ---------------------------------------------------------------------------
 # Service: batching + backpressure (deterministic, no sockets)
 # ---------------------------------------------------------------------------
@@ -331,6 +394,88 @@ def test_service_deadline_dies_in_queue(artifact):
     assert service.requests_partial == 1
 
 
+def test_dispatcher_survives_reply_and_scan_failures(artifact):
+    """One bad request — a client that resets mid-reply, or a worker
+    crash that is not a ReproError — must never kill the dispatcher:
+    later requests still get answers (the 'never hang' goal)."""
+    config = ServeConfig(shards=1, batch_max=1, queue_depth=8)
+    replies: list = []
+
+    async def scenario():
+        service = MatchService(artifact, config)
+        await service.start()
+        try:
+            payload = encode_payload(b"needle")
+            reply_attempted = asyncio.Event()
+
+            async def exploding_reply(document):
+                reply_attempted.set()
+                raise ConnectionResetError("client reset mid-reply")
+
+            await service.submit(
+                MatchRequest.from_document({"id": 1, "payload": payload}),
+                exploding_reply,
+            )
+            await reply_attempted.wait()  # request 1 scanned with the real pool
+
+            real_scan = service.pool.scan
+
+            def crashing_scan(*args, **kwargs):
+                service.pool.scan = real_scan  # one-shot fault
+                raise RuntimeError("simulated worker crash")
+
+            service.pool.scan = crashing_scan
+            await service.submit(
+                MatchRequest.from_document({"id": 2, "payload": payload}),
+                _collecting_reply(replies),
+            )
+            await service.submit(
+                MatchRequest.from_document({"id": 3, "payload": payload}),
+                _collecting_reply(replies),
+            )
+            while len(replies) < 2:
+                await asyncio.sleep(0.01)
+        finally:
+            await service.stop()
+        return service
+
+    asyncio.run(scenario())
+    by_id = {r["id"]: r for r in replies}
+    assert by_id[2]["status"] == "error" and by_id[2]["code"] == 500
+    assert by_id[3]["status"] == "ok"  # the dispatcher survived both faults
+
+
+def test_service_stop_drains_queued_requests(artifact):
+    """'Drain and stop' means exactly that: requests queued before stop()
+    are answered (not dropped), and later submits get an explicit
+    shutting-down rejection rather than a dead socket."""
+    config = ServeConfig(shards=1, batch_max=1, queue_depth=8)
+    replies: list = []
+
+    async def scenario():
+        service = MatchService(artifact, config)
+        await service.start()
+        payload = encode_payload(b"needle")
+        for i in range(3):
+            await service.submit(
+                MatchRequest.from_document({"id": i, "payload": payload}),
+                _collecting_reply(replies),
+            )
+        await service.stop()
+        assert len(replies) == 3  # every queued request answered pre-exit
+        await service.submit(
+            MatchRequest.from_document({"id": 99, "payload": payload}),
+            _collecting_reply(replies),
+        )
+        return service
+
+    service = asyncio.run(scenario())
+    assert [r["status"] for r in replies[:3]] == ["ok", "ok", "ok"]
+    assert replies[3]["status"] == "rejected"
+    assert "shutting down" in replies[3]["error"]
+    assert service.requests_rejected == 1
+
+
 # ---------------------------------------------------------------------------
 # Socket round trip (ServerThread + MatchClient)
 # ---------------------------------------------------------------------------
@@ -422,6 +567,35 @@ def test_socket_fault_drill_partial_not_hang(artifact):
     assert result.raw["timed_out_shards"]
     assert result.matches <= _oracle(artifact, PAYLOAD)
     assert elapsed < 5.0  # answered promptly, did not hang on the wedged shards
+
+
+def test_socket_epsilon_rules_compact_on_wire(epsilon_artifact):
+    """ε rules travel as all_offsets_rules; the client re-expands them so
+    match sets stay byte-identical to a single-process scan."""
+    payload = b"xxabcaax" * 4
+    oracle = _oracle(epsilon_artifact, payload)
+    with ServerThread(epsilon_artifact, ServeConfig(shards=2)) as address:
+        with MatchClient.connect(address) as client:
+            result = client.match(payload)
+    assert result.ok
+    assert result.raw["all_offsets_rules"] == [0]
+    assert all(rule != 0 for rule, _ in result.raw["matches"])
+    assert result.matches == oracle
+    assert result.stats["match_count"] == len(oracle)
+
+
+def test_socket_oversize_response_answers_500(artifact, monkeypatch):
+    """A response that cannot be framed must come back as a small 500 —
+    not kill the dispatcher (nothing was written, framing is intact)."""
+    import repro.serve.protocol as protocol_module
+
+    monkeypatch.setattr(protocol_module, "MAX_FRAME_BYTES", 256)
+    with ServerThread(artifact, ServeConfig(shards=1)) as address:
+        with MatchClient.connect(address) as client:
+            result = client.match(b"needle" * 16)
+            assert result.status == "error" and result.code == 500
+            assert "frame" in (result.error or "")
+            assert client.ping()  # connection and dispatcher both alive
 
 
 def test_socket_degradation_reported(artifact):

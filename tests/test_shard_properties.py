@@ -159,5 +159,9 @@ def test_shard_pool_equals_single_pass(data):
     )
     with ShardPool(artifact, num_shards=num_shards, backend=backend) as pool:
         result = pool.scan(text.encode("latin-1"))
-    assert result.matches == oracle
+    # ε-accepting rules travel compactly (all_offsets_rules), never as
+    # enumerated tuples; full_matches() re-expands to oracle semantics.
+    assert result.full_matches() == oracle
+    everywhere = set(result.all_offsets_rules)
+    assert not any(rule in everywhere for rule, _ in result.matches)
     assert not result.partial
