@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke ci clean
+.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke loadgen-smoke ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -63,13 +63,21 @@ serve-smoke:
 	  wait && echo "serve-smoke: end-to-end OK"'
 	@rm -rf /tmp/serve-smoke
 
+# Load-generation smoke: a seconds-long clients x shards sweep through
+# real sockets that asserts per-request latency percentiles (p50/p95/
+# p99) come out present and positive — guards the loadgen harness and
+# the serve latency instrumentation it reads.
+loadgen-smoke:
+	PYTHONPATH=src timeout 300 python benchmarks/loadgen.py --smoke
+
 # What .github/workflows/ci.yml runs, for local use: the tier-1 suite
-# plus the observability, governance and serving smokes.
+# plus the observability, governance, serving and loadgen smokes.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) obs-smoke
 	$(MAKE) guard-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) loadgen-smoke
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \

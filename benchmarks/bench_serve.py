@@ -74,24 +74,35 @@ def _single_process_baseline(artifact, payload: bytes, repeats: int = 3) -> floa
     return best
 
 
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    index = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
 def bench_configuration(artifact, payload, oracle, shards, clients, requests=REQUESTS):
     """Throughput of one (shards, clients) point; asserts correctness."""
     config = ServeConfig(shards=shards, batch_max=8, queue_depth=max(64, requests))
     per_client = requests // clients
 
     def worker(address):
+        latencies = []
         with MatchClient.connect(address) as client:
             for _ in range(per_client):
+                sent = time.perf_counter()
                 result = client.match(payload)
+                latencies.append(time.perf_counter() - sent)
                 assert result.ok, result.error
                 assert result.matches == oracle
-        return per_client
+        return latencies
 
     with ServerThread(artifact, config) as address:
         started = time.perf_counter()
         with ThreadPoolExecutor(max_workers=clients) as executor:
-            completed = sum(executor.map(worker, [address] * clients))
+            per_worker = list(executor.map(worker, [address] * clients))
         elapsed = time.perf_counter() - started
+    latencies = sorted(sec for worker_latencies in per_worker for sec in worker_latencies)
+    completed = len(latencies)
     return {
         "shards": shards,
         "clients": clients,
@@ -99,6 +110,11 @@ def bench_configuration(artifact, payload, oracle, shards, clients, requests=REQ
         "seconds": elapsed,
         "requests_per_second": completed / elapsed,
         "payload_mb_per_second": completed * len(payload) / elapsed / 1e6,
+        "latency_ms": {
+            "p50": _percentile(latencies, 0.50) * 1e3,
+            "p95": _percentile(latencies, 0.95) * 1e3,
+            "p99": _percentile(latencies, 0.99) * 1e3,
+        },
     }
 
 
@@ -127,10 +143,13 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "BENCH_serve.json"
     report = run_sweep()
     out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"{'shards':>7s} {'clients':>8s} {'req/s':>10s} {'MB/s':>10s}")
+    print(f"{'shards':>7s} {'clients':>8s} {'req/s':>10s} {'MB/s':>10s} "
+          f"{'p50 ms':>9s} {'p95 ms':>9s} {'p99 ms':>9s}")
     for row in report["results"]:
+        lat = row["latency_ms"]
         print(f"{row['shards']:7d} {row['clients']:8d} "
-              f"{row['requests_per_second']:10.1f} {row['payload_mb_per_second']:10.2f}")
+              f"{row['requests_per_second']:10.1f} {row['payload_mb_per_second']:10.2f} "
+              f"{lat['p50']:9.2f} {lat['p95']:9.2f} {lat['p99']:9.2f}")
     print(f"single-process baseline: {report['single_process_mb_per_second']:.2f} MB/s")
     print(f"\nwrote {out}")
     return 0

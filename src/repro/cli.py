@@ -545,8 +545,69 @@ def _demo_stream(patterns: list[str], size: int, seed: int = 1) -> bytes:
 
 
 @_guarded
+def obs_top_main(argv: list[str] | None = None) -> int:
+    """``repro obs top``: live serve-stats console view over the stats op."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs top",
+        description="One-shot (or --interval N repeated) console view of a "
+                    "running repro serve instance: request counters, queue "
+                    "depth, and per-phase latency percentiles.",
+    )
+    parser.add_argument("--socket", type=Path, default=None, metavar="PATH",
+                        help="connect to a UNIX socket at PATH")
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None, metavar="N")
+    parser.add_argument("--interval", type=float, default=None, metavar="SECONDS",
+                        help="refresh every N seconds until --count/Ctrl-C "
+                             "(default: one snapshot)")
+    parser.add_argument("--count", type=int, default=None, metavar="N",
+                        help="stop after N snapshots (default: 1 without "
+                             "--interval, unlimited with it)")
+    args = parser.parse_args(argv)
+    if args.interval is not None and args.interval <= 0:
+        raise UsageError("--interval must be positive")
+
+    from repro.serve.client import MatchClient
+
+    address = _client_address(args)
+    limit = args.count if args.count is not None else (None if args.interval else 1)
+    shown = 0
+    try:
+        while True:
+            with MatchClient.connect(address) as client:
+                stats = client.stats_full()
+            server = stats.get("server", {})
+            print(f"-- repro serve @ "
+                  f"{address if isinstance(address, str) else ':'.join(map(str, address))} "
+                  f"backend={server.get('backend')} mode={server.get('mode')} "
+                  f"shards={server.get('shards')}")
+            print(f"   requests={server.get('requests_handled', 0)} "
+                  f"rejected={server.get('requests_rejected', 0)} "
+                  f"partial={server.get('requests_partial', 0)} "
+                  f"batches={server.get('batches', 0)} "
+                  f"queued={server.get('queued', 0)} "
+                  f"degradations={server.get('degradations', 0)}")
+            _print_latency_table(stats.get("latency_ms"))
+            shown += 1
+            if limit is not None and shown >= limit:
+                break
+            time.sleep(args.interval)
+            print()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+@_guarded
 def obs_main(argv: list[str] | None = None) -> int:
-    """Entry point of ``repro-obs`` (also ``repro obs``)."""
+    """Entry point of ``repro-obs`` (also ``repro obs``).
+
+    ``repro obs top …`` dispatches to the live serve-stats view; every
+    other invocation runs the capture-compile-match flow below.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "top":
+        return obs_top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-obs",
         description="Run compile+match with the observability layer on and "
@@ -665,6 +726,23 @@ def _client_address(args: argparse.Namespace):
     return (args.host, args.port)
 
 
+def _print_latency_table(latency: dict | None) -> None:
+    """Render the stats op's per-phase percentile decomposition."""
+    if not latency:
+        print("  (no latency percentiles: server metrics disabled or no "
+              "requests served yet)")
+        return
+    header = f"  {'phase':<32} {'count':>8} {'mean':>9} {'p50':>9} {'p90':>9} {'p95':>9} {'p99':>9}  (ms)"
+    print(header)
+    for name in sorted(latency):
+        row = latency[name]
+        cells = "".join(
+            f" {row.get(key):>9.3f}" if isinstance(row.get(key), (int, float)) else f" {'-':>9}"
+            for key in ("mean", "p50", "p90", "p95", "p99")
+        )
+        print(f"  {name:<32} {row.get('count', 0):>8}{cells}")
+
+
 @_guarded
 def serve_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro serve``: run the resident matching service."""
@@ -710,6 +788,12 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="compiled-ruleset cache directory (default ./serve_cache)")
     parser.add_argument("--no-shutdown-op", action="store_true",
                         help="ignore protocol shutdown requests")
+    parser.add_argument("--trace-requests", action="store_true",
+                        help="record per-request span trees (queue-wait/scan/"
+                             "frame) and honour clients' ship_spans flag")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="disable the service-owned metrics registry "
+                             "(stats op then reports counters only)")
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
@@ -739,6 +823,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
             lazy_eviction=args.lazy_eviction,
             allow_shutdown=not args.no_shutdown_op,
+            metrics=not args.no_metrics,
+            trace_requests=args.trace_requests,
         )
 
         async def _run() -> None:
@@ -787,14 +873,26 @@ def client_main(argv: list[str] | None = None) -> int:
                         help="print the first N matches (0 = none)")
     parser.add_argument("--ping", action="store_true", help="liveness probe")
     parser.add_argument("--stats", action="store_true",
-                        help="print the server's counters snapshot")
+                        help="print the server's counters snapshot plus its "
+                             "per-phase latency percentiles (p50/p90/p95/p99)")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="with --stats: also print the Prometheus text "
+                             "exposition of the server's metrics")
     parser.add_argument("--shutdown", action="store_true",
                         help="ask the server to drain and stop")
+    parser.add_argument("--trace", action="store_true",
+                        help="trace the request end to end and print the "
+                             "stitched span tree (server needs "
+                             "--trace-requests)")
+    parser.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                        help="write the merged client+server Chrome trace "
+                             "here (implies --trace)")
     args = parser.parse_args(argv)
 
     from repro.serve.client import MatchClient
 
     exit_code = 0
+    trace = args.trace or args.trace_out is not None
     with MatchClient.connect(_client_address(args)) as client:
         if args.ping:
             alive = client.ping()
@@ -802,16 +900,39 @@ def client_main(argv: list[str] | None = None) -> int:
             if not alive:
                 return 1
         if args.stats:
-            for key, value in sorted(client.server_stats().items()):
+            stats = client.stats_full(prometheus=args.prometheus)
+            for key, value in sorted(stats.get("server", {}).items()):
                 print(f"  {key}: {value}")
+            print()
+            print("latency decomposition:")
+            _print_latency_table(stats.get("latency_ms"))
+            if args.prometheus and stats.get("prometheus"):
+                print()
+                print(stats["prometheus"], end="")
         if args.stream is not None:
             try:
                 data = args.stream.read_bytes()
             except OSError as exc:
                 raise UsageError(f"cannot read stream {args.stream}: {exc}") from exc
-            result = client.match(
-                data, single_match=args.single_match, deadline_ms=args.deadline_ms
-            )
+            if trace:
+                with obs.capture() as cap:
+                    result = client.match(
+                        data, single_match=args.single_match,
+                        deadline_ms=args.deadline_ms, trace=True,
+                    )
+                print(f"trace {result.trace_id}: {len(result.spans)} server "
+                      f"span(s) stitched under client.match")
+                for depth, span in obs.iter_tree(cap.tracer):
+                    print(f"  {'  ' * depth}{span.name:<28} "
+                          f"{span.duration * 1e3:9.3f} ms  (pid {span.process_id})")
+                if args.trace_out is not None:
+                    obs.write_chrome_trace(cap.tracer, args.trace_out)
+                    print(f"wrote merged Chrome trace "
+                          f"({len(cap.tracer.spans())} spans) to {args.trace_out}")
+            else:
+                result = client.match(
+                    data, single_match=args.single_match, deadline_ms=args.deadline_ms
+                )
             print(f"status: {result.status} (code {result.code})   "
                   f"matches: {len(result.matches)}   backend: {result.backend}   "
                   f"shards: {result.shards}")

@@ -48,6 +48,8 @@ from repro.obs.exporters import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_QUANTILES,
+    DEFAULT_RESERVOIR,
     DEFAULT_SAMPLE_STRIDE,
     Counter,
     EngineSampler,
@@ -55,17 +57,43 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     engine_sampler,
+    merge_snapshots,
+    quantile_label,
+    quantiles_from_snapshot,
     sample_stride,
     set_sample_stride,
 )
-from repro.obs.spans import NOOP_SPAN, Span, Tracer, iter_tree, span
+from repro.obs.spans import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    begin_span,
+    current_trace_id,
+    end_span,
+    iter_tree,
+    new_trace_id,
+    record_span,
+    span,
+    trace_context,
+)
 
 __all__ = [
     "Span",
     "Tracer",
     "span",
+    "begin_span",
+    "end_span",
+    "record_span",
     "iter_tree",
     "NOOP_SPAN",
+    "new_trace_id",
+    "current_trace_id",
+    "trace_context",
+    "merge_snapshots",
+    "quantile_label",
+    "quantiles_from_snapshot",
+    "DEFAULT_QUANTILES",
+    "DEFAULT_RESERVOIR",
     "Counter",
     "Gauge",
     "Histogram",

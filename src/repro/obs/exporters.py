@@ -68,13 +68,19 @@ def spans_to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
     lanes are labelled.  Span attributes (and CPU time) ride in ``args``.
     """
     events: list[dict[str, Any]] = []
-    seen_threads: dict[int, str] = {}
+    seen_threads: dict[tuple[int, int], str] = {}
     for span in tracer.spans():
         if span.end is None:  # pragma: no cover - validate() rejects first
             continue
-        seen_threads.setdefault(span.thread_id, span.thread_name)
+        # adopted cross-process spans carry their worker's pid; local
+        # spans recorded before process_id existed fall back to the
+        # historical fixed pid so single-process traces stay stable
+        pid = span.process_id or _TRACE_PID
+        seen_threads.setdefault((pid, span.thread_id), span.thread_name)
         args = {str(k): _jsonable(v) for k, v in span.attributes.items()}
         args["cpu_ms"] = round(span.cpu_time * 1e3, 6)
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
         events.append(
             {
                 "name": span.name,
@@ -82,17 +88,17 @@ def spans_to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
                 "ph": "X",
                 "ts": round(span.start * 1e6, 3),
                 "dur": round(span.duration * 1e6, 3),
-                "pid": _TRACE_PID,
+                "pid": pid,
                 "tid": span.thread_id,
                 "args": args,
             }
         )
-    for tid, name in sorted(seen_threads.items()):
+    for (pid, tid), name in sorted(seen_threads.items()):
         events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": _TRACE_PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": name},
             }

@@ -34,6 +34,8 @@ __all__ = [
     "EngineSampler",
     "DEFAULT_SAMPLE_STRIDE",
     "DEFAULT_BUCKETS",
+    "DEFAULT_RESERVOIR",
+    "DEFAULT_QUANTILES",
     "enable",
     "disable",
     "get_registry",
@@ -41,6 +43,9 @@ __all__ = [
     "engine_sampler",
     "sample_stride",
     "set_sample_stride",
+    "merge_snapshots",
+    "quantiles_from_snapshot",
+    "quantile_label",
 ]
 
 #: Exponential bucket upper bounds (≤) for the runtime histograms:
@@ -50,6 +55,34 @@ DEFAULT_BUCKETS: tuple[float, ...] = tuple(float(2 ** i) for i in range(13))
 
 #: Sample every Nth consumed byte in the engines.
 DEFAULT_SAMPLE_STRIDE = 64
+
+#: Max raw values a histogram keeps for quantile estimation.  The
+#: reservoir is a *deterministic decimating* one — values are kept while
+#: the observation index is a multiple of the keep-stride, and on
+#: overflow the kept list is thinned ``[::2]`` and the stride doubled —
+#: so two histograms fed the identical value sequence hold identical
+#: reservoirs (the cross-backend identical-snapshot invariant extends to
+#: quantiles).  Quantiles are exact while ``count <= DEFAULT_RESERVOIR``
+#: and systematic-sample estimates beyond.
+DEFAULT_RESERVOIR = 1024
+
+#: Default quantile set for snapshots and summaries.
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.95, 0.99)
+
+
+def quantile_label(q: float) -> str:
+    """``0.5 -> "p50"``, ``0.999 -> "p99.9"`` — the snapshot key format."""
+    return f"p{q * 100:g}"
+
+
+def _rank(ordered: list[float], q: float) -> float | None:
+    """Nearest-rank quantile of an already-sorted value list."""
+    if not ordered:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    index = int(q * len(ordered))
+    return ordered[min(index, len(ordered) - 1)]
 
 
 class Counter:
@@ -118,7 +151,11 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "bounds", "counts", "_sum", "_count", "_min", "_max", "_lock")
+    __slots__ = (
+        "name", "help", "bounds", "counts",
+        "_sum", "_count", "_min", "_max",
+        "_values", "_keep_stride", "_lock",
+    )
 
     def __init__(self, name: str, bounds: Iterable[float] | None = None, help: str = "") -> None:
         self.name = name
@@ -134,6 +171,8 @@ class Histogram:
         self._count = 0
         self._min: float | None = None
         self._max: float | None = None
+        self._values: list[float] = []  # decimating reservoir (see DEFAULT_RESERVOIR)
+        self._keep_stride = 1
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -145,6 +184,11 @@ class Histogram:
             index += 1
         with self._lock:
             self.counts[index] += 1
+            if self._count % self._keep_stride == 0:
+                self._values.append(value)
+                if len(self._values) > DEFAULT_RESERVOIR:
+                    self._values = self._values[::2]
+                    self._keep_stride *= 2
             self._sum += value
             self._count += 1
             if self._min is None or value < self._min:
@@ -182,17 +226,43 @@ class Histogram:
         out.append((float("inf"), running + self.counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float | None:
+        """Nearest-rank quantile over the kept values (None when empty).
+
+        Exact while ``count <= DEFAULT_RESERVOIR``; beyond that it is a
+        systematic 1-in-``keep_stride`` sample of the observation stream,
+        which for latency-style streams keeps tail quantiles within one
+        stride-step of exact.
+        """
+        with self._lock:
+            ordered = sorted(self._values)
+        return _rank(ordered, q)
+
+    def quantiles(self, qs: Iterable[float] = DEFAULT_QUANTILES) -> dict[str, float | None]:
+        """``{"p50": ..., "p90": ...}`` over the kept values."""
+        with self._lock:
+            ordered = sorted(self._values)
+        return {quantile_label(q): _rank(ordered, q) for q in qs}
+
     def snapshot(self) -> dict[str, Any]:
-        return {
-            "kind": self.kind,
-            "name": self.name,
-            "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "sum": self._sum,
-            "count": self._count,
-            "min": self._min,
-            "max": self._max,
-        }
+        with self._lock:
+            values = list(self._values)
+            stride = self._keep_stride
+            snap = {
+                "kind": self.kind,
+                "name": self.name,
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+                "sum": self._sum,
+                "count": self._count,
+                "min": self._min,
+                "max": self._max,
+                "values": values,
+                "sample_stride": stride,
+            }
+        ordered = sorted(values)
+        snap["quantiles"] = {quantile_label(q): _rank(ordered, q) for q in DEFAULT_QUANTILES}
+        return snap
 
 
 class MetricsRegistry:
@@ -365,6 +435,8 @@ def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
             merged = dict(snap)
             if "counts" in merged:
                 merged["counts"] = list(merged["counts"])
+            if "values" in merged:
+                merged["values"] = list(merged["values"])
             continue
         if snap["kind"] != merged["kind"] or snap["name"] != merged["name"]:
             raise ValueError("cannot merge snapshots of different instruments")
@@ -377,8 +449,95 @@ def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
             for key, pick in (("min", min), ("max", max)):
                 values = [v for v in (merged.get(key), snap.get(key)) if v is not None]
                 merged[key] = pick(values) if values else None
+            merged["values"], merged["sample_stride"] = _merge_reservoirs(
+                merged.get("values"), merged.get("sample_stride"),
+                snap.get("values"), snap.get("sample_stride"),
+            )
         else:
             merged["value"] += snap["value"]
     if merged is None:
         raise ValueError("no snapshots to merge")
+    if merged.get("kind") == "histogram":
+        ordered = sorted(merged.get("values") or [])
+        merged["quantiles"] = {quantile_label(q): _rank(ordered, q) for q in DEFAULT_QUANTILES}
     return merged
+
+
+def _merge_reservoirs(
+    values_a: Iterable[float] | None,
+    stride_a: Any,
+    values_b: Iterable[float] | None,
+    stride_b: Any,
+) -> tuple[list[float], int]:
+    """Combine two decimating reservoirs at a common keep-stride.
+
+    Strides are powers of two (observe/thin only ever doubles them), so
+    the finer reservoir is thinned ``[:: coarse // fine]`` to match the
+    coarser before concatenation; overflow re-decimates.  Merging is
+    associative up to one extra decimation step, which is why sharded
+    quantiles stay within the documented one-stride-step error.
+    """
+    a = list(values_a or [])
+    b = list(values_b or [])
+    sa = max(int(stride_a or 1), 1)
+    sb = max(int(stride_b or 1), 1)
+    stride = max(sa, sb)
+    if sa < stride:
+        a = a[:: stride // sa]
+    if sb < stride:
+        b = b[:: stride // sb]
+    values = a + b
+    while len(values) > DEFAULT_RESERVOIR:
+        values = values[::2]
+        stride *= 2
+    return values, stride
+
+
+def quantiles_from_snapshot(
+    snapshot: Mapping[str, Any], qs: Iterable[float] = DEFAULT_QUANTILES
+) -> dict[str, float | None]:
+    """Quantile estimates from a histogram snapshot.
+
+    Uses the raw value reservoir when present (nearest-rank, exact for
+    small counts); otherwise falls back to linear interpolation within
+    the cumulative buckets — coarse, but workable for foreign snapshots
+    that carry only bucket counts.
+    """
+    values = snapshot.get("values")
+    if values:
+        ordered = sorted(values)
+        return {quantile_label(q): _rank(ordered, q) for q in qs}
+    counts = list(snapshot.get("counts") or [])
+    bounds = list(snapshot.get("bounds") or [])
+    total = sum(counts)
+    out: dict[str, float | None] = {}
+    if not total or not counts:
+        return {quantile_label(q): None for q in qs}
+    lo_anchor = snapshot.get("min")
+    hi_anchor = snapshot.get("max")
+    for q in qs:
+        target = q * total
+        running = 0.0
+        estimate: float | None = None
+        for i, c in enumerate(counts):
+            prev = running
+            running += c
+            if running >= target and c:
+                lower = lo_anchor if i == 0 else bounds[i - 1]
+                if lower is None:
+                    lower = 0.0
+                upper = bounds[i] if i < len(bounds) else hi_anchor
+                if upper is None:
+                    upper = lower
+                frac = (target - prev) / c
+                estimate = lower + (upper - lower) * max(0.0, min(1.0, frac))
+                break
+        if estimate is None:
+            estimate = hi_anchor
+        if estimate is not None:
+            if lo_anchor is not None:
+                estimate = max(estimate, lo_anchor)
+            if hi_anchor is not None:
+                estimate = min(estimate, hi_anchor)
+        out[quantile_label(q)] = estimate
+    return out

@@ -30,10 +30,12 @@ or scoped with :func:`repro.obs.capture`.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import os
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -56,6 +58,12 @@ class Span:
     attributes: dict[str, Any] = field(default_factory=dict)
     #: ``"ok"`` or ``"error"`` (an exception escaped the span body)
     status: str = "ok"
+    #: request/trace correlation id; rides the serve wire protocol so one
+    #: request's spans can be stitched across processes (None = untraced)
+    trace_id: str | None = None
+    #: OS process that recorded the span (cross-process stitching keeps
+    #: worker spans attributable to their worker)
+    process_id: int = field(default_factory=os.getpid)
 
     @property
     def closed(self) -> bool:
@@ -90,6 +98,8 @@ class Span:
             "cpu_time": self.cpu_time,
             "status": self.status,
             "attributes": dict(self.attributes),
+            "trace_id": self.trace_id,
+            "process_id": self.process_id,
         }
 
 
@@ -127,6 +137,8 @@ class _NoopSpan:
     cpu_time = 0.0
     closed = True
     attributes: dict[str, Any] = {}
+    trace_id = None
+    process_id = 0
 
     def set(self, **attributes: Any) -> "_NoopSpan":
         return self
@@ -143,6 +155,42 @@ class _NoopSpan:
 
 
 NOOP_SPAN = _NoopSpan()
+
+
+# ---------------------------------------------------------------------------
+# Trace context: one id per request, across threads/tasks/processes
+# ---------------------------------------------------------------------------
+
+#: the ambient trace id (contextvars: isolated per thread *and* per
+#: asyncio task, and copied into ``asyncio.to_thread`` workers)
+_TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (random, collision-safe in practice)."""
+    return os.urandom(8).hex()
+
+
+def current_trace_id() -> str | None:
+    """The ambient trace id set by :func:`trace_context`, or None."""
+    return _TRACE_ID.get()
+
+
+@contextmanager
+def trace_context(trace_id: str | None) -> Iterator[str | None]:
+    """Scope the ambient trace id: spans opened inside (in this thread or
+    task, including ``asyncio.to_thread`` callees) are stamped with it.
+
+    Explicit ``trace_id=`` arguments and parent inheritance take
+    precedence; the context is the root-level default.
+    """
+    token = _TRACE_ID.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)
 
 
 class Tracer:
@@ -167,23 +215,33 @@ class Tracer:
 
     # -- recording --------------------------------------------------------
 
-    def span(self, name: str, parent: Span | None = None, **attributes: Any) -> _SpanContext:
+    def span(
+        self,
+        name: str,
+        parent: Span | None = None,
+        trace_id: str | None = None,
+        **attributes: Any,
+    ) -> _SpanContext:
         """Open a span as a context manager.
 
         Nesting is automatic within a thread; pass ``parent=`` to adopt a
         span from another thread (e.g. pool workers under the pool span).
         A ``parent`` that is the no-op span (observability was off when it
         was created) is treated as "no explicit parent".
+
+        The span's trace id resolves explicit ``trace_id=`` first, then
+        the parent's, then the ambient :func:`trace_context`.
         """
         if parent is not None and not isinstance(parent, Span):
             parent = None
         stack = self._stack()
-        if parent is not None:
-            parent_id: int | None = parent.span_id
-        elif stack:
-            parent_id = stack[-1].span_id
-        else:
-            parent_id = None
+        resolved_parent = parent if parent is not None else (stack[-1] if stack else None)
+        parent_id = resolved_parent.span_id if resolved_parent is not None else None
+        if trace_id is None:
+            if resolved_parent is not None and resolved_parent.trace_id is not None:
+                trace_id = resolved_parent.trace_id
+            else:
+                trace_id = _TRACE_ID.get()
         thread = threading.current_thread()
         span = Span(
             name=name,
@@ -194,8 +252,97 @@ class Tracer:
             start=time.perf_counter() - self.epoch_perf,
             cpu_start=time.thread_time(),
             attributes=dict(attributes),
+            trace_id=trace_id,
         )
         return _SpanContext(self, span)
+
+    def begin_span(
+        self,
+        name: str,
+        parent: Span | None = None,
+        trace_id: str | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a *detached* span: no thread-local stack interaction.
+
+        The span must be closed with :meth:`end_span`.  Built for async
+        code, where many requests interleave on one event-loop thread and
+        stack-based nesting would mis-parent them — children attach via
+        explicit ``parent=`` instead.
+        """
+        if parent is not None and not isinstance(parent, Span):
+            parent = None
+        if trace_id is None:
+            if parent is not None and parent.trace_id is not None:
+                trace_id = parent.trace_id
+            else:
+                trace_id = _TRACE_ID.get()
+        thread = threading.current_thread()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            start=time.perf_counter() - self.epoch_perf,
+            cpu_start=time.thread_time(),
+            attributes=dict(attributes),
+            trace_id=trace_id,
+        )
+        with self._lock:
+            self._open[span.span_id] = span
+        return span
+
+    def end_span(self, span: Span, status: str | None = None) -> None:
+        """Close a span opened with :meth:`begin_span`."""
+        if status is not None:
+            span.status = status
+        span.cpu_end = time.thread_time()
+        span.end = time.perf_counter() - self.epoch_perf
+        with self._lock:
+            self._open.pop(span.span_id, None)
+            self._finished.append(span)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Span | None = None,
+        trace_id: str | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Record an already-measured interval as a finished span.
+
+        ``start``/``end`` are *absolute* ``time.perf_counter`` values (the
+        caller timed the phase itself — queue waits, frame encodes);
+        they are re-based onto this tracer's timeline.  No stack, no
+        clock reads: the phase-decomposition primitive.
+        """
+        if parent is not None and not isinstance(parent, Span):
+            parent = None
+        if trace_id is None:
+            if parent is not None and parent.trace_id is not None:
+                trace_id = parent.trace_id
+            else:
+                trace_id = _TRACE_ID.get()
+        thread = threading.current_thread()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            start=start - self.epoch_perf,
+            end=end - self.epoch_perf,
+            cpu_start=0.0,
+            cpu_end=0.0,
+            attributes=dict(attributes),
+            trace_id=trace_id,
+        )
+        with self._lock:
+            self._finished.append(span)
+        return span
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -247,6 +394,97 @@ class Tracer:
         with self._lock:
             self._finished.clear()
             self._open.clear()
+
+    # -- cross-process stitching ------------------------------------------
+
+    def export_spans(
+        self, trace_id: str | None = None, pop: bool = False
+    ) -> list[dict[str, Any]]:
+        """Finished spans as wire-shippable rows with *absolute* times.
+
+        ``start_abs``/``end_abs`` are on the raw ``time.perf_counter``
+        clock — CLOCK_MONOTONIC on Linux, shared machine-wide — so rows
+        shipped between processes on one machine land on a common
+        timeline.  ``trace_id`` filters to one request's spans; ``pop``
+        additionally removes the exported spans from this tracer (the
+        serve layer's keep-memory-bounded mode).
+        """
+        with self._lock:
+            if trace_id is None:
+                selected = list(self._finished)
+            else:
+                selected = [s for s in self._finished if s.trace_id == trace_id]
+            if pop and selected:
+                chosen = {id(s) for s in selected}
+                self._finished = [s for s in self._finished if id(s) not in chosen]
+        rows = []
+        for span in sorted(selected, key=lambda s: (s.start, s.span_id)):
+            row = span.to_dict()
+            row["start_abs"] = span.start + self.epoch_perf
+            row["end_abs"] = (span.end if span.end is not None else span.start) + self.epoch_perf
+            rows.append(row)
+        return rows
+
+    def adopt_spans(
+        self, rows: list[dict[str, Any]], parent: Span | None = None
+    ) -> list[Span]:
+        """Stitch exported rows (from another tracer/process) into this one.
+
+        Rows get fresh span ids (no collisions with local spans), their
+        parent links are remapped, and rows whose parent is not in the
+        batch become children of ``parent`` (or roots).  Times are
+        re-based from the rows' absolute clock onto this tracer's
+        timeline — exact on one machine, where ``perf_counter`` is a
+        shared monotonic clock.
+        """
+        if parent is not None and not isinstance(parent, Span):
+            parent = None
+        id_map: dict[int, int] = {}
+        adopted: list[Span] = []
+        for row in rows:
+            old_id = row.get("span_id")
+            new_id = next(self._ids)
+            if isinstance(old_id, int):
+                id_map[old_id] = new_id
+            cpu = float(row.get("cpu_time") or 0.0)
+            span = Span(
+                name=str(row.get("name", "")),
+                span_id=new_id,
+                parent_id=row.get("parent_id"),  # remapped below
+                thread_id=int(row.get("thread_id") or 0),
+                thread_name=str(row.get("thread_name", "")),
+                start=float(row["start_abs"]) - self.epoch_perf,
+                end=float(row["end_abs"]) - self.epoch_perf,
+                cpu_start=0.0,
+                cpu_end=cpu,
+                attributes=dict(row.get("attributes") or {}),
+                status=str(row.get("status", "ok")),
+                trace_id=row.get("trace_id"),
+                process_id=int(row.get("process_id") or 0),
+            )
+            adopted.append(span)
+        fallback = parent.span_id if parent is not None else None
+        for span in adopted:
+            old_parent = span.parent_id
+            span.parent_id = (
+                id_map[old_parent] if isinstance(old_parent, int) and old_parent in id_map
+                else fallback
+            )
+        with self._lock:
+            self._finished.extend(adopted)
+        return adopted
+
+    def prune(self, max_age_seconds: float) -> int:
+        """Drop finished spans older than ``max_age_seconds``; returns the
+        number removed.  Long-lived services (repro serve) call this so a
+        service-owned tracer cannot grow without bound."""
+        horizon = (time.perf_counter() - self.epoch_perf) - max_age_seconds
+        with self._lock:
+            before = len(self._finished)
+            self._finished = [
+                s for s in self._finished if s.end is None or s.end >= horizon
+            ]
+            return before - len(self._finished)
 
     def validate(self) -> None:
         """Raise ``ValueError`` on structural problems.
@@ -309,7 +547,12 @@ class Tracer:
 _ACTIVE: Tracer | None = None
 
 
-def span(name: str, parent: Span | None = None, **attributes: Any):
+def span(
+    name: str,
+    parent: Span | None = None,
+    trace_id: str | None = None,
+    **attributes: Any,
+):
     """Open a span on the active tracer — or a shared no-op when disabled.
 
     This is the call sites' entry point; the disabled path is one global
@@ -318,7 +561,46 @@ def span(name: str, parent: Span | None = None, **attributes: Any):
     tracer = _ACTIVE
     if tracer is None:
         return NOOP_SPAN
-    return tracer.span(name, parent=parent, **attributes)
+    return tracer.span(name, parent=parent, trace_id=trace_id, **attributes)
+
+
+def begin_span(
+    name: str,
+    parent: Span | None = None,
+    trace_id: str | None = None,
+    **attributes: Any,
+):
+    """Detached-span open on the active tracer (no-op span when disabled)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.begin_span(name, parent=parent, trace_id=trace_id, **attributes)
+
+
+def end_span(span: Span | _NoopSpan, status: str | None = None) -> None:
+    """Close a span from :func:`begin_span`; tolerates the no-op span and
+    a tracer that was disabled in between."""
+    tracer = _ACTIVE
+    if tracer is None or not isinstance(span, Span):
+        return
+    tracer.end_span(span, status=status)
+
+
+def record_span(
+    name: str,
+    start: float,
+    end: float,
+    parent: Span | None = None,
+    trace_id: str | None = None,
+    **attributes: Any,
+):
+    """Record a pre-measured absolute-time interval (no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.record_span(
+        name, start, end, parent=parent, trace_id=trace_id, **attributes
+    )
 
 
 def enable(tracer: Tracer | None = None) -> Tracer:

@@ -21,6 +21,7 @@ import socket
 from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
+import repro.obs as obs
 from repro.guard.errors import UsageError
 from repro.serve.protocol import (
     FrameError,
@@ -45,6 +46,11 @@ class ClientResult:
     backend: Optional[str] = None
     shards: Optional[int] = None
     error: Optional[str] = None
+    #: the trace id this request carried (None when untraced)
+    trace_id: Optional[str] = None
+    #: server-side span rows shipped back for a traced request (already
+    #: adopted into the local tracer when one is active)
+    spans: list[dict[str, Any]] = field(default_factory=list)
     raw: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -107,15 +113,45 @@ class MatchClient:
         payload: bytes | str,
         single_match: bool = False,
         deadline_ms: Optional[float] = None,
+        trace: bool = False,
     ) -> ClientResult:
-        """Scan one payload; returns the decoded response."""
+        """Scan one payload; returns the decoded response.
+
+        ``trace=True`` mints a trace id, sends it with the request, asks
+        the server to ship its span rows back, and — when a local tracer
+        is active — wraps the round trip in a ``client.match`` span and
+        adopts the server-side spans under it, so one call yields one
+        stitched client→dispatcher→shard-worker tree.
+        """
         data = payload.encode("latin-1") if isinstance(payload, str) else payload
         document: dict[str, Any] = {"op": "match", "payload": encode_payload(data)}
         if single_match:
             document["single_match"] = True
         if deadline_ms is not None:
             document["deadline_ms"] = deadline_ms
-        response = self._roundtrip(document)
+        trace_id: Optional[str] = None
+        if trace:
+            trace_id = obs.new_trace_id()
+            document["trace_id"] = trace_id
+            document["ship_spans"] = True
+        client_span = (
+            obs.begin_span("client.match", trace_id=trace_id, bytes=len(data))
+            if trace
+            else obs.NOOP_SPAN
+        )
+        try:
+            response = self._roundtrip(document)
+        finally:
+            if trace:
+                obs.end_span(client_span)
+        shipped = response.get("spans") or []
+        if trace and shipped:
+            tracer = obs.get_tracer()
+            if tracer is not None:
+                tracer.adopt_spans(
+                    shipped,
+                    parent=client_span if isinstance(client_span, obs.Span) else None,
+                )
         matches = {(rule, end) for rule, end in response.get("matches", [])}
         # ε-accepting rules arrive compactly as all_offsets_rules (they
         # match at every offset — enumerating them on the wire would let
@@ -131,6 +167,8 @@ class MatchClient:
             backend=response.get("backend"),
             shards=response.get("shards"),
             error=response.get("error"),
+            trace_id=trace_id,
+            spans=shipped,
             raw=response,
         )
 
@@ -142,6 +180,19 @@ class MatchClient:
         if response.get("status") != "ok":
             raise UsageError(f"stats request failed: {response.get('error')}")
         return response.get("server", {})
+
+    def stats_full(self, prometheus: bool = False) -> dict[str, Any]:
+        """The whole ``stats`` response: ``server`` counters plus (when
+        the server has a metrics registry) ``metrics`` snapshots and the
+        ``latency_ms`` percentile decomposition; ``prometheus=True`` also
+        asks for the text exposition form."""
+        document: dict[str, Any] = {"op": "stats"}
+        if prometheus:
+            document["prometheus"] = True
+        response = self._roundtrip(document)
+        if response.get("status") != "ok":
+            raise UsageError(f"stats request failed: {response.get('error')}")
+        return response
 
     def shutdown(self) -> bool:
         """Ask the server to drain and stop; True when acknowledged."""

@@ -171,6 +171,12 @@ class MatchRequest:
     payload: bytes
     single_match: bool = False
     deadline_ms: Optional[float] = None
+    #: request correlation id for cross-process tracing (client-minted;
+    #: rides the wire so server-side spans share the client's trace)
+    trace_id: Optional[str] = None
+    #: when true (and the server traces requests), the response carries
+    #: the server-side span rows for this request under ``"spans"``
+    ship_spans: bool = False
     meta: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -188,11 +194,17 @@ class MatchRequest:
                 raise FrameError("'deadline_ms' must be a number") from exc
             if deadline_ms <= 0:
                 raise FrameError("'deadline_ms' must be positive")
+        trace_id = document.get("trace_id")
+        if trace_id is not None:
+            if not isinstance(trace_id, str) or not trace_id or len(trace_id) > 64:
+                raise FrameError("'trace_id' must be a non-empty string (<= 64 chars)")
         return cls(
             id=request_id,
             payload=payload,
             single_match=single_match,
             deadline_ms=deadline_ms,
+            trace_id=trace_id,
+            ship_spans=bool(document.get("ship_spans", False)),
         )
 
 

@@ -87,6 +87,17 @@ class ServeConfig:
     #: honour the protocol's ``shutdown`` op (CLI and tests; a hardened
     #: deployment would front this with real auth)
     allow_shutdown: bool = True
+    #: enable a service-owned metrics registry when none is active, so a
+    #: bare ``repro serve`` still answers the ``stats`` op with
+    #: percentiles (an already-active registry is reused, never replaced)
+    metrics: bool = True
+    #: record per-request span trees (queue-wait / scan / frame phases)
+    #: and honour the protocol's ``ship_spans`` flag; enables a
+    #: service-owned tracer when none is active
+    trace_requests: bool = False
+    #: finished spans older than this are pruned from a *service-owned*
+    #: tracer after each batch (bounds memory on long-running servers)
+    trace_max_age: float = 60.0
 
     def __post_init__(self) -> None:
         if self.batch_max < 1:
@@ -131,6 +142,11 @@ class _Pending:
     reply: Callable[[dict[str, Any]], Awaitable[None]]
     meter: Any  # BudgetMeter | None
     enqueued_at: float
+    #: the request's root span (NOOP_SPAN when tracing is off); children
+    #: attach via explicit ``parent=`` — requests interleave on the event
+    #: loop, so thread-local span stacks would mis-parent them
+    span: Any = obs.NOOP_SPAN
+    trace_id: Optional[str] = None
 
 
 class MatchService:
@@ -158,10 +174,25 @@ class MatchService:
         self._inflight = 0
         self._running = False
         self._draining = False
+        self._owns_registry = False
+        self._owns_tracer = False
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
+        # service-owned observability: turn on what the config asks for
+        # and nothing is already providing, and own its lifecycle (an
+        # ambient tracer/registry — tests, --trace-out — is reused as-is)
+        if self.config.metrics and obs.get_registry() is None:
+            from repro.obs import metrics as _obs_metrics
+
+            _obs_metrics.enable()
+            self._owns_registry = True
+        if self.config.trace_requests and obs.get_tracer() is None:
+            from repro.obs import spans as _obs_spans
+
+            _obs_spans.enable()
+            self._owns_tracer = True
         self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
         self._running = True
         self._draining = False
@@ -228,6 +259,7 @@ class MatchService:
                     "serve_rejected_total",
                     "requests rejected by backpressure (queue full)",
                 )
+                self._finish_span(pending, status="error")
                 await self._try_reply(
                     pending,
                     error_response(
@@ -235,6 +267,23 @@ class MatchService:
                     ),
                 )
         self.pool.close()
+        if self._owns_registry:
+            from repro.obs import metrics as _obs_metrics
+
+            _obs_metrics.disable()
+            self._owns_registry = False
+        if self._owns_tracer:
+            from repro.obs import spans as _obs_spans
+
+            _obs_spans.disable()
+            self._owns_tracer = False
+
+    @staticmethod
+    def _finish_span(pending: _Pending, status: Optional[str] = None) -> None:
+        """Close the request's root span exactly once (no-op when off)."""
+        span = pending.span
+        if isinstance(span, obs.Span) and span.end is None:
+            obs.end_span(span, status=status)
 
     # -- intake ------------------------------------------------------------
 
@@ -265,8 +314,22 @@ class MatchService:
             return
         deadline = self._deadline_for(request)
         meter = Budget(deadline=deadline).start() if deadline is not None else None
+        trace_id = request.trace_id
+        span: Any = obs.NOOP_SPAN
+        if obs.get_tracer() is not None:
+            if trace_id is None and (self.config.trace_requests or request.ship_spans):
+                trace_id = obs.new_trace_id()
+            # the root span opens *before* enqueued_at is taken so the
+            # queue-wait child starts inside its parent's interval
+            span = obs.begin_span(
+                "serve.request",
+                trace_id=trace_id,
+                request_id=request.id,
+                bytes=len(request.payload),
+            )
         pending = _Pending(
-            request=request, reply=reply, meter=meter, enqueued_at=time.perf_counter()
+            request=request, reply=reply, meter=meter,
+            enqueued_at=time.perf_counter(), span=span, trace_id=trace_id,
         )
         try:
             self._queue.put_nowait(pending)
@@ -275,6 +338,7 @@ class MatchService:
             self.metrics.count(
                 "serve_rejected_total", "requests rejected by backpressure (queue full)"
             )
+            self._finish_span(pending, status="error")
             await reply(
                 error_response(
                     request.id, "rejected",
@@ -320,6 +384,10 @@ class MatchService:
                     )
             finally:
                 self._inflight = 0
+            if self._owns_tracer:
+                tracer = obs.get_tracer()
+                if tracer is not None:
+                    tracer.prune(self.config.trace_max_age)
 
     async def _try_reply(self, pending: _Pending, document: dict[str, Any]) -> None:
         """Best-effort reply: a vanished client must not take the
@@ -333,10 +401,12 @@ class MatchService:
         request = pending.request
         try:
             await self._process_inner(pending)
+            self._finish_span(pending)
         except FrameError as exc:
             # the response document itself could not be framed (e.g. a
             # match set above MAX_FRAME_BYTES): nothing hit the wire, so
             # the connection framing is intact — answer with a small 500
+            self._finish_span(pending, status="error")
             self.metrics.count("serve_errors_total", "requests failed with an error")
             await self._try_reply(
                 pending,
@@ -345,14 +415,16 @@ class MatchService:
                 ),
             )
         except ReproError as exc:
+            self._finish_span(pending, status="error")
             self.metrics.count("serve_errors_total", "requests failed with an error")
             await self._try_reply(pending, error_response(request.id, "error", str(exc)))
         except (ConnectionResetError, BrokenPipeError, OSError):
-            pass  # the client reset mid-reply; there is no one to answer
+            self._finish_span(pending, status="error")
         except Exception as exc:
             # anything else is a bug, but one request's bug: answer 500
             # and keep the dispatcher alive for everyone else
             _log.exception("unexpected error processing request %s", request.id)
+            self._finish_span(pending, status="error")
             self.metrics.count("serve_errors_total", "requests failed with an error")
             await self._try_reply(
                 pending, error_response(request.id, "error", f"internal error: {exc}")
@@ -366,9 +438,14 @@ class MatchService:
             "serve_request_bytes", "payload bytes per match request",
             len(request.payload), bounds=_BYTES_BUCKETS,
         )
+        dispatched_at = time.perf_counter()
         self.metrics.observe(
             "serve_queue_wait_seconds", "time spent queued before dispatch",
-            time.perf_counter() - pending.enqueued_at, bounds=_WAIT_BUCKETS,
+            dispatched_at - pending.enqueued_at, bounds=_WAIT_BUCKETS,
+        )
+        obs.record_span(
+            "serve.queue_wait", pending.enqueued_at, dispatched_at,
+            parent=pending.span if isinstance(pending.span, obs.Span) else None,
         )
         remaining: Optional[float] = None
         if pending.meter is not None:
@@ -381,6 +458,7 @@ class MatchService:
                 self.metrics.count(
                     "serve_partial_total", "requests answered with partial results"
                 )
+                self._finish_span(pending)
                 await pending.reply(
                     match_response(
                         request.id, "partial", matches=set(),
@@ -390,11 +468,18 @@ class MatchService:
                 )
                 return
             remaining = pending.meter.deadline_at - time.perf_counter()
+        scan_started = time.perf_counter()
         result = await asyncio.to_thread(
             self.pool.scan,
             request.payload,
             deadline=remaining,
             single_match=request.single_match,
+            trace_id=pending.trace_id,
+            parent=pending.span if isinstance(pending.span, obs.Span) else None,
+        )
+        self.metrics.observe(
+            "serve_scan_seconds", "shard-pool scan wall seconds per request",
+            time.perf_counter() - scan_started, bounds=_WAIT_BUCKETS,
         )
         status = "partial" if result.partial else "ok"
         if result.partial:
@@ -407,21 +492,46 @@ class MatchService:
             # ε-accepting rules stay compact on the wire; the client
             # expands them against its own copy of the payload length
             extra["all_offsets_rules"] = result.all_offsets_rules
-        await pending.reply(
-            match_response(
-                request.id,
-                status,
-                matches=result.matches,
-                stats=result.stats.as_dict(),
-                backend=result.backend,
-                shards=result.shards,
-                timed_out_shards=result.timed_out_shards,
-                degradations=[
-                    {"from": s.from_backend, "to": s.to_backend, "reason": s.reason}
-                    for s in result.degradations
-                ],
-                **extra,
+        document = match_response(
+            request.id,
+            status,
+            matches=result.matches,
+            stats=result.stats.as_dict(),
+            backend=result.backend,
+            shards=result.shards,
+            timed_out_shards=result.timed_out_shards,
+            degradations=[
+                {"from": s.from_backend, "to": s.to_backend, "reason": s.reason}
+                for s in result.degradations
+            ],
+            **extra,
+        )
+        tracer = obs.get_tracer()
+        if request.ship_spans and tracer is not None and pending.trace_id is not None:
+            # a traced response: dry-encode to measure framing, close the
+            # request span, and ship every span of this trace back to the
+            # client for stitching.  The pop keeps a service-owned tracer
+            # bounded; an ambient one (--trace-out) keeps its copy.
+            frame_started = time.perf_counter()
+            encode_frame(document)  # FrameError → _process answers 500
+            frame_ended = time.perf_counter()
+            self.metrics.observe(
+                "serve_frame_seconds", "response framing wall seconds",
+                frame_ended - frame_started, bounds=_WAIT_BUCKETS,
             )
+            obs.record_span(
+                "serve.frame", frame_started, frame_ended,
+                parent=pending.span if isinstance(pending.span, obs.Span) else None,
+            )
+            self._finish_span(pending)
+            document["spans"] = tracer.export_spans(
+                trace_id=pending.trace_id, pop=self._owns_tracer
+            )
+        reply_started = time.perf_counter()
+        await pending.reply(document)
+        self.metrics.observe(
+            "serve_reply_seconds", "frame-encode + socket-write wall seconds",
+            time.perf_counter() - reply_started, bounds=_WAIT_BUCKETS,
         )
 
     # -- introspection -----------------------------------------------------
@@ -445,6 +555,40 @@ class MatchService:
             "batches": self.batches,
             "degradations": len(self.pool.degradations),
         }
+
+    def metrics_snapshot(self) -> Optional[dict[str, Any]]:
+        """Every active-registry instrument, snapshotted (None when off)."""
+        registry = obs.get_registry()
+        return registry.as_dict() if registry is not None else None
+
+    def latency_snapshot(self) -> Optional[dict[str, Any]]:
+        """Per-phase latency percentiles in milliseconds (None when off).
+
+        One entry per ``serve_*_seconds`` histogram that has data:
+        ``{"serve_scan_seconds": {"count": n, "p50": ..., "p90": ...,
+        "p95": ..., "p99": ..., "mean": ...}}`` — the decomposition the
+        ``stats`` op, ``repro client --stats`` and ``repro obs top``
+        render.
+        """
+        registry = obs.get_registry()
+        if registry is None:
+            return None
+        out: dict[str, Any] = {}
+        for inst in registry.instruments():
+            if inst.kind != "histogram" or not inst.name.endswith("_seconds"):
+                continue
+            if not inst.name.startswith("serve_") or not inst.count:
+                continue
+            quantiles = inst.quantiles((0.5, 0.9, 0.95, 0.99))
+            out[inst.name] = {
+                "count": inst.count,
+                "mean": round(inst.mean * 1e3, 6),
+                **{
+                    label: (round(value * 1e3, 6) if value is not None else None)
+                    for label, value in quantiles.items()
+                },
+            }
+        return out
 
 
 class MatchServer:
@@ -562,15 +706,24 @@ class MatchServer:
         if op == "ping":
             await reply({"id": request_id, "status": "ok", "code": 200, "op": "ping"})
         elif op == "stats":
-            await reply(
-                {
-                    "id": request_id,
-                    "status": "ok",
-                    "code": 200,
-                    "op": "stats",
-                    "server": self.service.stats_snapshot(),
-                }
-            )
+            response: dict[str, Any] = {
+                "id": request_id,
+                "status": "ok",
+                "code": 200,
+                "op": "stats",
+                "server": self.service.stats_snapshot(),
+            }
+            metrics = self.service.metrics_snapshot()
+            if metrics is not None:
+                response["metrics"] = metrics
+                response["latency_ms"] = self.service.latency_snapshot()
+            if document.get("prometheus"):
+                registry = obs.get_registry()
+                if registry is not None:
+                    from repro.obs.exporters import metrics_to_prometheus
+
+                    response["prometheus"] = metrics_to_prometheus(registry)
+            await reply(response)
         elif op == "shutdown":
             if not self.service.config.allow_shutdown:
                 await reply(

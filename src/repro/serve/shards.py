@@ -185,9 +185,38 @@ def _process_init(artifact_path: str, backend: str, lazy_cache_size: int,
     )
 
 
-def _process_scan(args: tuple) -> tuple[set, ExecutionStats, bool]:
-    segment, deadline_at, collect_stats = args
-    return _scan_segment(_PROCESS_STATE["engines"], segment, deadline_at, collect_stats)
+def _process_scan(args: tuple) -> tuple[set, ExecutionStats, bool, list]:
+    """Scan one segment in a worker process.
+
+    The parent's tracer lives in another address space, so when the job
+    carries a ``trace`` request the worker records its span into a
+    throwaway local tracer and ships the exported rows (absolute
+    ``perf_counter`` times — CLOCK_MONOTONIC, shared machine-wide) back
+    with the result for the parent to adopt.
+    """
+    segment, deadline_at, collect_stats, shard_index, trace = args
+    if trace is None:
+        matches, stats, timed_out = _scan_segment(
+            _PROCESS_STATE["engines"], segment, deadline_at, collect_stats
+        )
+        return matches, stats, timed_out, []
+    from repro.obs.spans import Tracer
+
+    tracer = Tracer("repro-shard-worker")
+    started = time.perf_counter()
+    matches, stats, timed_out = _scan_segment(
+        _PROCESS_STATE["engines"], segment, deadline_at, collect_stats
+    )
+    tracer.record_span(
+        "serve.worker_scan",
+        started,
+        time.perf_counter(),
+        trace_id=trace.get("trace_id"),
+        shard=shard_index,
+        bytes=len(segment),
+        timed_out=timed_out,
+    )
+    return matches, stats, timed_out, tracer.export_spans()
 
 
 def _build_engines(
@@ -380,9 +409,26 @@ class ShardPool:
         return state.engines
 
     def _thread_scan(
-        self, segment: bytes, deadline_at: Optional[float], collect_stats: bool
-    ) -> tuple[set, ExecutionStats, bool]:
-        return _scan_segment(self._worker_engines(), segment, deadline_at, collect_stats)
+        self,
+        segment: bytes,
+        deadline_at: Optional[float],
+        collect_stats: bool,
+        shard_index: int,
+        trace_id: Optional[str],
+        parent: Optional[obs.Span],
+    ) -> tuple[set, ExecutionStats, bool, list]:
+        with obs.span(
+            "serve.worker_scan",
+            parent=parent,
+            trace_id=trace_id,
+            shard=shard_index,
+            bytes=len(segment),
+        ) as span:
+            matches, stats, timed_out = _scan_segment(
+                self._worker_engines(), segment, deadline_at, collect_stats
+            )
+            span.set(timed_out=timed_out)
+        return matches, stats, timed_out, []
 
     def _recover_workers(self, failure: BaseException) -> bool:
         """Replace dead process workers and step the ladder; False when
@@ -407,6 +453,8 @@ class ShardPool:
         deadline: Optional[float] = None,
         single_match: bool = False,
         collect_stats: bool = True,
+        trace_id: Optional[str] = None,
+        parent: Optional[obs.Span] = None,
     ) -> ShardScanResult:
         """Scan one payload across the pool; exact single-pass semantics.
 
@@ -414,6 +462,10 @@ class ShardPool:
         that exceed it surface their honest partial results and the scan
         is flagged ``partial`` — the answer is a sound under-
         approximation, never silently wrong.
+
+        ``trace_id``/``parent`` stitch this scan (and its per-shard
+        worker spans, shipped back from worker processes in process
+        mode) into the caller's request trace.
         """
         data = payload.encode("latin-1") if isinstance(payload, str) else payload
         if self.overlap is None:
@@ -424,28 +476,56 @@ class ShardPool:
 
         with obs.span(
             "serve.shard_scan",
+            parent=parent,
+            trace_id=trace_id,
             shards=len(jobs),
             bytes=len(data),
             backend=self.backend,
             mode=self.mode,
         ) as span:
+            registry = obs.get_registry()
+            scan_parent = span if isinstance(span, obs.Span) else None
+            # process workers only buffer + ship spans when someone can
+            # adopt them: a trace id is set and a tracer is active
+            trace_request = (
+                {"trace_id": trace_id}
+                if trace_id is not None and obs.get_tracer() is not None
+                else None
+            )
+            inflight = (
+                registry.gauge(
+                    "serve_shard_inflight_jobs",
+                    help="shard jobs submitted and not yet finished",
+                )
+                if registry is not None
+                else None
+            )
             while True:
                 executor = self._ensure_executor()
                 futures = []
-                for job in jobs:
+                for index, job in enumerate(jobs):
                     segment = data[job.segment_slice]
                     if self.mode == "thread":
-                        futures.append(
-                            executor.submit(
-                                self._thread_scan, segment, deadline_at, collect_stats
-                            )
+                        future = executor.submit(
+                            self._thread_scan, segment, deadline_at, collect_stats,
+                            index, trace_id, scan_parent,
                         )
                     else:
-                        futures.append(
-                            executor.submit(
-                                _process_scan, (segment, deadline_at, collect_stats)
-                            )
+                        future = executor.submit(
+                            _process_scan,
+                            (segment, deadline_at, collect_stats, index, trace_request),
                         )
+                    if registry is not None:
+                        busy = registry.gauge(
+                            f"serve_shard_{index}_busy",
+                            help="jobs in flight on this shard slot",
+                        )
+                        busy.inc()
+                        inflight.inc()
+                        future.add_done_callback(
+                            lambda _f, g=busy, t=inflight: (g.dec(), t.dec())
+                        )
+                    futures.append(future)
                 try:
                     outcomes = [future.result() for future in futures]
                 except (AllocationFailed, BrokenProcessPool) as exc:
@@ -461,9 +541,12 @@ class ShardPool:
             matches: set[tuple[int, int]] = set()
             totals = ExecutionStats()
             timed_out: list[int] = []
-            registry = obs.get_registry()
             for index, (job, outcome) in enumerate(zip(jobs, outcomes)):
-                job_matches, job_stats, job_timed_out = outcome
+                job_matches, job_stats, job_timed_out, span_rows = outcome
+                if span_rows:
+                    tracer = obs.get_tracer()
+                    if tracer is not None:
+                        tracer.adopt_spans(span_rows, parent=scan_parent)
                 matches |= rebase_matches(job_matches, job)
                 totals.merge(job_stats)
                 if job_timed_out:

@@ -8,12 +8,14 @@ import pytest
 
 import repro.obs as obs
 from repro.obs.metrics import (
+    DEFAULT_RESERVOIR,
     DEFAULT_SAMPLE_STRIDE,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     merge_snapshots,
+    quantiles_from_snapshot,
 )
 
 
@@ -141,3 +143,85 @@ def test_merge_snapshots_counters_and_histograms():
         merge_snapshots([a.snapshot(), Histogram("h", bounds=(9,)).snapshot()])
     with pytest.raises(ValueError):
         merge_snapshots([])
+
+
+# -- quantiles & cross-process merging ---------------------------------------
+
+
+def test_histogram_quantiles_exact_under_reservoir():
+    h = Histogram("lat", bounds=(10, 100))
+    for value in range(1, 101):  # 1..100, well under DEFAULT_RESERVOIR
+        h.observe(value)
+    assert h.quantile(0.0) == 1
+    assert h.quantile(0.5) == 51  # nearest-rank on 100 ordered values
+    assert h.quantile(0.99) == 100
+    assert h.quantile(1.0) == 100
+    qs = h.quantiles()
+    assert set(qs) == {"p50", "p90", "p95", "p99"}
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    assert Histogram("empty", bounds=(1,)).quantile(0.5) is None
+
+
+def test_histogram_reservoir_decimation_bounds_memory():
+    h = Histogram("big", bounds=(1 << 20,))
+    n = DEFAULT_RESERVOIR * 4 + 7
+    for value in range(n):
+        h.observe(float(value))
+    snap = h.snapshot()
+    assert len(snap["values"]) <= DEFAULT_RESERVOIR
+    assert snap["sample_stride"] >= 4
+    # deterministic decimation keeps every stride-th observation, so the
+    # approximate median stays within one stride of the true one
+    assert h.quantile(0.5) == pytest.approx(n / 2, rel=0.05)
+
+
+def test_quantiles_from_snapshot_with_and_without_values():
+    h = Histogram("q", bounds=(2, 8, 32))
+    for value in (1, 2, 3, 5, 9, 20, 40):
+        h.observe(value)
+    snap = h.snapshot()
+    exact = quantiles_from_snapshot(snap)
+    assert exact["p50"] == 5  # from the reservoir: exact nearest-rank
+    # strip the reservoir: must fall back to bucket interpolation and
+    # still land inside the right bucket
+    coarse = dict(snap)
+    del coarse["values"]
+    approx = quantiles_from_snapshot(coarse)
+    assert 2 <= approx["p50"] <= 9
+    assert approx["p99"] <= snap["max"]
+
+
+def _observe_in_child(args):
+    """Child-process body: build a histogram, ship its snapshot home."""
+    lo, hi = args
+    h = Histogram("lat", bounds=(64, 256, 1024))
+    for value in range(lo, hi):
+        h.observe(float(value))
+    return h.snapshot()
+
+
+def test_merge_snapshots_across_forked_processes():
+    """Snapshots from fork-isolated workers merge associatively and keep
+    quantiles within the documented decimation error."""
+    import multiprocessing
+
+    ranges = [(0, 500), (500, 1000), (1000, 1500)]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=3) as pool:
+        snaps = pool.map(_observe_in_child, ranges)
+
+    merged = merge_snapshots(snaps)
+    assert merged["count"] == 1500
+    assert merged["min"] == 0.0 and merged["max"] == 1499.0
+    assert merged["sum"] == sum(range(1500))
+    # associativity: ((a+b)+c) == (a+(b+c)) on every aggregate field
+    left = merge_snapshots([merge_snapshots(snaps[:2]), snaps[2]])
+    right = merge_snapshots([snaps[0], merge_snapshots(snaps[1:])])
+    for key in ("count", "sum", "min", "max", "counts"):
+        assert left[key] == right[key] == merged[key]
+    # 1500 observations exceed DEFAULT_RESERVOIR, so the merged quantile
+    # is decimated — but must stay within one coarsened stride
+    q = quantiles_from_snapshot(merged)
+    assert q["p50"] == pytest.approx(750, rel=0.05)
+    assert q["p99"] == pytest.approx(1485, rel=0.05)
