@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke loadgen-smoke ci clean
+.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke loadgen-smoke sfa-smoke ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -70,14 +70,23 @@ serve-smoke:
 loadgen-smoke:
 	PYTHONPATH=src timeout 300 python benchmarks/loadgen.py --smoke
 
+# SFA mapping smoke: the chunk-mapping algebra suite (monoid laws,
+# arbitrary-cut equivalence on every builtin ruleset, mapping-mode shard
+# conformance), then the scaling bench — which asserts the >1.5x
+# 4-thread speedup on a ruleset the overlap planner cannot chunk.
+sfa-smoke:
+	PYTHONPATH=src pytest tests/ -m sfa -q
+	PYTHONPATH=src timeout 600 python benchmarks/bench_sfa_scaling.py --smoke
+
 # What .github/workflows/ci.yml runs, for local use: the tier-1 suite
-# plus the observability, governance, serving and loadgen smokes.
+# plus the observability, governance, serving, loadgen and SFA smokes.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) obs-smoke
 	$(MAKE) guard-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) loadgen-smoke
+	$(MAKE) sfa-smoke
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \

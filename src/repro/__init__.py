@@ -28,13 +28,17 @@ from repro.automata.optimize import OptimizeOptions
 from repro.anml import read_anml, write_anml
 from repro.decompose import PrefilterEngine
 from repro.engine import (
+    ChunkMapping,
     CostModel,
     IMfantEngine,
     INfantEngine,
     MachineModel,
+    SfaScanner,
+    fold_mappings,
     run_pool,
     simulate_parallel_latency,
 )
+from repro.engine.chunkscan import chunk_scan
 from repro.engine.spans import SpanFinder, find_spans
 from repro.engine.streaming import StreamingMatcher
 from repro.frontend import RegexSyntaxError, parse
@@ -49,6 +53,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AhoCorasick",
     "CharClass",
+    "ChunkMapping",
     "CompilationResult",
     "CompileOptions",
     "CostModel",
@@ -61,13 +66,16 @@ __all__ = [
     "OptimizeOptions",
     "PrefilterEngine",
     "RegexSyntaxError",
+    "SfaScanner",
     "SpanFinder",
     "StageTimes",
     "StreamingMatcher",
     "Transition",
+    "chunk_scan",
     "compile_re_to_fsa",
     "compile_ruleset",
     "find_spans",
+    "fold_mappings",
     "merge_fsas",
     "merge_ruleset",
     "normalized_indel_similarity",

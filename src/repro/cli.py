@@ -776,6 +776,12 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="shard workers in-process (thread) or forked worker "
                              "processes loading the cached artifact (process)")
     parser.add_argument("--backend", choices=("lazy", "numpy", "python"), default="lazy")
+    parser.add_argument("--scan-strategy", choices=("auto", "sfa", "overlap"),
+                        default="auto",
+                        help="shard parallelism contract: overlap chunking, "
+                             "zero-overlap SFA mappings, or auto (overlap for "
+                             "width-bounded rulesets, sfa for unbounded — see "
+                             "docs/parallelism.md)")
     parser.add_argument("--lazy-cache-size", type=int, default=None, metavar="N",
                         help="lazy-backend transition-cache budget in entries "
                              "(default: %d)" % DEFAULT_CACHE_SIZE)
@@ -822,6 +828,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             default_deadline=args.deadline,
             lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
             lazy_eviction=args.lazy_eviction,
+            scan_strategy=args.scan_strategy,
             allow_shutdown=not args.no_shutdown_op,
             metrics=not args.no_metrics,
             trace_requests=args.trace_requests,

@@ -16,6 +16,11 @@
   thread-scaling experiments.
 * :mod:`repro.engine.multithread` — multi-automata scheduling: a real
   thread pool plus a deterministic machine-model simulator.
+* :mod:`repro.engine.sfa` — composable chunk mappings (simultaneous run
+  from every entry state): exact zero-overlap data parallelism for any
+  ruleset (docs/parallelism.md).
+* :mod:`repro.engine.chunkscan` — chunk-parallel scanning over one
+  payload: overlap chunking or SFA mappings (``strategy=`` knob).
 """
 
 from repro.engine.counters import ExecutionStats
@@ -29,6 +34,7 @@ from repro.engine.multithread import (
     run_pool,
     simulate_parallel_latency,
 )
+from repro.engine.sfa import ChunkMapping, SfaScanner, fold_mappings
 
 __all__ = [
     "ExecutionStats",
@@ -43,4 +49,7 @@ __all__ = [
     "MachineModel",
     "run_pool",
     "simulate_parallel_latency",
+    "ChunkMapping",
+    "SfaScanner",
+    "fold_mappings",
 ]

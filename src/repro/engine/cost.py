@@ -40,6 +40,12 @@ class CostModel:
     c_char: float = 2.0
     c_trans: float = 0.3
     c_active: float = 0.2
+    #: per transition where the simultaneous-run (entry-pair) half of an
+    #: SFA mapping scan is live — the extra masked-OR width a mapping
+    #: pays over a plain scan of the same chunk (repro.engine.sfa; the
+    #: ``linear_ops`` counter).  Same order as ``c_trans``: both are one
+    #: AND/OR on a (wider) integer.
+    c_linear: float = 0.3
 
     def run_cost(self, stats: ExecutionStats) -> float:
         """Modelled execution time of one automaton run."""
@@ -48,6 +54,17 @@ class CostModel:
             + self.c_trans * stats.transitions_examined
             + self.c_active * stats.active_pair_total * stats.mask_limbs
         )
+
+    def mapping_run_cost(self, stats: ExecutionStats, linear_ops: int) -> float:
+        """Modelled time of one SFA mapping scan (repro.engine.sfa):
+        the const column costs exactly a plain run of the chunk; the
+        entry-pair columns add ``c_linear`` per live linear transition.
+        The ratio ``mapping_run_cost / run_cost`` is the mapping
+        overhead κ — data-parallel mapping scans beat a sequential scan
+        once the thread count exceeds κ (the crossover
+        ``pipeline.autotune.choose_scan_strategy`` measures).
+        """
+        return self.run_cost(stats) + self.c_linear * linear_ops
 
     def total_cost(self, runs: list[ExecutionStats]) -> float:
         """Sequential (single-thread) time for a list of runs."""

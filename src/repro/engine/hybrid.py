@@ -61,6 +61,9 @@ class HybridReport:
     counting_rules: int = 0
     mfsa_count: int = 0
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    #: chunk-parallel strategy the merged side ran under ("" = the
+    #: sequential run() path; see repro.engine.chunkscan)
+    scan_strategy: str = ""
 
 
 class HybridEngine:
@@ -94,13 +97,17 @@ class HybridEngine:
                 sub_patterns, CompileOptions(merging_factor=merging_factor, emit_anml=False)
             )
             self._merged_remap = dict(enumerate(self._merged_ids))
+            self._mfsas = list(compiled.mfsas)
             self._mfsa_engines = [
                 IMfantEngine(m, backend=backend, lazy_cache_size=lazy_cache_size)
                 for m in compiled.mfsas
             ]
             self._mfsa_count = len(compiled.mfsas)
         else:
+            self._mfsas = []
             self._mfsa_count = 0
+        self._backend = backend
+        self._lazy_cache_size = lazy_cache_size
 
         # Counting side: one engine per outlier rule.
         self._counting_engines = [
@@ -138,4 +145,60 @@ class HybridEngine:
                     report.stats.merge(result.stats)
                     matches |= result.matches
             sp.set(matches=len(matches))
+        return matches, report
+
+    def run_parallel(
+        self,
+        data: bytes | str,
+        num_threads: int = 4,
+        chunk_size: int = 4096,
+        scan_strategy: str = "auto",
+    ) -> tuple[set[tuple[int, int]], HybridReport]:
+        """Chunk-parallel :meth:`run`: the merged side scans through
+        :func:`repro.engine.chunkscan.chunk_scan` — overlap chunking for
+        width-bounded MFSAs, zero-overlap SFA mappings for unbounded
+        ones (``scan_strategy`` as in chunkscan; ``"auto"`` resolves per
+        MFSA) — while the counting outliers run sequentially (a counting
+        engine's register state does not chunk).  Matches are identical
+        to :meth:`run`; per-engine stats are not collected on the
+        chunked side (``report.stats`` covers the counting side only).
+        """
+        from repro.engine.chunkscan import chunk_scan, resolve_strategy
+
+        report = HybridReport(
+            merged_rules=len(self._merged_ids),
+            counting_rules=len(self._counting_ids),
+            mfsa_count=self._mfsa_count,
+        )
+        matches: set[tuple[int, int]] = set()
+        used: set[str] = set()
+        with obs.span(
+            "hybrid.run_parallel",
+            merged_rules=report.merged_rules,
+            counting_rules=report.counting_rules,
+            mfsas=report.mfsa_count,
+            threads=num_threads,
+        ) as sp:
+            with obs.span("hybrid.merged", engines=len(self._mfsas)):
+                for mfsa in self._mfsas:
+                    used.add(resolve_strategy(mfsa, scan_strategy))
+                    found = chunk_scan(
+                        mfsa,
+                        data,
+                        strategy=scan_strategy,
+                        chunk_size=chunk_size,
+                        num_threads=num_threads,
+                        backend=self._backend,
+                        lazy_cache_size=self._lazy_cache_size,
+                    )
+                    matches.update(
+                        (self._merged_remap[rule], end) for rule, end in found
+                    )
+            with obs.span("hybrid.counting", engines=len(self._counting_engines)):
+                for engine in self._counting_engines:
+                    result = engine.run(data)
+                    report.stats.merge(result.stats)
+                    matches |= result.matches
+            report.scan_strategy = "+".join(sorted(used))
+            sp.set(matches=len(matches), strategy=report.scan_strategy)
         return matches, report

@@ -118,6 +118,33 @@ def lpt_schedule_makespan(works: Sequence[float], num_threads: int) -> float:
     return list_schedule_makespan(sorted(works, reverse=True), num_threads)
 
 
+def map_pool(
+    tasks: Sequence[Callable[[], object]],
+    num_threads: int,
+    label: str = "map_pool",
+) -> list:
+    """Execute ``tasks`` on a real thread pool, preserving order.
+
+    The order-preserving sibling of :func:`run_pool` for workloads whose
+    results are *positional* rather than a set union — chunk mappings
+    composed left-to-right (:mod:`repro.engine.sfa`) being the driving
+    case.  Same observability contract: one ``label`` span wrapping
+    per-task ``<label>.worker`` child spans that close (marked) even
+    when a task raises; the exception propagates to the caller.
+    """
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    with obs.span(label, tasks=len(tasks), threads=num_threads) as pool_span:
+
+        def invoke(item: tuple[int, Callable[[], object]]) -> object:
+            index, task = item
+            with obs.span(f"{label}.worker", parent=pool_span, task=index):
+                return task()
+
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            return list(pool.map(invoke, enumerate(tasks)))
+
+
 def run_pool(
     runners: Sequence[Callable[[], RunResult]],
     num_threads: int,

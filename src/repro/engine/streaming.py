@@ -5,12 +5,27 @@ pieces.  :class:`StreamingMatcher` carries the iMFAnt activation state
 across ``feed()`` calls, so matches spanning chunk boundaries are found
 and offsets are absolute — feeding a stream in any chunking produces
 exactly the matches of a single-shot run (property-tested).
+
+ε-accepting rules match at *every* offset ``0..bytes_fed``; they are
+tracked as that single fact (the serve layer's ``all_offsets_rules``
+compaction) rather than one tuple per byte — :attr:`StreamingMatcher.
+matches` expands them on access, ``feed()`` returns only the non-ε
+matches a chunk produced.
+
+Out-of-order streams are supported through the SFA mapping algebra
+(:mod:`repro.engine.sfa`): a suffix whose prefix has not arrived yet can
+be scanned *now* into a :class:`~repro.engine.sfa.ChunkMapping` (via
+:attr:`StreamingMatcher.scanner`) and spliced in later with
+:meth:`StreamingMatcher.feed_mapping` — the mapping replays against
+whatever the activation state turns out to be, in O(state width) instead
+of a rescan.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
+from repro.engine.sfa import ChunkMapping, SfaScanner
 from repro.engine.tables import MfsaTables
 from repro.mfsa.model import Mfsa
 
@@ -19,13 +34,20 @@ class StreamingMatcher:
     """Incremental iMFAnt over one MFSA (pure-Python state machine)."""
 
     def __init__(self, mfsa: Mfsa, pop_on_final: bool = False) -> None:
+        self.mfsa = mfsa
         self.tables = MfsaTables.build(mfsa)
         self.pop_on_final = pop_on_final
+        self._scanner: Optional[SfaScanner] = None
+        # ε-rule slots stay in `hit` (pop_on_final must clear them like
+        # the engine does) but are never enumerated — they're the
+        # compact all_offsets_rules fact
+        rule_to_slot = {rule: slot for slot, rule in enumerate(self.tables.slot_to_rule)}
+        self._eps_slots = 0
+        for rule in self.tables.empty_matching_rules:
+            self._eps_slots |= 1 << rule_to_slot[rule]
         self._active: dict[int, int] = {}
         self._offset = 0
         self._matches: set[tuple[int, int]] = set()
-        for rule in self.tables.empty_matching_rules:
-            self._matches.add((rule, 0))
 
     @property
     def offset(self) -> int:
@@ -34,22 +56,49 @@ class StreamingMatcher:
 
     @property
     def matches(self) -> set[tuple[int, int]]:
-        """All matches reported so far (absolute end offsets)."""
-        return set(self._matches)
+        """All matches reported so far (absolute end offsets).
+
+        ε-accepting rules are stored compactly as "matches everywhere"
+        and expanded here — one tuple per consumed offset per such rule.
+        """
+        out = set(self._matches)
+        for rule in self.tables.empty_matching_rules:
+            out.update((rule, end) for end in range(self._offset + 1))
+        return out
+
+    @property
+    def all_offsets_rules(self) -> list[int]:
+        """Rules matching at every offset ``0..offset`` (ε-accepting),
+        kept out of the enumerated set — the compact form callers at
+        service scale should consume instead of :attr:`matches`."""
+        return sorted(self.tables.empty_matching_rules)
+
+    @property
+    def scanner(self) -> SfaScanner:
+        """The simultaneous-run scanner for this matcher's MFSA — use it
+        to pre-compute suffix mappings for :meth:`feed_mapping` (built
+        lazily; shares the matcher's tables)."""
+        if self._scanner is None:
+            self._scanner = SfaScanner(
+                self.mfsa, pop_on_final=self.pop_on_final, tables=self.tables
+            )
+        return self._scanner
 
     def feed(self, chunk: bytes | str) -> set[tuple[int, int]]:
-        """Consume one chunk; returns the matches it produced."""
+        """Consume one chunk; returns the non-ε matches it produced
+        (ε-accepting rules match at every offset by definition — read
+        them from :attr:`all_offsets_rules` / :attr:`matches`)."""
         payload = chunk.encode("latin-1") if isinstance(chunk, str) else chunk
         tables = self.tables
         by_symbol = tables.by_symbol
         init_mask = tables.init_mask
         final_mask = tables.final_mask
         slot_to_rule = tables.slot_to_rule
+        eps_slots = self._eps_slots
 
         new_matches: set[tuple[int, int]] = set()
         active = self._active
         position = self._offset
-        empty_rules = tables.empty_matching_rules
         for byte in payload:
             position += 1
             nxt: dict[int, int] = {}
@@ -61,19 +110,41 @@ class StreamingMatcher:
             for state, mask in nxt.items():
                 hit = mask & final_mask[state]
                 if hit:
-                    bits = hit
+                    bits = hit & ~eps_slots
                     while bits:
                         low = bits & -bits
                         new_matches.add((slot_to_rule[low.bit_length() - 1], position))
                         bits ^= low
                     if self.pop_on_final:
                         active[state] = mask & ~hit
-            for rule in empty_rules:
-                new_matches.add((rule, position))
         self._active = active
         self._offset = position
         self._matches |= new_matches
         return new_matches
+
+    def feed_mapping(self, mapping: ChunkMapping) -> set[tuple[int, int]]:
+        """Splice in a pre-computed chunk mapping (see module docstring).
+
+        Equivalent to ``feed(chunk)`` for the chunk the mapping was
+        scanned from — same matches (ε-rules aside, which neither
+        returns), same downstream behaviour — but O(state width) at
+        splice time: the bytes were already scanned, possibly before
+        this matcher even reached them, possibly on another machine
+        (mappings pickle; reattachment is signature-checked).
+        """
+        scanner = self.scanner
+        if mapping.scanner is not scanner:
+            mapping = scanner.attach(mapping)
+        found, exit_activation = scanner.apply(
+            mapping, self._active, base=self._offset
+        )
+        # the live projection is match-equivalent to the full activation
+        # (dead bits never move or report), so adopting it keeps every
+        # later feed()/feed_mapping() byte-identical to a single shot
+        self._active = exit_activation
+        self._offset += mapping.length
+        self._matches |= found
+        return found
 
     def feed_all(self, chunks: Iterable[bytes | str]) -> set[tuple[int, int]]:
         """Consume an iterable of chunks; returns all matches produced."""
@@ -87,5 +158,3 @@ class StreamingMatcher:
         self._active = {}
         self._offset = 0
         self._matches = set()
-        for rule in self.tables.empty_matching_rules:
-            self._matches.add((rule, 0))

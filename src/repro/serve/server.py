@@ -84,6 +84,11 @@ class ServeConfig:
     lazy_eviction: str = "flush"
     #: scan positions between deadline checks inside the engines
     deadline_stride: int = DEFAULT_DEADLINE_STRIDE
+    #: parallelism contract for the shard pool: "auto" keeps overlap
+    #: chunking for width-bounded rulesets and goes mapping-parallel
+    #: (zero overlap bytes, composable SFA mappings) for unbounded ones;
+    #: "sfa"/"overlap" force one — see docs/parallelism.md
+    scan_strategy: str = "auto"
     #: honour the protocol's ``shutdown`` op (CLI and tests; a hardened
     #: deployment would front this with real auth)
     allow_shutdown: bool = True
@@ -163,6 +168,7 @@ class MatchService:
             lazy_cache_size=self.config.lazy_cache_size,
             lazy_eviction=self.config.lazy_eviction,
             deadline_stride=self.config.deadline_stride,
+            scan_strategy=self.config.scan_strategy,
         )
         self.metrics = _Metrics()
         self.requests_handled = 0
@@ -549,6 +555,7 @@ class MatchService:
             "queue_depth": self.config.queue_depth,
             "queued": self._queue.qsize() if self._queue is not None else 0,
             "overlap": self.pool.overlap,
+            "strategy": self.pool.scan_strategy,
             "requests_handled": self.requests_handled,
             "requests_rejected": self.requests_rejected,
             "requests_partial": self.requests_partial,

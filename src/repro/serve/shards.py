@@ -40,9 +40,22 @@ them — so this module lifts chunkscan's overlap/stitch semantics into a
   the rule ids in ``all_offsets_rules`` instead.  Callers that want the
   materialized set use :meth:`ShardScanResult.full_matches`.
 
-A ruleset with an unbounded match width (``.*`` …) has no finite sound
-overlap; the pool then runs every scan as one sequential job (still
-through a worker, still governed) — callers keep one code path.
+Overlap planning requires a bounded match width.  A ruleset with an
+unbounded width (``.*`` …) has no finite sound overlap — historically
+the pool ran those scans as one *sequential* job.  The pool now carries
+a second strategy, ``scan_strategy="sfa"`` (:mod:`repro.engine.sfa`):
+each worker computes its slice's :class:`~repro.engine.sfa.ChunkMapping`
+— a simultaneous run from every possible entry activation — with **zero
+lead bytes**, workers complete in any order, and the dispatcher reduce
+threads exit activations through the mappings in O(shards × state
+width).  ``scan_strategy="auto"`` keeps the overlap fast path (each
+slice runs the fastest byte engine) for bounded rulesets and goes
+mapping-parallel exactly where overlap planning used to degrade to
+sequential.  A shard blowing its deadline under the mapping strategy
+still contributes its honest partial: the salvaged matches are the
+mapping's *const* part — genuine matches whatever the lost entry
+activation — and the reduce continues from the empty activation (a
+sound under-approximation, the step function being monotone).
 """
 
 from __future__ import annotations
@@ -59,7 +72,8 @@ import repro.obs as obs
 from repro.engine.counters import ExecutionStats
 from repro.engine.imfant import DEFAULT_DEADLINE_STRIDE, IMfantEngine
 from repro.engine.lazy import DEFAULT_CACHE_SIZE
-from repro.engine.chunkscan import ruleset_max_width
+from repro.engine.chunkscan import SCAN_STRATEGIES, ruleset_max_width
+from repro.engine.sfa import ChunkMapping, SfaScanner
 from repro.guard.degrade import BACKEND_LADDER, DegradationStep
 from repro.guard.errors import (
     AllocationFailed,
@@ -150,6 +164,8 @@ class ShardScanResult:
     timed_out_shards: list[int] = field(default_factory=list)
     #: ladder steps taken over the pool's lifetime
     degradations: list[DegradationStep] = field(default_factory=list)
+    #: parallelism contract that produced this result ("overlap" | "sfa")
+    strategy: str = "overlap"
 
     def full_matches(self) -> set[tuple[int, int]]:
         """The materialized match set, ``all_offsets_rules`` expanded.
@@ -172,7 +188,8 @@ _PROCESS_STATE: dict = {}
 
 
 def _process_init(artifact_path: str, backend: str, lazy_cache_size: int,
-                  lazy_eviction: str, deadline_stride: int) -> None:
+                  lazy_eviction: str, deadline_stride: int,
+                  strategy: str = "overlap") -> None:
     """Worker-process initializer: *load* the artifact, never recompile."""
     import json
 
@@ -180,9 +197,14 @@ def _process_init(artifact_path: str, backend: str, lazy_cache_size: int,
 
     data = json.loads(Path(artifact_path).read_text())
     mfsas = [mfsa_from_dict(doc) for doc in data["mfsas"]]
-    _PROCESS_STATE["engines"] = _build_engines(
-        mfsas, backend, lazy_cache_size, lazy_eviction, deadline_stride
-    )
+    if strategy == "sfa":
+        # mapping workers run the dedicated simultaneous-run interpreter;
+        # no byte engines (and no lazy caches) are needed
+        _PROCESS_STATE["scanners"] = _build_scanners(mfsas, deadline_stride)
+    else:
+        _PROCESS_STATE["engines"] = _build_engines(
+            mfsas, backend, lazy_cache_size, lazy_eviction, deadline_stride
+        )
 
 
 def _process_scan(args: tuple) -> tuple[set, ExecutionStats, bool, list]:
@@ -217,6 +239,83 @@ def _process_scan(args: tuple) -> tuple[set, ExecutionStats, bool, list]:
         timed_out=timed_out,
     )
     return matches, stats, timed_out, tracer.export_spans()
+
+
+def _process_scan_mapping(args: tuple) -> tuple[tuple, ExecutionStats, bool, list]:
+    """Mapping-strategy sibling of :func:`_process_scan`: compute the
+    segment's per-MFSA :class:`ChunkMapping`\\ s in a worker process.
+    Mappings are pure data and pickle home; the parent re-attaches them
+    to its own scanners (signature-checked)."""
+    segment, deadline_at, collect_stats, shard_index, trace = args
+    if trace is None:
+        payload, stats, timed_out = _scan_segment_mappings(
+            _PROCESS_STATE["scanners"], segment, deadline_at, collect_stats
+        )
+        return payload, stats, timed_out, []
+    from repro.obs.spans import Tracer
+
+    tracer = Tracer("repro-shard-worker")
+    started = time.perf_counter()
+    payload, stats, timed_out = _scan_segment_mappings(
+        _PROCESS_STATE["scanners"], segment, deadline_at, collect_stats
+    )
+    tracer.record_span(
+        "serve.worker_scan",
+        started,
+        time.perf_counter(),
+        trace_id=trace.get("trace_id"),
+        shard=shard_index,
+        bytes=len(segment),
+        timed_out=timed_out,
+    )
+    return payload, stats, timed_out, tracer.export_spans()
+
+
+def _build_scanners(
+    mfsas: Sequence[Mfsa],
+    deadline_stride: int = DEFAULT_DEADLINE_STRIDE,
+) -> list[SfaScanner]:
+    return [
+        SfaScanner(mfsa, deadline_stride=deadline_stride) for mfsa in mfsas
+    ]
+
+
+def _scan_segment_mappings(
+    scanners: Sequence[SfaScanner],
+    segment: bytes,
+    deadline_at: Optional[float],
+    collect_stats: bool,
+) -> tuple[tuple[list[Optional[ChunkMapping]], set], ExecutionStats, bool]:
+    """Compute one segment's mapping per MFSA; deadline-honest.
+
+    Returns ``((mappings, salvage), stats, timed_out)``.  On a blown
+    deadline the affected (and any remaining) mappings are ``None`` and
+    ``salvage`` holds the segment-relative *const* matches accumulated
+    before the abort — genuine matches of the scanned prefix regardless
+    of the true entry activation, so the caller can still report them.
+    """
+    mappings: list[Optional[ChunkMapping]] = []
+    salvage: set[tuple[int, int]] = set()
+    totals = ExecutionStats()
+    timed_out = False
+    for scanner in scanners:
+        if timed_out:
+            mappings.append(None)
+            continue
+        try:
+            scan = scanner.scan_chunk(
+                segment, collect_stats=collect_stats, deadline_at=deadline_at
+            )
+        except ScanDeadlineExceeded as exc:
+            timed_out = True
+            mappings.append(None)
+            if exc.partial is not None:
+                salvage |= exc.partial.matches
+                totals.merge(exc.partial.stats)
+            continue
+        mappings.append(scan.mapping)
+        totals.merge(scan.stats)
+    return (mappings, salvage), totals, timed_out
 
 
 def _build_engines(
@@ -288,6 +387,7 @@ class ShardPool:
         lazy_eviction: str = "flush",
         deadline_stride: int = DEFAULT_DEADLINE_STRIDE,
         overlap: Optional[int] = "auto",  # type: ignore[assignment]
+        scan_strategy: str = "auto",
     ) -> None:
         if num_shards < 1:
             raise UsageError(f"num_shards must be >= 1 (got {num_shards})")
@@ -297,6 +397,11 @@ class ShardPool:
             raise UsageError(f"unknown backend {backend!r}; choose from {BACKEND_LADDER}")
         if mode == "process" and artifact.path is None:
             raise UsageError("process-mode shards need an on-disk artifact to load")
+        if scan_strategy not in SCAN_STRATEGIES:
+            raise UsageError(
+                f"unknown scan strategy {scan_strategy!r} "
+                f"(choose from {SCAN_STRATEGIES})"
+            )
         self.artifact = artifact
         self.num_shards = num_shards
         self.backend = backend
@@ -304,11 +409,20 @@ class ShardPool:
         self.lazy_cache_size = lazy_cache_size
         self.lazy_eviction = lazy_eviction
         self.deadline_stride = deadline_stride
-        #: max match width over the ruleset; None = unbounded (sequential)
+        #: max match width over the ruleset; None = unbounded
         self.overlap: Optional[int] = (
             ruleset_max_width(artifact.patterns) if overlap == "auto" else overlap
         )
+        #: resolved parallelism contract: overlap fast path when the
+        #: width is bounded, zero-lead mapping scan when it is not (the
+        #: case overlap planning used to serve sequentially)
+        self.scan_strategy: str = (
+            scan_strategy
+            if scan_strategy != "auto"
+            else ("overlap" if self.overlap is not None else "sfa")
+        )
         self.degradations: list[DegradationStep] = []
+        self._scanners: Optional[list[SfaScanner]] = None
         self._lock = Lock()
         self._local = local()
         self._generation = 0  # bumped on degradation; invalidates worker forks
@@ -343,9 +457,21 @@ class ShardPool:
                         self.lazy_cache_size,
                         self.lazy_eviction,
                         self.deadline_stride,
+                        self.scan_strategy,
                     ),
                 )
         return self._executor
+
+    def _ensure_scanners(self) -> list[SfaScanner]:
+        """The pool's simultaneous-run scanners (one per MFSA) — built
+        once, immutable, safely shared by every worker thread and used
+        by the dispatcher reduce to attach/apply process-mode mappings."""
+        with self._lock:
+            if self._scanners is None:
+                self._scanners = _build_scanners(
+                    self.artifact.mfsas, self.deadline_stride
+                )
+            return self._scanners
 
     def _degrade(self, reason: str) -> bool:
         """Step the whole pool down one backend (see GuardedMatcher)."""
@@ -430,6 +556,28 @@ class ShardPool:
             span.set(timed_out=timed_out)
         return matches, stats, timed_out, []
 
+    def _thread_scan_mapping(
+        self,
+        segment: bytes,
+        deadline_at: Optional[float],
+        collect_stats: bool,
+        shard_index: int,
+        trace_id: Optional[str],
+        parent: Optional[obs.Span],
+    ) -> tuple[tuple, ExecutionStats, bool, list]:
+        with obs.span(
+            "serve.worker_scan",
+            parent=parent,
+            trace_id=trace_id,
+            shard=shard_index,
+            bytes=len(segment),
+        ) as span:
+            payload, stats, timed_out = _scan_segment_mappings(
+                self._ensure_scanners(), segment, deadline_at, collect_stats
+            )
+            span.set(timed_out=timed_out)
+        return payload, stats, timed_out, []
+
     def _recover_workers(self, failure: BaseException) -> bool:
         """Replace dead process workers and step the ladder; False when
         the ladder is exhausted (the caller re-raises).
@@ -468,7 +616,13 @@ class ShardPool:
         mode) into the caller's request trace.
         """
         data = payload.encode("latin-1") if isinstance(payload, str) else payload
-        if self.overlap is None:
+        mapping_mode = self.scan_strategy == "sfa"
+        if mapping_mode:
+            # zero lead bytes: mappings make workers truly independent
+            jobs = plan_shards(len(data), self.num_shards, 0)
+        elif self.overlap is None:
+            # explicit overlap strategy on an unbounded ruleset: the
+            # legacy sequential fallback (still governed, one worker)
             jobs = [ShardJob(0, 0, len(data))]
         else:
             jobs = plan_shards(len(data), self.num_shards, self.overlap)
@@ -482,6 +636,7 @@ class ShardPool:
             bytes=len(data),
             backend=self.backend,
             mode=self.mode,
+            strategy=self.scan_strategy,
         ) as span:
             registry = obs.get_registry()
             scan_parent = span if isinstance(span, obs.Span) else None
@@ -506,13 +661,20 @@ class ShardPool:
                 for index, job in enumerate(jobs):
                     segment = data[job.segment_slice]
                     if self.mode == "thread":
+                        thread_scan = (
+                            self._thread_scan_mapping if mapping_mode
+                            else self._thread_scan
+                        )
                         future = executor.submit(
-                            self._thread_scan, segment, deadline_at, collect_stats,
+                            thread_scan, segment, deadline_at, collect_stats,
                             index, trace_id, scan_parent,
                         )
                     else:
+                        process_scan = (
+                            _process_scan_mapping if mapping_mode else _process_scan
+                        )
                         future = executor.submit(
-                            _process_scan,
+                            process_scan,
                             (segment, deadline_at, collect_stats, index, trace_request),
                         )
                     if registry is not None:
@@ -541,13 +703,36 @@ class ShardPool:
             matches: set[tuple[int, int]] = set()
             totals = ExecutionStats()
             timed_out: list[int] = []
+            # mapping reduce state: per-MFSA entry activation, threaded
+            # through the shards in payload order (workers may well have
+            # finished in any other order — composition doesn't care)
+            scanners = self._ensure_scanners() if mapping_mode else []
+            activations: list[dict] = [{} for _ in scanners]
             for index, (job, outcome) in enumerate(zip(jobs, outcomes)):
-                job_matches, job_stats, job_timed_out, span_rows = outcome
+                job_payload, job_stats, job_timed_out, span_rows = outcome
                 if span_rows:
                     tracer = obs.get_tracer()
                     if tracer is not None:
                         tracer.adopt_spans(span_rows, parent=scan_parent)
-                matches |= rebase_matches(job_matches, job)
+                if mapping_mode:
+                    job_mappings, salvage = job_payload
+                    for slot, scanner in enumerate(scanners):
+                        mapping = job_mappings[slot]
+                        if mapping is None:
+                            # deadline hit: const matches were salvaged;
+                            # continue from the empty activation (sound
+                            # under-approximation — see module docstring)
+                            activations[slot] = {}
+                            continue
+                        if mapping.scanner is None:  # crossed a process
+                            mapping = scanner.attach(mapping)
+                        found, activations[slot] = scanner.apply(
+                            mapping, activations[slot], base=job.start
+                        )
+                        matches |= found
+                    matches |= {(rule, end + job.start) for rule, end in salvage}
+                else:
+                    matches |= rebase_matches(job_payload, job)
                 totals.merge(job_stats)
                 if job_timed_out:
                     timed_out.append(index)
@@ -602,6 +787,7 @@ class ShardPool:
             partial=bool(timed_out),
             timed_out_shards=timed_out,
             degradations=list(self.degradations),
+            strategy=self.scan_strategy,
         )
 
     # -- lifecycle ---------------------------------------------------------

@@ -1,11 +1,19 @@
-"""Tests for chunk-parallel scanning."""
+"""Tests for chunk-parallel scanning (overlap and SFA-mapping strategies)."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine.chunkscan import chunk_scan, ruleset_max_width
+from repro.engine.chunkscan import (
+    chunk_scan,
+    mapping_chunk_scan,
+    mfsa_max_width,
+    overlap_chunk_scan,
+    resolve_strategy,
+    ruleset_max_width,
+)
 from repro.engine.imfant import IMfantEngine
+from repro.guard.errors import UsageError
 from repro.mfsa.merge import merge_fsas
 
 from conftest import compile_ruleset_fsas, ere_patterns
@@ -26,12 +34,31 @@ class TestRulesetMaxWidth:
         assert ruleset_max_width([]) == 0
 
 
+class TestMfsaMaxWidth:
+    def test_bounded_matches_source_bound(self):
+        patterns = ["abc", "a{2,5}", "[xy]z"]
+        width = mfsa_max_width(build(patterns))
+        assert width is not None
+        assert width >= ruleset_max_width(patterns)
+
+    def test_unbounded_is_none(self):
+        assert mfsa_max_width(build(["abc", "a+b"])) is None
+        assert mfsa_max_width(build(["x.*y"])) is None
+
+    def test_strategy_resolution(self):
+        assert resolve_strategy(build(["abc"])) == "overlap"
+        assert resolve_strategy(build(["a.*b"])) == "sfa"
+        assert resolve_strategy(build(["abc"]), "sfa") == "sfa"
+        with pytest.raises(UsageError):
+            resolve_strategy(build(["abc"]), "bogus")
+
+
 class TestChunkScan:
     def test_boundary_straddling_match(self):
         patterns = ["needle"]
         mfsa = build(patterns)
         stream = b"x" * 4094 + b"needle" + b"y" * 100  # straddles 4096
-        got = chunk_scan(mfsa, stream, overlap=6, chunk_size=4096)
+        got = chunk_scan(mfsa, stream, chunk_size=4096)
         assert got == {(0, 4100)}
 
     def test_matches_equal_single_shot(self):
@@ -39,33 +66,68 @@ class TestChunkScan:
         mfsa = build(patterns)
         stream = (b"abxyzabcd" * 300)
         expected = IMfantEngine(mfsa).run(stream).matches
-        got = chunk_scan(mfsa, stream, overlap=ruleset_max_width(patterns),
-                         chunk_size=256, num_threads=4)
+        got = chunk_scan(mfsa, stream, chunk_size=256, num_threads=4)
         assert got == expected
 
-    def test_unbounded_falls_back_sequential(self):
+    def test_unbounded_scans_data_parallel(self):
+        # the case the old code served sequentially: zero overlap bytes,
+        # mapping composition, byte-identical matches
         patterns = ["a.*b"]
         mfsa = build(patterns)
         stream = b"a" + b"x" * 500 + b"b"
-        got = chunk_scan(mfsa, stream, overlap=ruleset_max_width(patterns),
-                         chunk_size=64)
+        assert resolve_strategy(mfsa) == "sfa"
+        got = chunk_scan(mfsa, stream, chunk_size=64)
         assert got == IMfantEngine(mfsa).run(stream).matches
 
     def test_small_stream_single_shot(self):
         mfsa = build(["ab"])
-        assert chunk_scan(mfsa, b"ab", overlap=2, chunk_size=4096) == {(0, 2)}
+        assert chunk_scan(mfsa, b"ab", chunk_size=4096) == {(0, 2)}
 
     def test_chunk_size_must_exceed_overlap(self):
         mfsa = build(["abcd"])
         with pytest.raises(ValueError):
-            chunk_scan(mfsa, b"x" * 10_000, overlap=64, chunk_size=64)
+            chunk_scan(mfsa, b"x" * 10_000, strategy="overlap", overlap=64,
+                       chunk_size=64)
 
     def test_empty_matching_rule_full_range(self):
         patterns = ["a*", "zq"]
         mfsa = build(patterns)
         stream = b"b" * 600
-        got = chunk_scan(mfsa, stream, overlap=2, chunk_size=256)
+        got = chunk_scan(mfsa, stream, chunk_size=256)
         assert got == IMfantEngine(mfsa).run(stream).matches
+
+    def test_forced_sfa_on_bounded_ruleset(self):
+        patterns = ["ab", "a[bc]d", "xyz"]
+        mfsa = build(patterns)
+        stream = (b"abxyzabcd" * 300)
+        expected = IMfantEngine(mfsa).run(stream).matches
+        assert chunk_scan(mfsa, stream, strategy="sfa", chunk_size=256) == expected
+
+    def test_overlap_rejects_unbounded(self):
+        mfsa = build(["a.*b"])
+        with pytest.raises(UsageError):
+            overlap_chunk_scan(mfsa, b"ab" * 1000, chunk_size=128)
+
+
+class TestMappingChunkScan:
+    def test_zero_overlap_boundary_match(self):
+        mfsa = build(["needle"])
+        stream = b"x" * 61 + b"needle" + b"y" * 61  # straddles every cut
+        for chunk_size in (32, 64, 67):
+            got = mapping_chunk_scan(mfsa, stream, chunk_size=chunk_size)
+            assert got == {(0, 67)}
+
+    def test_unbounded_mixed_ruleset(self):
+        patterns = ["a.*b", "ab", "[ab]+c"]
+        mfsa = build(patterns)
+        stream = (b"aabcabxb" * 217)
+        expected = IMfantEngine(mfsa).run(stream).matches
+        got = mapping_chunk_scan(mfsa, stream, chunk_size=100, num_threads=4)
+        assert got == expected
+
+    def test_empty_payload(self):
+        mfsa = build(["a*", "bc"])
+        assert mapping_chunk_scan(mfsa, b"") == IMfantEngine(mfsa).run(b"").matches
 
 
 @given(st.data())
@@ -78,9 +140,12 @@ def test_chunkscan_equivalence_property(data):
     chunk_size = data.draw(st.sampled_from([64, 100, 257]))
 
     mfsa = build(patterns)
-    overlap = ruleset_max_width(patterns)
-    if overlap is not None and chunk_size <= overlap:
-        chunk_size = overlap + 16
-    got = chunk_scan(mfsa, stream, overlap=overlap, chunk_size=chunk_size,
-                     num_threads=3)
-    assert got == IMfantEngine(mfsa).run(stream).matches
+    width = mfsa_max_width(mfsa)
+    if width is not None and chunk_size <= width:
+        chunk_size = width + 16
+    expected = IMfantEngine(mfsa).run(stream).matches
+    # auto strategy (overlap for bounded, sfa for unbounded)
+    assert chunk_scan(mfsa, stream, chunk_size=chunk_size, num_threads=3) == expected
+    # forced sfa must agree regardless of boundedness
+    assert chunk_scan(mfsa, stream, strategy="sfa", chunk_size=chunk_size,
+                      num_threads=3) == expected

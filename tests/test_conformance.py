@@ -192,6 +192,55 @@ def test_shard_pool_equals_single_pass(compiled_builtins, num_shards):
 
 
 @pytest.mark.serve
+@pytest.mark.sfa
+@pytest.mark.parametrize("name,strategy", [
+    ("dotstar_rules", "auto"),   # unbounded → auto resolves to mapping scans
+    ("tokens_exact", "sfa"),     # bounded but forced onto the mapping path
+])
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_shard_pool_sfa_equals_single_pass(compiled_builtins, name, strategy,
+                                           num_shards):
+    """Mapping-mode sharding (zero overlap bytes) must stay byte-identical
+    to the single-shot oracle — including on unbounded rulesets, where
+    the overlap planner previously fell back to a sequential scan."""
+    from repro.serve.artifacts import Artifact, ruleset_key
+    from repro.serve.shards import ShardPool
+
+    patterns, mfsas = compiled_builtins[name]
+    if name == "dotstar_rules":
+        assert ruleset_max_width(patterns) is None  # genuinely unbounded
+    payload = _demo_stream(patterns, STREAM_BYTES)
+
+    artifact = Artifact(
+        key=ruleset_key(patterns),
+        patterns=list(patterns),
+        mfsas=list(mfsas),
+        loaded_from_cache=False,
+    )
+    with ShardPool(artifact, num_shards=num_shards,
+                   scan_strategy=strategy) as pool:
+        assert pool.scan_strategy == "sfa"
+        result = pool.scan(payload)
+    assert result.shards == num_shards
+    assert result.strategy == "sfa"
+    assert not result.partial
+    assert result.matches == _oracle(mfsas, payload)
+
+    single = Artifact(
+        key=ruleset_key(patterns), patterns=list(patterns),
+        mfsas=list(mfsas), loaded_from_cache=False,
+    )
+    with ShardPool(single, num_shards=num_shards,
+                   scan_strategy=strategy) as pool:
+        first = pool.scan(payload, single_match=True)
+    expected = {}
+    for rule, end in result.matches:
+        if rule not in expected or end < expected[rule]:
+            expected[rule] = end
+    assert first.matches == {(r, e) for r, e in expected.items()}
+
+
+@pytest.mark.serve
 def test_serve_socket_round_trip_equals_single_process(compiled_builtins, tmp_path):
     """End to end: repro serve + client == single-process match, ≥2 shards."""
     from repro.serve import ArtifactStore, MatchClient, ServeConfig, ServerThread

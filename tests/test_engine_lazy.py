@@ -191,7 +191,8 @@ class TestPlumbing:
         mfsa = build(patterns)
         data = "abcadxbcabcd" * 200
         expected = IMfantEngine(mfsa).run(data).matches
-        got = chunk_scan(mfsa, data, ruleset_max_width(patterns),
+        got = chunk_scan(mfsa, data, strategy="overlap",
+                         overlap=ruleset_max_width(patterns),
                          chunk_size=256, num_threads=4, backend="lazy",
                          lazy_cache_size=64)
         assert got == expected

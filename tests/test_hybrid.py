@@ -79,6 +79,40 @@ class TestMatching:
         assert report.mfsa_count == 3
 
 
+class TestRunParallel:
+    def test_matches_equal_sequential_run(self):
+        engine = HybridEngine(["abc", "a.*b", "x{40,60}y", "(ab)+"])
+        data = b"abc" + b"a" + b"q" * 100 + b"b" + b"x" * 50 + b"y" + b"abab" * 20
+        sequential, _ = engine.run(data)
+        parallel, report = engine.run_parallel(data, num_threads=4, chunk_size=32)
+        assert parallel == sequential
+        assert report.scan_strategy  # the chunked path records what ran
+
+    def test_auto_resolves_per_mfsa(self):
+        # bounded-only merged side: auto keeps overlap chunking
+        engine = HybridEngine(["abc", "defg"])
+        _, report = engine.run_parallel(b"zabcdefgz" * 40, chunk_size=64)
+        assert report.scan_strategy == "overlap"
+        # an unbounded rule in the merge flips it to mapping scans
+        engine = HybridEngine(["abc", "a.*b"])
+        _, report = engine.run_parallel(b"zabcdefgz" * 40, chunk_size=64)
+        assert report.scan_strategy == "sfa"
+
+    def test_forced_strategy_forwarded(self):
+        engine = HybridEngine(["abc", "defg"])
+        data = b"zabcdefgz" * 40
+        sequential, _ = engine.run(data)
+        parallel, report = engine.run_parallel(
+            data, chunk_size=64, scan_strategy="sfa"
+        )
+        assert parallel == sequential
+        assert report.scan_strategy == "sfa"
+
+    def test_sequential_report_strategy_empty(self):
+        _, report = HybridEngine(["ab"]).run("ab")
+        assert report.scan_strategy == ""
+
+
 @given(st.data())
 @settings(max_examples=50, deadline=None)
 def test_hybrid_equals_baseline_property(data):

@@ -1,0 +1,223 @@
+"""Algebraic properties of SFA chunk mappings (repro.engine.sfa).
+
+The mapping layer's whole correctness argument rests on three laws:
+
+* ``compose`` is **associative** — workers may reduce their chunk
+  mappings in any grouping;
+* ``identity()`` is a two-sided **unit** — empty chunks are no-ops;
+* cutting a stream anywhere and folding the pieces' mappings is
+  **byte-identical** to the single-shot engine — the law the serve and
+  streaming layers rely on for zero-overlap data parallelism.
+
+The laws hold as plain dataclass equality (not just observational
+equivalence) because the scanner prunes dead (state, slot) pairs up
+front.  Hypothesis drives random rulesets/cuts; the curated builtin
+rulesets — including the unbounded ``dotstar_rules`` that the overlap
+planner cannot chunk at all — are each pushed through arbitrary cuts
+against the oracle.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import _demo_stream
+from repro.datasets import list_builtin, load_builtin
+from repro.engine.imfant import IMfantEngine
+from repro.engine.sfa import SfaScanner, expand_runs, fold_mappings
+from repro.mfsa.merge import merge_fsas
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+
+from conftest import compile_ruleset_fsas, ere_patterns, input_strings
+
+pytestmark = pytest.mark.sfa
+
+
+def build(patterns):
+    return merge_fsas(compile_ruleset_fsas(patterns))
+
+
+def payload_of(text):
+    return text.encode("latin-1") if isinstance(text, str) else text
+
+
+def oracle_non_eps(scanner, mfsa, text):
+    """Single-shot matches minus ε-rules (the mapping layer's contract:
+    ε-accepting rules are the all-offsets fact, completed by callers)."""
+    eps = set(scanner.tables.empty_matching_rules)
+    return {
+        (rule, end)
+        for rule, end in IMfantEngine(mfsa).run(text).matches
+        if rule not in eps
+    }
+
+
+def fold_cuts(scanner, payload, cuts):
+    """Scan each cut piece, fold the mappings, return absolute matches."""
+    bounds = [0] + sorted(cuts) + [len(payload)]
+    pieces = [payload[a:b] for a, b in zip(bounds, bounds[1:])]
+    scans = [scanner.scan_chunk(p).mapping for p in pieces]
+    matches, _ = fold_mappings(scans, [len(p) for p in pieces], scanner)
+    return matches
+
+
+# ---------------------------------------------------------------------------
+# Monoid laws (hypothesis)
+# ---------------------------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_compose_is_associative(data):
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=3))
+    text = payload_of(data.draw(input_strings()))
+    i = data.draw(st.integers(min_value=0, max_value=len(text)))
+    j = data.draw(st.integers(min_value=i, max_value=len(text)))
+
+    scanner = SfaScanner(build(patterns))
+    a = scanner.scan_chunk(text[:i]).mapping
+    b = scanner.scan_chunk(text[i:j]).mapping
+    c = scanner.scan_chunk(text[j:]).mapping
+    assert scanner.compose(scanner.compose(a, b), c) == scanner.compose(
+        a, scanner.compose(b, c)
+    )
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_identity_is_a_unit(data):
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=3))
+    text = payload_of(data.draw(input_strings()))
+
+    scanner = SfaScanner(build(patterns))
+    m = scanner.scan_chunk(text).mapping
+    e = scanner.identity()
+    assert scanner.compose(e, m) == m
+    assert scanner.compose(m, e) == m
+    assert scanner.compose(e, e) == e
+    # identity is what an empty chunk scans to
+    assert scanner.scan_chunk(b"").mapping == e
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_arbitrary_cuts_equal_oneshot(data):
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=3))
+    text = data.draw(input_strings())
+    payload = payload_of(text)
+    cut_count = data.draw(st.integers(min_value=0, max_value=5))
+    cuts = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(payload)),
+            min_size=cut_count,
+            max_size=cut_count,
+        )
+    )
+
+    mfsa = build(patterns)
+    scanner = SfaScanner(mfsa)
+    assert fold_cuts(scanner, payload, cuts) == oracle_non_eps(scanner, mfsa, text)
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_composed_mapping_applies_like_the_fold(data):
+    """compose-then-apply equals apply-per-chunk: the dispatcher may
+    reduce mappings pairwise (tree reduce) or left-fold them."""
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=3))
+    text = payload_of(data.draw(input_strings()))
+    cut = data.draw(st.integers(min_value=0, max_value=len(text)))
+
+    scanner = SfaScanner(build(patterns))
+    a = scanner.scan_chunk(text[:cut]).mapping
+    b = scanner.scan_chunk(text[cut:]).mapping
+
+    via_fold, fold_exit = fold_mappings(
+        [a, b], [a.length, b.length], scanner
+    )
+    via_compose, compose_exit = scanner.apply(scanner.compose(a, b))
+    assert via_compose == via_fold
+    assert compose_exit == fold_exit
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_pop_on_final_cuts_equal_oneshot(data):
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=3))
+    text = data.draw(input_strings())
+    payload = payload_of(text)
+    cut = data.draw(st.integers(min_value=0, max_value=len(payload)))
+
+    mfsa = build(patterns)
+    scanner = SfaScanner(mfsa, pop_on_final=True)
+    eps = set(scanner.tables.empty_matching_rules)
+    expected = {
+        (rule, end)
+        for rule, end in IMfantEngine(mfsa, pop_on_final=True).run(text).matches
+        if rule not in eps
+    }
+    assert fold_cuts(scanner, payload, [cut]) == expected
+
+
+# ---------------------------------------------------------------------------
+# Curated surface: every builtin ruleset, including unbounded ones
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", [
+    "dotstar_rules",
+    "http_signatures",
+    "log_patterns",
+    "protein_motifs",
+    "range_rules",
+    "tokens_exact",
+])
+@pytest.mark.parametrize("cuts", [1, 3, 7])
+def test_builtin_ruleset_cuts_equal_oneshot(name, cuts):
+    if name not in list_builtin():
+        pytest.skip(f"builtin ruleset {name!r} not shipped")
+    patterns = list(load_builtin(name).patterns)
+    compiled = compile_ruleset(patterns, CompileOptions(emit_anml=False))
+    payload = _demo_stream(patterns, 2048)
+    # deliberately unequal pieces, including a zero-length one
+    bounds = sorted((len(payload) * k * k) // (cuts + 1) ** 2 for k in range(1, cuts + 1))
+
+    for mfsa in compiled.mfsas:
+        scanner = SfaScanner(mfsa)
+        got = fold_cuts(scanner, payload, bounds)
+        assert got == oracle_non_eps(scanner, mfsa, payload.decode("latin-1")), (
+            f"{name}: fold over {cuts} cut(s) diverged from single shot"
+        )
+
+
+def test_eps_rules_are_the_all_offsets_fact():
+    """ε-accepting rules never appear in mapping matches — they are the
+    compact all-offsets fact the caller completes (serve: eps_rules)."""
+    mfsa = build(["a*", "ab"])
+    scanner = SfaScanner(mfsa)
+    payload = b"xabx"
+    got = fold_cuts(scanner, payload, [2])
+    assert got == {(1, 3)}
+    oracle = IMfantEngine(mfsa).run("xabx").matches
+    eps_expansion = {(0, e) for e in range(len(payload) + 1)}
+    assert got | eps_expansion == oracle
+
+
+def test_run_compression_round_trips():
+    scanner = SfaScanner(build(["a"]))
+    mapping = scanner.scan_chunk(b"aaabaa").mapping
+    ((runs),) = [runs for runs in [mapping.const_matches[0]]]
+    assert list(expand_runs(runs)) == [1, 2, 3, 5, 6]
+    assert runs == ((1, 3), (5, 6))  # canonical inclusive ranges
+
+
+def test_detached_pickle_folds_after_attach():
+    mfsa = build(["ab+"])
+    scanner = SfaScanner(mfsa)
+    detached = pickle.loads(pickle.dumps(scanner.scan_chunk(b"abb").mapping))
+    assert detached.scanner is None
+    mapping = scanner.attach(detached)
+    matches, _ = fold_mappings([mapping], [3], scanner)
+    assert matches == {(0, 2), (0, 3)}

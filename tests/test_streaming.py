@@ -81,6 +81,110 @@ class TestStreamingMatcher:
         assert matcher.matches == engine.run("abbb").matches
 
 
+class TestEpsCompaction:
+    def test_eps_rules_not_enumerated_internally(self):
+        # the old hot loop added one tuple per ε-rule per byte; the
+        # compact form stores the "matches everywhere" fact once
+        mfsa = build(["a*", "b"])
+        matcher = StreamingMatcher(mfsa)
+        matcher.feed(b"x" * 10_000)
+        assert len(matcher._matches) == 0  # no enumerated ε tuples
+        assert matcher.all_offsets_rules == [0]
+        assert (0, 0) in matcher.matches and (0, 10_000) in matcher.matches
+        assert len(matcher.matches) == 10_001
+
+    def test_feed_returns_non_eps_only(self):
+        mfsa = build(["a*", "b"])
+        matcher = StreamingMatcher(mfsa)
+        assert matcher.feed("ab") == {(1, 2)}
+
+    def test_expansion_matches_oneshot(self):
+        mfsa = build(["(xy)*", "ab"])
+        matcher = StreamingMatcher(mfsa)
+        matcher.feed("xyab")
+        assert matcher.matches == IMfantEngine(mfsa).run("xyab").matches
+
+
+class TestFeedMapping:
+    def test_splice_equals_feed(self):
+        mfsa = build(["hel+o", "lo"])
+        a = StreamingMatcher(mfsa)
+        b = StreamingMatcher(mfsa)
+        # suffix mapping computed before its prefix is fed
+        suffix = b.scanner.scan_chunk(b"loyy").mapping
+        a.feed("xxhel")
+        b.feed("xxhel")
+        got = b.feed_mapping(suffix)
+        assert got == a.feed("loyy")
+        assert b.matches == a.matches and b.offset == a.offset
+        # and the stream continues identically after the splice
+        assert b.feed("helo") == a.feed("helo")
+
+    def test_out_of_order_pipeline(self):
+        # scan every chunk's mapping up front (any order), splice in order
+        mfsa = build(["a.*b", "ab"])
+        stream = b"a" + b"x" * 200 + b"b" + b"ab" * 30
+        chunks = [stream[i : i + 37] for i in range(0, len(stream), 37)]
+        matcher = StreamingMatcher(mfsa)
+        mappings = [matcher.scanner.scan_chunk(c).mapping for c in reversed(chunks)]
+        for mapping in reversed(mappings):
+            matcher.feed_mapping(mapping)
+        assert matcher.matches == IMfantEngine(mfsa).run(stream).matches
+
+    def test_detached_mapping_reattaches(self):
+        import pickle
+
+        mfsa = build(["ab+"])
+        matcher = StreamingMatcher(mfsa)
+        mapping = pickle.loads(
+            pickle.dumps(matcher.scanner.scan_chunk(b"abbb").mapping)
+        )
+        assert mapping.scanner is None
+        assert matcher.feed_mapping(mapping) == {(0, 2), (0, 3), (0, 4)}
+
+    def test_wrong_automaton_rejected(self):
+        from repro.guard.errors import UsageError
+
+        matcher = StreamingMatcher(build(["ab"]))
+        other = StreamingMatcher(build(["cd"]))
+        mapping = other.scanner.scan_chunk(b"cd").mapping
+        with pytest.raises(UsageError):
+            matcher.feed_mapping(mapping)
+
+    def test_pop_on_final_splice(self):
+        mfsa = build(["ab+"])
+        a = StreamingMatcher(mfsa, pop_on_final=True)
+        b = StreamingMatcher(mfsa, pop_on_final=True)
+        a.feed("abbb")
+        b.feed_mapping(b.scanner.scan_chunk(b"abbb").mapping)
+        assert b.matches == a.matches
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_mixed_feed_and_mapping_equals_oneshot(data):
+    patterns = data.draw(st.lists(ere_patterns(), min_size=1, max_size=3))
+    text = data.draw(input_strings())
+    cut_count = data.draw(st.integers(min_value=0, max_value=4))
+    cuts = sorted(data.draw(
+        st.lists(st.integers(min_value=0, max_value=len(text)),
+                 min_size=cut_count, max_size=cut_count)))
+
+    mfsa = build(patterns)
+    expected = IMfantEngine(mfsa).run(text).matches
+
+    matcher = StreamingMatcher(mfsa)
+    previous = 0
+    for index, cut in enumerate(cuts + [len(text)]):
+        chunk = text[previous:cut]
+        if index % 2 == 0:
+            matcher.feed(chunk)
+        else:
+            matcher.feed_mapping(matcher.scanner.scan_chunk(chunk).mapping)
+        previous = cut
+    assert matcher.matches == expected
+
+
 @given(st.data())
 @settings(max_examples=80, deadline=None)
 def test_any_chunking_equals_oneshot(data):
