@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke loadgen-smoke sfa-smoke ci clean
+.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke loadgen-smoke sfa-smoke dense-smoke ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -78,8 +78,18 @@ sfa-smoke:
 	PYTHONPATH=src pytest tests/ -m sfa -q
 	PYTHONPATH=src timeout 600 python benchmarks/bench_sfa_scaling.py --smoke
 
+# Dense-tier smoke: the dense-marked suite (byte-class edge cases,
+# promotion gates, mid-buffer de-opt parity, guard integration, bulk
+# SFA kernel), then the dense bench in smoke mode — which asserts
+# byte-identical matches and a sparse-stream speedup floor over the
+# warm lazy backend.
+dense-smoke:
+	PYTHONPATH=src pytest tests/ -m dense -q
+	PYTHONPATH=src timeout 600 python benchmarks/bench_dense.py --smoke
+
 # What .github/workflows/ci.yml runs, for local use: the tier-1 suite
-# plus the observability, governance, serving, loadgen and SFA smokes.
+# plus the observability, governance, serving, loadgen, SFA and dense
+# smokes.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) obs-smoke
@@ -87,6 +97,7 @@ ci:
 	$(MAKE) serve-smoke
 	$(MAKE) loadgen-smoke
 	$(MAKE) sfa-smoke
+	$(MAKE) dense-smoke
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \

@@ -1,6 +1,6 @@
-"""Lazy-DFA configuration-cache benchmark: python vs numpy vs lazy.
+"""Lazy-DFA configuration-cache benchmark: python vs numpy vs lazy vs dense.
 
-Measures per-builtin-ruleset scan throughput of the three iMFAnt
+Measures per-builtin-ruleset scan throughput of the four iMFAnt
 backends (``merging_factor=0``, i.e. one MFSA per ruleset) on a
 deterministic stream that mixes ruleset literal material with noise
 (the same generator ``repro obs`` demos with), plus the lazy backend's
@@ -8,8 +8,11 @@ cache profile: hit rate, distinct configurations, evictions/flushes.
 
 The lazy backend is measured **warm** (one priming pass before timing) —
 the steady state a long-lived DPI process operates in — and also cold,
-so the memoization cost is visible.  Correctness is asserted inline:
-all three backends must produce identical match sets on every ruleset.
+so the memoization cost is visible.  The dense backend is measured with
+its compiled tier force-promoted after the same warm-up (see
+``benchmarks/bench_dense.py`` for the dedicated dense sweep and stream
+ablations).  Correctness is asserted inline: all four backends must
+produce identical match sets on every ruleset.
 
 Two entry points:
 
@@ -39,7 +42,7 @@ from repro.pipeline.compiler import CompileOptions, compile_ruleset
 
 STREAM_SIZE = int(os.environ.get("REPRO_BENCH_LAZY_STREAM", str(1 << 15)))
 REPEATS = int(os.environ.get("REPRO_BENCH_LAZY_REPEATS", "3"))
-BACKENDS = ("python", "numpy", "lazy")
+BACKENDS = ("python", "numpy", "lazy", "dense")
 
 
 def _best_wall_seconds(engine: IMfantEngine, stream: bytes, repeats: int = REPEATS) -> float:
@@ -62,7 +65,8 @@ def bench_ruleset(name: str, stream_size: int = STREAM_SIZE) -> dict:
     engines = {backend: IMfantEngine(mfsa, backend=backend) for backend in BACKENDS}
     match_sets = {b: engine.run(stream, collect_stats=False).matches
                   for b, engine in engines.items()}
-    assert match_sets["python"] == match_sets["numpy"] == match_sets["lazy"], name
+    assert all(match_sets[b] == match_sets["python"] for b in BACKENDS), name
+    assert engines["dense"].promote_dense(force=True)  # timed with the tier live
 
     lazy_engine = engines["lazy"]
     cold = lazy_engine.lazy_cache.stats
@@ -83,6 +87,7 @@ def bench_ruleset(name: str, stream_size: int = STREAM_SIZE) -> dict:
         "speedup_vs_python": {
             "numpy": seconds["python"] / seconds["numpy"],
             "lazy": seconds["python"] / seconds["lazy"],
+            "dense": seconds["python"] / seconds["dense"],
         },
         "lazy_cache": {
             "cold_pass": cold_profile,
@@ -105,11 +110,14 @@ def run_sweep(stream_size: int = STREAM_SIZE) -> dict:
         "repeats": REPEATS,
         "backends": list(BACKENDS),
         "note": "lazy backend timed warm (cache primed by the correctness pass); "
+                "dense timed with its tier force-promoted after the same warm-up; "
                 "cold_pass records the priming pass's hit/miss profile",
         "results": rows,
         "summary": {
             "max_lazy_speedup_vs_python": max(r["speedup_vs_python"]["lazy"] for r in rows),
             "min_lazy_speedup_vs_python": min(r["speedup_vs_python"]["lazy"] for r in rows),
+            "max_dense_speedup_vs_python": max(r["speedup_vs_python"]["dense"] for r in rows),
+            "min_dense_speedup_vs_python": min(r["speedup_vs_python"]["dense"] for r in rows),
             "all_match_sets_identical": True,  # asserted per ruleset
         },
     }
@@ -119,12 +127,14 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "BENCH_lazy.json"
     report = run_sweep()
     out.write_text(json.dumps(report, indent=2) + "\n")
-    header = f"{'ruleset':20s} {'python':>10s} {'numpy':>10s} {'lazy':>10s} {'lazy-spd':>9s} {'hit rate':>9s} {'configs':>8s}"
+    header = (f"{'ruleset':20s} {'python':>10s} {'numpy':>10s} {'lazy':>10s} "
+              f"{'dense':>10s} {'dense-spd':>10s} {'hit rate':>9s} {'configs':>8s}")
     print(header)
     for row in report["results"]:
         mb = row["throughput_mb_s"]
         print(f"{row['ruleset']:20s} {mb['python']:8.2f}MB {mb['numpy']:8.2f}MB "
-              f"{mb['lazy']:8.2f}MB {row['speedup_vs_python']['lazy']:8.2f}x "
+              f"{mb['lazy']:8.2f}MB {mb['dense']:8.2f}MB "
+              f"{row['speedup_vs_python']['dense']:9.2f}x "
               f"{row['lazy_cache']['cumulative_hit_rate']:9.3f} "
               f"{row['lazy_cache']['distinct_configs']:8d}")
     print(f"\nwrote {out}")
@@ -141,6 +151,8 @@ def test_lazy_cache_throughput(benchmark, backend):
     engine = IMfantEngine(compiled.mfsas[0], backend=backend)
     stream = _demo_stream(patterns, STREAM_SIZE)
     engine.run(stream, collect_stats=False)  # warm (tables + lazy cache)
+    if backend == "dense":
+        assert engine.promote_dense(force=True)
     result = benchmark(lambda: engine.run(stream, collect_stats=False))
     reference = IMfantEngine(compiled.mfsas[0], backend="python").run(stream).matches
     assert result.matches == reference

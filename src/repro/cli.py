@@ -41,6 +41,7 @@ from pathlib import Path
 
 import repro.obs as obs
 from repro.anml.reader import read_anml
+from repro.engine.dense import DEFAULT_PROMOTE_AFTER
 from repro.engine.imfant import IMfantEngine
 from repro.engine.lazy import DEFAULT_CACHE_SIZE
 from repro.engine.multithread import run_pool
@@ -118,8 +119,37 @@ def _add_guard_flags(parser: argparse.ArgumentParser, degrade: bool = False) -> 
                             "aborts (default)")
     if degrade:
         group.add_argument("--degrade", choices=("off", "auto"), default="off",
-                           help="auto: step the backend ladder lazy->numpy->"
-                                "python on allocation failure / cache thrash")
+                           help="auto: step the backend ladder dense->lazy->"
+                                "numpy->python on allocation failure / cache "
+                                "thrash / failed dense promotion")
+
+
+def _add_dense_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("dense backend")
+    group.add_argument("--dense-promote-after", type=int, default=None, metavar="BYTES",
+                       help="lazy bytes scanned before compiled-table promotion "
+                            "(default: %d)" % DEFAULT_PROMOTE_AFTER)
+    group.add_argument("--dense-stride", type=int, choices=(1, 2), default=1,
+                       help="bytes consumed per compiled-table step; 2 builds "
+                            "the byte-pair table (stride 1 usually measures "
+                            "faster — see docs/performance.md)")
+    group.add_argument("--no-prefilter", dest="dense_prefilter", action="store_false",
+                       help="disable the literal skip-ahead prefilter over "
+                            "self-loop runs")
+
+
+def _dense_kwargs(args: argparse.Namespace) -> dict:
+    """Engine kwargs from the dense flags (empty off the dense backend,
+    so non-dense engines never see unexpected knobs)."""
+    if getattr(args, "backend", None) != "dense":
+        return {}
+    kwargs: dict = {
+        "dense_stride": args.dense_stride,
+        "dense_prefilter": args.dense_prefilter,
+    }
+    if args.dense_promote_after is not None:
+        kwargs["dense_promote_after"] = args.dense_promote_after
+    return kwargs
 
 
 def _budget_from(args: argparse.Namespace) -> Budget | None:
@@ -255,12 +285,14 @@ def match_main(argv: list[str] | None = None) -> int:
                         help="merging factor when compiling on the fly")
     parser.add_argument("-t", "--threads", type=int, default=1,
                         help="thread-pool size for multi-MFSA execution")
-    parser.add_argument("--backend", choices=("python", "numpy", "lazy"), default="python")
+    parser.add_argument("--backend", choices=("python", "numpy", "lazy", "dense"),
+                        default="python")
     parser.add_argument("--lazy-cache-size", type=int, default=None, metavar="N",
                         help="lazy-backend transition-cache budget in entries "
                              "(default: %d)" % DEFAULT_CACHE_SIZE)
     parser.add_argument("--lazy-eviction", choices=("flush", "lru"), default="flush",
                         help="lazy-backend eviction policy when the cache fills")
+    _add_dense_flags(parser)
     parser.add_argument("--single-match", action="store_true",
                         help="report each rule's first match only (early exit)")
     parser.add_argument("--show-matches", type=int, default=10, metavar="N",
@@ -316,6 +348,8 @@ def match_main(argv: list[str] | None = None) -> int:
                 single_match=args.single_match,
                 lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
                 lazy_eviction=args.lazy_eviction,
+                dense_promote_after=(args.dense_promote_after
+                                     if args.backend == "dense" else None),
             )
             run = matcher.run(data)
             matches, stats = run.matches, run.stats
@@ -326,7 +360,7 @@ def match_main(argv: list[str] | None = None) -> int:
                 IMfantEngine(mfsa, backend=args.backend, single_match=args.single_match,
                              lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
                              lazy_eviction=args.lazy_eviction,
-                             scan_deadline=args.deadline)
+                             scan_deadline=args.deadline, **_dense_kwargs(args))
                 for mfsa in mfsas
             ]
             matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
@@ -338,11 +372,16 @@ def match_main(argv: list[str] | None = None) -> int:
           f"transitions examined: {stats.transitions_examined}")
     for step in degradations:
         print(f"degraded {step.from_backend} -> {step.to_backend}: {step.reason}")
-    if args.backend == "lazy" and not degradations:
+    if args.backend in ("lazy", "dense") and not degradations:
         totals = _merge_lazy_stats(engines)
         print(f"lazy cache: {totals['hits']:.0f} hits / {totals['misses']:.0f} misses "
               f"({totals['hit_rate']:.1%} hit rate), "
               f"{totals['evictions']:.0f} eviction(s), {totals['flushes']:.0f} flush(es)")
+    if args.backend == "dense" and not degradations:
+        promoted = sum(1 for e in engines if getattr(e, "dense_tier", None) is not None)
+        print(f"dense tier: {promoted}/{len(engines)} engine(s) promoted "
+              f"(promotion threshold {args.dense_promote_after or DEFAULT_PROMOTE_AFTER} "
+              f"lazy bytes)")
     for rule, end in sorted(matches)[: args.show_matches]:
         print(f"  rule {rule} matched ending at offset {end}")
     _export_obs(args, cap)
@@ -623,12 +662,14 @@ def obs_main(argv: list[str] | None = None) -> int:
                         help="generated stream size (default 64 KiB)")
     parser.add_argument("-m", "--merging-factor", type=int, default=0)
     parser.add_argument("-t", "--threads", type=int, default=1)
-    parser.add_argument("--backend", choices=("python", "numpy", "lazy"), default="python")
+    parser.add_argument("--backend", choices=("python", "numpy", "lazy", "dense"),
+                        default="python")
     parser.add_argument("--lazy-cache-size", type=int, default=None, metavar="N",
                         help="lazy-backend transition-cache budget in entries "
                              "(default: %d)" % DEFAULT_CACHE_SIZE)
     parser.add_argument("--lazy-eviction", choices=("flush", "lru"), default="flush",
                         help="lazy-backend eviction policy when the cache fills")
+    _add_dense_flags(parser)
     parser.add_argument("--stride", type=int, default=None, metavar="N",
                         help="engine sampling stride (default: %d)" % obs.DEFAULT_SAMPLE_STRIDE)
     parser.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
@@ -665,7 +706,7 @@ def obs_main(argv: list[str] | None = None) -> int:
             IMfantEngine(m, backend=args.backend,
                          lazy_cache_size=args.lazy_cache_size or DEFAULT_CACHE_SIZE,
                          lazy_eviction=args.lazy_eviction,
-                         scan_deadline=args.deadline)
+                         scan_deadline=args.deadline, **_dense_kwargs(args))
             for m in result.mfsas
         ]
         matches, stats = run_pool([lambda e=e: e.run(data) for e in engines], args.threads)
@@ -775,7 +816,8 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--mode", choices=("thread", "process"), default="thread",
                         help="shard workers in-process (thread) or forked worker "
                              "processes loading the cached artifact (process)")
-    parser.add_argument("--backend", choices=("lazy", "numpy", "python"), default="lazy")
+    parser.add_argument("--backend", choices=("dense", "lazy", "numpy", "python"),
+                        default="lazy")
     parser.add_argument("--scan-strategy", choices=("auto", "sfa", "overlap"),
                         default="auto",
                         help="shard parallelism contract: overlap chunking, "

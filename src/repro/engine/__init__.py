@@ -9,6 +9,10 @@
   (memoized frontier transitions).
 * :mod:`repro.engine.lazy` — the bounded lazy-DFA configuration cache
   behind ``backend="lazy"``.
+* :mod:`repro.engine.dense` — the dense compiled-DFA tier above the
+  lazy cache (``backend="dense"``): byte-class-compressed transition
+  tables, self-loop run skipping with a ``bytes.find`` literal
+  prefilter, and mid-buffer de-opt back to lazy interpretation.
 * :mod:`repro.engine.bitops` — uint64 popcount helpers (native
   ``np.bitwise_count`` or a pre-NumPy-2.0 ``np.unpackbits`` fallback).
 * :mod:`repro.engine.counters` — execution statistics (work counters).
@@ -24,10 +28,11 @@
 """
 
 from repro.engine.counters import ExecutionStats
+from repro.engine.dense import DEFAULT_PROMOTE_AFTER, DenseScanOutcome, DenseTier
 from repro.engine.infant import INfantEngine
 from repro.engine.imfant import IMfantEngine
 from repro.engine.lazy import DEFAULT_CACHE_SIZE, LazyCacheStats, LazyConfigCache
-from repro.engine.tables import FsaTables, MfsaTables
+from repro.engine.tables import ByteClasses, FsaTables, MfsaTables, byte_classes
 from repro.engine.cost import CostModel
 from repro.engine.multithread import (
     MachineModel,
@@ -43,6 +48,11 @@ __all__ = [
     "LazyCacheStats",
     "LazyConfigCache",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_PROMOTE_AFTER",
+    "DenseScanOutcome",
+    "DenseTier",
+    "ByteClasses",
+    "byte_classes",
     "FsaTables",
     "MfsaTables",
     "CostModel",

@@ -148,10 +148,11 @@ def chunk_scan(
     selects the per-chunk byte engine for overlap scans; mapping scans
     are a dedicated simultaneous-run interpreter and ignore it.
 
-    Under ``backend="lazy"`` each overlap-chunk worker *owns* its cache:
-    workers run concurrently and the lazy cache is single-writer mutable
-    state, so sharing one would either race or need a lock on the hot
-    path.  The per-chunk caches share the engine's immutable tables (via
+    Under ``backend="lazy"`` (and ``"dense"``, which layers compiled
+    tables above the same cache) each overlap-chunk worker *owns* its
+    cache: workers run concurrently and the lazy cache is single-writer
+    mutable state, so sharing one would either race or need a lock on
+    the hot path.  The per-chunk caches share the engine's immutable tables (via
     :meth:`IMfantEngine.fork`) and their cold-start misses amortise over
     the chunk length; ``lazy_cache_size`` bounds each worker's cache.
     """
@@ -277,7 +278,7 @@ def overlap_chunk_scan(
         # each worker gets private mutable state (its own lazy cache);
         # non-lazy backends are stateless across runs, but fork() is
         # cheap either way (tables are shared, never rebuilt)
-        worker_engine = engine.fork() if backend == "lazy" else engine
+        worker_engine = engine.fork() if backend in ("lazy", "dense") else engine
 
         def run():
             result = worker_engine.run(segment, collect_stats=False)

@@ -46,6 +46,27 @@ class CostModel:
     #: ``linear_ops`` counter).  Same order as ``c_trans``: both are one
     #: AND/OR on a (wider) integer.
     c_linear: float = 0.3
+    #: per char resolved by a warm lazy-DFA cache hit: one memo probe
+    #: replaces the whole interpretive per-char body.  Misses pay the
+    #: interpretive price but amortise to zero on stable config graphs.
+    c_lazy: float = 1.5
+    #: per char stepped through a compiled dense-tier row (one table
+    #: index per byte — the cheapest per-byte path of any backend; run
+    #: skipping and the literal prefilter only push it lower).
+    c_dense: float = 0.4
+    #: fixed per-char dispatch cost of the numpy backend.  Profiling
+    #: shows ~5 vectorised kernel launches per input byte (scatter-OR,
+    #: reduce, any-check, clear) whose launch overhead is paid whatever
+    #: the frontier width — this fixed term, not the per-transition
+    #: work, is why numpy measures *slower* than interpretive python on
+    #: sparse-activation rulesets (the dotstar regression in
+    #: BENCH_lazy.json).
+    c_numpy_char: float = 16.0
+    #: per examined transition under numpy — vectorised, so near memory
+    #: bandwidth.  With the default coefficients numpy only models
+    #: cheaper than python above ≈56 examined transitions per char,
+    #: matching the measured near-break-even at ~74 (range_rules).
+    c_numpy_trans: float = 0.05
 
     def run_cost(self, stats: ExecutionStats) -> float:
         """Modelled execution time of one automaton run."""
@@ -65,6 +86,39 @@ class CostModel:
         ``pipeline.autotune.choose_scan_strategy`` measures).
         """
         return self.run_cost(stats) + self.c_linear * linear_ops
+
+    def backend_run_cost(self, stats: ExecutionStats, backend: str) -> float:
+        """Modelled time of one run under a given execution backend.
+
+        The counters are backend-invariant (every backend examines the
+        same transitions); what differs is the machinery each backend
+        pays to examine them:
+
+        * ``python`` — the full interpretive model (:meth:`run_cost`).
+        * ``numpy`` — a large fixed per-char dispatch term plus a tiny
+          vectorised per-transition term: cheap only for very dense
+          transition traffic (see ``c_numpy_char``).
+        * ``lazy`` — one memo probe per char once the config graph is
+          warm (the steady state the autotuner cares about).
+        * ``dense`` — one compiled-table index per char.
+
+        This is the *prior* used to rank backends without measurement;
+        :func:`repro.pipeline.autotune.choose_backend` measures the
+        real crossover and treats this model as the auditable
+        prediction column.
+        """
+        if backend == "python":
+            return self.run_cost(stats)
+        if backend == "numpy":
+            return (
+                self.c_numpy_char * stats.chars_processed
+                + self.c_numpy_trans * stats.transitions_examined
+            )
+        if backend == "lazy":
+            return self.c_lazy * stats.chars_processed
+        if backend == "dense":
+            return self.c_dense * stats.chars_processed
+        raise ValueError(f"unknown backend {backend!r}")
 
     def total_cost(self, runs: list[ExecutionStats]) -> float:
         """Sequential (single-thread) time for a list of runs."""

@@ -22,6 +22,12 @@ Three interchangeable implementations:
   lazy-DFA configuration cache (:mod:`repro.engine.lazy`): steady-state
   scanning is one dict lookup per byte, falling back to the interpretive
   step on cache miss.
+* ``backend="dense"`` — the lazy backend plus an auto-promoted dense
+  compiled tier (:mod:`repro.engine.dense`): once the cache is warm and
+  stable the interned config graph is compiled into byte-class-
+  compressed numpy tables and buffers are scanned in bulk (self-loop
+  run skipping, literal prefilter, optional 2-byte stride), de-opting
+  to lazy interpretation wherever a scan escapes the compiled region.
 
 All produce identical matches and (modulo wall time) identical work
 counters; tests enforce the agreement.
@@ -37,13 +43,19 @@ import numpy as np
 import repro.obs as obs
 from repro.engine.bitops import popcount_rows
 from repro.engine.counters import ExecutionStats, RunResult
+from repro.engine.dense import (
+    DEFAULT_PROMOTE_AFTER,
+    DENSE_MIN_HIT_RATE,
+    DenseTier,
+)
 from repro.engine.lazy import DEFAULT_CACHE_SIZE, LazyConfigCache
 from repro.engine.tables import MfsaTables, limbs_for
 from repro.guard import faultinject
+from repro.guard.budget import Budget, BudgetMeter, MemoryBudgetExceeded
 from repro.guard.errors import AllocationFailed, ScanDeadlineExceeded, UsageError
 from repro.mfsa.model import Mfsa
 
-_BACKENDS = ("python", "numpy", "lazy")
+_BACKENDS = ("python", "numpy", "lazy", "dense")
 
 #: Scan positions between deadline checks (one modulo per byte; the
 #: perf_counter read happens only every stride-th position).
@@ -64,6 +76,19 @@ class IMfantEngine:
     cache stays warm across :meth:`run` calls.  ``lazy_cache_size`` and
     ``lazy_eviction`` configure its budget and eviction policy (see
     :mod:`repro.engine.lazy`); both are ignored by the other backends.
+
+    ``backend="dense"`` starts out as the lazy backend and
+    auto-promotes: once ``dense_promote_after`` bytes have been scanned
+    lazily (0 = after the first non-empty run) *and* the last run's
+    cache hit rate cleared :data:`~repro.engine.dense.DENSE_MIN_HIT_RATE`
+    with no evictions, the config graph is compiled into a
+    :class:`~repro.engine.dense.DenseTier` and subsequent runs scan in
+    bulk (call :meth:`promote_dense` with ``force=True`` to skip the
+    gates).  ``dense_budget`` charges table builds against modelled
+    memory; a build that exceeds it (or fails allocation) quietly
+    disables promotion — the engine keeps serving exact results lazily,
+    which is also how the :data:`~repro.guard.degrade.BACKEND_LADDER`
+    treats the tier.
     """
 
     def __init__(
@@ -76,6 +101,10 @@ class IMfantEngine:
         lazy_eviction: str = "flush",
         scan_deadline: float | None = None,
         deadline_stride: int = DEFAULT_DEADLINE_STRIDE,
+        dense_promote_after: int = DEFAULT_PROMOTE_AFTER,
+        dense_stride: int = 1,
+        dense_prefilter: bool = True,
+        dense_budget: "Budget | None" = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise UsageError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
@@ -83,6 +112,12 @@ class IMfantEngine:
             raise UsageError(f"scan_deadline must be positive (got {scan_deadline})")
         if deadline_stride < 1:
             raise UsageError(f"deadline_stride must be >= 1 (got {deadline_stride})")
+        if dense_promote_after < 0:
+            raise UsageError(
+                f"dense_promote_after must be >= 0 (got {dense_promote_after})"
+            )
+        if dense_stride not in (1, 2):
+            raise UsageError(f"dense_stride must be 1 or 2 (got {dense_stride})")
         self.backend = backend
         self.pop_on_final = pop_on_final
         self.single_match = single_match
@@ -90,16 +125,26 @@ class IMfantEngine:
         self.lazy_eviction = lazy_eviction
         self.scan_deadline = scan_deadline
         self.deadline_stride = deadline_stride
+        self.dense_promote_after = dense_promote_after
+        self.dense_stride = dense_stride
+        self.dense_prefilter = dense_prefilter
+        self.dense_budget = dense_budget
         self.tables = MfsaTables.build(mfsa)
         self.lazy_cache: LazyConfigCache | None = None
+        self.dense_tier: DenseTier | None = None
         self._init_backend()
 
     def _init_backend(self) -> None:
+        self.dense_tier = None
+        self._dense_lazy_bytes = 0
+        self._dense_disabled = False
+        self._deopt_since_build = 0
+        self._last_lazy_hit_rate = 0.0
         try:
             faultinject.fire("alloc", backend=self.backend)
             if self.backend == "numpy":
                 self.tables.ensure_arrays()
-            elif self.backend == "lazy":
+            elif self.backend in ("lazy", "dense"):
                 self.lazy_cache = LazyConfigCache(
                     self.tables,
                     pop_on_final=self.pop_on_final,
@@ -113,9 +158,10 @@ class IMfantEngine:
 
     def fork(self) -> "IMfantEngine":
         """A new engine sharing this one's (immutable) tables but owning
-        private mutable state — under ``backend="lazy"`` that is a fresh,
-        cold cache.  The cheap way to give each worker thread its own
-        engine without rebuilding the transition tables."""
+        private mutable state — under ``backend="lazy"``/``"dense"``
+        that is a fresh, cold cache (and no compiled tier yet).  The
+        cheap way to give each worker thread its own engine without
+        rebuilding the transition tables."""
         clone = IMfantEngine.__new__(IMfantEngine)
         clone.backend = self.backend
         clone.pop_on_final = self.pop_on_final
@@ -124,8 +170,13 @@ class IMfantEngine:
         clone.lazy_eviction = self.lazy_eviction
         clone.scan_deadline = self.scan_deadline
         clone.deadline_stride = self.deadline_stride
+        clone.dense_promote_after = self.dense_promote_after
+        clone.dense_stride = self.dense_stride
+        clone.dense_prefilter = self.dense_prefilter
+        clone.dense_budget = self.dense_budget
         clone.tables = self.tables
         clone.lazy_cache = None
+        clone.dense_tier = None
         clone._init_backend()
         return clone
 
@@ -172,6 +223,8 @@ class IMfantEngine:
                 result = self._run_numpy(payload, collect_stats)
             elif self.backend == "lazy":
                 result = self._run_lazy(payload, collect_stats)
+            elif self.backend == "dense":
+                result = self._run_dense(payload, collect_stats)
             else:
                 result = self._run_python(payload, collect_stats)
             if self.single_match:
@@ -367,6 +420,242 @@ class IMfantEngine:
                 "imfant_lazy_distinct_configs",
                 help="distinct frontier configurations currently interned",
             ).set(cache.num_configs)
+        return result
+
+    # -- dense backend ----------------------------------------------------------
+
+    def _dense_counter(self, registry, name: str, help_: str, delta: int) -> None:
+        if registry is not None and delta:
+            registry.counter(name, help=help_).inc(delta)
+
+    def _run_dense(self, payload: bytes, collect_stats: bool) -> RunResult:
+        """Lazy until promoted, then bulk scans over the compiled tier.
+
+        A cache flush invalidates the tier (config ids renumber): the
+        tier is dropped and the engine falls back to lazy scanning until
+        it re-promotes.  De-opt bytes accumulate toward a rebuild once
+        the cache has learned the escaped region (see
+        :meth:`_maybe_rebuild`).
+        """
+        tier = self.dense_tier
+        if tier is not None and not tier.valid():
+            self.dense_tier = None
+            self._dense_lazy_bytes = 0
+            registry = obs.get_registry()
+            self._dense_counter(
+                registry,
+                "imfant_dense_invalidations_total",
+                "dense tiers dropped because the lazy cache flushed",
+                1,
+            )
+            tier = None
+        if tier is None:
+            cache = self.lazy_cache
+            assert cache is not None
+            hits0, misses0 = cache.stats.hits, cache.stats.misses
+            result = self._run_lazy(payload, collect_stats)
+            dh = cache.stats.hits - hits0
+            dm = cache.stats.misses - misses0
+            self._last_lazy_hit_rate = dh / (dh + dm) if (dh + dm) else 1.0
+            self._dense_lazy_bytes += len(payload)
+            if not self._dense_disabled and self._dense_lazy_bytes > max(
+                0, self.dense_promote_after
+            ):
+                self.promote_dense()
+            return result
+        return self._scan_dense(tier, payload, collect_stats)
+
+    def promote_dense(self, force: bool = False) -> bool:
+        """Compile the lazy cache into a dense tier now.
+
+        Without ``force`` the warm-and-stable gates apply (last run's
+        hit rate ≥ :data:`~repro.engine.dense.DENSE_MIN_HIT_RATE`, no
+        evictions) and failures — including a
+        :class:`~repro.guard.errors.MemoryBudgetExceeded` /
+        :class:`~repro.guard.errors.AllocationFailed` build under
+        ``dense_budget`` — disable auto-promotion and return ``False``
+        (the engine keeps running lazily: the dense rung of the guard
+        ladder degrades, never crashes).  With ``force`` the gates are
+        skipped and build errors propagate.  Returns ``True`` when a
+        tier was (re)built.
+        """
+        if self.backend != "dense":
+            raise UsageError("promote_dense requires backend='dense'")
+        cache = self.lazy_cache
+        assert cache is not None
+        if not force:
+            if self._dense_disabled:
+                return False
+            if self._last_lazy_hit_rate < DENSE_MIN_HIT_RATE:
+                return False
+            if cache.stats.evictions:
+                return False
+        meter = (
+            BudgetMeter(self.dense_budget) if self.dense_budget is not None else None
+        )
+        try:
+            tier = DenseTier.build(
+                cache,
+                stride=self.dense_stride,
+                prefilter=self.dense_prefilter,
+                meter=meter,
+            )
+        except (AllocationFailed, MemoryBudgetExceeded):
+            if force:
+                raise
+            self._dense_disabled = True
+            self._dense_counter(
+                obs.get_registry(),
+                "imfant_dense_promotion_failures_total",
+                "dense promotions abandoned (budget/allocation failure)",
+                1,
+            )
+            return False
+        self.dense_tier = tier
+        self._dense_lazy_bytes = 0
+        self._deopt_since_build = 0
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.counter(
+                "imfant_dense_promotions_total",
+                help="lazy caches promoted to dense compiled tiers",
+            ).inc()
+            registry.counter(
+                "imfant_dense_build_seconds_total",
+                help="wall seconds spent compiling dense tiers",
+            ).inc(tier.build_seconds)
+            registry.gauge(
+                "imfant_dense_configs",
+                help="configs compiled into the current dense tier",
+            ).set(tier.num_configs)
+        return True
+
+    def _maybe_rebuild(self, tier: DenseTier) -> None:
+        """Re-promote after the de-opted region stabilizes: enough
+        de-opt bytes accumulated *and* the cache has interned configs
+        the tier does not know.  The threshold scales with the table
+        footprint so rebuild time stays small next to the de-opt time
+        it can save (big graphs de-opt a little on every payload; a
+        rebuild per payload would dominate the scan).  A failed rebuild
+        keeps the old tier."""
+        threshold = max(self.dense_promote_after, 4096, tier.nbytes // 8)
+        if self._deopt_since_build < threshold:
+            return
+        cache = self.lazy_cache
+        assert cache is not None
+        self._deopt_since_build = 0
+        if not tier.valid() or cache.num_configs <= tier.num_configs:
+            return
+        meter = (
+            BudgetMeter(self.dense_budget) if self.dense_budget is not None else None
+        )
+        try:
+            self.dense_tier = DenseTier.build(
+                cache,
+                stride=self.dense_stride,
+                prefilter=self.dense_prefilter,
+                meter=meter,
+            )
+        except (AllocationFailed, MemoryBudgetExceeded):
+            return
+        self._dense_counter(
+            obs.get_registry(),
+            "imfant_dense_rebuilds_total",
+            "dense tiers rebuilt after de-opt churn",
+            1,
+        )
+
+    def _scan_dense(
+        self, tier: DenseTier, payload: bytes, collect_stats: bool
+    ) -> RunResult:
+        tables = self.tables
+        slot_to_rule = tables.slot_to_rule
+        single_match = self.single_match
+
+        result = RunResult()
+        stats = result.stats
+        stats.mask_limbs = limbs_for(tables.num_rules)
+        matches = result.matches
+        for rule in tables.empty_matching_rules:
+            matches.update((rule, end) for end in range(len(payload) + 1))
+
+        all_rules_mask = (1 << tables.num_rules) - 1
+        rule_to_slot = {rule: slot for slot, rule in enumerate(slot_to_rule)}
+        matched_rules = 0
+        for rule in tables.empty_matching_rules:
+            matched_rules |= 1 << rule_to_slot[rule]
+        sampler = obs.engine_sampler("imfant")
+        started = time.perf_counter()
+        deadline_at = self._deadline_at(started)
+
+        outcome = tier.scan(
+            payload,
+            start_config=0,
+            collect_stats=collect_stats,
+            stats=stats,
+            sampler=sampler,
+            single_match=single_match,
+            matched_rules=matched_rules,
+            all_rules_mask=all_rules_mask,
+            deadline_at=deadline_at,
+            deadline_stride=self.deadline_stride,
+        )
+        if outcome.reason == "invalidated":
+            # The cache flushed mid-scan: every config id (and the
+            # tier) is stale.  Rerun the whole payload lazily — exact
+            # and rare (only under cache pressure, where dense should
+            # not have promoted in the first place).
+            self.dense_tier = None
+            self._dense_lazy_bytes = 0
+            self._dense_counter(
+                obs.get_registry(),
+                "imfant_dense_invalidations_total",
+                "dense tiers dropped because the lazy cache flushed",
+                1,
+            )
+            return self._run_lazy(payload, collect_stats)
+
+        emissions = tier.emissions
+        for eid, lo, hi in outcome.events:
+            slots, _mask = emissions[eid]
+            if lo == hi:
+                for slot in slots:
+                    matches.add((slot_to_rule[slot], lo))
+            else:
+                for slot in slots:
+                    rule = slot_to_rule[slot]
+                    matches.update((rule, pos) for pos in range(lo, hi + 1))
+
+        self._deopt_since_build += outcome.deopt_bytes
+        registry = obs.get_registry()
+        self._dense_counter(
+            registry,
+            "imfant_dense_deopts_total",
+            "dense scans de-opting to lazy interpretation",
+            outcome.deopts,
+        )
+        self._dense_counter(
+            registry,
+            "imfant_dense_deopt_bytes_total",
+            "bytes interpreted lazily inside dense scans",
+            outcome.deopt_bytes,
+        )
+        self._dense_counter(
+            registry,
+            "imfant_dense_prefilter_skipped_bytes_total",
+            "bytes skipped by self-loop runs (prefilter + block search)",
+            outcome.skipped_bytes,
+        )
+
+        if outcome.reason == "deadline":
+            stats.match_count = len(matches)
+            self._deadline_check(deadline_at, started, outcome.consumed, result)
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = (
+            outcome.consumed if single_match else len(payload)
+        )
+        stats.match_count = len(matches)
+        self._maybe_rebuild(tier)
         return result
 
     # -- numpy backend ----------------------------------------------------------

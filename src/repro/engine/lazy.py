@@ -182,26 +182,25 @@ class LazyConfigCache:
         self._intern(())
         return self._intern(live)
 
-    # -- the miss path -----------------------------------------------------
+    # -- pure transition (no memoization) ---------------------------------
 
-    def step(self, config_id: int, byte: int) -> tuple:
-        """Compute, memoize, and return the transition for a cache miss.
+    def compute(self, config_id: int, byte: int) -> tuple:
+        """The transition of ``(config_id, byte)`` **without** touching
+        the cache: nothing is memoized, nothing is interned, no flush
+        can occur.
 
-        May flush (``"flush"`` policy, or a ``"lru"`` config-table
-        overflow) — the caller's ``config_id`` becomes stale either way,
-        but the returned entry's ``next_config_id`` is always valid.
+        Returns ``(next_config_id_or_None, emit_slots, emit_mask,
+        transitions_taken)`` — ``next_config_id`` is ``None`` when the
+        successor frontier is not (yet) interned.  This is the read-only
+        step the dense-tier compiler (:mod:`repro.engine.dense`) uses to
+        close the warm config graph without perturbing it.
         """
-        if len(self.transitions) >= self.max_entries:
-            if self.eviction == "flush":
-                config_id = self._flush(config_id)
-            else:
-                self.transitions.popitem(last=False)  # type: ignore[call-arg]
-                self.stats.evictions += 1
-        if len(self._configs) > 2 * self.max_entries:
-            # LRU keeps the transition cache bounded but evicted entries
-            # can strand interned configs; a rare full flush bounds those.
-            config_id = self._flush(config_id)
+        frozen, emit_slots, emit_mask, taken = self._transition(config_id, byte)
+        return (self._ids.get(frozen), emit_slots, emit_mask, taken)
 
+    def _transition(self, config_id: int, byte: int) -> tuple:
+        """One interpretive frontier step: ``(frozen_next, emit_slots,
+        emit_mask, taken)`` — pure w.r.t. the cache."""
         tables = self.tables
         init_mask = tables.init_mask
         final_mask = tables.final_mask
@@ -229,7 +228,30 @@ class LazyConfigCache:
                 slots.append(low.bit_length() - 1)
                 bits ^= low
             emit_slots = tuple(slots)
-        next_id = self._intern(tuple(sorted((s, m) for s, m in nxt.items() if m)))
-        entry = (next_id, emit_slots, emit_mask, taken)
+        frozen = tuple(sorted((s, m) for s, m in nxt.items() if m))
+        return (frozen, emit_slots, emit_mask, taken)
+
+    # -- the miss path -----------------------------------------------------
+
+    def step(self, config_id: int, byte: int) -> tuple:
+        """Compute, memoize, and return the transition for a cache miss.
+
+        May flush (``"flush"`` policy, or a ``"lru"`` config-table
+        overflow) — the caller's ``config_id`` becomes stale either way,
+        but the returned entry's ``next_config_id`` is always valid.
+        """
+        if len(self.transitions) >= self.max_entries:
+            if self.eviction == "flush":
+                config_id = self._flush(config_id)
+            else:
+                self.transitions.popitem(last=False)  # type: ignore[call-arg]
+                self.stats.evictions += 1
+        if len(self._configs) > 2 * self.max_entries:
+            # LRU keeps the transition cache bounded but evicted entries
+            # can strand interned configs; a rare full flush bounds those.
+            config_id = self._flush(config_id)
+
+        frozen, emit_slots, emit_mask, taken = self._transition(config_id, byte)
+        entry = (self._intern(frozen), emit_slots, emit_mask, taken)
         self.transitions[(config_id << 8) | byte] = entry
         return entry

@@ -66,14 +66,17 @@ rebuilt per process from the same MFSA and re-attached via
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 import repro.obs as obs
 from repro.engine.counters import ExecutionStats, RunResult
+from repro.engine.dense import DEFAULT_PROMOTE_AFTER, DenseTier
+from repro.engine.lazy import LazyConfigCache
 from repro.engine.tables import MfsaTables, limbs_for
-from repro.guard.errors import ScanDeadlineExceeded, UsageError
+from repro.guard.errors import AllocationFailed, ScanDeadlineExceeded, UsageError
 from repro.mfsa.model import Mfsa
 
 __all__ = [
@@ -86,6 +89,22 @@ __all__ = [
 
 #: Scan positions between deadline checks (mirrors IMfantEngine).
 DEFAULT_DEADLINE_STRIDE = 4096
+
+#: Bulk-kernel rebuild gate: a tier is only recompiled after a de-opt
+#: window during which the extended config graph grew by fewer than
+#: this many configs.  Rulesets whose entry-pair graph never converges
+#: (``.*``-heavy ones mint fresh configs every byte) would otherwise
+#: trigger ever-larger table builds that cost more than they save; they
+#: stay on the de-opt (memoizing lazy) driver instead, which is no
+#: slower than the interpretive pass.
+_BULK_STABLE_GROWTH = 1024
+
+#: Never compile an extended-config tier larger than this: the table
+#: build is an O(configs × classes) pure-python pass, and past this
+#: size its one-off cost stops amortising against chunk traffic.  The
+#: small resident tier keeps serving whatever it covers; everything
+#: else stays on the memoizing de-opt driver.
+_BULK_MAX_CONFIGS = 1 << 13
 
 #: Inclusive position runs, sorted, disjoint, non-adjacent (canonical).
 Runs = tuple  # tuple[tuple[int, int], ...]
@@ -125,6 +144,18 @@ def _append_pos(runs: list[list[int]], pos: int) -> None:
             runs[-1][1] = pos
             return
     runs.append([pos, pos])
+
+
+def _append_run(runs: list[list[int]], lo: int, hi: int) -> None:
+    """Append one inclusive run (runs arrive in position order from the
+    dense stepper's event stream; adjacent/overlapping runs merge so the
+    result is canonical — identical to what :func:`_append_pos` builds
+    position by position)."""
+    if runs and lo <= runs[-1][1] + 1:
+        if hi > runs[-1][1]:
+            runs[-1][1] = hi
+        return
+    runs.append([lo, hi])
 
 
 def _bits(mask: int) -> Iterable[int]:
@@ -238,6 +269,12 @@ class SfaScanner:
         self.deadline_stride = deadline_stride
         self.tables = tables if tables is not None else MfsaTables.build(mfsa)
         self._build_index()
+        #: per-thread bulk-kernel state (lazy cache + dense tier over
+        #: the extended column layout) — caches are single-writer
+        #: mutable, so each scanning thread owns one; the scanner
+        #: itself stays shareable
+        self._bulk = threading.local()
+        self._ext_tables_cache: Optional[MfsaTables] = None
 
     # -- index construction ------------------------------------------------
 
@@ -408,6 +445,185 @@ class SfaScanner:
             partial=partial,
         )
 
+    # -- the bulk kernel (dense stepper over entry-pair columns) -----------
+
+    def _ext_tables(self) -> MfsaTables:
+        """Synthetic :class:`MfsaTables` over the combined-column bit
+        layout: ``num_rules + num_pairs`` rule slots, ``init_ext``
+        feeding only the const half, extended belonging masks.  The
+        lazy cache's interpretive step over these tables *is* the
+        simultaneous-run step (same ``(J|init)&bel`` recurrence on
+        wider masks), so the whole lazy→dense machinery applies to
+        mapping scans unchanged."""
+        cached = self._ext_tables_cache
+        if cached is None:
+            total = self.tables.num_rules + self.num_pairs
+            cached = MfsaTables(
+                num_states=self.tables.num_states,
+                num_rules=total,
+                slot_to_rule=list(range(total)),
+                init_mask=list(self.init_ext),
+                final_mask=list(self.final_ext),
+                by_symbol=self.by_symbol_ext,
+                empty_matching_rules=[],
+            )
+            self._ext_tables_cache = cached
+        return cached
+
+    @staticmethod
+    def _rebuild_traffic(tier, cache) -> int:
+        """De-opt bytes that must accrue before the next rebuild check:
+        scales with both the resident table and the *projected* one, so
+        a rebuild's O(configs × classes) build cost is always financed
+        by proportional scan traffic."""
+        k = tier.num_classes
+        projected = cache.num_configs * (3 * k * 4 + (k + 1) * 8)
+        return max(DEFAULT_PROMOTE_AFTER, tier.nbytes // 8, projected // 8)
+
+    def _start_frontier(self) -> dict:
+        shift = self.pair_shift
+        return {
+            state: mask << shift
+            for state, mask in enumerate(self.pairs_at_state)
+            if mask
+        }
+
+    def _bulk_scan_chunk(
+        self, payload: bytes, deadline_at: Optional[float], started: float
+    ) -> Optional[MappingScan]:
+        """Scan one chunk with the dense bulk kernel; ``None`` falls
+        back to the interpretive pass (build failure, or a mid-scan
+        cache flush that invalidated the tier).
+
+        The per-thread cache interprets cold regions (warming as it
+        goes) and the compiled tier bulk-steps warm ones — chunk scans
+        start at lazy-cache speed and converge to dense speed as the
+        entry-pair config graph stabilises.  ``linear_ops`` is reported
+        as 0 on this path: the κ-counters that feed the autotune cost
+        model come from ``collect_stats=True`` scans, which keep the
+        exact interpretive loop.
+        """
+        st = self._bulk
+        if getattr(st, "disabled", False):
+            return None
+        cache = getattr(st, "cache", None)
+        if cache is None:
+            cache = LazyConfigCache(self._ext_tables(), pop_on_final=self.pop_on_final)
+            st.cache = cache
+            st.tier = None
+        tier = st.tier
+        if tier is not None and not tier.valid():
+            tier = None  # flushed between chunks: ids renumbered
+        if tier is not None and st.since_build >= self._rebuild_traffic(tier, cache):
+            # End of a de-opt observation window.  Fold the de-opt
+            # region into a fresh tier only when the graph *stabilised*
+            # over the window; a graph still minting configs (dotstar-
+            # style entry-pair explosion) would make every rebuild
+            # bigger and still useless, so just open a new window.
+            grown = cache.num_configs - st.configs_at_check
+            st.configs_at_check = cache.num_configs
+            st.since_build = 0
+            if (
+                grown < _BULK_STABLE_GROWTH
+                and tier.num_configs < cache.num_configs <= _BULK_MAX_CONFIGS
+            ):
+                tier = None
+        if tier is None:
+            st.start_config = cache.config_id_of(self._start_frontier())
+            try:
+                tier = DenseTier.build(cache)
+            except AllocationFailed:
+                st.disabled = True
+                return None
+            st.tier = tier
+            st.since_build = 0
+            st.configs_at_check = cache.num_configs
+
+        outcome = tier.scan(
+            payload,
+            start_config=st.start_config,
+            deadline_at=deadline_at,
+            deadline_stride=self.deadline_stride,
+        )
+        st.since_build += outcome.deopt_bytes
+        if outcome.reason == "invalidated":
+            st.tier = None  # rebuilt (and start re-interned) next chunk
+            return None
+
+        # decode emission events: slots below pair_shift are const
+        # (empty-entry) matches, the rest are entry-pair conditionals
+        slot_to_rule = self.tables.slot_to_rule
+        shift = self.pair_shift
+        const_runs: dict[int, list[list[int]]] = {}
+        cond_runs: dict[int, list[list[int]]] = {}
+        emissions = tier.emissions
+        for eid, lo, hi in outcome.events:
+            slots, _mask = emissions[eid]
+            for slot in slots:
+                if slot < shift:
+                    rule = slot_to_rule[slot]
+                    runs = const_runs.get(rule)
+                    if runs is None:
+                        runs = const_runs[rule] = []
+                    _append_run(runs, lo, hi)
+                else:
+                    pair = slot - shift
+                    runs = cond_runs.get(pair)
+                    if runs is None:
+                        runs = cond_runs[pair] = []
+                    _append_run(runs, lo, hi)
+
+        stats = ExecutionStats()
+        stats.mask_limbs = limbs_for(self.tables.num_rules)
+        if outcome.reason == "deadline":
+            const_match_set = {
+                (rule, pos)
+                for rule, runs in const_runs.items()
+                for lo, hi in runs
+                for pos in range(lo, hi + 1)
+            }
+            self._deadline_check(
+                deadline_at, started, outcome.consumed, const_match_set, stats
+            )
+
+        frontier = cache.frontier_of(outcome.final_config)
+        slots_area = self.slots_area
+        live_ext = self.live_ext
+        const_exit: dict[int, int] = {}
+        exit_reach: dict[int, int] = {}
+        for state, mask in frontier.items():
+            live = mask & live_ext[state]
+            if not live:
+                continue
+            slots = live & slots_area
+            if slots:
+                const_exit[state] = slots
+            reach = live >> shift
+            if reach:
+                exit_reach[state] = reach
+
+        mapping = ChunkMapping(
+            signature=self.signature,
+            length=len(payload),
+            const_exit=const_exit,
+            const_matches={
+                rule: tuple(tuple(r) for r in runs)
+                for rule, runs in const_runs.items()
+            },
+            exit_reach=exit_reach,
+            cond_matches={
+                pair: tuple(tuple(r) for r in runs)
+                for pair, runs in cond_runs.items()
+            },
+            scanner=self,
+        )
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = len(payload)
+        stats.match_count = sum(
+            hi - lo + 1 for runs in const_runs.values() for lo, hi in runs
+        )
+        return MappingScan(mapping=mapping, stats=stats, linear_ops=0)
+
     def scan_chunk(
         self,
         data: bytes | str,
@@ -422,8 +638,30 @@ class SfaScanner:
         honest partial *const* matches — genuine matches of the scanned
         prefix, valid whatever the entry activation.  A truncated
         mapping is never returned: partial mappings do not compose.
+
+        ``collect_stats=False`` scans take the dense **bulk kernel**
+        (:meth:`_bulk_scan_chunk`): a per-thread lazy cache + compiled
+        tier over the extended entry-pair columns replaces the
+        byte-by-byte interpretation — same mapping, byte-identical
+        matches (property-tested).  Stats scans keep the interpretive
+        loop, whose exact κ-counters feed the autotune cost model.
         """
         payload = data.encode("latin-1") if isinstance(data, str) else data
+        if deadline_at is None and self.scan_deadline is not None:
+            deadline_at = time.perf_counter() + self.scan_deadline
+
+        if not collect_stats:
+            with obs.span(
+                "sfa.bulk_chunk",
+                pairs=self.num_pairs,
+                bytes=len(payload),
+            ):
+                scan = self._bulk_scan_chunk(
+                    payload, deadline_at, time.perf_counter()
+                )
+            if scan is not None:
+                return scan
+
         tables = self.tables
         by_symbol_ext = self.by_symbol_ext
         init_ext = self.init_ext
@@ -433,8 +671,6 @@ class SfaScanner:
         slot_to_rule = tables.slot_to_rule
         pop_on_final = self.pop_on_final
         dstride = self.deadline_stride
-        if deadline_at is None and self.scan_deadline is not None:
-            deadline_at = time.perf_counter() + self.scan_deadline
 
         stats = ExecutionStats()
         stats.mask_limbs = limbs_for(tables.num_rules)

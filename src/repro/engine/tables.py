@@ -27,6 +27,67 @@ from repro.mfsa.model import Mfsa
 _LIMB_BITS = 64
 
 
+@dataclass(frozen=True)
+class ByteClasses:
+    """Byte equivalence classes of a symbol-indexed transition table.
+
+    Two bytes are equivalent when they enable the *same* transition
+    list — for any frontier they then produce identical steps, so a
+    dense transition table only needs one column per class, not per
+    byte (the classic alphabet-compression trick of table-driven DFA
+    engines; cf. Bille's tabulation in PAPERS.md).  Real rulesets
+    collapse 256 symbols to a few dozen classes.
+
+    ``translate`` is a 256-byte table mapping byte → class id, built
+    for ``payload.translate(translate)`` — alphabet compression of a
+    whole buffer at C speed.
+    """
+
+    #: number of distinct classes (class ids are ``0..num_classes-1``)
+    num_classes: int
+    #: byte → class id, as a 256-byte ``bytes.translate`` table
+    translate: bytes
+    #: class id → one representative byte of the class
+    representatives: tuple[int, ...]
+
+    def class_of(self, byte: int) -> int:
+        return self.translate[byte]
+
+    def members(self, cls: int) -> list[int]:
+        return [b for b in range(ALPHABET_SIZE) if self.translate[b] == cls]
+
+
+def byte_classes(by_symbol: list) -> ByteClasses:
+    """Partition the 256-symbol alphabet into byte equivalence classes.
+
+    ``by_symbol`` is any symbol-indexed table whose entries are
+    hashable-item lists (both :class:`FsaTables` pair lists and
+    :class:`MfsaTables` triple lists qualify).  Classes are numbered in
+    order of first appearance, so class ids are deterministic and the
+    representative of class ``k`` is the smallest byte in it.
+    """
+    if len(by_symbol) != ALPHABET_SIZE:
+        raise ValueError(
+            f"by_symbol must index all {ALPHABET_SIZE} symbols (got {len(by_symbol)})"
+        )
+    ids: dict[tuple, int] = {}
+    reps: list[int] = []
+    table = bytearray(ALPHABET_SIZE)
+    for byte in range(ALPHABET_SIZE):
+        key = tuple(by_symbol[byte])
+        cls = ids.get(key)
+        if cls is None:
+            cls = len(reps)
+            ids[key] = cls
+            reps.append(byte)
+        table[byte] = cls
+    return ByteClasses(
+        num_classes=len(reps),
+        translate=bytes(table),
+        representatives=tuple(reps),
+    )
+
+
 def limbs_for(num_rules: int) -> int:
     """uint64 limbs needed for a bitmask over ``num_rules`` rule slots."""
     return max(1, (num_rules + _LIMB_BITS - 1) // _LIMB_BITS)
@@ -120,6 +181,10 @@ class MfsaTables:
             by_symbol=by_symbol,
             empty_matching_rules=empty_rules,
         )
+
+    def byte_classes(self) -> ByteClasses:
+        """Byte equivalence classes of this table (see :func:`byte_classes`)."""
+        return byte_classes(self.by_symbol)
 
     def ensure_arrays(self) -> None:
         """Materialise the NumPy layout (idempotent)."""

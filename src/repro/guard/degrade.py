@@ -1,4 +1,4 @@
-"""The match-time degradation ladder: lazy → numpy → python → per-rule.
+"""The match-time degradation ladder: dense → lazy → numpy → python → per-rule.
 
 A governed service must keep answering under pressure, just slower.
 :class:`GuardedMatcher` owns the engines for a (possibly quarantined)
@@ -8,7 +8,13 @@ compilation and walks the backend ladder when trouble shows up:
   setup, surfaced as :class:`~repro.guard.errors.AllocationFailed`) —
   the matcher steps down a backend and retries the run immediately; the
   answer of the retried run is exact, not approximate;
-* **cache thrash** (lazy backend only) — when a run's lazy-cache hit
+* **dense promotion failure** (dense backend only) — a dense-tier table
+  build that fails allocation or blows its modelled memory budget
+  (:class:`~repro.guard.errors.AllocationFailed` /
+  :class:`~repro.guard.budget.MemoryBudgetExceeded`) never corrupts the
+  in-flight run: the engine answers lazily and flags itself, and the
+  matcher steps the ladder down to ``lazy`` for subsequent runs;
+* **cache thrash** (dense/lazy backends) — when a run's lazy-cache hit
   rate stays under the policy threshold after a warm-up's worth of
   lookups, the next runs use the next backend down.  Thrash never
   corrupts results (the lazy backend is exact at any hit rate), it only
@@ -43,7 +49,7 @@ from repro.guard.quarantine import QuarantineReport
 __all__ = ["BACKEND_LADDER", "DegradePolicy", "DegradationStep", "GuardedMatcher", "GuardedRunResult"]
 
 #: Fastest-first backend order; degradation only ever moves rightward.
-BACKEND_LADDER = ("lazy", "numpy", "python")
+BACKEND_LADDER = ("dense", "lazy", "numpy", "python")
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,8 @@ class GuardedMatcher:
         single_match: bool = False,
         lazy_cache_size: int = DEFAULT_CACHE_SIZE,
         lazy_eviction: str = "flush",
+        dense_promote_after: Optional[int] = None,
+        dense_budget=None,
     ) -> None:
         if backend not in BACKEND_LADDER:
             raise UsageError(
@@ -119,6 +127,8 @@ class GuardedMatcher:
         self.single_match = single_match
         self.lazy_cache_size = lazy_cache_size
         self.lazy_eviction = lazy_eviction
+        self.dense_promote_after = dense_promote_after
+        self.dense_budget = dense_budget
         self.degradations: list = []
         self._engines: Optional[list] = None
 
@@ -161,6 +171,11 @@ class GuardedMatcher:
         while True:
             if self._engines is not None:
                 return self._engines
+            dense_kwargs = {}
+            if self.dense_promote_after is not None:
+                dense_kwargs["dense_promote_after"] = self.dense_promote_after
+            if self.dense_budget is not None:
+                dense_kwargs["dense_budget"] = self.dense_budget
             try:
                 self._engines = [
                     IMfantEngine(
@@ -170,6 +185,7 @@ class GuardedMatcher:
                         scan_deadline=self.scan_deadline,
                         lazy_cache_size=self.lazy_cache_size,
                         lazy_eviction=self.lazy_eviction,
+                        **dense_kwargs,
                     )
                     for mfsa in self.mfsas
                 ]
@@ -200,7 +216,9 @@ class GuardedMatcher:
                     if not (self.policy.on_alloc_failure and self._degrade(f"allocation-failure: {exc}")):
                         raise
             used_backend = self.backend
-            if used_backend == "lazy" and self.policy.on_cache_thrash:
+            if used_backend == "dense" and self.policy.on_alloc_failure:
+                self._check_dense_demotion(engines)
+            if used_backend in ("lazy", "dense") and self.policy.on_cache_thrash:
                 self._check_thrash(engines, before)
 
         if self.rule_map is not None:
@@ -219,6 +237,14 @@ class GuardedMatcher:
             degradations=list(self.degradations),
             fallback_rules=fallback_rules,
         )
+
+    def _check_dense_demotion(self, engines) -> None:
+        """Step to ``lazy`` when any engine's dense promotion failed
+        (allocation failure or modelled-memory budget): the failed run
+        already answered lazily and exactly; the ladder step just stops
+        re-attempting table builds on every subsequent payload."""
+        if any(getattr(e, "_dense_disabled", False) for e in engines):
+            self._degrade("dense-promotion-failed: table build rejected")
 
     @staticmethod
     def _cache_totals(engines) -> tuple:

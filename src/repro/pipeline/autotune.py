@@ -17,6 +17,14 @@ minimising modelled latency, and return an auditable report:
   count beats κ.  The crossover is a property of the *ruleset and
   traffic* (κ grows with live entry pairs), so it is measured, not
   assumed.
+* :func:`choose_backend` — which execution backend actually runs
+  fastest on this ruleset/traffic pair.  The per-backend cost model
+  (:meth:`~repro.engine.cost.CostModel.backend_run_cost`) supplies the
+  prediction column; selection itself is by measured warm wall-clock,
+  because the numpy backend's fixed per-char dispatch overhead makes
+  it *lose* to interpretive python on sparse-activation rulesets (the
+  dotstar regression) — exactly the kind of inversion a pure model
+  would keep mispredicting.
 
 The profiling cost is one engine pass per candidate over the sample
 (seconds at sample sizes).
@@ -27,10 +35,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import time
+
 from repro.engine.cost import CostModel
 from repro.engine.imfant import IMfantEngine
 from repro.engine.multithread import MachineModel, simulate_parallel_latency
 from repro.engine.sfa import SfaScanner
+from repro.guard.errors import AllocationFailed
 from repro.mfsa.model import Mfsa
 from repro.pipeline.compiler import CompileOptions, compile_ruleset
 
@@ -215,4 +226,118 @@ def choose_scan_strategy(
         chunks=len(chunk_works),
         chosen="sfa" if mapping_latency < sequential_work else "sequential",
     )
+    return report
+
+
+@dataclass
+class BackendCandidate:
+    """One backend's profile on the sample."""
+
+    backend: str
+    #: best warm wall-clock over the measurement repeats; None when the
+    #: backend was unavailable on this automaton (allocation failure)
+    measured_seconds: float | None
+    #: cost-model prediction (CostModel.backend_run_cost, work units)
+    modelled_cost: float
+    note: str = ""
+
+    @property
+    def throughput(self) -> float | None:
+        """Sample bytes per measured second; None when unavailable."""
+        return None if not self.measured_seconds else self._bytes / self.measured_seconds
+
+    _bytes: int = 0
+
+
+@dataclass
+class BackendReport:
+    """All backend candidates plus the measured selection."""
+
+    candidates: list[BackendCandidate] = field(default_factory=list)
+    best: BackendCandidate | None = None
+    sample_bytes: int = 0
+
+    def render(self) -> str:
+        lines = [f"backend autotune (sample={self.sample_bytes} bytes):"]
+        for candidate in self.candidates:
+            marker = " <- selected" if candidate is self.best else ""
+            if candidate.measured_seconds is None:
+                lines.append(
+                    f"  {candidate.backend:>6}: unavailable ({candidate.note})"
+                )
+                continue
+            mbps = self.sample_bytes / candidate.measured_seconds / 1e6
+            lines.append(
+                f"  {candidate.backend:>6}: {mbps:8.2f} MB/s measured, "
+                f"modelled {candidate.modelled_cost:.0f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def choose_backend(
+    mfsa: Mfsa,
+    sample: bytes | str,
+    backends: Sequence[str] = ("dense", "lazy", "numpy", "python"),
+    cost_model: CostModel | None = None,
+    repeats: int = 3,
+) -> BackendReport:
+    """Measure which execution backend is fastest for this traffic.
+
+    Each candidate engine is warmed first (two passes — enough for the
+    lazy cache to reach steady state; the dense candidate is then
+    promoted explicitly so the measurement covers the compiled tier,
+    not the warm-up ramp) and timed over ``repeats`` passes, keeping
+    the best.  Selection is by measured wall-clock; the cost-model
+    prediction rides along per candidate so a surprising pick is
+    auditable.  Measured selection is the point: the model's numpy
+    column is structurally optimistic on sparse-activation rulesets
+    (fixed kernel-dispatch overhead per char), and measurement is what
+    keeps such backends from being chosen where they lose.
+
+    Backends whose setup fails allocation are reported as unavailable
+    rather than raised: the remaining rungs still race.
+    """
+    payload = sample.encode("latin-1") if isinstance(sample, str) else sample
+    cost_model = cost_model or CostModel()
+
+    # Counters are backend-invariant; one lazy pass is the cheap way to
+    # get them for the model's prediction column.
+    stats = IMfantEngine(mfsa, backend="lazy").run(payload).stats
+
+    report = BackendReport(sample_bytes=len(payload))
+    reference: set | None = None
+    for backend in backends:
+        candidate = BackendCandidate(
+            backend=backend,
+            measured_seconds=None,
+            modelled_cost=cost_model.backend_run_cost(stats, backend),
+        )
+        candidate._bytes = len(payload)
+        report.candidates.append(candidate)
+        try:
+            engine = IMfantEngine(mfsa, backend=backend)
+            engine.run(payload, collect_stats=False)
+            matches = engine.run(payload, collect_stats=False).matches
+            if backend == "dense":
+                engine.promote_dense(force=True)
+        except AllocationFailed as exc:
+            candidate.note = f"allocation failure: {exc}"
+            continue
+        if reference is None:
+            reference = matches
+        elif matches != reference:
+            raise AssertionError(
+                f"backend {backend!r} disagrees with {backends[0]!r} on the sample"
+            )
+        best = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            engine.run(payload, collect_stats=False)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        candidate.measured_seconds = best
+
+    timed = [c for c in report.candidates if c.measured_seconds is not None]
+    if timed:
+        report.best = min(timed, key=lambda c: c.measured_seconds)
     return report

@@ -2,8 +2,9 @@
 
 The differential property tests (tests/test_differential.py) fuzz small
 random rulesets; this suite pins down the *curated* surface instead —
-every builtin ruleset, every iMFAnt backend (python / numpy / lazy) and
-the sharded serving path must report byte-identical results:
+every builtin ruleset, every iMFAnt backend (python / numpy / lazy /
+dense — the last both cold and with its compiled tier force-promoted)
+and the sharded serving path must report byte-identical results:
 
 * identical ``(rule, end)`` match sets;
 * identical :class:`~repro.engine.counters.ExecutionStats` (modulo
@@ -30,7 +31,7 @@ from repro.engine.counters import ExecutionStats
 from repro.engine.imfant import IMfantEngine
 from repro.pipeline.compiler import CompileOptions, compile_ruleset
 
-BACKENDS = ("python", "numpy", "lazy")
+BACKENDS = ("python", "numpy", "lazy", "dense")
 
 #: The sampler quartet every backend must fill identically.  The lazy
 #: backend additionally registers ``imfant_lazy_cache_*`` instruments;
@@ -57,13 +58,25 @@ def compiled_builtins():
     return out
 
 
-def _run_all(mfsas, text, backend, single_match=False):
-    """(matches, stats-dict-without-wall, sampler-snapshots) for one backend."""
+def _run_all(mfsas, text, backend, single_match=False, promote=False):
+    """(matches, stats-dict-without-wall, sampler-snapshots) for one backend.
+
+    ``promote=True`` (dense only) warms each engine on the full stream
+    and force-compiles the tier first, so the measured run exercises the
+    compiled tables + de-opt machinery instead of the lazy ramp-up.
+    """
+    engines = [
+        IMfantEngine(mfsa, backend=backend, single_match=single_match)
+        for mfsa in mfsas
+    ]
+    if promote:  # outside the capture: the warm-up must not be sampled
+        for engine in engines:
+            engine.run(text, collect_stats=False)
+            assert engine.promote_dense(force=True)
     with obs.capture(stride=SAMPLE_STRIDE) as cap:
         matches: set = set()
         totals = ExecutionStats()
-        for mfsa in mfsas:
-            engine = IMfantEngine(mfsa, backend=backend, single_match=single_match)
+        for engine in engines:
             run = engine.run(text)
             matches |= run.matches
             totals.merge(run.stats)
@@ -101,6 +114,13 @@ def test_backends_agree_on_builtin(compiled_builtins, name):
         assert matches == reference[0], f"{name}: {backend} match set"
         assert stats == reference[1], f"{name}: {backend} ExecutionStats"
         assert histograms == reference[2], f"{name}: {backend} sampler histograms"
+
+    # dense with the compiled tier actually active (cold dense above
+    # runs the lazy ramp; this run steps the tables + de-opt machinery)
+    matches, stats, histograms = _run_all(mfsas, text, "dense", promote=True)
+    assert matches == reference[0], f"{name}: promoted dense match set"
+    assert stats == reference[1], f"{name}: promoted dense ExecutionStats"
+    assert histograms == reference[2], f"{name}: promoted dense sampler histograms"
 
 
 def test_builtin_parametrization_is_complete(compiled_builtins):

@@ -60,15 +60,29 @@ def test_all_engines_agree(data):
             got |= INfantEngine(fsa, rule_id, backend=backend).run(text).matches
         assert got == oracle, f"iNFAnt[{backend}]"
 
-    # 3. iMFAnt at several merging factors (all three backends, lazy
-    #    exercising its config-cache memoization against the same oracle)
+    # 3. iMFAnt at several merging factors (all four backends; lazy
+    #    exercising its config-cache memoization, dense running cold —
+    #    i.e. through the same lazy path under the dense driver)
     for m in (1, 2, 0):
         mfsas = merge_ruleset(fsas, m)
-        for backend in ("python", "numpy", "lazy"):
+        for backend in ("python", "numpy", "lazy", "dense"):
             got = set()
             for mfsa in mfsas:
                 got |= IMfantEngine(mfsa, backend=backend).run(text).matches
             assert got == oracle, f"iMFAnt[{backend}] M={m}"
+
+    # 3b. dense with its tier force-promoted at a hypothesis-drawn
+    #     warm-up cut: wherever the compiled region ends, the scan must
+    #     de-opt mid-buffer and still agree with the oracle
+    cut = data.draw(st.integers(min_value=0, max_value=len(text)))
+    got = set()
+    for mfsa in merge_ruleset(fsas, 0):
+        engine = IMfantEngine(mfsa, backend="dense")
+        if cut:
+            engine.run(text[:cut], collect_stats=False)
+        engine.promote_dense(force=True)
+        got |= engine.run(text).matches
+    assert got == oracle, f"iMFAnt[dense promoted] cut={cut}"
 
     merged = merge_fsas(fsas)
 
