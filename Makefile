@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke loadgen-smoke sfa-smoke dense-smoke ci clean
+.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke loadgen-smoke sfa-smoke dense-smoke chaos-smoke ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -87,9 +87,18 @@ dense-smoke:
 	PYTHONPATH=src pytest tests/ -m dense -q
 	PYTHONPATH=src timeout 600 python benchmarks/bench_dense.py --smoke
 
+# Self-healing smoke: the chaos-marked suite (retry/dedup/admission/
+# supervisor units plus the watchdog, kill-storm, heartbeat, hot-reload
+# and torn-frame drills), then the chaos-soak bench in smoke mode —
+# loadgen traffic under injected faults asserting zero incorrect match
+# sets, >=99% availability and return to steady state.
+chaos-smoke:
+	PYTHONPATH=src pytest tests/ -m chaos -q
+	PYTHONPATH=src timeout 600 python benchmarks/bench_resilience.py --smoke
+
 # What .github/workflows/ci.yml runs, for local use: the tier-1 suite
-# plus the observability, governance, serving, loadgen, SFA and dense
-# smokes.
+# plus the observability, governance, serving, loadgen, SFA, dense and
+# chaos smokes.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) obs-smoke
@@ -98,6 +107,7 @@ ci:
 	$(MAKE) loadgen-smoke
 	$(MAKE) sfa-smoke
 	$(MAKE) dense-smoke
+	$(MAKE) chaos-smoke
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \

@@ -626,6 +626,14 @@ def obs_top_main(argv: list[str] | None = None) -> int:
                   f"batches={server.get('batches', 0)} "
                   f"queued={server.get('queued', 0)} "
                   f"degradations={server.get('degradations', 0)}")
+            supervisor = server.get("supervisor") or {}
+            admission = server.get("admission") or {}
+            print(f"   resilience: deduped={server.get('requests_deduped', 0)} "
+                  f"shed={admission.get('shed_total', 0)} "
+                  f"restarts={supervisor.get('restarts_total', 0)} "
+                  f"hangs={supervisor.get('hangs_total', 0)} "
+                  f"breaker={'OPEN' if supervisor.get('breaker_open') else 'closed'} "
+                  f"reloads={server.get('reload_swaps', 0)}")
             _print_latency_table(stats.get("latency_ms"))
             shown += 1
             if limit is not None and shown >= limit:
@@ -785,8 +793,61 @@ def _print_latency_table(latency: dict | None) -> None:
 
 
 @_guarded
+def serve_health_main(argv: list[str]) -> int:
+    """``repro serve --health``: probe a *running* instance's readiness.
+
+    Exit 0 when the server answers ready, 1 when it answers not-ready
+    or cannot be reached — the contract health probes (systemd, k8s,
+    load-balancers) want.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-serve --health",
+        description="Probe a running repro serve instance's health op.",
+    )
+    parser.add_argument("--socket", type=Path, default=None, metavar="PATH")
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None, metavar="N")
+    parser.add_argument("--timeout", type=float, default=2.0, metavar="SECONDS",
+                        help="probe connect/request timeout (default 2s)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="no output; exit code only")
+    args = parser.parse_args(argv)
+
+    from repro.guard.errors import ConnectionLost
+    from repro.serve.client import MatchClient
+    from repro.serve.resilience import RetryPolicy
+
+    address = _client_address(args)
+    try:
+        with MatchClient.connect(
+            address, timeout=args.timeout, connect_timeout=args.timeout,
+            retry=RetryPolicy.none(),
+        ) as client:
+            health = client.health()
+    except (UsageError, ConnectionLost) as exc:
+        if not args.quiet:
+            print(f"unhealthy: {exc}")
+        return 1
+    ready = bool(health.get("ready"))
+    if not args.quiet:
+        state = "ready" if ready else ("healthy, not ready" if health.get("healthy") else "unhealthy")
+        print(f"{state} (code {health.get('code')})")
+        for name, ok in sorted((health.get("checks") or {}).items()):
+            print(f"  {'ok  ' if ok else 'FAIL'} {name}")
+    return 0 if ready else 1
+
+
 def serve_main(argv: list[str] | None = None) -> int:
-    """Entry point of ``repro serve``: run the resident matching service."""
+    """Entry point of ``repro serve``: run the resident matching service
+    (or, with ``--health``, probe a running one)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--health" in argv:
+        return serve_health_main([item for item in argv if item != "--health"])
+    return _serve_run_main(argv)
+
+
+@_guarded
+def _serve_run_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Serve a compiled ruleset over TCP/UNIX socket with a "
@@ -836,6 +897,28 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="compiled-ruleset cache directory (default ./serve_cache)")
     parser.add_argument("--no-shutdown-op", action="store_true",
                         help="ignore protocol shutdown requests")
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument("--no-reload-op", action="store_true",
+                            help="ignore protocol hot-reload requests")
+    resilience.add_argument("--admission-target", type=float, default=None,
+                            metavar="SECONDS",
+                            help="CoDel-style admission control: shed new "
+                                 "requests while the minimum queue wait stays "
+                                 "above this (default: off)")
+    resilience.add_argument("--admission-window", type=float, default=1.0,
+                            metavar="SECONDS",
+                            help="sliding interval for the admission wait "
+                                 "floor (default 1s)")
+    resilience.add_argument("--heartbeat", type=float, default=None,
+                            metavar="SECONDS",
+                            help="probe a shard worker every N seconds and "
+                                 "restart dead/hung executors between "
+                                 "requests (default: off)")
+    resilience.add_argument("--dedup-ttl", type=float, default=30.0,
+                            metavar="SECONDS",
+                            help="how long completed responses stay "
+                                 "replayable for idempotent retries "
+                                 "(default 30s)")
     parser.add_argument("--trace-requests", action="store_true",
                         help="record per-request span trees (queue-wait/scan/"
                              "frame) and honour clients' ship_spans flag")
@@ -872,12 +955,17 @@ def serve_main(argv: list[str] | None = None) -> int:
             lazy_eviction=args.lazy_eviction,
             scan_strategy=args.scan_strategy,
             allow_shutdown=not args.no_shutdown_op,
+            allow_reload=not args.no_reload_op,
+            admission_target=args.admission_target,
+            admission_window=args.admission_window,
+            heartbeat_interval=args.heartbeat,
+            dedup_ttl=args.dedup_ttl,
             metrics=not args.no_metrics,
             trace_requests=args.trace_requests,
         )
 
         async def _run() -> None:
-            service = MatchService(artifact, config)
+            service = MatchService(artifact, config, store=store)
             if args.socket is not None:
                 server = MatchServer(service, socket_path=str(args.socket))
             else:
@@ -921,6 +1009,24 @@ def client_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--show-matches", type=int, default=10, metavar="N",
                         help="print the first N matches (0 = none)")
     parser.add_argument("--ping", action="store_true", help="liveness probe")
+    parser.add_argument("--health", action="store_true",
+                        help="print the server's health/readiness document "
+                             "(exit 1 when not ready)")
+    parser.add_argument("--reload", type=Path, default=None, metavar="FILE",
+                        help="hot-swap the server's ruleset to the patterns "
+                             "in FILE (one ERE per line)")
+    parser.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
+                        help="per-request socket timeout (default 30s)")
+    parser.add_argument("--connect-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="dial timeout, decoupled from --timeout "
+                             "(default: same as --timeout)")
+    parser.add_argument("--retries", type=int, default=3, metavar="N",
+                        help="total attempts per request incl. the first; "
+                             "lost connections back off, reconnect and retry "
+                             "idempotently (default 3)")
+    parser.add_argument("--no-retry", action="store_true",
+                        help="fail fast on the first connection loss")
     parser.add_argument("--stats", action="store_true",
                         help="print the server's counters snapshot plus its "
                              "per-phase latency percentiles (p50/p90/p95/p99)")
@@ -939,15 +1045,38 @@ def client_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.serve.client import MatchClient
+    from repro.serve.resilience import RetryPolicy
 
+    if args.retries < 1:
+        raise UsageError("--retries must be >= 1")
+    retry = (
+        RetryPolicy.none() if args.no_retry else RetryPolicy(max_attempts=args.retries)
+    )
     exit_code = 0
     trace = args.trace or args.trace_out is not None
-    with MatchClient.connect(_client_address(args)) as client:
+    with MatchClient.connect(
+        _client_address(args), timeout=args.timeout,
+        connect_timeout=args.connect_timeout, retry=retry,
+    ) as client:
         if args.ping:
             alive = client.ping()
             print("pong" if alive else "no response")
             if not alive:
                 return 1
+        if args.health:
+            health = client.health()
+            ready = bool(health.get("ready"))
+            print(f"health: {'ready' if ready else 'not ready'} "
+                  f"(code {health.get('code')})")
+            for name, ok in sorted((health.get("checks") or {}).items()):
+                print(f"  {'ok  ' if ok else 'FAIL'} {name}")
+            if not ready:
+                exit_code = 1
+        if args.reload is not None:
+            new_patterns = _read_patterns(args.reload)
+            info = client.reload(new_patterns)
+            print(f"reloaded: ruleset {str(info.get('ruleset_key'))[:12]}… "
+                  f"({info.get('rules')} rule(s), swap #{info.get('swaps')})")
         if args.stats:
             stats = client.stats_full(prometheus=args.prometheus)
             for key, value in sorted(stats.get("server", {}).items()):
@@ -996,8 +1125,10 @@ def client_main(argv: list[str] | None = None) -> int:
                 exit_code = EXIT_PARTIAL
             elif not result.ok:
                 exit_code = 1
-        elif not (args.ping or args.stats or args.shutdown):
-            raise UsageError("nothing to do: give a stream file or --ping/--stats/--shutdown")
+        elif not (args.ping or args.stats or args.shutdown or args.health
+                  or args.reload is not None):
+            raise UsageError("nothing to do: give a stream file or --ping/"
+                             "--stats/--health/--reload/--shutdown")
         if args.shutdown:
             print("shutdown acknowledged" if client.shutdown() else "shutdown refused")
     return exit_code

@@ -17,6 +17,9 @@ the CLI glue.  The taxonomy re-parents all of them:
     ├── FormatError                serialized-artifact problems
     │   ├── AnmlFormatError        (anml.reader;   also ValueError)
     │   └── MfsaJsonError          (mfsa.serialize; also ValueError)
+    ├── ConnectionLost             a serve connection died mid-exchange
+    │                              (also ConnectionError, so ``except
+    │                              OSError`` call sites keep working)
     ├── BudgetExceeded             a resource budget was hit
     │   ├── LoopBudgetExceeded     (automata.loops)
     │   ├── DfaExplosionError      (dfa.dfa;        also RuntimeError)
@@ -58,6 +61,7 @@ __all__ = [
     "UsageError",
     "CompileError",
     "FormatError",
+    "ConnectionLost",
     "BudgetExceeded",
     "LoopBudgetExceeded",
     "MemoryBudgetExceeded",
@@ -114,6 +118,18 @@ class FormatError(ReproError):
     """A serialized artifact (ANML, MFSA JSON) is malformed."""
 
     default_stage = "format"
+
+
+class ConnectionLost(ReproError, ConnectionError):
+    """A serve-protocol connection died mid-exchange: the peer closed
+    (or truncated) a frame, reset the socket, or stopped answering
+    within the request timeout.  The stream position is unknowable
+    afterwards, so the connection must be re-established before reuse —
+    :class:`~repro.serve.client.RetryPolicy` does exactly that.  Also a
+    :class:`ConnectionError` so legacy ``except OSError`` call sites
+    keep working; maps to exit code 1 like any other ``ReproError``."""
+
+    default_stage = "serve-client"
 
 
 class BudgetExceeded(ReproError):

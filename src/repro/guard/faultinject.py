@@ -33,6 +33,26 @@ Points
     Raise :class:`MemoryError` during engine backend setup.  The arg
     selects the backend name (``True`` = any); the engine wraps it into
     :class:`~repro.guard.errors.AllocationFailed`.
+``serve.worker.kill``
+    Hard-kill the shard worker *process* (``os._exit``) on scan entry —
+    the dead-worker drill the :class:`~repro.serve.resilience.
+    ShardSupervisor` must recover from.  Only fired from process-mode
+    workers (killing a thread worker would kill the whole service).
+    ``True`` = every scan; a float in (0, 1) = per-scan probability.
+``serve.worker.hang``
+    Sleep on shard-scan entry, ignoring the engine deadline — the
+    wedged-worker drill for the per-scan watchdog.  The arg is the hang
+    in seconds (``True`` = 30).
+``serve.conn.drop``
+    Drop the server-side connection instead of writing a reply — the
+    client sees a mid-frame EOF and must reconnect/retry.  ``True`` =
+    every reply; a float in (0, 1) = probability.  Read via
+    :func:`decide` in the reply path.
+``serve.frame.truncate``
+    Write only the first half of a response frame, then drop the
+    connection — the torn-frame drill for the client's
+    :class:`~repro.guard.errors.ConnectionLost` handling.  Arg as for
+    ``serve.conn.drop``.
 
 Activation
 ==========
@@ -65,6 +85,7 @@ __all__ = [
     "InjectedFaultError",
     "inject",
     "fire",
+    "decide",
     "value",
     "is_active",
     "active_points",
@@ -80,6 +101,10 @@ POINTS = (
     "engine.step_delay",
     "lazy.cache_pressure",
     "alloc",
+    "serve.worker.kill",
+    "serve.worker.hang",
+    "serve.conn.drop",
+    "serve.frame.truncate",
 )
 
 _ACTIVE: Dict[str, Any] = {}
@@ -173,7 +198,37 @@ def fire(point: str, **ctx: Any) -> None:
         backend = ctx.get("backend")
         if arg is True or arg == backend:
             raise MemoryError(f"injected allocation failure (backend {backend!r})")
-    # lazy.cache_pressure is consumed via value() at cache construction.
+    elif point == "serve.worker.hang":
+        time.sleep(float(arg) if arg is not True else 30.0)
+    elif point == "serve.worker.kill":
+        if decide(point):
+            os._exit(17)  # simulate a hard worker death (OOM-kill, segfault)
+    # lazy.cache_pressure is consumed via value() at cache construction;
+    # serve.conn.drop / serve.frame.truncate are consumed via decide()
+    # in the server's reply path.
+
+
+def decide(point: str) -> bool:
+    """Probabilistic yes/no for ``point``: False when disarmed, True when
+    armed with ``True``, and a Bernoulli draw when armed with a float
+    probability in (0, 1).  Used by fault sites that *choose* a failure
+    (drop this connection?  kill this worker?) rather than raise one."""
+    if not _ACTIVE:  # fast path: nothing armed
+        return False
+    arg = _ACTIVE.get(point)
+    if arg is None:
+        return False
+    if arg is True:
+        return True
+    try:
+        probability = float(arg)
+    except (TypeError, ValueError):
+        return False
+    if probability >= 1.0:
+        return True
+    import random
+
+    return random.random() < probability
 
 
 def load_env(environ: Optional[dict] = None) -> int:

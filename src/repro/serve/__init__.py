@@ -16,7 +16,13 @@ The serving layer on top of the compile→match pipeline (docs/serving.md):
   and coalescing, bounded-queue backpressure, per-request
   :class:`~repro.guard.budget.Budget` deadlines, ``serve_*`` metrics;
 * :mod:`repro.serve.client` — blocking :class:`MatchClient` for
-  scripts, tests and the ``repro client`` CLI.
+  scripts, tests and the ``repro client`` CLI, with retry/reconnect
+  under a :class:`RetryPolicy`;
+* :mod:`repro.serve.resilience` — the self-healing primitives:
+  :class:`RetryPolicy` (backoff + full jitter), :class:`DedupWindow`
+  (idempotent-retry replay), :class:`AdmissionController` (CoDel-style
+  overload shedding) and :class:`ShardSupervisor` (worker restart
+  backoff + circuit breaker); see docs/robustness.md.
 
 Quick start::
 
@@ -38,6 +44,12 @@ from repro.serve.protocol import (
     FrameError,
     MatchRequest,
 )
+from repro.serve.resilience import (
+    AdmissionController,
+    DedupWindow,
+    RetryPolicy,
+    ShardSupervisor,
+)
 from repro.serve.server import MatchServer, MatchService, ServeConfig, ServerThread
 from repro.serve.shards import (
     ShardJob,
@@ -57,6 +69,10 @@ __all__ = [
     "MatchRequest",
     "MAX_FRAME_BYTES",
     "STATUS_CODES",
+    "AdmissionController",
+    "DedupWindow",
+    "RetryPolicy",
+    "ShardSupervisor",
     "MatchServer",
     "MatchService",
     "ServeConfig",

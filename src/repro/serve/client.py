@@ -13,22 +13,48 @@ REPL::
 string — the same ``address`` value :class:`~repro.serve.server.
 ServerThread` exposes.  Requests carry monotonically increasing ids;
 since this client pipelines nothing, responses map 1:1 in order.
+
+Resilience
+==========
+
+Two timeouts govern a connection, deliberately decoupled: the
+**connect timeout** bounds only the TCP/UNIX dial (a dead host fails
+fast), while the **request timeout** bounds each send/receive once
+connected (a big scan may legitimately take longer than a dial should).
+Historically one ``timeout`` value served both jobs, so tightening the
+dial also cut off slow-but-healthy scans.
+
+A connection that dies mid-exchange (peer closed, truncated frame,
+reset, silence past the request timeout) raises the typed
+:class:`~repro.guard.errors.ConnectionLost` — the stream position is
+gone, so the client must re-dial before reuse.  With a
+:class:`~repro.serve.resilience.RetryPolicy` attached (the default),
+:meth:`MatchClient.match` does exactly that: exponential backoff with
+full jitter, reconnect, and a fresh attempt.  Each attempt mints a
+fresh request ``id`` but every retry of one logical request carries the
+same client-minted ``request_key``; when the first attempt completed
+server-side and only the *reply* was lost, the server answers from its
+dedup window instead of scanning twice — retries stay idempotent.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+import uuid
 from dataclasses import dataclass, field
-from typing import Any, Optional, Union
+from typing import Any, Optional, Sequence, Union
 
 import repro.obs as obs
-from repro.guard.errors import UsageError
+from repro.guard.errors import ConnectionLost, UsageError
 from repro.serve.protocol import (
     FrameError,
     encode_payload,
     recv_frame,
     send_frame,
 )
+from repro.serve.resilience import RetryPolicy
 
 __all__ = ["ClientResult", "MatchClient"]
 
@@ -65,46 +91,176 @@ class ClientResult:
     def rejected(self) -> bool:
         return self.status == "rejected"
 
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The server's backoff hint in seconds (rejections), or None."""
+        hint = self.raw.get("retry_after_ms")
+        return hint / 1000.0 if isinstance(hint, (int, float)) else None
+
 
 class MatchClient:
     """One connection to a running match service."""
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        address: Optional[Address] = None,
+        timeout: Optional[float] = 30.0,
+        connect_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self._sock = sock
         self._next_id = 0
+        self._address = address
+        self._timeout = timeout
+        self._connect_timeout = connect_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = random.Random()
+        self._needs_reconnect = False
+        #: reconnects performed over this client's lifetime
+        self.reconnects = 0
+        #: retried attempts (beyond each operation's first) performed
+        self.retries = 0
 
     @classmethod
-    def connect(cls, address: Address, timeout: Optional[float] = 30.0) -> "MatchClient":
-        """Open a connection to a TCP ``(host, port)`` or UNIX-path address."""
+    def connect(
+        cls,
+        address: Address,
+        timeout: Optional[float] = 30.0,
+        connect_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "MatchClient":
+        """Open a connection to a TCP ``(host, port)`` or UNIX-path address.
+
+        ``connect_timeout`` bounds only the dial (default: ``timeout``);
+        ``timeout`` bounds each request round trip once connected.
+        ``retry`` is the :class:`RetryPolicy` for retryable operations
+        (pass :meth:`RetryPolicy.none` to fail fast).
+        """
+        sock = cls._dial(address, timeout, connect_timeout)
+        return cls(
+            sock,
+            address=address,
+            timeout=timeout,
+            connect_timeout=connect_timeout,
+            retry=retry,
+        )
+
+    @staticmethod
+    def _dial(
+        address: Address,
+        timeout: Optional[float],
+        connect_timeout: Optional[float],
+    ) -> socket.socket:
         if isinstance(address, str):
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         elif isinstance(address, tuple) and len(address) == 2:
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         else:
             raise UsageError(f"bad address {address!r}: need (host, port) or a socket path")
-        sock.settimeout(timeout)
+        sock.settimeout(connect_timeout if connect_timeout is not None else timeout)
         try:
             sock.connect(address)
         except OSError as exc:
             sock.close()
             raise UsageError(f"cannot connect to {address!r}: {exc}") from exc
-        return cls(sock)
+        # the dial is done: from here on the *request* timeout governs
+        sock.settimeout(timeout)
+        return sock
 
     # -- request plumbing --------------------------------------------------
 
-    def _roundtrip(self, document: dict[str, Any]) -> dict[str, Any]:
-        self._next_id += 1
-        document["id"] = self._next_id
+    def _reconnect(self) -> None:
+        if self._address is None:
+            raise ConnectionLost("connection lost and no address to re-dial")
         try:
-            send_frame(self._sock, document)
-            response = recv_frame(self._sock)
-        except (OSError, FrameError) as exc:
-            raise UsageError(f"serve request failed: {exc}") from exc
-        if response.get("id") not in (self._next_id, None):
-            raise UsageError(
-                f"response id {response.get('id')} does not match request {self._next_id}"
+            self._sock.close()
+        except OSError:
+            pass
+        try:
+            self._sock = self._dial(self._address, self._timeout, self._connect_timeout)
+        except UsageError as exc:
+            raise ConnectionLost(f"reconnect failed: {exc}") from exc
+        self._needs_reconnect = False
+        self.reconnects += 1
+
+    def _roundtrip(
+        self, document: dict[str, Any], retryable: bool = True
+    ) -> dict[str, Any]:
+        """Send one document, receive its response — under the retry
+        policy when ``retryable`` (lost connections re-dial and resend;
+        each attempt gets a fresh ``id``).  Non-retryable operations make
+        exactly one attempt and surface :class:`ConnectionLost` raw."""
+        policy = self.retry if retryable else RetryPolicy.none()
+        deadline_at = (
+            time.monotonic() + policy.op_deadline
+            if policy.op_deadline is not None
+            else None
+        )
+        last_error: Optional[ConnectionLost] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.retries += 1
+                delay = policy.delay(attempt - 1, self._rng)
+                if deadline_at is not None:
+                    delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+                if delay > 0:
+                    time.sleep(delay)
+                if self._needs_reconnect:
+                    if not policy.reconnect:
+                        break
+                    try:
+                        self._reconnect()
+                    except ConnectionLost as exc:
+                        last_error = exc
+                        if deadline_at is not None and time.monotonic() >= deadline_at:
+                            break
+                        continue
+            self._next_id += 1
+            document["id"] = self._next_id
+            try:
+                send_frame(self._sock, document)
+                response = recv_frame(self._sock)
+            except ConnectionLost as exc:
+                last_error = exc
+                self._needs_reconnect = True
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    break
+                continue
+            except OSError as exc:
+                # timeouts land here too: after a missed reply the next
+                # frame on this stream would answer the *old* request,
+                # so the connection is poisoned either way
+                last_error = ConnectionLost(f"serve connection failed: {exc}")
+                last_error.__cause__ = exc
+                self._needs_reconnect = True
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    break
+                continue
+            except FrameError as exc:
+                raise UsageError(f"serve request failed: {exc}") from exc
+            if response.get("id") not in (self._next_id, None):
+                raise UsageError(
+                    f"response id {response.get('id')} does not match request {self._next_id}"
+                )
+            if (
+                policy.retry_rejected
+                and response.get("status") == "rejected"
+                and attempt + 1 < policy.max_attempts
+            ):
+                hint = response.get("retry_after_ms")
+                if isinstance(hint, (int, float)) and hint > 0:
+                    pause = hint / 1000.0
+                    if deadline_at is not None:
+                        pause = min(pause, max(0.0, deadline_at - time.monotonic()))
+                    time.sleep(pause)
+                continue
+            return response
+        if last_error is None:
+            last_error = ConnectionLost(
+                f"request not answered within {policy.max_attempts} attempt(s)"
             )
-        return response
+        raise last_error
 
     # -- operations --------------------------------------------------------
 
@@ -116,6 +272,11 @@ class MatchClient:
         trace: bool = False,
     ) -> ClientResult:
         """Scan one payload; returns the decoded response.
+
+        Retryable under the client's :class:`RetryPolicy`: every attempt
+        of one logical request shares a ``request_key``, so a retry whose
+        predecessor completed server-side is answered from the dedup
+        window — never scanned twice, never answered differently.
 
         ``trace=True`` mints a trace id, sends it with the request, asks
         the server to ship its span rows back, and — when a local tracer
@@ -129,6 +290,8 @@ class MatchClient:
             document["single_match"] = True
         if deadline_ms is not None:
             document["deadline_ms"] = deadline_ms
+        if self.retry.max_attempts > 1:
+            document["request_key"] = uuid.uuid4().hex
         trace_id: Optional[str] = None
         if trace:
             trace_id = obs.new_trace_id()
@@ -175,6 +338,13 @@ class MatchClient:
     def ping(self) -> bool:
         return self._roundtrip({"op": "ping"}).get("status") == "ok"
 
+    def health(self) -> dict[str, Any]:
+        """The server's health document: ``status`` (``ok`` when ready,
+        ``unavailable`` otherwise), ``healthy``/``ready`` booleans and a
+        per-subsystem ``checks`` map.  Never raises on a 503 — probes
+        want the document, not an exception."""
+        return self._roundtrip({"op": "health"})
+
     def server_stats(self) -> dict[str, Any]:
         response = self._roundtrip({"op": "stats"})
         if response.get("status") != "ok":
@@ -194,9 +364,27 @@ class MatchClient:
             raise UsageError(f"stats request failed: {response.get('error')}")
         return response
 
+    def reload(self, patterns: Sequence[str]) -> dict[str, Any]:
+        """Hot-swap the server's ruleset (when the server enables it).
+
+        The server compiles the new artifact off the event loop and
+        atomically swaps its shard pool; this call returns once the swap
+        is live (in-flight requests finish on the old engines).  Not
+        retried automatically — a lost reply leaves the swap state
+        unknown, and the caller should probe :meth:`health` instead of
+        compiling twice."""
+        response = self._roundtrip(
+            {"op": "reload", "patterns": list(patterns)}, retryable=False
+        )
+        if response.get("status") != "ok":
+            raise UsageError(f"reload failed: {response.get('error')}")
+        return response
+
     def shutdown(self) -> bool:
-        """Ask the server to drain and stop; True when acknowledged."""
-        return self._roundtrip({"op": "shutdown"}).get("status") == "ok"
+        """Ask the server to drain and stop; True when acknowledged.
+        Never retried — re-dialing a server that is tearing down only
+        manufactures confusing failures."""
+        return self._roundtrip({"op": "shutdown"}, retryable=False).get("status") == "ok"
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -15,10 +15,21 @@ Requests
 ========== ============================================================
 op         semantics
 ========== ============================================================
-``match``  scan the payload; optional ``single_match`` (bool) and
-           ``deadline_ms`` (per-request wall-clock budget)
+``match``  scan the payload; optional ``single_match`` (bool),
+           ``deadline_ms`` (per-request wall-clock budget) and
+           ``request_key`` (a client-minted idempotency token: a retry
+           of a request that already completed is answered from the
+           server's dedup window instead of rescanned)
 ``ping``   liveness probe; echoes ``id``
 ``stats``  service counters snapshot (queue depth, shards, backend, …)
+``health`` readiness/liveness probe: ``healthy``/``ready`` booleans
+           plus per-subsystem ``checks``; answers 200 when ready to
+           serve, 503 (``unavailable``) while draining or while the
+           worker circuit breaker is open
+``reload`` compile/load a new ruleset (``patterns``: list of ERE
+           strings) in the background and atomically swap the shard
+           pool — in-flight and queued requests finish on the old
+           engines, later ones use the new (when enabled)
 ``shutdown`` drain and stop the server (when enabled)
 ========== ============================================================
 
@@ -29,10 +40,11 @@ Responses
 
 HTTP-flavoured codes so operators can reuse their intuition: 200 ok,
 206 partial result (deadline hit — the returned matches are the honest
-prefix), 400 malformed request, 429 rejected by backpressure (bounded
-queue full, or the server is shutting down; retry later), 500 internal
-error.  A response always echoes the request ``id`` — batching may
-complete requests out of order.
+prefix), 400 malformed request, 429 rejected (bounded queue full,
+admission control shed the request, or the server is shutting down —
+these carry a ``retry_after_ms`` backoff hint), 500 internal error,
+503 not ready (health probe only).  A response always echoes the
+request ``id`` — batching may complete requests out of order.
 
 Rules that match at *every* offset (ε-accepting, e.g. ``a*``) are not
 enumerated in ``matches`` — one such rule on a large payload would
@@ -50,7 +62,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.guard.errors import FormatError
+from repro.guard.errors import ConnectionLost, FormatError
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -79,6 +91,7 @@ STATUS_CODES = {
     "bad-request": 400,
     "rejected": 429,
     "error": 500,
+    "unavailable": 503,
 }
 
 
@@ -146,7 +159,12 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     while remaining:
         chunk = sock.recv(remaining)
         if not chunk:
-            raise FrameError("connection closed mid-frame")
+            # typed, retryable: the peer closed (or truncated a frame)
+            # mid-read — the stream position is gone, only a reconnect
+            # can recover (see RetryPolicy)
+            raise ConnectionLost(
+                f"connection closed mid-frame ({count - remaining} of {count} bytes read)"
+            )
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
@@ -177,6 +195,10 @@ class MatchRequest:
     #: when true (and the server traces requests), the response carries
     #: the server-side span rows for this request under ``"spans"``
     ship_spans: bool = False
+    #: client-minted idempotency token, stable across retries of one
+    #: logical request (each retry still mints a fresh ``id``); lets the
+    #: server replay a completed answer from its dedup window
+    request_key: Optional[str] = None
     meta: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -198,6 +220,16 @@ class MatchRequest:
         if trace_id is not None:
             if not isinstance(trace_id, str) or not trace_id or len(trace_id) > 64:
                 raise FrameError("'trace_id' must be a non-empty string (<= 64 chars)")
+        request_key = document.get("request_key")
+        if request_key is not None:
+            if (
+                not isinstance(request_key, str)
+                or not request_key
+                or len(request_key) > 128
+            ):
+                raise FrameError(
+                    "'request_key' must be a non-empty string (<= 128 chars)"
+                )
         return cls(
             id=request_id,
             payload=payload,
@@ -205,6 +237,7 @@ class MatchRequest:
             deadline_ms=deadline_ms,
             trace_id=trace_id,
             ship_spans=bool(document.get("ship_spans", False)),
+            request_key=request_key,
         )
 
 

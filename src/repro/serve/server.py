@@ -26,6 +26,17 @@ socket, coalesces them into batches, and fans each payload out over the
    batch-size and queue-wait histograms, per-shard throughput (via the
    pool) — all on the active :mod:`repro.obs` registry, exportable with
    the usual ``--metrics-out``.
+5. **Self-healing.**  Worker supervision rides in the pool (restart
+   backoff, hung-scan watchdog, breaker — :mod:`repro.serve.shards`);
+   the service adds the request-plane half: a :class:`~repro.serve.
+   resilience.DedupWindow` answers idempotent retries without a second
+   scan, an optional :class:`~repro.serve.resilience.
+   AdmissionController` sheds standing overload early with Retry-After
+   hints, a periodic worker heartbeat catches dead executors *between*
+   requests, the ``health`` op separates liveness from readiness, and
+   the ``reload`` op compiles a new ruleset off the loop and atomically
+   swaps the shard pool under live traffic (in-flight scans pin the old
+   pool via refcount; zero requests dropped).
 
 :class:`ServerThread` wraps the event loop in a daemon thread for
 synchronous callers (tests, benchmarks, the CLI's smoke path).
@@ -39,15 +50,17 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Awaitable, Callable, Optional
+from typing import Any, Awaitable, Callable, Optional, Sequence
 
 import repro.obs as obs
 from repro.engine.imfant import DEFAULT_DEADLINE_STRIDE
 from repro.engine.lazy import DEFAULT_CACHE_SIZE
+from repro.guard import faultinject
 from repro.guard.budget import Budget
 from repro.guard.errors import DeadlineExceeded, ReproError, UsageError
-from repro.serve.artifacts import Artifact
+from repro.serve.artifacts import Artifact, ArtifactStore
 from repro.serve.protocol import (
+    STATUS_CODES,
     FrameError,
     MatchRequest,
     decode_body,
@@ -56,6 +69,7 @@ from repro.serve.protocol import (
     frame_length,
     match_response,
 )
+from repro.serve.resilience import AdmissionController, DedupWindow, ShardSupervisor
 from repro.serve.shards import ShardPool
 
 __all__ = ["ServeConfig", "MatchService", "MatchServer", "ServerThread"]
@@ -92,6 +106,27 @@ class ServeConfig:
     #: honour the protocol's ``shutdown`` op (CLI and tests; a hardened
     #: deployment would front this with real auth)
     allow_shutdown: bool = True
+    #: honour the protocol's ``reload`` op (needs an artifact store on
+    #: the service to compile the incoming patterns)
+    allow_reload: bool = True
+    #: CoDel-style admission target in seconds: shed new requests while
+    #: the *minimum* queue wait over ``admission_window`` stays above
+    #: this (None = admission control off)
+    admission_target: Optional[float] = None
+    #: sliding interval for the admission controller's wait floor
+    admission_window: float = 1.0
+    #: how long a completed response stays replayable for an idempotent
+    #: retry carrying the same ``request_key``
+    dedup_ttl: float = 30.0
+    #: replay-window size bound (LRU beyond it)
+    dedup_entries: int = 1024
+    #: period of the background worker heartbeat probe (None = off);
+    #: catches dead/wedged executors between requests instead of on the
+    #: first victim request
+    heartbeat_interval: Optional[float] = None
+    #: how long one heartbeat probe may take before the worker counts as
+    #: hung
+    heartbeat_timeout: float = 2.0
     #: enable a service-owned metrics registry when none is active, so a
     #: bare ``repro serve`` still answers the ``stats`` op with
     #: percentiles (an already-active registry is reused, never replaced)
@@ -111,6 +146,10 @@ class ServeConfig:
             raise UsageError(f"queue_depth must be >= 1 (got {self.queue_depth})")
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise UsageError("default_deadline must be positive")
+        if self.admission_target is not None and self.admission_target <= 0:
+            raise UsageError("admission_target must be positive")
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise UsageError("heartbeat_interval must be positive")
 
 
 class _Metrics:
@@ -157,10 +196,51 @@ class _Pending:
 class MatchService:
     """The queue + dispatcher + shard pool behind the socket front end."""
 
-    def __init__(self, artifact: Artifact, config: ServeConfig | None = None) -> None:
+    def __init__(
+        self,
+        artifact: Artifact,
+        config: ServeConfig | None = None,
+        store: Optional[ArtifactStore] = None,
+    ) -> None:
         self.artifact = artifact
         self.config = config or ServeConfig()
-        self.pool = ShardPool(
+        #: compiles ``reload`` rulesets; without one, reload is refused
+        self.store = store
+        #: one supervisor for the service's lifetime — restart/breaker
+        #: history survives hot reloads (worker health is orthogonal to
+        #: which ruleset the workers run)
+        self.supervisor = ShardSupervisor()
+        self.pool = self._build_pool(artifact)
+        self.dedup = DedupWindow(
+            ttl=self.config.dedup_ttl, max_entries=self.config.dedup_entries
+        )
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(
+                target=self.config.admission_target,
+                window=self.config.admission_window,
+            )
+            if self.config.admission_target is not None
+            else None
+        )
+        self.metrics = _Metrics()
+        self.requests_handled = 0
+        self.requests_rejected = 0
+        self.requests_partial = 0
+        self.requests_deduped = 0
+        self.batches = 0
+        self.reload_swaps = 0
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._reload_lock: Optional[asyncio.Lock] = None
+        self._inflight = 0
+        self._running = False
+        self._draining = False
+        self._owns_registry = False
+        self._owns_tracer = False
+
+    def _build_pool(self, artifact: Artifact) -> ShardPool:
+        return ShardPool(
             artifact,
             num_shards=self.config.shards,
             backend=self.config.backend,
@@ -169,19 +249,21 @@ class MatchService:
             lazy_eviction=self.config.lazy_eviction,
             deadline_stride=self.config.deadline_stride,
             scan_strategy=self.config.scan_strategy,
+            supervisor=self.supervisor,
         )
-        self.metrics = _Metrics()
-        self.requests_handled = 0
-        self.requests_rejected = 0
-        self.requests_partial = 0
-        self.batches = 0
-        self._queue: Optional[asyncio.Queue] = None
-        self._dispatcher: Optional[asyncio.Task] = None
-        self._inflight = 0
-        self._running = False
-        self._draining = False
-        self._owns_registry = False
-        self._owns_tracer = False
+
+    def _acquire_pool(self) -> ShardPool:
+        """Pin the current pool for one scan.  A hot reload can retire
+        the pool between reading the reference and pinning it — re-read
+        until the pin lands (the swap is a single attribute write, so
+        this loop runs at most twice in practice)."""
+        while True:
+            pool = self.pool
+            try:
+                pool.acquire()
+                return pool
+            except UsageError:
+                continue
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -200,9 +282,12 @@ class MatchService:
             _obs_spans.enable()
             self._owns_tracer = True
         self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._reload_lock = asyncio.Lock()
         self._running = True
         self._draining = False
         self._spawn_dispatcher()
+        if self.config.heartbeat_interval is not None:
+            self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
 
     def _spawn_dispatcher(self) -> None:
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
@@ -241,6 +326,13 @@ class MatchService:
         a shutdown only via a closed connection.
         """
         self._draining = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
         if self._dispatcher is not None and drain_timeout > 0:
             try:
                 await asyncio.wait_for(self._wait_drained(), timeout=drain_timeout)
@@ -318,6 +410,42 @@ class MatchService:
                 error_response(request.id, "rejected", "server shutting down")
             )
             return
+        if request.request_key is not None:
+            stored = self.dedup.get(request.request_key)
+            if stored is not None:
+                # an idempotent retry of work that already completed —
+                # the first reply was lost, not the scan.  Replay the
+                # stored answer under the retry's id; never scan twice.
+                self.requests_deduped += 1
+                self.metrics.count(
+                    "serve_dedup_replays_total",
+                    "responses replayed from the idempotent-retry window",
+                )
+                replayed = dict(stored)
+                replayed["id"] = request.id
+                replayed["deduped"] = True
+                await reply(replayed)
+                return
+        if self.admission is not None and self.admission.should_shed():
+            # standing overload: the *minimum* queue wait has stayed
+            # above target — shed now with a backoff hint instead of
+            # queueing into a latency cliff
+            hint = self.admission.shed()
+            self.requests_rejected += 1
+            self.metrics.count(
+                "serve_admission_shed_total",
+                "requests shed by the admission controller",
+            )
+            self.metrics.count(
+                "serve_rejected_total", "requests rejected by backpressure (queue full)"
+            )
+            document = error_response(
+                request.id, "rejected",
+                f"overloaded (queue wait floor above {self.admission.target}s); retry later",
+            )
+            document["retry_after_ms"] = round(hint * 1000.0, 3)
+            await reply(document)
+            return
         deadline = self._deadline_for(request)
         meter = Budget(deadline=deadline).start() if deadline is not None else None
         trace_id = request.trace_id
@@ -345,12 +473,15 @@ class MatchService:
                 "serve_rejected_total", "requests rejected by backpressure (queue full)"
             )
             self._finish_span(pending, status="error")
-            await reply(
-                error_response(
-                    request.id, "rejected",
-                    f"queue full ({self.config.queue_depth} deep); retry later",
-                )
+            document = error_response(
+                request.id, "rejected",
+                f"queue full ({self.config.queue_depth} deep); retry later",
             )
+            if self.admission is not None:
+                document["retry_after_ms"] = round(
+                    (self.admission.min_wait() or self.admission.target) * 1000.0, 3
+                )
+            await reply(document)
             return
         self.metrics.gauge(
             "serve_queue_depth", "match requests waiting for dispatch",
@@ -445,10 +576,13 @@ class MatchService:
             len(request.payload), bounds=_BYTES_BUCKETS,
         )
         dispatched_at = time.perf_counter()
+        queue_wait = dispatched_at - pending.enqueued_at
         self.metrics.observe(
             "serve_queue_wait_seconds", "time spent queued before dispatch",
-            dispatched_at - pending.enqueued_at, bounds=_WAIT_BUCKETS,
+            queue_wait, bounds=_WAIT_BUCKETS,
         )
+        if self.admission is not None:
+            self.admission.observe(queue_wait)
         obs.record_span(
             "serve.queue_wait", pending.enqueued_at, dispatched_at,
             parent=pending.span if isinstance(pending.span, obs.Span) else None,
@@ -475,14 +609,18 @@ class MatchService:
                 return
             remaining = pending.meter.deadline_at - time.perf_counter()
         scan_started = time.perf_counter()
-        result = await asyncio.to_thread(
-            self.pool.scan,
-            request.payload,
-            deadline=remaining,
-            single_match=request.single_match,
-            trace_id=pending.trace_id,
-            parent=pending.span if isinstance(pending.span, obs.Span) else None,
-        )
+        pool = self._acquire_pool()
+        try:
+            result = await asyncio.to_thread(
+                pool.scan,
+                request.payload,
+                deadline=remaining,
+                single_match=request.single_match,
+                trace_id=pending.trace_id,
+                parent=pending.span if isinstance(pending.span, obs.Span) else None,
+            )
+        finally:
+            pool.release()
         self.metrics.observe(
             "serve_scan_seconds", "shard-pool scan wall seconds per request",
             time.perf_counter() - scan_started, bounds=_WAIT_BUCKETS,
@@ -533,12 +671,123 @@ class MatchService:
             document["spans"] = tracer.export_spans(
                 trace_id=pending.trace_id, pop=self._owns_tracer
             )
+        if request.request_key is not None:
+            # remember the completed answer *before* the reply attempt:
+            # the reply is exactly the part that can get lost, and a
+            # retry must find the result waiting.  Span rows stay out —
+            # a replay is not a re-trace.
+            self.dedup.put(
+                request.request_key,
+                {key: value for key, value in document.items() if key != "spans"},
+            )
         reply_started = time.perf_counter()
         await pending.reply(document)
         self.metrics.observe(
             "serve_reply_seconds", "frame-encode + socket-write wall seconds",
             time.perf_counter() - reply_started, bounds=_WAIT_BUCKETS,
         )
+
+    # -- supervision / reload ----------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        """Probe a worker slot every ``heartbeat_interval`` seconds so a
+        dead or wedged executor is caught (and rebuilt) between requests
+        instead of on the first victim request."""
+        assert self.config.heartbeat_interval is not None
+        while True:
+            await asyncio.sleep(self.config.heartbeat_interval)
+            try:
+                pool = self._acquire_pool()
+            except Exception:
+                continue
+            try:
+                ok = await asyncio.to_thread(
+                    pool.heartbeat, self.config.heartbeat_timeout
+                )
+            except Exception:
+                ok = False
+            finally:
+                pool.release()
+            self.metrics.gauge(
+                "serve_heartbeat_ok",
+                "1 when the most recent worker heartbeat came back in time",
+                1.0 if ok else 0.0,
+            )
+
+    async def reload(self, patterns: Sequence[str]) -> dict[str, Any]:
+        """Compile ``patterns`` off the event loop and atomically swap
+        the shard pool — the hot-reload op.
+
+        The swap is one attribute write; requests already pinned to the
+        old pool finish on the old engines (the refcount keeps its
+        executor alive until they release), requests submitted after the
+        write scan the new ruleset.  Nothing is dropped in between.  A
+        failed compile leaves the serving pool untouched.
+        """
+        if self.store is None:
+            raise UsageError("reload needs an artifact store (start the service with one)")
+        assert self._reload_lock is not None, "service not started"
+        async with self._reload_lock:
+            artifact = await asyncio.to_thread(
+                self.store.get_or_compile, list(patterns)
+            )
+            new_pool = self._build_pool(artifact)
+            old_pool, self.pool = self.pool, new_pool
+            self.artifact = artifact
+            self.reload_swaps += 1
+            self.metrics.count(
+                "serve_reload_swaps_total",
+                "hot ruleset reloads that swapped the shard pool",
+            )
+            # retire off-loop: close() blocks only until in-flight scans
+            # on the old pool release their pins
+            await asyncio.to_thread(old_pool.close)
+        return {
+            "ruleset_key": artifact.key,
+            "rules": artifact.num_rules,
+            "swaps": self.reload_swaps,
+        }
+
+    def health_snapshot(self) -> dict[str, Any]:
+        """Liveness vs readiness, decomposed per subsystem.
+
+        ``healthy`` = the dispatcher is alive (restart-on-death makes
+        this nearly always true while the process lives); ``ready`` =
+        healthy *and* accepting work at full capacity: not draining, the
+        worker breaker closed, the last heartbeat (if any ran) answered.
+        Load-balancers pull a not-ready instance; only a dead one gets
+        restarted.
+        """
+        dispatcher_alive = (
+            self._running
+            and self._dispatcher is not None
+            and not self._dispatcher.done()
+        )
+        breaker_open = self.supervisor.breaker_open()
+        checks = {
+            "dispatcher": dispatcher_alive,
+            "not_draining": not self._draining,
+            "worker_breaker_closed": not breaker_open,
+            "worker_heartbeat": self.pool.last_heartbeat_ok is not False,
+            "queue_has_room": (
+                self._queue is not None
+                and self._queue.qsize() < self.config.queue_depth
+            ),
+            "admission_open": self.admission is None or not self.admission.should_shed(),
+        }
+        healthy = dispatcher_alive
+        ready = (
+            healthy
+            and checks["not_draining"]
+            and checks["worker_breaker_closed"]
+            and checks["worker_heartbeat"]
+        )
+        return {
+            "healthy": healthy,
+            "ready": ready,
+            "checks": checks,
+            "supervisor": self.supervisor.snapshot(),
+        }
 
     # -- introspection -----------------------------------------------------
 
@@ -559,8 +808,21 @@ class MatchService:
             "requests_handled": self.requests_handled,
             "requests_rejected": self.requests_rejected,
             "requests_partial": self.requests_partial,
+            "requests_deduped": self.requests_deduped,
             "batches": self.batches,
             "degradations": len(self.pool.degradations),
+            "reload_swaps": self.reload_swaps,
+            "dedup_window": {"entries": len(self.dedup), "hits": self.dedup.hits},
+            "admission": (
+                {
+                    "target_s": self.admission.target,
+                    "wait_floor_s": self.admission.min_wait(),
+                    "shed_total": self.admission.shed_total,
+                }
+                if self.admission is not None
+                else None
+            ),
+            "supervisor": self.supervisor.snapshot(),
         }
 
     def metrics_snapshot(self) -> Optional[dict[str, Any]]:
@@ -672,7 +934,27 @@ class MatchServer:
             async with write_lock:
                 if writer.is_closing():
                     return
+                if faultinject.decide("serve.conn.drop"):
+                    # drill: the reply vanishes and the connection dies —
+                    # the client sees EOF where a frame was due
+                    self.service.metrics.count(
+                        "serve_fault_conn_drops_total",
+                        "replies dropped by the serve.conn.drop drill",
+                    )
+                    writer.close()
+                    return
                 try:
+                    if faultinject.decide("serve.frame.truncate"):
+                        # drill: half a frame, then EOF — the torn-frame
+                        # case the client's ConnectionLost handling owns
+                        self.service.metrics.count(
+                            "serve_fault_frame_truncations_total",
+                            "replies truncated by the serve.frame.truncate drill",
+                        )
+                        writer.write(frame[: max(1, len(frame) // 2)])
+                        await writer.drain()
+                        writer.close()
+                        return
                     writer.write(frame)
                     await writer.drain()
                 except (ConnectionResetError, BrokenPipeError, OSError):
@@ -731,6 +1013,45 @@ class MatchServer:
 
                     response["prometheus"] = metrics_to_prometheus(registry)
             await reply(response)
+        elif op == "health":
+            snapshot = self.service.health_snapshot()
+            status = "ok" if snapshot["ready"] else "unavailable"
+            await reply(
+                {
+                    "id": request_id,
+                    "status": status,
+                    "code": STATUS_CODES[status],
+                    "op": "health",
+                    **snapshot,
+                }
+            )
+        elif op == "reload":
+            if not self.service.config.allow_reload:
+                await reply(
+                    error_response(request_id, "bad-request", "reload is disabled")
+                )
+                return
+            patterns = document.get("patterns")
+            if (
+                not isinstance(patterns, list)
+                or not patterns
+                or not all(isinstance(p, str) and p for p in patterns)
+            ):
+                await reply(
+                    error_response(
+                        request_id, "bad-request",
+                        "'patterns' must be a non-empty list of pattern strings",
+                    )
+                )
+                return
+            try:
+                info = await self.service.reload(patterns)
+            except ReproError as exc:
+                await reply(error_response(request_id, "error", str(exc)))
+                return
+            await reply(
+                {"id": request_id, "status": "ok", "code": 200, "op": "reload", **info}
+            )
         elif op == "shutdown":
             if not self.service.config.allow_shutdown:
                 await reply(
@@ -766,10 +1087,11 @@ class ServerThread:
         host: Optional[str] = None,
         port: Optional[int] = None,
         socket_path: Optional[str] = None,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         if socket_path is None and host is None and port is None:
             host, port = "127.0.0.1", 0
-        self.service = MatchService(artifact, config)
+        self.service = MatchService(artifact, config, store=store)
         self._host, self._port, self._socket_path = host, port, socket_path
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None

@@ -26,6 +26,14 @@ them — so this module lifts chunkscan's overlap/stitch semantics into a
   :data:`~repro.guard.degrade.BACKEND_LADDER` (dense → lazy → numpy → python)
   and retries, mirroring :class:`~repro.guard.degrade.GuardedMatcher`;
   every step increments ``guard_degradations_total``.
+* **Supervision** — a dead worker process (OOM-kill, segfault, drill)
+  is restarted at the *same* backend under the pool's :class:`~repro.
+  serve.resilience.ShardSupervisor` (exponential backoff; a restart
+  storm opens a circuit breaker and scans run inline on the dispatcher
+  until the cooldown passes); a worker wedged past **twice** the scan
+  deadline is hard-killed by a per-scan watchdog and its jobs re-scanned
+  inline — exactly, because a job's SFA mapping (or overlap segment)
+  recomputes identically wherever it runs.
 * **Deadlines** — the scan's absolute expiry travels with every job and
   each job recomputes its *remaining* wall clock when it actually starts
   on a worker, so time spent queued behind other jobs still counts; a
@@ -60,8 +68,15 @@ sound under-approximation, the step function being monotone).
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    CancelledError,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -74,6 +89,7 @@ from repro.engine.imfant import DEFAULT_DEADLINE_STRIDE, IMfantEngine
 from repro.engine.lazy import DEFAULT_CACHE_SIZE
 from repro.engine.chunkscan import SCAN_STRATEGIES, ruleset_max_width
 from repro.engine.sfa import ChunkMapping, SfaScanner
+from repro.guard import faultinject
 from repro.guard.degrade import BACKEND_LADDER, DegradationStep
 from repro.guard.errors import (
     AllocationFailed,
@@ -83,8 +99,12 @@ from repro.guard.errors import (
 )
 from repro.mfsa.model import Mfsa
 from repro.serve.artifacts import Artifact
+from repro.serve.resilience import ShardSupervisor
 
 __all__ = ["ShardJob", "ShardScanResult", "ShardPool", "plan_shards", "rebase_matches"]
+
+#: a hung-worker watchdog never fires earlier than this past the deadline
+_WATCHDOG_MIN_GRACE = 0.05
 
 
 @dataclass(frozen=True)
@@ -217,6 +237,8 @@ def _process_scan(args: tuple) -> tuple[set, ExecutionStats, bool, list]:
     with the result for the parent to adopt.
     """
     segment, deadline_at, collect_stats, shard_index, trace = args
+    faultinject.fire("serve.worker.kill")
+    faultinject.fire("serve.worker.hang")
     if trace is None:
         matches, stats, timed_out = _scan_segment(
             _PROCESS_STATE["engines"], segment, deadline_at, collect_stats
@@ -247,6 +269,8 @@ def _process_scan_mapping(args: tuple) -> tuple[tuple, ExecutionStats, bool, lis
     Mappings are pure data and pickle home; the parent re-attaches them
     to its own scanners (signature-checked)."""
     segment, deadline_at, collect_stats, shard_index, trace = args
+    faultinject.fire("serve.worker.kill")
+    faultinject.fire("serve.worker.hang")
     if trace is None:
         payload, stats, timed_out = _scan_segment_mappings(
             _PROCESS_STATE["scanners"], segment, deadline_at, collect_stats
@@ -269,6 +293,13 @@ def _process_scan_mapping(args: tuple) -> tuple[tuple, ExecutionStats, bool, lis
         timed_out=timed_out,
     )
     return payload, stats, timed_out, tracer.export_spans()
+
+
+def _worker_heartbeat() -> int:
+    """Trivial supervision probe: proves a worker slot can still accept
+    and answer a job.  Returns the worker's pid (the parent logs nothing
+    but the roundtrip; the pid makes drill debugging less blind)."""
+    return os.getpid()
 
 
 def _build_scanners(
@@ -388,6 +419,7 @@ class ShardPool:
         deadline_stride: int = DEFAULT_DEADLINE_STRIDE,
         overlap: Optional[int] = "auto",  # type: ignore[assignment]
         scan_strategy: str = "auto",
+        supervisor: Optional[ShardSupervisor] = None,
     ) -> None:
         if num_shards < 1:
             raise UsageError(f"num_shards must be >= 1 (got {num_shards})")
@@ -429,6 +461,13 @@ class ShardPool:
         self._templates: Optional[list[IMfantEngine]] = None
         self._executor: Optional[Executor] = None
         self._empty_matching_rules = self._find_empty_matching_rules(artifact.mfsas)
+        #: restart/backoff/breaker bookkeeping for worker failures
+        self.supervisor = supervisor if supervisor is not None else ShardSupervisor()
+        #: outcome of the most recent :meth:`heartbeat` (None = never ran)
+        self.last_heartbeat_ok: Optional[bool] = None
+        # hot reload holds retired pools open until in-flight scans drain
+        self._refs = 0
+        self._retired = False
 
     @staticmethod
     def _find_empty_matching_rules(mfsas: Sequence[Mfsa]) -> list[int]:
@@ -543,6 +582,7 @@ class ShardPool:
         trace_id: Optional[str],
         parent: Optional[obs.Span],
     ) -> tuple[set, ExecutionStats, bool, list]:
+        faultinject.fire("serve.worker.hang")
         with obs.span(
             "serve.worker_scan",
             parent=parent,
@@ -565,6 +605,7 @@ class ShardPool:
         trace_id: Optional[str],
         parent: Optional[obs.Span],
     ) -> tuple[tuple, ExecutionStats, bool, list]:
+        faultinject.fire("serve.worker.hang")
         with obs.span(
             "serve.worker_scan",
             parent=parent,
@@ -592,6 +633,167 @@ class ShardPool:
                     self._executor.shutdown(wait=True)
                     self._executor = None
         return self._degrade(f"worker-failure: {failure}")
+
+    # -- supervision -------------------------------------------------------
+
+    def _count(self, name: str, help: str) -> None:
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.counter(name, help=help).inc()
+
+    def _rebuild_executor(self) -> None:
+        """Drop the (broken) executor so the next use forks fresh workers
+        at the *same* backend — the supervisor's restart, as opposed to
+        :meth:`_recover_workers`, which is a ladder step."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _kill_stuck_workers(self) -> None:
+        """The watchdog's hammer: hard-kill wedged process workers and
+        drop the executor (lazily rebuilt on next use).  Thread workers
+        cannot be killed — their executor is abandoned instead and the
+        stuck threads finish whenever the wedge clears."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        if self.mode == "process":
+            for process in list(getattr(executor, "_processes", {}).values()):
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _rescue_job(
+        self,
+        job: ShardJob,
+        data: bytes,
+        deadline: Optional[float],
+        collect_stats: bool,
+        mapping_mode: bool,
+    ) -> tuple:
+        """Re-scan one job inline on the dispatcher thread — the exact
+        fallback when the job's worker died or wedged.  Mapping-strategy
+        jobs recompute the slice's :class:`ChunkMapping` (the monoid
+        composes identically whoever computed it); overlap jobs re-run
+        the byte engines.  The rescue gets a fresh copy of the relative
+        deadline: the original budget died with the worker, and an honest
+        partial beats an empty answer."""
+        segment = data[job.segment_slice]
+        deadline_at = (
+            time.perf_counter() + deadline if deadline is not None else None
+        )
+        if mapping_mode:
+            payload, stats, timed_out = _scan_segment_mappings(
+                self._ensure_scanners(), segment, deadline_at, collect_stats
+            )
+        else:
+            payload, stats, timed_out = _scan_segment(
+                self._worker_engines(), segment, deadline_at, collect_stats
+            )
+        self._count(
+            "serve_rescued_jobs_total",
+            "shard jobs re-scanned inline after a worker death or hang",
+        )
+        return payload, stats, timed_out, []
+
+    def _collect_outcomes(
+        self,
+        futures: list,
+        jobs: Sequence[ShardJob],
+        data: bytes,
+        deadline: Optional[float],
+        deadline_at: Optional[float],
+        collect_stats: bool,
+        mapping_mode: bool,
+    ) -> tuple[list, Optional[BaseException]]:
+        """Gather every shard job, under a hung-worker watchdog whenever
+        the scan has a deadline.
+
+        A worker that merely blows the *engine* deadline returns an
+        honest partial (the engines self-abort), so a future still
+        pending at ``deadline_at + deadline`` — twice the budget — is
+        wedged in a way the deadline machinery cannot see (a faulted
+        sleep, a pathological syscall).  The watchdog kills the stuck
+        workers once, then re-scans the affected jobs inline; jobs that
+        were queued behind the wedge (cancelled or orphaned by the kill)
+        are rescued the same way.
+
+        Returns ``(outcomes, failure)``: a non-None ``failure`` is a
+        whole-pool error (worker death, allocation) for the caller's
+        supervisor / degradation machinery, and ``outcomes`` must be
+        discarded."""
+        watchdog_at = (
+            deadline_at + max(deadline, _WATCHDOG_MIN_GRACE)
+            if deadline_at is not None and deadline is not None
+            else None
+        )
+        outcomes: list = []
+        watchdog_fired = False
+        for index, future in enumerate(futures):
+            try:
+                if watchdog_at is None:
+                    outcomes.append(future.result())
+                else:
+                    remaining = max(0.0, watchdog_at - time.perf_counter())
+                    outcomes.append(future.result(timeout=remaining))
+            except FuturesTimeout:
+                self.supervisor.record_hang()
+                self._count(
+                    "serve_worker_hangs_total",
+                    "hung shard workers detected by the scan watchdog",
+                )
+                if not watchdog_fired:
+                    watchdog_fired = True
+                    self._kill_stuck_workers()
+                outcomes.append(
+                    self._rescue_job(jobs[index], data, deadline, collect_stats, mapping_mode)
+                )
+            except CancelledError:
+                # queued behind the wedge; never ran before the kill
+                outcomes.append(
+                    self._rescue_job(jobs[index], data, deadline, collect_stats, mapping_mode)
+                )
+            except (AllocationFailed, BrokenProcessPool) as exc:
+                if watchdog_fired:
+                    # collateral of the watchdog's kill, not a new failure
+                    outcomes.append(
+                        self._rescue_job(jobs[index], data, deadline, collect_stats, mapping_mode)
+                    )
+                else:
+                    return outcomes, exc
+        return outcomes, None
+
+    def heartbeat(self, timeout: float = 2.0) -> bool:
+        """One supervision probe: a trivial job must come back within
+        ``timeout`` seconds.  A dead executor or a wedged one counts a
+        failure with the supervisor and kills/drops the workers (rebuilt
+        on next use); while the breaker is open the probe reports False
+        without poking the crash loop."""
+        if self._retired:
+            return False
+        if self.supervisor.breaker_open():
+            self.last_heartbeat_ok = False
+            return False
+        try:
+            future = self._ensure_executor().submit(_worker_heartbeat)
+            future.result(timeout=timeout)
+        except (Exception, CancelledError):
+            self.last_heartbeat_ok = False
+            action = self.supervisor.on_failure()
+            self._kill_stuck_workers()
+            if action.restart:
+                self._count(
+                    "serve_supervisor_restarts_total",
+                    "worker restarts ordered by the shard supervisor",
+                )
+            return False
+        self.supervisor.record_success()
+        self.last_heartbeat_ok = True
+        return True
 
     # -- scanning ----------------------------------------------------------
 
@@ -656,49 +858,95 @@ class ShardPool:
                 else None
             )
             while True:
+                if self.supervisor.breaker_open():
+                    # restart storm: stop feeding the crash loop — scan
+                    # every job inline on the dispatcher (still exact;
+                    # the breaker cooldown gates the next worker probe)
+                    self._count(
+                        "serve_breaker_inline_scans_total",
+                        "scans served inline while the worker breaker was open",
+                    )
+                    outcomes = [
+                        self._rescue_job(job, data, deadline, collect_stats, mapping_mode)
+                        for job in jobs
+                    ]
+                    break
                 executor = self._ensure_executor()
                 futures = []
-                for index, job in enumerate(jobs):
-                    segment = data[job.segment_slice]
-                    if self.mode == "thread":
-                        thread_scan = (
-                            self._thread_scan_mapping if mapping_mode
-                            else self._thread_scan
-                        )
-                        future = executor.submit(
-                            thread_scan, segment, deadline_at, collect_stats,
-                            index, trace_id, scan_parent,
-                        )
-                    else:
-                        process_scan = (
-                            _process_scan_mapping if mapping_mode else _process_scan
-                        )
-                        future = executor.submit(
-                            process_scan,
-                            (segment, deadline_at, collect_stats, index, trace_request),
-                        )
-                    if registry is not None:
-                        busy = registry.gauge(
-                            f"serve_shard_{index}_busy",
-                            help="jobs in flight on this shard slot",
-                        )
-                        busy.inc()
-                        inflight.inc()
-                        future.add_done_callback(
-                            lambda _f, g=busy, t=inflight: (g.dec(), t.dec())
-                        )
-                    futures.append(future)
+                submit_failure: Optional[BaseException] = None
                 try:
-                    outcomes = [future.result() for future in futures]
-                except (AllocationFailed, BrokenProcessPool) as exc:
-                    if self._recover_workers(exc):
-                        continue  # retry on the next rung down the ladder
-                    if isinstance(exc, ReproError):
-                        raise
-                    raise AllocationFailed(
-                        f"shard workers failed with the backend ladder exhausted: {exc}"
-                    ) from exc
-                break
+                    for index, job in enumerate(jobs):
+                        segment = data[job.segment_slice]
+                        if self.mode == "thread":
+                            thread_scan = (
+                                self._thread_scan_mapping if mapping_mode
+                                else self._thread_scan
+                            )
+                            future = executor.submit(
+                                thread_scan, segment, deadline_at, collect_stats,
+                                index, trace_id, scan_parent,
+                            )
+                        else:
+                            process_scan = (
+                                _process_scan_mapping if mapping_mode else _process_scan
+                            )
+                            future = executor.submit(
+                                process_scan,
+                                (segment, deadline_at, collect_stats, index, trace_request),
+                            )
+                        if registry is not None:
+                            busy = registry.gauge(
+                                f"serve_shard_{index}_busy",
+                                help="jobs in flight on this shard slot",
+                            )
+                            busy.inc()
+                            inflight.inc()
+                            future.add_done_callback(
+                                lambda _f, g=busy, t=inflight: (g.dec(), t.dec())
+                            )
+                        futures.append(future)
+                except (BrokenProcessPool, RuntimeError) as exc:
+                    # the executor broke (workers died between scans) or
+                    # was torn down under us (watchdog/heartbeat kill):
+                    # submit raises synchronously — same failure machinery
+                    # as a mid-scan death, not an internal error
+                    for future in futures:
+                        future.cancel()
+                    submit_failure = exc
+                if submit_failure is not None:
+                    outcomes, failure = [], submit_failure
+                else:
+                    outcomes, failure = self._collect_outcomes(
+                        futures, jobs, data, deadline, deadline_at,
+                        collect_stats, mapping_mode,
+                    )
+                if failure is None:
+                    self.supervisor.record_success()
+                    break
+                if not isinstance(failure, AllocationFailed):
+                    # a worker death may be transient (OOM-kill, segfault,
+                    # drill): the supervisor restarts at the *same*
+                    # backend under backoff before any ladder step
+                    action = self.supervisor.on_failure()
+                    if action.restart:
+                        self._count(
+                            "serve_supervisor_restarts_total",
+                            "worker restarts ordered by the shard supervisor",
+                        )
+                        self._rebuild_executor()
+                        if action.delay:
+                            time.sleep(action.delay)
+                        continue
+                    if action.breaker_open:
+                        continue  # the loop head takes the inline path
+                # persistent failure (or restart budget spent): next rung
+                if self._recover_workers(failure):
+                    continue
+                if isinstance(failure, ReproError):
+                    raise failure
+                raise AllocationFailed(
+                    f"shard workers failed with the backend ladder exhausted: {failure}"
+                ) from failure
 
             matches: set[tuple[int, int]] = set()
             totals = ExecutionStats()
@@ -792,10 +1040,39 @@ class ShardPool:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def acquire(self) -> None:
+        """Pin the pool for one in-flight scan.  Hot reload swaps the
+        service's pool reference and closes the old pool; the refcount
+        keeps the old executor alive until every borrowed scan returns.
+        Raises :class:`UsageError` once the pool is retired — callers
+        re-read the (swapped) pool reference and try again."""
+        with self._lock:
+            if self._retired:
+                raise UsageError("shard pool is closed")
+            self._refs += 1
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs -= 1
+            retire = self._retired and self._refs <= 0
+        if retire:
+            self._shutdown_executor()
+
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Retire the pool: new :meth:`acquire` calls fail immediately;
+        the executor shuts down once the last in-flight scan releases
+        (synchronously when idle — the common direct-use case)."""
+        with self._lock:
+            self._retired = True
+            idle = self._refs <= 0
+        if idle:
+            self._shutdown_executor()
+
+    def _shutdown_executor(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "ShardPool":
         return self

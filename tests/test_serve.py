@@ -15,19 +15,22 @@ from __future__ import annotations
 import asyncio
 import json
 import socket as socket_module
+import struct
+import threading
 
 import pytest
 
 import repro.obs as obs
 from repro.engine.imfant import IMfantEngine
 from repro.guard import faultinject
-from repro.guard.errors import UsageError
+from repro.guard.errors import ConnectionLost, UsageError
 from repro.obs.spans import iter_tree
 from repro.pipeline.compiler import CompileOptions
 from repro.serve import (
     ArtifactStore,
     MatchClient,
     MatchRequest,
+    RetryPolicy,
     ServeConfig,
     ServerThread,
     ShardPool,
@@ -609,3 +612,108 @@ def test_socket_degradation_reported(artifact):
     assert [(s["from"], s["to"]) for s in steps] == [("lazy", "numpy")]
     assert steps[0]["reason"].startswith("allocation-failure")
     assert result.matches == _oracle(artifact, PAYLOAD)
+
+
+# ---------------------------------------------------------------------------
+# Client failure paths: torn frames, reconnects, idempotent retries
+# ---------------------------------------------------------------------------
+
+
+def _misbehaving_server(handler):
+    """A one-connection TCP stub: accept, read one request frame, then
+    run ``handler(conn)`` to misbehave on the reply.  Returns the address."""
+    listener = socket_module.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    address = listener.getsockname()
+
+    def _read_frame(conn):
+        buffered = b""
+        while len(buffered) < 4:
+            chunk = conn.recv(4 - len(buffered))
+            if not chunk:
+                return
+            buffered += chunk
+        (length,) = struct.unpack(">I", buffered)
+        remaining = length
+        while remaining:
+            chunk = conn.recv(remaining)
+            if not chunk:
+                return
+            remaining -= len(chunk)
+
+    def run():
+        conn, _ = listener.accept()
+        try:
+            _read_frame(conn)
+            handler(conn)
+        finally:
+            conn.close()
+            listener.close()
+
+    threading.Thread(target=run, daemon=True).start()
+    return address
+
+
+def test_client_truncated_length_prefix_raises_connection_lost():
+    """EOF inside the 4-byte length prefix is a lost connection (typed,
+    retryable) — not a generic frame/JSON error."""
+    address = _misbehaving_server(lambda conn: conn.sendall(b"\x00\x00"))
+    with MatchClient.connect(address, timeout=5.0, retry=RetryPolicy.none()) as client:
+        with pytest.raises(ConnectionLost, match="mid-frame"):
+            client.match(b"needle")
+
+
+def test_client_mid_frame_eof_raises_connection_lost():
+    """A frame that promises more bytes than the peer delivers before
+    closing must surface as ConnectionLost with the byte accounting."""
+
+    def tease(conn):
+        conn.sendall(struct.pack(">I", 100) + b'{"id": 1, "status"')
+
+    address = _misbehaving_server(tease)
+    with MatchClient.connect(address, timeout=5.0, retry=RetryPolicy.none()) as client:
+        with pytest.raises(ConnectionLost, match="18 of 100 bytes"):
+            client.match(b"needle")
+
+
+def test_client_reconnects_after_server_restart(artifact, tmp_path):
+    """A client holding a connection across a server restart re-dials the
+    same address under its RetryPolicy and completes the request."""
+    path = str(tmp_path / "sock")
+    config = ServeConfig(shards=1)
+    with ServerThread(artifact, config, socket_path=path) as address:
+        client = MatchClient.connect(address, retry=RetryPolicy(max_attempts=4))
+        assert client.match(PAYLOAD).matches == _oracle(artifact, PAYLOAD)
+    # the server the client was talking to is gone; bring up a successor
+    with ServerThread(artifact, config, socket_path=path):
+        result = client.match(PAYLOAD)
+        assert result.ok and result.matches == _oracle(artifact, PAYLOAD)
+        assert client.reconnects >= 1 and client.retries >= 1
+    client.close()
+
+
+def test_client_timeout_separation(artifact):
+    """connect_timeout bounds only the dial; the request timeout governs
+    the connected socket (the historical conflation is gone)."""
+    with ServerThread(artifact, ServeConfig(shards=1)) as address:
+        with MatchClient.connect(address, timeout=7.5, connect_timeout=0.5) as client:
+            assert client._sock.gettimeout() == 7.5
+            assert client.ping()
+
+
+def test_client_idempotent_retry_answered_from_dedup_window(artifact):
+    """Reply-loss drill: with serve.conn.drop armed the scan completes but
+    the answer is dropped; the retry carries the same request_key and is
+    answered from the server's dedup window — never scanned twice, never
+    answered differently."""
+    oracle = _oracle(artifact, PAYLOAD)
+    with ServerThread(artifact, ServeConfig(shards=2)) as address:
+        with MatchClient.connect(address, retry=RetryPolicy(max_attempts=8)) as client:
+            with faultinject.inject("serve.conn.drop", 0.5):
+                for _ in range(6):
+                    assert client.match(PAYLOAD).matches == oracle
+            stats = client.server_stats()
+    assert client.reconnects >= 1
+    assert stats["requests_deduped"] >= 1
+    assert stats["dedup_window"]["hits"] >= 1
