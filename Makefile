@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke loadgen-smoke sfa-smoke dense-smoke chaos-smoke ci clean
+.PHONY: install dev test bench bench-verbose report reproduce examples obs-smoke guard-smoke serve-smoke loadgen-smoke sfa-smoke dense-smoke chaos-smoke counting-smoke ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -96,9 +96,18 @@ chaos-smoke:
 	PYTHONPATH=src pytest tests/ -m chaos -q
 	PYTHONPATH=src timeout 600 python benchmarks/bench_resilience.py --smoke
 
+# Counting-backend smoke: the counting-marked suite (hypothesis
+# differential oracle vs the loop-expanded pipeline, cut-point
+# invariance, register-pressure demotion drills, conformance matrix),
+# then the bound-sweep bench in smoke mode — which asserts the counting
+# compile beats expansion on modelled memory, oracle-checked.
+counting-smoke:
+	PYTHONPATH=src pytest tests/ -m counting -q
+	PYTHONPATH=src timeout 600 python benchmarks/bench_counting_backend.py --smoke
+
 # What .github/workflows/ci.yml runs, for local use: the tier-1 suite
-# plus the observability, governance, serving, loadgen, SFA, dense and
-# chaos smokes.
+# plus the observability, governance, serving, loadgen, SFA, dense,
+# chaos and counting smokes.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) obs-smoke
@@ -108,6 +117,7 @@ ci:
 	$(MAKE) sfa-smoke
 	$(MAKE) dense-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) counting-smoke
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info \

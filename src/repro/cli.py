@@ -41,6 +41,7 @@ from pathlib import Path
 
 import repro.obs as obs
 from repro.anml.reader import read_anml
+from repro.counting import DEFAULT_MIN_COUNT_BOUND
 from repro.engine.dense import DEFAULT_PROMOTE_AFTER
 from repro.engine.imfant import IMfantEngine
 from repro.engine.lazy import DEFAULT_CACHE_SIZE
@@ -149,6 +150,24 @@ def _dense_kwargs(args: argparse.Namespace) -> dict:
     }
     if args.dense_promote_after is not None:
         kwargs["dense_promote_after"] = args.dense_promote_after
+    return kwargs
+
+
+def _add_counting_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("counting backend")
+    group.add_argument("--count-threshold", type=int, default=None, metavar="N",
+                       help="compile {m,n} repeats with max(m,n) >= N as "
+                            "counter registers instead of expanded state "
+                            "chains (only with --backend counting; "
+                            "default: %d)" % DEFAULT_MIN_COUNT_BOUND)
+
+
+def _counting_options(args: argparse.Namespace) -> dict:
+    """CompileOptions kwargs from the counting flags: the counting
+    compile path turns on exactly when the counting backend is chosen."""
+    kwargs: dict = {"counting": getattr(args, "backend", None) == "counting"}
+    if getattr(args, "count_threshold", None) is not None:
+        kwargs["count_threshold"] = args.count_threshold
     return kwargs
 
 
@@ -285,7 +304,8 @@ def match_main(argv: list[str] | None = None) -> int:
                         help="merging factor when compiling on the fly")
     parser.add_argument("-t", "--threads", type=int, default=1,
                         help="thread-pool size for multi-MFSA execution")
-    parser.add_argument("--backend", choices=("python", "numpy", "lazy", "dense"),
+    parser.add_argument("--backend",
+                        choices=("python", "numpy", "lazy", "dense", "counting"),
                         default="python")
     parser.add_argument("--lazy-cache-size", type=int, default=None, metavar="N",
                         help="lazy-backend transition-cache budget in entries "
@@ -293,6 +313,7 @@ def match_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--lazy-eviction", choices=("flush", "lru"), default="flush",
                         help="lazy-backend eviction policy when the cache fills")
     _add_dense_flags(parser)
+    _add_counting_flags(parser)
     parser.add_argument("--single-match", action="store_true",
                         help="report each rule's first match only (early exit)")
     parser.add_argument("--show-matches", type=int, default=10, metavar="N",
@@ -314,7 +335,8 @@ def match_main(argv: list[str] | None = None) -> int:
             patterns = _read_patterns(args.ruleset)
             compilation = _guarded_compile(
                 patterns,
-                CompileOptions(merging_factor=args.merging_factor, emit_anml=False),
+                CompileOptions(merging_factor=args.merging_factor, emit_anml=False,
+                               **_counting_options(args)),
                 args,
             )
             assert compilation.result is not None
@@ -670,7 +692,8 @@ def obs_main(argv: list[str] | None = None) -> int:
                         help="generated stream size (default 64 KiB)")
     parser.add_argument("-m", "--merging-factor", type=int, default=0)
     parser.add_argument("-t", "--threads", type=int, default=1)
-    parser.add_argument("--backend", choices=("python", "numpy", "lazy", "dense"),
+    parser.add_argument("--backend",
+                        choices=("python", "numpy", "lazy", "dense", "counting"),
                         default="python")
     parser.add_argument("--lazy-cache-size", type=int, default=None, metavar="N",
                         help="lazy-backend transition-cache budget in entries "
@@ -678,6 +701,7 @@ def obs_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--lazy-eviction", choices=("flush", "lru"), default="flush",
                         help="lazy-backend eviction policy when the cache fills")
     _add_dense_flags(parser)
+    _add_counting_flags(parser)
     parser.add_argument("--stride", type=int, default=None, metavar="N",
                         help="engine sampling stride (default: %d)" % obs.DEFAULT_SAMPLE_STRIDE)
     parser.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
@@ -705,7 +729,8 @@ def obs_main(argv: list[str] | None = None) -> int:
     with obs.capture(stride=args.stride) as cap:
         compilation = _guarded_compile(
             patterns,
-            CompileOptions(merging_factor=args.merging_factor, emit_anml=True),
+            CompileOptions(merging_factor=args.merging_factor, emit_anml=True,
+                           **_counting_options(args)),
             args,
         )
         result = compilation.result
@@ -877,14 +902,17 @@ def _serve_run_main(argv: list[str]) -> int:
     parser.add_argument("--mode", choices=("thread", "process"), default="thread",
                         help="shard workers in-process (thread) or forked worker "
                              "processes loading the cached artifact (process)")
-    parser.add_argument("--backend", choices=("dense", "lazy", "numpy", "python"),
+    parser.add_argument("--backend",
+                        choices=("dense", "lazy", "numpy", "python", "counting"),
                         default="lazy")
+    _add_counting_flags(parser)
     parser.add_argument("--scan-strategy", choices=("auto", "sfa", "overlap"),
                         default="auto",
                         help="shard parallelism contract: overlap chunking, "
                              "zero-overlap SFA mappings, or auto (overlap for "
                              "width-bounded rulesets, sfa for unbounded — see "
-                             "docs/parallelism.md)")
+                             "docs/parallelism.md; counting artifacts always "
+                             "shard by overlap)")
     parser.add_argument("--lazy-cache-size", type=int, default=None, metavar="N",
                         help="lazy-backend transition-cache budget in entries "
                              "(default: %d)" % DEFAULT_CACHE_SIZE)
@@ -937,7 +965,8 @@ def _serve_run_main(argv: list[str]) -> int:
     with _obs_scope(args) as cap:
         store = ArtifactStore(args.artifact_dir)
         artifact = store.get_or_compile(
-            patterns, CompileOptions(merging_factor=args.merging_factor, emit_anml=False)
+            patterns, CompileOptions(merging_factor=args.merging_factor, emit_anml=False,
+                                     **_counting_options(args))
         )
         origin = "loaded from cache" if artifact.loaded_from_cache else "compiled"
         print(f"ruleset {artifact.key[:12]}…: {artifact.num_rules} rule(s), "

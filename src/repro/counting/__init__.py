@@ -23,7 +23,11 @@ The counting ablation bench quantifies the trade-off against the
 expansion pipeline across bound sizes.
 """
 
-from repro.counting.build import build_counting_fsa
+from repro.counting.build import (
+    DEFAULT_MIN_COUNT_BOUND,
+    build_counting_fsa,
+    build_counting_fsa_from_ast,
+)
 from repro.counting.engine import CountingSetEngine
 from repro.counting.merge import CountingMergeReport, merge_counting_fsas
 from repro.counting.mfsa import CMTransition, CountingMfsa
@@ -35,6 +39,8 @@ __all__ = [
     "CountingTransition",
     "CountingSetEngine",
     "build_counting_fsa",
+    "build_counting_fsa_from_ast",
+    "DEFAULT_MIN_COUNT_BOUND",
     "CMTransition",
     "CountingMfsa",
     "CountingMfsaEngine",

@@ -144,8 +144,21 @@ def build_counting_fsa(
     min_count_bound: int = DEFAULT_MIN_COUNT_BOUND,
 ) -> CountingFsa:
     """Compile a pattern into an ε-free counting NFA."""
+    return build_counting_fsa_from_ast(parse(pattern), pattern, min_count_bound)
+
+
+def build_counting_fsa_from_ast(
+    ast: AstNode,
+    pattern: str,
+    min_count_bound: int = DEFAULT_MIN_COUNT_BOUND,
+) -> CountingFsa:
+    """Compile an already-parsed (and possibly optimized) AST.
+
+    The pipeline's counting compile path parses and case-folds through
+    the ordinary frontend (with loop expansion disabled, so repeats
+    survive to this builder) and hands the AST here."""
     builder = _Builder(min_count_bound=min_count_bound)
-    entry, exit_ = builder.build(parse(pattern))
+    entry, exit_ = builder.build(ast)
     return _remove_epsilon(builder, entry, exit_, pattern)
 
 

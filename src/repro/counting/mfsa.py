@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.labels import CharClass
-from repro.mfsa.model import MTransition
+from repro.mfsa.model import Mfsa, MTransition
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,88 @@ class CountingMfsa:
             for state in states:
                 masks[state] |= 1 << slots[rule]
         return masks
+
+    # -- bridges to the plain model ---------------------------------------
+
+    def plain_view(self) -> Mfsa:
+        """An :class:`Mfsa` over only the plain arcs, sharing this
+        automaton's state space and rule maps.  This is what the
+        counting *engine backend* builds its symbol-indexed tables from:
+        plain arcs run through the ordinary activation step while the
+        counting arcs run through counter registers on the side."""
+        view = Mfsa(num_states=self.num_states)
+        view.transitions = list(self.plain)
+        view.initials = dict(self.initials)
+        view.finals = {rule: set(states) for rule, states in self.finals.items()}
+        view.patterns = dict(self.patterns)
+        return view
+
+    def to_plain(self) -> Mfsa:
+        """The equivalent plain MFSA when no counting arcs exist.
+
+        The compile pipeline calls this after merging so rulesets whose
+        bounded repeats all fell below the counting threshold (and thus
+        expanded) come out as ordinary :class:`Mfsa` objects — every
+        downstream consumer (SFA mappings, dense tier, ANML) then works
+        unrestricted."""
+        if self.counting:
+            raise ValueError(
+                f"cannot drop to a plain Mfsa: {len(self.counting)} counting "
+                f"arc(s) remain (use expand())"
+            )
+        return self.plain_view()
+
+    def expand(self) -> Mfsa:
+        """Expand every counting arc into an equivalent state chain.
+
+        ``src ==[L]{low,high}==> dst`` becomes the classic unrolled
+        path: fresh states ``c_1 … c_{high-1}`` chained under ``L`` with
+        an exit arc to ``dst`` after each count in ``[low, high]``;
+        unbounded arcs (``high=None``) chain to ``low`` and finish with
+        a self-loop state.  All minted arcs carry the counting arc's
+        label and belonging set, so activation semantics are preserved
+        exactly (property-tested against the register execution).
+
+        This is the *ladder bridge*: it lets a counting-compiled
+        automaton run on any plain backend (lazy/numpy/python) when the
+        counting backend is unavailable or demoted — at the price of
+        exactly the state growth the counting backend avoids.
+        """
+        out = self.plain_view()
+        seen = {(t.src, t.dst, t.label.mask) for t in out.transitions}
+
+        def emit(src: int, dst: int, arc: CMTransition) -> None:
+            # An exit arc can coincide with an existing plain arc (same
+            # endpoints and label); NFA semantics make the duplicate a
+            # no-op, and validate() rejects it, so skip.
+            key = (src, dst, arc.label.mask)
+            if key not in seen:
+                seen.add(key)
+                out.transitions.append(MTransition(src, dst, arc.label, arc.bel))
+
+        for arc in self.counting:
+            prev = arc.src
+            if arc.high is not None:
+                for count in range(1, arc.high + 1):
+                    if count >= arc.low:
+                        emit(prev, arc.dst, arc)
+                    if count == arc.high:
+                        break
+                    nxt = out.add_state()
+                    emit(prev, nxt, arc)
+                    prev = nxt
+            else:
+                for _ in range(arc.low - 1):
+                    nxt = out.add_state()
+                    emit(prev, nxt, arc)
+                    prev = nxt
+                emit(prev, arc.dst, arc)
+                loop = out.add_state()
+                emit(prev, loop, arc)
+                emit(loop, loop, arc)
+                emit(loop, arc.dst, arc)
+        out.validate()
+        return out
 
     def validate(self) -> None:
         rules = set(self.initials)

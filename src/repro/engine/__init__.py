@@ -13,6 +13,9 @@
   lazy cache (``backend="dense"``): byte-class-compressed transition
   tables, self-loop run skipping with a ``bytes.find`` literal
   prefilter, and mid-buffer de-opt back to lazy interpretation.
+* :mod:`repro.engine.counting` — counter registers behind
+  ``backend="counting"``: bounded ``{m,n}`` repeats as O(1)-per-byte
+  sliding-window counters instead of expanded state chains.
 * :mod:`repro.engine.bitops` — uint64 popcount helpers (native
   ``np.bitwise_count`` or a pre-NumPy-2.0 ``np.unpackbits`` fallback).
 * :mod:`repro.engine.counters` — execution statistics (work counters).

@@ -24,6 +24,17 @@ mappings.  The crossover is modelled in
 :meth:`repro.engine.cost.CostModel.mapping_run_cost` and measured by
 ``pipeline.autotune.choose_scan_strategy``.
 
+Counting automata (:class:`~repro.counting.mfsa.CountingMfsa` with live
+counter registers) are a capability special case: the SFA mapping
+interpreter has no register semantics, so explicit ``strategy="sfa"``
+is a :class:`~repro.guard.errors.UsageError` and ``"auto"`` resolves to
+``"overlap"`` with the width bound derived from the counter arcs' upper
+bounds (a ``{m,n}`` arc contributes ``n`` to the longest path, which is
+the whole point — the bound survives without expansion).  A ruleset
+with an *unbounded* counting repeat (``{m,}``) has neither an overlap
+bound nor mapping support, so :func:`chunk_scan` runs it in one exact
+sequential pass.
+
 Matches are exactly those of a single-shot scan under either strategy
 (property-tested, both here and in tests/test_sfa_mapping.py).
 """
@@ -55,7 +66,7 @@ def ruleset_max_width(patterns: Sequence[str]) -> Optional[int]:
     return widest
 
 
-def mfsa_max_width(mfsa: Mfsa) -> Optional[int]:
+def mfsa_max_width(mfsa) -> Optional[int]:
     """Structural match-width bound of a compiled MFSA; None if unbounded.
 
     The width of any match is bounded by the longest path in the
@@ -64,12 +75,24 @@ def mfsa_max_width(mfsa: Mfsa) -> Optional[int]:
     matches for at least one of its belonging rules).  Unlike
     :func:`ruleset_max_width` this needs no source patterns, so it
     works on deserialized artifacts and post-merge automata.
-    """
-    adjacency: dict[int, set[int]] = {}
-    for t in mfsa.transitions:
-        adjacency.setdefault(t.src, set()).add(t.dst)
 
-    # iterative DFS: longest path if acyclic, None on any cycle
+    Accepts a :class:`~repro.counting.mfsa.CountingMfsa` too: a plain
+    arc weighs one byte along the path, a ``{m,n}`` counter arc weighs
+    ``n`` (its longest admissible run), and any unbounded ``{m,}`` arc
+    makes the whole automaton unbounded immediately.
+    """
+    plain = mfsa.transitions if isinstance(mfsa, Mfsa) else mfsa.plain
+    weights: dict[int, dict[int, int]] = {}
+    for t in plain:
+        dsts = weights.setdefault(t.src, {})
+        dsts[t.dst] = max(dsts.get(t.dst, 0), 1)
+    for arc in getattr(mfsa, "counting", ()):
+        if arc.high is None:
+            return None  # an {m,} repeat admits unboundedly long matches
+        dsts = weights.setdefault(arc.src, {})
+        dsts[arc.dst] = max(dsts.get(arc.dst, 0), arc.high)
+
+    # iterative DFS: weighted longest path if acyclic, None on any cycle
     WHITE, GREY, BLACK = 0, 1, 2
     color = [WHITE] * mfsa.num_states
     longest = [0] * mfsa.num_states
@@ -81,7 +104,7 @@ def mfsa_max_width(mfsa: Mfsa) -> Optional[int]:
             state, it = stack[-1]
             if it is None:
                 color[state] = GREY
-                it = iter(adjacency.get(state, ()))
+                it = iter(weights.get(state, {}))
                 stack[-1] = (state, it)
             advanced = False
             for nxt in it:  # type: ignore[union-attr]
@@ -91,27 +114,39 @@ def mfsa_max_width(mfsa: Mfsa) -> Optional[int]:
                     stack.append((nxt, None))
                     advanced = True
                     break
-                longest[state] = max(longest[state], 1 + longest[nxt])
+                longest[state] = max(longest[state], weights[state][nxt] + longest[nxt])
             if advanced:
                 continue
             # children exhausted (account the one finished just above too)
-            for nxt in adjacency.get(state, ()):
-                longest[state] = max(longest[state], 1 + longest[nxt])
+            for nxt, weight in weights.get(state, {}).items():
+                longest[state] = max(longest[state], weight + longest[nxt])
             color[state] = BLACK
             stack.pop()
     return max(longest, default=0)
 
 
-def resolve_strategy(mfsa: Mfsa, strategy: str = "auto") -> str:
+def resolve_strategy(mfsa, strategy: str = "auto") -> str:
     """``"auto"`` → ``"overlap"`` when the automaton is width-bounded
     (fast byte engines per chunk), ``"sfa"`` otherwise (the case overlap
-    chunking could only serve sequentially)."""
+    chunking could only serve sequentially).  Counting automata always
+    resolve to ``"overlap"`` — the mapping interpreter cannot carry
+    counter registers, so explicitly asking for ``"sfa"`` is an error.
+    """
     if strategy not in SCAN_STRATEGIES:
         raise UsageError(
             f"unknown scan strategy {strategy!r} (choose from {SCAN_STRATEGIES})"
         )
+    has_registers = bool(getattr(mfsa, "counting", ()))
+    if strategy == "sfa" and has_registers:
+        raise UsageError(
+            "the 'sfa' strategy cannot scan counter registers; counting "
+            "rulesets chunk by bounded overlap (unbounded repeats scan "
+            "sequentially)"
+        )
     if strategy != "auto":
         return strategy
+    if has_registers:
+        return "overlap"
     return "overlap" if mfsa_max_width(mfsa) is not None else "sfa"
 
 
@@ -128,7 +163,7 @@ def _complete_eps_rules(
 
 
 def chunk_scan(
-    mfsa: Mfsa,
+    mfsa,
     data: bytes | str,
     strategy: str = "auto",
     chunk_size: int = 4096,
@@ -158,7 +193,13 @@ def chunk_scan(
     """
     payload = data.encode("latin-1") if isinstance(data, str) else data
     resolved = resolve_strategy(mfsa, strategy)
-    if len(payload) <= chunk_size:
+    sequential = len(payload) <= chunk_size
+    if not sequential and getattr(mfsa, "counting", ()) and mfsa_max_width(mfsa) is None:
+        # An unbounded {m,} counter arc: no overlap bound exists and the
+        # mapping interpreter has no register semantics, so the only
+        # exact option is a single sequential pass.
+        sequential = True
+    if sequential:
         engine = IMfantEngine(
             mfsa,
             backend=backend,
@@ -229,7 +270,7 @@ def mapping_chunk_scan(
 
 
 def overlap_chunk_scan(
-    mfsa: Mfsa,
+    mfsa,
     data: bytes | str,
     overlap: Union[int, str, None] = "auto",
     chunk_size: int = 4096,
@@ -251,6 +292,12 @@ def overlap_chunk_scan(
     if overlap == "auto" or overlap is None:
         overlap = mfsa_max_width(mfsa)
         if overlap is None:
+            if getattr(mfsa, "counting", ()):
+                raise UsageError(
+                    "overlap scan requires a bounded ruleset; this counting "
+                    "automaton carries an unbounded {m,} repeat — scan it "
+                    "sequentially (chunk_scan does so automatically)"
+                )
             raise UsageError(
                 "overlap scan requires a bounded ruleset; this automaton "
                 "admits unbounded matches — use the 'sfa' strategy"

@@ -67,6 +67,15 @@ class CostModel:
     #: cheaper than python above ≈56 examined transitions per char,
     #: matching the measured near-break-even at ~74 (range_rules).
     c_numpy_trans: float = 0.05
+    #: fixed per-char dispatch of the counting backend: the interpretive
+    #: python body plus the counter-register advance.  The register work
+    #: itself rides in the transition term (counting scans charge one
+    #: examined transition per register per char), so this constant only
+    #: carries the slightly heavier per-byte dispatch.  What the model
+    #: cannot show directly — and the bench measures — is the
+    #: *alternative* cost: the expanded automaton pays c_trans over a
+    #: transition count linear in the repeat bound.
+    c_counting_char: float = 2.2
 
     def run_cost(self, stats: ExecutionStats) -> float:
         """Modelled execution time of one automaton run."""
@@ -118,6 +127,12 @@ class CostModel:
             return self.c_lazy * stats.chars_processed
         if backend == "dense":
             return self.c_dense * stats.chars_processed
+        if backend == "counting":
+            return (
+                self.c_counting_char * stats.chars_processed
+                + self.c_trans * stats.transitions_examined
+                + self.c_active * stats.active_pair_total * stats.mask_limbs
+            )
         raise ValueError(f"unknown backend {backend!r}")
 
     def total_cost(self, runs: list[ExecutionStats]) -> float:

@@ -28,6 +28,13 @@ Three interchangeable implementations:
   compressed numpy tables and buffers are scanned in bulk (self-loop
   run skipping, literal prefilter, optional 2-byte stride), de-opting
   to lazy interpretation wherever a scan escapes the compiled region.
+* ``backend="counting"`` — the python step plus counter registers
+  (:mod:`repro.engine.counting`) for the counting arcs of a
+  :class:`~repro.counting.mfsa.CountingMfsa`: bounded ``{m,n}`` repeats
+  run in O(1) amortised per byte instead of expanding into bound-many
+  states.  On a plain :class:`~repro.mfsa.model.Mfsa` (zero registers)
+  it degenerates to the python backend exactly — matches *and* work
+  counters — which is how it joins the conformance matrix.
 
 All produce identical matches and (modulo wall time) identical work
 counters; tests enforce the agreement.
@@ -41,8 +48,10 @@ from typing import Iterable
 import numpy as np
 
 import repro.obs as obs
+from repro.counting.mfsa import CountingMfsa
 from repro.engine.bitops import popcount_rows
 from repro.engine.counters import ExecutionStats, RunResult
+from repro.engine.counting import RegisterFile, RegisterSpec, build_register_specs
 from repro.engine.dense import (
     DEFAULT_PROMOTE_AFTER,
     DENSE_MIN_HIT_RATE,
@@ -52,10 +61,15 @@ from repro.engine.lazy import DEFAULT_CACHE_SIZE, LazyConfigCache
 from repro.engine.tables import MfsaTables, limbs_for
 from repro.guard import faultinject
 from repro.guard.budget import Budget, BudgetMeter, MemoryBudgetExceeded
-from repro.guard.errors import AllocationFailed, ScanDeadlineExceeded, UsageError
+from repro.guard.errors import (
+    AllocationFailed,
+    CountingBudgetExceeded,
+    ScanDeadlineExceeded,
+    UsageError,
+)
 from repro.mfsa.model import Mfsa
 
-_BACKENDS = ("python", "numpy", "lazy", "dense")
+_BACKENDS = ("python", "numpy", "lazy", "dense", "counting")
 
 #: Scan positions between deadline checks (one modulo per byte; the
 #: perf_counter read happens only every stride-th position).
@@ -89,11 +103,26 @@ class IMfantEngine:
     disables promotion — the engine keeps serving exact results lazily,
     which is also how the :data:`~repro.guard.degrade.BACKEND_LADDER`
     treats the tier.
+
+    ``backend="counting"`` accepts a
+    :class:`~repro.counting.mfsa.CountingMfsa` and runs its counting
+    arcs through counter registers (:mod:`repro.engine.counting`)
+    alongside the ordinary python step over the plain arcs.
+    ``counting_budget`` charges one ``counting.registers`` allocation
+    per register at engine construction; exceeding it raises
+    :class:`~repro.guard.errors.AllocationFailed` with that stage, the
+    signal the guard ladder demotes on.  A ``CountingMfsa`` handed to
+    any *other* backend is first expanded (:meth:`CountingMfsa.expand`)
+    into the equivalent plain automaton — the bridge that keeps the
+    degradation ladder total, at the price of exactly the state growth
+    counting avoids.  ``pop_on_final`` is rejected when counter
+    registers exist (entries hold activation masks the pop cannot
+    reach); it works as usual in the degenerate zero-register case.
     """
 
     def __init__(
         self,
-        mfsa: Mfsa,
+        mfsa: "Mfsa | CountingMfsa",
         backend: str = "python",
         pop_on_final: bool = False,
         single_match: bool = False,
@@ -105,6 +134,7 @@ class IMfantEngine:
         dense_stride: int = 1,
         dense_prefilter: bool = True,
         dense_budget: "Budget | None" = None,
+        counting_budget: "Budget | None" = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise UsageError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
@@ -129,7 +159,22 @@ class IMfantEngine:
         self.dense_stride = dense_stride
         self.dense_prefilter = dense_prefilter
         self.dense_budget = dense_budget
-        self.tables = MfsaTables.build(mfsa)
+        self.counting_budget = counting_budget
+        if isinstance(mfsa, CountingMfsa):
+            if backend == "counting":
+                if pop_on_final and mfsa.counting:
+                    raise UsageError(
+                        "pop_on_final is not supported with counter registers"
+                    )
+                self.counting_mfsa: CountingMfsa | None = mfsa
+                base = mfsa.plain_view()
+            else:
+                self.counting_mfsa = None
+                base = mfsa.expand()
+        else:
+            self.counting_mfsa = None
+            base = mfsa
+        self.tables = MfsaTables.build(base)
         self.lazy_cache: LazyConfigCache | None = None
         self.dense_tier: DenseTier | None = None
         self._init_backend()
@@ -151,10 +196,38 @@ class IMfantEngine:
                     max_entries=self.lazy_cache_size,
                     eviction=self.lazy_eviction,
                 )
+            elif self.backend == "counting":
+                self._register_specs = self._alloc_registers()
         except MemoryError as exc:
             raise AllocationFailed(
                 f"backend {self.backend!r} allocation failed: {exc}"
             ) from exc
+
+    def _alloc_registers(self) -> tuple[RegisterSpec, ...]:
+        """Compile the counting arcs into register specs, charging each
+        against ``counting_budget`` (and the ``counting.register_
+        pressure`` fault point).  Failures surface as
+        :class:`AllocationFailed` with stage ``counting.registers`` —
+        the typed signal :class:`~repro.guard.degrade.GuardedMatcher`
+        demotes counting → lazy on."""
+        if self.counting_mfsa is None:
+            return ()
+        specs = build_register_specs(self.counting_mfsa)
+        if specs:
+            try:
+                faultinject.fire(
+                    "counting.register_pressure", registers=len(specs)
+                )
+                if self.counting_budget is not None:
+                    self.counting_budget.start().charge_counting_registers(
+                        len(specs)
+                    )
+            except (MemoryError, CountingBudgetExceeded) as exc:
+                raise AllocationFailed(
+                    f"counting-register allocation failed: {exc}",
+                    stage="counting.registers",
+                ) from exc
+        return specs
 
     def fork(self) -> "IMfantEngine":
         """A new engine sharing this one's (immutable) tables but owning
@@ -174,6 +247,8 @@ class IMfantEngine:
         clone.dense_stride = self.dense_stride
         clone.dense_prefilter = self.dense_prefilter
         clone.dense_budget = self.dense_budget
+        clone.counting_budget = self.counting_budget
+        clone.counting_mfsa = self.counting_mfsa
         clone.tables = self.tables
         clone.lazy_cache = None
         clone.dense_tier = None
@@ -225,6 +300,8 @@ class IMfantEngine:
                 result = self._run_lazy(payload, collect_stats)
             elif self.backend == "dense":
                 result = self._run_dense(payload, collect_stats)
+            elif self.backend == "counting":
+                result = self._run_counting(payload, collect_stats)
             else:
                 result = self._run_python(payload, collect_stats)
             if self.single_match:
@@ -312,6 +389,134 @@ class IMfantEngine:
         stats.wall_seconds = time.perf_counter() - started
         stats.chars_processed = consumed if self.single_match else len(payload)
         stats.match_count = len(matches)
+        return result
+
+    # -- counting backend --------------------------------------------------------
+
+    def _run_counting(self, payload: bytes, collect_stats: bool) -> RunResult:
+        """The python step plus counter registers for the counting arcs.
+
+        Plain arcs run the exact ``_run_python`` activation step over
+        the shared symbol tables; each counting arc is one register
+        advanced per byte (O(1) amortised, see
+        :mod:`repro.engine.counting`), its in-range activation union
+        contributed to the destination like any other transition.  With
+        zero registers the loop *is* the python backend — matches and
+        work counters agree bit for bit, which the conformance matrix
+        enforces.  With registers, ``transitions_examined`` charges one
+        evaluation per register per byte and live entries join
+        ``active_pair_total``, keeping the counters honest about the
+        bookkeeping the backend trades state explosion for.
+        """
+        tables = self.tables
+        by_symbol = tables.by_symbol
+        init_mask = tables.init_mask
+        final_mask = tables.final_mask
+        slot_to_rule = tables.slot_to_rule
+        pop_on_final = self.pop_on_final
+        specs = self._register_specs
+        num_registers = len(specs)
+        regs = RegisterFile(specs) if num_registers else None
+
+        result = RunResult()
+        stats = result.stats
+        stats.mask_limbs = limbs_for(tables.num_rules)
+        matches = result.matches
+        for rule in tables.empty_matching_rules:
+            matches.update((rule, end) for end in range(len(payload) + 1))
+
+        all_rules_mask = (1 << tables.num_rules) - 1
+        rule_to_slot = {rule: slot for slot, rule in enumerate(slot_to_rule)}
+        matched_rules = 0
+        for rule in tables.empty_matching_rules:
+            matched_rules |= 1 << rule_to_slot[rule]
+        consumed = 0
+        sampler = obs.engine_sampler("imfant")
+        stride = sampler.stride if sampler is not None else 0
+        dstride = self.deadline_stride
+        started = time.perf_counter()
+        deadline_at = self._deadline_at(started)
+        active: dict[int, int] = {}  # state -> activation bitmask J
+        for position, byte in enumerate(payload, start=1):
+            consumed = position
+            if deadline_at is not None and position % dstride == 0:
+                self._deadline_check(deadline_at, started, consumed, result)
+            enabled = by_symbol[byte]
+            nxt: dict[int, int] = {}
+            for src, dst, bel in enabled:
+                mask = (active.get(src, 0) | init_mask[src]) & bel
+                if mask:
+                    nxt[dst] = nxt.get(dst, 0) | mask
+                    if collect_stats:
+                        stats.transitions_taken += 1
+            if regs is not None:
+                bit = 1 << byte
+                step = regs.step
+                for index, spec in enumerate(specs):
+                    entry_mask = 0
+                    if spec.label_mask & bit:
+                        entry_mask = (
+                            active.get(spec.src, 0) | init_mask[spec.src]
+                        ) & spec.bel_mask
+                    exit_mask = step(index, position, bit, entry_mask)
+                    if exit_mask:
+                        nxt[spec.dst] = nxt.get(spec.dst, 0) | exit_mask
+                        if collect_stats:
+                            stats.transitions_taken += 1
+            active = nxt
+            for state, mask in nxt.items():
+                hit = mask & final_mask[state]
+                if hit:
+                    matched_rules |= hit
+                    for slot in _bits(hit):
+                        matches.add((slot_to_rule[slot], position))
+                    if pop_on_final:
+                        active[state] = mask & ~hit
+            if self.single_match and matched_rules == all_rules_mask:
+                break
+            if collect_stats:
+                stats.transitions_examined += len(enabled) + num_registers
+                total = 0
+                peak = stats.max_state_activation
+                for mask in active.values():
+                    n = mask.bit_count()
+                    total += n
+                    if n > peak:
+                        peak = n
+                if regs is not None:
+                    total += regs.live_entries()
+                stats.active_pair_total += total
+                stats.max_state_activation = peak
+            if sampler is not None and position % stride == 0:
+                pairs = 0
+                width = 0
+                for mask in active.values():
+                    if mask:
+                        width += 1
+                        pairs += mask.bit_count()
+                sampler.observe(pairs, width, len(enabled) + num_registers)
+        stats.wall_seconds = time.perf_counter() - started
+        stats.chars_processed = consumed if self.single_match else len(payload)
+        stats.match_count = len(matches)
+        if regs is not None:
+            registry = obs.get_registry()
+            if registry is not None:
+                registry.gauge(
+                    "imfant_counting_registers",
+                    help="counter registers held by the counting backend",
+                ).set(num_registers)
+                registry.counter(
+                    "imfant_counting_entries_total",
+                    help="activation entries pushed into counter registers",
+                ).inc(regs.entries_total)
+                registry.counter(
+                    "imfant_counting_saturations_total",
+                    help="entries saturated into unbounded-arc sticky masks",
+                ).inc(regs.saturations_total)
+                registry.gauge(
+                    "imfant_counting_live_entries_peak",
+                    help="peak live register entries observed in a scan",
+                ).set(regs.peak_live)
         return result
 
     # -- lazy backend -----------------------------------------------------------

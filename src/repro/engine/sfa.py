@@ -264,6 +264,13 @@ class SfaScanner:
             raise UsageError(f"scan_deadline must be positive (got {scan_deadline})")
         if deadline_stride < 1:
             raise UsageError(f"deadline_stride must be >= 1 (got {deadline_stride})")
+        if getattr(mfsa, "counting", ()):
+            # A mapping composes pure state-to-state reachability; counter
+            # registers carry positions, which no finite mapping can.
+            raise UsageError(
+                "SfaScanner cannot scan counter registers; expand() the "
+                "CountingMfsa first or use overlap chunking"
+            )
         self.pop_on_final = pop_on_final
         self.scan_deadline = scan_deadline
         self.deadline_stride = deadline_stride

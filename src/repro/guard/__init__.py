@@ -38,6 +38,7 @@ from repro.guard.errors import (
     AllocationFailed,
     BudgetExceeded,
     CompileError,
+    CountingBudgetExceeded,
     DeadlineExceeded,
     FormatError,
     LoopBudgetExceeded,
@@ -61,6 +62,7 @@ __all__ = [
     "BudgetExceeded",
     "LoopBudgetExceeded",
     "MemoryBudgetExceeded",
+    "CountingBudgetExceeded",
     "AllocationFailed",
     "DeadlineExceeded",
     "ScanDeadlineExceeded",

@@ -39,12 +39,19 @@ from typing import Optional
 
 from repro.guard.errors import (
     BudgetExceeded,
+    CountingBudgetExceeded,
     DeadlineExceeded,
     LoopBudgetExceeded,
     MemoryBudgetExceeded,
 )
 
-__all__ = ["Budget", "BudgetMeter", "STATE_BYTES", "TRANSITION_BYTES"]
+__all__ = [
+    "Budget",
+    "BudgetMeter",
+    "STATE_BYTES",
+    "TRANSITION_BYTES",
+    "COUNTING_REGISTER_BYTES",
+]
 
 #: Modelled bytes per automaton state / transition for the cooperative
 #: memory accounting (python object layout: state sets, COO tuples,
@@ -52,6 +59,10 @@ __all__ = ["Budget", "BudgetMeter", "STATE_BYTES", "TRANSITION_BYTES"]
 #: model, not an allocator probe.
 STATE_BYTES = 64
 TRANSITION_BYTES = 128
+#: Modelled bytes per counting register (deque headers + the sliding
+#: window stacks; entries themselves are bounded by one per scan byte,
+#: so the static charge covers the structure, not the stream).
+COUNTING_REGISTER_BYTES = 512
 
 
 def _count_budget_exceeded(resource: str) -> None:
@@ -81,11 +92,13 @@ class Budget:
     max_transitions: Optional[int] = None
     max_loop_copies: Optional[int] = None
     max_memory_bytes: Optional[int] = None
+    max_counting_registers: Optional[int] = None
     deadline: Optional[float] = None
     check_stride: int = 2048
 
     def __post_init__(self) -> None:
-        for name in ("max_states", "max_transitions", "max_loop_copies", "max_memory_bytes"):
+        for name in ("max_states", "max_transitions", "max_loop_copies",
+                     "max_memory_bytes", "max_counting_registers"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be >= 1 (got {value})")
@@ -102,6 +115,7 @@ class Budget:
             and self.max_transitions is None
             and self.max_loop_copies is None
             and self.max_memory_bytes is None
+            and self.max_counting_registers is None
             and self.deadline is None
         )
 
@@ -121,6 +135,7 @@ class BudgetMeter:
         "transitions",
         "loop_copies",
         "memory_bytes",
+        "counting_registers",
     )
 
     def __init__(self, budget: Budget) -> None:
@@ -133,6 +148,7 @@ class BudgetMeter:
         self.transitions = 0
         self.loop_copies = 0
         self.memory_bytes = 0
+        self.counting_registers = 0
 
     # -- charging ---------------------------------------------------------
 
@@ -195,6 +211,30 @@ class BudgetMeter:
                 stage=stage,
                 rule=rule,
             )
+
+    def charge_counting_registers(
+        self, n: int, *, stage: str = "counting.registers", rule: Optional[int] = None
+    ) -> None:
+        """Charge ``n`` counter registers minted by the counting compile
+        (one per counting arc).  Registers are cheap next to expanded
+        state chains but not free — a ruleset of thousands of bounded
+        repeats still deserves a ceiling, and the error names the rule
+        that crossed it."""
+        self.counting_registers += n
+        self.memory_bytes += n * COUNTING_REGISTER_BYTES
+        limit = self.budget.max_counting_registers
+        if limit is not None and self.counting_registers > limit:
+            _count_budget_exceeded("counting_registers")
+            raise CountingBudgetExceeded(
+                f"counting-register budget exceeded: {self.counting_registers} "
+                f"> {limit}",
+                limit=limit,
+                used=self.counting_registers,
+                counters=self.snapshot(),
+                stage=stage,
+                rule=rule,
+            )
+        self._check_memory(stage, rule)
 
     def charge_memory(self, nbytes: int, *, stage: str, rule: Optional[int] = None) -> None:
         self.memory_bytes += nbytes
@@ -263,5 +303,6 @@ class BudgetMeter:
             "transitions": self.transitions,
             "loop_copies": self.loop_copies,
             "memory_bytes": self.memory_bytes,
+            "counting_registers": self.counting_registers,
             "elapsed_seconds": round(self.elapsed, 6),
         }

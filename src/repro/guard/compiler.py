@@ -203,11 +203,28 @@ class GuardedCompiler:
         )
 
     def _salvage(self, report: QuarantineReport) -> None:
-        """Attach solo FSAs to group-evicted rules for fallback matching."""
+        """Attach solo FSAs to group-evicted rules for fallback matching.
+
+        Fallbacks are matched by plain-NFA simulation
+        (:func:`repro.automata.simulate.find_match_ends`), which has no
+        counter-register semantics — so under ``counting=True`` the solo
+        fallback is recompiled with counting off (the expanded chain),
+        bypassing the subset memo (it caches counting outcomes).
+        """
+        options = self.options
+        memoised = not options.counting
+        if not memoised:
+            options = replace(options, counting=False)
         for entry in report.entries:
             if not entry.evicted:
                 continue
-            outcome = self._try((entry.rule,))
+            if memoised:
+                outcome = self._try((entry.rule,))
+            else:
+                try:
+                    outcome = compile_ruleset([self._patterns[entry.rule]], options)
+                except ReproError as exc:
+                    outcome = exc
             if not isinstance(outcome, ReproError) and outcome.fsas:
                 entry.fallback_fsa = outcome.fsas[0]
 

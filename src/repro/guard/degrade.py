@@ -8,6 +8,13 @@ compilation and walks the backend ladder when trouble shows up:
   setup, surfaced as :class:`~repro.guard.errors.AllocationFailed`) —
   the matcher steps down a backend and retries the run immediately; the
   answer of the retried run is exact, not approximate;
+* **counting-register pressure** (counting backend only) — a register
+  allocation refused by the budget or the fault injector (surfaced as
+  :class:`~repro.guard.errors.AllocationFailed` with
+  ``stage == "counting.registers"``) demotes ``counting`` straight to
+  ``lazy`` with a typed ``counting-register-pressure:`` reason.  The
+  demoted engines run the loop-**expanded** automaton, so the retried
+  answer stays exact — it just pays the state cost counting avoided;
 * **dense promotion failure** (dense backend only) — a dense-tier table
   build that fails allocation or blows its modelled memory budget
   (:class:`~repro.guard.errors.AllocationFailed` /
@@ -46,9 +53,32 @@ from repro.engine.multithread import run_pool
 from repro.guard.errors import AllocationFailed, UsageError
 from repro.guard.quarantine import QuarantineReport
 
-__all__ = ["BACKEND_LADDER", "DegradePolicy", "DegradationStep", "GuardedMatcher", "GuardedRunResult"]
+__all__ = [
+    "BACKEND_LADDER",
+    "DegradePolicy",
+    "DegradationStep",
+    "GuardedMatcher",
+    "GuardedRunResult",
+    "alloc_degrade_reason",
+]
+
+
+def alloc_degrade_reason(exc: AllocationFailed) -> str:
+    """Typed ladder-step reason for an allocation failure.
+
+    Counting-register pressure (``stage == "counting.registers"``) gets
+    its own prefix so operators can tell a demotion forced by counter
+    budgets apart from a generic backend-setup failure.
+    """
+    if getattr(exc, "stage", None) == "counting.registers":
+        return f"counting-register-pressure: {exc}"
+    return f"allocation-failure: {exc}"
 
 #: Fastest-first backend order; degradation only ever moves rightward.
+#: ``counting`` sits *beside* the ladder, not on it: it is the only
+#: backend that can run an un-expanded :class:`CountingMfsa`, and it
+#: demotes straight to ``lazy`` (over the expanded automaton) rather
+#: than stepping through an index.
 BACKEND_LADDER = ("dense", "lazy", "numpy", "python")
 
 
@@ -112,10 +142,12 @@ class GuardedMatcher:
         lazy_eviction: str = "flush",
         dense_promote_after: Optional[int] = None,
         dense_budget=None,
+        counting_budget=None,
     ) -> None:
-        if backend not in BACKEND_LADDER:
+        if backend not in BACKEND_LADDER and backend != "counting":
             raise UsageError(
-                f"unknown backend {backend!r}; choose from {BACKEND_LADDER}"
+                f"unknown backend {backend!r}; choose from "
+                f"{BACKEND_LADDER + ('counting',)}"
             )
         self.mfsas = list(mfsas)
         self.rule_map = list(rule_map) if rule_map is not None else None
@@ -129,6 +161,7 @@ class GuardedMatcher:
         self.lazy_eviction = lazy_eviction
         self.dense_promote_after = dense_promote_after
         self.dense_budget = dense_budget
+        self.counting_budget = counting_budget
         self.degradations: list = []
         self._engines: Optional[list] = None
 
@@ -148,12 +181,19 @@ class GuardedMatcher:
 
     def _degrade(self, reason: str) -> bool:
         """Step down one backend; False when already at the bottom."""
-        position = BACKEND_LADDER.index(self.backend)
-        if position + 1 >= len(BACKEND_LADDER):
-            return False
+        if self.backend == "counting":
+            # Registers are gone; the lazy backend over the expanded
+            # automaton is the exact replacement (the IMfant constructor
+            # expands a CountingMfsa for every non-counting backend).
+            to_backend = "lazy"
+        else:
+            position = BACKEND_LADDER.index(self.backend)
+            if position + 1 >= len(BACKEND_LADDER):
+                return False
+            to_backend = BACKEND_LADDER[position + 1]
         step = DegradationStep(
             from_backend=self.backend,
-            to_backend=BACKEND_LADDER[position + 1],
+            to_backend=to_backend,
             reason=reason,
         )
         self.backend = step.to_backend
@@ -167,6 +207,8 @@ class GuardedMatcher:
             ).inc()
         return True
 
+    _alloc_reason = staticmethod(alloc_degrade_reason)
+
     def _ensure_engines(self) -> list:
         while True:
             if self._engines is not None:
@@ -176,6 +218,8 @@ class GuardedMatcher:
                 dense_kwargs["dense_promote_after"] = self.dense_promote_after
             if self.dense_budget is not None:
                 dense_kwargs["dense_budget"] = self.dense_budget
+            if self.counting_budget is not None:
+                dense_kwargs["counting_budget"] = self.counting_budget
             try:
                 self._engines = [
                     IMfantEngine(
@@ -190,7 +234,7 @@ class GuardedMatcher:
                     for mfsa in self.mfsas
                 ]
             except AllocationFailed as exc:
-                if not (self.policy.on_alloc_failure and self._degrade(f"allocation-failure: {exc}")):
+                if not (self.policy.on_alloc_failure and self._degrade(self._alloc_reason(exc))):
                     raise
 
     # -- matching ---------------------------------------------------------
@@ -213,7 +257,7 @@ class GuardedMatcher:
                     )
                     break
                 except AllocationFailed as exc:
-                    if not (self.policy.on_alloc_failure and self._degrade(f"allocation-failure: {exc}")):
+                    if not (self.policy.on_alloc_failure and self._degrade(self._alloc_reason(exc))):
                         raise
             used_backend = self.backend
             if used_backend == "dense" and self.policy.on_alloc_failure:

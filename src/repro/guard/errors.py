@@ -24,6 +24,7 @@ the CLI glue.  The taxonomy re-parents all of them:
     │   ├── LoopBudgetExceeded     (automata.loops)
     │   ├── DfaExplosionError      (dfa.dfa;        also RuntimeError)
     │   ├── DerivativeBudgetError  (automata.brzozowski; also RuntimeError)
+    │   ├── CountingBudgetExceeded counting-register cap (guard.budget)
     │   ├── AllocationFailed       wrapped MemoryError
     │   └── DeadlineExceeded       wall-clock budget
     │       └── ScanDeadlineExceeded   (engines; carries partial results)
@@ -65,6 +66,7 @@ __all__ = [
     "BudgetExceeded",
     "LoopBudgetExceeded",
     "MemoryBudgetExceeded",
+    "CountingBudgetExceeded",
     "AllocationFailed",
     "DeadlineExceeded",
     "ScanDeadlineExceeded",
@@ -175,6 +177,18 @@ class MemoryBudgetExceeded(BudgetExceeded):
 
     def __init__(self, message: str, **kwargs: Any) -> None:
         kwargs.setdefault("resource", "memory_bytes")
+        super().__init__(message, **kwargs)
+
+
+class CountingBudgetExceeded(BudgetExceeded):
+    """A counting compile allocated more counter registers than the
+    budget allows (``max_counting_registers``); names the rule whose
+    bounded repeats pushed it over."""
+
+    default_stage = "counting.registers"
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("resource", "counting_registers")
         super().__init__(message, **kwargs)
 
 

@@ -33,6 +33,13 @@ Points
     Raise :class:`MemoryError` during engine backend setup.  The arg
     selects the backend name (``True`` = any); the engine wraps it into
     :class:`~repro.guard.errors.AllocationFailed`.
+``counting.register_pressure``
+    Raise :class:`MemoryError` while the counting backend allocates its
+    counter registers (``True`` = any allocation; an int = only when at
+    least that many registers are requested).  The engine wraps it into
+    :class:`~repro.guard.errors.AllocationFailed` with the
+    ``counting.registers`` stage, so guarded matchers step the ladder
+    (counting → lazy) instead of crashing.
 ``serve.worker.kill``
     Hard-kill the shard worker *process* (``os._exit``) on scan entry —
     the dead-worker drill the :class:`~repro.serve.resilience.
@@ -101,6 +108,7 @@ POINTS = (
     "engine.step_delay",
     "lazy.cache_pressure",
     "alloc",
+    "counting.register_pressure",
     "serve.worker.kill",
     "serve.worker.hang",
     "serve.conn.drop",
@@ -198,6 +206,13 @@ def fire(point: str, **ctx: Any) -> None:
         backend = ctx.get("backend")
         if arg is True or arg == backend:
             raise MemoryError(f"injected allocation failure (backend {backend!r})")
+    elif point == "counting.register_pressure":
+        registers = ctx.get("registers", 0)
+        threshold = 1 if arg is True else int(arg)
+        if registers >= threshold:
+            raise MemoryError(
+                f"injected counting-register pressure ({registers} register(s))"
+            )
     elif point == "serve.worker.hang":
         time.sleep(float(arg) if arg is not True else 30.0)
     elif point == "serve.worker.kill":

@@ -5,6 +5,13 @@ interchange format; for caching compiled automata between runs a plain
 JSON encoding is smaller and faster to parse.  Character classes are
 encoded as hex bitmask strings; belongings as rule-id lists.
 
+Counting automata (:class:`~repro.counting.mfsa.CountingMfsa`) encode
+their plain arcs in the same ``transitions`` list plus a ``counting``
+list of ``[src, dst, hexmask, low, high, bel]`` entries (``high`` is
+``null`` for unbounded repeats); the key's presence is what selects the
+decoded type, so serve artifacts carry counter registers across process
+boundaries without expansion.
+
 Round trips are exact and property-tested; documents carry a format
 version for forward compatibility.
 """
@@ -31,9 +38,10 @@ class MfsaJsonError(FormatError, ValueError):
     default_stage = "mfsa-json"
 
 
-def mfsa_to_dict(mfsa: Mfsa) -> dict[str, Any]:
-    """Encode an MFSA as a JSON-ready dict."""
-    return {
+def mfsa_to_dict(mfsa) -> dict[str, Any]:
+    """Encode an MFSA (plain or counting) as a JSON-ready dict."""
+    plain = mfsa.transitions if isinstance(mfsa, Mfsa) else mfsa.plain
+    data = {
         "format": FORMAT,
         "version": VERSION,
         "num_states": mfsa.num_states,
@@ -41,28 +49,54 @@ def mfsa_to_dict(mfsa: Mfsa) -> dict[str, Any]:
         "finals": {str(rule): sorted(states) for rule, states in mfsa.finals.items()},
         "patterns": {str(rule): pattern for rule, pattern in mfsa.patterns.items()},
         "transitions": [
-            [t.src, t.dst, f"{t.label.mask:x}", sorted(t.bel)] for t in mfsa.transitions
+            [t.src, t.dst, f"{t.label.mask:x}", sorted(t.bel)] for t in plain
         ],
     }
+    if not isinstance(mfsa, Mfsa):
+        data["counting"] = [
+            [t.src, t.dst, f"{t.label.mask:x}", t.low, t.high, sorted(t.bel)]
+            for t in mfsa.counting
+        ]
+    return data
 
 
-def mfsa_from_dict(data: dict[str, Any]) -> Mfsa:
-    """Decode the dict produced by :func:`mfsa_to_dict` (validated)."""
+def mfsa_from_dict(data: dict[str, Any]):
+    """Decode the dict produced by :func:`mfsa_to_dict` (validated).
+
+    Returns a plain :class:`Mfsa`, or a
+    :class:`~repro.counting.mfsa.CountingMfsa` when the document carries
+    a ``counting`` arc list.
+    """
     if not isinstance(data, dict) or data.get("format") != FORMAT:
         raise MfsaJsonError("not a repro-mfsa-json document")
     if data.get("version") != VERSION:
         raise MfsaJsonError(f"unsupported version {data.get('version')!r}")
+    counting_arcs = data.get("counting")
+    if counting_arcs is not None:
+        # function-level import: repro.counting.mfsa depends on this package
+        from repro.counting.mfsa import CMTransition, CountingMfsa
+
+        mfsa = CountingMfsa(num_states=0)
+    else:
+        mfsa = Mfsa()
     try:
-        mfsa = Mfsa(num_states=int(data["num_states"]))
+        mfsa.num_states = int(data["num_states"])
         mfsa.initials = {int(rule): int(state) for rule, state in data["initials"].items()}
         mfsa.finals = {
             int(rule): {int(s) for s in states} for rule, states in data["finals"].items()
         }
         mfsa.patterns = {int(rule): str(p) for rule, p in data.get("patterns", {}).items()}
+        plain = mfsa.transitions if isinstance(mfsa, Mfsa) else mfsa.plain
         for src, dst, mask_hex, bel in data["transitions"]:
-            mfsa.transitions.append(
+            plain.append(
                 MTransition(int(src), int(dst), CharClass(int(mask_hex, 16)),
                             frozenset(int(r) for r in bel))
+            )
+        for src, dst, mask_hex, low, high, bel in counting_arcs or ():
+            mfsa.counting.append(
+                CMTransition(int(src), int(dst), CharClass(int(mask_hex, 16)),
+                             int(low), None if high is None else int(high),
+                             frozenset(int(r) for r in bel))
             )
     except (KeyError, TypeError, ValueError) as exc:
         raise MfsaJsonError(f"malformed document: {exc}") from exc
@@ -70,11 +104,11 @@ def mfsa_from_dict(data: dict[str, Any]) -> Mfsa:
     return mfsa
 
 
-def dumps(mfsa: Mfsa, indent: int | None = None) -> str:
+def dumps(mfsa, indent: int | None = None) -> str:
     return json.dumps(mfsa_to_dict(mfsa), indent=indent)
 
 
-def loads(text: str) -> Mfsa:
+def loads(text: str):
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:

@@ -37,6 +37,7 @@ from typing import Sequence
 
 import time
 
+from repro.counting.mfsa import CountingMfsa
 from repro.engine.cost import CostModel
 from repro.engine.imfant import IMfantEngine
 from repro.engine.multithread import MachineModel, simulate_parallel_latency
@@ -275,9 +276,9 @@ class BackendReport:
 
 
 def choose_backend(
-    mfsa: Mfsa,
+    mfsa: "Mfsa | CountingMfsa",
     sample: bytes | str,
-    backends: Sequence[str] = ("dense", "lazy", "numpy", "python"),
+    backends: Sequence[str] | None = None,
     cost_model: CostModel | None = None,
     repeats: int = 3,
 ) -> BackendReport:
@@ -294,15 +295,29 @@ def choose_backend(
     (fixed kernel-dispatch overhead per char), and measurement is what
     keeps such backends from being chosen where they lose.
 
+    ``backends=None`` picks the default ladder, prepending ``counting``
+    when ``mfsa`` is a :class:`~repro.counting.mfsa.CountingMfsa` with
+    live counting arcs — the plain candidates then race over its
+    expansion (:meth:`CountingMfsa.expand`), so the report shows
+    exactly what demoting off the counting rung would cost.
+
     Backends whose setup fails allocation are reported as unavailable
     rather than raised: the remaining rungs still race.
     """
     payload = sample.encode("latin-1") if isinstance(sample, str) else sample
     cost_model = cost_model or CostModel()
+    has_registers = isinstance(mfsa, CountingMfsa) and bool(mfsa.counting)
+    if backends is None:
+        backends = ("dense", "lazy", "numpy", "python")
+        if has_registers:
+            backends = ("counting",) + backends
 
     # Counters are backend-invariant; one lazy pass is the cheap way to
-    # get them for the model's prediction column.
-    stats = IMfantEngine(mfsa, backend="lazy").run(payload).stats
+    # get them for the model's prediction column.  (Counting automata
+    # profile on the counting backend instead — a lazy pass would first
+    # expand, paying exactly the state growth counting exists to avoid.)
+    stats_backend = "counting" if has_registers else "lazy"
+    stats = IMfantEngine(mfsa, backend=stats_backend).run(payload).stats
 
     report = BackendReport(sample_bytes=len(payload))
     reference: set | None = None

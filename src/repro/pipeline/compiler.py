@@ -26,6 +26,7 @@ no-ops and only the ``StageTimes`` arithmetic remains.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -36,6 +37,10 @@ import repro.obs as obs
 from repro.automata.fsa import Fsa
 from repro.automata.optimize import OptimizeOptions, construct_nfa, optimize_ast, optimize_fsa
 from repro.anml.writer import write_anml
+from repro.counting.anml import write_counting_anml
+from repro.counting.build import DEFAULT_MIN_COUNT_BOUND, build_counting_fsa_from_ast
+from repro.counting.merge import CountingMergeReport, merge_counting_fsas
+from repro.counting.mfsa import CountingMfsa
 from repro.frontend.parser import parse
 from repro.guard import faultinject
 from repro.guard.budget import Budget
@@ -80,6 +85,16 @@ class CompileOptions:
     #: :class:`~repro.guard.budget.BudgetMeter` spans every stage, so a
     #: deadline covers the compile end to end
     budget: Optional[Budget] = None
+    #: compile for ``backend="counting"``: bounded repeats survive loop
+    #: expansion and become counting arcs (counter registers at run
+    #: time) instead of state chains; the result's ``mfsas`` are
+    #: :class:`~repro.counting.mfsa.CountingMfsa` (plain :class:`Mfsa`
+    #: when every repeat fell below the threshold and expanded)
+    counting: bool = False
+    #: the expand-vs-count policy knob: repeats whose high bound (or an
+    #: unbounded repeat's low bound) reaches this many copies become
+    #: counter registers, smaller ones expand as usual
+    count_threshold: int = DEFAULT_MIN_COUNT_BOUND
 
 
 @dataclass
@@ -112,9 +127,12 @@ class CompilationResult:
 
     patterns: list[str]
     options: CompileOptions
-    #: optimised per-RE FSAs (the merger's input), indexed by rule id
+    #: optimised per-RE FSAs (the merger's input), indexed by rule id;
+    #: :class:`~repro.counting.model.CountingFsa` under ``counting=True``
     fsas: list[Fsa]
     #: the K = ⌈N/M⌉ merged automata
+    #: (:class:`~repro.counting.mfsa.CountingMfsa` under ``counting=True``
+    #: when counting arcs survived the threshold)
     mfsas: list[Mfsa]
     stage_times: StageTimes
     merge_report: MergeReport
@@ -156,6 +174,22 @@ def compile_ruleset(patterns: Sequence[str], options: CompileOptions | None = No
     :class:`~repro.guard.errors.CompileError` instead of escaping as
     bare ``RecursionError``."""
     options = options or CompileOptions()
+    if options.counting:
+        if options.grouping != "sequential":
+            raise UsageError(
+                f"counting compiles support only sequential grouping "
+                f"(got {options.grouping!r})"
+            )
+        if options.stratify_charclasses:
+            raise UsageError(
+                "counting compiles do not support charclass stratification"
+            )
+        if options.reduce_mfsa:
+            raise UsageError("counting compiles do not support MFSA reduction")
+        if options.count_threshold < 2:
+            raise UsageError(
+                f"count_threshold must be >= 2 (got {options.count_threshold})"
+            )
     times = StageTimes()
     meter = options.budget.start() if options.budget is not None else None
 
@@ -179,6 +213,9 @@ def compile_ruleset(patterns: Sequence[str], options: CompileOptions | None = No
                     ) from exc
             if meter is not None:
                 meter.check_deadline(stage="frontend")
+
+        if options.counting:
+            return _finish_counting(patterns, asts, options, times, meter, root)
 
         # Mid-end: AST → FSA (loop expansion + Thompson construction).
         with _stage(times, "ast_to_fsa"):
@@ -254,6 +291,114 @@ def compile_ruleset(patterns: Sequence[str], options: CompileOptions | None = No
         patterns=list(patterns),
         options=options,
         fsas=fsas,
+        mfsas=mfsas,
+        stage_times=times,
+        merge_report=merge_report,
+        anml=anml,
+    )
+
+
+def _finish_counting(
+    patterns: Sequence[str],
+    asts: list,
+    options: CompileOptions,
+    times: StageTimes,
+    meter,
+    root,
+) -> CompilationResult:
+    """The ``counting=True`` mid/back-end: bounded repeats become counter
+    registers instead of expanded state chains.
+
+    Loop expansion is disabled so repeats survive to the counting
+    builder, which applies the expand-vs-count policy per repeat
+    (``count_threshold``).  Construction and ε-removal are one fused
+    pass, so the ``single_opt`` stage reports zero; states/transitions
+    charge ``meter`` as usual plus one ``counting.registers`` charge per
+    counting arc — this is where a `[^\\n]{1000}`-style rule that blows
+    ``max_states`` under expansion compiles within budget.  Merged
+    automata with no surviving counting arcs drop to plain
+    :class:`Mfsa` so every downstream consumer stays unrestricted.
+    """
+    # Mid-end: AST → counting FSA (fused construction + ε-removal).
+    with _stage(times, "ast_to_fsa"):
+        no_expand = dataclasses.replace(options.optimize, expand_loops=False)
+        asts = [
+            optimize_ast(ast, no_expand, meter=meter, rule=rule)
+            for rule, ast in enumerate(asts)
+        ]
+        cfsas = []
+        for rule, (ast, pattern) in enumerate(zip(asts, patterns)):
+            try:
+                cfsa = build_counting_fsa_from_ast(
+                    ast, pattern, min_count_bound=options.count_threshold
+                )
+            except RecursionError as exc:
+                raise CompileError(
+                    "automaton construction exceeded the recursion limit",
+                    stage="ast_to_fsa", rule=rule,
+                ) from exc
+            if meter is not None:
+                meter.charge_automaton(
+                    cfsa.num_states, len(cfsa.plain),
+                    stage="ast_to_fsa", rule=rule,
+                )
+                meter.charge_counting_registers(len(cfsa.counting), rule=rule)
+            cfsas.append(cfsa)
+
+    # Mid-end: merging (Algorithm 1 over mixed plain/counting arcs).
+    with _stage(times, "merging") as merge_span:
+        merge_report = MergeReport()
+        items = list(enumerate(cfsas))
+        factor = options.merging_factor
+        if factor <= 0 or factor >= len(items):
+            groups = [items]
+        else:
+            groups = [items[i:i + factor] for i in range(0, len(items), factor)]
+        mfsas: list = []
+        for group in groups:
+            group_report = CountingMergeReport()
+            merged = merge_counting_fsas(group, report=group_report)
+            merge_report.input_states += group_report.input_states
+            merge_report.input_transitions += group_report.input_transitions
+            merge_report.output_states += group_report.output_states
+            merge_report.output_transitions += group_report.output_transitions
+            merge_report.merged_transitions += (
+                group_report.merged_plain + group_report.merged_counting
+            )
+            # Every repeat below the threshold expanded: no registers
+            # left, so hand downstream the unrestricted plain model.
+            mfsas.append(merged if merged.counting else merged.to_plain())
+        if meter is not None:
+            meter.check_deadline(stage="merging")
+        merge_span.set(
+            mfsas=len(mfsas),
+            state_compression=round(merge_report.state_compression, 3),
+            counting_arcs=sum(
+                len(m.counting) for m in mfsas if isinstance(m, CountingMfsa)
+            ),
+        )
+
+    # Back-end: extended-ANML generation (counting dialect where needed).
+    anml: list[str] | None = None
+    if options.emit_anml:
+        with _stage(times, "backend"):
+            anml = [
+                write_counting_anml(m, network_id=f"cmfsa{i}")
+                if isinstance(m, CountingMfsa)
+                else write_anml(m, network_id=f"mfsa{i}")
+                for i, m in enumerate(mfsas)
+            ]
+            if meter is not None:
+                meter.check_deadline(stage="backend")
+
+    root.set(
+        input_states=merge_report.input_states,
+        output_states=merge_report.output_states,
+    )
+    return CompilationResult(
+        patterns=list(patterns),
+        options=options,
+        fsas=cfsas,
         mfsas=mfsas,
         stage_times=times,
         merge_report=merge_report,

@@ -63,6 +63,8 @@ def _fingerprint(patterns: Sequence[str], options: CompileOptions) -> dict:
         "seed_cap": options.seed_cap,
         "min_walk_len": options.min_walk_len,
         "reduce_mfsa": options.reduce_mfsa,
+        "counting": options.counting,
+        "count_threshold": options.count_threshold,
         "optimize": dataclasses.asdict(options.optimize),
     }
 

@@ -90,7 +90,7 @@ from repro.engine.lazy import DEFAULT_CACHE_SIZE
 from repro.engine.chunkscan import SCAN_STRATEGIES, ruleset_max_width
 from repro.engine.sfa import ChunkMapping, SfaScanner
 from repro.guard import faultinject
-from repro.guard.degrade import BACKEND_LADDER, DegradationStep
+from repro.guard.degrade import BACKEND_LADDER, DegradationStep, alloc_degrade_reason
 from repro.guard.errors import (
     AllocationFailed,
     ReproError,
@@ -425,14 +425,24 @@ class ShardPool:
             raise UsageError(f"num_shards must be >= 1 (got {num_shards})")
         if mode not in ("thread", "process"):
             raise UsageError(f"unknown shard mode {mode!r}; choose thread or process")
-        if backend not in BACKEND_LADDER:
-            raise UsageError(f"unknown backend {backend!r}; choose from {BACKEND_LADDER}")
+        if backend not in BACKEND_LADDER and backend != "counting":
+            raise UsageError(
+                f"unknown backend {backend!r}; choose from "
+                f"{BACKEND_LADDER + ('counting',)}"
+            )
         if mode == "process" and artifact.path is None:
             raise UsageError("process-mode shards need an on-disk artifact to load")
         if scan_strategy not in SCAN_STRATEGIES:
             raise UsageError(
                 f"unknown scan strategy {scan_strategy!r} "
                 f"(choose from {SCAN_STRATEGIES})"
+            )
+        has_registers = any(getattr(m, "counting", ()) for m in artifact.mfsas)
+        if scan_strategy == "sfa" and has_registers:
+            raise UsageError(
+                "the 'sfa' strategy cannot scan counter registers; counting "
+                "artifacts shard by bounded overlap (unbounded repeats serve "
+                "sequentially)"
             )
         self.artifact = artifact
         self.num_shards = num_shards
@@ -447,11 +457,14 @@ class ShardPool:
         )
         #: resolved parallelism contract: overlap fast path when the
         #: width is bounded, zero-lead mapping scan when it is not (the
-        #: case overlap planning used to serve sequentially)
+        #: case overlap planning used to serve sequentially).  Counting
+        #: artifacts never take the mapping path — with an unbounded
+        #: repeat they fall through to the overlap strategy's sequential
+        #: single-job plan (``self.overlap is None``).
         self.scan_strategy: str = (
             scan_strategy
             if scan_strategy != "auto"
-            else ("overlap" if self.overlap is not None else "sfa")
+            else ("overlap" if self.overlap is not None or has_registers else "sfa")
         )
         self.degradations: list[DegradationStep] = []
         self._scanners: Optional[list[SfaScanner]] = None
@@ -515,12 +528,18 @@ class ShardPool:
     def _degrade(self, reason: str) -> bool:
         """Step the whole pool down one backend (see GuardedMatcher)."""
         with self._lock:
-            position = BACKEND_LADDER.index(self.backend)
-            if position + 1 >= len(BACKEND_LADDER):
-                return False
+            if self.backend == "counting":
+                # registers gone → the expanded automaton under lazy
+                # (the same special case GuardedMatcher takes)
+                to_backend = "lazy"
+            else:
+                position = BACKEND_LADDER.index(self.backend)
+                if position + 1 >= len(BACKEND_LADDER):
+                    return False
+                to_backend = BACKEND_LADDER[position + 1]
             step = DegradationStep(
                 from_backend=self.backend,
-                to_backend=BACKEND_LADDER[position + 1],
+                to_backend=to_backend,
                 reason=reason,
             )
             self.backend = step.to_backend
@@ -553,7 +572,7 @@ class ShardPool:
                     return self._templates
                 except AllocationFailed as exc:
                     failure = exc
-            if not self._degrade(f"allocation-failure: {failure}"):
+            if not self._degrade(alloc_degrade_reason(failure)):
                 raise failure
 
     def _worker_engines(self) -> list[IMfantEngine]:
@@ -567,7 +586,7 @@ class ShardPool:
                     state.engines = [template.fork() for template in templates]
                     break
                 except AllocationFailed as exc:
-                    if not self._degrade(f"allocation-failure: {exc}"):
+                    if not self._degrade(alloc_degrade_reason(exc)):
                         raise
                     templates = self._ensure_templates()
             state.generation = self._generation

@@ -3,8 +3,10 @@
 The differential property tests (tests/test_differential.py) fuzz small
 random rulesets; this suite pins down the *curated* surface instead —
 every builtin ruleset, every iMFAnt backend (python / numpy / lazy /
-dense — the last both cold and with its compiled tier force-promoted)
-and the sharded serving path must report byte-identical results:
+dense — the last both cold and with its compiled tier force-promoted —
+plus counting, which on plain automata degenerates to the interpretive
+scan with zero registers) and the sharded serving path must report
+byte-identical results:
 
 * identical ``(rule, end)`` match sets;
 * identical :class:`~repro.engine.counters.ExecutionStats` (modulo
@@ -31,7 +33,7 @@ from repro.engine.counters import ExecutionStats
 from repro.engine.imfant import IMfantEngine
 from repro.pipeline.compiler import CompileOptions, compile_ruleset
 
-BACKENDS = ("python", "numpy", "lazy", "dense")
+BACKENDS = ("python", "numpy", "lazy", "dense", "counting")
 
 #: The sampler quartet every backend must fill identically.  The lazy
 #: backend additionally registers ``imfant_lazy_cache_*`` instruments;
@@ -121,6 +123,34 @@ def test_backends_agree_on_builtin(compiled_builtins, name):
     assert matches == reference[0], f"{name}: promoted dense match set"
     assert stats == reference[1], f"{name}: promoted dense ExecutionStats"
     assert histograms == reference[2], f"{name}: promoted dense sampler histograms"
+
+
+@pytest.mark.counting
+@pytest.mark.parametrize("name", [
+    "dotstar_rules",
+    "http_signatures",
+    "log_patterns",
+])
+def test_counting_compile_conformance(compiled_builtins, name):
+    """Builtins with ``{m,n}`` repeats compiled through the counting
+    pipeline must agree with the expansion pipeline on every backend:
+    the counting backend runs the registers, every other backend runs
+    the ``expand()`` bridge over the same CountingMfsa.  Stats cannot
+    match across differently-shaped automata, so this asserts the match
+    sets (the stats legs above cover the per-automaton invariance)."""
+    if name not in compiled_builtins:
+        pytest.skip(f"builtin ruleset {name!r} not shipped")
+    patterns, expanded_mfsas = compiled_builtins[name]
+    counted = compile_ruleset(
+        patterns,
+        CompileOptions(emit_anml=False, counting=True, count_threshold=2),
+    )
+    text = _demo_stream(patterns, STREAM_BYTES).decode("latin-1")
+
+    reference, _, _ = _run_all(expanded_mfsas, text, "python")
+    for backend in BACKENDS:
+        matches, _, _ = _run_all(counted.mfsas, text, backend)
+        assert matches == reference, f"{name}: counting-compiled {backend}"
 
 
 def test_builtin_parametrization_is_complete(compiled_builtins):

@@ -1,0 +1,252 @@
+"""Differential oracle suite for the counting-automata engine backend.
+
+``backend="counting"`` carries bounded ``{m,n}`` repeats as counter
+registers on the merged automaton instead of expanded state chains.  The
+loop-expanded pipeline over the *same* patterns is an independent oracle
+— every property here pins the two against each other:
+
+* byte-identical ``(rule, end)`` match sets on hypothesis-random
+  rulesets full of bounded (and unbounded ``{m,}``) repeats;
+* agreement across every backend running the same counting compile (the
+  counting backend drives the registers, the others the ``expand()``
+  bridge);
+* cut-point invariance: chunked scans at arbitrary chunk sizes equal
+  the sequential scan;
+* mid-scan deadlines surface sound partial results, never corruption;
+* ``single_match`` = first (min-end) match per rule;
+* exact JSON round trips of counting automata;
+* the headline capability: a ``[^\\n]{1000}``-style repeat compiles
+  under a state budget that makes the expansion pipeline refuse, with
+  byte-identical matches to the (unbudgeted) expanded oracle.
+
+See docs/testing.md for the conformance-oracle pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.obs as obs
+from repro.engine.chunkscan import chunk_scan, mfsa_max_width
+from repro.engine.imfant import IMfantEngine
+from repro.guard.budget import Budget
+from repro.guard.errors import BudgetExceeded, ScanDeadlineExceeded
+from repro.mfsa import serialize
+from repro.pipeline.compiler import CompileOptions, compile_ruleset
+
+pytestmark = pytest.mark.counting
+
+BACKENDS = ("python", "numpy", "lazy", "dense", "counting")
+
+#: Text alphabet covering every atom the pattern strategy can emit.
+TEXT_ALPHABET = "abxy012 \n"
+
+
+@st.composite
+def counted_patterns(draw) -> str:
+    """One pattern built around a bounded or unbounded repeat."""
+    atom = draw(st.sampled_from(["a", "b", "[ab]", "[^x]", "[0-9]", "(xy)"]))
+    low = draw(st.integers(min_value=0, max_value=4))
+    unbounded = low >= 1 and draw(st.booleans())
+    if unbounded:
+        bound = f"{{{low},}}"
+    else:
+        high = draw(st.integers(min_value=max(low, 1), max_value=12))
+        bound = f"{{{low},{high}}}"
+    prefix = draw(st.sampled_from(["", "x", "ab", "y?"]))
+    suffix = draw(st.sampled_from(["", "y", "ba", "[01]"]))
+    return f"{prefix}{atom}{bound}{suffix}"
+
+
+def rulesets():
+    return st.lists(counted_patterns(), min_size=1, max_size=4)
+
+
+def texts(max_size: int = 120):
+    return st.text(alphabet=TEXT_ALPHABET, max_size=max_size)
+
+
+def _compile_counting(patterns, threshold: int = 2):
+    return compile_ruleset(
+        patterns,
+        CompileOptions(counting=True, count_threshold=threshold, emit_anml=False),
+    ).mfsas
+
+
+def _compile_expanded(patterns):
+    return compile_ruleset(patterns, CompileOptions(emit_anml=False)).mfsas
+
+
+def _matches(mfsas, payload, backend: str = "python", **kwargs) -> set:
+    out: set = set()
+    for mfsa in mfsas:
+        engine = IMfantEngine(mfsa, backend=backend, **kwargs)
+        out |= engine.run(payload, collect_stats=False).matches
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The core differential property
+# ---------------------------------------------------------------------------
+
+
+@given(patterns=rulesets(), text=texts())
+@settings(max_examples=60, deadline=None)
+def test_counting_equals_expanded_oracle(patterns, text):
+    """Counting backend == loop-expanded pipeline, byte for byte."""
+    counting = _compile_counting(patterns)
+    expanded = _compile_expanded(patterns)
+    assert _matches(counting, text, "counting") == _matches(expanded, text)
+
+
+@given(patterns=rulesets(), text=texts(max_size=80))
+@settings(max_examples=25, deadline=None)
+def test_every_backend_agrees_on_counting_compile(patterns, text):
+    """All five backends agree over the same counting compile: the
+    counting backend runs the registers, the rest the expand() bridge."""
+    counting = _compile_counting(patterns)
+    reference = _matches(counting, text, "python")
+    for backend in BACKENDS[1:]:
+        assert _matches(counting, text, backend) == reference, backend
+
+
+@given(
+    patterns=rulesets(),
+    text=texts(max_size=200),
+    chunk_size=st.integers(min_value=1, max_value=64),
+    threads=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_cut_point_invariance(patterns, text, chunk_size, threads):
+    """Chunked scans at arbitrary cut points equal the sequential scan —
+    bounded counting rulesets via overlap chunking, unbounded ones via
+    the automatic sequential fallback."""
+    counting = _compile_counting(patterns)
+    for mfsa in counting:
+        sequential = IMfantEngine(mfsa, backend="counting").run(
+            text, collect_stats=False
+        ).matches
+        # the overlap strategy requires chunk_size > match width; keep
+        # the drawn size but floor it at the automaton's own bound
+        width = mfsa_max_width(mfsa)
+        size = chunk_size if width is None else max(chunk_size, width + 1)
+        chunked = chunk_scan(
+            mfsa, text, backend="counting",
+            chunk_size=size, num_threads=threads,
+        )
+        assert chunked == sequential
+
+
+@given(patterns=rulesets(), text=texts())
+@settings(max_examples=25, deadline=None)
+def test_single_match_is_first_match(patterns, text):
+    counting = _compile_counting(patterns)
+    full = _matches(counting, text, "counting")
+    first = _matches(counting, text, "counting", single_match=True)
+    expected: dict = {}
+    for rule, end in full:
+        if rule not in expected or end < expected[rule]:
+            expected[rule] = end
+    assert first == {(rule, end) for rule, end in expected.items()}
+
+
+@given(patterns=rulesets())
+@settings(max_examples=25, deadline=None)
+def test_serialize_round_trip(patterns):
+    """Counting automata survive the JSON cache format exactly."""
+    for mfsa in _compile_counting(patterns):
+        restored = serialize.loads(serialize.dumps(mfsa))
+        assert type(restored) is type(mfsa)
+        assert restored.num_states == mfsa.num_states
+        assert restored.initials == mfsa.initials
+        assert restored.finals == mfsa.finals
+        if not hasattr(mfsa, "counting"):
+            continue
+        assert sorted(map(repr, restored.counting)) == sorted(map(repr, mfsa.counting))
+        assert sorted(map(repr, restored.plain)) == sorted(map(repr, mfsa.plain))
+
+
+# ---------------------------------------------------------------------------
+# Deadlines and partial results
+# ---------------------------------------------------------------------------
+
+
+def test_mid_scan_deadline_yields_sound_partial():
+    from repro.guard import faultinject
+
+    mfsas = _compile_counting(["ab{3,9}c", "x[0-9]{2,}y"], threshold=2)
+    payload = b"zabbbbc x12y " * 256
+    full = _matches(mfsas, payload, "counting")
+    engine = IMfantEngine(
+        mfsas[0], backend="counting", scan_deadline=0.02, deadline_stride=1
+    )
+    with faultinject.inject("engine.step_delay", 0.005):
+        with pytest.raises(ScanDeadlineExceeded) as info:
+            engine.run(payload)
+    partial = info.value.partial
+    assert partial is not None
+    assert 0 < partial.stats.chars_processed < len(payload)
+    assert partial.matches <= full  # sound under-approximation
+
+
+# ---------------------------------------------------------------------------
+# The headline capability (ISSUE acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def test_large_bound_compiles_where_expansion_refuses():
+    """``[^\\n]{1000}`` blows a 512-state budget when expanded but fits
+    in a handful of states as a counter register — with byte-identical
+    matches to the unbudgeted expanded oracle."""
+    patterns = ["begin[^\n]{1000}end", "abc"]
+    budget = Budget(max_states=512)
+    with pytest.raises(BudgetExceeded):
+        compile_ruleset(patterns, CompileOptions(emit_anml=False, budget=budget))
+    counting = compile_ruleset(
+        patterns,
+        CompileOptions(emit_anml=False, counting=True, budget=budget),
+    ).mfsas
+    assert any(getattr(m, "counting", ()) for m in counting)
+    assert sum(m.num_states for m in counting) <= 512
+
+    body = bytes((33 + i % 90) for i in range(1000))  # printable, no \n
+    payload = b"xxabc" + b"begin" + body + b"end" + b"abc"
+    oracle = _matches(_compile_expanded(patterns), payload)
+    assert _matches(counting, payload, "counting") == oracle
+    assert any(rule == 0 for rule, _ in oracle)  # the repeat really fires
+
+
+def test_below_threshold_drops_to_plain():
+    """Repeats under the threshold expand as before — the compile
+    returns plain MFSAs and the counting backend degenerates to the
+    interpretive scan."""
+    patterns = ["ab{2,3}c", "xy"]
+    mfsas = _compile_counting(patterns, threshold=64)
+    assert all(not getattr(m, "counting", ()) for m in mfsas)
+    payload = "zabbcxyz"
+    assert _matches(mfsas, payload, "counting") == _matches(
+        _compile_expanded(patterns), payload
+    )
+
+
+def test_unbounded_width_is_none_bounded_is_finite():
+    bounded = _compile_counting(["ab{2,9}c"], threshold=2)[0]
+    unbounded = _compile_counting(["ab{2,}c"], threshold=2)[0]
+    assert mfsa_max_width(bounded) is not None
+    assert mfsa_max_width(unbounded) is None
+
+
+def test_counting_metrics_emitted():
+    mfsas = _compile_counting(["ab{3,9}c"], threshold=3)
+    with obs.capture() as cap:
+        _matches(mfsas, b"zabbbbc" * 16, "counting")
+    names = {inst.name for inst in cap.registry.instruments()}
+    assert {
+        "imfant_counting_registers",
+        "imfant_counting_entries_total",
+        "imfant_counting_live_entries_peak",
+    } <= names
+    gauge = cap.registry.get("imfant_counting_registers")
+    assert gauge.snapshot()["value"] >= 1

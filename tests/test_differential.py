@@ -60,12 +60,13 @@ def test_all_engines_agree(data):
             got |= INfantEngine(fsa, rule_id, backend=backend).run(text).matches
         assert got == oracle, f"iNFAnt[{backend}]"
 
-    # 3. iMFAnt at several merging factors (all four backends; lazy
+    # 3. iMFAnt at several merging factors (all five backends; lazy
     #    exercising its config-cache memoization, dense running cold —
-    #    i.e. through the same lazy path under the dense driver)
+    #    i.e. through the same lazy path under the dense driver — and
+    #    counting in its zero-register degenerate mode on plain MFSAs)
     for m in (1, 2, 0):
         mfsas = merge_ruleset(fsas, m)
-        for backend in ("python", "numpy", "lazy", "dense"):
+        for backend in ("python", "numpy", "lazy", "dense", "counting"):
             got = set()
             for mfsa in mfsas:
                 got |= IMfantEngine(mfsa, backend=backend).run(text).matches

@@ -178,3 +178,83 @@ class TestGuardCounters:
         counter = next(i for i in cap.registry.instruments()
                        if i.name == "guard_degradations_total")
         assert counter.snapshot()["value"] == 1
+
+
+@pytest.mark.counting
+class TestCountingRegisterPressure:
+    """Budget exhaustion / injected pressure during counting-register
+    allocation steps the ladder (counting → lazy) instead of crashing."""
+
+    PAYLOAD = b"zz abbbbbc x1234y abc zz" * 8
+
+    @pytest.fixture
+    def counting_mfsas(self):
+        from repro.pipeline.compiler import CompileOptions
+
+        mfsas = compile_ruleset(
+            ["ab{3,9}c", "x[0-9]{4,}y"],
+            CompileOptions(counting=True, count_threshold=3, emit_anml=False),
+        ).mfsas
+        assert any(getattr(m, "counting", ()) for m in mfsas)
+        return mfsas
+
+    def _oracle(self, mfsas):
+        return GuardedMatcher(mfsas, backend="python").run(self.PAYLOAD).matches
+
+    def test_pressure_becomes_allocation_failed(self, counting_mfsas):
+        with faultinject.inject("counting.register_pressure", 1):
+            with pytest.raises(AllocationFailed) as info:
+                IMfantEngine(counting_mfsas[0], backend="counting")
+        assert isinstance(info.value, ReproError)
+        assert info.value.stage == "counting.registers"
+
+    def test_matcher_demotes_counting_to_lazy(self, counting_mfsas):
+        oracle = self._oracle(counting_mfsas)
+        with faultinject.inject("counting.register_pressure", 1):
+            matcher = GuardedMatcher(counting_mfsas, backend="counting")
+            run = matcher.run(self.PAYLOAD)
+        assert matcher.backend == "lazy"
+        assert run.matches == oracle
+        step = run.degradations[0]
+        assert step.from_backend == "counting" and step.to_backend == "lazy"
+        assert step.reason.startswith("counting-register-pressure:")
+
+    def test_register_budget_exhaustion_steps_the_ladder(self, counting_mfsas):
+        matcher = GuardedMatcher(
+            counting_mfsas,
+            backend="counting",
+            counting_budget=Budget(max_counting_registers=1),
+        )
+        run = matcher.run(self.PAYLOAD)
+        assert matcher.backend == "lazy"
+        assert run.matches == self._oracle(counting_mfsas)
+        assert run.degradations[0].reason.startswith("counting-register-pressure:")
+
+    def test_policy_can_refuse_to_demote(self, counting_mfsas):
+        policy = DegradePolicy(on_alloc_failure=False)
+        with faultinject.inject("counting.register_pressure", 1):
+            with pytest.raises(AllocationFailed):
+                GuardedMatcher(
+                    counting_mfsas, backend="counting", policy=policy
+                ).run(self.PAYLOAD)
+
+    def test_threshold_above_register_count_is_inert(self, counting_mfsas):
+        with faultinject.inject("counting.register_pressure", 99):
+            engine = IMfantEngine(counting_mfsas[0], backend="counting")
+        run = engine.run(self.PAYLOAD)
+        assert run.matches == self._oracle(counting_mfsas)
+
+    def test_shard_pool_demotes_counting_to_lazy(self, counting_mfsas):
+        from repro.serve.artifacts import Artifact
+        from repro.serve.shards import ShardPool
+
+        artifact = Artifact(
+            key="drill", patterns=["ab{3,9}c", "x[0-9]{4,}y"],
+            mfsas=list(counting_mfsas), loaded_from_cache=False,
+        )
+        with faultinject.inject("counting.register_pressure", 1):
+            with ShardPool(artifact, num_shards=2, backend="counting") as pool:
+                result = pool.scan(self.PAYLOAD)
+        assert pool.backend == "lazy"
+        assert result.matches == self._oracle(counting_mfsas)
+        assert pool.degradations[0].reason.startswith("counting-register-pressure:")
